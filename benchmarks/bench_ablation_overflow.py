@@ -1,0 +1,26 @@
+"""Section 6 future work: deferred splitting via overflow chains.
+
+Expected shape: the load factor rises well above the ~70% baseline and
+the trie shrinks (fewer, later splits), paid for by a fraction of
+searches needing a second access for the overflow bucket.
+"""
+
+from conftest import once
+
+from repro.analysis import ablation_overflow
+
+
+def test_ablation_overflow(benchmark, report):
+    rows = once(
+        benchmark, lambda: ablation_overflow(count=5000, bucket_capacity=10)
+    )
+    report(
+        "ablation_overflow",
+        rows,
+        "Ablation - overflow chaining (deferred splitting) vs plain TH",
+    )
+    plain, deferred = rows
+    assert deferred["a%"] > plain["a%"]
+    assert deferred["M"] < plain["M"]
+    assert plain["reads/search"] == 1
+    assert 1 < deferred["reads/search"] <= 2

@@ -1,0 +1,59 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* nil nodes vs shared leaves (TH vs THCL) at the same split key;
+* trie balancing (in-core depth only - disk metrics must not move);
+* bucket buffer-pool size vs disk reads.
+"""
+
+from conftest import once
+
+from repro.analysis import ablation_balance, ablation_buffer, ablation_nil_nodes
+
+
+def test_ablation_nil_nodes(benchmark, report):
+    rows = once(
+        benchmark, lambda: ablation_nil_nodes(count=5000, bucket_capacity=20)
+    )
+    report(
+        "ablation_nil",
+        rows,
+        "Ablation - nil nodes (basic) vs shared leaves (THCL), ascending load",
+    )
+    at_mid = [r for r in rows if r["split key"] == "m = middle"][0]
+    at_b = [r for r in rows if r["split key"] == "m = b"][0]
+    # §4.5's observation: at the middle split key the two variants are
+    # close (the basic trie often slightly smaller); at m = b only THCL
+    # reaches 100%.
+    assert at_b["thcl a%"] == 100
+    assert at_b["basic a%"] < 95
+    assert abs(at_mid["basic M"] - at_mid["thcl M"]) < 0.3 * at_mid["thcl M"]
+
+
+def test_ablation_balance(benchmark, report):
+    rows = once(benchmark, lambda: ablation_balance(count=5000, bucket_capacity=10))
+    report(
+        "ablation_balance",
+        rows,
+        "Ablation - trie balancing: depth before/after the canonical rebuild",
+    )
+    asc = [r for r in rows if r["workload"] == "ascending"][0]
+    assert asc["balanced depth"] < asc["depth"]
+    for r in rows:
+        assert r["balanced depth"] <= r["depth"]
+
+
+def test_ablation_buffer(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: ablation_buffer(
+            count=5000, bucket_capacity=10, buffer_sizes=(0, 16, 128)
+        ),
+    )
+    report(
+        "ablation_buffer",
+        rows,
+        "Ablation - bucket buffer pool size vs disk reads (500 probes)",
+    )
+    reads = [r["disk reads / 500 probes"] for r in rows]
+    assert reads[0] == 500           # no cache: the paper's accounting
+    assert reads[0] >= reads[1] >= reads[2]

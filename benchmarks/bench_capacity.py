@@ -1,0 +1,24 @@
+"""Section 3.1's capacity arithmetic, re-derived and checked.
+
+Not a simulation — the paper's published buffer/page/record figures
+computed from the layout constants (6-byte cells) and the measured load
+factors, row for row.
+"""
+
+from conftest import once
+
+from repro.analysis import capacity_table
+from repro.analysis.capacity import addressable_buckets, bilevel_records
+
+
+def test_capacity_arithmetic(benchmark, report):
+    rows = once(benchmark, capacity_table)
+    report(
+        "capacity",
+        rows,
+        "Section 3.1 - capacity planning arithmetic, paper vs computed",
+    )
+    assert 950 <= addressable_buckets(6 * 1024) <= 1100
+    assert 10000 <= addressable_buckets(64 * 1024) <= 11500
+    assert 10e6 < bilevel_records(10 * 1024, 20) < 25e6
+    assert bilevel_records(64 * 1024, 20) > 600e6

@@ -1,0 +1,37 @@
+"""Section 6 / /VID87/: concurrency — TH vs a B-tree.
+
+The paper: "TH may allow for higher degree of concurrency than a
+B-tree... One needs then to lock only the leaf A and the variable N".
+The simulation replays the same mixed workload (searches + inserts)
+through both locking protocols; expected shape: far fewer lock
+conflicts and wait ticks for TH at every client count, and higher
+throughput as clients grow.
+"""
+
+from conftest import once
+
+from repro.analysis import concurrency_table
+
+
+def test_concurrency(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: concurrency_table(
+            count=2000, operations=1000, client_counts=(1, 4, 16)
+        ),
+    )
+    report(
+        "concurrency",
+        rows,
+        "Concurrency (/VID87/) - lock conflicts, waits and throughput",
+    )
+    by = {(r["method"], r["clients"]): r for r in rows}
+    for clients in (4, 16):
+        th = by[("TH", clients)]
+        bt = by[("B+-tree", clients)]
+        assert th["conflicts"] < bt["conflicts"]
+        assert th["wait_ticks"] < bt["wait_ticks"]
+        assert th["throughput"] > bt["throughput"]
+    # Single-client runs never conflict.
+    assert by[("TH", 1)]["conflicts"] == 0
+    assert by[("B+-tree", 1)]["conflicts"] == 0

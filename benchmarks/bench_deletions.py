@@ -1,0 +1,30 @@
+"""Sections 2.4 / 3.3 / 4.3: deletion behaviour.
+
+The basic method merges only sibling leaves (4 of the example file's 10
+couples; rotations roughly double that), so it cannot bound the load
+from below. THCL's shared leaves merge or borrow across any boundary,
+holding every bucket at b//2 - the B-tree guarantee.
+"""
+
+from conftest import once
+
+from repro.analysis import deletions_table
+
+
+def test_deletions(benchmark, report):
+    rows = once(
+        benchmark, lambda: deletions_table(count=5000, bucket_capacity=10)
+    )
+    report(
+        "deletions",
+        rows,
+        "Deletions - basic sibling merging vs THCL guaranteed floor",
+    )
+    basic, rotating, thcl = rows
+    assert thcl["min_bucket"] >= 5
+    assert basic["min_bucket"] <= thcl["min_bucket"]
+    assert thcl["a% after 75% deleted"] >= 50
+    # Rotations recover much of the deleted space the basic method cannot.
+    assert (
+        rotating["a% after 75% deleted"] > basic["a% after 75% deleted"]
+    )

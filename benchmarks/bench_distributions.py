@@ -1,0 +1,54 @@
+"""Distribution view of the Fig 10 mechanics.
+
+Why does the d = 0 trie peak and then shrink? Section 4.5's explanation
+is distributional: adjacent-key cuts need longer split strings; lowering
+the split key shortens them but multiplies splits. This bench prints the
+boundary-length statistics along the Fig 10 sweep so the explanation is
+checked against data, not just quoted.
+"""
+
+from conftest import once
+
+from repro import SplitPolicy, THFile
+from repro.analysis.distributions import boundary_length_histogram, summarize
+from repro.workloads import KeyGenerator
+
+
+def run():
+    keys = KeyGenerator(42).sorted_keys(5000)
+    rows = []
+    for d in (0, 2, 4, 8):
+        policy = SplitPolicy(
+            split_position=-(d + 1),
+            bounding_offset=None,
+            nil_nodes=False,
+            merge="guaranteed",
+        )
+        f = THFile(20, policy)
+        for k in keys:
+            f.insert(k)
+        stats = summarize(boundary_length_histogram(f.trie))
+        rows.append(
+            {
+                "d": d,
+                "M": f.trie_size(),
+                "N": f.bucket_count(),
+                "mean boundary len": stats["mean"],
+                "max boundary len": stats["max"],
+                "a%": round(100 * f.load_factor(), 1),
+            }
+        )
+    return rows
+
+
+def test_boundary_length_mechanics(benchmark, report):
+    rows = once(benchmark, run)
+    report(
+        "distributions",
+        rows,
+        "Fig 10 mechanics - boundary lengths vs d (b = 20, 5000 keys)",
+    )
+    means = [r["mean boundary len"] for r in rows]
+    assert means == sorted(means, reverse=True)  # strings shorten with d
+    splits = [r["N"] for r in rows]
+    assert splits == sorted(splits)              # but splits multiply

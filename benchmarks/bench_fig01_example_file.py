@@ -1,0 +1,28 @@
+"""Figure 1: building the example file (a genuine micro-benchmark).
+
+Times the construction of the 31-word example file (inserts, splits and
+trie expansion included) and checks the published end state: 11 buckets,
+10 cells, load 31/44.
+"""
+
+import pytest
+
+from repro import THFile
+from repro.workloads import MOST_USED_WORDS
+
+
+def build():
+    f = THFile(bucket_capacity=4)
+    for w in MOST_USED_WORDS:
+        f.insert(w)
+    return f
+
+
+def test_fig01_example_file(benchmark):
+    f = benchmark(build)
+    assert f.bucket_count() == 11
+    assert f.trie_size() == 10
+    assert f.load_factor() == pytest.approx(31 / 44)
+    assert f.trie.boundaries() == [
+        "ar", "a", "b", "f", "he", "h", "i ", "i", "o", "t",
+    ]

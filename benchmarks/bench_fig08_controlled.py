@@ -1,0 +1,49 @@
+"""Figure 8: controlled splitting for descending insertions.
+
+The bounding key bounds the split's randomness: with it adjacent to the
+split key the split is deterministic. m = middle gives a guaranteed 50%
+load for descending insertions; m = 1 gives 100%.
+"""
+
+from conftest import once
+
+from repro import SplitPolicy, THFile
+from repro.workloads import KeyGenerator
+
+
+def run():
+    keys = KeyGenerator(42).descending_keys(5000)
+    rows = []
+    cases = [
+        ("m = b/2+1, bounding m+1 (50% target)", SplitPolicy.thcl_guaranteed_half()),
+        ("m = 1, bounding 2 (100% target)", SplitPolicy.thcl_descending(0)),
+        ("m = 1, bounding 4 (d = 2)", SplitPolicy.thcl_descending(2)),
+        ("basic TH, m = 1 (uncontrolled)", SplitPolicy(split_position=1)),
+    ]
+    for label, policy in cases:
+        f = THFile(bucket_capacity=4, policy=policy)
+        for k in keys:
+            f.insert(k)
+        rows.append(
+            {
+                "configuration": label,
+                "a%": round(100 * f.load_factor(), 1),
+                "M": f.trie_size(),
+                "N": f.bucket_count(),
+            }
+        )
+    return rows
+
+
+def test_fig08_controlled_descending(benchmark, report):
+    rows = once(benchmark, run)
+    report(
+        "fig08_controlled",
+        rows,
+        "Figure 8 - split control, descending insertions (b = 4)",
+    )
+    by = {r["configuration"]: r for r in rows}
+    assert by["m = b/2+1, bounding m+1 (50% target)"]["a%"] >= 49.5
+    assert by["m = 1, bounding 2 (100% target)"]["a%"] >= 99
+    uncontrolled = by["basic TH, m = 1 (uncontrolled)"]["a%"]
+    assert uncontrolled < 99  # randomness caps the basic method

@@ -1,0 +1,43 @@
+"""Figure 10: THCL under expected ascending insertions.
+
+Regenerates the paper's sweep — load factor ``a%``, trie size ``M`` and
+file size ``N`` against ``d = b - m`` — for 5 000 randomly drawn then
+sorted keys and b in {10, 20, 50}, exactly the simulation protocol of
+Section 4.5. Expected shape: a = 100% at d = 0; M falls from its d = 0
+peak to an interior minimum while a stays high; the growth rate s at
+full load is the highest of the sweep.
+"""
+
+from conftest import once
+
+from repro.analysis import fig10_ascending
+from repro.analysis.figures import fig_curves
+
+
+def test_fig10_ascending(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: fig10_ascending(
+            count=5000,
+            bucket_capacities=(10, 20, 50),
+            d_values=(0, 1, 2, 3, 4, 6, 8),
+        ),
+    )
+    report(
+        "fig10",
+        rows,
+        "Figure 10 - THCL ascending: a%, M, N vs d = b - m (5000 sorted keys)",
+    )
+    import pathlib
+
+    charts = "\n\n".join(fig_curves(rows, b) for b in (10, 20, 50))
+    (pathlib.Path(__file__).parent / "results" / "fig10_curves.txt").write_text(
+        charts + "\n"
+    )
+    for b in (10, 20, 50):
+        sweep = [r for r in rows if r["b"] == b]
+        assert sweep[0]["a%"] == 100          # d=0 is the compact file
+        ms = [r["M"] for r in sweep]
+        assert min(ms[1:]) < ms[0]            # M drops from the d=0 peak
+        loads = [r["a%"] for r in sweep]
+        assert loads == sorted(loads, reverse=True)

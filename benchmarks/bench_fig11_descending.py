@@ -1,0 +1,40 @@
+"""Figure 11: THCL under expected descending insertions.
+
+``m = 1`` with the bounding key at position ``m + 1 + d``. Expected
+shape: a = 100% at d = 0; M saves ~30% within small d and then the curve
+flattens, with a staying above ~90%.
+"""
+
+from conftest import once
+
+from repro.analysis import fig11_descending
+from repro.analysis.figures import fig_curves
+
+
+def test_fig11_descending(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: fig11_descending(
+            count=5000,
+            bucket_capacities=(10, 20, 50),
+            d_values=(0, 1, 2, 3, 4, 6, 8),
+        ),
+    )
+    report(
+        "fig11",
+        rows,
+        "Figure 11 - THCL descending: a%, M, N vs d = m''-m-1 (5000 keys)",
+    )
+    import pathlib
+
+    charts = "\n\n".join(fig_curves(rows, b) for b in (10, 20, 50))
+    (pathlib.Path(__file__).parent / "results" / "fig11_curves.txt").write_text(
+        charts + "\n"
+    )
+    for b in (10, 20, 50):
+        sweep = [r for r in rows if r["b"] == b]
+        assert sweep[0]["a%"] == 100
+        ms = [r["M"] for r in sweep]
+        assert ms[1] < ms[0]                  # immediate savings
+        assert min(ms) == min(ms[1:])         # no late re-increase
+        assert all(r["a%"] > 85 for r in sweep if r["d"] <= 4)

@@ -1,0 +1,28 @@
+"""Section 4.5: trie growth rate s = M/N and bytes per split.
+
+The paper: full-load (d = 0) configurations grow the trie at
+s = 1.6-2.13 cells per split (10-13 bytes), tuned configurations at
+s = 1.2-1.6 (7-9 bytes); a B-tree grows by a key + pointer, typically
+20-50 bytes per split. The trie stays several times smaller.
+"""
+
+from conftest import once
+
+from repro.analysis import growth_rate_table
+
+
+def test_growth_rate(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: growth_rate_table(count=5000, bucket_capacities=(10, 20, 50)),
+    )
+    report(
+        "growth_rate",
+        rows,
+        "Section 4.5 - trie growth per split vs B-tree (5000 sorted keys)",
+    )
+    for r in rows:
+        assert r["bytes/split"] < r["btree bytes/split"]
+        assert 1.0 <= r["s"] <= 2.6
+    full = [r for r in rows if "full load" in r["case"]]
+    assert all(r["a%"] == 100 for r in full)

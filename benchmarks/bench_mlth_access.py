@@ -1,0 +1,76 @@
+"""Sections 2.5 / 3.1-3.2: multilevel trie hashing.
+
+As the file grows, the paged trie adds levels; with the root page in
+core, two page levels (the practical ceiling the paper derives for
+gigabyte files) mean two page reads plus one bucket read per search.
+Includes the Fig 4 page-split scenario and the ordered-insertion
+split-node shift (page loads up to the 70-87% band).
+"""
+
+from conftest import once
+
+from repro import MLTHFile, SplitPolicy
+from repro.analysis import mlth_access_table
+from repro.workloads import KeyGenerator
+
+
+def test_mlth_access(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: mlth_access_table(
+            counts=(500, 2000, 8000), bucket_capacity=10, page_capacity=32
+        ),
+    )
+    report(
+        "mlth_access",
+        rows,
+        "MLTH - levels, page loads and per-search accesses vs file size",
+    )
+    assert rows[-1]["levels"] >= 3
+    assert rows[-1]["bucket_reads/search"] == 1
+    assert rows[-1]["page_reads/search"] == rows[-1]["levels"] - 1
+    for r in rows:
+        assert 40 <= r["page_load%"] <= 100
+
+
+def test_mlth_split_node_shift(benchmark, report):
+    """Section 3.2's refinement: shift the split node for ordered loads."""
+
+    def run():
+        keys = KeyGenerator(42).sorted_keys(5000)
+        rows = []
+        for pick in ("balanced", "first", "last"):
+            f = MLTHFile(
+                bucket_capacity=10,
+                page_capacity=32,
+                policy=SplitPolicy(
+                    nil_nodes=False, bounding_offset=None, merge="none"
+                ),
+                split_node_pick=pick,
+            )
+            for k in keys:
+                f.insert(k)
+            rows.append(
+                {
+                    "split node": pick,
+                    "page_load%": round(100 * f.page_load_factor(), 1),
+                    "pages": f.page_count(),
+                    "bucket_a%": round(100 * f.load_factor(), 1),
+                }
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    report(
+        "mlth_split_shift",
+        rows,
+        "MLTH - split-node shift for ascending insertions (Section 3.2)",
+    )
+    # The paper reports 70-87% page loads for tuned split nodes. Our
+    # rebuild-based pages reach that band already at the balanced pick
+    # (ascending THCL boundaries interleave extensions below their
+    # prefixes, so the best direction is workload-dependent): assert the
+    # band, not a fixed direction - see EXPERIMENTS.md.
+    assert max(r["page_load%"] for r in rows) >= 70
+    for r in rows:
+        assert 30 <= r["page_load%"] <= 100

@@ -1,0 +1,49 @@
+"""Section 4.5: the load-factor oscillation under redistribution.
+
+The paper: the ~87% figure "is however in practice only a peak result
+... buckets under insertions have tendency to fill up almost
+simultaneously to a high value and then to split, also almost
+simultaneously ... This phenomenon lowers the load almost to 50%".
+Expected shape: the redistribution run's load series peaks well above
+its mean and dips far below it; the plain run oscillates much less.
+"""
+
+from conftest import once
+
+from repro import SplitPolicy, THFile
+from repro.analysis.simulator import load_series
+from repro.workloads import KeyGenerator
+
+
+def run():
+    keys = KeyGenerator(42).uniform(5000)
+    rows = []
+    for label, policy in (
+        ("plain THCL", SplitPolicy.thcl_guaranteed_half()),
+        ("with redistribution", SplitPolicy.thcl_redistributing()),
+    ):
+        series = load_series(THFile(20, policy), keys, every=50)
+        loads = [r["load_factor"] for r in series if r["inserted"] > 500]
+        rows.append(
+            {
+                "policy": label,
+                "mean%": round(100 * sum(loads) / len(loads), 1),
+                "peak%": round(100 * max(loads), 1),
+                "trough%": round(100 * min(loads), 1),
+                "swing": round(100 * (max(loads) - min(loads)), 1),
+            }
+        )
+    return rows
+
+
+def test_redistribution_oscillation(benchmark, report):
+    rows = once(benchmark, run)
+    report(
+        "oscillation",
+        rows,
+        "Section 4.5 - redistribution load oscillation (b = 20)",
+    )
+    plain, redis = rows
+    assert redis["peak%"] >= 85              # the ~87% peak
+    assert redis["peak%"] - redis["trough%"] >= 5   # it oscillates
+    assert redis["mean%"] > plain["mean%"] + 10     # and sits far higher

@@ -1,0 +1,28 @@
+"""Section 3.1: random insertions.
+
+Basic TH at the middle split key: a_r stays near 70% for every bucket
+size, nil leaves are negligible (<~0.5%), the trie holds about one
+six-byte cell per bucket, and the B-tree baseline needs several times
+more branch bytes for the same file.
+"""
+
+from conftest import once
+
+from repro.analysis import sec31_random
+
+
+def test_sec31_random(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: sec31_random(count=5000, bucket_capacities=(10, 20, 50)),
+    )
+    report(
+        "sec31_random",
+        rows,
+        "Section 3.1 - random insertions: a_r ~ 70%, nil% < ~1, trie vs B-tree bytes",
+    )
+    for r in rows:
+        assert 62 <= r["a_r%"] <= 78
+        assert r["nil%"] <= 2.5  # paper: <0.5%; small b lands higher here
+        assert r["trie_bytes"] < r["btree_index_bytes"]
+        assert abs(r["M"] - r["N+1"]) <= 0.3 * r["N+1"]

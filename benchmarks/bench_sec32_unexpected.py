@@ -1,0 +1,32 @@
+"""Section 3.2: unexpected ordered insertions (basic TH).
+
+With the split key tuned for random insertions (m = 0.5b), ascending
+loads reach 60-73% — well above the B-tree's 50% — while descending
+loads fall to 40-55%. Lowering m toward 0.4b lifts a_d above 50% at some
+cost to a_a; a_r barely moves.
+"""
+
+from conftest import once
+
+from repro.analysis import sec32_unexpected
+
+
+def test_sec32_unexpected(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: sec32_unexpected(
+            count=5000, bucket_capacities=(10, 20, 50), fractions=(0.5, 0.4)
+        ),
+    )
+    report(
+        "sec32_unexpected",
+        rows,
+        "Section 3.2 - unexpected ordered insertions, m = 0.5b and 0.4b",
+    )
+    for b in (10, 20, 50):
+        mid = [r for r in rows if r["b"] == b][0]
+        low = [r for r in rows if r["b"] == b][1]
+        assert 55 <= mid["a_a%"] <= 80       # paper band 60-73
+        assert 35 <= mid["a_d%"] <= 60       # paper band 40-55
+        assert low["a_d%"] > mid["a_d%"]     # lowering m helps a_d
+        assert abs(low["a_r%"] - mid["a_r%"]) < 8  # a_r barely moves

@@ -1,0 +1,29 @@
+"""Section 4.5: the THCL guarantees.
+
+Deterministic, nil-free splits give exact control: 100% load for the
+expected ordered case in either direction, exactly ~50% for unexpected
+ordered insertions in either direction, ~70% random, and a hard b//2
+floor under deletions.
+"""
+
+from conftest import once
+
+from repro.analysis import sec45_guarantees
+
+
+def test_sec45_guarantees(benchmark, report):
+    rows = once(
+        benchmark, lambda: sec45_guarantees(count=5000, bucket_capacity=20)
+    )
+    report(
+        "sec45_guarantees",
+        rows,
+        "Section 4.5 - THCL guaranteed loads (b = 20, 5000 keys)",
+    )
+    by = {r["case"]: r for r in rows}
+    assert by["expected ascending, d=0"]["a%"] == 100
+    assert by["expected descending, d=0"]["a%"] == 100
+    assert by["unexpected ascending"]["a%"] >= 49.5
+    assert by["unexpected descending"]["a%"] >= 49.5
+    assert 62 <= by["random insertions"]["a%"] <= 78
+    assert by["after deleting 80% (floor b//2)"]["min_bucket"] >= 10

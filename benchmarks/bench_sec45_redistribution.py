@@ -1,0 +1,31 @@
+"""Section 4.5: redistribution.
+
+B-tree-style redistribution applied to THCL lifts the random load toward
+the ~87% peak and pushes unexpected ordered loads to ~100%, at the price
+of neighbour probes during splits and a larger trie.
+"""
+
+from conftest import once
+
+from repro.analysis import sec45_redistribution
+
+
+def test_sec45_redistribution(benchmark, report):
+    rows = once(
+        benchmark,
+        lambda: sec45_redistribution(count=5000, bucket_capacity=20),
+    )
+    report(
+        "sec45_redistribution",
+        rows,
+        "Section 4.5 - redistribution: loads vs plain THCL (b = 20)",
+    )
+    by = {(r["order"], r["policy"]): r for r in rows}
+    plain = by[("random", "plain THCL")]["a%"]
+    redis = by[("random", "with redistribution")]["a%"]
+    assert redis > plain
+    assert redis >= 80                      # toward the 87% peak
+    assert by[("unexpected ascending", "with redistribution")]["a%"] >= 95
+    for r in rows:
+        if r["policy"] != "plain THCL":
+            assert r["redistributions"] > 0

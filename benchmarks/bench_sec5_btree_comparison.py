@@ -1,0 +1,38 @@
+"""Section 5: the comparison to B-trees.
+
+The criteria the paper argues with, measured side by side on the same
+key sets: load factor, disk accesses per search, accesses per insert,
+and index bytes - for random and for (unexpected/expected) ascending
+insertions. Expected shape: TH searches in one access against the
+B-tree's height; insert costs favour TH; index bytes favour TH several
+times over; on ordered loads THCL matches the compact B-tree's 100%.
+"""
+
+from conftest import once
+
+from repro.analysis import sec5_btree_comparison
+
+
+def test_sec5_btree_comparison(benchmark, report):
+    rows = once(
+        benchmark, lambda: sec5_btree_comparison(count=5000, bucket_capacity=20)
+    )
+    report(
+        "sec5_btree",
+        rows,
+        "Section 5 - TH / THCL vs B+-tree (5000 keys, b = 20)",
+    )
+    th = [r for r in rows if r["method"].startswith(("TH", "THCL"))]
+    bt = [r for r in rows if r["method"].startswith("B+-tree")]
+    assert all(r["search_acc"] == 1 for r in th)
+    assert all(r["search_acc"] >= 2 for r in bt)
+    for order in ("random", "ascending"):
+        t = min(r["insert_acc"] for r in th if r["order"] == order)
+        b = min(r["insert_acc"] for r in bt if r["order"] == order)
+        assert t < b
+        ti = min(r["index_bytes"] for r in th if r["order"] == order)
+        bi = min(r["index_bytes"] for r in bt if r["order"] == order)
+        assert ti < bi
+    asc = {r["method"]: r for r in rows if r["order"] == "ascending"}
+    assert [v for k, v in asc.items() if "THCL" in k][0]["a%"] >= 99
+    assert [v for k, v in asc.items() if "B+-tree" in k][0]["a%"] >= 99

@@ -1,0 +1,124 @@
+"""Micro-benchmarks: operation throughput of the three access methods.
+
+Not a paper artifact per se, but the operational backing of Section 5's
+"fast search within a page": A1 compares one digit per visited node, so
+in-core search stays cheap even for large tries.
+"""
+
+import pytest
+
+from repro import BPlusTree, MLTHFile, SplitPolicy, THFile
+from repro.workloads import KeyGenerator
+
+KEYS = KeyGenerator(99).uniform(5000)
+PROBES = KEYS[::7]
+
+
+@pytest.fixture(scope="module")
+def th_file():
+    f = THFile(bucket_capacity=20)
+    for k in KEYS:
+        f.insert(k)
+    return f
+
+
+@pytest.fixture(scope="module")
+def mlth_file():
+    f = MLTHFile(bucket_capacity=20, page_capacity=64)
+    for k in KEYS:
+        f.insert(k)
+    return f
+
+
+@pytest.fixture(scope="module")
+def btree():
+    t = BPlusTree(leaf_capacity=20)
+    for k in KEYS:
+        t.insert(k)
+    return t
+
+
+def test_search_throughput_th(benchmark, th_file):
+    benchmark(lambda: [th_file.get(k) for k in PROBES])
+
+
+def test_search_throughput_mlth(benchmark, mlth_file):
+    benchmark(lambda: [mlth_file.get(k) for k in PROBES])
+
+
+def test_search_throughput_btree(benchmark, btree):
+    benchmark(lambda: [btree.get(k) for k in PROBES])
+
+
+def test_insert_throughput_th(benchmark):
+    def build():
+        f = THFile(bucket_capacity=20)
+        for k in KEYS[:2000]:
+            f.insert(k)
+        return f
+
+    benchmark(build)
+
+
+def test_insert_throughput_btree(benchmark):
+    def build():
+        t = BPlusTree(leaf_capacity=20)
+        for k in KEYS[:2000]:
+            t.insert(k)
+        return t
+
+    benchmark(build)
+
+
+def test_range_scan_throughput(benchmark, th_file):
+    s = sorted(KEYS)
+    lo, hi = s[1000], s[3000]
+    out = benchmark(lambda: sum(1 for _ in th_file.range_items(lo, hi)))
+    assert out == 2001
+
+
+def test_bulk_load_th(benchmark):
+    """Bottom-up compact build: the fast path for sorted loads."""
+    from repro import bulk_load_th
+
+    s = sorted(KEYS)
+    f = benchmark(lambda: bulk_load_th(((k, None) for k in s), bucket_capacity=20))
+    assert f.load_factor() > 0.95
+
+
+def test_incremental_compact_build(benchmark):
+    """The same compact file built through per-insert splitting."""
+    s = sorted(KEYS)
+
+    def build():
+        f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_ascending(0))
+        for k in s:
+            f.insert(k)
+        return f
+
+    f = benchmark(build)
+    assert f.load_factor() > 0.95
+
+
+def test_search_unbalanced_trie(benchmark):
+    """In-core search over the skewed trie an ordered load builds."""
+    from repro import SplitPolicy
+
+    s = sorted(KEYS)
+    f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_guaranteed_half())
+    for k in s:
+        f.insert(k)
+    benchmark(lambda: [f.trie.search(k) for k in PROBES])
+
+
+def test_search_balanced_trie(benchmark):
+    """The same trie after the Section 2.6 canonical rebalancing."""
+    from repro import SplitPolicy
+    from repro.core.balance import balance
+
+    s = sorted(KEYS)
+    f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_guaranteed_half())
+    for k in s:
+        f.insert(k)
+    trie = balance(f.trie)
+    benchmark(lambda: [trie.search(k) for k in PROBES])

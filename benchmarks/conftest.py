@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper (see
+EXPERIMENTS.md). The ``report`` fixture prints the reproduced table on
+the real stdout (even under pytest capture) and archives it under
+``benchmarks/results/`` so a plain ``pytest benchmarks/ --benchmark-only``
+run leaves the full reproduction on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """Print and archive an experiment's table."""
+
+    def _report(name: str, rows, title: str) -> None:
+        text = format_table(rows, title=title)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""TH versus the B+-tree: the Section 5 comparison, live.
+
+Loads the same records into basic TH, THCL and a B+-tree under two
+regimes (random and unexpected-ascending insertions) and prints the
+criteria the paper argues with: load factor, disk accesses per search
+and insert, index bytes, and the deletion floor.
+
+Run:  python examples/btree_showdown.py
+"""
+
+from repro.analysis import format_table, sec5_btree_comparison
+from repro import BPlusTree, SplitPolicy, THFile
+from repro.workloads import KeyGenerator
+
+
+def deletion_floor_demo() -> None:
+    keys = KeyGenerator(5).uniform(3000)
+    th = THFile(bucket_capacity=10, policy=SplitPolicy.thcl())
+    bt = BPlusTree(leaf_capacity=10)
+    for k in keys:
+        th.insert(k)
+        bt.insert(k)
+    import random
+
+    victims = list(keys)
+    random.Random(5).shuffle(victims)
+    for k in victims[:2400]:
+        th.delete(k)
+        bt.delete(k)
+    th_sizes = [len(th.store.peek(a)) for a in th.store.live_addresses()]
+    from repro.btree.node import LeafNode
+
+    bt_sizes = [len(n) for _, n in bt._walk_nodes() if isinstance(n, LeafNode)]
+    print("\nafter deleting 80% of records (floor = b//2 = 5):")
+    print(f"  THCL  : min bucket {min(th_sizes)}, load {th.load_factor():.1%}")
+    print(f"  B+tree: min leaf   {min(bt_sizes)}, load {bt.load_factor():.1%}")
+
+
+def main() -> None:
+    rows = sec5_btree_comparison(count=4000, bucket_capacity=20)
+    print(format_table(rows, title="Section 5 criteria (4000 keys, b = 20)"))
+    print(
+        "\nreading the table:\n"
+        " - search_acc: TH keeps the trie in core -> 1 access; the\n"
+        "   B+-tree descends height-many nodes (root unpinned here).\n"
+        " - index_bytes: six-byte cells vs key+pointer branch entries.\n"
+        " - ascending order: THCL and the compact B-tree both hit 100%\n"
+        "   load, but the trie stays several times smaller."
+    )
+    deletion_floor_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Concurrency: why trie hashing out-concurs a B-tree (/VID87/).
+
+Replays the same mixed workload (searches + inserts) through the two
+locking protocols — TH locks only the target bucket plus the allocation
+counter N on splits; the B-tree lock-couples down from the root — and
+simulates 1..16 concurrent clients.
+
+Run:  python examples/concurrent_clients.py
+"""
+
+from repro import BPlusTree, THFile
+from repro.concurrency import (
+    btree_operation_schedule,
+    simulate_clients,
+    th_operation_schedule,
+)
+from repro.workloads import KeyGenerator
+
+
+def schedules(method: str, present, fresh):
+    out = []
+    if method == "TH":
+        f = THFile(bucket_capacity=10)
+        for k in present:
+            f.insert(k)
+        make = lambda op, k: th_operation_schedule(f, op, k)  # noqa: E731
+    else:
+        t = BPlusTree(leaf_capacity=10)
+        for k in present:
+            t.insert(k)
+        make = lambda op, k: btree_operation_schedule(t, op, k)  # noqa: E731
+    for i, key in enumerate(fresh):
+        out.append(make("insert", key))
+        out.append(make("search", present[i % len(present)]))
+    return out
+
+
+def main() -> None:
+    gen = KeyGenerator(1987)
+    present = gen.uniform(2000)
+    fresh = gen.uniform(500, salt=9)
+
+    print(f"{'method':8s} {'clients':>7s} {'conflicts':>9s} "
+          f"{'wait':>7s} {'makespan':>8s} {'speedup':>8s}")
+    for method in ("TH", "B+-tree"):
+        ops = schedules(method, present, fresh)
+        baseline = None
+        for clients in (1, 2, 4, 8, 16):
+            report = simulate_clients(ops, clients)
+            if baseline is None:
+                baseline = report.makespan
+            print(
+                f"{method:8s} {clients:7d} {report.conflicts:9d} "
+                f"{report.wait_ticks:7d} {report.makespan:8d} "
+                f"{baseline / report.makespan:7.1f}x"
+            )
+    print(
+        "\nTH's one-bucket-plus-N locking keeps conflicts near zero, so "
+        "extra clients convert almost\nlinearly into throughput; the "
+        "B-tree's root coupling throttles its scaling (/VID87/, Sec 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

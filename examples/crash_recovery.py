@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Trie reconstruction after a crash (/TOR83/, Section 6).
+
+Every bucket header stores the logical path that last addressed it, so
+the access structure is redundant: if the in-core trie is lost, one
+sweep of the buckets rebuilds an equivalent — and canonically balanced —
+trie. This example destroys the trie of a loaded file, reconstructs it,
+verifies every record, and shows the depth improvement the paper
+mentions ("the reconstructed trie may be in addition better balanced").
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import THFile
+from repro.core.reconstruct import reconstruct_trie
+from repro.workloads import synthetic_dictionary
+
+
+def main() -> None:
+    words = synthetic_dictionary(6000, seed=42)
+    f = THFile(bucket_capacity=10)
+    for w in words:  # sorted insertions: produces a badly skewed trie
+        f.insert(w)
+
+    print(f"loaded {len(f)} words into {f.bucket_count()} buckets")
+    print(f"original trie : {f.trie_size()} cells, depth {f.trie.depth()}")
+
+    # --- The crash ------------------------------------------------------
+    lost_depth = f.trie.depth()
+    f.trie = None  # the in-core trie is gone
+    print("\n*** crash: in-core trie lost ***\n")
+
+    # --- Recovery: one sweep of the buckets -----------------------------
+    reads_before = f.store.disk.stats.reads
+    f.trie = reconstruct_trie(f.store, f.alphabet)
+    sweep = f.store.disk.stats.reads - reads_before
+    print(f"reconstructed from bucket headers in {sweep} bucket reads")
+    print(
+        f"rebuilt trie  : {f.trie.node_count} cells, depth "
+        f"{f.trie.depth()} (was {lost_depth})"
+    )
+
+    # --- Verify and resume normal service --------------------------------
+    for w in words:
+        assert f.contains(w), w
+    missing = sum(1 for w in ("zzzz", "qqqq") if f.contains(w))
+    assert missing == 0
+    f.insert("zzzz")
+    f.check()
+    print("\nall records verified; file accepts new insertions - recovered.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Multikey trie hashing: two-attribute records and rectangle queries.
+
+A (surname, city) file addressed by interleaved digits: exact lookups
+cost one access like single-key TH; axis-aligned rectangle queries ride
+the z-order curve (one composite range scan plus a filter). At the end,
+the grid-file directory model shows the directory blow-up the paper
+predicts tries avoid.
+
+Run:  python examples/multikey_points.py
+"""
+
+from repro.multikey import GridDirectoryModel, MultikeyTHFile
+from repro.workloads import KeyGenerator
+
+
+def main() -> None:
+    gen = KeyGenerator(7)
+    surnames = gen.skewed(800, length=6, concentration=1.5, salt=1)
+    cities = gen.skewed(800, length=6, concentration=1.5, salt=2)
+    people = sorted(set(zip(surnames, cities)))
+
+    f = MultikeyTHFile((6, 6), bucket_capacity=20)
+    for i, person in enumerate(people):
+        f.insert(person, i)
+    print(f"{len(f)} (surname, city) records; "
+          f"trie cells = {f.directory_size()}, load = {f.load_factor():.1%}")
+
+    # --- Exact match: one disk access --------------------------------
+    target = people[123]
+    before = f.file.store.disk.stats.reads
+    f.get(target)
+    print(f"exact lookup {target}: "
+          f"{f.file.store.disk.stats.reads - before} disk access")
+
+    # --- Rectangle query ----------------------------------------------
+    lows, highs = ("b", "a"), ("d", "c")
+    matches, scanned = f.rectangle_stats(lows, highs)
+    print(
+        f"\nrectangle surname in [b,d], city in [a,c]: "
+        f"{matches} hits out of {scanned} scanned candidates "
+        f"({matches / max(scanned, 1):.0%} z-scan selectivity)"
+    )
+    sample = list(f.rectangle(lows, highs))[:5]
+    for values, payload in sample:
+        print(f"  {values} -> record #{payload}")
+
+    # --- The grid-file comparison --------------------------------------
+    grid = GridDirectoryModel(2, bucket_capacity=20)
+    for person in people:
+        grid.insert(person)
+    print(
+        f"\ndirectory sizes for the same data:\n"
+        f"  grid file : {grid.directory_size()} entries "
+        f"(scales {grid.scale_sizes()}, only {grid.occupied_cells()} cells "
+        "hold data)\n"
+        f"  trie      : {f.directory_size()} cells "
+        "- no cross-product blow-up under skew (Section 6)"
+    )
+
+
+if __name__ == "__main__":
+    main()

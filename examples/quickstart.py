@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's running example, then the basic API tour.
+
+Builds the Fig 1 file — the 31 most-used English words in buckets of
+four — and walks through search, ordered iteration, range queries,
+deletion and the file statistics the paper reports (load factor ~70%,
+one disk access per search, a six-byte-per-cell trie).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import THFile
+from repro.storage.serializer import serialize_trie
+from repro.workloads import MOST_USED_WORDS
+
+
+def main() -> None:
+    # --- Build the example file ---------------------------------------
+    f = THFile(bucket_capacity=4)
+    for rank, word in enumerate(MOST_USED_WORDS, start=1):
+        f.insert(word, rank)  # value = frequency rank
+
+    print("Fig 1 example file")
+    print(f"  records      : {len(f)}")
+    print(f"  buckets (N+1): {f.bucket_count()}")
+    print(f"  trie cells M : {f.trie_size()}")
+    print(f"  load factor  : {f.load_factor():.1%}")
+    print(f"  trie bytes   : {len(serialize_trie(f.trie))} "
+          "(six bytes per cell plus a small header)")
+
+    # --- Key search: one disk access ----------------------------------
+    reads_before = f.store.disk.stats.reads
+    rank = f.get("which")
+    print(f"\nget('which') -> rank {rank} "
+          f"({f.store.disk.stats.reads - reads_before} disk access)")
+
+    # --- The file is ordered: range queries work ----------------------
+    print("\nwords in ['h', 'j']:")
+    for word, rank in f.range_items("h", "j"):
+        print(f"  {word:8s} rank {rank}")
+
+    # --- Updates -------------------------------------------------------
+    f.insert("hat", None)          # the Fig 3 insertion: splits bucket 7
+    print(f"\nafter inserting 'hat': buckets={f.bucket_count()}, "
+          f"cells={f.trie_size()} (the split added node (a,1))")
+    f.delete("hat")
+    f.put("the", "most frequent")  # overwrite
+    print(f"get('the') -> {f.get('the')!r}")
+
+    # --- The trie itself -----------------------------------------------
+    print("\ntrie boundaries (the cut points, in key order):")
+    print("  " + " | ".join(f.trie.boundaries()))
+    print("\nbuckets:")
+    for address in sorted(f.store.live_addresses()):
+        bucket = f.store.peek(address)
+        print(f"  {address:2d}: {' '.join(bucket.keys)}")
+
+
+if __name__ == "__main__":
+    main()

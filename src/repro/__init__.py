@@ -1,0 +1,80 @@
+"""Trie Hashing with Controlled Load — a full reproduction.
+
+This library reproduces W. Litwin et al.'s trie hashing family of access
+methods for primary-key ordered dynamic files:
+
+* **TH** — basic trie hashing (/LIT81/, SIGMOD 1981): key search through
+  an in-core binary digit trie, one disk access per lookup;
+* **THCL** — trie hashing with controlled load: deterministic splits,
+  shared leaves instead of nil nodes, any target load factor up to 100%,
+  redistribution, and a guaranteed 50% floor under deletions;
+* **MLTH** — multilevel trie hashing: the trie itself paged to disk,
+  two accesses per lookup for gigabyte-scale files;
+* a **B+-tree** baseline (:mod:`repro.btree`) for every comparison the
+  paper draws.
+
+Quickstart::
+
+    from repro import THFile, SplitPolicy
+
+    f = THFile(bucket_capacity=4)          # basic trie hashing
+    for word in ["the", "of", "and", "to", "a"]:
+        f.insert(word)
+    assert "the" in f
+    print(list(f.range_items("a", "of")))
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduction of every figure and table of the paper.
+"""
+
+from .btree import BPlusTree, bulk_load_compact
+from .core import (
+    ALPHANUMERIC,
+    DEFAULT_ALPHABET,
+    LOWERCASE,
+    PRINTABLE,
+    Alphabet,
+    CapacityError,
+    DuplicateKeyError,
+    FileStats,
+    InvalidKeyError,
+    KeyNotFoundError,
+    SplitPolicy,
+    StorageError,
+    THFile,
+    Trie,
+    TrieCorruptionError,
+    TrieHashingError,
+)
+from .core.bulk import bulk_load_th
+from .core.cursor import Cursor
+from .core.mlth import MLTHFile
+from .core.overflow import OverflowTHFile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "ALPHANUMERIC",
+    "DEFAULT_ALPHABET",
+    "LOWERCASE",
+    "PRINTABLE",
+    "CapacityError",
+    "DuplicateKeyError",
+    "InvalidKeyError",
+    "KeyNotFoundError",
+    "StorageError",
+    "TrieCorruptionError",
+    "TrieHashingError",
+    "FileStats",
+    "THFile",
+    "MLTHFile",
+    "OverflowTHFile",
+    "Cursor",
+    "BPlusTree",
+    "bulk_load_compact",
+    "bulk_load_th",
+    "SplitPolicy",
+    "Trie",
+    "__version__",
+]

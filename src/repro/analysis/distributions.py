@@ -1,0 +1,78 @@
+"""Distributional statistics behind the paper's aggregate numbers.
+
+The paper explains its curves through distributions it never plots: the
+d = 0 trie is large because *adjacent keys share more digits*, so split
+strings get longer (Section 4.5 (i)); bucket loads oscillate around the
+mean; ordered insertions skew leaf depths. This module computes those
+distributions so the explanations can be checked, not just quoted:
+
+* :func:`bucket_load_histogram` — records per bucket;
+* :func:`boundary_length_histogram` — split-string (boundary) lengths,
+  the direct driver of trie size;
+* :func:`leaf_depth_histogram` — the in-core search cost profile.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List
+
+from ..core.cells import edge_target, is_edge
+from ..core.trie import Trie
+
+__all__ = [
+    "bucket_load_histogram",
+    "boundary_length_histogram",
+    "leaf_depth_histogram",
+    "summarize",
+]
+
+
+def bucket_load_histogram(file) -> Dict[int, int]:
+    """``records per bucket -> bucket count`` for a TH/MLTH file."""
+    counts: Counter = Counter()
+    for address in file.store.live_addresses():
+        counts[len(file.store.peek(address))] += 1
+    return dict(sorted(counts.items()))
+
+
+def boundary_length_histogram(trie: Trie) -> Dict[int, int]:
+    """``boundary length (digits) -> count`` over the trie's cut points.
+
+    Each boundary was once a split string (or a prefix the chain had to
+    fill in), so this is the distribution that Section 4.5 reasons with:
+    compact loads push it right, tuned d-values pull it left.
+    """
+    counts: Counter = Counter()
+    for boundary in trie.boundaries():
+        counts[len(boundary)] += 1
+    return dict(sorted(counts.items()))
+
+
+def leaf_depth_histogram(trie: Trie) -> Dict[int, int]:
+    """``depth (nodes on the path) -> leaf count``."""
+    counts: Counter = Counter()
+    stack = [(trie.root, 0)]
+    while stack:
+        ptr, depth = stack.pop()
+        if is_edge(ptr):
+            cell = trie.cells[edge_target(ptr)]
+            stack.append((cell.lp, depth + 1))
+            stack.append((cell.rp, depth + 1))
+        else:
+            counts[depth] += 1
+    return dict(sorted(counts.items()))
+
+
+def summarize(histogram: Dict[int, int]) -> Dict[str, float]:
+    """Mean / min / max / total of an integer histogram."""
+    if not histogram:
+        return {"mean": 0.0, "min": 0, "max": 0, "total": 0}
+    total = sum(histogram.values())
+    mean = sum(value * count for value, count in histogram.items()) / total
+    return {
+        "mean": round(mean, 3),
+        "min": min(histogram),
+        "max": max(histogram),
+        "total": total,
+    }

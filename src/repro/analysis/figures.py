@@ -1,0 +1,85 @@
+"""ASCII curve rendering for the paper's figures.
+
+Figures 10 and 11 are plots — load factor and trie size against the
+split-distance ``d``. The benchmark harness archives their data as
+tables; this module additionally renders the curves as terminal plots so
+the *shape* claims (the M minimum of Fig 10, the flattening of Fig 11)
+are visible at a glance in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["ascii_chart", "fig_curves"]
+
+
+def ascii_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot one or more ``name -> [(x, y), ...]`` series on a text grid.
+
+    Each series gets its own marker; axes are annotated with the data
+    ranges. Intended for monotone-x sweeps like the d-sweeps.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@"
+    for (name, pts), marker in zip(series.items(), markers):
+        for x, y in pts:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.1f} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " │" + "".join(row))
+    lines.append(f"{y_lo:>10.1f} ┤" + "".join(grid[-1]))
+    lines.append(" " * 10 + " └" + "─" * width)
+    lines.append(
+        " " * 12 + f"{x_lo:<.0f}" + " " * (width - 8) + f"{x_hi:>.0f}"
+    )
+    legend = "   ".join(
+        f"{marker} {name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def fig_curves(rows: Sequence[Dict[str, object]], bucket_capacity: int) -> str:
+    """Render one bucket size's Fig 10/11 sweep: a% and M versus d.
+
+    ``rows`` are the dictionaries produced by
+    :func:`repro.analysis.experiments.fig10_ascending` /
+    :func:`fig11_descending`. The trie size is normalised to its peak so
+    both curves share the 0-100 scale, exactly how the paper plots them.
+    """
+    sweep = [r for r in rows if r["b"] == bucket_capacity]
+    if not sweep:
+        return f"(no rows for b = {bucket_capacity})"
+    peak_m = max(float(r["M"]) for r in sweep)
+    series = {
+        "a%": [(float(r["d"]), float(r["a%"])) for r in sweep],
+        "M (% of peak)": [
+            (float(r["d"]), 100.0 * float(r["M"]) / peak_m) for r in sweep
+        ],
+    }
+    return ascii_chart(
+        series,
+        title=f"b = {bucket_capacity}: load factor and trie size vs d",
+    )

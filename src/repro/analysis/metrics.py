@@ -1,0 +1,88 @@
+"""The paper's metrics, computed uniformly over all file kinds.
+
+Load factor ``a = x / (b (N+1))``, trie size ``M`` (cells), growth rate
+``s = M / N``, nil-leaf percentage, index bytes, and per-operation disk
+access costs measured as counter deltas around an operation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..storage.layout import Layout
+
+__all__ = ["file_metrics", "access_cost", "average_access_cost"]
+
+
+def file_metrics(file, layout: Layout = None) -> Dict[str, float]:
+    """A snapshot of the paper's file-level quantities.
+
+    Works for :class:`~repro.core.file.THFile`,
+    :class:`~repro.core.mlth.MLTHFile` and
+    :class:`~repro.btree.BPlusTree` (duck-typed: each exposes the
+    quantities it has; missing ones are absent from the dict).
+    """
+    layout = layout or Layout()
+    out: Dict[str, float] = {"records": len(file)}
+    if hasattr(file, "load_factor"):
+        out["load_factor"] = file.load_factor()
+    if hasattr(file, "bucket_count"):
+        out["buckets"] = file.bucket_count()
+    if hasattr(file, "trie_size"):
+        out["trie_cells"] = file.trie_size()
+        out["index_bytes"] = layout.trie_bytes(file.trie_size())
+    if hasattr(file, "growth_rate"):
+        out["growth_rate"] = file.growth_rate()
+    if hasattr(file, "nil_leaf_fraction"):
+        out["nil_fraction"] = file.nil_leaf_fraction()
+    if hasattr(file, "page_load_factor"):
+        out["page_load"] = file.page_load_factor()
+        out["levels"] = file.levels()
+        out["pages"] = file.page_count()
+    if hasattr(file, "separator_count"):
+        out["separators"] = file.separator_count()
+        out["index_bytes"] = file.index_bytes()
+        out["height"] = file.height
+        out["buckets"] = file.leaf_count()
+    return out
+
+
+def _disks_of(file):
+    disks = []
+    if hasattr(file, "store"):
+        disks.append(file.store.disk)
+    if hasattr(file, "page_disk"):
+        disks.append(file.page_disk)
+    if hasattr(file, "disk") and file.disk not in disks:
+        disks.append(file.disk)
+    return disks
+
+
+def access_cost(file, operation: Callable[[], object]) -> Dict[str, int]:
+    """Disk accesses one operation performs, as counter deltas.
+
+    Returns ``{'reads': r, 'writes': w, 'accesses': r + w}`` summed over
+    every device the file touches (bucket store and, for MLTH, the page
+    disk).
+    """
+    disks = _disks_of(file)
+    before = [d.stats.snapshot() for d in disks]
+    operation()
+    reads = writes = 0
+    for disk, snap in zip(disks, before):
+        delta = disk.stats.delta(snap)
+        reads += delta.reads
+        writes += delta.writes
+    return {"reads": reads, "writes": writes, "accesses": reads + writes}
+
+
+def average_access_cost(file, operations) -> Dict[str, float]:
+    """Mean access cost over a sequence of thunks."""
+    totals = {"reads": 0, "writes": 0, "accesses": 0}
+    count = 0
+    for op in operations:
+        cost = access_cost(file, op)
+        for k in totals:
+            totals[k] += cost[k]
+        count += 1
+    return {k: v / count for k, v in totals.items()} if count else totals

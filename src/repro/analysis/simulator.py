@@ -1,0 +1,52 @@
+"""Workload drivers.
+
+Thin helpers that push key sequences through a file and collect the
+evolution of the paper's metrics — the raw material of Figures 10-11's
+curves and of the oscillation discussion in Section 4.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from .metrics import file_metrics
+
+__all__ = ["insert_all", "load_series", "delete_all"]
+
+
+def insert_all(file, keys: Iterable[str], value: object = None):
+    """Insert every key (each with ``value``); returns the file."""
+    for key in keys:
+        file.insert(key, value)
+    return file
+
+
+def delete_all(file, keys: Iterable[str]):
+    """Delete every key; returns the file."""
+    for key in keys:
+        file.delete(key)
+    return file
+
+
+def load_series(
+    file, keys: Iterable[str], every: int = 100
+) -> List[Dict[str, float]]:
+    """Insert keys, sampling :func:`file_metrics` every ``every`` inserts.
+
+    The returned rows carry an ``inserted`` count; the final state is
+    always sampled.
+    """
+    rows: List[Dict[str, float]] = []
+    inserted = 0
+    for key in keys:
+        file.insert(key)
+        inserted += 1
+        if inserted % every == 0:
+            row = file_metrics(file)
+            row["inserted"] = inserted
+            rows.append(row)
+    if not rows or rows[-1]["inserted"] != inserted:
+        row = file_metrics(file)
+        row["inserted"] = inserted
+        rows.append(row)
+    return rows

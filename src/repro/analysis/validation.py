@@ -1,0 +1,197 @@
+"""One-command validation: does this build still reproduce the paper?
+
+``trie-hashing validate`` runs a condensed version of every reproduced
+claim and prints PASS/FAIL per item — the release-gate a downstream user
+can run in under a minute, without pytest. Each check is a named
+predicate over a freshly built file; sizes are reduced relative to the
+benchmark harness but large enough for the statistical bands to hold.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from ..btree import BPlusTree
+from ..core.file import THFile
+from ..core.mlth import MLTHFile
+from ..core.policies import SplitPolicy
+from ..workloads.generators import KeyGenerator
+
+__all__ = ["validate_all", "CLAIMS"]
+
+
+def _sorted_keys(n=1500, seed=42):
+    return KeyGenerator(seed).sorted_keys(n)
+
+
+def _random_keys(n=1500, seed=42):
+    return KeyGenerator(seed).uniform(n)
+
+
+def _fill(policy, keys, b=20):
+    f = THFile(b, policy)
+    for k in keys:
+        f.insert(k)
+    return f
+
+
+def _check_compact_ascending() -> bool:
+    f = _fill(SplitPolicy.thcl_ascending(0), _sorted_keys())
+    f.check()
+    return f.load_factor() > 0.99
+
+
+def _check_compact_descending() -> bool:
+    f = _fill(SplitPolicy.thcl_descending(0), list(reversed(_sorted_keys())))
+    f.check()
+    return f.load_factor() > 0.99
+
+
+def _check_guaranteed_half() -> bool:
+    asc = _fill(SplitPolicy.thcl_guaranteed_half(), _sorted_keys())
+    desc = _fill(
+        SplitPolicy.thcl_guaranteed_half(), list(reversed(_sorted_keys()))
+    )
+    return asc.load_factor() >= 0.495 and desc.load_factor() >= 0.495
+
+
+def _check_random_seventy() -> bool:
+    f = _fill(SplitPolicy.basic_th(), _random_keys())
+    return 0.60 <= f.load_factor() <= 0.78
+
+
+def _check_one_access_search() -> bool:
+    f = _fill(SplitPolicy.basic_th(), _random_keys())
+    keys = _random_keys()
+    before = f.store.disk.stats.reads
+    for k in keys[:100]:
+        f.get(k)
+    return f.store.disk.stats.reads - before == 100
+
+
+def _check_deletion_floor() -> bool:
+    f = _fill(SplitPolicy.thcl(), _random_keys(), b=10)
+    victims = _random_keys()
+    random.Random(1).shuffle(victims)
+    for k in victims[:1200]:
+        f.delete(k)
+    f.check()
+    live = f.store.live_addresses()
+    return len(live) <= 1 or min(len(f.store.peek(a)) for a in live) >= 5
+
+
+def _check_redistribution_load() -> bool:
+    f = _fill(SplitPolicy.thcl_redistributing(), _random_keys())
+    return f.load_factor() >= 0.78
+
+
+def _check_fig10_minimum() -> bool:
+    keys = _sorted_keys(2500)
+    sizes = []
+    for d in (0, 2, 4, 6):
+        policy = SplitPolicy(
+            split_position=-(d + 1),
+            bounding_offset=None,
+            nil_nodes=False,
+            merge="guaranteed",
+        )
+        sizes.append(_fill(policy, keys).trie_size())
+    return min(sizes[1:]) < sizes[0]
+
+
+def _check_mlth_two_accesses() -> bool:
+    f = MLTHFile(bucket_capacity=5, page_capacity=16)
+    keys = _random_keys(2500)
+    for k in keys:
+        f.insert(k)
+    f.check()
+    pages, buckets = f.search_cost(keys[0])
+    return buckets == 1 and pages == f.levels() - 1
+
+
+def _check_btree_comparison() -> bool:
+    keys = _random_keys()
+    th = _fill(SplitPolicy.basic_th(), keys)
+    bt = BPlusTree(leaf_capacity=20, pin_root=False)
+    for k in keys:
+        bt.insert(k)
+    th_reads = th.store.disk.stats.snapshot()
+    th.get(keys[0])
+    th_cost = th.store.disk.stats.delta(th_reads).reads
+    bt_reads = bt.disk.stats.snapshot()
+    bt.get(keys[0])
+    bt_cost = bt.disk.stats.delta(bt_reads).reads
+    return th_cost < bt_cost and 6 * th.trie_size() < bt.index_bytes()
+
+
+def _check_reconstruction() -> bool:
+    from ..core.reconstruct import reconstruct_trie
+
+    f = _fill(SplitPolicy.basic_th(), _random_keys(800))
+    rebuilt = reconstruct_trie(f.store, f.alphabet)
+    return all(
+        rebuilt.search(k).bucket == f.trie.search(k).bucket
+        for k in _random_keys(800)[:200]
+    )
+
+
+def _check_concurrency() -> bool:
+    from ..concurrency import (
+        btree_operation_schedule,
+        simulate_clients,
+        th_operation_schedule,
+    )
+
+    gen = KeyGenerator(5)
+    present = gen.uniform(600)
+    fresh = gen.uniform(150, salt=2)
+    f = THFile(10)
+    t = BPlusTree(leaf_capacity=10)
+    for k in present:
+        f.insert(k)
+        t.insert(k)
+    th_ops = [th_operation_schedule(f, "insert", k) for k in fresh]
+    bt_ops = [btree_operation_schedule(t, "insert", k) for k in fresh]
+    th_report = simulate_clients(th_ops, 8)
+    bt_report = simulate_clients(bt_ops, 8)
+    return th_report.conflicts < bt_report.conflicts
+
+
+#: Claim id -> (description, checker).
+CLAIMS: Dict[str, tuple] = {
+    "compact-ascending": ("THCL d=0 ascending loads to 100%", _check_compact_ascending),
+    "compact-descending": ("THCL d=0 descending loads to 100%", _check_compact_descending),
+    "guaranteed-half": ("unexpected ordered loads hold >= 50%", _check_guaranteed_half),
+    "random-seventy": ("random insertions load ~70%", _check_random_seventy),
+    "one-access": ("key search costs one disk access", _check_one_access_search),
+    "deletion-floor": ("deletions keep every bucket >= b//2", _check_deletion_floor),
+    "redistribution": ("redistribution lifts random load toward 87%", _check_redistribution_load),
+    "fig10-minimum": ("Fig 10: trie size has an interior minimum", _check_fig10_minimum),
+    "mlth-two-accesses": ("MLTH: levels-1 page reads + 1 bucket read", _check_mlth_two_accesses),
+    "btree-comparison": ("TH beats the B-tree on accesses and index size", _check_btree_comparison),
+    "reconstruction": ("trie rebuilds from bucket headers", _check_reconstruction),
+    "concurrency": ("TH out-concurs the B-tree (/VID87/)", _check_concurrency),
+}
+
+
+def validate_all(
+    printer: Callable[[str], None] = print,
+) -> List[Dict[str, object]]:
+    """Run every claim check; print and return the results."""
+    results = []
+    failures = 0
+    for claim_id, (description, checker) in CLAIMS.items():
+        try:
+            ok = bool(checker())
+        except Exception as error:  # a crash is a failure with a reason
+            ok = False
+            description = f"{description} (error: {error})"
+        failures += 0 if ok else 1
+        printer(f"[{'PASS' if ok else 'FAIL'}] {claim_id:20s} {description}")
+        results.append({"claim": claim_id, "ok": ok, "description": description})
+    printer(
+        f"{len(CLAIMS) - failures}/{len(CLAIMS)} claims reproduced"
+        + ("" if failures == 0 else f" - {failures} FAILED")
+    )
+    return results

@@ -1,0 +1,21 @@
+"""B+-tree baseline.
+
+Every comparison in the paper (Section 5, and the load-factor discussions
+of Sections 3–4) is drawn against "the ubiquitous B-tree" — concretely
+its most used implementation, the B+-tree. This package implements that
+baseline over the same simulated-disk substrate as the trie-hashing
+files, with the features the paper invokes:
+
+* configurable leaf split point (the /ROS81/ linear load control: the
+  split fraction directly sets the load factor of ordered loads, up to
+  the 100%-compact B-tree);
+* optional redistribution before splitting (the ~87% random load);
+* deletions with borrow/merge guaranteeing the 50% floor;
+* branch-space accounting (key + pointer bytes per separator) for the
+  index-size comparison against six-byte trie cells.
+"""
+
+from .btree import BPlusTree
+from .compact import bulk_load_compact
+
+__all__ = ["BPlusTree", "bulk_load_compact"]

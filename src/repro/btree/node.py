@@ -1,0 +1,97 @@
+"""B+-tree nodes.
+
+Leaves hold the records and form a doubly linked chain for range scans;
+branch nodes hold separator keys and child block ids. Nodes live as
+payloads on the simulated disk so every traversal is metered exactly like
+the trie-hashing files' buckets.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+__all__ = ["LeafNode", "BranchNode"]
+
+
+class LeafNode:
+    """A leaf: sorted keys with parallel values, chained to neighbours."""
+
+    __slots__ = ("keys", "values", "next_leaf", "prev_leaf")
+
+    def __init__(self) -> None:
+        self.keys: List[str] = []
+        self.values: List[object] = []
+        self.next_leaf: Optional[int] = None
+        self.prev_leaf: Optional[int] = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def find(self, key: str) -> int:
+        """Index of ``key`` or -1."""
+        i = bisect.bisect_left(self.keys, key)
+        if i < len(self.keys) and self.keys[i] == key:
+            return i
+        return -1
+
+    def insert(self, key: str, value: object) -> None:
+        """Insert keeping order (caller has checked for duplicates)."""
+        i = bisect.bisect_left(self.keys, key)
+        self.keys.insert(i, key)
+        self.values.insert(i, value)
+
+    def remove(self, key: str) -> object:
+        """Delete ``key`` and return its value (caller checked presence)."""
+        i = self.find(key)
+        del self.keys[i]
+        return self.values.pop(i)
+
+    def split_at(self, position: int) -> "LeafNode":
+        """Move records from ``position`` on into a fresh right leaf."""
+        right = LeafNode()
+        right.keys = self.keys[position:]
+        right.values = self.values[position:]
+        del self.keys[position:]
+        del self.values[position:]
+        return right
+
+    def items(self) -> List[Tuple[str, object]]:
+        """The records in key order."""
+        return list(zip(self.keys, self.values))
+
+
+class BranchNode:
+    """An internal node: ``len(children) == len(keys) + 1``.
+
+    ``keys[i]`` separates ``children[i]`` (keys <= it) from
+    ``children[i+1]``.
+    """
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[str] = []
+        self.children: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def child_for(self, key: str) -> int:
+        """Index of the child to descend into for ``key``."""
+        return bisect.bisect_left(self.keys, key)
+
+    def insert_separator(self, at: int, key: str, right_child: int) -> None:
+        """After child ``at`` split: record its separator and new sibling."""
+        self.keys.insert(at, key)
+        self.children.insert(at + 1, right_child)
+
+    def split_at(self, position: int) -> Tuple[str, "BranchNode"]:
+        """Split around separator ``position``; it moves up, right returned."""
+        promoted = self.keys[position]
+        right = BranchNode()
+        right.keys = self.keys[position + 1 :]
+        right.children = self.children[position + 1 :]
+        del self.keys[position:]
+        del self.children[position + 1 :]
+        return promoted, right

@@ -1,0 +1,142 @@
+"""Command-line entry point: regenerate any reproduced experiment.
+
+Installed as ``trie-hashing``. Examples::
+
+    trie-hashing list
+    trie-hashing run fig10 --count 5000
+    trie-hashing run sec5 --count 2000 --bucket-capacity 20
+    trie-hashing demo
+
+``demo`` builds the paper's Fig 1 example file and prints its buckets
+and trie, which doubles as a smoke test of an installation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from . import THFile, __version__
+from .analysis import (
+    ablation_balance,
+    capacity_table,
+    ablation_overflow,
+    concurrency_table,
+    ablation_buffer,
+    ablation_nil_nodes,
+    deletions_table,
+    fig10_ascending,
+    fig11_descending,
+    format_table,
+    growth_rate_table,
+    mlth_access_table,
+    multikey_grid_table,
+    sec31_random,
+    sec32_expected,
+    sec32_unexpected,
+    sec45_guarantees,
+    sec45_redistribution,
+    sec5_btree_comparison,
+)
+from .workloads import MOST_USED_WORDS
+
+__all__ = ["main"]
+
+#: Experiment id -> (runner, description). Runners accept count/b kwargs
+#: where meaningful; see ``repro.analysis.experiments`` for semantics.
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig10": (fig10_ascending, "THCL ascending sweep: a%, M, N vs d = b - m"),
+    "fig11": (fig11_descending, "THCL descending sweep: a%, M, N vs bounding d"),
+    "sec31": (sec31_random, "random insertions: a_r, nil leaves, index bytes"),
+    "sec32-unexpected": (sec32_unexpected, "unexpected ordered insertions"),
+    "sec32-expected": (sec32_expected, "expected ordered insertions, basic TH"),
+    "sec45": (sec45_guarantees, "THCL guarantees (100% / 50% / deletions)"),
+    "sec45-redistribution": (sec45_redistribution, "redistribution loads"),
+    "growth": (growth_rate_table, "trie growth rate s and bytes per split"),
+    "capacity": (capacity_table, "Section 3.1 capacity arithmetic"),
+    "sec5": (sec5_btree_comparison, "TH vs B+-tree comparison"),
+    "concurrency": (concurrency_table, "TH vs B-tree lock conflicts (/VID87/)"),
+    "mlth": (mlth_access_table, "MLTH levels, page loads, accesses"),
+    "multikey": (multikey_grid_table, "multikey TH vs grid-file directory"),
+    "deletions": (deletions_table, "deletion/merging behaviour"),
+    "ablation-nil": (ablation_nil_nodes, "nil nodes vs shared leaves"),
+    "ablation-balance": (ablation_balance, "trie balancing depths"),
+    "ablation-buffer": (ablation_buffer, "buffer pool vs disk reads"),
+    "ablation-overflow": (ablation_overflow, "deferred splitting via overflow chains"),
+}
+
+
+def _demo() -> None:
+    """Build and print the Fig 1 example file (31 English words, b=4)."""
+    f = THFile(bucket_capacity=4)
+    for word in MOST_USED_WORDS:
+        f.insert(word)
+    print("Fig 1 example file — 31 most-used English words, b = 4")
+    print(f"records={len(f)} buckets={f.bucket_count()} cells={f.trie_size()} "
+          f"load={f.load_factor():.3f}")
+    print("\nbuckets:")
+    for address in sorted(f.store.live_addresses()):
+        print(f"  {address}: {' '.join(f.store.peek(address).keys)}")
+    print("\ntrie boundaries (in order):")
+    print(" ", " | ".join(f.trie.boundaries()))
+
+
+def main(argv: List[str] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="trie-hashing",
+        description="Trie Hashing with Controlled Load - reproduction harness",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("demo", help="build and print the Fig 1 example file")
+    sub.add_parser(
+        "validate", help="re-check every reproduced claim (PASS/FAIL)"
+    )
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--count", type=int, default=None, help="number of keys")
+    run.add_argument(
+        "--bucket-capacity", type=int, default=None, help="bucket capacity b"
+    )
+    run.add_argument("--seed", type=int, default=None, help="workload seed")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:22s} {EXPERIMENTS[name][1]}")
+        return 0
+    if args.command == "demo":
+        _demo()
+        return 0
+    if args.command == "validate":
+        from .analysis.validation import validate_all
+
+        results = validate_all()
+        return 0 if all(r["ok"] for r in results) else 1
+    if args.command == "run":
+        runner: Callable = EXPERIMENTS[args.experiment][0]
+        kwargs = {}
+        import inspect
+
+        accepted = inspect.signature(runner).parameters
+        if args.count is not None and "count" in accepted:
+            kwargs["count"] = args.count
+        if args.bucket_capacity is not None:
+            if "bucket_capacity" in accepted:
+                kwargs["bucket_capacity"] = args.bucket_capacity
+            elif "bucket_capacities" in accepted:
+                kwargs["bucket_capacities"] = (args.bucket_capacity,)
+        if args.seed is not None and "seed" in accepted:
+            kwargs["seed"] = args.seed
+        rows = runner(**kwargs)
+        print(format_table(rows, title=args.experiment))
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Concurrency control simulation (/VID87/, Section 6 of the paper).
+
+The paper argues trie hashing admits more concurrency than a B-tree:
+with a one-level trie and no physical cell deletion, an update needs to
+lock only **the target bucket and the allocation counter N** — a split
+appends its cell at the end of the table, so no other searcher is ever
+blocked. A B-tree instead locks pages along the descent, and a split
+shifts keys inside pages, forcing writers to exclude readers from whole
+pages (the paper cites /SAG85/ for how involved the workarounds get).
+
+This package makes that argument measurable:
+
+* :mod:`locks` — a shared/exclusive lock manager with FIFO queues and
+  wait accounting;
+* :mod:`protocols` — lock-schedule generators that ask the *real*
+  :class:`~repro.core.file.THFile` / :class:`~repro.btree.BPlusTree`
+  structures which resources each operation touches, under the VID87
+  discipline for TH and hand-over-hand (lock-coupling, conservative on
+  unsafe nodes) for the B-tree;
+* :mod:`simulator` — a discrete-event interleaver of many clients,
+  reporting throughput, conflict rates and lock-wait times.
+"""
+
+from .locks import LockManager, LockMode
+from .protocols import btree_operation_schedule, th_operation_schedule
+from .simulator import ConcurrencyReport, simulate_clients
+
+__all__ = [
+    "LockManager",
+    "LockMode",
+    "btree_operation_schedule",
+    "th_operation_schedule",
+    "ConcurrencyReport",
+    "simulate_clients",
+]

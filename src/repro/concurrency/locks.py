@@ -1,0 +1,128 @@
+"""A shared/exclusive lock manager with FIFO fairness and accounting.
+
+Resources are identified by hashable ids (``('bucket', 7)``,
+``('page', 3)``, ``'N'`` ...). Grants follow strict FIFO order: a
+request waits if an incompatible lock is held *or* an earlier request is
+already waiting (no starvation of writers). The manager records every
+conflict and the time spent waiting, which is what the concurrency
+benches report.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict, deque
+from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
+
+__all__ = ["LockMode", "LockManager"]
+
+
+class LockMode(enum.Enum):
+    """Shared (readers) or exclusive (writers)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def _compatible(held: Set[Tuple[int, LockMode]], owner: int, mode: LockMode) -> bool:
+    """Can ``owner`` acquire ``mode`` given the current holders?"""
+    for held_owner, held_mode in held:
+        if held_owner == owner:
+            continue
+        if mode is LockMode.EXCLUSIVE or held_mode is LockMode.EXCLUSIVE:
+            return False
+    return True
+
+
+class LockManager:
+    """Grant/queue/release S and X locks; count conflicts and waits."""
+
+    def __init__(self) -> None:
+        #: resource -> set of (owner, mode) currently holding it.
+        self._held: Dict[Hashable, Set[Tuple[int, LockMode]]] = {}
+        #: resource -> FIFO of (owner, mode) waiting.
+        self._queues: Dict[Hashable, Deque[Tuple[int, LockMode]]] = {}
+        self.conflicts = 0
+        self.grants = 0
+
+    # ------------------------------------------------------------------
+    def try_acquire(self, owner: int, resource: Hashable, mode: LockMode) -> bool:
+        """Acquire immediately or join the queue; True when granted.
+
+        Re-acquiring a held resource upgrades S->X when possible (only
+        holder) and is a no-op otherwise.
+        """
+        held = self._held.setdefault(resource, set())
+        queue = self._queues.setdefault(resource, deque())
+
+        mine = [(o, m) for o, m in held if o == owner]
+        if mine:
+            if mode is LockMode.SHARED or (owner, LockMode.EXCLUSIVE) in held:
+                return True
+            # Upgrade request: possible only when alone.
+            if len(held) == len(mine):
+                held.discard((owner, LockMode.SHARED))
+                held.add((owner, LockMode.EXCLUSIVE))
+                self.grants += 1
+                return True
+            self.conflicts += 1
+            queue.append((owner, mode))
+            return False
+
+        already_queued = any(o == owner for o, _ in queue)
+        if not already_queued and not queue and _compatible(held, owner, mode):
+            held.add((owner, mode))
+            self.grants += 1
+            return True
+        if not already_queued:
+            self.conflicts += 1
+            queue.append((owner, mode))
+        return False
+
+    def release(self, owner: int, resource: Hashable) -> None:
+        """Drop ``owner``'s lock on one resource (lock coupling)."""
+        held = self._held.get(resource)
+        if held:
+            held.difference_update({(owner, m) for m in LockMode})
+        self._promote()
+
+    def release_all(self, owner: int) -> List[Hashable]:
+        """Drop every lock ``owner`` holds; return resources released."""
+        released = []
+        for resource, held in self._held.items():
+            before = len(held)
+            held.difference_update({(owner, m) for m in LockMode})
+            if len(held) != before:
+                released.append(resource)
+        self._promote()
+        return released
+
+    def holds(self, owner: int, resource: Hashable) -> bool:
+        """True when ``owner`` holds ``resource`` in any mode."""
+        return any(o == owner for o, _ in self._held.get(resource, ()))
+
+    def waiting(self, owner: int) -> bool:
+        """True when ``owner`` is queued anywhere."""
+        return any(
+            any(o == owner for o, _ in queue) for queue in self._queues.values()
+        )
+
+    def _promote(self) -> None:
+        """Grant queued requests that became compatible, FIFO per resource."""
+        for resource, queue in self._queues.items():
+            held = self._held.setdefault(resource, set())
+            while queue:
+                owner, mode = queue[0]
+                if _compatible(held, owner, mode):
+                    queue.popleft()
+                    held.add((owner, mode))
+                    self.grants += 1
+                else:
+                    break
+
+    def poll(self, owner: int) -> bool:
+        """After some release, has ``owner``'s queued request been granted?
+
+        (Grants happen inside :meth:`_promote`; this just checks.)
+        """
+        return not self.waiting(owner)

@@ -1,0 +1,134 @@
+"""Lock-schedule generators: what each operation would lock.
+
+An operation's *schedule* is a list of steps:
+
+* ``("lock", resource, LockMode)`` — must be granted before proceeding;
+* ``("unlock", resource)``          — lock coupling releases early;
+* ``("io",)``                       — one disk access (one time unit).
+
+The generators execute the operation against the *real* structure (so
+splits, nil allocations and path shapes are authentic) while recording
+the schedule the corresponding protocol would follow:
+
+* **TH / VID87** — one-level trie in core, cells never physically
+  deleted: a search S-locks just the target bucket; an update X-locks
+  the bucket; only a split additionally X-locks the allocation counter
+  ``N``. No other client is ever blocked by the trie itself because a
+  split appends its cell at the end of the table.
+* **B+-tree, conservative lock coupling** — X-locks couple down the
+  descent, releasing the ancestors once a *safe* (non-full) node is
+  reached; searches S-couple. The root is therefore a contention point
+  exactly as the paper argues.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from ..btree.btree import BPlusTree
+from ..btree.node import LeafNode
+from ..core.file import THFile
+from .locks import LockMode
+
+__all__ = ["th_operation_schedule", "btree_operation_schedule"]
+
+Step = Tuple
+
+
+def th_operation_schedule(file: THFile, op: str, key: str) -> List[Step]:
+    """Execute ``op`` on the TH file, returning the VID87 schedule."""
+    key = file.alphabet.validate_key(key)
+    result = file.trie.search(key)
+    bucket = ("bucket", result.bucket)
+    if op == "search":
+        if result.bucket is None:
+            return []  # nil leaf: answered from the in-core trie alone
+        return [("lock", bucket, LockMode.SHARED), ("io",)]
+
+    if op == "insert":
+        if result.bucket is None:
+            # Nil allocation: lock N, append the bucket, write it.
+            file.insert(key)
+            return [("lock", "N", LockMode.EXCLUSIVE), ("io",)]
+        before = file.bucket_count()
+        splits_before = file.stats.splits
+        file.insert(key)
+        steps: List[Step] = [("lock", bucket, LockMode.EXCLUSIVE), ("io",)]
+        if file.stats.splits > splits_before or file.bucket_count() > before:
+            # A split: the only extra lock is the allocation counter N;
+            # the new cell is appended, blocking nobody (/VID87/).
+            steps += [("lock", "N", LockMode.EXCLUSIVE), ("io",), ("io",)]
+        else:
+            steps += [("io",)]
+        return steps
+
+    if op == "delete":
+        if result.bucket is None:
+            return []
+        file.delete(key)
+        return [("lock", bucket, LockMode.EXCLUSIVE), ("io",), ("io",)]
+
+    raise ValueError(f"unknown operation {op!r}")
+
+
+def btree_operation_schedule(tree: BPlusTree, op: str, key: str) -> List[Step]:
+    """Execute ``op`` on the B+-tree, returning the coupling schedule."""
+    steps_down = tree._descend(key)
+    path = [("node", node_id) for node_id, _, _ in steps_down]
+    nodes = [node for _, node, _ in steps_down]
+
+    if op == "search":
+        schedule: List[Step] = []
+        for i, resource in enumerate(path):
+            schedule.append(("lock", resource, LockMode.SHARED))
+            schedule.append(("io",))
+            if i > 0:
+                schedule.append(("unlock", path[i - 1]))
+        return schedule
+
+    if op == "insert":
+        schedule = []
+        held: List[Hashable] = []
+        for i, resource in enumerate(path):
+            schedule.append(("lock", resource, LockMode.EXCLUSIVE))
+            schedule.append(("io",))
+            held.append(resource)
+            node = nodes[i]
+            capacity = (
+                tree.leaf_capacity
+                if isinstance(node, LeafNode)
+                else tree.branch_capacity
+            )
+            if len(node) < capacity:  # safe: ancestors cannot split
+                for ancestor in held[:-1]:
+                    schedule.append(("unlock", ancestor))
+                held = [resource]
+        splits_before = tree.splits
+        tree.insert(key)
+        schedule.append(("io",))  # write the leaf
+        if tree.splits > splits_before:
+            schedule.append(("io",))  # write the new sibling
+        return schedule
+
+    if op == "delete":
+        schedule = []
+        held = []
+        for i, resource in enumerate(path):
+            schedule.append(("lock", resource, LockMode.EXCLUSIVE))
+            schedule.append(("io",))
+            held.append(resource)
+            node = nodes[i]
+            capacity = (
+                tree.leaf_capacity
+                if isinstance(node, LeafNode)
+                else tree.branch_capacity
+            )
+            if len(node) > capacity // 2:  # safe: cannot underflow up
+                for ancestor in held[:-1]:
+                    schedule.append(("unlock", ancestor))
+                held = [resource]
+        tree.delete(key)
+        schedule.append(("io",))
+        return schedule
+
+    raise ValueError(f"unknown operation {op!r}")

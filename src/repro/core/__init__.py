@@ -1,0 +1,60 @@
+"""Core trie-hashing machinery: tries, splits, policies, files.
+
+The public entry points are re-exported at the package root
+(:mod:`repro`); this subpackage keeps one module per concern so each of
+the paper's algorithms is readable in isolation:
+
+======================  ====================================================
+module                  paper section
+======================  ====================================================
+``alphabet``/``keys``   2.1 — key space, digits, prefixes
+``cells``/``trie``      2.1 — TH-trie and its standard representation; A1
+``split``               2.3 — Algorithm A2 (basic splits, nil nodes)
+``thcl_split``          4.1/4.2 — THCL expansion and split control
+``merge``               2.4/3.3/4.3 — deletions and merging
+``redistribution``      4.4 — spilling into neighbour buckets
+``boundaries``          canonical equivalent-trie model
+``balance``             2.6 — trie balancing
+``reconstruct``         /TOR83/ trie reconstruction from bucket headers
+``mlth``/``pages``      2.5 — multilevel trie hashing
+``file``                the public THFile API
+``bulk``                bottom-up compact loading (sorted input)
+``cursor``              positioned bidirectional traversal
+``overflow``            deferred splitting via overflow chains (§6)
+``logical``/``render``  the M-ary view (Fig 2) and ASCII rendering
+``range_query``         range scans (order preservation, §2.2)
+======================  ====================================================
+"""
+
+from .alphabet import ALPHANUMERIC, DEFAULT_ALPHABET, LOWERCASE, PRINTABLE, Alphabet
+from .errors import (
+    CapacityError,
+    DuplicateKeyError,
+    InvalidKeyError,
+    KeyNotFoundError,
+    StorageError,
+    TrieCorruptionError,
+    TrieHashingError,
+)
+from .file import FileStats, THFile
+from .policies import SplitPolicy
+from .trie import Trie
+
+__all__ = [
+    "Alphabet",
+    "ALPHANUMERIC",
+    "DEFAULT_ALPHABET",
+    "LOWERCASE",
+    "PRINTABLE",
+    "CapacityError",
+    "DuplicateKeyError",
+    "InvalidKeyError",
+    "KeyNotFoundError",
+    "StorageError",
+    "TrieCorruptionError",
+    "TrieHashingError",
+    "FileStats",
+    "THFile",
+    "SplitPolicy",
+    "Trie",
+]

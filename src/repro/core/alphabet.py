@@ -1,0 +1,154 @@
+"""Ordered key alphabets.
+
+Trie hashing views a key as a string of *digits* drawn from a finite,
+totally ordered alphabet. Following the paper, the smallest digit is the
+space character ``' '`` and plays the role of an implicit right-padding for
+short keys: the key ``'a'`` behaves exactly like ``'a '``, ``'a  '``
+and so on. The largest digit (written ``'.'`` in the paper) is only needed
+conceptually, to pad *boundary* strings; see :mod:`repro.core.boundaries`.
+
+For speed, the library requires alphabets whose digit order coincides with
+the host character order (``ord``). Key and prefix comparisons then compile
+down to native string comparison. :class:`Alphabet` validates this at
+construction time, so exotic orderings fail fast rather than corrupting a
+file silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .errors import InvalidKeyError
+
+__all__ = [
+    "Alphabet",
+    "LOWERCASE",
+    "ALPHANUMERIC",
+    "PRINTABLE",
+    "DEFAULT_ALPHABET",
+]
+
+
+class Alphabet:
+    """A finite, totally ordered set of single-character digits.
+
+    Parameters
+    ----------
+    digits:
+        The digits in increasing order. Must be strictly increasing under
+        ``ord`` so native string comparison agrees with digit order. The
+        first digit is the *space* (smallest) digit used for implicit
+        padding of keys; it does not have to be ``' '`` but conventionally
+        is.
+    """
+
+    __slots__ = ("_digits", "_index", "_min", "_max")
+
+    def __init__(self, digits: Iterable[str]):
+        items = list(digits)
+        if any(not isinstance(d, str) or len(d) != 1 for d in items):
+            raise InvalidKeyError("alphabet digits must be single characters")
+        digits = "".join(items)
+        if len(digits) < 2:
+            raise InvalidKeyError("an alphabet needs at least two digits")
+        if any(a >= b for a, b in zip(digits, digits[1:])):
+            raise InvalidKeyError(
+                "alphabet digits must be strictly increasing in character "
+                "order so that native string comparison matches digit order"
+            )
+        self._digits = digits
+        self._index = {d: i for i, d in enumerate(digits)}
+        self._min = digits[0]
+        self._max = digits[-1]
+
+    @property
+    def digits(self) -> str:
+        """The digits of the alphabet, smallest first."""
+        return self._digits
+
+    @property
+    def min_digit(self) -> str:
+        """The smallest digit (the 'space' used to pad keys)."""
+        return self._min
+
+    @property
+    def max_digit(self) -> str:
+        """The largest digit (pads boundary strings, the paper's ``'.'``)."""
+        return self._max
+
+    def __len__(self) -> int:
+        return len(self._digits)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._digits)
+
+    def __contains__(self, digit: str) -> bool:
+        return digit in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Alphabet({self._digits!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Alphabet) and other._digits == self._digits
+
+    def __hash__(self) -> int:
+        return hash(self._digits)
+
+    def index(self, digit: str) -> int:
+        """Return the rank of ``digit`` within the alphabet (0-based)."""
+        try:
+            return self._index[digit]
+        except KeyError:
+            raise InvalidKeyError(f"digit {digit!r} is not in the alphabet") from None
+
+    def successor(self, digit: str) -> str:
+        """Return the next larger digit, or raise for the largest one."""
+        i = self.index(digit)
+        if i + 1 >= len(self._digits):
+            raise InvalidKeyError(f"digit {digit!r} has no successor")
+        return self._digits[i + 1]
+
+    def predecessor(self, digit: str) -> str:
+        """Return the next smaller digit, or raise for the smallest one."""
+        i = self.index(digit)
+        if i == 0:
+            raise InvalidKeyError(f"digit {digit!r} has no predecessor")
+        return self._digits[i - 1]
+
+    def validate_key(self, key: str) -> str:
+        """Canonicalise ``key`` and check every digit is in the alphabet.
+
+        Keys are canonicalised by stripping trailing *space* digits, since
+        trie hashing treats short keys as implicitly padded with spaces.
+        A key that canonicalises to the empty string is rejected.
+        """
+        if not isinstance(key, str):
+            raise InvalidKeyError(f"keys must be str, got {type(key).__name__}")
+        canon = key.rstrip(self._min)
+        if not canon:
+            raise InvalidKeyError("key is empty (or all padding digits)")
+        for ch in canon:
+            if ch not in self._index:
+                raise InvalidKeyError(
+                    f"key {key!r} contains digit {ch!r} outside the alphabet"
+                )
+        return canon
+
+    def digit_at(self, key: str, position: int) -> str:
+        """Digit ``position`` of ``key``, reading past the end as spaces."""
+        if position < len(key):
+            return key[position]
+        return self._min
+
+
+#: The alphabet of the paper's examples: space plus the lowercase letters.
+LOWERCASE = Alphabet(" " + "abcdefghijklmnopqrstuvwxyz")
+
+#: Space, digits, then lowercase letters (ASCII order keeps '0' < 'a').
+ALPHANUMERIC = Alphabet(" " + "0123456789" + "abcdefghijklmnopqrstuvwxyz")
+
+#: All printable ASCII starting at space, in ASCII order.
+PRINTABLE = Alphabet("".join(chr(c) for c in range(0x20, 0x7F)))
+
+#: Default used by :class:`repro.THFile` when none is given.
+DEFAULT_ALPHABET = LOWERCASE

@@ -1,0 +1,49 @@
+"""Trie balancing (Section 2.6).
+
+A TH-trie built by splits is usually not well balanced — ordered
+insertions in particular produce long one-sided chains. Balancing only
+shortens the *in-memory* node search (disk accesses, load factor and trie
+size are untouched), and must preserve logical ancestorship: a node's
+logical parent can never become its physical descendant.
+
+The implementation uses the canonical intermediate form of /TOR83/: the
+trie is exported to its boundary model and rebuilt with every subtrie
+rooted at the valid candidate closest to the span's middle (the same
+root-candidate condition as the multilevel split node). This realises
+both balancing techniques the paper sketches — the canonical-form method
+and the recursive split-node method give the same kind of result.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from .trie import Trie
+
+__all__ = ["BalanceReport", "balance", "depth_report"]
+
+
+class BalanceReport(NamedTuple):
+    """Before/after depths of a balancing pass."""
+
+    depth_before: int
+    depth_after: int
+    node_count: int
+
+
+def balance(trie: Trie, pick: str = "balanced") -> Trie:
+    """Return an equivalent, canonically balanced trie.
+
+    The result maps every key to the same leaf pointer as the input;
+    only the binary shape (and hence in-core search depth) changes.
+    ``pick`` may be ``'balanced'`` (default), ``'first'`` or ``'last'``
+    — the skewed variants exist for the ordered-insertion page-split
+    policies of Section 3.2.
+    """
+    return trie.rebalanced(pick=pick)
+
+
+def depth_report(trie: Trie, pick: str = "balanced") -> BalanceReport:
+    """Measure what balancing would gain without mutating anything."""
+    balanced = balance(trie, pick=pick)
+    return BalanceReport(trie.depth(), balanced.depth(), trie.node_count)

@@ -1,0 +1,269 @@
+"""The canonical *boundary-set* view of a TH-trie.
+
+Every internal node ``(d, i)`` of a TH-trie stands for one *boundary
+string*: its logical path through its left edge, ``(C)_{i-1} · d`` (the
+paper calls these logical paths; we call the left-edge form a *boundary*
+because it is the cut point of the key space). Two tries with the same
+boundary set and the same leaf assignment are *equivalent* in the paper's
+sense — they map every key to the same bucket — no matter how differently
+their binary shapes look.
+
+This module implements that canonical view:
+
+* a total order on boundaries (``boundary_sort_key``): a boundary ``s``
+  means "all keys whose ``len(s)``-digit space-padded prefix is ``<= s``",
+  which is the same as comparing boundaries padded on the right with the
+  *largest* digit. Concretely, if one boundary is a proper prefix of
+  another, the **longer** one is the smaller boundary (``'ha' < 'h'``,
+  because the keys at or below ``'ha'`` are a subset of those at or below
+  ``'h'``).
+* :class:`BoundaryModel` — a sorted boundary list plus one child per gap
+  (a bucket address, or ``None`` for the basic method's *nil* leaves).
+  The model is the oracle for property-based tests, the intermediate form
+  for trie balancing and reconstruction (/TOR83/), and the substrate of
+  the multilevel method's pages.
+
+A boundary set must be *prefix-closed*: a node ``(d, i)`` with ``i >= 1``
+can only exist below its logical parent ``(C_{i-2}·c, i-1)``, so every
+proper prefix (of length >= 1) of a boundary is itself a boundary. The
+splitting algorithms maintain this by construction; :meth:`BoundaryModel.check`
+verifies it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .alphabet import Alphabet
+from .errors import TrieCorruptionError
+from .keys import prefix_le
+
+__all__ = [
+    "boundary_sort_key",
+    "boundary_lt",
+    "boundary_le",
+    "gap_index",
+    "BoundaryModel",
+]
+
+#: Sentinel digit rank used to max-pad boundaries; larger than any real rank.
+_PAD = 1 << 30
+
+
+def boundary_sort_key(boundary: str, alphabet: Alphabet) -> Tuple[int, ...]:
+    """A sort key realising the boundary total order.
+
+    Boundaries compare as if right-padded with the largest digit, so a
+    proper prefix sorts *after* its extensions. The returned tuple is the
+    digit ranks followed by a pad sentinel, which implements exactly that
+    under native tuple comparison.
+    """
+    return tuple(alphabet.index(ch) for ch in boundary) + (_PAD,)
+
+
+def boundary_lt(a: str, b: str, alphabet: Alphabet) -> bool:
+    """True when boundary ``a`` cuts strictly below boundary ``b``."""
+    return boundary_sort_key(a, alphabet) < boundary_sort_key(b, alphabet)
+
+
+def boundary_le(a: str, b: str, alphabet: Alphabet) -> bool:
+    """True when boundary ``a`` cuts at or below boundary ``b``."""
+    return boundary_sort_key(a, alphabet) <= boundary_sort_key(b, alphabet)
+
+
+def gap_index(boundaries: Sequence[str], key: str, alphabet: Alphabet) -> int:
+    """Index of the gap (leaf position) a key falls into.
+
+    ``boundaries`` must be sorted in boundary order. Returns the number of
+    boundaries the key falls strictly *above*, which is the index of the
+    child/leaf holding the key. Runs a binary search on the "key goes left
+    of boundary" predicate, which is monotone along the boundary order.
+    """
+    lo, hi = 0, len(boundaries)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if prefix_le(key, boundaries[mid], alphabet):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+class BoundaryModel:
+    """A canonical (shape-free) trie: sorted boundaries plus gap children.
+
+    ``children`` has exactly ``len(boundaries) + 1`` entries; ``children[j]``
+    is the bucket address of the keys between ``boundaries[j-1]`` (exclusive,
+    in boundary order) and ``boundaries[j]`` (inclusive). A child of ``None``
+    is a *nil* leaf of the basic method: no bucket is allocated there yet.
+    THCL files never contain ``None`` children but may repeat the same
+    bucket address over several adjacent gaps (shared leaves, Section 4.1).
+    """
+
+    __slots__ = ("alphabet", "boundaries", "children", "_sort_keys")
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        boundaries: Iterable[str] = (),
+        children: Iterable[Optional[int]] = (0,),
+    ):
+        self.alphabet = alphabet
+        self.boundaries: List[str] = list(boundaries)
+        self.children: List[Optional[int]] = list(children)
+        if len(self.children) != len(self.boundaries) + 1:
+            raise TrieCorruptionError(
+                f"{len(self.boundaries)} boundaries need "
+                f"{len(self.boundaries) + 1} children, got {len(self.children)}"
+            )
+        self._sort_keys = [boundary_sort_key(s, alphabet) for s in self.boundaries]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of boundaries (= internal trie nodes = cells)."""
+        return len(self.boundaries)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BoundaryModel)
+            and other.alphabet == self.alphabet
+            and other.boundaries == self.boundaries
+            and other.children == self.children
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        for j, child in enumerate(self.children):
+            parts.append("nil" if child is None else str(child))
+            if j < len(self.boundaries):
+                parts.append(f"|{self.boundaries[j]}|")
+        return "BoundaryModel(" + " ".join(parts) + ")"
+
+    def locate(self, key: str) -> Tuple[int, Optional[int]]:
+        """Return ``(gap index, child)`` for ``key``."""
+        j = gap_index(self.boundaries, key, self.alphabet)
+        return j, self.children[j]
+
+    def lookup(self, key: str) -> Optional[int]:
+        """The bucket address a key is mapped to (``None`` on a nil leaf)."""
+        return self.locate(key)[1]
+
+    def gap_of_boundary(self, s: str) -> int:
+        """Index ``j`` such that ``boundaries[j] == s``; raises if absent."""
+        import bisect
+
+        k = boundary_sort_key(s, self.alphabet)
+        j = bisect.bisect_left(self._sort_keys, k)
+        if j >= len(self.boundaries) or self.boundaries[j] != s:
+            raise KeyError(s)
+        return j
+
+    def has_boundary(self, s: str) -> bool:
+        """True when ``s`` is one of the model's boundaries."""
+        try:
+            self.gap_of_boundary(s)
+            return True
+        except KeyError:
+            return False
+
+    def gap_for_boundary(self, s: str) -> int:
+        """The gap a (new) boundary ``s`` would cut — its insert slot."""
+        import bisect
+
+        return bisect.bisect_left(
+            self._sort_keys, boundary_sort_key(s, self.alphabet)
+        )
+
+    def buckets_in_order(self) -> List[int]:
+        """Distinct bucket addresses left to right (nil gaps skipped)."""
+        seen: List[int] = []
+        for child in self.children:
+            if child is not None and (not seen or seen[-1] != child):
+                seen.append(child)
+        return seen
+
+    def gaps_of_bucket(self, bucket: int) -> List[int]:
+        """All gap indices whose child is ``bucket`` (contiguous in THCL)."""
+        return [j for j, c in enumerate(self.children) if c == bucket]
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert_boundary(
+        self, s: str, left_child: Optional[int], right_child: Optional[int]
+    ) -> int:
+        """Split the gap that ``s`` falls in, installing the new boundary.
+
+        The gap's old child is discarded in favour of the two given
+        children. Returns the index of the new boundary. Raises if ``s``
+        is already a boundary.
+        """
+        import bisect
+
+        k = boundary_sort_key(s, self.alphabet)
+        j = bisect.bisect_left(self._sort_keys, k)
+        if j < len(self.boundaries) and self.boundaries[j] == s:
+            raise TrieCorruptionError(f"boundary {s!r} already present")
+        self.boundaries.insert(j, s)
+        self._sort_keys.insert(j, k)
+        self.children[j : j + 1] = [left_child, right_child]
+        return j
+
+    def remove_boundary(self, s: str, keep: str = "left") -> None:
+        """Remove boundary ``s``, merging its two gaps.
+
+        ``keep`` selects which side's child survives (``'left'`` or
+        ``'right'``).
+        """
+        j = self.gap_of_boundary(s)
+        survivor = self.children[j] if keep == "left" else self.children[j + 1]
+        del self.boundaries[j]
+        del self._sort_keys[j]
+        self.children[j : j + 2] = [survivor]
+
+    def set_child(self, gap: int, child: Optional[int]) -> None:
+        """Point gap ``gap`` at ``child``."""
+        self.children[gap] = child
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(self, require_prefix_closed: bool = True) -> None:
+        """Verify ordering, child-count and (optionally) prefix closure."""
+        if len(self.children) != len(self.boundaries) + 1:
+            raise TrieCorruptionError("children/boundaries length mismatch")
+        for a, b in zip(self._sort_keys, self._sort_keys[1:]):
+            if not a < b:
+                raise TrieCorruptionError("boundaries are not strictly sorted")
+        if require_prefix_closed:
+            present = set(self.boundaries)
+            for s in self.boundaries:
+                for l in range(1, len(s)):
+                    if s[:l] not in present:
+                        raise TrieCorruptionError(
+                            f"boundary {s!r} missing prefix {s[:l]!r}: "
+                            "the trie would lack the logical parent chain"
+                        )
+
+    # ------------------------------------------------------------------
+    # Span utilities (used by trie construction and by MLTH pages)
+    # ------------------------------------------------------------------
+    def root_candidates(self, lo: int = 0, hi: Optional[int] = None) -> List[int]:
+        """Boundary indices in ``[lo, hi)`` that may root that span's subtrie.
+
+        A boundary can root a (sub)trie exactly when its logical parent —
+        its one-digit-shorter prefix — lies *outside* the span, i.e. is not
+        one of the span's own boundaries (paper Section 2.5, condition (ii)
+        of the split-node choice). At least one candidate always exists:
+        any shortest boundary of the span qualifies.
+        """
+        if hi is None:
+            hi = len(self.boundaries)
+        span = set(self.boundaries[lo:hi])
+        return [
+            j
+            for j in range(lo, hi)
+            if len(self.boundaries[j]) == 1 or self.boundaries[j][:-1] not in span
+        ]

@@ -1,0 +1,189 @@
+"""A bidirectional cursor over a trie-hashing file.
+
+Range iteration (:mod:`repro.core.range_query`) is forward-only and
+stateless; database clients usually want a *cursor*: position at a key
+(or the first key at/after it), then step forward or backward record by
+record, re-reading buckets only at bucket borders. The order-preserving
+partition of trie hashing makes this natural — successive buckets hold
+successive key ranges.
+
+The cursor is a read-only snapshot navigator: structural file
+modifications (splits, merges) invalidate it, which it detects through
+the file's modification counter.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Tuple
+
+from .cells import is_nil
+from .errors import TrieHashingError
+from .file import THFile
+
+__all__ = ["Cursor", "CursorInvalidError"]
+
+
+class CursorInvalidError(TrieHashingError, RuntimeError):
+    """The file changed structurally under an open cursor."""
+
+
+class Cursor:
+    """Positioned access to a :class:`THFile` in key order.
+
+    Typical use::
+
+        cur = Cursor(f)
+        cur.seek("lit")        # first key >= 'lit'
+        while cur.valid and cur.key().startswith("lit"):
+            handle(cur.key(), cur.value())
+            cur.next()
+    """
+
+    def __init__(self, file: THFile):
+        self._file = file
+        self._generation = file.structure_generation
+        # The ordered list of distinct buckets, derived once per cursor.
+        self._buckets: List[int] = []
+        previous: Optional[int] = None
+        for _, ptr, _ in file.trie.leaves_in_order():
+            if is_nil(ptr) or ptr == previous:
+                continue
+            previous = ptr
+            self._buckets.append(ptr)
+        self._bucket_index = -1
+        self._record_index = -1
+        self._keys: List[str] = []
+        self._values: List[object] = []
+
+    # ------------------------------------------------------------------
+    def _check_generation(self) -> None:
+        if self._file.structure_generation != self._generation:
+            raise CursorInvalidError(
+                "the file split or merged buckets since this cursor opened"
+            )
+
+    def _load(self, bucket_index: int) -> None:
+        bucket = self._file.store.read(self._buckets[bucket_index])
+        self._bucket_index = bucket_index
+        self._keys = list(bucket.keys)
+        self._values = list(bucket.values)
+
+    @property
+    def valid(self) -> bool:
+        """True when the cursor points at a record."""
+        return 0 <= self._record_index < len(self._keys)
+
+    def key(self) -> str:
+        """The current record's key."""
+        if not self.valid:
+            raise CursorInvalidError("cursor is not positioned on a record")
+        return self._keys[self._record_index]
+
+    def value(self) -> object:
+        """The current record's value."""
+        if not self.valid:
+            raise CursorInvalidError("cursor is not positioned on a record")
+        return self._values[self._record_index]
+
+    def item(self) -> Tuple[str, object]:
+        """The current ``(key, value)`` pair."""
+        return self.key(), self.value()
+
+    # ------------------------------------------------------------------
+    # Positioning
+    # ------------------------------------------------------------------
+    def first(self) -> bool:
+        """Move to the smallest record; False when the file is empty."""
+        self._check_generation()
+        for i in range(len(self._buckets)):
+            self._load(i)
+            if self._keys:
+                self._record_index = 0
+                return True
+        self._record_index = -1
+        return False
+
+    def last(self) -> bool:
+        """Move to the largest record; False when the file is empty."""
+        self._check_generation()
+        for i in range(len(self._buckets) - 1, -1, -1):
+            self._load(i)
+            if self._keys:
+                self._record_index = len(self._keys) - 1
+                return True
+        self._record_index = -1
+        return False
+
+    def seek(self, key: str) -> bool:
+        """Position at the first record with key >= ``key``.
+
+        Returns True when such a record exists. Uses one trie search
+        plus at most a bucket-chain walk past empty tails.
+        """
+        self._check_generation()
+        key = self._file.alphabet.validate_key(key)
+        result = self._file.trie.search(key)
+        if result.bucket is None or result.bucket not in self._buckets:
+            # Nil leaf: start from the next bucket in order.
+            start = self._first_bucket_at_or_after(key)
+        else:
+            start = self._buckets.index(result.bucket)
+        for i in range(start, len(self._buckets)):
+            self._load(i)
+            at = bisect.bisect_left(self._keys, key) if i == start else 0
+            if at < len(self._keys):
+                self._record_index = at
+                return True
+        self._record_index = -1
+        return False
+
+    def _first_bucket_at_or_after(self, key: str) -> int:
+        # Walk leaves until the one whose range can contain >= key.
+        from .keys import prefix_gt
+
+        previous = None
+        index = 0
+        for _, ptr, path in self._file.trie.leaves_in_order():
+            if is_nil(ptr) or ptr == previous:
+                continue
+            previous = ptr
+            if not prefix_gt(key, path, self._file.alphabet) or path == "":
+                return index
+            index += 1
+        return len(self._buckets)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def next(self) -> bool:
+        """Advance one record; False (and invalid) past the end."""
+        self._check_generation()
+        if self._record_index + 1 < len(self._keys):
+            self._record_index += 1
+            return True
+        i = self._bucket_index + 1
+        while i < len(self._buckets):
+            self._load(i)
+            if self._keys:
+                self._record_index = 0
+                return True
+            i += 1
+        self._record_index = len(self._keys)  # past the end
+        return False
+
+    def prev(self) -> bool:
+        """Step back one record; False (and invalid) before the start."""
+        self._check_generation()
+        if self._record_index - 1 >= 0 and self._keys:
+            self._record_index -= 1
+            return True
+        i = self._bucket_index - 1
+        while i >= 0:
+            self._load(i)
+            if self._keys:
+                self._record_index = len(self._keys) - 1
+                return True
+            i -= 1
+        self._record_index = -1
+        return False

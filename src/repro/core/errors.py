@@ -1,0 +1,43 @@
+"""Exception hierarchy for the trie-hashing library.
+
+All errors raised by the library derive from :class:`TrieHashingError`, so
+callers can catch a single base class. The concrete subclasses mirror the
+failure modes of a disk-based access method: invalid keys, duplicate or
+missing keys, capacity misconfiguration, and structural corruption of the
+trie (which should never occur and indicates a bug, not a user error).
+"""
+
+from __future__ import annotations
+
+
+class TrieHashingError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidKeyError(TrieHashingError, ValueError):
+    """A key contains digits outside the file's alphabet, or is empty."""
+
+
+class DuplicateKeyError(TrieHashingError, KeyError):
+    """An insert found the key already present in the file."""
+
+
+class KeyNotFoundError(TrieHashingError, KeyError):
+    """A lookup or delete did not find the key in the file."""
+
+
+class CapacityError(TrieHashingError, ValueError):
+    """A bucket/page capacity or split-position parameter is out of range."""
+
+
+class TrieCorruptionError(TrieHashingError, AssertionError):
+    """A structural invariant of the TH-trie was violated.
+
+    Raised by :meth:`repro.core.trie.Trie.check` and by internal sanity
+    guards. Seeing this exception means a bug in the library (or external
+    mutation of internal state), never a misuse of the public API.
+    """
+
+
+class StorageError(TrieHashingError, RuntimeError):
+    """The simulated storage layer was asked for an unknown block."""

@@ -1,0 +1,452 @@
+"""The trie-hashing file: the library's primary public API.
+
+A :class:`THFile` is an ordered dynamic file of ``(key, value)`` records
+stored in fixed-capacity buckets on a (simulated) disk and addressed
+through an in-core TH-trie. One object covers the whole family of the
+paper's methods — the :class:`~repro.core.policies.SplitPolicy` decides
+whether it behaves as basic trie hashing (/LIT81/), as THCL with any
+controlled load, or as THCL with redistribution. The multilevel variant
+(trie itself paged to disk) is :class:`repro.core.mlth.MLTHFile`.
+
+Typical use::
+
+    from repro import THFile, SplitPolicy
+
+    f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_ascending(d=2))
+    for word in sorted(words):
+        f.insert(word)
+    assert f.load_factor() > 0.9
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from ..storage.buckets import BucketStore
+from .alphabet import DEFAULT_ALPHABET, Alphabet
+from .cells import is_leaf, is_nil
+from .errors import DuplicateKeyError, KeyNotFoundError
+from .merge import basic_delete_maintenance, guaranteed_delete_maintenance
+from .policies import SplitPolicy
+from .redistribution import try_redistribute
+from .split import expand_basic, plan_split
+from .thcl_split import collapse_equal_leaf_nodes, insert_boundary
+from .trie import SearchResult, Trie
+
+__all__ = ["FileStats", "THFile"]
+
+
+class FileStats:
+    """Operation counters of one file (disk counters live on the store)."""
+
+    __slots__ = (
+        "inserts",
+        "deletes",
+        "searches",
+        "splits",
+        "nil_allocations",
+        "redistributions",
+        "merges",
+        "borrows",
+        "nodes_added",
+        "leaves_repointed",
+        "nodes_collapsed",
+    )
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.deletes = 0
+        self.searches = 0
+        self.splits = 0
+        self.nil_allocations = 0
+        self.redistributions = 0
+        self.merges = 0
+        self.borrows = 0
+        self.nodes_added = 0
+        self.leaves_repointed = 0
+        self.nodes_collapsed = 0
+
+    def as_dict(self) -> dict:
+        """All counters as a plain dictionary (for reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class THFile:
+    """A primary-key-ordered dynamic file addressed by trie hashing.
+
+    Parameters
+    ----------
+    bucket_capacity:
+        The paper's ``b`` (records per bucket), at least 2.
+    policy:
+        A :class:`SplitPolicy`; defaults to basic trie hashing.
+    alphabet:
+        Key alphabet; defaults to space + lowercase letters.
+    store:
+        A :class:`~repro.storage.buckets.BucketStore`; a private store
+        over a fresh simulated disk is created when omitted.
+    """
+
+    def __init__(
+        self,
+        bucket_capacity: int = 4,
+        policy: Optional[SplitPolicy] = None,
+        alphabet: Alphabet = DEFAULT_ALPHABET,
+        store: Optional[BucketStore] = None,
+    ):
+        if bucket_capacity < 2:
+            raise ValueError("bucket capacity b must be at least 2")
+        self.capacity = bucket_capacity
+        self.policy = policy if policy is not None else SplitPolicy.basic_th()
+        self.alphabet = alphabet
+        self.store = store if store is not None else BucketStore()
+        self.trie = Trie(alphabet, root_ptr=self.store.allocate())
+        self.stats = FileStats()
+        self._size = 0
+        # Validate the policy's positions against this capacity up front.
+        self.policy.split_index(bucket_capacity)
+        self.policy.bounding_index(bucket_capacity)
+
+    @property
+    def structure_generation(self) -> int:
+        """A counter that changes whenever buckets split, merge or move.
+
+        Cursors (:class:`repro.core.cursor.Cursor`) snapshot it to detect
+        structural changes under them; plain record updates don't count.
+        """
+        s = self.stats
+        return (
+            s.splits
+            + s.nil_allocations
+            + s.redistributions
+            + s.merges
+            + s.borrows
+            + s.nodes_collapsed
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> object:
+        """Return the value stored under ``key``.
+
+        Costs one disk access when the key's leaf is a bucket; an
+        unsuccessful search through a nil leaf costs none (Section 3.1).
+        """
+        key = self.alphabet.validate_key(key)
+        result = self.trie.search(key)
+        self.stats.searches += 1
+        if result.bucket is None:
+            raise KeyNotFoundError(key)
+        return self.store.read(result.bucket).get(key)
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` is stored in the file."""
+        key = self.alphabet.validate_key(key)
+        result = self.trie.search(key)
+        self.stats.searches += 1
+        if result.bucket is None:
+            return False
+        return self.store.read(result.bucket).contains(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        """Number of records in the file (the paper's ``x``)."""
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: str, value: object = None) -> None:
+        """Insert a new record; raises :class:`DuplicateKeyError` if present."""
+        self._store_record(key, value, replace=False)
+
+    def put(self, key: str, value: object = None) -> None:
+        """Insert or overwrite the record under ``key``."""
+        self._store_record(key, value, replace=True)
+
+    def _store_record(self, key: str, value: object, replace: bool) -> None:
+        key = self.alphabet.validate_key(key)
+        result = self.trie.search(key)
+        if result.bucket is None:
+            # A nil leaf: allocate the bucket now (basic method, §2.3).
+            address = self.store.allocate()
+            self.trie.set_ptr(result.location, address)
+            bucket = self.store.peek(address)
+            bucket.header_path = result.path
+            bucket.insert(key, value)
+            self.store.write(address, bucket)
+            self.stats.nil_allocations += 1
+            self.stats.inserts += 1
+            self._size += 1
+            return
+        bucket = self.store.read(result.bucket)
+        position = bucket.find(key)
+        if position >= 0:
+            if not replace:
+                raise DuplicateKeyError(key)
+            bucket.values[position] = value
+            self.store.write(result.bucket, bucket)
+            return
+        if len(bucket) < self.capacity:
+            bucket.insert(key, value)
+            self.store.write(result.bucket, bucket)
+        else:
+            self._split(result, bucket, key, value)
+        self.stats.inserts += 1
+        self._size += 1
+
+    def _split(self, result: SearchResult, bucket, key: str, value: object) -> None:
+        """Handle an overflow: redistribute if allowed, else split (A2)."""
+        records: List[Tuple[str, object]] = list(bucket.items())
+        at = bisect.bisect_left(bucket.keys, key)
+        records.insert(at, (key, value))
+
+        if self.policy.redistribution != "none":
+            outcome = try_redistribute(
+                self.trie,
+                self.store,
+                result,
+                records,
+                self.capacity,
+                self.policy,
+                self.alphabet,
+            )
+            if outcome is not None:
+                self.stats.redistributions += 1
+                self.stats.nodes_added += outcome.nodes_added
+                self.stats.leaves_repointed += outcome.leaves_repointed
+                if self.policy.collapse_equal_leaves:
+                    self.stats.nodes_collapsed += collapse_equal_leaf_nodes(self.trie)
+                return
+
+        plan = None
+        if self.policy.prefer_existing_boundary:
+            plan = self._plan_on_existing_boundary(records)
+        if plan is None:
+            plan = plan_split(
+                records,
+                self.policy.split_index(self.capacity),
+                self.policy.bounding_index(self.capacity),
+                self.alphabet,
+            )
+        new_address = self.store.allocate()
+        if self.policy.nil_nodes:
+            added = expand_basic(
+                self.trie,
+                result.location,
+                result.path,
+                plan.boundary,
+                result.bucket,
+                new_address,
+            )
+            repointed = 0
+        else:
+            insertion = insert_boundary(
+                self.trie,
+                plan.split_key,
+                plan.boundary,
+                result.bucket,
+                new_address,
+                result.bucket,
+            )
+            added, repointed = insertion
+        new_bucket = self.store.peek(new_address)
+        # The new bucket's right cut: the old leaf's path in the usual
+        # case; after a rare-case chain the new bucket sits immediately
+        # above the split string, cut by the chain's next boundary.
+        if self.policy.nil_nodes and added > 1:
+            new_bucket.header_path = plan.boundary[:-1]
+        else:
+            new_bucket.header_path = result.path
+        new_bucket.extend(plan.move)
+        bucket.keys[:] = [k for k, _ in plan.stay]
+        bucket.values[:] = [v for _, v in plan.stay]
+        bucket.header_path = plan.boundary
+        self.store.write(result.bucket, bucket)
+        self.store.write(new_address, new_bucket)
+        self.stats.splits += 1
+        self.stats.nodes_added += added
+        self.stats.leaves_repointed += repointed
+
+    def _plan_on_existing_boundary(self, records):
+        """Section 4.5's refinement: a split that adds no trie node.
+
+        Scans split-key candidates from the basic position upward for
+        one whose (deterministic) split string lies entirely on the
+        anchor's logical path — possible exactly when the overflowing
+        bucket spans several leaves, and handled by step 3.4 without
+        enlarging the trie. Returns a plan or ``None``.
+        """
+        from .keys import common_prefix_length, split_string
+        from .split import SplitPlan
+
+        base = self.policy.split_index(self.capacity)
+        for position in range(base, len(records)):
+            anchor = records[position - 1][0]
+            bound = records[position][0]
+            boundary = split_string(anchor, bound, self.alphabet)
+            path = self.trie.search(anchor).path
+            if common_prefix_length(boundary, path) == len(boundary):
+                return SplitPlan(
+                    boundary,
+                    records[:position],
+                    records[position:],
+                    anchor,
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Deletion
+    # ------------------------------------------------------------------
+    def delete(self, key: str) -> object:
+        """Remove ``key``'s record and return its value.
+
+        Post-delete maintenance follows the policy's ``merge`` regime:
+        sibling merges (basic), guaranteed >= 50% load (THCL), or none.
+        """
+        key = self.alphabet.validate_key(key)
+        result = self.trie.search(key)
+        if result.bucket is None:
+            raise KeyNotFoundError(key)
+        bucket = self.store.read(result.bucket)
+        value = bucket.remove(key)  # raises KeyNotFoundError when absent
+        self.store.write(result.bucket, bucket)
+        self.stats.deletes += 1
+        self._size -= 1
+        if self.policy.merge == "siblings":
+            action = basic_delete_maintenance(
+                self.trie, self.store, result, self.capacity
+            )
+            if action == "merge":
+                self.stats.merges += 1
+        elif self.policy.merge == "rotations":
+            from .merge import rotation_delete_maintenance
+
+            action = rotation_delete_maintenance(self, result)
+            if action in ("merge", "rotation-merge"):
+                self.stats.merges += 1
+        elif self.policy.merge == "guaranteed":
+            self._rebalance_after_delete(key)
+        return value
+
+    def _rebalance_after_delete(self, probe_key: str) -> None:
+        """Merge/borrow until the probe key's bucket meets the floor."""
+        while True:
+            result = self.trie.search(probe_key)
+            if result.bucket is None:
+                return
+            if len(self.store.peek(result.bucket)) >= self.capacity // 2:
+                return
+            action = guaranteed_delete_maintenance(
+                self.trie, self.store, result, self.capacity, self.alphabet
+            )
+            if action == "merge":
+                self.stats.merges += 1
+            elif action == "borrow":
+                self.stats.borrows += 1
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    # Ordered iteration
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """Iterate every record in key order (reads each bucket once)."""
+        previous = None
+        for _, ptr, _path in self.trie.leaves_in_order():
+            if is_nil(ptr) or ptr == previous:
+                continue
+            previous = ptr
+            yield from self.store.read(ptr).items()
+
+    def keys(self) -> Iterator[str]:
+        """Iterate every key in order."""
+        for key, _ in self.items():
+            yield key
+
+    def range_items(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> Iterator[Tuple[str, object]]:
+        """Iterate records with ``low <= key <= high`` in key order.
+
+        ``None`` bounds are open. This is the range-query support that
+        order-preserving hashing buys (Section 2.2); consecutive leaves
+        sharing a bucket cost a single access (Section 4.1's remark).
+        """
+        from .range_query import scan  # local import to avoid a cycle
+
+        return scan(self, low, high)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def bucket_count(self) -> int:
+        """Number of allocated buckets (the paper's ``N + 1``)."""
+        return self.store.allocated_count()
+
+    def load_factor(self) -> float:
+        """The paper's ``a = x / (b * (N + 1))``."""
+        buckets = self.bucket_count()
+        return self._size / (self.capacity * buckets) if buckets else 0.0
+
+    def trie_size(self) -> int:
+        """Number of trie cells (the paper's ``M``)."""
+        return self.trie.node_count
+
+    def growth_rate(self) -> float:
+        """Cells per split, the paper's ``s = M / N`` (Section 4.5)."""
+        splits = self.stats.splits + self.stats.nil_allocations
+        return self.trie.node_count / splits if splits else 0.0
+
+    def nil_leaf_fraction(self) -> float:
+        """Fraction of leaves that are nil (basic method metric, §3.1)."""
+        leaves = self.trie.leaves_in_order()
+        if not leaves:
+            return 0.0
+        return sum(1 for _, ptr, _ in leaves if is_nil(ptr)) / len(leaves)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Verify every invariant tying trie, model and buckets together.
+
+        Used pervasively by the test suite: the trie must satisfy the
+        structural axioms; every stored key must map (through the trie
+        *and* through the canonical model) to the bucket storing it; no
+        bucket may exceed capacity; live buckets and reachable leaves
+        must agree.
+        """
+        self.trie.check(expect_no_nil=not self.policy.nil_nodes)
+        model = self.trie.to_model()
+        reachable = {c for c in model.children if c is not None}
+        live = set(self.store.live_addresses())
+        if reachable != live:
+            raise AssertionError(
+                f"trie leaves {sorted(reachable)} != live buckets {sorted(live)}"
+            )
+        total = 0
+        for address in live:
+            bucket = self.store.peek(address)
+            if len(bucket) > self.capacity:
+                raise AssertionError(f"bucket {address} over capacity")
+            total += len(bucket)
+            for key in bucket.keys:
+                mapped = model.lookup(key)
+                if mapped != address:
+                    raise AssertionError(
+                        f"key {key!r} stored in bucket {address} but mapped "
+                        f"to {mapped}"
+                    )
+                searched = self.trie.search(key)
+                if searched.bucket != address:
+                    raise AssertionError(
+                        f"A1 maps {key!r} to {searched.bucket}, stored in "
+                        f"{address}"
+                    )
+        if total != self._size:
+            raise AssertionError(f"size {self._size} but {total} records stored")

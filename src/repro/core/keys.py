@@ -1,0 +1,112 @@
+"""Key and prefix arithmetic.
+
+The paper manipulates keys through *digit prefixes*: ``(c)_l`` denotes the
+``(l+1)``-digit prefix of the string ``c`` (and the empty string for
+``l < 0``). Because keys are implicitly padded on the right with the
+smallest digit (space), a prefix may extend past the end of the key — the
+prefix ``(c)_2`` of ``c = 'ha'`` is ``'ha '``. This module implements that
+arithmetic once, so the splitting algorithms read like the paper.
+
+All functions take the canonical form of a key (no trailing spaces), as
+produced by :meth:`repro.core.alphabet.Alphabet.validate_key`.
+"""
+
+from __future__ import annotations
+
+from .alphabet import Alphabet
+
+__all__ = [
+    "prefix",
+    "compare_prefix",
+    "prefix_le",
+    "prefix_lt",
+    "prefix_gt",
+    "common_prefix_length",
+    "split_string",
+]
+
+
+def prefix(key: str, l: int, alphabet: Alphabet) -> str:
+    """The paper's ``(c)_l``: the ``(l+1)``-digit prefix of ``key``.
+
+    Reading past the end of the key yields space (minimum) digits, so the
+    result always has exactly ``l + 1`` digits (and is empty for ``l < 0``).
+    """
+    if l < 0:
+        return ""
+    n = l + 1
+    if n <= len(key):
+        return key[:n]
+    return key + alphabet.min_digit * (n - len(key))
+
+
+def compare_prefix(key: str, bound: str, alphabet: Alphabet) -> int:
+    """Three-way compare ``(key)_l`` against ``bound`` where ``l+1 = len(bound)``.
+
+    Returns -1, 0 or +1 as the padded prefix of ``key`` is below, equal to,
+    or above ``bound``. This is the comparison at the heart of the key
+    search: a key is mapped to the left of a trie node with boundary
+    ``bound`` exactly when the result is <= 0.
+    """
+    p = prefix(key, len(bound) - 1, alphabet)
+    if p < bound:
+        return -1
+    if p > bound:
+        return 1
+    return 0
+
+
+def prefix_le(key: str, bound: str, alphabet: Alphabet) -> bool:
+    """True when ``(key)_l <= bound`` (the 'go left' condition)."""
+    return compare_prefix(key, bound, alphabet) <= 0
+
+
+def prefix_lt(key: str, bound: str, alphabet: Alphabet) -> bool:
+    """True when ``(key)_l < bound`` strictly."""
+    return compare_prefix(key, bound, alphabet) < 0
+
+
+def prefix_gt(key: str, bound: str, alphabet: Alphabet) -> bool:
+    """True when ``(key)_l > bound`` (the 'move to the new bucket' test)."""
+    return compare_prefix(key, bound, alphabet) > 0
+
+
+def common_prefix_length(a: str, b: str) -> int:
+    """Number of leading digits shared by ``a`` and ``b`` (no padding)."""
+    n = min(len(a), len(b))
+    i = 0
+    while i < n and a[i] == b[i]:
+        i += 1
+    return i
+
+
+def split_string(split_key: str, bounding_key: str, alphabet: Alphabet) -> str:
+    """Step 1 of Algorithm A2: the *split string* for a bucket split.
+
+    Returns the shortest prefix ``(c')_i`` of ``split_key`` that is strictly
+    smaller than the same-length prefix ``(bounding_key)_i``. In the basic
+    method the bounding key is the last key of the splitting sequence (the
+    paper's ``c''``); THCL's split control passes a closer bounding key to
+    make the split deterministic (Section 4.2).
+
+    Raises
+    ------
+    ValueError
+        If ``split_key >= bounding_key``, in which case no such prefix
+        exists (the split is impossible).
+    """
+    if not split_key < bounding_key:
+        raise ValueError(
+            f"split key {split_key!r} must be strictly below the bounding "
+            f"key {bounding_key!r}"
+        )
+    # The first position where the *padded* digits differ is the shortest
+    # prefix length that separates the two keys; split_key < bounding_key
+    # guarantees the digit of the split key is the smaller one there.
+    # Padding matters: with keys like 'ab' vs 'ab b' the raw strings agree
+    # through position 1, but position 2 compares space against space, so
+    # the true first difference sits deeper.
+    i = 0
+    while alphabet.digit_at(split_key, i) == alphabet.digit_at(bounding_key, i):
+        i += 1
+    return prefix(split_key, i, alphabet)

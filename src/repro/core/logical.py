@@ -1,0 +1,128 @@
+"""The M-ary *logical structure* embedded in a TH-trie (Fig 2).
+
+Section 2.1: the binary TH-trie embeds an M-ary trie — the classical
+digit trie — through the logical paths. Internal nodes of the logical
+structure are digits arranged in levels (all ``(d, i)`` with the same
+``i`` form level ``i``), edges link logical parents to logical children,
+and leaves are bucket addresses.
+
+In the boundary view this is immediate: every boundary string *is* a
+logical node (its digits spell the root-to-node path), its logical
+parent is its one-digit-shorter prefix, and the bucket left of the
+boundary hangs under it. This module materialises that view for
+inspection, rendering and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .cells import is_nil
+from .trie import Trie
+
+__all__ = ["LogicalNode", "logical_structure"]
+
+
+class LogicalNode:
+    """One digit of the M-ary structure.
+
+    ``path`` spells the digits from the root (so ``path[-1]`` is this
+    node's digit and ``len(path) - 1`` its level); ``children`` are the
+    logical children in digit order; ``bucket`` is the leaf hanging
+    immediately under this node (the bucket left of its boundary), or
+    ``None`` for a nil leaf.
+    """
+
+    __slots__ = ("path", "children", "bucket")
+
+    def __init__(self, path: str):
+        self.path = path
+        self.children: List["LogicalNode"] = []
+        self.bucket: Optional[int] = None
+
+    @property
+    def digit(self) -> str:
+        """The digit this node represents."""
+        return self.path[-1]
+
+    @property
+    def level(self) -> int:
+        """The digit number ``i`` (level in the logical structure)."""
+        return len(self.path) - 1
+
+    def walk(self):
+        """Yield every node of the subtree, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalNode({self.path!r}, bucket={self.bucket})"
+
+
+class LogicalStructure:
+    """The full M-ary view of one trie."""
+
+    def __init__(self, roots: List[LogicalNode], rightmost: Optional[int]):
+        #: Level-0 digits in order.
+        self.roots = roots
+        #: The bucket right of every boundary (the paper draws it as the
+        #: rightmost leaf of the structure).
+        self.rightmost_bucket = rightmost
+
+    def levels(self) -> Dict[int, List[str]]:
+        """Digits per level, left to right — Fig 2's rows."""
+        out: Dict[int, List[str]] = {}
+        for root in self.roots:
+            for node in root.walk():
+                out.setdefault(node.level, []).append(node.digit)
+        return out
+
+    def node_count(self) -> int:
+        """Total logical nodes (equals the binary trie's cell count)."""
+        return sum(1 for root in self.roots for _ in root.walk())
+
+    def buckets_in_order(self) -> List[Optional[int]]:
+        """Leaf buckets left to right, nil leaves as ``None``."""
+        out: List[Optional[int]] = []
+
+        def visit(node: LogicalNode) -> None:
+            # A node's own bucket is its leftmost leaf (keys <= path),
+            # then its children's subtrees follow in digit order...
+            # Inorder of the binary trie: extensions first, then the
+            # node's gap. Reconstruct from children recursively:
+            for child in node.children:
+                visit(child)
+            out.append(node.bucket)
+
+        for root in self.roots:
+            visit(root)
+        out.append(self.rightmost_bucket)
+        return out
+
+
+def logical_structure(trie: Trie) -> LogicalStructure:
+    """Build Fig 2's M-ary view from a trie."""
+    model = trie.to_model()
+    nodes: Dict[str, LogicalNode] = {}
+    roots: List[LogicalNode] = []
+    # Boundaries arrive in inorder (extensions before their prefixes);
+    # iterate and attach each to its logical parent.
+    for j, boundary in enumerate(model.boundaries):
+        node = nodes.setdefault(boundary, LogicalNode(boundary))
+        node.bucket = model.children[j]
+    for boundary in sorted(nodes, key=len):
+        node = nodes[boundary]
+        if len(boundary) == 1:
+            roots.append(node)
+        else:
+            parent = nodes.get(boundary[:-1])
+            if parent is None:  # cannot happen for prefix-closed sets
+                roots.append(node)
+            else:
+                parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: n.path)
+    roots.sort(key=lambda n: n.path)
+    rightmost = model.children[-1] if model.children else None
+    return LogicalStructure(roots, rightmost)

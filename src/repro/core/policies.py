@@ -1,0 +1,216 @@
+"""Split and maintenance policies.
+
+Everything the paper tunes lives here: the split-key position ``m``
+(Sections 2.3 and 3.2), THCL's bounding-key position that bounds the
+split's randomness (Section 4.2), whether nil nodes exist (basic TH) or
+leaves are shared (THCL, Section 4.1), redistribution (Section 4.4), and
+the deletion/merging regime (Sections 2.4, 3.3, 4.3).
+
+The factory classmethods encode the paper's named configurations, e.g.
+``SplitPolicy.thcl_ascending(d=2)`` is one point on the Figure 10 sweep
+(split key at ``m = b - d``, deterministic split, no nil nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from .errors import CapacityError
+
+__all__ = ["SplitPolicy"]
+
+
+@dataclass(frozen=True)
+class SplitPolicy:
+    """Immutable configuration of the splitting/maintenance behaviour.
+
+    Parameters
+    ----------
+    split_position:
+        The paper's ``m``: 1-based position of the split key within the
+        ordered sequence ``B`` of ``b + 1`` keys. ``None`` selects the
+        default middle position ``INT(b/2) + 1`` used for random
+        insertions. Negative values count from the top (``-1`` = position
+        ``b``, the highest key that can be a split key).
+    split_fraction:
+        Alternative to ``split_position``: ``m = round(fraction * b)``
+        clamped into ``[1, b]``. The paper writes these as ``m = 0.4b``
+        etc. Exactly one of the two may be set.
+    bounding_offset:
+        THCL split control (Section 4.2): the bounding key sits at
+        position ``m + bounding_offset``. ``None`` reproduces the basic
+        method's partly random split (bounding key = the last key,
+        ``c''``); ``1`` makes every split deterministic.
+    nil_nodes:
+        ``True`` is the basic method of /LIT81/ (rare-case splits create
+        nil leaves); ``False`` is THCL (several leaves may share a
+        bucket, no nil leaves ever; Section 4.1).
+    redistribution:
+        ``'none'``, ``'successor'``, ``'predecessor'`` or ``'both'``
+        (Section 4.4). Requires ``nil_nodes=False``.
+    redistribution_target:
+        ``'compact'`` moves as few keys as possible off the overflowing
+        bucket (Fig 9's maximal-load variant); ``'even'`` balances the
+        two buckets (the classic B-tree behaviour that yields the ~87%
+        random load).
+    merge:
+        Deletion regime: ``'none'`` (logical deletes only), ``'siblings'``
+        (basic TH, Section 2.4: only sibling leaves merge), or
+        ``'guaranteed'`` (THCL, Section 4.3: successive buckets merge or
+        borrow, keeping every bucket at least half full).
+    prefer_existing_boundary:
+        The Section 4.5 refinement: when the overflowing bucket spans
+        several leaves, scan split-key candidates above the basic
+        position for one whose split string is already fully on the
+        logical path — a split through step 3.4 that adds **no** trie
+        node. Requires ``nil_nodes=False``.
+    collapse_equal_leaves:
+        After redistribution, remove trie nodes whose two children became
+        identical leaves (Fig 9's optional shrink). Off by default: the
+        paper argues leaving cells in place helps concurrency (/VID87/).
+    """
+
+    split_position: Optional[int] = None
+    split_fraction: Optional[float] = None
+    bounding_offset: Optional[int] = None
+    nil_nodes: bool = True
+    redistribution: str = "none"
+    redistribution_target: str = "even"
+    merge: str = "siblings"
+    prefer_existing_boundary: bool = False
+    collapse_equal_leaves: bool = False
+
+    def __post_init__(self) -> None:
+        if self.split_position is not None and self.split_fraction is not None:
+            raise CapacityError("set split_position or split_fraction, not both")
+        if self.bounding_offset is not None and self.bounding_offset < 1:
+            raise CapacityError("bounding_offset must be >= 1")
+        if self.redistribution not in ("none", "successor", "predecessor", "both"):
+            raise CapacityError(f"unknown redistribution {self.redistribution!r}")
+        if self.merge == "rotations" and not self.nil_nodes:
+            raise CapacityError(
+                "rotation merging is the basic method's refinement "
+                "(nil_nodes=True); THCL uses merge='guaranteed'"
+            )
+        if self.redistribution_target not in ("compact", "even"):
+            raise CapacityError(
+                f"unknown redistribution_target {self.redistribution_target!r}"
+            )
+        if self.merge not in ("none", "siblings", "rotations", "guaranteed"):
+            raise CapacityError(f"unknown merge policy {self.merge!r}")
+        if self.redistribution != "none" and self.nil_nodes:
+            raise CapacityError(
+                "redistribution needs THCL shared leaves (nil_nodes=False)"
+            )
+        if self.merge == "guaranteed" and self.nil_nodes:
+            raise CapacityError(
+                "the guaranteed-load merge regime needs THCL (nil_nodes=False)"
+            )
+        if self.prefer_existing_boundary and self.nil_nodes:
+            raise CapacityError(
+                "prefer_existing_boundary needs THCL shared leaves"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived positions
+    # ------------------------------------------------------------------
+    def split_index(self, bucket_capacity: int) -> int:
+        """The split key's 1-based position ``m`` for capacity ``b``."""
+        b = bucket_capacity
+        if self.split_position is not None:
+            m = self.split_position if self.split_position > 0 else b + 1 + self.split_position
+        elif self.split_fraction is not None:
+            m = round(self.split_fraction * b)
+        else:
+            m = b // 2 + 1  # the paper's INT(b/2 + 1) default
+        if not 1 <= m <= b:
+            raise CapacityError(
+                f"split position {m} outside [1, {b}] for capacity {b}"
+            )
+        return m
+
+    def bounding_index(self, bucket_capacity: int) -> int:
+        """The bounding key's 1-based position (``b + 1`` = basic method)."""
+        b = bucket_capacity
+        m = self.split_index(b)
+        if self.bounding_offset is None:
+            return b + 1
+        return min(b + 1, m + self.bounding_offset)
+
+    def with_(self, **changes) -> "SplitPolicy":
+        """A copy of this policy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # The paper's named configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def basic_th(cls, split_position: Optional[int] = None) -> "SplitPolicy":
+        """Basic trie hashing of /LIT81/ (nil nodes, random split tail)."""
+        return cls(split_position=split_position)
+
+    @classmethod
+    def thcl(
+        cls,
+        split_position: Optional[int] = None,
+        bounding_offset: Optional[int] = 1,
+        merge: str = "guaranteed",
+    ) -> "SplitPolicy":
+        """General THCL: shared leaves, deterministic splits by default."""
+        return cls(
+            split_position=split_position,
+            bounding_offset=bounding_offset,
+            nil_nodes=False,
+            merge=merge,
+        )
+
+    @classmethod
+    def thcl_ascending(cls, d: int = 0) -> "SplitPolicy":
+        """Figure 10 point: expected ascending insertions, ``m = b - d``.
+
+        ``d = 0`` builds the most compact file (a = 100%); small positive
+        ``d`` trades a few percent of load for a much smaller trie.
+        """
+        if d < 0:
+            raise CapacityError("d = b - m must be non-negative")
+        return cls(
+            split_position=-(d + 1),  # m = b - d counted from the top
+            bounding_offset=1,
+            nil_nodes=False,
+            merge="guaranteed",
+        )
+
+    @classmethod
+    def thcl_descending(cls, d: int = 0) -> "SplitPolicy":
+        """Figure 11 point: expected descending insertions.
+
+        The split key is the lowest key (``m = 1``); the bounding key sits
+        ``d + 1`` positions above it (the paper's ``d = m'' - m - 1``).
+        ``d = 0`` is fully deterministic and yields a = 100%.
+        """
+        if d < 0:
+            raise CapacityError("d = m'' - m - 1 must be non-negative")
+        return cls(
+            split_position=1,
+            bounding_offset=d + 1,
+            nil_nodes=False,
+            merge="guaranteed",
+        )
+
+    @classmethod
+    def thcl_guaranteed_half(cls) -> "SplitPolicy":
+        """Unexpected ordered insertions: exactly 50% load whatever the
+        key order (middle split key, deterministic split; Section 4.5)."""
+        return cls(bounding_offset=1, nil_nodes=False, merge="guaranteed")
+
+    @classmethod
+    def thcl_redistributing(cls, target: str = "even") -> "SplitPolicy":
+        """THCL with B-tree-style redistribution before splitting."""
+        return cls(
+            bounding_offset=1,
+            nil_nodes=False,
+            redistribution="both",
+            redistribution_target=target,
+            merge="guaranteed",
+        )

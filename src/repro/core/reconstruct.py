@@ -1,0 +1,79 @@
+"""Trie reconstruction from bucket headers (/TOR83/, Section 6).
+
+Every bucket header stores the logical path that last addressed the
+bucket (maintained by the splitting code in
+:class:`~repro.core.file.THFile`). For an insert-only basic-TH file this
+path is exactly the bucket's *right cut*: the boundary immediately above
+its key range ("" for the rightmost bucket). The whole trie can therefore
+be rebuilt from the buckets alone — the recovery story the paper cites
+for an accidentally destroyed trie — and the rebuilt trie is canonically
+balanced, usually better than the original.
+
+Nil leaves cannot be recovered (no bucket records them); their empty
+regions are absorbed by the following bucket, which preserves the mapping
+of every *stored* key. Prefixes lost that way are re-added to keep the
+boundary set prefix-closed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .alphabet import Alphabet
+from .boundaries import BoundaryModel, boundary_sort_key
+from .trie import Trie
+
+__all__ = ["reconstruct_model", "reconstruct_trie"]
+
+
+def reconstruct_model(store, alphabet: Alphabet) -> BoundaryModel:
+    """Rebuild the canonical boundary model from bucket headers.
+
+    ``store`` is the file's :class:`~repro.storage.buckets.BucketStore`;
+    every live bucket is read once (the reconstruction's disk cost is one
+    sweep of the file, as /TOR83/ assumes).
+    """
+    headed: List[Tuple[Tuple[int, ...], str, int]] = []
+    for address in store.live_addresses():
+        bucket = store.read(address)
+        path = bucket.header_path
+        headed.append((boundary_sort_key(path, alphabet), path, address))
+    headed.sort()  # "" sorts last: its sort key is the bare pad sentinel
+
+    cut_keys = [entry[0] for entry in headed]
+    boundaries: List[str] = []
+    children: List[Optional[int]] = []
+    seen = {path for _, path, _ in headed}
+    complete: List[str] = []
+    for _, path, _ in headed:
+        if path:
+            complete.append(path)
+        # Re-add prefixes lost with nil leaves so the set stays closed.
+        for l in range(1, len(path)):
+            if path[:l] not in seen:
+                seen.add(path[:l])
+                complete.append(path[:l])
+    complete.sort(key=lambda s: boundary_sort_key(s, alphabet))
+
+    import bisect
+
+    boundaries = complete
+    for j in range(len(boundaries) + 1):
+        # The child of gap j is the bucket whose right cut is the
+        # smallest original header at or above the gap's upper boundary.
+        upper = (
+            boundary_sort_key(boundaries[j], alphabet)
+            if j < len(boundaries)
+            else boundary_sort_key("", alphabet)
+        )
+        at = bisect.bisect_left(cut_keys, upper)
+        # When the file's rightmost leaf was nil, no bucket has the ""
+        # cut; gaps above every recorded cut fold into the last bucket.
+        at = min(at, len(headed) - 1)
+        children.append(headed[at][2])
+    return BoundaryModel(alphabet, boundaries, children)
+
+
+def reconstruct_trie(store, alphabet: Alphabet, pick: str = "balanced") -> Trie:
+    """Rebuild a (canonically balanced) trie from bucket headers."""
+    return Trie.from_model(reconstruct_model(store, alphabet), pick=pick)

@@ -1,0 +1,68 @@
+"""ASCII rendering of tries and files — Fig 1(c) and Fig 2 on a terminal.
+
+Purely presentational: used by the CLI ``demo`` command, the examples
+and debugging sessions. The binary view prints each internal node as
+``(d,i)`` with its boundary, indenting by depth; the logical view prints
+the M-ary digit levels of Fig 2.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .cells import edge_target, is_edge, is_nil
+from .logical import logical_structure
+from .trie import Trie
+
+__all__ = ["render_trie", "render_logical", "render_file"]
+
+
+def render_trie(trie: Trie) -> str:
+    """The binary trie, rotated: right subtree above, left below.
+
+    Leaves print as bucket addresses (or ``nil``); internal nodes as
+    ``(d,i)``. Reading top to bottom gives descending key order, like
+    the figures in the paper read left to right.
+    """
+    lines: List[str] = []
+
+    def visit(ptr: int, depth: int) -> None:
+        pad = "    " * depth
+        if not is_edge(ptr):
+            lines.append(f"{pad}[nil]" if is_nil(ptr) else f"{pad}[{ptr}]")
+            return
+        cell = trie.cells[edge_target(ptr)]
+        visit(cell.rp, depth + 1)
+        lines.append(f"{pad}({cell.dv},{cell.dn})")
+        visit(cell.lp, depth + 1)
+
+    visit(trie.root, 0)
+    return "\n".join(lines)
+
+
+def render_logical(trie: Trie) -> str:
+    """Fig 2's logical structure: one row per digit level."""
+    structure = logical_structure(trie)
+    lines = []
+    for level, digits in sorted(structure.levels().items()):
+        lines.append(f"level {level}: " + " ".join(digits))
+    buckets = " ".join(
+        "nil" if b is None else str(b) for b in structure.buckets_in_order()
+    )
+    lines.append(f"leaves : {buckets}")
+    return "\n".join(lines)
+
+
+def render_file(file) -> str:
+    """Buckets and trie of a :class:`~repro.core.file.THFile`, together."""
+    parts = [
+        f"records={len(file)} buckets={file.bucket_count()} "
+        f"cells={file.trie_size()} load={file.load_factor():.1%}",
+        "",
+        "buckets:",
+    ]
+    for address in sorted(file.store.live_addresses()):
+        bucket = file.store.peek(address)
+        parts.append(f"  {address:3d}: {' '.join(bucket.keys)}")
+    parts += ["", "trie:", render_trie(file.trie)]
+    return "\n".join(parts)

@@ -1,0 +1,24 @@
+"""Multikey (multi-attribute) trie hashing — Section 6's last proposal.
+
+The paper closes: "one should extend TH to the multikey case ... As
+tries remain compact in presence of uneven distributions, one may expect
+them to offer an alternative to the grid files without the phenomenon of
+exponential growth of the directory."
+
+This package realises the straightforward construction: the digits of k
+fixed-width attributes are interleaved (a base-|alphabet| Morton / z
+order), and the composite keys live in an ordinary :class:`THFile`. The
+z-curve's bounding property turns an axis-aligned rectangle query into
+one composite-key range scan plus a per-record filter.
+
+:mod:`grid_model` implements the comparison target: a faithful
+miniature of the grid file's directory (split lines per dimension, the
+directory being their cross product), whose size under skewed data
+grows multiplicatively — the pathology the paper predicts tries avoid.
+"""
+
+from .grid_model import GridDirectoryModel
+from .interleave import Interleaver
+from .mkfile import MultikeyTHFile
+
+__all__ = ["Interleaver", "MultikeyTHFile", "GridDirectoryModel"]

@@ -1,0 +1,118 @@
+"""Digit interleaving of fixed-width attributes (base-M Morton order).
+
+Each attribute occupies a declared width; shorter values pad on the
+right with the alphabet's space digit (trie hashing's native
+convention). The composite key takes digits round-robin — attribute 0's
+digit 0, attribute 1's digit 0, ..., attribute 0's digit 1, ... — which
+is exactly the z-order curve in base ``len(alphabet)``.
+
+The property the rectangle query relies on: interleaving is monotone in
+every coordinate, so every point of an axis-aligned box has a composite
+key between the composite keys of the box's min and max corners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
+from ..core.errors import InvalidKeyError
+
+__all__ = ["Interleaver"]
+
+
+class Interleaver:
+    """Composes/decomposes fixed-width attribute tuples.
+
+    Parameters
+    ----------
+    widths:
+        Digits reserved per attribute (its maximum length).
+    alphabet:
+        Shared attribute alphabet.
+    """
+
+    def __init__(self, widths: Sequence[int], alphabet: Alphabet = DEFAULT_ALPHABET):
+        if not widths or any(w < 1 for w in widths):
+            raise InvalidKeyError("attribute widths must be positive")
+        self.widths = tuple(widths)
+        self.alphabet = alphabet
+        # Precompute, for each composite position, (attribute, digit).
+        self._layout: List[Tuple[int, int]] = []
+        for round_no in range(max(self.widths)):
+            for dim, width in enumerate(self.widths):
+                if round_no < width:
+                    self._layout.append((dim, round_no))
+
+    @property
+    def dimensions(self) -> int:
+        """Number of attributes."""
+        return len(self.widths)
+
+    @property
+    def composite_width(self) -> int:
+        """Total digits of a composite key."""
+        return len(self._layout)
+
+    # ------------------------------------------------------------------
+    def _pad(self, values: Sequence[str]) -> List[str]:
+        if len(values) != len(self.widths):
+            raise InvalidKeyError(
+                f"expected {len(self.widths)} attributes, got {len(values)}"
+            )
+        padded = []
+        for value, width in zip(values, self.widths):
+            if len(value) > width:
+                raise InvalidKeyError(
+                    f"attribute {value!r} exceeds its width {width}"
+                )
+            for ch in value:
+                if ch not in self.alphabet:
+                    raise InvalidKeyError(f"digit {ch!r} outside the alphabet")
+            padded.append(value.ljust(width, self.alphabet.min_digit))
+        return padded
+
+    def compose(self, values: Sequence[str]) -> str:
+        """Interleave the attributes into one composite key."""
+        padded = self._pad(values)
+        key = "".join(padded[dim][digit] for dim, digit in self._layout)
+        canon = key.rstrip(self.alphabet.min_digit)
+        if not canon:
+            raise InvalidKeyError("composite key is all padding")
+        return canon
+
+    def decompose(self, key: str) -> Tuple[str, ...]:
+        """Recover the attribute tuple from a composite key."""
+        if len(key) > self.composite_width:
+            raise InvalidKeyError("composite key longer than the layout")
+        parts = [[self.alphabet.min_digit] * w for w in self.widths]
+        for at, ch in enumerate(key):
+            dim, digit = self._layout[at]
+            parts[dim][digit] = ch
+        return tuple(
+            "".join(p).rstrip(self.alphabet.min_digit) for p in parts
+        )
+
+    # ------------------------------------------------------------------
+    def low_corner(self, lows: Sequence[str]) -> str:
+        """Composite key of a box's minimum corner (open bounds -> min)."""
+        values = [
+            (v if v is not None else "") for v in lows
+        ]
+        padded = self._pad(values)
+        return "".join(padded[dim][digit] for dim, digit in self._layout)
+
+    def high_corner(self, highs: Sequence[str]) -> str:
+        """Composite key of a box's maximum corner (open bounds -> max)."""
+        values = []
+        for v, width in zip(highs, self.widths):
+            if v is None:
+                values.append(self.alphabet.max_digit * width)
+            else:
+                if len(v) > width:
+                    raise InvalidKeyError(f"{v!r} exceeds width {width}")
+                # Keys at or below v in this coordinate can carry any
+                # padding digits after v's own, so pad the corner high.
+                values.append(v.ljust(width, self.alphabet.max_digit))
+        padded = self._pad(values)
+        return "".join(padded[dim][digit] for dim, digit in self._layout)

@@ -1,0 +1,152 @@
+"""A multi-attribute file over interleaved trie hashing.
+
+Records are identified by a tuple of fixed-width attributes; the
+interleaved composite key lives in an ordinary :class:`THFile`, so every
+single-key property (one-access search, ordered buckets, load control
+policies) carries over. Axis-aligned rectangle queries ride the z-order
+bounding property: one composite range scan, filtered per record; the
+:meth:`MultikeyTHFile.rectangle_stats` helper reports the filter's
+selectivity so benches can quantify the curve's overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
+from ..core.file import THFile
+from ..core.policies import SplitPolicy
+from .interleave import Interleaver
+
+__all__ = ["MultikeyTHFile"]
+
+
+class MultikeyTHFile:
+    """Trie hashing over interleaved multi-attribute keys.
+
+    Parameters
+    ----------
+    widths:
+        Maximum digits per attribute.
+    bucket_capacity / policy / alphabet:
+        Forwarded to the underlying :class:`THFile`.
+    """
+
+    def __init__(
+        self,
+        widths: Sequence[int],
+        bucket_capacity: int = 20,
+        policy: Optional[SplitPolicy] = None,
+        alphabet: Alphabet = DEFAULT_ALPHABET,
+    ):
+        self.interleaver = Interleaver(widths, alphabet)
+        self.file = THFile(bucket_capacity, policy, alphabet)
+
+    # ------------------------------------------------------------------
+    # Exact-match operations
+    # ------------------------------------------------------------------
+    def insert(self, values: Sequence[str], payload: object = None) -> None:
+        """Insert a record under the attribute tuple."""
+        self.file.insert(self.interleaver.compose(values), payload)
+
+    def put(self, values: Sequence[str], payload: object = None) -> None:
+        """Insert or overwrite."""
+        self.file.put(self.interleaver.compose(values), payload)
+
+    def get(self, values: Sequence[str]) -> object:
+        """Payload stored under the exact attribute tuple."""
+        return self.file.get(self.interleaver.compose(values))
+
+    def contains(self, values: Sequence[str]) -> bool:
+        """True when the exact tuple is stored."""
+        return self.file.contains(self.interleaver.compose(values))
+
+    def delete(self, values: Sequence[str]) -> object:
+        """Delete the record under the tuple."""
+        return self.file.delete(self.interleaver.compose(values))
+
+    def __len__(self) -> int:
+        return len(self.file)
+
+    def items(self) -> Iterator[Tuple[Tuple[str, ...], object]]:
+        """Every record in z order, decomposed."""
+        for key, payload in self.file.items():
+            yield self.interleaver.decompose(key), payload
+
+    # ------------------------------------------------------------------
+    # Rectangle (region) queries
+    # ------------------------------------------------------------------
+    def rectangle(
+        self,
+        lows: Sequence[Optional[str]],
+        highs: Sequence[Optional[str]],
+    ) -> Iterator[Tuple[Tuple[str, ...], object]]:
+        """Records whose every attribute lies in ``[low_i, high_i]``.
+
+        ``None`` bounds are open. Runs one composite-key range scan
+        between the box corners (the z-order bounding property) and
+        filters record-wise.
+        """
+        yield from (
+            hit for hit, matched in self._rectangle_scan(lows, highs) if matched
+        )
+
+    def rectangle_stats(
+        self,
+        lows: Sequence[Optional[str]],
+        highs: Sequence[Optional[str]],
+    ) -> Tuple[int, int]:
+        """(matching records, scanned candidates) for one rectangle."""
+        matches = scanned = 0
+        for _, matched in self._rectangle_scan(lows, highs):
+            scanned += 1
+            matches += matched
+        return matches, scanned
+
+    def _rectangle_scan(self, lows, highs):
+        inter = self.interleaver
+        low_key = inter.low_corner(list(lows))
+        high_key = inter.high_corner(list(highs))
+        alphabet = inter.alphabet
+        low_canon = low_key.rstrip(alphabet.min_digit)
+        for key, payload in self.file.range_items(
+            low_canon if low_canon else None, high_key
+        ):
+            values = inter.decompose(key)
+            inside = True
+            for v, lo, hi in zip(values, lows, highs):
+                if lo is not None and v.ljust(len(lo), alphabet.min_digit) < lo:
+                    inside = False
+                    break
+                if hi is not None and not self._le_bound(v, hi, alphabet):
+                    inside = False
+                    break
+            if inside:
+                yield (values, payload), 1
+            else:
+                yield (values, payload), 0
+
+    @staticmethod
+    def _le_bound(value: str, bound: str, alphabet: Alphabet) -> bool:
+        """Attribute comparison with trie hashing's padding semantics."""
+        from ..core.keys import prefix_le
+
+        return prefix_le(value if value else alphabet.min_digit, bound, alphabet)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def directory_size(self) -> int:
+        """Trie cells — the analogue of a grid file's directory entries."""
+        return self.file.trie_size()
+
+    def load_factor(self) -> float:
+        """Bucket load factor of the underlying file."""
+        return self.file.load_factor()
+
+    def check(self) -> None:
+        """Validate the underlying file and key decomposition."""
+        self.file.check()
+        for key, _ in self.file.items():
+            values = self.interleaver.decompose(key)
+            assert self.interleaver.compose(values) == key, key

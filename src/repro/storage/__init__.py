@@ -1,0 +1,26 @@
+"""Simulated disk substrate.
+
+The paper's performance claims are phrased in *disk accesses per
+operation* and *load factors*; its testbed was a Turbo Pascal program on
+early-80s PC hardware. This package substitutes a faithful but synthetic
+substrate: a block-addressed simulated disk that counts every read and
+write, an optional seek/rotation/transfer latency model to turn counts
+into simulated time, an LRU buffer pool, and the bucket store used by the
+trie-hashing and B-tree files.
+"""
+
+from .buckets import Bucket, BucketStore
+from .buffer import BufferPool
+from .disk import DiskStats, SimulatedDisk
+from .latency import LatencyModel
+from .layout import Layout
+
+__all__ = [
+    "Bucket",
+    "BucketStore",
+    "BufferPool",
+    "DiskStats",
+    "SimulatedDisk",
+    "LatencyModel",
+    "Layout",
+]

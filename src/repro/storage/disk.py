@@ -1,0 +1,149 @@
+"""A block-addressed simulated disk with exact access accounting.
+
+Blocks hold arbitrary Python payloads (buckets, trie pages, B-tree nodes);
+sizes in bytes are accounted separately through :mod:`repro.storage.layout`
+because the simulation's claims concern *counts* and *ratios*, not
+serialisation throughput. Every :meth:`SimulatedDisk.read` and
+:meth:`SimulatedDisk.write` bumps the :class:`DiskStats` counters and,
+when a latency model is attached, advances the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.errors import StorageError
+from .latency import LatencyModel
+
+__all__ = ["DiskStats", "SimulatedDisk"]
+
+
+class DiskStats:
+    """Counters for one simulated device.
+
+    Attributes
+    ----------
+    reads, writes:
+        Number of block reads/writes that actually reached the device
+        (buffer-pool hits do not count, matching the paper's "disk
+        access" notion).
+    simulated_seconds:
+        Total simulated I/O time when a latency model is attached.
+    """
+
+    __slots__ = ("reads", "writes", "simulated_seconds")
+
+    def __init__(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.simulated_seconds = 0.0
+
+    @property
+    def accesses(self) -> int:
+        """Total device accesses (reads + writes)."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> "DiskStats":
+        """A copy of the current counters (for windowed measurements)."""
+        copy = DiskStats()
+        copy.reads = self.reads
+        copy.writes = self.writes
+        copy.simulated_seconds = self.simulated_seconds
+        return copy
+
+    def delta(self, earlier: "DiskStats") -> "DiskStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        diff = DiskStats()
+        diff.reads = self.reads - earlier.reads
+        diff.writes = self.writes - earlier.writes
+        diff.simulated_seconds = self.simulated_seconds - earlier.simulated_seconds
+        return diff
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads = 0
+        self.writes = 0
+        self.simulated_seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DiskStats(reads={self.reads}, writes={self.writes}, "
+            f"t={self.simulated_seconds:.6f}s)"
+        )
+
+
+class SimulatedDisk:
+    """A dictionary-of-blocks device that meters every access.
+
+    Parameters
+    ----------
+    latency:
+        Optional :class:`LatencyModel`; when given, each access advances
+        ``stats.simulated_seconds`` by a seek + rotation + transfer cost.
+    block_bytes:
+        Nominal block size used by the latency model's transfer term and
+        by capacity reporting.
+    """
+
+    def __init__(
+        self, latency: Optional[LatencyModel] = None, block_bytes: int = 4096
+    ):
+        self._blocks: Dict[int, object] = {}
+        self._next_id = 0
+        self.block_bytes = block_bytes
+        self.latency = latency
+        self.stats = DiskStats()
+
+    def __len__(self) -> int:
+        """Number of allocated blocks."""
+        return len(self._blocks)
+
+    def allocate(self, payload: object) -> int:
+        """Allocate a fresh block holding ``payload``.
+
+        Allocation itself is metadata and charges no access — the caller's
+        first :meth:`write` of real content is the charged one, matching
+        the paper's one-access cost for appending a bucket.
+        """
+        block_id = self._next_id
+        self._next_id += 1
+        self._blocks[block_id] = payload
+        return block_id
+
+    def read(self, block_id: int) -> object:
+        """Fetch a block's payload; counts as a read."""
+        try:
+            payload = self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"block {block_id} does not exist") from None
+        self._account(write=False)
+        return payload
+
+    def write(self, block_id: int, payload: object) -> None:
+        """Overwrite a block's payload; counts as a write."""
+        if block_id not in self._blocks:
+            raise StorageError(f"block {block_id} does not exist")
+        self._blocks[block_id] = payload
+        self._account(write=True)
+
+    def free(self, block_id: int) -> None:
+        """Release a block (no access is charged; deallocation is metadata)."""
+        if self._blocks.pop(block_id, None) is None:
+            raise StorageError(f"block {block_id} does not exist")
+
+    def peek(self, block_id: int) -> object:
+        """Read a block *without* charging an access (test/debug helper)."""
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise StorageError(f"block {block_id} does not exist") from None
+
+    def _account(self, write: bool) -> None:
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if self.latency is not None:
+            self.stats.simulated_seconds += self.latency.access_seconds(
+                self.block_bytes
+            )

@@ -1,0 +1,80 @@
+"""Fault injection for the simulated disk.
+
+Crash-recovery testing needs a disk that fails on cue.
+:class:`FaultyDisk` wraps the access path of :class:`SimulatedDisk` with
+a deterministic failure schedule: fail the Nth access, fail every access
+to a chosen block, or fail for a window of accesses. Failures raise
+:class:`~repro.core.errors.StorageError` *before* touching the payload,
+so the block's previous content stays intact — the model of a write
+rejected by the device.
+
+The trie-reconstruction story (/TOR83/) is exercised end to end with
+this: load a file, start failing, catch the error, lift the fault,
+rebuild the trie from the bucket headers, carry on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..core.errors import StorageError
+from .disk import SimulatedDisk
+
+__all__ = ["FaultyDisk"]
+
+
+class FaultyDisk(SimulatedDisk):
+    """A :class:`SimulatedDisk` with a programmable failure schedule."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._fail_at: Set[int] = set()
+        self._fail_blocks: Set[int] = set()
+        self._fail_from: Optional[int] = None
+        self._access_counter = 0
+        self.faults_raised = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def fail_on_access(self, *counts: int) -> None:
+        """Fail the given access ordinals (1-based, counted from now)."""
+        base = self._access_counter
+        self._fail_at.update(base + c for c in counts)
+
+    def fail_block(self, block_id: int) -> None:
+        """Fail every access to one block until :meth:`heal`."""
+        self._fail_blocks.add(block_id)
+
+    def fail_from_now_on(self) -> None:
+        """Fail every subsequent access until :meth:`heal` (a crash)."""
+        self._fail_from = self._access_counter
+
+    def heal(self) -> None:
+        """Clear the whole failure schedule."""
+        self._fail_at.clear()
+        self._fail_blocks.clear()
+        self._fail_from = None
+
+    # ------------------------------------------------------------------
+    def _maybe_fail(self, block_id: int) -> None:
+        self._access_counter += 1
+        failing = (
+            self._access_counter in self._fail_at
+            or block_id in self._fail_blocks
+            or (self._fail_from is not None and self._access_counter > self._fail_from)
+        )
+        if failing:
+            self.faults_raised += 1
+            raise StorageError(
+                f"injected fault on access #{self._access_counter} "
+                f"(block {block_id})"
+            )
+
+    def read(self, block_id: int):
+        self._maybe_fail(block_id)
+        return super().read(block_id)
+
+    def write(self, block_id: int, payload) -> None:
+        self._maybe_fail(block_id)
+        super().write(block_id, payload)

@@ -1,0 +1,55 @@
+"""Byte-size accounting for index structures.
+
+Section 3.1 and Section 4.5 of the paper argue space through concrete
+constants: a trie cell is six bytes (1 DV + 1 DN + 2 LP + 2 RP), while a
+B-tree branching entry is a key plus a pointer — "typically 20 to 50
+bytes". :class:`Layout` centralises those constants so the space
+comparison benches (trie bytes vs B-tree branch bytes, growth per split)
+use the paper's own arithmetic.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Layout"]
+
+
+class Layout:
+    """Size constants for the space-accounting benches.
+
+    Parameters
+    ----------
+    cell_bytes:
+        Size of one trie cell; the paper's practical figure is six bytes.
+    key_bytes:
+        Size of a key stored in a B-tree branching node.
+    pointer_bytes:
+        Size of a child pointer in a B-tree branching node.
+    record_bytes:
+        Nominal record size, used to convert load factors to bytes.
+    """
+
+    __slots__ = ("cell_bytes", "key_bytes", "pointer_bytes", "record_bytes")
+
+    def __init__(
+        self,
+        cell_bytes: int = 6,
+        key_bytes: int = 20,
+        pointer_bytes: int = 4,
+        record_bytes: int = 100,
+    ):
+        self.cell_bytes = cell_bytes
+        self.key_bytes = key_bytes
+        self.pointer_bytes = pointer_bytes
+        self.record_bytes = record_bytes
+
+    def trie_bytes(self, cell_count: int) -> int:
+        """Bytes occupied by a trie of ``cell_count`` cells."""
+        return cell_count * self.cell_bytes
+
+    def btree_branch_bytes(self, separator_count: int) -> int:
+        """Bytes of B-tree branching entries (one key + one pointer each)."""
+        return separator_count * (self.key_bytes + self.pointer_bytes)
+
+    def records_bytes(self, record_count: int) -> int:
+        """Bytes of stored records."""
+        return record_count * self.record_bytes

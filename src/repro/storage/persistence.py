@@ -1,0 +1,234 @@
+"""Whole-file persistence: save and load a THFile.
+
+The simulated disk lives in memory; this module gives it a durable form
+so a built file (say, a compact back-up created by a sorted load — the
+paper's motivating use case) can be written out and reopened later. The
+format is a small JSON header (capacity, policy, record count) followed
+by the binary trie (six bytes per cell) and length-prefixed binary
+buckets; values must be strings or ``None`` (see
+:mod:`repro.storage.serializer`).
+
+No pickle is involved, so loading a file cannot execute anything.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import struct
+from typing import BinaryIO, Union
+
+from ..core.errors import StorageError
+from ..core.file import THFile
+from ..core.policies import SplitPolicy
+from .buckets import BucketStore
+from .serializer import (
+    deserialize_bucket,
+    deserialize_trie,
+    serialize_bucket,
+    serialize_trie,
+)
+
+__all__ = [
+    "save_file",
+    "load_file",
+    "dump_bytes",
+    "load_bytes",
+    "dump_mlth_bytes",
+    "load_mlth_bytes",
+]
+
+_MAGIC = b"THCL1\n"
+_MAGIC_MLTH = b"MLTH1\n"
+
+
+def dump_bytes(file: THFile) -> bytes:
+    """Serialise the whole file (trie + every bucket) to bytes."""
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    header = {
+        "capacity": file.capacity,
+        "records": len(file),
+        "policy": dataclasses.asdict(file.policy),
+        "max_address": file.store.max_address(),
+        "live": file.store.live_addresses(),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    out.write(struct.pack(">I", len(header_bytes)))
+    out.write(header_bytes)
+    trie_bytes = serialize_trie(file.trie)
+    out.write(struct.pack(">I", len(trie_bytes)))
+    out.write(trie_bytes)
+    for address in file.store.live_addresses():
+        bucket_bytes = serialize_bucket(file.store.peek(address))
+        out.write(struct.pack(">II", address, len(bucket_bytes)))
+        out.write(bucket_bytes)
+    return out.getvalue()
+
+
+def load_bytes(data: bytes) -> THFile:
+    """Rebuild a :class:`THFile` from :func:`dump_bytes` output."""
+    stream = io.BytesIO(data)
+    if stream.read(len(_MAGIC)) != _MAGIC:
+        raise StorageError("not a trie-hashing file image")
+    (header_len,) = struct.unpack(">I", stream.read(4))
+    header = json.loads(stream.read(header_len).decode("utf-8"))
+    (trie_len,) = struct.unpack(">I", stream.read(4))
+    trie = deserialize_trie(stream.read(trie_len))
+
+    policy = SplitPolicy(**header["policy"])
+    file = THFile(
+        bucket_capacity=header["capacity"], policy=policy, alphabet=trie.alphabet
+    )
+    file.trie = trie
+
+    # Recreate the address space: allocate up to max_address, then free
+    # the holes, so recycled addresses line up with the trie's leaves.
+    store: BucketStore = file.store
+    live = set(header["live"])
+    for address in range(1, header["max_address"] + 1):
+        store.allocate()
+    for address in range(header["max_address"] + 1):
+        if address not in live:
+            store.free(address)
+
+    total = 0
+    while True:
+        chunk = stream.read(8)
+        if not chunk:
+            break
+        address, length = struct.unpack(">II", chunk)
+        bucket = deserialize_bucket(stream.read(length))
+        store.write(address, bucket)
+        total += len(bucket)
+    if total != header["records"]:
+        raise StorageError(
+            f"image promised {header['records']} records, found {total}"
+        )
+    file._size = total
+    return file
+
+
+def dump_mlth_bytes(file) -> bytes:
+    """Serialise a :class:`~repro.core.mlth.MLTHFile` (pages + buckets).
+
+    Pages are JSON-encodable (boundary strings, child ids, levels and
+    chain links), so the whole hierarchy travels in the header; buckets
+    use the binary record format.
+    """
+    out = io.BytesIO()
+    out.write(_MAGIC_MLTH)
+    pages = {}
+    for pid in file._all_page_ids():
+        page = file.page_disk.peek(pid)
+        pages[str(pid)] = {
+            "level": page.level,
+            "boundaries": page.boundaries,
+            "children": page.children,
+            "next": page.next_page,
+            "prev": page.prev_page,
+        }
+    header = {
+        "capacity": file.capacity,
+        "page_capacity": file.page_capacity,
+        "records": len(file),
+        "policy": dataclasses.asdict(file.policy),
+        "split_node_pick": file.split_node_pick,
+        "pin_root": file.pin_root,
+        "root": file.root_id,
+        "pages": pages,
+        "alphabet": file.alphabet.digits,
+        "max_address": file.store.max_address(),
+        "live": file.store.live_addresses(),
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    out.write(struct.pack(">I", len(header_bytes)))
+    out.write(header_bytes)
+    for address in file.store.live_addresses():
+        bucket_bytes = serialize_bucket(file.store.peek(address))
+        out.write(struct.pack(">II", address, len(bucket_bytes)))
+        out.write(bucket_bytes)
+    return out.getvalue()
+
+
+def load_mlth_bytes(data: bytes):
+    """Rebuild an :class:`~repro.core.mlth.MLTHFile` from its image."""
+    from ..core.alphabet import Alphabet
+    from ..core.mlth import MLTHFile
+    from ..core.pages import TriePage
+
+    stream = io.BytesIO(data)
+    if stream.read(len(_MAGIC_MLTH)) != _MAGIC_MLTH:
+        raise StorageError("not a multilevel trie-hashing file image")
+    (header_len,) = struct.unpack(">I", stream.read(4))
+    header = json.loads(stream.read(header_len).decode("utf-8"))
+
+    file = MLTHFile(
+        bucket_capacity=header["capacity"],
+        page_capacity=header["page_capacity"],
+        policy=SplitPolicy(**header["policy"]),
+        alphabet=Alphabet(header["alphabet"]),
+        pin_root=header["pin_root"],
+        split_node_pick=header["split_node_pick"],
+    )
+    # Rebuild the page space: allocate ids densely up to the maximum,
+    # then overwrite those the image defines (unused ids stay as junk
+    # never referenced by the hierarchy).
+    page_specs = {int(k): v for k, v in header["pages"].items()}
+    top = max(page_specs)
+    while len(file.page_disk) <= top:
+        file.page_pool.allocate(TriePage(0, [], [None]))
+    for pid, spec in page_specs.items():
+        page = TriePage(
+            level=spec["level"],
+            boundaries=list(spec["boundaries"]),
+            children=list(spec["children"]),
+            next_page=spec["next"],
+            prev_page=spec["prev"],
+        )
+        file.page_pool.write(pid, page)
+    if file.pin_root:
+        file.page_pool.unpin(file.root_id)
+    file.root_id = header["root"]
+    if file.pin_root:
+        file.page_pool.pin(file.root_id)
+
+    store = file.store
+    live = set(header["live"])
+    for address in range(1, header["max_address"] + 1):
+        store.allocate()
+    for address in range(header["max_address"] + 1):
+        if address not in live:
+            store.free(address)
+    total = 0
+    while True:
+        chunk = stream.read(8)
+        if not chunk:
+            break
+        address, length = struct.unpack(">II", chunk)
+        bucket = deserialize_bucket(stream.read(length))
+        store.write(address, bucket)
+        total += len(bucket)
+    if total != header["records"]:
+        raise StorageError("record count mismatch in MLTH image")
+    file._size = total
+    return file
+
+
+def save_file(file: THFile, target: Union[str, BinaryIO]) -> None:
+    """Write the file image to a path or binary stream."""
+    data = dump_bytes(file)
+    if isinstance(target, str):
+        with open(target, "wb") as handle:
+            handle.write(data)
+    else:
+        target.write(data)
+
+
+def load_file(source: Union[str, BinaryIO]) -> THFile:
+    """Read a file image from a path or binary stream."""
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            return load_bytes(handle.read())
+    return load_bytes(source.read())

@@ -1,0 +1,151 @@
+"""Binary serialisation of the trie and buckets.
+
+The paper's six-byte cell (one byte DV, one byte DN, two bytes per
+pointer) is realised literally here, so the "6 Kbyte buffer addresses a
+1000-bucket file" style of arithmetic in Section 3.1 can be checked
+against actual encoded bytes. Buckets serialise to a simple
+length-prefixed record format. Both round-trip losslessly, which the test
+suite verifies property-based.
+
+Pointer encoding in the 16-bit on-disk form (per pointer):
+
+* ``0xFFFF``         — nil
+* high bit set       — edge to cell ``value & 0x7FFF``
+* otherwise          — leaf (bucket address)
+
+This caps serialised tries at 32767 cells and files at 32767 buckets,
+comparable to the paper's own two-byte pointers.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from ..core.alphabet import Alphabet
+from ..core.cells import NIL, edge_target, edge_to, is_edge, is_nil
+from ..core.errors import StorageError
+from ..core.trie import Trie
+from .buckets import Bucket
+
+__all__ = [
+    "CELL_BYTES",
+    "serialize_trie",
+    "deserialize_trie",
+    "serialize_bucket",
+    "deserialize_bucket",
+]
+
+#: Size of one encoded cell — the paper's practical figure.
+CELL_BYTES = 6
+
+_NIL16 = 0xFFFF
+_EDGE_BIT = 0x8000
+
+
+def _encode_ptr(ptr: int, cell_remap) -> int:
+    if is_nil(ptr):
+        return _NIL16
+    if is_edge(ptr):
+        target = cell_remap[edge_target(ptr)]
+        if target >= 0x7FFF:
+            raise StorageError("trie too large for 16-bit cell pointers")
+        return _EDGE_BIT | target
+    if ptr >= 0x7FFF:
+        raise StorageError("bucket address too large for 16-bit pointers")
+    return ptr
+
+
+def _decode_ptr(raw: int) -> int:
+    if raw == _NIL16:
+        return NIL
+    if raw & _EDGE_BIT:
+        return edge_to(raw & 0x7FFF)
+    return raw
+
+
+def serialize_trie(trie: Trie) -> bytes:
+    """Encode a trie into the standard 6-bytes-per-cell layout.
+
+    Live cells are compacted (freed slots are not written); the root
+    pointer and alphabet travel in a small header.
+    """
+    live = list(trie.cells.live_items())
+    remap = {index: new for new, (index, _) in enumerate(live)}
+    out = bytearray()
+    alphabet_bytes = trie.alphabet.digits.encode("latin-1")
+    out += struct.pack(">HH", len(live), len(alphabet_bytes))
+    out += alphabet_bytes
+    out += struct.pack(">H", _encode_ptr(trie.root, remap))
+    for _, cell in live:
+        out += struct.pack(
+            ">BBHH",
+            ord(cell.dv),
+            cell.dn,
+            _encode_ptr(cell.lp, remap),
+            _encode_ptr(cell.rp, remap),
+        )
+    return bytes(out)
+
+
+def deserialize_trie(data: bytes) -> Trie:
+    """Inverse of :func:`serialize_trie`."""
+    count, alpha_len = struct.unpack_from(">HH", data, 0)
+    offset = 4
+    alphabet = Alphabet(data[offset : offset + alpha_len].decode("latin-1"))
+    offset += alpha_len
+    (raw_root,) = struct.unpack_from(">H", data, offset)
+    offset += 2
+    trie = Trie(alphabet, root_ptr=_decode_ptr(raw_root))
+    for _ in range(count):
+        dv, dn, lp, rp = struct.unpack_from(">BBHH", data, offset)
+        offset += CELL_BYTES
+        trie.cells.allocate(chr(dv), dn, _decode_ptr(lp), _decode_ptr(rp))
+    return trie
+
+
+def serialize_bucket(bucket: Bucket) -> bytes:
+    """Encode a bucket: header path, then length-prefixed key/value pairs.
+
+    Values must be ``None`` or UTF-8 strings for the binary form (the
+    in-memory simulation allows arbitrary payloads; persistence is only
+    offered for string payloads, which all examples use).
+    """
+    out = bytearray()
+    header = bucket.header_path.encode("utf-8")
+    out += struct.pack(">HH", len(header), len(bucket.keys))
+    out += header
+    for key, value in bucket.items():
+        kb = key.encode("utf-8")
+        if value is None:
+            vb = b""
+            has_value = 0
+        elif isinstance(value, str):
+            vb = value.encode("utf-8")
+            has_value = 1
+        else:
+            raise StorageError("binary bucket format stores str/None values only")
+        out += struct.pack(">HBH", len(kb), has_value, len(vb))
+        out += kb
+        out += vb
+    return bytes(out)
+
+
+def deserialize_bucket(data: bytes) -> Bucket:
+    """Inverse of :func:`serialize_bucket`."""
+    header_len, count = struct.unpack_from(">HH", data, 0)
+    offset = 4
+    bucket = Bucket()
+    bucket.header_path = data[offset : offset + header_len].decode("utf-8")
+    offset += header_len
+    records: List[Tuple[str, object]] = []
+    for _ in range(count):
+        klen, has_value, vlen = struct.unpack_from(">HBH", data, offset)
+        offset += 5
+        key = data[offset : offset + klen].decode("utf-8")
+        offset += klen
+        value = data[offset : offset + vlen].decode("utf-8") if has_value else None
+        offset += vlen
+        records.append((key, value))
+    bucket.extend(records)
+    return bucket

@@ -1,0 +1,14 @@
+"""Workload generators.
+
+Everything the paper's experiments insert: the 31 most-used English words
+of Fig 1 (/KNU73/), the "randomly drawn then sorted" key sets of Figures
+10–11, random/ascending/descending orders, skewed distributions, and a
+deterministic English-like synthetic dictionary standing in for the
+20,000-word UNIX dictionary the paper proposes as a validation corpus.
+All generators are seeded and reproducible.
+"""
+
+from .english import MOST_USED_WORDS, synthetic_dictionary
+from .generators import KeyGenerator
+
+__all__ = ["MOST_USED_WORDS", "synthetic_dictionary", "KeyGenerator"]

@@ -1,0 +1,100 @@
+"""English-language key sets.
+
+``MOST_USED_WORDS`` is the 31-word sequence of the paper's running
+example (Fig 1), in insertion order — the most used English words per
+/KNU73/. :func:`synthetic_dictionary` substitutes for the 20,000-word
+UNIX dictionary the paper names as a validation corpus: a seeded
+letter-bigram (Markov) generator trained on a small embedded English
+sample, so word-prefix sharing — the property that drives split-string
+length and trie size — resembles natural language rather than uniform
+noise.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, List
+
+__all__ = ["MOST_USED_WORDS", "synthetic_dictionary"]
+
+#: Fig 1(a): the example file's insertions, in order. The underlined
+#: insertions of the figure (those that trigger splits) fall out of the
+#: algorithm itself.
+MOST_USED_WORDS = [
+    "the", "of", "and", "to", "a", "in", "that", "is", "i", "it",
+    "for", "as", "with", "was", "his", "he", "be", "not", "by", "but",
+    "have", "you", "which", "are", "on", "or", "her", "had", "at",
+    "from", "this",
+]
+
+#: Training sample for the bigram model: common English words beyond the
+#: 31 of Fig 1, enough to give realistic letter-transition statistics.
+_TRAINING_WORDS = """
+about above across after again against all almost alone along already
+also although always among anything appear around because become before
+begin behind being believe below between beyond both bring business
+call came can change character children come company consider could
+country course day develop different does down during each early earth
+enough even ever every example experience face fact family far father
+feel few find first follow form found four friend general girl give
+good govern great group grow hand hard head hear help here high himself
+history hold home house however hundred idea important increase indeed
+interest into just keep kind know large last late lead learn leave left
+letter life light like line little live long look made make man many
+matter mean might mile more most mother mountain move much must name
+nation near need never new next night nothing now number often old once
+only open order other our over own part people perhaps place plant
+point possible power present problem produce public put question quite
+rather read real really right river road room said same saw say school
+second see seem sentence set several shall she should show side since
+small social some something sometimes song soon sound spell stand start
+state still stop story study such sure system take talk tell than their
+them then there these they thing think those though thought three
+through time together too took toward tree try turn under until upon
+use very walk want watch water way week well went were what when where
+while white whole why will with within without word work world would
+write year young your
+""".split()
+
+
+def _bigram_model() -> Dict[str, List[str]]:
+    """Letter-transition table including word start ('^') and end ('$')."""
+    model: Dict[str, List[str]] = defaultdict(list)
+    for word in _TRAINING_WORDS + MOST_USED_WORDS:
+        previous = "^"
+        for ch in word:
+            model[previous].append(ch)
+            previous = ch
+        model[previous].append("$")
+    return model
+
+
+def synthetic_dictionary(
+    count: int = 20000, seed: int = 1981, min_length: int = 2, max_length: int = 12
+) -> List[str]:
+    """A deterministic English-like word list, sorted and duplicate-free.
+
+    Substitutes for the UNIX ``/usr/dict/words`` corpus (see DESIGN.md):
+    words are sampled from a letter-bigram chain, so common prefixes are
+    shared with natural-language frequency. ~``count`` unique words are
+    returned in sorted order.
+    """
+    model = _bigram_model()
+    rng = random.Random(seed)
+    words = set()
+    attempts = 0
+    limit = count * 200
+    while len(words) < count and attempts < limit:
+        attempts += 1
+        out = []
+        state = "^"
+        while len(out) < max_length:
+            nxt = rng.choice(model[state])
+            if nxt == "$":
+                break
+            out.append(nxt)
+            state = nxt
+        if len(out) >= min_length:
+            words.add("".join(out))
+    return sorted(words)

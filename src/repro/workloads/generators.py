@@ -1,0 +1,136 @@
+"""Seeded key generators for the benchmark harness.
+
+The paper's simulations insert "5 000 keys, randomly drawn and then
+sorted"; other experiments need random order, descending order, skewed
+letter distributions, or keys sharing long prefixes (the regime that
+stresses split-string length and hence trie size). Every generator here
+is deterministic given its seed, so each benchmark run regenerates the
+paper's workload exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Optional, Sequence
+
+__all__ = ["KeyGenerator"]
+
+
+class KeyGenerator:
+    """A reproducible source of unique keys over a letter alphabet.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the private RNG.
+    letters:
+        The digits keys are drawn from (lowercase letters by default —
+        the alphabet of the paper's examples).
+    """
+
+    def __init__(self, seed: int = 42, letters: str = string.ascii_lowercase):
+        self._seed = seed
+        self.letters = letters
+
+    def _rng(self, salt: int = 0) -> random.Random:
+        return random.Random(f"{self._seed}/{salt}")
+
+    # ------------------------------------------------------------------
+    def uniform(self, count: int, length: int = 6, salt: int = 0) -> List[str]:
+        """``count`` unique fixed-length keys, uniform over the alphabet,
+        in random order."""
+        rng = self._rng(salt)
+        keys = set()
+        while len(keys) < count:
+            keys.add("".join(rng.choice(self.letters) for _ in range(length)))
+        out = list(keys)
+        rng.shuffle(out)
+        return out
+
+    def sorted_keys(self, count: int, length: int = 6, salt: int = 0) -> List[str]:
+        """The paper's Figs 10-11 protocol: drawn at random, then sorted."""
+        return sorted(self.uniform(count, length, salt))
+
+    def descending_keys(self, count: int, length: int = 6, salt: int = 0) -> List[str]:
+        """Same keys, descending order."""
+        return sorted(self.uniform(count, length, salt), reverse=True)
+
+    def variable_length(
+        self,
+        count: int,
+        min_length: int = 3,
+        max_length: int = 10,
+        salt: int = 0,
+    ) -> List[str]:
+        """Unique keys of mixed lengths (exercises the space padding)."""
+        rng = self._rng(salt)
+        keys = set()
+        while len(keys) < count:
+            n = rng.randint(min_length, max_length)
+            keys.add("".join(rng.choice(self.letters) for _ in range(n)))
+        out = list(keys)
+        rng.shuffle(out)
+        return out
+
+    def skewed(
+        self, count: int, length: int = 6, concentration: float = 2.0, salt: int = 0
+    ) -> List[str]:
+        """Keys with a Zipf-like skew on every digit position.
+
+        Higher ``concentration`` pushes more probability mass onto the
+        first letters of the alphabet, producing the uneven distributions
+        under which tries stay compact but unbalanced (Section 2.6).
+        """
+        rng = self._rng(salt)
+        weights = [1.0 / (i + 1) ** concentration for i in range(len(self.letters))]
+        keys = set()
+        while len(keys) < count:
+            keys.add(
+                "".join(rng.choices(self.letters, weights=weights, k=length))
+            )
+        out = list(keys)
+        rng.shuffle(out)
+        return out
+
+    def clustered(
+        self,
+        count: int,
+        prefixes: Optional[Sequence[str]] = None,
+        suffix_length: int = 4,
+        salt: int = 0,
+    ) -> List[str]:
+        """Keys sharing long common prefixes (long split strings).
+
+        Models the batch-of-related-records pattern — e.g. composite
+        keys whose leading component barely varies — which maximises the
+        rare-case chains of Algorithm A2.
+        """
+        rng = self._rng(salt)
+        if prefixes is None:
+            prefixes = ["custab", "custac", "custad", "custae"]
+        keys = set()
+        while len(keys) < count:
+            prefix = rng.choice(list(prefixes))
+            keys.add(
+                prefix
+                + "".join(rng.choice(self.letters) for _ in range(suffix_length))
+            )
+        out = list(keys)
+        rng.shuffle(out)
+        return out
+
+    def interleaved(self, count: int, runs: int = 10, length: int = 6, salt: int = 0) -> List[str]:
+        """Alternating sorted runs: the mixed ordered/random regime.
+
+        Splits the key set into ``runs`` sorted runs and interleaves
+        them — neither fully random nor fully ordered insertions.
+        """
+        keys = sorted(self.uniform(count, length, salt))
+        buckets: List[List[str]] = [[] for _ in range(runs)]
+        for i, key in enumerate(keys):
+            buckets[i % runs].append(key)
+        out: List[str] = []
+        for chunk in buckets:
+            out.extend(chunk)
+        return out

@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LOWERCASE, SplitPolicy, THFile
+from repro.workloads import MOST_USED_WORDS, KeyGenerator
+
+
+@pytest.fixture
+def alphabet():
+    """The paper's example alphabet: space + lowercase letters."""
+    return LOWERCASE
+
+
+@pytest.fixture
+def words():
+    """The 31 most-used English words of Fig 1, in insertion order."""
+    return list(MOST_USED_WORDS)
+
+
+@pytest.fixture
+def fig1_file(words):
+    """The paper's example file: the 31 words inserted with b = 4."""
+    f = THFile(bucket_capacity=4)
+    for word in words:
+        f.insert(word)
+    return f
+
+
+@pytest.fixture
+def generator():
+    """A deterministic key generator."""
+    return KeyGenerator(seed=1234)
+
+
+@pytest.fixture
+def small_keys(generator):
+    """300 unique random keys in random order."""
+    return generator.uniform(300)
+
+
+@pytest.fixture
+def sorted_keys(small_keys):
+    """The same 300 keys, ascending."""
+    return sorted(small_keys)
+
+
+def build_file(keys, b=8, policy=None, check_every=None):
+    """Insert ``keys`` into a fresh file, optionally checking as we go."""
+    f = THFile(bucket_capacity=b, policy=policy)
+    for i, key in enumerate(keys):
+        f.insert(key)
+        if check_every and i % check_every == 0:
+            f.check()
+    return f

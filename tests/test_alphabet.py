@@ -1,0 +1,109 @@
+"""Unit tests for ordered alphabets."""
+
+import pytest
+
+from repro import ALPHANUMERIC, LOWERCASE, PRINTABLE, Alphabet, InvalidKeyError
+
+
+class TestConstruction:
+    def test_lowercase_contains_space_and_letters(self):
+        assert " " in LOWERCASE
+        assert "a" in LOWERCASE
+        assert "z" in LOWERCASE
+        assert len(LOWERCASE) == 27
+
+    def test_min_and_max_digits(self):
+        assert LOWERCASE.min_digit == " "
+        assert LOWERCASE.max_digit == "z"
+        assert PRINTABLE.min_digit == " "
+        assert PRINTABLE.max_digit == "~"
+
+    def test_rejects_out_of_order_digits(self):
+        with pytest.raises(InvalidKeyError):
+            Alphabet("ba")
+
+    def test_rejects_duplicate_digits(self):
+        with pytest.raises(InvalidKeyError):
+            Alphabet("aab")
+
+    def test_rejects_single_digit(self):
+        with pytest.raises(InvalidKeyError):
+            Alphabet("a")
+
+    def test_rejects_multicharacter_digits(self):
+        with pytest.raises(InvalidKeyError):
+            Alphabet(["ab", "cd"])
+
+    def test_custom_alphabet(self):
+        binary = Alphabet("01")
+        assert binary.min_digit == "0"
+        assert binary.max_digit == "1"
+        assert len(binary) == 2
+
+    def test_equality_and_hash(self):
+        assert Alphabet(" ab") == Alphabet(" ab")
+        assert Alphabet(" ab") != Alphabet(" ac")
+        assert hash(Alphabet(" ab")) == hash(Alphabet(" ab"))
+
+    def test_iteration_order(self):
+        assert list(Alphabet("abc")) == ["a", "b", "c"]
+
+
+class TestDigitOperations:
+    def test_index(self):
+        assert LOWERCASE.index(" ") == 0
+        assert LOWERCASE.index("a") == 1
+        assert LOWERCASE.index("z") == 26
+
+    def test_index_rejects_foreign_digit(self):
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.index("A")
+
+    def test_successor_predecessor(self):
+        assert LOWERCASE.successor("a") == "b"
+        assert LOWERCASE.predecessor("b") == "a"
+        assert LOWERCASE.successor(" ") == "a"
+
+    def test_successor_of_max_fails(self):
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.successor("z")
+
+    def test_predecessor_of_min_fails(self):
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.predecessor(" ")
+
+    def test_digit_at_pads_with_space(self):
+        assert LOWERCASE.digit_at("ab", 0) == "a"
+        assert LOWERCASE.digit_at("ab", 1) == "b"
+        assert LOWERCASE.digit_at("ab", 2) == " "
+        assert LOWERCASE.digit_at("ab", 99) == " "
+
+
+class TestKeyValidation:
+    def test_canonicalises_trailing_spaces(self):
+        assert LOWERCASE.validate_key("abc  ") == "abc"
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.validate_key("")
+
+    def test_rejects_all_spaces(self):
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.validate_key("   ")
+
+    def test_rejects_foreign_digits(self):
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.validate_key("aBc")
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.validate_key("a1c")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(InvalidKeyError):
+            LOWERCASE.validate_key(42)
+
+    def test_interior_space_is_a_digit(self):
+        # Space is a legitimate digit anywhere but the tail.
+        assert LOWERCASE.validate_key("a b") == "a b"
+
+    def test_alphanumeric_accepts_digits(self):
+        assert ALPHANUMERIC.validate_key("abc123") == "abc123"

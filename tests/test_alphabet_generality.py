@@ -1,0 +1,136 @@
+"""The whole stack over non-default alphabets.
+
+The paper's method is alphabet-agnostic: these tests run complete files
+over the printable-ASCII alphabet (mixed-case keys and punctuation), an
+alphanumeric alphabet, and a two-letter (binary-digit) alphabet — the
+regime of the /JAC88/ analyses — catching any lowercase-ASCII
+assumptions in the machinery.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    ALPHANUMERIC,
+    Alphabet,
+    InvalidKeyError,
+    PRINTABLE,
+    SplitPolicy,
+    THFile,
+)
+from repro.core.cursor import Cursor
+from repro.core.reconstruct import reconstruct_trie
+
+
+def random_keys(alphabet_digits, n, length, seed):
+    rng = random.Random(seed)
+    keys = set()
+    digits = [d for d in alphabet_digits if d != " "]
+    while len(keys) < n:
+        keys.add("".join(rng.choice(digits) for _ in range(length)))
+    return sorted(keys)
+
+
+class TestPrintableAlphabet:
+    def test_mixed_case_and_punctuation(self):
+        f = THFile(bucket_capacity=4, alphabet=PRINTABLE)
+        keys = ["Alpha", "BETA!", "gamma-3", "Zulu_99", "~tilde", "0zero"]
+        for k in keys:
+            f.insert(k)
+        f.check()
+        assert list(f.keys()) == sorted(keys)
+        assert f.get("BETA!") is None
+        assert "Alpha" in f and "alpha" not in f  # case-sensitive
+
+    def test_full_file_lifecycle(self):
+        keys = random_keys(PRINTABLE.digits, 400, 5, seed=3)
+        shuffled = list(keys)
+        random.Random(1).shuffle(shuffled)
+        f = THFile(bucket_capacity=6, policy=SplitPolicy.thcl(), alphabet=PRINTABLE)
+        for k in shuffled:
+            f.insert(k)
+        f.check()
+        for k in keys[:200]:
+            f.delete(k)
+        f.check()
+        assert list(f.keys()) == keys[200:]
+
+    def test_space_still_the_padding_digit(self):
+        f = THFile(alphabet=PRINTABLE)
+        f.insert("x ")  # trailing space strips
+        assert "x" in f
+
+
+class TestAlphanumeric:
+    def test_numeric_keys(self):
+        f = THFile(bucket_capacity=4, alphabet=ALPHANUMERIC)
+        for n in (17, 3, 99, 42, 5, 77, 23, 68):
+            f.insert(f"{n:04d}"[0:4].replace(" ", "0"))
+        f.check()
+        assert list(f.keys()) == sorted(f"{n:04d}" for n in (17, 3, 99, 42, 5, 77, 23, 68))
+
+    def test_rejects_uppercase(self):
+        f = THFile(alphabet=ALPHANUMERIC)
+        with pytest.raises(InvalidKeyError):
+            f.insert("Abc")
+
+
+class TestBinaryAlphabet:
+    ALPHABET = Alphabet(" 01")
+
+    def test_binary_digit_file(self):
+        keys = random_keys("01", 300, 12, seed=7)
+        shuffled = list(keys)
+        random.Random(2).shuffle(shuffled)
+        f = THFile(bucket_capacity=4, alphabet=self.ALPHABET)
+        for k in shuffled:
+            f.insert(k)
+        f.check()
+        assert list(f.keys()) == keys
+        # Binary digits force deep tries: depth far above log2(buckets).
+        assert f.trie.depth() > 5
+
+    def test_compact_load_binary(self):
+        keys = random_keys("01", 300, 12, seed=8)
+        f = THFile(
+            bucket_capacity=6,
+            policy=SplitPolicy.thcl_ascending(0),
+            alphabet=self.ALPHABET,
+        )
+        for k in keys:
+            f.insert(k)
+        f.check()
+        assert f.load_factor() > 0.95
+
+    def test_reconstruction_binary(self):
+        keys = random_keys("01", 200, 10, seed=9)
+        shuffled = list(keys)
+        random.Random(3).shuffle(shuffled)
+        f = THFile(bucket_capacity=4, alphabet=self.ALPHABET)
+        for k in shuffled:
+            f.insert(k)
+        rebuilt = reconstruct_trie(f.store, f.alphabet)
+        for k in keys:
+            assert rebuilt.search(k).bucket == f.trie.search(k).bucket
+
+    def test_cursor_binary(self):
+        keys = random_keys("01", 120, 10, seed=10)
+        f = THFile(bucket_capacity=4, alphabet=self.ALPHABET)
+        for k in keys:
+            f.insert(k)
+        cursor = Cursor(f)
+        assert cursor.first()
+        out = [cursor.key()]
+        while cursor.next():
+            out.append(cursor.key())
+        assert out == keys
+
+
+class TestAlphabetMismatch:
+    def test_keys_validated_against_the_file_alphabet(self):
+        f = THFile()  # lowercase
+        with pytest.raises(InvalidKeyError):
+            f.insert("key-with-dash")
+        with pytest.raises(InvalidKeyError):
+            f.insert("UPPER")

@@ -1,0 +1,108 @@
+"""Tests for the metrics/simulator/reporting harness."""
+
+import pytest
+
+from repro import BPlusTree, MLTHFile, SplitPolicy, THFile
+from repro.analysis.metrics import access_cost, average_access_cost, file_metrics
+from repro.analysis.reporting import format_table, format_value
+from repro.analysis.simulator import delete_all, insert_all, load_series
+
+
+class TestFileMetrics:
+    def test_thfile_metrics(self, small_keys):
+        f = insert_all(THFile(bucket_capacity=8), small_keys)
+        m = file_metrics(f)
+        assert m["records"] == len(small_keys)
+        assert 0 < m["load_factor"] <= 1
+        assert m["buckets"] == f.bucket_count()
+        assert m["trie_cells"] == f.trie_size()
+        assert m["index_bytes"] == 6 * f.trie_size()
+        assert "nil_fraction" in m
+
+    def test_mlth_metrics(self, small_keys):
+        f = insert_all(
+            MLTHFile(bucket_capacity=5, page_capacity=8), small_keys
+        )
+        m = file_metrics(f)
+        assert m["levels"] >= 2
+        assert m["pages"] == f.page_count()
+        assert 0 < m["page_load"] <= 1
+
+    def test_btree_metrics(self, small_keys):
+        t = BPlusTree(leaf_capacity=8)
+        for k in small_keys:
+            t.insert(k)
+        m = file_metrics(t)
+        assert m["separators"] == t.separator_count()
+        assert m["height"] == t.height
+        assert m["buckets"] == t.leaf_count()
+
+
+class TestAccessCost:
+    def test_search_cost_is_one(self, small_keys):
+        f = insert_all(THFile(bucket_capacity=8), small_keys)
+        cost = access_cost(f, lambda: f.get(small_keys[0]))
+        assert cost == {"reads": 1, "writes": 0, "accesses": 1}
+
+    def test_insert_cost_read_plus_write(self, small_keys):
+        f = insert_all(THFile(bucket_capacity=8), small_keys)
+        cost = access_cost(f, lambda: f.insert("zzzzzx"))
+        assert cost["reads"] >= 1 and cost["writes"] >= 1
+
+    def test_average(self, small_keys):
+        f = insert_all(THFile(bucket_capacity=8), small_keys)
+        avg = average_access_cost(
+            f, [lambda k=k: f.get(k) for k in small_keys[:10]]
+        )
+        assert avg["accesses"] == 1.0
+
+    def test_mlth_counts_both_devices(self, small_keys):
+        f = insert_all(
+            MLTHFile(bucket_capacity=5, page_capacity=8, pin_root=False),
+            small_keys,
+        )
+        cost = access_cost(f, lambda: f.get(small_keys[0]))
+        assert cost["reads"] == f.levels() + 1
+
+
+class TestSimulator:
+    def test_insert_all_returns_file(self, small_keys):
+        f = insert_all(THFile(), small_keys[:20])
+        assert len(f) == 20
+
+    def test_delete_all(self, small_keys):
+        f = insert_all(THFile(), small_keys[:20])
+        delete_all(f, small_keys[:20])
+        assert len(f) == 0
+
+    def test_load_series_sampling(self, small_keys):
+        rows = load_series(THFile(bucket_capacity=8), small_keys, every=50)
+        assert rows[-1]["inserted"] == len(small_keys)
+        assert [r["inserted"] for r in rows[:-1]] == list(
+            range(50, len(small_keys), 50)
+        )
+        assert all("load_factor" in r for r in rows)
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(2.0) == "2"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 22, "b": "y"}]
+        out = format_table(rows, title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "b" in lines[2]
+        assert len(lines) == 6
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_format_table_union_of_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        out = format_table(rows)
+        assert "a" in out and "b" in out

@@ -1,0 +1,67 @@
+"""Trie balancing tests (Section 2.6)."""
+
+from repro import SplitPolicy, THFile, Trie
+from repro.core.balance import balance, depth_report
+
+
+class TestBalance:
+    def test_mapping_preserved(self, fig1_file, words):
+        balanced = balance(fig1_file.trie)
+        balanced.check()
+        for w in words:
+            assert (
+                balanced.search(w).bucket == fig1_file.trie.search(w).bucket
+            )
+
+    def test_disk_metrics_unaffected(self, fig1_file):
+        trie = fig1_file.trie
+        balanced = balance(trie)
+        assert balanced.node_count == trie.node_count
+        assert balanced.boundaries() == trie.boundaries()
+        assert [p for _, p, _ in balanced.leaves_in_order()] == [
+            p for _, p, _ in trie.leaves_in_order()
+        ]
+
+    def test_ordered_insertions_benefit_most(self, generator):
+        keys = sorted(generator.uniform(400))
+        f = THFile(bucket_capacity=4)
+        for k in keys:
+            f.insert(k)
+        report = depth_report(f.trie)
+        # Ordered insertion tries are heavily one-sided; the canonical
+        # rebuild gets them near log2(M).
+        assert report.depth_after < report.depth_before
+        import math
+
+        assert report.depth_after <= 4 * math.log2(report.node_count + 2)
+
+    def test_search_cost_bounded_after_balance(self, generator):
+        keys = sorted(generator.uniform(400))
+        f = THFile(bucket_capacity=4)
+        for k in keys:
+            f.insert(k)
+        balanced = balance(f.trie)
+        sample = keys[::8]
+        worst_before = max(f.trie.search(k).nodes_visited for k in sample)
+        worst_after = max(balanced.search(k).nodes_visited for k in sample)
+        # Balancing bounds the worst case by the (much smaller) depth.
+        assert worst_after <= balanced.depth() <= f.trie.depth()
+        assert worst_after <= worst_before
+
+    def test_balance_already_balanced_is_stable(self, fig1_file):
+        once = balance(fig1_file.trie)
+        twice = balance(once)
+        assert once.to_model() == twice.to_model()
+        assert twice.depth() <= once.depth() + 1
+
+    def test_skewed_picks(self, fig1_file):
+        for pick in ("first", "last"):
+            t = balance(fig1_file.trie, pick=pick)
+            t.check()
+            assert t.to_model() == fig1_file.trie.to_model()
+
+    def test_empty_and_tiny_tries(self):
+        from repro import LOWERCASE
+
+        t = Trie(LOWERCASE)
+        assert balance(t).to_model() == t.to_model()

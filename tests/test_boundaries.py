@@ -1,0 +1,183 @@
+"""Unit tests for the canonical boundary model."""
+
+import pytest
+
+from repro import LOWERCASE, TrieCorruptionError
+from repro.core.boundaries import (
+    BoundaryModel,
+    boundary_le,
+    boundary_lt,
+    boundary_sort_key,
+    gap_index,
+)
+
+A = LOWERCASE
+
+
+class TestBoundaryOrder:
+    def test_plain_lexicographic(self):
+        assert boundary_lt("a", "b", A)
+        assert boundary_lt("ha", "hb", A)
+
+    def test_proper_prefix_is_greater(self):
+        # 'ha' cuts below 'h': keys <= 'ha' are a subset of keys <= 'h'.
+        assert boundary_lt("ha", "h", A)
+        assert boundary_lt("abc", "ab", A)
+        assert boundary_lt("ab", "a", A)
+
+    def test_le_is_reflexive(self):
+        assert boundary_le("ha", "ha", A)
+        assert not boundary_lt("ha", "ha", A)
+
+    def test_space_digit_boundaries(self):
+        # 'i ' (i + space) cuts below 'i', above any 'i?'-extension? No:
+        # extensions of 'i' are below 'i'; among them ' ' is smallest.
+        assert boundary_lt("i ", "i", A)
+        assert boundary_lt("i ", "ia", A)
+
+    def test_sort_key_total_order(self):
+        bs = ["ar", "a", "b", "f", "he", "h", "i ", "i", "o", "t"]
+        keys = [boundary_sort_key(s, A) for s in bs]
+        assert keys == sorted(keys)  # the Fig 1 trie's inorder sequence
+
+    def test_transitivity_sample(self):
+        chain = ["aaa", "aa", "ab", "a", "ba", "b"]
+        for x, y in zip(chain, chain[1:]):
+            assert boundary_lt(x, y, A)
+
+
+class TestGapIndex:
+    BOUNDS = ["ar", "a", "b", "f", "he", "h", "i ", "i", "o", "t"]
+
+    def test_fig1_examples(self):
+        # Keys from the example file land in their paper gaps.
+        assert gap_index(self.BOUNDS, "and", A) == 0  # <= 'ar'
+        assert gap_index(self.BOUNDS, "as", A) == 1   # ('ar','a']
+        assert gap_index(self.BOUNDS, "be", A) == 2
+        assert gap_index(self.BOUNDS, "for", A) == 3
+        assert gap_index(self.BOUNDS, "he", A) == 4
+        assert gap_index(self.BOUNDS, "his", A) == 5
+        assert gap_index(self.BOUNDS, "i", A) == 6    # 'i' <= 'i '
+        assert gap_index(self.BOUNDS, "is", A) == 7
+        assert gap_index(self.BOUNDS, "of", A) == 8
+        assert gap_index(self.BOUNDS, "the", A) == 9
+        assert gap_index(self.BOUNDS, "zoo", A) == 10
+
+    def test_empty_boundaries(self):
+        assert gap_index([], "anything", A) == 0
+
+    def test_agrees_with_linear_scan(self):
+        from repro.core.keys import prefix_le
+
+        for key in ("a", "ar", "arc", "hat", "i", "ia", "zz"):
+            linear = 0
+            for s in self.BOUNDS:
+                if prefix_le(key, s, A):
+                    break
+                linear += 1
+            assert gap_index(self.BOUNDS, key, A) == linear
+
+
+class TestBoundaryModel:
+    def make(self):
+        return BoundaryModel(A, ["b", "d"], [0, 1, 2])
+
+    def test_lookup(self):
+        m = self.make()
+        assert m.lookup("apple") == 0
+        assert m.lookup("cat") == 1
+        assert m.lookup("zebra") == 2
+
+    def test_len_counts_boundaries(self):
+        assert len(self.make()) == 2
+
+    def test_children_length_enforced(self):
+        with pytest.raises(TrieCorruptionError):
+            BoundaryModel(A, ["b"], [0])
+
+    def test_insert_boundary(self):
+        m = self.make()
+        j = m.insert_boundary("c", 1, 9)
+        assert j == 1
+        assert m.boundaries == ["b", "c", "d"]
+        assert m.children == [0, 1, 9, 2]
+        # Any key starting 'c' is <= the one-digit boundary 'c'; the new
+        # gap holds keys above 'c' and at or below 'd'.
+        assert m.lookup("cz") == 1
+        assert m.lookup("da") == 9
+
+    def test_insert_duplicate_rejected(self):
+        m = self.make()
+        with pytest.raises(TrieCorruptionError):
+            m.insert_boundary("b", 0, 0)
+
+    def test_remove_boundary_keep_left(self):
+        m = self.make()
+        m.remove_boundary("d", keep="left")
+        assert m.boundaries == ["b"]
+        assert m.children == [0, 1]
+
+    def test_remove_boundary_keep_right(self):
+        m = self.make()
+        m.remove_boundary("d", keep="right")
+        assert m.children == [0, 2]
+
+    def test_gap_of_boundary(self):
+        m = self.make()
+        assert m.gap_of_boundary("b") == 0
+        assert m.gap_of_boundary("d") == 1
+        with pytest.raises(KeyError):
+            m.gap_of_boundary("c")
+
+    def test_has_boundary(self):
+        m = self.make()
+        assert m.has_boundary("b")
+        assert not m.has_boundary("bb")
+
+    def test_buckets_in_order_dedups_runs(self):
+        m = BoundaryModel(A, ["b", "c", "d"], [0, 1, 1, 2])
+        assert m.buckets_in_order() == [0, 1, 2]
+
+    def test_gaps_of_bucket(self):
+        m = BoundaryModel(A, ["b", "c", "d"], [0, 1, 1, 2])
+        assert m.gaps_of_bucket(1) == [1, 2]
+
+    def test_check_detects_disorder(self):
+        m = BoundaryModel(A, ["d", "b"], [0, 1, 2])
+        with pytest.raises(TrieCorruptionError):
+            m.check()
+
+    def test_check_detects_missing_prefix(self):
+        m = BoundaryModel(A, ["ba"], [0, 1])
+        with pytest.raises(TrieCorruptionError):
+            m.check(require_prefix_closed=True)
+        m.check(require_prefix_closed=False)  # tolerated when asked
+
+    def test_check_accepts_closed_set(self):
+        BoundaryModel(A, ["ba", "b", "c"], [0, 1, 2, 3]).check()
+
+    def test_nil_children(self):
+        m = BoundaryModel(A, ["b"], [None, 0])
+        assert m.lookup("a") is None
+        assert m.lookup("c") == 0
+
+
+class TestRootCandidates:
+    def test_prefix_inside_span_disqualifies(self):
+        m = BoundaryModel(A, ["ba", "b", "c"], [0, 1, 2, 3])
+        # 'ba' has its parent 'b' inside; 'b' and 'c' qualify.
+        assert m.root_candidates() == [1, 2]
+
+    def test_subspan_frees_candidates(self):
+        m = BoundaryModel(A, ["ba", "b", "c"], [0, 1, 2, 3])
+        # In the span ['ba'] alone, 'b' lies outside: 'ba' qualifies.
+        assert m.root_candidates(0, 1) == [0]
+
+    def test_always_nonempty(self):
+        m = BoundaryModel(
+            A, ["aaa", "aa", "ab", "a"], [0, 1, 2, 3, 4]
+        )
+        for lo in range(4):
+            for hi in range(lo + 1, 5):
+                if hi <= 4:
+                    assert m.root_candidates(lo, min(hi, 4)) or hi == lo

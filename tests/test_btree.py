@@ -1,0 +1,198 @@
+"""B+-tree baseline tests."""
+
+import random
+
+import pytest
+
+from repro import BPlusTree, CapacityError, DuplicateKeyError, KeyNotFoundError
+
+
+class TestCRUD:
+    def test_insert_get(self):
+        t = BPlusTree(leaf_capacity=4)
+        t.insert("b", 2)
+        t.insert("a", 1)
+        assert t.get("a") == 1
+        assert t.get("b") == 2
+        assert len(t) == 2
+
+    def test_missing_key(self):
+        t = BPlusTree()
+        with pytest.raises(KeyNotFoundError):
+            t.get("nope")
+
+    def test_duplicate_rejected(self):
+        t = BPlusTree()
+        t.insert("a")
+        with pytest.raises(DuplicateKeyError):
+            t.insert("a")
+
+    def test_put_overwrites(self):
+        t = BPlusTree()
+        t.put("a", 1)
+        t.put("a", 2)
+        assert t.get("a") == 2
+        assert len(t) == 1
+
+    def test_contains(self):
+        t = BPlusTree()
+        t.insert("x")
+        assert "x" in t and "y" not in t
+
+    def test_delete(self):
+        t = BPlusTree()
+        t.insert("a", 9)
+        assert t.delete("a") == 9
+        assert "a" not in t
+        with pytest.raises(KeyNotFoundError):
+            t.delete("a")
+
+    def test_capacity_validation(self):
+        with pytest.raises(CapacityError):
+            BPlusTree(leaf_capacity=1)
+        with pytest.raises(CapacityError):
+            BPlusTree(split_fraction=0.0)
+        with pytest.raises(CapacityError):
+            BPlusTree(split_fraction=1.5)
+
+
+class TestBulkBehaviour:
+    def test_large_random_workload(self, generator):
+        keys = generator.uniform(800)
+        t = BPlusTree(leaf_capacity=6)
+        for i, k in enumerate(keys):
+            t.insert(k, i)
+            if i % 100 == 0:
+                t.check()
+        t.check()
+        assert list(t.keys()) == sorted(keys)
+        for i, k in enumerate(keys):
+            assert t.get(k) == i
+
+    def test_height_logarithmic(self, generator):
+        keys = generator.uniform(1000)
+        t = BPlusTree(leaf_capacity=8)
+        for k in keys:
+            t.insert(k)
+        assert t.height <= 5
+
+    def test_ascending_load_factor_half(self, sorted_keys):
+        t = BPlusTree(leaf_capacity=10)
+        for k in sorted_keys:
+            t.insert(k)
+        assert t.load_factor() == pytest.approx(0.5, abs=0.05)
+
+    def test_split_fraction_controls_load(self, sorted_keys):
+        # /ROS81/: the load of an ordered load is linear in the split
+        # fraction.
+        for fraction in (0.5, 0.7, 1.0):
+            t = BPlusTree(leaf_capacity=10, split_fraction=fraction)
+            for k in sorted_keys:
+                t.insert(k)
+            assert t.load_factor() == pytest.approx(fraction, abs=0.06)
+
+    def test_random_load_seventy(self, small_keys):
+        t = BPlusTree(leaf_capacity=10)
+        for k in small_keys:
+            t.insert(k)
+        assert 0.6 <= t.load_factor() <= 0.8
+
+    def test_redistribution_raises_load(self, small_keys):
+        plain = BPlusTree(leaf_capacity=10)
+        redis = BPlusTree(leaf_capacity=10, redistribute=True)
+        for k in small_keys:
+            plain.insert(k)
+            redis.insert(k)
+        redis.check()
+        assert redis.load_factor() > plain.load_factor()
+        assert redis.redistributions > 0
+
+
+class TestDeletions:
+    def test_floor_after_heavy_deletes(self, generator):
+        keys = generator.uniform(600)
+        t = BPlusTree(leaf_capacity=8)
+        for k in keys:
+            t.insert(k)
+        victims = list(keys)
+        random.Random(5).shuffle(victims)
+        for i, k in enumerate(victims[:500]):
+            t.delete(k)
+            if i % 50 == 0:
+                t.check()
+        t.check()
+        from repro.btree.node import LeafNode
+
+        sizes = [
+            len(n) for _, n in t._walk_nodes() if isinstance(n, LeafNode)
+        ]
+        if len(sizes) > 1:
+            assert min(sizes) >= 8 // 2
+
+    def test_tree_shrinks_height(self, generator):
+        keys = generator.uniform(600)
+        t = BPlusTree(leaf_capacity=4)
+        for k in keys:
+            t.insert(k)
+        high = t.height
+        for k in keys[:590]:
+            t.delete(k)
+        t.check()
+        assert t.height < high
+
+    def test_delete_everything_then_reuse(self, generator):
+        keys = generator.uniform(200)
+        t = BPlusTree(leaf_capacity=4)
+        for k in keys:
+            t.insert(k)
+        for k in keys:
+            t.delete(k)
+        assert len(t) == 0
+        t.insert("again")
+        assert "again" in t
+        t.check()
+
+
+class TestRangeScans:
+    def test_full_scan(self, small_keys):
+        t = BPlusTree(leaf_capacity=6)
+        for k in small_keys:
+            t.insert(k)
+        assert [k for k, _ in t.range_items()] == sorted(small_keys)
+
+    def test_bounded_scan(self, small_keys):
+        t = BPlusTree(leaf_capacity=6)
+        for k in small_keys:
+            t.insert(k)
+        s = sorted(small_keys)
+        assert [k for k, _ in t.range_items(s[10], s[90])] == s[10:91]
+
+
+class TestAccessCounting:
+    def test_search_reads_height_nodes(self, generator):
+        keys = generator.uniform(500)
+        t = BPlusTree(leaf_capacity=6, pin_root=False)
+        for k in keys:
+            t.insert(k)
+        reads_before = t.disk.stats.reads
+        t.get(keys[0])
+        assert t.disk.stats.reads - reads_before == t.height
+
+    def test_pinned_root_saves_one(self, generator):
+        keys = generator.uniform(500)
+        t = BPlusTree(leaf_capacity=6, pin_root=True)
+        for k in keys:
+            t.insert(k)
+        reads_before = t.disk.stats.reads
+        t.get(keys[0])
+        assert t.disk.stats.reads - reads_before == t.height - 1
+
+    def test_index_bytes_accounting(self, generator):
+        from repro.storage.layout import Layout
+
+        keys = generator.uniform(300)
+        layout = Layout(key_bytes=20, pointer_bytes=4)
+        t = BPlusTree(leaf_capacity=6, layout=layout)
+        for k in keys:
+            t.insert(k)
+        assert t.index_bytes() == 24 * t.separator_count()

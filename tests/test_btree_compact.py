@@ -1,0 +1,74 @@
+"""Compact B-tree (bulk load) tests — /ROS81/."""
+
+import pytest
+
+from repro import BPlusTree, bulk_load_compact
+from repro.core.errors import CapacityError
+
+
+class TestBulkLoad:
+    def test_full_fill(self, sorted_keys):
+        t = bulk_load_compact(((k, None) for k in sorted_keys), leaf_capacity=10)
+        t.check()
+        assert t.load_factor() > 0.95
+        assert list(t.keys()) == sorted_keys
+
+    def test_partial_fill(self, sorted_keys):
+        t = bulk_load_compact(
+            ((k, None) for k in sorted_keys), leaf_capacity=10, fill=0.75
+        )
+        t.check()
+        assert t.load_factor() == pytest.approx(0.75, abs=0.1)
+
+    def test_values_survive(self, sorted_keys):
+        t = bulk_load_compact(
+            ((k, str(i)) for i, k in enumerate(sorted_keys)), leaf_capacity=8
+        )
+        for i, k in enumerate(sorted_keys):
+            assert t.get(k) == str(i)
+
+    def test_unsorted_input_rejected(self):
+        with pytest.raises(CapacityError):
+            bulk_load_compact([("b", None), ("a", None)], leaf_capacity=4)
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(CapacityError):
+            bulk_load_compact([("a", None), ("a", None)], leaf_capacity=4)
+
+    def test_invalid_fill(self):
+        with pytest.raises(CapacityError):
+            bulk_load_compact([("a", None)], fill=0.0)
+
+    def test_single_record(self):
+        t = bulk_load_compact([("only", 1)], leaf_capacity=4)
+        assert t.get("only") == 1
+        assert t.height == 1
+
+    def test_searchable_and_updatable_after_load(self, sorted_keys):
+        t = bulk_load_compact(((k, None) for k in sorted_keys), leaf_capacity=10)
+        # The compact file accepts further inserts (splits resume).
+        t.insert("zzzzzzz")
+        t.check()
+        assert "zzzzzzz" in t
+
+    def test_random_inserts_degrade_compact_load(self, sorted_keys, generator):
+        # The paper's warning: a few random insertions push a compact
+        # B-tree back toward ~50-70%.
+        t = bulk_load_compact(((k, None) for k in sorted_keys), leaf_capacity=10)
+        full = t.load_factor()
+        for k in generator.uniform(200, salt=17):
+            if k not in t:
+                t.insert(k)
+        assert t.load_factor() < full - 0.15
+
+    def test_range_scan_efficiency(self, sorted_keys):
+        # Compact files scan fewer leaves for the same range.
+        compact = bulk_load_compact(((k, None) for k in sorted_keys), leaf_capacity=10)
+        loose = BPlusTree(leaf_capacity=10)
+        for k in sorted_keys:
+            loose.insert(k)
+        def scan_reads(t):
+            before = t.disk.stats.reads
+            list(t.range_items())
+            return t.disk.stats.reads - before
+        assert scan_reads(compact) < scan_reads(loose)

@@ -1,0 +1,90 @@
+"""Bottom-up TH bulk loading."""
+
+import pytest
+
+from repro import CapacityError, SplitPolicy, THFile
+from repro.core.bulk import bulk_load_th
+
+
+class TestBulkLoad:
+    def test_compact_load(self, sorted_keys):
+        f = bulk_load_th(((k, None) for k in sorted_keys), bucket_capacity=10)
+        f.check()
+        assert f.load_factor() > 0.95
+        assert list(f.keys()) == sorted_keys
+
+    def test_matches_incremental_compact_build(self, sorted_keys):
+        bulk = bulk_load_th(((k, None) for k in sorted_keys), bucket_capacity=10)
+        incremental = THFile(10, SplitPolicy.thcl_ascending(0))
+        for k in sorted_keys:
+            incremental.insert(k)
+        assert bulk.bucket_count() == incremental.bucket_count()
+        assert bulk.trie_size() == incremental.trie_size()
+        assert bulk.trie.boundaries() == incremental.trie.boundaries()
+
+    def test_partial_fill(self, sorted_keys):
+        f = bulk_load_th(
+            ((k, None) for k in sorted_keys), bucket_capacity=10, fill=0.7
+        )
+        f.check()
+        assert f.load_factor() == pytest.approx(0.7, abs=0.05)
+
+    def test_values_survive(self, sorted_keys):
+        f = bulk_load_th(
+            ((k, i) for i, k in enumerate(sorted_keys)), bucket_capacity=8
+        )
+        for i, k in enumerate(sorted_keys):
+            assert f.get(k) == i
+
+    def test_updatable_after_load(self, sorted_keys, generator):
+        f = bulk_load_th(((k, None) for k in sorted_keys), bucket_capacity=10)
+        for k in generator.uniform(100, salt=3):
+            if not f.contains(k):
+                f.insert(k)
+        f.delete(sorted_keys[0])
+        f.check()
+
+    def test_reconstruction_headers_present(self, sorted_keys):
+        from repro.core.reconstruct import reconstruct_trie
+
+        f = bulk_load_th(((k, None) for k in sorted_keys), bucket_capacity=10)
+        rebuilt = reconstruct_trie(f.store, f.alphabet)
+        for k in sorted_keys[:60]:
+            assert rebuilt.search(k).bucket == f.trie.search(k).bucket
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(CapacityError):
+            bulk_load_th([("b", None), ("a", None)])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(CapacityError):
+            bulk_load_th([("a", None), ("a", None)])
+
+    def test_invalid_fill(self):
+        with pytest.raises(CapacityError):
+            bulk_load_th([("a", None)], fill=0.0)
+
+    def test_basic_policy_rejected(self):
+        with pytest.raises(CapacityError):
+            bulk_load_th([("a", None)], policy=SplitPolicy.basic_th())
+
+    def test_single_record(self):
+        f = bulk_load_th([("only", 1)])
+        assert f.get("only") == 1
+        assert f.bucket_count() == 1
+        assert f.trie_size() == 0
+
+    def test_empty_input(self):
+        f = bulk_load_th([])
+        assert len(f) == 0
+        f.check()
+
+    def test_space_digit_keys(self):
+        # Interior-space keys exercise the padded split-string path.
+        f = bulk_load_th(
+            [("ab", 1), ("ab b", 2), ("ab c", 3), ("abc", 4)],
+            bucket_capacity=2,
+        )
+        f.check()
+        for k, v in [("ab", 1), ("ab b", 2), ("ab c", 3), ("abc", 4)]:
+            assert f.get(k) == v

@@ -1,0 +1,73 @@
+"""Section 3.1 capacity arithmetic: the paper's figures re-derived."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    addressable_buckets,
+    bilevel_buckets,
+    bilevel_file_bytes,
+    bilevel_records,
+    capacity_table,
+)
+from repro.storage.layout import Layout
+
+
+class TestBufferClaims:
+    def test_6kb_addresses_about_1000_buckets(self):
+        assert addressable_buckets(6 * 1024) == pytest.approx(1000, rel=0.05)
+
+    def test_64kb_addresses_about_11000_buckets(self):
+        assert addressable_buckets(64 * 1024) == pytest.approx(11000, rel=0.05)
+
+    def test_30kb_covers_a_20mb_cluster_disk(self):
+        # IBM-AT anecdote: 4 KB clusters, 20 MB disk.
+        covered = addressable_buckets(30 * 1024) * 4096
+        assert covered >= 20 * 10**6
+
+    def test_scales_with_cell_size(self):
+        fat = Layout(cell_bytes=12)
+        assert addressable_buckets(6 * 1024, fat) == pytest.approx(512, rel=0.05)
+
+
+class TestBilevelClaims:
+    def test_10kb_pages_cover_about_16m_records(self):
+        records = bilevel_records(10 * 1024, bucket_capacity=20)
+        assert 10e6 < records < 25e6  # "almost 16 million"
+
+    def test_64kb_pages_cover_over_600m_records(self):
+        assert bilevel_records(64 * 1024, bucket_capacity=20) > 600e6
+
+    def test_msdos_4kb_pages_cover_a_gigabyte(self):
+        # "May span over 1 GByte": the capacity bound assumes full
+        # pages; the measured ~67% page load still covers ~0.8 GB.
+        assert bilevel_file_bytes(4096, 4096, page_load=1.0) > 2**30
+        assert bilevel_file_bytes(4096, 4096) > 0.7 * 2**30
+
+    def test_fanout_squares(self):
+        one_level = bilevel_buckets(6 * 1024) ** 0.5
+        assert bilevel_buckets(6 * 1024) == pytest.approx(one_level**2)
+
+    def test_page_load_matters(self):
+        full = bilevel_records(10 * 1024, 20, page_load=1.0)
+        half = bilevel_records(10 * 1024, 20, page_load=0.5)
+        assert full > 3 * half
+
+
+class TestTable:
+    def test_every_row_has_computation(self):
+        rows = capacity_table()
+        assert len(rows) == 6
+        for row in rows:
+            assert row["computed"] is not None
+            assert row["paper"]
+
+    def test_consistent_with_a_real_mlth_file(self, generator):
+        # Sanity: a real (small) MLTH file's per-level fan-out is in
+        # line with the arithmetic's page-load assumption.
+        from repro import MLTHFile
+
+        f = MLTHFile(bucket_capacity=10, page_capacity=32)
+        for k in generator.uniform(4000):
+            f.insert(k)
+        assert f.levels() >= 2
+        assert 0.4 <= f.page_load_factor() <= 1.0

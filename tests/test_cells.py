@@ -1,0 +1,105 @@
+"""Unit tests for the cell table (standard trie representation)."""
+
+import pytest
+
+from repro import TrieCorruptionError
+from repro.core.cells import (
+    NIL,
+    Cell,
+    CellTable,
+    edge_target,
+    edge_to,
+    is_edge,
+    is_leaf,
+    is_nil,
+    leaf_bucket,
+)
+
+
+class TestPointerAlgebra:
+    def test_leaf_pointers_are_bucket_addresses(self):
+        assert is_leaf(0)
+        assert is_leaf(123)
+        assert not is_edge(0)
+        assert not is_nil(0)
+
+    def test_edge_encoding_roundtrip(self):
+        for index in (0, 1, 5, 1000):
+            ptr = edge_to(index)
+            assert is_edge(ptr)
+            assert not is_leaf(ptr)
+            assert not is_nil(ptr)
+            assert edge_target(ptr) == index
+
+    def test_edge_to_cell_zero_is_unambiguous(self):
+        # The paper overloads -0; our encoding shifts by one instead.
+        assert edge_to(0) == -1
+        assert edge_target(-1) == 0
+
+    def test_nil_is_neither(self):
+        assert is_nil(NIL)
+        assert not is_leaf(NIL)
+        assert not is_edge(NIL)
+
+    def test_decoders_reject_wrong_kinds(self):
+        with pytest.raises(TrieCorruptionError):
+            edge_target(5)
+        with pytest.raises(TrieCorruptionError):
+            leaf_bucket(edge_to(1))
+
+
+class TestCell:
+    def test_child_accessors(self):
+        cell = Cell("h", 0, 7, edge_to(3))
+        assert cell.child("L") == 7
+        assert cell.child("R") == edge_to(3)
+        cell.set_child("L", 9)
+        assert cell.lp == 9
+        cell.set_child("R", NIL)
+        assert is_nil(cell.rp)
+
+
+class TestCellTable:
+    def test_allocate_sequential(self):
+        table = CellTable()
+        assert table.allocate("a", 0, 0, 1) == 0
+        assert table.allocate("b", 0, 1, 2) == 1
+        assert len(table) == 2
+        assert table.live_count() == 2
+
+    def test_getitem(self):
+        table = CellTable()
+        table.allocate("a", 0, 0, 1)
+        assert table[0].dv == "a"
+
+    def test_free_and_reuse(self):
+        table = CellTable()
+        table.allocate("a", 0, 0, 1)
+        table.allocate("b", 1, 1, 2)
+        table.free(0)
+        assert table.live_count() == 1
+        assert table.allocate("c", 2, 2, 3) == 0  # slot recycled
+        assert table.live_count() == 2
+        assert table[0].dv == "c"
+
+    def test_access_to_freed_cell_fails(self):
+        table = CellTable()
+        table.allocate("a", 0, 0, 1)
+        table.free(0)
+        with pytest.raises(TrieCorruptionError):
+            table[0]
+
+    def test_double_free_fails(self):
+        table = CellTable()
+        table.allocate("a", 0, 0, 1)
+        table.free(0)
+        with pytest.raises(TrieCorruptionError):
+            table.free(0)
+
+    def test_live_items_skips_freed(self):
+        table = CellTable()
+        table.allocate("a", 0, 0, 1)
+        table.allocate("b", 0, 1, 2)
+        table.allocate("c", 0, 2, 3)
+        table.free(1)
+        assert [i for i, _ in table.live_items()] == [0, 2]

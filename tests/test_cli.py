@@ -1,0 +1,71 @@
+"""CLI entry-point tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "31 most-used English words" in out
+        assert "buckets=11" in out
+        assert "for from" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "sec32-expected", "--count", "300",
+                     "--bucket-capacity", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "a_a% (m=b)" in out
+
+    def test_run_with_seed(self, capsys):
+        assert main(["run", "ablation-balance", "--count", "200",
+                     "--seed", "5"]) == 0
+        assert "balanced depth" in capsys.readouterr().out
+
+    def test_run_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "not-an-experiment"])
+
+    def test_no_command_shows_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out
+
+    def test_bucket_capacities_plural_mapping(self, capsys):
+        # Experiments taking bucket_capacities receive a 1-tuple.
+        assert main(["run", "sec31", "--count", "300",
+                     "--bucket-capacity", "8"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") >= 4
+
+    def test_every_experiment_runs_small(self, capsys):
+        # Smoke: each registered experiment completes at minimal size.
+        small = {
+            "fig10": ["--count", "200"],
+            "fig11": ["--count", "200"],
+            "sec31": ["--count", "200"],
+            "sec32-unexpected": ["--count", "200"],
+            "sec32-expected": ["--count", "200"],
+            "sec45": ["--count", "200"],
+            "sec45-redistribution": ["--count", "200"],
+            "growth": ["--count", "200"],
+            "sec5": ["--count", "200"],
+            "mlth": [],
+            "deletions": ["--count", "200"],
+            "ablation-nil": ["--count", "200"],
+            "ablation-balance": ["--count", "200"],
+            "ablation-buffer": ["--count", "200"],
+            "ablation-overflow": ["--count", "200"],
+            "capacity": [],
+            "concurrency": ["--count", "300"],
+            "multikey": ["--count", "300"],
+        }
+        for name, args in small.items():
+            assert main(["run", name, "--bucket-capacity", "8"] + args) == 0, name

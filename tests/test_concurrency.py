@@ -1,0 +1,216 @@
+"""Tests for the concurrency-control simulation (/VID87/)."""
+
+import pytest
+
+from repro import BPlusTree, SplitPolicy, THFile
+from repro.concurrency import (
+    LockManager,
+    LockMode,
+    btree_operation_schedule,
+    simulate_clients,
+    th_operation_schedule,
+)
+from repro.workloads import KeyGenerator
+
+S, X = LockMode.SHARED, LockMode.EXCLUSIVE
+
+
+class TestLockManager:
+    def test_shared_locks_coexist(self):
+        m = LockManager()
+        assert m.try_acquire(1, "r", S)
+        assert m.try_acquire(2, "r", S)
+        assert m.conflicts == 0
+
+    def test_exclusive_excludes(self):
+        m = LockManager()
+        assert m.try_acquire(1, "r", X)
+        assert not m.try_acquire(2, "r", S)
+        assert not m.try_acquire(2, "r", X)
+        assert m.conflicts == 1  # one queued request, counted once
+
+    def test_fifo_grant_on_release(self):
+        m = LockManager()
+        m.try_acquire(1, "r", X)
+        assert not m.try_acquire(2, "r", X)
+        assert not m.try_acquire(3, "r", X)
+        m.release_all(1)
+        assert m.holds(2, "r")
+        assert not m.holds(3, "r")
+        m.release_all(2)
+        assert m.holds(3, "r")
+
+    def test_writer_not_starved(self):
+        m = LockManager()
+        m.try_acquire(1, "r", S)
+        assert not m.try_acquire(2, "r", X)  # writer queues
+        # A later reader must wait behind the queued writer (FIFO).
+        assert not m.try_acquire(3, "r", S)
+        m.release_all(1)
+        assert m.holds(2, "r")
+        assert not m.holds(3, "r")
+
+    def test_reacquire_held_is_noop(self):
+        m = LockManager()
+        m.try_acquire(1, "r", X)
+        assert m.try_acquire(1, "r", S)
+        assert m.try_acquire(1, "r", X)
+
+    def test_upgrade_when_alone(self):
+        m = LockManager()
+        m.try_acquire(1, "r", S)
+        assert m.try_acquire(1, "r", X)
+
+    def test_single_release(self):
+        m = LockManager()
+        m.try_acquire(1, "a", X)
+        m.try_acquire(1, "b", X)
+        m.release(1, "a")
+        assert not m.holds(1, "a")
+        assert m.holds(1, "b")
+
+    def test_waiting_flag(self):
+        m = LockManager()
+        m.try_acquire(1, "r", X)
+        m.try_acquire(2, "r", X)
+        assert m.waiting(2)
+        m.release_all(1)
+        assert not m.waiting(2)
+
+
+class TestSchedules:
+    def setup_method(self):
+        self.keys = KeyGenerator(11).uniform(300)
+        self.th = THFile(bucket_capacity=8)
+        self.bt = BPlusTree(leaf_capacity=8)
+        for k in self.keys:
+            self.th.insert(k)
+            self.bt.insert(k)
+
+    def test_th_search_locks_one_bucket(self):
+        sched = th_operation_schedule(self.th, "search", self.keys[0])
+        locks = [s for s in sched if s[0] == "lock"]
+        assert len(locks) == 1
+        assert locks[0][2] is S
+
+    def test_th_plain_insert_locks_one_bucket(self):
+        sched = th_operation_schedule(self.th, "insert", "zzzzzq")
+        locks = [s for s in sched if s[0] == "lock"]
+        assert [r for _, r, _ in locks] != []
+        assert all(mode is X for _, _, mode in locks)
+        assert len(locks) <= 2  # bucket (+ N only if it split)
+
+    def test_th_split_locks_bucket_and_counter(self):
+        # Force a split: fill one bucket's range.
+        f = THFile(bucket_capacity=2)
+        f.insert("aa")
+        f.insert("ab")
+        sched = th_operation_schedule(f, "insert", "ac")
+        locks = [s for s in sched if s[0] == "lock"]
+        resources = [r for _, r, _ in locks]
+        assert ("bucket", 0) in resources
+        assert "N" in resources
+        assert len(resources) == 2  # and nothing else - the VID87 point
+
+    def test_btree_search_couples_down(self):
+        sched = btree_operation_schedule(self.bt, "search", self.keys[0])
+        locks = [s for s in sched if s[0] == "lock"]
+        unlocks = [s for s in sched if s[0] == "unlock"]
+        assert len(locks) == self.bt.height
+        assert len(unlocks) == self.bt.height - 1
+
+    def test_btree_insert_locks_root_exclusively(self):
+        sched = btree_operation_schedule(self.bt, "insert", "zzzzzr")
+        first_lock = [s for s in sched if s[0] == "lock"][0]
+        assert first_lock[2] is X  # conservative coupling hits the root
+
+    def test_th_schedule_smaller_than_btree(self):
+        th_locks = len(
+            [
+                s
+                for s in th_operation_schedule(self.th, "search", self.keys[1])
+                if s[0] == "lock"
+            ]
+        )
+        bt_locks = len(
+            [
+                s
+                for s in btree_operation_schedule(self.bt, "search", self.keys[1])
+                if s[0] == "lock"
+            ]
+        )
+        assert th_locks < bt_locks
+
+
+class TestSimulation:
+    def _schedules(self, method, n=200):
+        gen = KeyGenerator(23)
+        present = gen.uniform(400)
+        new = gen.uniform(n, salt=5)
+        if method == "th":
+            f = THFile(bucket_capacity=8)
+            for k in present:
+                f.insert(k)
+            return [
+                th_operation_schedule(f, "insert", k)
+                for k in new
+                if not f.contains(k)
+            ] + [th_operation_schedule(f, "search", k) for k in present[:n]]
+        t = BPlusTree(leaf_capacity=8)
+        for k in present:
+            t.insert(k)
+        return [
+            btree_operation_schedule(t, "insert", k)
+            for k in new
+            if not t.contains(k)
+        ] + [btree_operation_schedule(t, "search", k) for k in present[:n]]
+
+    def test_single_client_no_conflicts(self):
+        report = simulate_clients(self._schedules("th"), clients=1)
+        assert report.conflicts == 0
+        assert report.wait_ticks == 0
+        assert report.makespan >= report.io_ticks
+
+    def test_th_outconcurs_btree(self):
+        th = simulate_clients(self._schedules("th"), clients=8)
+        bt = simulate_clients(self._schedules("btree"), clients=8)
+        assert th.conflicts < bt.conflicts
+        assert th.wait_ticks <= bt.wait_ticks
+
+    def test_more_clients_finish_sooner(self):
+        one = simulate_clients(self._schedules("th"), clients=1)
+        eight = simulate_clients(self._schedules("th"), clients=8)
+        assert eight.makespan < one.makespan
+        assert eight.operations == one.operations
+
+    def test_report_derived_metrics(self):
+        report = simulate_clients(self._schedules("th"), clients=4)
+        assert 0 < report.throughput
+        assert 0 < report.utilization <= 1
+
+    def test_watchdog_detects_artificial_deadlock(self):
+        # Hand-built cyclic schedules (never produced by the protocols,
+        # which lock in a global order) must trip the watchdog instead
+        # of hanging.
+        from repro.concurrency.locks import LockMode
+
+        # Client A works r1 for two ticks so B can grab r2 meanwhile.
+        a = [("lock", "r1", LockMode.EXCLUSIVE), ("io",), ("io",),
+             ("lock", "r2", LockMode.EXCLUSIVE), ("io",)]
+        b = [("lock", "r2", LockMode.EXCLUSIVE), ("io",),
+             ("lock", "r1", LockMode.EXCLUSIVE), ("io",)]
+        with pytest.raises(RuntimeError):
+            simulate_clients([a, b], clients=2)
+
+    def test_no_deadlock_under_mixed_load(self):
+        gen = KeyGenerator(29)
+        keys = gen.uniform(300)
+        f = THFile(bucket_capacity=6, policy=SplitPolicy.thcl())
+        for k in keys:
+            f.insert(k)
+        schedules = []
+        for i, k in enumerate(keys[:150]):
+            schedules.append(th_operation_schedule(f, "delete", k))
+            schedules.append(th_operation_schedule(f, "search", keys[150 + i % 100]))
+        report = simulate_clients(schedules, clients=6)
+        assert report.operations == len(schedules)

@@ -1,0 +1,80 @@
+"""Distribution statistics: checking the paper's *explanations*."""
+
+import pytest
+
+from repro import SplitPolicy, THFile
+from repro.analysis.distributions import (
+    boundary_length_histogram,
+    bucket_load_histogram,
+    leaf_depth_histogram,
+    summarize,
+)
+
+
+def fill(policy, keys, b=10):
+    f = THFile(bucket_capacity=b, policy=policy)
+    for k in keys:
+        f.insert(k)
+    return f
+
+
+class TestHistograms:
+    def test_bucket_load_histogram_totals(self, small_keys):
+        f = fill(None, small_keys)
+        histogram = bucket_load_histogram(f)
+        assert sum(histogram.values()) == f.bucket_count()
+        assert sum(v * c for v, c in histogram.items()) == len(f)
+
+    def test_compact_load_is_a_spike(self, sorted_keys):
+        f = fill(SplitPolicy.thcl_ascending(0), sorted_keys)
+        histogram = bucket_load_histogram(f)
+        # All buckets full except possibly the last partial one.
+        assert histogram.get(10, 0) >= f.bucket_count() - 1
+
+    def test_boundary_lengths_cover_the_trie(self, small_keys):
+        f = fill(None, small_keys)
+        histogram = boundary_length_histogram(f.trie)
+        assert sum(histogram.values()) == f.trie_size()
+
+    def test_leaf_depths_cover_the_leaves(self, small_keys):
+        f = fill(None, small_keys)
+        histogram = leaf_depth_histogram(f.trie)
+        assert sum(histogram.values()) == f.trie_size() + 1
+
+    def test_summarize(self):
+        stats = summarize({2: 3, 4: 1})
+        assert stats == {"mean": 2.5, "min": 2, "max": 4, "total": 4}
+        assert summarize({})["total"] == 0
+
+
+class TestPaperExplanations:
+    def test_compact_loads_need_longer_split_strings(self, sorted_keys):
+        # Section 4.5 (i): adjacent keys share more digits, so the d = 0
+        # boundaries (cut between adjacent keys) are longer than those of
+        # the Fig 10 sweep's larger d, where the bounding key c'' sits
+        # d+1 keys above the split key.
+        def policy(d):
+            return SplitPolicy(
+                split_position=-(d + 1),
+                bounding_offset=None,
+                nil_nodes=False,
+                merge="guaranteed",
+            )
+
+        compact = fill(policy(0), sorted_keys)
+        tuned = fill(policy(4), sorted_keys)
+        compact_mean = summarize(boundary_length_histogram(compact.trie))["mean"]
+        tuned_mean = summarize(boundary_length_histogram(tuned.trie))["mean"]
+        assert compact_mean > tuned_mean
+
+    def test_ordered_insertions_skew_leaf_depths(self, sorted_keys, generator):
+        ordered = fill(None, sorted_keys)
+        shuffled = fill(None, generator.uniform(len(sorted_keys), salt=8))
+        ordered_max = summarize(leaf_depth_histogram(ordered.trie))["max"]
+        random_max = summarize(leaf_depth_histogram(shuffled.trie))["max"]
+        assert ordered_max >= random_max
+
+    def test_guaranteed_half_bounds_the_histogram(self, sorted_keys):
+        f = fill(SplitPolicy.thcl_guaranteed_half(), sorted_keys)
+        histogram = bucket_load_histogram(f)
+        assert min(histogram) >= 5  # every bucket at least half full

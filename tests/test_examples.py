@@ -1,0 +1,43 @@
+"""Every example script must run clean and print its headline lines."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": ["Fig 1 example file", "trie boundaries"],
+    "compact_backup_file.py": ["sorted load", "compact B+-tree"],
+    "mlth_large_file.py": ["records: levels=", "mean accesses/search"],
+    "btree_showdown.py": ["Section 5 criteria", "min bucket"],
+    "crash_recovery.py": ["crash: in-core trie lost", "recovered"],
+    "concurrent_clients.py": ["conflicts", "B+-tree"],
+    "multikey_points.py": ["rectangle", "grid file"],
+    "query_temporary_join.py": ["merge join produced", "temporaries dropped"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_example_runs(name):
+    output = run_example(name)
+    for marker in CASES[name]:
+        assert marker in output, f"{name} output lacks {marker!r}"
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), "update CASES when adding examples"

@@ -1,0 +1,55 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.figures import ascii_chart, fig_curves
+
+
+class TestAsciiChart:
+    def test_renders_markers_and_axes(self):
+        chart = ascii_chart(
+            {"up": [(0, 0), (1, 1), (2, 4)], "down": [(0, 4), (2, 0)]},
+            width=20,
+            height=8,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "*" in chart and "o" in chart
+        assert "4.0" in chart and "0.0" in chart
+        assert "* up" in chart and "o down" in chart
+
+    def test_empty(self):
+        assert "(no data)" in ascii_chart({}, title="empty")
+
+    def test_single_point(self):
+        chart = ascii_chart({"p": [(5, 5)]})
+        assert "*" in chart
+
+    def test_constant_series(self):
+        # Zero y-span must not divide by zero.
+        chart = ascii_chart({"flat": [(0, 3), (1, 3), (2, 3)]})
+        assert chart.count("*") >= 1
+
+
+class TestFigCurves:
+    ROWS = [
+        {"b": 10, "d": 0, "a%": 100.0, "M": 200},
+        {"b": 10, "d": 2, "a%": 90.0, "M": 150},
+        {"b": 10, "d": 4, "a%": 80.0, "M": 160},
+        {"b": 20, "d": 0, "a%": 100.0, "M": 100},
+    ]
+
+    def test_filters_by_bucket_size(self):
+        chart = fig_curves(self.ROWS, 10)
+        assert "b = 10" in chart
+        assert "a%" in chart and "M (% of peak)" in chart
+
+    def test_missing_bucket_size(self):
+        assert "no rows" in fig_curves(self.ROWS, 99)
+
+    def test_m_normalised_to_peak(self):
+        chart = fig_curves(self.ROWS, 10)
+        # Peak M (200) renders as the 100-line top of the M curve; axis
+        # top is 100.
+        assert "100.0" in chart

@@ -1,0 +1,181 @@
+"""Unit tests for the THFile public API (basic method)."""
+
+import pytest
+
+from repro import (
+    DuplicateKeyError,
+    InvalidKeyError,
+    KeyNotFoundError,
+    SplitPolicy,
+    THFile,
+)
+
+
+class TestCRUD:
+    def test_insert_and_get(self):
+        f = THFile()
+        f.insert("hello", 1)
+        f.insert("world", 2)
+        assert f.get("hello") == 1
+        assert f.get("world") == 2
+        assert len(f) == 2
+
+    def test_get_missing_raises(self):
+        f = THFile()
+        f.insert("hello")
+        with pytest.raises(KeyNotFoundError):
+            f.get("absent")
+
+    def test_contains(self):
+        f = THFile()
+        f.insert("hello")
+        assert f.contains("hello")
+        assert "hello" in f
+        assert "nope" not in f
+
+    def test_duplicate_insert_rejected(self):
+        f = THFile()
+        f.insert("hello", 1)
+        with pytest.raises(DuplicateKeyError):
+            f.insert("hello", 2)
+        assert f.get("hello") == 1
+        assert len(f) == 1
+
+    def test_put_overwrites(self):
+        f = THFile()
+        f.put("hello", 1)
+        f.put("hello", 2)
+        assert f.get("hello") == 2
+        assert len(f) == 1
+
+    def test_delete_returns_value(self):
+        f = THFile()
+        f.insert("hello", 42)
+        assert f.delete("hello") == 42
+        assert "hello" not in f
+        assert len(f) == 0
+
+    def test_delete_missing_raises(self):
+        f = THFile()
+        f.insert("hello")
+        with pytest.raises(KeyNotFoundError):
+            f.delete("absent")
+
+    def test_invalid_keys_rejected_everywhere(self):
+        f = THFile()
+        for op in (f.insert, f.get, f.delete, f.contains):
+            with pytest.raises(InvalidKeyError):
+                op("UPPER")
+            with pytest.raises(InvalidKeyError):
+                op("")
+
+    def test_key_canonicalisation(self):
+        # Trailing spaces are padding: 'he ' and 'he' are the same key.
+        f = THFile()
+        f.insert("he ")
+        assert f.contains("he")
+        with pytest.raises(DuplicateKeyError):
+            f.insert("he")
+
+    def test_values_default_to_none(self):
+        f = THFile()
+        f.insert("hello")
+        assert f.get("hello") is None
+
+    def test_arbitrary_value_objects(self):
+        f = THFile()
+        payload = {"a": [1, 2, 3]}
+        f.insert("hello", payload)
+        assert f.get("hello") is payload
+
+
+class TestConstruction:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            THFile(bucket_capacity=1)
+        THFile(bucket_capacity=2)
+
+    def test_policy_positions_validated_up_front(self):
+        # A split position beyond b fails at construction, not mid-split.
+        with pytest.raises(Exception):
+            THFile(bucket_capacity=4, policy=SplitPolicy(split_position=9))
+
+    def test_starts_with_one_bucket(self):
+        f = THFile()
+        assert f.bucket_count() == 1
+        assert f.trie_size() == 0
+        assert f.load_factor() == 0.0
+
+
+class TestOrderedIteration:
+    def test_items_sorted(self, generator):
+        keys = generator.uniform(200)
+        f = THFile(bucket_capacity=4)
+        for i, k in enumerate(keys):
+            f.insert(k, i)
+        out = list(f.items())
+        assert [k for k, _ in out] == sorted(keys)
+        values = dict(out)
+        for i, k in enumerate(keys):
+            assert values[k] == i
+
+    def test_keys_iterator(self, small_keys):
+        f = THFile(bucket_capacity=8)
+        for k in small_keys:
+            f.insert(k)
+        assert list(f.keys()) == sorted(small_keys)
+
+
+class TestMetricsAndStats:
+    def test_load_factor_definition(self):
+        f = THFile(bucket_capacity=4)
+        for k in ("aa", "bb", "cc"):
+            f.insert(k)
+        assert f.load_factor() == pytest.approx(3 / 4)
+
+    def test_stats_counters(self, small_keys):
+        f = THFile(bucket_capacity=4)
+        for k in small_keys:
+            f.insert(k)
+        assert f.stats.inserts == len(small_keys)
+        assert f.stats.splits + f.stats.nil_allocations == f.bucket_count() - 1
+        f.delete(small_keys[0])
+        assert f.stats.deletes == 1
+        d = f.stats.as_dict()
+        assert d["inserts"] == len(small_keys)
+
+    def test_growth_rate(self, small_keys):
+        f = THFile(bucket_capacity=4)
+        for k in small_keys:
+            f.insert(k)
+        assert f.growth_rate() == pytest.approx(
+            f.trie_size() / (f.stats.splits + f.stats.nil_allocations)
+        )
+
+    def test_trie_size_tracks_cells(self, fig1_file):
+        assert fig1_file.trie_size() == 10  # the Fig 1 trie
+
+    def test_check_passes_through_life(self, generator):
+        keys = generator.uniform(150)
+        f = THFile(bucket_capacity=3)
+        for i, k in enumerate(keys):
+            f.insert(k, i)
+            if i % 10 == 0:
+                f.check()
+        for k in keys[:75]:
+            f.delete(k)
+            f.check()
+
+
+class TestSharedStore:
+    def test_two_files_can_share_a_disk(self):
+        from repro.storage.buckets import BucketStore
+        from repro.storage.disk import SimulatedDisk
+
+        disk = SimulatedDisk()
+        f1 = THFile(store=BucketStore(disk))
+        f2 = THFile(store=BucketStore(disk))
+        f1.insert("aa")
+        f2.insert("bb")
+        assert "aa" in f1 and "aa" not in f2
+        assert disk.stats.accesses > 0

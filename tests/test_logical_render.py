@@ -1,0 +1,88 @@
+"""Tests for the logical (M-ary) structure and ASCII rendering."""
+
+import pytest
+
+from repro import THFile
+from repro.core.logical import logical_structure
+from repro.core.render import render_file, render_logical, render_trie
+
+
+class TestLogicalStructure:
+    def test_fig2_levels(self, fig1_file):
+        structure = logical_structure(fig1_file.trie)
+        levels = structure.levels()
+        # Fig 2: level-0 digits of the example trie.
+        assert levels[0] == ["a", "b", "f", "h", "i", "o", "t"]
+        # Level 1: 'r' under 'a', 'e' under 'h', ' ' under 'i'.
+        assert sorted(levels[1]) == [" ", "e", "r"]
+        assert 2 not in levels
+
+    def test_node_count_matches_binary_trie(self, fig1_file):
+        structure = logical_structure(fig1_file.trie)
+        assert structure.node_count() == fig1_file.trie.node_count
+
+    def test_parent_child_paths(self, fig1_file):
+        structure = logical_structure(fig1_file.trie)
+        for root in structure.roots:
+            for node in root.walk():
+                for child in node.children:
+                    assert child.path[:-1] == node.path
+                    assert child.level == node.level + 1
+
+    def test_buckets_in_order_match_leaves(self, fig1_file):
+        structure = logical_structure(fig1_file.trie)
+        from repro.core.cells import is_nil
+
+        expected = [
+            (None if is_nil(p) else p)
+            for _, p, _ in fig1_file.trie.leaves_in_order()
+        ]
+        assert structure.buckets_in_order() == expected
+
+    def test_random_file_consistency(self, generator):
+        keys = generator.uniform(300)
+        f = THFile(bucket_capacity=5)
+        for k in keys:
+            f.insert(k)
+        structure = logical_structure(f.trie)
+        assert structure.node_count() == f.trie.node_count
+        assert len(structure.buckets_in_order()) == f.trie.node_count + 1
+
+    def test_empty_trie(self):
+        f = THFile()
+        structure = logical_structure(f.trie)
+        assert structure.roots == []
+        assert structure.buckets_in_order() == [0]
+
+
+class TestRendering:
+    def test_render_trie_mentions_every_node(self, fig1_file):
+        art = render_trie(fig1_file.trie)
+        for dv, dn in [("o", 0), ("i", 0), ("h", 0), ("e", 1)]:
+            assert f"({dv},{dn})" in art
+        for address in range(11):
+            assert f"[{address}]" in art
+
+    def test_render_trie_leaf_only(self):
+        f = THFile()
+        assert render_trie(f.trie) == "[0]"
+
+    def test_render_logical(self, fig1_file):
+        art = render_logical(fig1_file.trie)
+        assert "level 0: a b f h i o t" in art
+        assert art.splitlines()[-1].startswith("leaves")
+
+    def test_render_file(self, fig1_file):
+        art = render_file(fig1_file)
+        assert "records=31" in art
+        assert "for from" in art
+        assert "(o,0)" in art
+
+    def test_render_with_nils(self):
+        from repro import SplitPolicy
+
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(split_position=-1))
+        for k in ("oaaa", "obbb", "osza", "oszc", "oszh"):
+            f.insert(k)
+        assert "[nil]" in render_trie(f.trie)
+        assert "nil" in render_logical(f.trie)

@@ -1,0 +1,177 @@
+"""Tests for the multikey extension (interleaving, rectangle queries,
+and the grid-directory comparison)."""
+
+import pytest
+
+from repro import InvalidKeyError, LOWERCASE
+from repro.multikey import GridDirectoryModel, Interleaver, MultikeyTHFile
+from repro.workloads import KeyGenerator
+
+
+class TestInterleaver:
+    def test_compose_round_robin(self):
+        inter = Interleaver((3, 3))
+        assert inter.compose(("abc", "xyz")) == "axbycz"
+
+    def test_uneven_widths(self):
+        inter = Interleaver((4, 2))
+        # layout: a0 b0 a1 b1 a2 a3
+        assert inter.compose(("wxyz", "pq")) == "wpxqyz"
+
+    def test_padding_and_canonicalisation(self):
+        inter = Interleaver((3, 3))
+        key = inter.compose(("ab", "x"))
+        # 'ab ' interleaved with 'x  ' = 'axb    ' -> canonical 'axb'
+        assert key == "axb"
+        assert inter.decompose(key) == ("ab", "x")
+
+    def test_decompose_roundtrip(self, generator):
+        inter = Interleaver((5, 3, 4))
+        rng_keys = generator.uniform(100, length=3)
+        for i in range(0, 99, 3):
+            triple = (rng_keys[i][:5], rng_keys[i + 1][:3], rng_keys[i + 2][:4])
+            assert inter.decompose(inter.compose(triple)) == tuple(
+                t.rstrip(" ") for t in triple
+            )
+
+    def test_width_overflow_rejected(self):
+        inter = Interleaver((2, 2))
+        with pytest.raises(InvalidKeyError):
+            inter.compose(("abc", "x"))
+
+    def test_arity_checked(self):
+        inter = Interleaver((2, 2))
+        with pytest.raises(InvalidKeyError):
+            inter.compose(("ab",))
+
+    def test_foreign_digits_rejected(self):
+        inter = Interleaver((2, 2))
+        with pytest.raises(InvalidKeyError):
+            inter.compose(("A!", "aa"))
+
+    def test_invalid_widths(self):
+        with pytest.raises(InvalidKeyError):
+            Interleaver(())
+        with pytest.raises(InvalidKeyError):
+            Interleaver((0, 2))
+
+    def test_monotone_per_coordinate(self):
+        # The z-bounding prerequisite: raising one coordinate never
+        # lowers the composite key.
+        inter = Interleaver((3, 3))
+        base = inter.compose(("abc", "mno"))
+        higher = inter.compose(("abd", "mno"))
+        assert higher > base
+
+    def test_corners(self):
+        inter = Interleaver((2, 2), LOWERCASE)
+        low = inter.low_corner(["b", "c"])
+        high = inter.high_corner(["b", "c"])
+        assert low <= high
+        assert high.endswith("z") or "z" in high
+
+
+class TestMultikeyFile:
+    def build(self, n=300, seed=5):
+        gen = KeyGenerator(seed)
+        a = gen.uniform(n, length=4, salt=1)
+        b = gen.uniform(n, length=4, salt=2)
+        f = MultikeyTHFile((4, 4), bucket_capacity=8)
+        pts = list(zip(a, b))
+        for i, p in enumerate(pts):
+            f.insert(p, i)
+        return f, pts
+
+    def test_exact_match(self):
+        f, pts = self.build()
+        for i, p in enumerate(pts[:50]):
+            assert f.get(p) == i
+            assert f.contains(p)
+        assert not f.contains(("zzzz", "zzzz"))
+
+    def test_duplicate_and_delete(self):
+        f, pts = self.build(50)
+        with pytest.raises(Exception):
+            f.insert(pts[0])
+        assert f.delete(pts[0]) == 0
+        assert not f.contains(pts[0])
+        assert len(f) == 49
+
+    def test_items_decomposed(self):
+        f, pts = self.build(100)
+        seen = {values for values, _ in f.items()}
+        assert seen == set(pts)
+
+    def test_rectangle_full_space(self):
+        f, pts = self.build(200)
+        hits = list(f.rectangle((None, None), (None, None)))
+        assert len(hits) == 200
+
+    def test_rectangle_matches_bruteforce(self):
+        f, pts = self.build(300)
+        lows, highs = ("c", "f"), ("m", "s")
+
+        def inside(p):
+            return lows[0] <= p[0] <= highs[0] + "zzzz" and (
+                lows[1] <= p[1] <= highs[1] + "zzzz"
+            )
+
+        expected = {p for p in pts if inside(p)}
+        got = {values for values, _ in f.rectangle(lows, highs)}
+        assert got == expected
+
+    def test_rectangle_half_open(self):
+        f, pts = self.build(300)
+        got = {v for v, _ in f.rectangle(("m", None), (None, None))}
+        expected = {p for p in pts if p[0] >= "m"}
+        assert got == expected
+
+    def test_rectangle_stats_selectivity(self):
+        f, pts = self.build(300)
+        matches, scanned = f.rectangle_stats(("c", "c"), ("d", "d"))
+        assert matches <= scanned
+        # The z scan must not degenerate to a full-file scan for a
+        # small box.
+        assert scanned < len(pts)
+
+    def test_check(self):
+        f, _ = self.build(150)
+        f.check()
+
+    def test_directory_size_is_trie_cells(self):
+        f, _ = self.build(200)
+        assert f.directory_size() == f.file.trie_size()
+
+
+class TestGridModel:
+    def test_uniform_data_modest_directory(self, generator):
+        model = GridDirectoryModel(2, bucket_capacity=8)
+        a = generator.uniform(300, length=4, salt=1)
+        b = generator.uniform(300, length=4, salt=2)
+        for p in zip(a, b):
+            model.insert(p)
+        assert len(model) == 300
+        assert model.directory_size() >= model.occupied_cells()
+
+    def test_skewed_data_directory_explodes_relative_to_trie(self, generator):
+        # The paper's expectation: under skew, the grid directory's
+        # cross product far outgrows the trie's cell count (one split
+        # line slices the whole orthogonal slab; a trie split is local).
+        a = generator.skewed(600, length=4, concentration=3.0, salt=1)
+        b = generator.skewed(600, length=4, concentration=3.0, salt=2)
+        points = sorted(set(zip(a, b)))
+        grid = GridDirectoryModel(2, bucket_capacity=4)
+        trie = MultikeyTHFile((4, 4), bucket_capacity=4)
+        for p in points:
+            grid.insert(p)
+            trie.insert(p)
+        assert grid.directory_size() > 2.5 * trie.directory_size()
+        # And much of the grid directory is empty cells:
+        assert grid.occupied_cells() < grid.directory_size()
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            GridDirectoryModel(0)
+        model = GridDirectoryModel(2)
+        with pytest.raises(ValueError):
+            model.insert(("a",))

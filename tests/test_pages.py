@@ -1,0 +1,90 @@
+"""Unit tests for trie pages (the MLTH building block)."""
+
+import pytest
+
+from repro import LOWERCASE
+from repro.core.pages import TriePage
+
+A = LOWERCASE
+
+
+def page(bounds, children=None, level=0):
+    children = children if children is not None else list(range(len(bounds) + 1))
+    return TriePage(level=level, boundaries=list(bounds), children=children)
+
+
+class TestSubtrie:
+    def test_leaves_are_gap_indices(self):
+        p = page(["d", "m", "t"])
+        trie = p.subtrie(A)
+        assert trie.search("a").bucket == 0
+        assert trie.search("f").bucket == 1
+        assert trie.search("p").bucket == 2
+        assert trie.search("z").bucket == 3
+
+    def test_cached_until_invalidated(self):
+        p = page(["d"])
+        first = p.subtrie(A)
+        assert p.subtrie(A) is first
+        p.invalidate()
+        assert p.subtrie(A) is not first
+
+    def test_empty_page(self):
+        p = page([])
+        assert p.cell_count == 0
+        assert p.subtrie(A).search("q").bucket == 0
+
+    def test_cell_count(self):
+        assert page(["a", "b", "c"]).cell_count == 3
+
+
+class TestSplice:
+    def test_splice_replaces_one_gap(self):
+        p = page(["d", "t"], [10, 11, 12])
+        p.splice(1, ["ha", "h"], [20, 21, 22])
+        assert p.boundaries == ["d", "ha", "h", "t"]
+        assert p.children == [10, 20, 21, 22, 12]
+
+    def test_splice_invalidates_cache(self):
+        p = page(["d"])
+        before = p.subtrie(A)
+        p.splice(0, ["b"], [5, 6])
+        assert p.subtrie(A) is not before
+
+    def test_splice_arity_checked(self):
+        p = page(["d"])
+        with pytest.raises(AssertionError):
+            p.splice(0, ["b"], [1, 2, 3])
+
+
+class TestSplitChoice:
+    def test_candidates_exclude_extensions(self):
+        # 'ha' has its logical parent 'h' inside the span.
+        p = page(["ha", "h", "m"])
+        assert p.split_candidates() == [1, 2]
+
+    def test_fig4_choice(self):
+        bounds = ["ar", "a", "b", "f", "he", "h", "i ", "i", "o", "t"]
+        p = page(bounds)
+        # Candidates: everything except the extensions 'ar', 'he', 'i '.
+        names = [bounds[i] for i in p.split_candidates()]
+        assert names == ["a", "b", "f", "h", "i", "o", "t"]
+        # Balanced pick: nearest the middle (index 4.5) -> 'h' (index 5),
+        # the paper's split node; '(e,1)' loses by condition (ii).
+        assert bounds[p.choose_split_index("balanced")] == "h"
+
+    def test_first_last_picks(self):
+        bounds = ["a", "b", "c", "d"]
+        p = page(bounds)
+        assert p.choose_split_index("first") == 0
+        assert p.choose_split_index("last") == 3
+
+    def test_shortest_boundary_always_a_candidate(self):
+        p = page(["abc", "ab", "a"])
+        assert p.split_candidates() == [2]
+
+    def test_gap_of(self):
+        p = page(["d", "m"])
+        assert p.gap_of("a", A) == 0
+        assert p.gap_of("f", A) == 1
+        assert p.gap_of("z", A) == 2

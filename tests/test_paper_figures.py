@@ -1,0 +1,212 @@
+"""Scenario tests reproducing Figures 1-9 of the paper."""
+
+import pytest
+
+from repro import MLTHFile, SplitPolicy, THFile, Trie, LOWERCASE
+from repro.core.thcl_split import collapse_equal_leaf_nodes, insert_boundary
+from repro.workloads import MOST_USED_WORDS
+
+
+class TestFig1ExampleFile:
+    """The running example: 31 most-used English words, b=4, m=3."""
+
+    def test_bucket_contents(self, fig1_file):
+        expected = {
+            0: ["a", "and", "are"],
+            1: ["that", "the", "this", "to"],
+            2: ["not", "of", "on", "or"],
+            3: ["in", "is", "it"],
+            4: ["be", "but", "by"],
+            5: ["was", "which", "with", "you"],
+            6: ["i"],
+            7: ["had", "have", "he", "her"],
+            8: ["his"],
+            9: ["as", "at"],
+            10: ["for", "from"],
+        }
+        assert sorted(fig1_file.store.live_addresses()) == sorted(expected)
+        for address, keys in expected.items():
+            assert fig1_file.store.peek(address).keys == keys
+
+    def test_trie_shape(self, fig1_file):
+        # Ten cells; the boundary (logical-path) sequence of Fig 1c.
+        assert fig1_file.trie_size() == 10
+        assert fig1_file.trie.boundaries() == [
+            "ar", "a", "b", "f", "he", "h", "i ", "i", "o", "t",
+        ]
+
+    def test_leaf_order(self, fig1_file):
+        leaves = [p for _, p, _ in fig1_file.trie.leaves_in_order()]
+        assert leaves == [0, 9, 4, 10, 7, 8, 6, 3, 2, 1, 5]
+
+    def test_load_factor_near_seventy(self, fig1_file):
+        assert fig1_file.load_factor() == pytest.approx(31 / 44, abs=1e-9)
+
+    def test_fig2_logical_structure_level0(self, fig1_file):
+        # The M-ary view's level-0 digits.
+        level0 = [s for s in fig1_file.trie.boundaries() if len(s) == 1]
+        assert level0 == ["a", "b", "f", "h", "i", "o", "t"]
+
+    def test_cell_count_equals_leaves_minus_one(self, fig1_file):
+        trie = fig1_file.trie
+        assert trie.node_count == len(trie.leaves_in_order()) - 1
+
+
+class TestFig3BucketSplit:
+    def test_inserting_hat_splits_bucket_7(self, fig1_file):
+        # 'have' becomes the split key; the split string is 'ha'; the
+        # only new internal node is (a, 1).
+        boundaries_before = set(fig1_file.trie.boundaries())
+        fig1_file.insert("hat")
+        fig1_file.check()
+        new = set(fig1_file.trie.boundaries()) - boundaries_before
+        assert new == {"ha"}
+        assert fig1_file.store.peek(7).keys == ["had", "hat", "have"]
+        assert fig1_file.store.peek(11).keys == ["he", "her"]
+        assert fig1_file.trie_size() == 11
+
+
+class TestFig4TrieSplit:
+    def test_page_split_chooses_h(self, words):
+        # Page capacity b'=9: the example trie's ten cells overflow one
+        # page; the split node must be (h,0) - (e,1) is as central but
+        # has its logical parent (h,0) inside the subtrie.
+        f = MLTHFile(bucket_capacity=4, page_capacity=9)
+        for w in words:
+            f.insert(w)
+        f.check()
+        assert f.levels() == 2
+        root = f.page_disk.peek(f.root_id)
+        assert root.boundaries == ["h"]
+        left = f.page_disk.peek(root.children[0])
+        right = f.page_disk.peek(root.children[1])
+        assert left.boundaries == ["ar", "a", "b", "f", "he"]
+        assert right.boundaries == ["i ", "i", "o", "t"]
+
+    def test_search_unaffected_by_paging(self, words, fig1_file):
+        f = MLTHFile(bucket_capacity=4, page_capacity=9)
+        for w in words:
+            f.insert(w)
+        for w in words:
+            assert f.get(w) is None  # stored value
+            # and the bucket agrees with the flat file's mapping:
+            steps, _, _ = f._descend(w)
+            _, page, gap = steps[-1]
+            assert page.children[gap] == fig1_file.trie.search(w).bucket
+
+
+class TestFig5BasicAscending:
+    def test_nil_nodes_strand_buckets(self):
+        # m=b: the split leaves bucket 0 full but creates nil leaves;
+        # 'ota' then allocates bucket 2 while bucket 1 is still short.
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(split_position=-1))
+        for k in ("oaaa", "obbb", "osza", "oszc"):
+            f.insert(k)
+        f.insert("oszh")  # the split: bucket 0 stays 100% full
+        assert len(f.store.peek(0)) == 4
+        assert len(f.store.peek(1)) == 1
+        assert f.nil_leaf_fraction() > 0
+        f.insert("ota")  # hits a nil leaf -> bucket 2 appears
+        assert f.bucket_count() == 3
+        assert len(f.store.peek(1)) == 1  # bucket 1 stranded below 100%
+        f.check()
+
+
+class TestFig6BasicDescending:
+    def test_split_randomness_strands_keys(self):
+        # m=1 descending: 'orba' AND 'orbf' stay (both share the split
+        # string 'or'), so the outgoing bucket is not fully loaded.
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(split_position=1))
+        for k in ("ouzz", "oszd", "osca", "orbf"):
+            f.insert(k)
+        f.insert("orba")  # overflow: split key is 'orba' itself
+        f.check()
+        assert f.store.peek(0).keys == ["orba", "orbf"]
+        assert len(f.store.peek(1)) == 3  # only 3 of 4 slots filled
+        f.check()
+
+
+class TestFig7THCLNoNils:
+    def test_right_leaves_share_the_new_bucket(self):
+        f = THFile(bucket_capacity=4, policy=SplitPolicy.thcl_ascending(0))
+        for k in ("oaaa", "obbb", "osza", "oszc"):
+            f.insert(k)
+        f.insert("oszh")
+        # All leaves right of the chain carry bucket 1 - no nils.
+        leaves = [p for _, p, _ in f.trie.leaves_in_order()]
+        assert leaves == [0, 1, 1, 1, 1]
+        # Ascending keys keep filling bucket 1 to the brim.
+        for k in ("oszp", "ota", "ovm"):
+            f.insert(k)
+        assert len(f.store.peek(1)) == 4
+        f.insert("ovv")  # overflow -> bucket 2 is initiated
+        assert f.bucket_count() == 3
+        f.check()
+
+
+class TestFig8ControlledDescending:
+    def test_bounding_at_m_plus_1_gives_half(self):
+        # b=4, m=3, bounding key at position 4: exactly two keys move at
+        # every split -> a_d = 50% guaranteed.
+        policy = SplitPolicy(split_position=3, bounding_offset=1,
+                             nil_nodes=False, merge="guaranteed")
+        f = THFile(bucket_capacity=4, policy=policy)
+        keys = sorted(
+            {"o" + a + b for a in "abcdefghijklmnop" for b in "sz"},
+            reverse=True,
+        )
+        for k in keys:
+            f.insert(k)
+        f.check()
+        # Every bucket that stopped receiving keys holds exactly 2.
+        sizes = [len(f.store.peek(a)) for a in f.store.live_addresses()]
+        assert sizes.count(2) >= len(sizes) - 2
+        assert f.load_factor() == pytest.approx(0.5, abs=0.08)
+
+    def test_m1_bounding2_gives_full(self):
+        f = THFile(bucket_capacity=4, policy=SplitPolicy.thcl_descending(0))
+        keys = sorted(
+            {"o" + a + b for a in "abcdefghijklmnop" for b in "sz"},
+            reverse=True,
+        )
+        for k in keys:
+            f.insert(k)
+        f.check()
+        sizes = [len(f.store.peek(a)) for a in f.store.live_addresses()]
+        assert sizes.count(4) >= len(sizes) - 2
+
+
+class TestFig9RedistributionShrink:
+    def test_equal_leaf_node_appears_and_collapses(self):
+        # A redistribution whose split string is already on the path
+        # (step 3.4) leaves a node pointing to the same bucket through
+        # both edges; it may be suppressed.
+        trie = Trie(LOWERCASE, root_ptr=0)
+        insert_boundary(trie, "osc", "osc", 0, 1, 0)  # chain osc,os,o
+        # A later split separated buckets 1 and 2 at 'ot': node (t,1)
+        # has leaf 1 on its left and leaf 2 on its right.
+        insert_boundary(trie, "otm", "ot", 1, 2, 1)
+        # Bucket 1 overflows again; redistribution pushes everything
+        # above the *existing* boundary 'os' into its successor 2
+        # (step 3.4, no node added) - now (t,1) points to 2 twice.
+        outcome = insert_boundary(trie, "osf", "os", 1, 2, 1)
+        assert outcome.nodes_added == 0
+        equal_nodes = [
+            idx
+            for idx, cell in trie.cells.live_items()
+            if cell.lp == cell.rp and cell.lp >= 0
+        ]
+        assert equal_nodes  # the Fig 9 node exists
+        freed = collapse_equal_leaf_nodes(trie)
+        assert freed >= 1
+        trie.check(expect_no_nil=True)
+
+    def test_file_level_redistribution_with_collapse(self, sorted_keys):
+        policy = SplitPolicy.thcl_redistributing("compact").with_(
+            collapse_equal_leaves=True
+        )
+        f = THFile(bucket_capacity=6, policy=policy)
+        for k in sorted_keys:
+            f.insert(k)
+        f.check()
+        assert f.stats.redistributions > 0

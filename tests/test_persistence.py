@@ -1,0 +1,139 @@
+"""Whole-file persistence round trips."""
+
+import io
+
+import pytest
+
+from repro import SplitPolicy, THFile
+from repro.core.errors import StorageError
+from repro.storage.persistence import dump_bytes, load_bytes, load_file, save_file
+
+
+def build(keys, policy=None, b=6):
+    f = THFile(bucket_capacity=b, policy=policy)
+    for k in keys:
+        f.insert(k, k[::-1])
+    return f
+
+
+class TestRoundTrip:
+    def test_bytes_roundtrip(self, small_keys):
+        original = build(small_keys)
+        restored = load_bytes(dump_bytes(original))
+        restored.check()
+        assert len(restored) == len(original)
+        assert list(restored.items()) == list(original.items())
+
+    def test_policy_travels(self, sorted_keys):
+        original = build(sorted_keys, policy=SplitPolicy.thcl_ascending(2), b=10)
+        restored = load_bytes(dump_bytes(original))
+        assert restored.policy == original.policy
+        assert restored.capacity == 10
+        # And the restored file keeps behaving per the policy:
+        restored.insert("zzzzzy")
+        restored.check()
+
+    def test_path_roundtrip(self, small_keys, tmp_path):
+        original = build(small_keys)
+        path = str(tmp_path / "file.thcl")
+        save_file(original, path)
+        restored = load_file(path)
+        assert list(restored.keys()) == sorted(small_keys)
+
+    def test_stream_roundtrip(self, small_keys):
+        original = build(small_keys)
+        buffer = io.BytesIO()
+        save_file(original, buffer)
+        buffer.seek(0)
+        restored = load_file(buffer)
+        assert list(restored.keys()) == sorted(small_keys)
+
+    def test_file_with_holes_in_address_space(self, small_keys):
+        # Deletions free buckets; recycled address layout must survive.
+        original = build(small_keys, policy=SplitPolicy.thcl(), b=4)
+        for k in sorted(small_keys)[:150]:
+            original.delete(k)
+        original.check()
+        restored = load_bytes(dump_bytes(original))
+        restored.check()
+        assert list(restored.items()) == list(original.items())
+
+    def test_restored_file_fully_operational(self, small_keys):
+        restored = load_bytes(dump_bytes(build(small_keys)))
+        restored.insert("zzzzzz", "tail")
+        assert restored.get("zzzzzz") == "tail"
+        restored.delete(sorted(small_keys)[0])
+        restored.check()
+
+    def test_nil_leaves_survive(self):
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(split_position=-1))
+        for k in ("oaaa", "obbb", "osza", "oszc", "oszh"):
+            f.insert(k, None)
+        assert f.nil_leaf_fraction() > 0
+        restored = load_bytes(dump_bytes(f))
+        restored.check()
+        assert restored.nil_leaf_fraction() == f.nil_leaf_fraction()
+
+
+class TestMLTHRoundTrip:
+    def build(self, small_keys, policy=None):
+        from repro import MLTHFile
+
+        f = MLTHFile(bucket_capacity=5, page_capacity=8, policy=policy)
+        for i, k in enumerate(small_keys):
+            f.insert(k, str(i))
+        return f
+
+    def test_roundtrip(self, small_keys):
+        from repro.storage.persistence import dump_mlth_bytes, load_mlth_bytes
+
+        original = self.build(small_keys)
+        restored = load_mlth_bytes(dump_mlth_bytes(original))
+        restored.check()
+        assert len(restored) == len(original)
+        assert list(restored.items()) == list(original.items())
+        assert restored.levels() == original.levels()
+
+    def test_restored_searches_and_grows(self, small_keys):
+        from repro.storage.persistence import dump_mlth_bytes, load_mlth_bytes
+
+        restored = load_mlth_bytes(dump_mlth_bytes(self.build(small_keys)))
+        for k in small_keys[:30]:
+            assert k in restored
+        restored.insert("zzzzzzy")
+        restored.check()
+
+    def test_policy_and_pick_travel(self, sorted_keys):
+        from repro import SplitPolicy
+        from repro.storage.persistence import dump_mlth_bytes, load_mlth_bytes
+
+        policy = SplitPolicy.thcl_ascending(0).with_(merge="none")
+        original = self.build(sorted_keys, policy=policy)
+        restored = load_mlth_bytes(dump_mlth_bytes(original))
+        assert restored.policy == policy
+        assert restored.load_factor() == original.load_factor()
+
+    def test_magic_checked(self):
+        from repro.storage.persistence import load_mlth_bytes
+
+        with pytest.raises(StorageError):
+            load_mlth_bytes(b"THCL1\n" + b"\x00" * 16)
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(StorageError):
+            load_bytes(b"NOPE" + b"\x00" * 32)
+
+    def test_truncation_detected(self, small_keys):
+        data = dump_bytes(build(small_keys))
+        with pytest.raises(Exception):
+            load_bytes(data[: len(data) // 2])
+
+    def test_record_count_verified(self, small_keys):
+        data = bytearray(dump_bytes(build(small_keys)))
+        # Corrupt the declared record count in the JSON header.
+        at = data.find(b'"records":')
+        data[at + 10 : at + 11] = b"9"
+        with pytest.raises(Exception):
+            load_bytes(bytes(data))

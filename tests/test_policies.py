@@ -1,0 +1,128 @@
+"""Unit tests for split policies."""
+
+import pytest
+
+from repro import CapacityError, SplitPolicy
+
+
+class TestPositions:
+    def test_default_middle(self):
+        # The paper's INT(b/2 + 1).
+        assert SplitPolicy().split_index(4) == 3
+        assert SplitPolicy().split_index(10) == 6
+        assert SplitPolicy().split_index(21) == 11
+
+    def test_explicit_position(self):
+        assert SplitPolicy(split_position=2).split_index(10) == 2
+
+    def test_negative_counts_from_top(self):
+        assert SplitPolicy(split_position=-1).split_index(10) == 10
+        assert SplitPolicy(split_position=-3).split_index(10) == 8
+
+    def test_fraction(self):
+        assert SplitPolicy(split_fraction=0.5).split_index(10) == 5
+        assert SplitPolicy(split_fraction=0.4).split_index(10) == 4
+        assert SplitPolicy(split_fraction=1.0).split_index(10) == 10
+
+    def test_fraction_and_position_conflict(self):
+        with pytest.raises(CapacityError):
+            SplitPolicy(split_position=1, split_fraction=0.5)
+
+    def test_out_of_range_position(self):
+        with pytest.raises(CapacityError):
+            SplitPolicy(split_position=11).split_index(10)
+        with pytest.raises(CapacityError):
+            SplitPolicy(split_position=-11).split_index(10)
+
+    def test_bounding_default_is_last_key(self):
+        assert SplitPolicy().bounding_index(10) == 11
+
+    def test_bounding_offset(self):
+        p = SplitPolicy(split_position=5, bounding_offset=1)
+        assert p.bounding_index(10) == 6
+        p = SplitPolicy(split_position=5, bounding_offset=3)
+        assert p.bounding_index(10) == 8
+
+    def test_bounding_clamped_to_last(self):
+        p = SplitPolicy(split_position=9, bounding_offset=5)
+        assert p.bounding_index(10) == 11
+
+    def test_bounding_offset_must_be_positive(self):
+        with pytest.raises(CapacityError):
+            SplitPolicy(bounding_offset=0)
+
+
+class TestValidation:
+    def test_redistribution_requires_thcl(self):
+        with pytest.raises(CapacityError):
+            SplitPolicy(redistribution="both")  # nil_nodes defaults True
+
+    def test_guaranteed_merge_requires_thcl(self):
+        with pytest.raises(CapacityError):
+            SplitPolicy(merge="guaranteed")
+
+    def test_unknown_enum_values(self):
+        with pytest.raises(CapacityError):
+            SplitPolicy(redistribution="sometimes", nil_nodes=False)
+        with pytest.raises(CapacityError):
+            SplitPolicy(merge="lazy")
+        with pytest.raises(CapacityError):
+            SplitPolicy(
+                redistribution="both",
+                redistribution_target="mostly",
+                nil_nodes=False,
+            )
+
+    def test_with_copies(self):
+        p = SplitPolicy.thcl()
+        q = p.with_(merge="none")
+        assert q.merge == "none"
+        assert q.nil_nodes == p.nil_nodes
+        assert p.merge == "guaranteed"  # original untouched
+
+
+class TestFactories:
+    def test_basic_th(self):
+        p = SplitPolicy.basic_th()
+        assert p.nil_nodes and p.bounding_offset is None
+        assert p.merge == "siblings"
+
+    def test_thcl(self):
+        p = SplitPolicy.thcl()
+        assert not p.nil_nodes
+        assert p.bounding_offset == 1
+
+    def test_thcl_ascending(self):
+        # d = b - m: the Fig 10 parameter.
+        for b in (10, 20, 50):
+            for d in (0, 1, 5):
+                p = SplitPolicy.thcl_ascending(d)
+                assert p.split_index(b) == b - d
+
+    def test_thcl_descending(self):
+        # m = 1; bounding at m + 1 + d: the Fig 11 parameter.
+        for d in (0, 1, 5):
+            p = SplitPolicy.thcl_descending(d)
+            assert p.split_index(20) == 1
+            assert p.bounding_index(20) == 2 + d
+
+    def test_negative_d_rejected(self):
+        with pytest.raises(CapacityError):
+            SplitPolicy.thcl_ascending(-1)
+        with pytest.raises(CapacityError):
+            SplitPolicy.thcl_descending(-1)
+
+    def test_guaranteed_half_is_deterministic_middle(self):
+        p = SplitPolicy.thcl_guaranteed_half()
+        assert p.bounding_index(10) == p.split_index(10) + 1
+
+    def test_redistributing(self):
+        p = SplitPolicy.thcl_redistributing()
+        assert p.redistribution == "both"
+        assert p.redistribution_target == "even"
+        assert SplitPolicy.thcl_redistributing("compact").redistribution_target == "compact"
+
+    def test_policies_are_frozen(self):
+        p = SplitPolicy()
+        with pytest.raises(Exception):
+            p.split_position = 3

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for the core structures.
+
+The central oracle: a :class:`THFile` must behave exactly like a sorted
+dictionary, and its trie must stay equivalent to its canonical boundary
+model, under arbitrary interleavings of inserts and deletes with any
+policy.
+"""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import LOWERCASE, SplitPolicy, THFile, Trie
+from repro.core.boundaries import boundary_sort_key, gap_index
+from repro.core.keys import prefix, prefix_le, split_string
+from repro.storage.serializer import deserialize_trie, serialize_trie
+
+keys_st = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+key_lists = st.lists(keys_st, min_size=1, max_size=120, unique=True)
+
+policies = st.sampled_from(
+    [
+        SplitPolicy.basic_th(),
+        SplitPolicy.basic_th(split_position=1),
+        SplitPolicy.basic_th(split_position=-1),
+        SplitPolicy.thcl(),
+        SplitPolicy.thcl_ascending(0),
+        SplitPolicy.thcl_ascending(2),
+        SplitPolicy.thcl_descending(0),
+        SplitPolicy.thcl_descending(2),
+        SplitPolicy.thcl_guaranteed_half(),
+        SplitPolicy.thcl_redistributing(),
+        SplitPolicy.thcl_redistributing("compact"),
+    ]
+)
+
+slow = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestKeyArithmetic:
+    @given(keys_st, st.integers(min_value=-2, max_value=10))
+    def test_prefix_length(self, key, l):
+        p = prefix(key, l, LOWERCASE)
+        assert len(p) == max(0, l + 1)
+
+    @given(keys_st, keys_st)
+    def test_split_string_separates(self, a, b):
+        if a == b:
+            return
+        low, high = min(a, b), max(a, b)
+        s = split_string(low, high, LOWERCASE)
+        assert prefix_le(low, s, LOWERCASE)
+        assert not prefix_le(high, s, LOWERCASE)
+        assert len(s) <= len(low) + 1
+
+    @given(keys_st, keys_st, keys_st)
+    def test_boundary_order_total(self, a, b, c):
+        ka = boundary_sort_key(a, LOWERCASE)
+        kb = boundary_sort_key(b, LOWERCASE)
+        kc = boundary_sort_key(c, LOWERCASE)
+        assert (ka < kb) == (not kb <= ka)
+        if ka < kb and kb < kc:
+            assert ka < kc
+
+    @given(keys_st, st.lists(keys_st, min_size=1, max_size=20, unique=True))
+    def test_gap_index_monotone(self, key, bounds):
+        bounds = sorted(set(bounds), key=lambda s: boundary_sort_key(s, LOWERCASE))
+        j = gap_index(bounds, key, LOWERCASE)
+        for i, s in enumerate(bounds):
+            goes_left = prefix_le(key, s, LOWERCASE)
+            assert goes_left == (i >= j)
+
+
+class TestFileAsSortedDict:
+    @given(key_lists, policies)
+    @slow
+    def test_insert_only(self, keys, policy):
+        f = THFile(bucket_capacity=4, policy=policy)
+        for i, k in enumerate(keys):
+            f.insert(k, i)
+        f.check()
+        assert list(f.keys()) == sorted(keys)
+        for i, k in enumerate(keys):
+            assert f.get(k) == i
+
+    @given(
+        key_lists,
+        st.data(),
+        policies,
+    )
+    @slow
+    def test_mixed_inserts_and_deletes(self, keys, data, policy):
+        f = THFile(bucket_capacity=4, policy=policy)
+        model = {}
+        # Interleave: insert every key, delete a sampled subset midway.
+        half = len(keys) // 2
+        for i, k in enumerate(keys[:half]):
+            f.insert(k, i)
+            model[k] = i
+        victims = data.draw(
+            st.lists(st.sampled_from(keys[:half]), unique=True, max_size=half)
+            if half
+            else st.just([])
+        )
+        for k in victims:
+            f.delete(k)
+            del model[k]
+        for i, k in enumerate(keys[half:]):
+            f.insert(k, half + i)
+            model[k] = half + i
+        f.check()
+        assert dict(f.items()) == model
+        assert list(f.keys()) == sorted(model)
+
+    @given(key_lists, policies, st.integers(min_value=2, max_value=9))
+    @slow
+    def test_capacity_never_exceeded(self, keys, policy, b):
+        from repro import CapacityError
+
+        try:
+            f = THFile(bucket_capacity=b, policy=policy)
+        except CapacityError:
+            return  # policy position out of range for this tiny b
+        for k in keys:
+            f.insert(k)
+        for a in f.store.live_addresses():
+            assert len(f.store.peek(a)) <= b
+
+    @given(key_lists)
+    @slow
+    def test_range_queries_match_model(self, keys):
+        f = THFile(bucket_capacity=4)
+        for k in keys:
+            f.insert(k)
+        s = sorted(keys)
+        lo, hi = s[0], s[-1]
+        assert [k for k, _ in f.range_items(lo, hi)] == s
+        mid = s[len(s) // 2]
+        assert [k for k, _ in f.range_items(mid, None)] == [
+            k for k in s if k >= mid
+        ]
+
+
+class TestTrieModelEquivalence:
+    @given(key_lists, policies)
+    @slow
+    def test_trie_agrees_with_model(self, keys, policy):
+        f = THFile(bucket_capacity=3, policy=policy)
+        for k in keys:
+            f.insert(k)
+        model = f.trie.to_model()
+        model.check(require_prefix_closed=True)
+        probes = keys + [k + "a" for k in keys[:10]] + ["m", "zzz"]
+        for p in probes:
+            canon = LOWERCASE.validate_key(p)
+            assert f.trie.search(canon).bucket == model.lookup(canon)
+
+    @given(key_lists)
+    @slow
+    def test_rebuild_and_balance_preserve_mapping(self, keys):
+        f = THFile(bucket_capacity=3)
+        for k in keys:
+            f.insert(k)
+        model = f.trie.to_model()
+        for pick in ("balanced", "first", "last"):
+            rebuilt = Trie.from_model(model, pick=pick)
+            rebuilt.check()
+            assert rebuilt.to_model() == model
+
+    @given(key_lists)
+    @slow
+    def test_serialization_roundtrip(self, keys):
+        f = THFile(bucket_capacity=3)
+        for k in keys:
+            f.insert(k)
+        restored = deserialize_trie(serialize_trie(f.trie))
+        restored.check()
+        for k in keys:
+            assert restored.search(k).bucket == f.trie.search(k).bucket
+
+    @given(key_lists)
+    @slow
+    def test_reconstruction_from_headers(self, keys):
+        from repro.core.reconstruct import reconstruct_trie
+
+        f = THFile(bucket_capacity=3)
+        for k in keys:
+            f.insert(k)
+        rebuilt = reconstruct_trie(f.store, f.alphabet)
+        rebuilt.check()
+        for k in keys:
+            assert rebuilt.search(k).bucket == f.trie.search(k).bucket
+
+
+class TestTHCLInvariants:
+    @given(key_lists)
+    @slow
+    def test_thcl_guarantee_after_deletions(self, keys):
+        f = THFile(bucket_capacity=4, policy=SplitPolicy.thcl())
+        for k in keys:
+            f.insert(k)
+        for k in keys[: len(keys) // 2]:
+            f.delete(k)
+        f.check()
+        live = f.store.live_addresses()
+        if len(live) > 1:
+            assert min(len(f.store.peek(a)) for a in live) >= 2
+
+    @given(key_lists)
+    @slow
+    def test_no_nil_and_contiguous(self, keys):
+        f = THFile(bucket_capacity=4, policy=SplitPolicy.thcl_ascending(0))
+        for k in sorted(keys):
+            f.insert(k)
+        f.trie.check(expect_no_nil=True)

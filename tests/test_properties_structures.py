@@ -1,0 +1,132 @@
+"""Property-based tests for MLTH and the B+-tree baseline."""
+
+import string
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import BPlusTree, MLTHFile, SplitPolicy, bulk_load_compact
+
+keys_st = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+key_lists = st.lists(keys_st, min_size=1, max_size=100, unique=True)
+
+slow = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestMLTHProperties:
+    @given(
+        key_lists,
+        st.sampled_from(
+            [
+                SplitPolicy(merge="none"),
+                SplitPolicy(split_position=-1, merge="none"),
+                SplitPolicy(nil_nodes=False, bounding_offset=1, merge="none"),
+                SplitPolicy(
+                    nil_nodes=False, bounding_offset=None, merge="none"
+                ),
+            ]
+        ),
+        st.integers(min_value=3, max_value=10),
+    )
+    @slow
+    def test_sorted_dict_behaviour(self, keys, policy, page_capacity):
+        f = MLTHFile(
+            bucket_capacity=3, page_capacity=page_capacity, policy=policy
+        )
+        for i, k in enumerate(keys):
+            f.insert(k, i)
+        f.check()
+        assert [k for k, _ in f.items()] == sorted(keys)
+        for i, k in enumerate(keys):
+            assert f.get(k) == i
+
+    @given(key_lists)
+    @slow
+    def test_matches_flat_file(self, keys):
+        from repro import THFile
+
+        flat = THFile(bucket_capacity=3)
+        paged = MLTHFile(bucket_capacity=3, page_capacity=5)
+        for k in keys:
+            flat.insert(k)
+            paged.insert(k)
+        assert paged.flat_model().boundaries == flat.trie.to_model().boundaries
+        assert paged.flat_model().children == flat.trie.to_model().children
+
+    @given(key_lists, st.data())
+    @slow
+    def test_deletes(self, keys, data):
+        f = MLTHFile(bucket_capacity=3, page_capacity=6)
+        for i, k in enumerate(keys):
+            f.insert(k, i)
+        victims = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+        )
+        for k in victims:
+            f.delete(k)
+        f.check()
+        remaining = sorted(set(keys) - set(victims))
+        assert [k for k, _ in f.items()] == remaining
+
+
+class TestBTreeProperties:
+    @given(
+        key_lists,
+        st.integers(min_value=2, max_value=8),
+        st.sampled_from([0.5, 0.7, 1.0]),
+        st.booleans(),
+    )
+    @slow
+    def test_sorted_dict_behaviour(self, keys, cap, fraction, redistribute):
+        t = BPlusTree(
+            leaf_capacity=cap,
+            split_fraction=fraction,
+            redistribute=redistribute,
+        )
+        for i, k in enumerate(keys):
+            t.insert(k, i)
+        t.check()
+        assert list(t.keys()) == sorted(keys)
+        for i, k in enumerate(keys):
+            assert t.get(k) == i
+
+    @given(key_lists, st.data())
+    @slow
+    def test_mixed_delete_insert(self, keys, data):
+        t = BPlusTree(leaf_capacity=4)
+        model = {}
+        for i, k in enumerate(keys):
+            t.insert(k, i)
+            model[k] = i
+        victims = data.draw(
+            st.lists(st.sampled_from(keys), unique=True, max_size=len(keys))
+        )
+        for k in victims:
+            t.delete(k)
+            del model[k]
+        t.check()
+        assert dict(t.items()) == model
+
+    @given(key_lists)
+    @slow
+    def test_bulk_load_equals_incremental(self, keys):
+        s = sorted(keys)
+        bulk = bulk_load_compact(((k, None) for k in s), leaf_capacity=4)
+        bulk.check()
+        assert list(bulk.keys()) == s
+        for k in s:
+            assert k in bulk
+
+    @given(key_lists)
+    @slow
+    def test_leaf_chain_consistent_with_descent(self, keys):
+        t = BPlusTree(leaf_capacity=3)
+        for k in keys:
+            t.insert(k)
+        # Every key found by descent is on the chain and vice versa.
+        assert sorted(t.keys()) == list(t.keys())
+        assert set(t.keys()) == set(keys)

@@ -1,0 +1,121 @@
+"""Range query tests (order preservation, Section 2.2)."""
+
+import pytest
+
+from repro import SplitPolicy, THFile
+from repro.core.range_query import count_range, scan
+
+
+def build(keys, policy=None, b=6):
+    f = THFile(bucket_capacity=b, policy=policy)
+    for i, k in enumerate(keys):
+        f.insert(k, i)
+    return f
+
+
+class TestBasicRanges:
+    def test_full_scan(self, small_keys):
+        f = build(small_keys)
+        assert [k for k, _ in f.range_items()] == sorted(small_keys)
+
+    def test_closed_range(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        lo, hi = s[30], s[200]
+        assert [k for k, _ in f.range_items(lo, hi)] == s[30:201]
+
+    def test_bounds_inclusive(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        out = [k for k, _ in f.range_items(s[5], s[5])]
+        assert out == [s[5]]
+
+    def test_open_low(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        assert [k for k, _ in f.range_items(None, s[50])] == s[:51]
+
+    def test_open_high(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        assert [k for k, _ in f.range_items(s[250], None)] == s[250:]
+
+    def test_bounds_need_not_be_stored(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        lo = s[30] + "a"  # strictly between s[30] and its successor
+        out = [k for k, _ in f.range_items(lo, s[200])]
+        assert out == s[31:201]
+
+    def test_empty_range(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        assert list(f.range_items(s[10], s[5])) == []
+
+    def test_values_travel_with_keys(self, small_keys):
+        f = build(small_keys)
+        lookup = {k: i for i, k in enumerate(small_keys)}
+        for k, v in f.range_items():
+            assert lookup[k] == v
+
+    def test_count_range(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        assert count_range(f, s[0], s[-1]) == len(s)
+        assert count_range(f, s[10], s[19]) == 10
+
+
+class TestAcrossPolicies:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            None,
+            SplitPolicy.thcl(),
+            SplitPolicy.thcl_ascending(0),
+            SplitPolicy.thcl_redistributing(),
+        ],
+        ids=["basic", "thcl", "compact", "redistributing"],
+    )
+    def test_ranges_identical_across_policies(self, policy, sorted_keys):
+        f = build(sorted_keys, policy=policy)
+        s = sorted_keys
+        assert [k for k, _ in f.range_items(s[17], s[170])] == s[17:171]
+
+    def test_range_through_nil_leaves(self):
+        # Basic m=b splits create nil leaves; ranges must skip them.
+        f = build(
+            ["oaaa", "obbb", "osza", "oszc", "oszh", "ota", "oza"],
+            policy=SplitPolicy(split_position=-1),
+            b=4,
+        )
+        assert f.nil_leaf_fraction() > 0
+        out = [k for k, _ in f.range_items("oa", "ozz")]
+        assert out == sorted(["oaaa", "obbb", "osza", "oszc", "oszh", "ota", "oza"])
+
+
+class TestAccessCosts:
+    def test_shared_leaf_buckets_read_once(self, sorted_keys):
+        # THCL compact: several leaves share buckets; a scan still reads
+        # each bucket exactly once.
+        f = build(sorted_keys, policy=SplitPolicy.thcl_ascending(0), b=10)
+        reads_before = f.store.disk.stats.reads
+        list(f.range_items())
+        reads = f.store.disk.stats.reads - reads_before
+        assert reads == f.bucket_count()
+
+    def test_narrow_range_reads_few_buckets(self, sorted_keys):
+        f = build(sorted_keys, b=10)
+        s = sorted_keys
+        reads_before = f.store.disk.stats.reads
+        list(f.range_items(s[40], s[45]))
+        assert f.store.disk.stats.reads - reads_before <= 3
+
+    def test_compact_file_scans_fewer_buckets(self, sorted_keys):
+        # The paper: high load improves range-query efficiency.
+        half = build(sorted_keys, policy=SplitPolicy.thcl_guaranteed_half(), b=10)
+        full = build(sorted_keys, policy=SplitPolicy.thcl_ascending(0), b=10)
+        def scan_cost(f):
+            before = f.store.disk.stats.reads
+            list(f.range_items())
+            return f.store.disk.stats.reads - before
+        assert scan_cost(full) < scan_cost(half)

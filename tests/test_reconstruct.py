@@ -1,0 +1,70 @@
+"""Trie reconstruction from bucket headers (/TOR83/)."""
+
+import pytest
+
+from repro import SplitPolicy, THFile
+from repro.core.reconstruct import reconstruct_model, reconstruct_trie
+
+
+class TestReconstruction:
+    def test_fig1_file_roundtrip(self, fig1_file, words):
+        rebuilt = reconstruct_trie(fig1_file.store, fig1_file.alphabet)
+        rebuilt.check()
+        for w in words:
+            assert (
+                rebuilt.search(w).bucket == fig1_file.trie.search(w).bucket
+            )
+
+    def test_reconstructed_is_balanced(self, generator):
+        keys = sorted(generator.uniform(400))
+        f = THFile(bucket_capacity=4)
+        for k in keys:
+            f.insert(k)
+        rebuilt = reconstruct_trie(f.store, f.alphabet)
+        # /TOR83/: the rebuilt trie may be better balanced than the
+        # original (ordered insertions make the original a near-chain).
+        assert rebuilt.depth() <= f.trie.depth()
+
+    def test_random_insert_only_file(self, generator):
+        keys = generator.uniform(500)
+        f = THFile(bucket_capacity=8)
+        for k in keys:
+            f.insert(k)
+        rebuilt = reconstruct_trie(f.store, f.alphabet)
+        rebuilt.check()
+        for k in keys:
+            assert rebuilt.search(k).bucket == f.trie.search(k).bucket
+
+    def test_nil_regions_absorbed(self):
+        # Files with nil leaves rebuild into a nil-free equivalent: all
+        # *stored* keys still map to their buckets.
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(split_position=-1))
+        keys = ["oaaa", "obbb", "osza", "oszc", "oszh", "ota", "ovv"]
+        for k in keys:
+            f.insert(k)
+        assert f.nil_leaf_fraction() > 0
+        rebuilt = reconstruct_trie(f.store, f.alphabet)
+        rebuilt.check()
+        for k in keys:
+            assert rebuilt.search(k).bucket == f.trie.search(k).bucket
+
+    def test_model_is_prefix_closed(self, generator):
+        keys = generator.uniform(300)
+        f = THFile(bucket_capacity=4)
+        for k in keys:
+            f.insert(k)
+        model = reconstruct_model(f.store, f.alphabet)
+        model.check(require_prefix_closed=True)
+
+    def test_reconstruction_reads_every_bucket_once(self, fig1_file):
+        reads_before = fig1_file.store.disk.stats.reads
+        reconstruct_model(fig1_file.store, fig1_file.alphabet)
+        delta = fig1_file.store.disk.stats.reads - reads_before
+        assert delta == fig1_file.bucket_count()
+
+    def test_single_bucket_file(self):
+        f = THFile(bucket_capacity=8)
+        f.insert("only")
+        rebuilt = reconstruct_trie(f.store, f.alphabet)
+        assert rebuilt.search("only").bucket == 0
+        assert rebuilt.node_count == 0

@@ -1,0 +1,167 @@
+"""Redistribution tests (Section 4.4 and Fig 9)."""
+
+import pytest
+
+from repro import SplitPolicy, THFile
+
+
+def sizes(f):
+    return {a: len(f.store.peek(a)) for a in f.store.live_addresses()}
+
+
+class TestSuccessorRedistribution:
+    def test_fills_successor_instead_of_splitting(self):
+        policy = SplitPolicy(
+            nil_nodes=False,
+            bounding_offset=1,
+            redistribution="successor",
+            merge="guaranteed",
+        )
+        f = THFile(bucket_capacity=4, policy=policy)
+        # Create two buckets, leave room in the right one.
+        for k in ("aa", "ab", "ba", "bb", "bc"):
+            f.insert(k)
+        assert f.bucket_count() == 2
+        # Fill the left bucket to overflow: with room on the right, the
+        # overflow redistributes instead of appending bucket 2.
+        for k in ("ac", "ad", "ae"):
+            f.insert(k)
+        assert f.bucket_count() == 2
+        assert f.stats.redistributions >= 1
+        f.check()
+
+    def test_splits_when_successor_full(self):
+        policy = SplitPolicy(
+            nil_nodes=False,
+            bounding_offset=1,
+            redistribution="successor",
+            merge="guaranteed",
+        )
+        f = THFile(bucket_capacity=4, policy=policy)
+        for k in ("aa", "ab", "ba", "bb", "bc"):
+            f.insert(k)
+        # Fill the successor completely, then overflow the left bucket.
+        f.insert("bd")
+        before = f.bucket_count()
+        for k in ("ac", "ad", "ae"):
+            f.insert(k)
+        assert f.bucket_count() > before  # forced to split after all
+        f.check()
+
+    def test_no_successor_for_rightmost_bucket(self):
+        policy = SplitPolicy(
+            nil_nodes=False,
+            bounding_offset=1,
+            redistribution="successor",
+            merge="guaranteed",
+        )
+        f = THFile(bucket_capacity=2, policy=policy)
+        for k in ("aa", "bb", "cc"):  # ascending: rightmost overflows
+            f.insert(k)
+        assert f.stats.splits >= 1  # had to split, no successor exists
+        f.check()
+
+
+class TestPredecessorRedistribution:
+    def test_spills_low_keys_to_predecessor(self):
+        policy = SplitPolicy(
+            nil_nodes=False,
+            bounding_offset=1,
+            redistribution="predecessor",
+            merge="guaranteed",
+        )
+        f = THFile(bucket_capacity=4, policy=policy)
+        for k in ("aa", "ab", "ba", "bb", "bc"):
+            f.insert(k)
+        assert f.bucket_count() == 2
+        # Overflow the right bucket: low keys move down to the left one.
+        for k in ("bd", "be", "bf"):
+            f.insert(k)
+        assert f.stats.redistributions >= 1
+        assert f.bucket_count() == 2
+        f.check()
+
+    def test_descending_insertions_with_predecessor_off(self):
+        # Predecessor redistribution never helps descending loads (the
+        # leftmost bucket has no predecessor), so splits still happen.
+        policy = SplitPolicy(
+            nil_nodes=False,
+            bounding_offset=1,
+            redistribution="predecessor",
+            merge="guaranteed",
+        )
+        f = THFile(bucket_capacity=4, policy=policy)
+        for k in reversed(["aa", "ab", "ac", "ad", "ae", "af"]):
+            f.insert(k)
+        assert f.stats.splits >= 1
+        f.check()
+
+
+class TestLoadEffects:
+    def test_random_load_exceeds_plain_thcl(self, small_keys):
+        plain = THFile(10, SplitPolicy.thcl_guaranteed_half())
+        redis = THFile(10, SplitPolicy.thcl_redistributing())
+        for k in small_keys:
+            plain.insert(k)
+            redis.insert(k)
+        plain.check()
+        redis.check()
+        assert redis.load_factor() > plain.load_factor()
+        assert redis.load_factor() > 0.75  # toward the ~87% of §4.5
+
+    def test_unexpected_ascending_reaches_high_load(self, sorted_keys):
+        f = THFile(10, SplitPolicy.thcl_redistributing())
+        for k in sorted_keys:
+            f.insert(k)
+        f.check()
+        assert f.load_factor() > 0.9  # §4.5: approaches 100%
+
+    def test_compact_target_packs_tighter_on_ordered(self, sorted_keys):
+        even = THFile(10, SplitPolicy.thcl_redistributing("even"))
+        compact = THFile(10, SplitPolicy.thcl_redistributing("compact"))
+        for k in sorted_keys:
+            even.insert(k)
+            compact.insert(k)
+        compact.check()
+        assert compact.load_factor() >= even.load_factor() - 0.02
+
+    def test_correctness_under_heavy_redistribution(self, generator):
+        keys = generator.uniform(400)
+        f = THFile(4, SplitPolicy.thcl_redistributing())
+        for i, k in enumerate(keys):
+            f.insert(k, i)
+            if i % 50 == 0:
+                f.check()
+        f.check()
+        for i, k in enumerate(keys):
+            assert f.get(k) == i
+
+
+class TestTrieShrink:
+    def test_collapse_policy_removes_equal_leaf_nodes(self, sorted_keys):
+        keep = THFile(
+            6, SplitPolicy.thcl_redistributing("compact")
+        )
+        shrink = THFile(
+            6,
+            SplitPolicy.thcl_redistributing("compact").with_(
+                collapse_equal_leaves=True
+            ),
+        )
+        for k in sorted_keys:
+            keep.insert(k)
+            shrink.insert(k)
+        keep.check()
+        shrink.check()
+        assert shrink.trie_size() <= keep.trie_size()
+        # Mappings agree regardless.
+        assert list(keep.keys()) == list(shrink.keys())
+
+    def test_redistribution_costs_extra_accesses(self, sorted_keys):
+        plain = THFile(10, SplitPolicy.thcl_guaranteed_half())
+        redis = THFile(10, SplitPolicy.thcl_redistributing())
+        for k in sorted_keys:
+            plain.insert(k)
+            redis.insert(k)
+        # The neighbour probe reads cost something (paper: "marginal").
+        assert redis.store.disk.stats.reads >= plain.store.disk.stats.reads

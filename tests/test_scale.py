@@ -1,0 +1,55 @@
+"""Larger-scale sanity: the structures hold up beyond toy sizes."""
+
+import pytest
+
+from repro import MLTHFile, SplitPolicy, THFile, bulk_load_th
+from repro.workloads import KeyGenerator
+
+
+@pytest.fixture(scope="module")
+def big_keys():
+    return KeyGenerator(777).uniform(30000, length=7)
+
+
+class TestScale:
+    def test_thcl_thirty_thousand(self, big_keys):
+        f = THFile(bucket_capacity=50, policy=SplitPolicy.thcl())
+        for k in big_keys:
+            f.insert(k)
+        f.check()
+        assert len(f) == 30000
+        assert 0.62 <= f.load_factor() <= 0.78
+        # Spot lookups across the space.
+        for k in big_keys[::997]:
+            assert k in f
+
+    def test_bulk_load_thirty_thousand(self, big_keys):
+        s = sorted(big_keys)
+        f = bulk_load_th(((k, None) for k in s), bucket_capacity=50)
+        f.check()
+        assert f.load_factor() > 0.99
+        assert list(f.keys()) == s
+
+    def test_mlth_thirty_thousand(self, big_keys):
+        f = MLTHFile(bucket_capacity=50, page_capacity=64)
+        for k in big_keys:
+            f.insert(k)
+        assert f.levels() >= 2
+        pages, buckets = f.search_cost(big_keys[123])
+        assert buckets == 1 and pages <= f.levels()
+        # Global consistency without per-key A1 verification (fast path):
+        model = f.flat_model()
+        model.check(require_prefix_closed=True)
+        for k in big_keys[::1501]:
+            assert f.get(k) is None and f.contains(k)
+
+    def test_trie_size_scales_linearly(self, big_keys):
+        # M ~ N at every scale: one cell per bucket, Section 3.1.
+        f = THFile(bucket_capacity=20)
+        checkpoints = {5000, 15000, 30000}
+        for i, k in enumerate(big_keys, 1):
+            f.insert(k)
+            if i in checkpoints:
+                assert f.trie_size() == pytest.approx(
+                    f.bucket_count(), rel=0.1
+                )

@@ -1,0 +1,122 @@
+"""Unit tests for Algorithm A1 — the digit-at-a-time key search."""
+
+import pytest
+
+from repro import LOWERCASE, THFile, Trie
+from repro.core.cells import edge_to
+
+A = LOWERCASE
+
+
+class TestFig1Search:
+    """Searches over the paper's example trie (via the example file)."""
+
+    def test_every_stored_word_found(self, fig1_file, words):
+        for word in words:
+            result = fig1_file.trie.search(word)
+            bucket = fig1_file.store.peek(result.bucket)
+            assert word in bucket.keys
+
+    def test_search_he_skips_levels(self, fig1_file):
+        # 'he' compares digit 0 only against digit-number-0 nodes, then
+        # switches to digit 1 - far fewer comparisons than node count.
+        result = fig1_file.trie.search("he")
+        assert result.nodes_visited <= fig1_file.trie.depth()
+        assert result.nodes_visited < fig1_file.trie.node_count
+
+    def test_paths_returned(self, fig1_file):
+        # The logical path to 'he''s leaf is the boundary 'he'.
+        assert fig1_file.trie.search("he").path == "he"
+        # 'the' satisfies ('the')_0 <= 't', so it sits left of boundary
+        # 't'; only keys above 't' (e.g. 'was') reach the last leaf.
+        assert fig1_file.trie.search("the").path == "t"
+        assert fig1_file.trie.search("was").path == ""
+
+    def test_unsuccessful_search_lands_somewhere(self, fig1_file):
+        result = fig1_file.trie.search("hat")
+        assert result.bucket is not None  # example trie has no nil here
+        bucket = fig1_file.store.peek(result.bucket)
+        assert "hat" not in bucket.keys
+        # But the bucket covers the right range: 'had' < 'hat' < 'have'.
+        assert "had" in bucket.keys and "have" in bucket.keys
+
+    def test_trail_matches_location(self, fig1_file):
+        for word in ("a", "he", "the", "i"):
+            result = fig1_file.trie.search(word)
+            assert fig1_file.trie.get_ptr(result.location) == result.ptr
+            if result.trail:
+                assert result.location == result.trail[-1]
+
+
+class TestPadding:
+    def build(self):
+        # boundaries: 'ha' < 'h' ; children 0 | 1 | 2
+        trie = Trie(A)
+        inner = trie.cells.allocate("a", 1, 0, 1)
+        outer = trie.cells.allocate("h", 0, edge_to(inner), 2)
+        trie.root = edge_to(outer)
+        return trie
+
+    def test_min_padding_default(self):
+        trie = self.build()
+        assert trie.search("h").bucket == 0  # 'h' pads low: <= 'ha'
+        assert trie.search("hb").bucket == 1
+        assert trie.search("x").bucket == 2
+
+    def test_max_padding_finds_leaf_left_of_boundary(self):
+        trie = self.build()
+        # Virtual key 'h'+max-digits: the leaf just left of boundary 'h'.
+        assert trie.search("h", pad="max").bucket == 1
+        # Virtual key 'ha'+max: just left of boundary 'ha'.
+        assert trie.search("ha", pad="max").bucket == 0
+
+    def test_resume_state(self):
+        # Resuming with (j, C) continues the A1 descent mid-way, the way
+        # MLTH pages hand over state.
+        trie = self.build()
+        first = trie.search("hb")
+        # Simulate an upper page that already matched digit 0 = 'h'.
+        inner_only = Trie(A)
+        node = inner_only.cells.allocate("a", 1, 0, 1)
+        inner_only.root = edge_to(node)
+        resumed = inner_only.search("hb", start_matched=1, start_path="h")
+        assert resumed.bucket == 1  # ('hb')_1 > 'ha'
+        assert first.bucket == 1
+        # Note: 'hat' itself goes LEFT of boundary 'ha' - prefix rule.
+        assert trie.search("hat").bucket == 0
+
+    def test_matched_field_progresses(self):
+        trie = self.build()
+        result = trie.search("ha")
+        assert result.matched == 2  # matched 'h' then 'a'
+        assert trie.search("x").matched == 0
+
+
+class TestSearchCosts:
+    def test_one_disk_access_per_search(self, generator):
+        keys = generator.uniform(500)
+        f = THFile(bucket_capacity=8)
+        for k in keys:
+            f.insert(k)
+        reads_before = f.store.disk.stats.reads
+        for k in keys[:50]:
+            f.get(k)
+        assert f.store.disk.stats.reads - reads_before == 50
+
+    def test_unsuccessful_search_through_nil_is_free(self):
+        # The Fig 5 scenario: an m=b split on keys sharing the prefix
+        # 'osz' grafts a chain with nil leaves; a key mapped to a nil
+        # leaf is reported absent without any disk access (Section 3.1).
+        f = THFile(bucket_capacity=4, policy=None)
+        from repro import SplitPolicy
+
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(split_position=-1))
+        for k in ("oaaa", "obbb", "osza", "oszc", "oszh"):
+            f.insert(k)
+        nil_count = sum(1 for _, p, _ in f.trie.leaves_in_order() if p < 0)
+        assert nil_count >= 1
+        result = f.trie.search("ota")
+        assert result.bucket is None  # 'ota' maps to a nil leaf
+        reads_before = f.store.disk.stats.reads
+        assert not f.contains("ota")
+        assert f.store.disk.stats.reads == reads_before

@@ -1,0 +1,168 @@
+"""Unit tests for Algorithm A2 — basic bucket splitting."""
+
+import pytest
+
+from repro import LOWERCASE, SplitPolicy, THFile, TrieCorruptionError
+from repro.core.cells import is_nil
+from repro.core.split import expand_basic, plan_split
+
+A = LOWERCASE
+
+
+def records(*keys):
+    return [(k, None) for k in keys]
+
+
+class TestPlanSplit:
+    def test_fig3_plan(self):
+        # Bucket 7 of the example file receives 'hat' (b=4, m=3).
+        B = records("had", "hat", "have", "he", "her")
+        plan = plan_split(B, 3, 5, A)
+        assert plan.split_key == "have"
+        assert plan.boundary == "ha"
+        assert [k for k, _ in plan.stay] == ["had", "hat", "have"]
+        assert [k for k, _ in plan.move] == ["he", "her"]
+
+    def test_middle_split_random_tail(self):
+        # Keys above the split key may stay: TH's partial randomness.
+        B = records("da", "db", "dc", "dcx", "x")
+        plan = plan_split(B, 3, 5, A)
+        # split string separates 'dc' from 'x' -> 'd'; 'dcx' stays too.
+        assert plan.boundary == "d"
+        assert [k for k, _ in plan.stay] == ["da", "db", "dc", "dcx"]
+        assert [k for k, _ in plan.move] == ["x"]
+
+    def test_deterministic_with_adjacent_bounding(self):
+        # Bounding key right above the split key: a B-tree-like split.
+        B = records("da", "db", "dc", "dcx", "x")
+        plan = plan_split(B, 3, 4, A)
+        assert [k for k, _ in plan.stay] == ["da", "db", "dc"]
+        assert [k for k, _ in plan.move] == ["dcx", "x"]
+
+    def test_both_sides_nonempty_always(self):
+        B = records("aa", "ab", "ac", "ad", "ae")
+        for m in range(1, 5):
+            for bound in range(m + 1, 6):
+                plan = plan_split(B, m, bound, A)
+                assert plan.stay and plan.move
+                assert len(plan.stay) + len(plan.move) == 5
+
+    def test_order_preserved(self):
+        B = records("aa", "ab", "ba", "bb", "ca")
+        plan = plan_split(B, 2, 5, A)
+        assert max(k for k, _ in plan.stay) < min(k for k, _ in plan.move)
+
+    def test_invalid_positions_rejected(self):
+        B = records("a", "b", "c")
+        with pytest.raises(TrieCorruptionError):
+            plan_split(B, 0, 3, A)
+        with pytest.raises(TrieCorruptionError):
+            plan_split(B, 2, 2, A)
+        with pytest.raises(TrieCorruptionError):
+            plan_split(B, 1, 4, A)
+
+
+class TestExpandBasic:
+    def test_usual_case_single_node(self):
+        from repro import Trie
+        from repro.core.trie import ROOT_LOCATION
+
+        trie = Trie(A, root_ptr=0)
+        added = expand_basic(trie, ROOT_LOCATION, "", "d", 0, 1)
+        assert added == 1
+        assert trie.boundaries() == ["d"]
+        assert trie.search("a").bucket == 0
+        assert trie.search("x").bucket == 1
+
+    def test_rare_case_creates_nils(self):
+        from repro import Trie
+        from repro.core.trie import ROOT_LOCATION
+
+        trie = Trie(A, root_ptr=0)
+        added = expand_basic(trie, ROOT_LOCATION, "", "osz", 0, 1)
+        assert added == 3
+        assert trie.boundaries() == ["osz", "os", "o"]
+        leaves = [ptr for _, ptr, _ in trie.leaves_in_order()]
+        # [0, 1, nil, nil]: only the gap right above the cut got bucket 1.
+        assert leaves[0] == 0 and leaves[1] == 1
+        assert is_nil(leaves[2]) and is_nil(leaves[3])
+        trie.check()
+
+    def test_shared_prefix_digits_cut(self):
+        from repro import Trie
+        from repro.core.trie import Location
+        from repro.core.cells import edge_to
+
+        # Fig 3: leaf with path 'he' splits on string 'ha' - only the
+        # digit 'a' is new.
+        trie = Trie(A, root_ptr=0)
+        n = trie.cells.allocate("h", 0, 7, 2)
+        trie.root = edge_to(n)
+        added = expand_basic(trie, Location(n, "L"), "h", "ha", 7, 10)
+        assert added == 1
+        assert trie.boundaries() == ["ha", "h"]
+        trie.check()
+
+    def test_fully_shared_string_is_an_error(self):
+        from repro import Trie
+        from repro.core.trie import ROOT_LOCATION
+
+        trie = Trie(A, root_ptr=0)
+        with pytest.raises(TrieCorruptionError):
+            expand_basic(trie, ROOT_LOCATION, "ha", "ha", 0, 1)
+
+
+class TestFileLevelSplits:
+    def test_first_split_of_a_file(self):
+        f = THFile(bucket_capacity=2)
+        f.insert("ab")
+        f.insert("cd")
+        assert f.bucket_count() == 1
+        f.insert("ef")  # overflow
+        assert f.bucket_count() == 2
+        assert f.stats.splits == 1
+        f.check()
+
+    def test_split_respects_m_position(self):
+        # m=1: only the lowest key stays.
+        f = THFile(bucket_capacity=3, policy=SplitPolicy(split_position=1))
+        for k in ("ka", "kb", "kc", "aa"):
+            f.insert(k)
+        f.check()
+        sizes = sorted(len(f.store.peek(a)) for a in f.store.live_addresses())
+        assert sizes[0] <= 2
+
+    def test_nil_allocation_on_insert(self):
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(split_position=-1))
+        for k in ("oaaa", "obbb", "osza", "oszc", "oszh"):
+            f.insert(k)
+        assert f.nil_leaf_fraction() > 0
+        nils_before = f.stats.nil_allocations
+        f.insert("ota")  # maps to a nil leaf -> new bucket appended
+        assert f.stats.nil_allocations == nils_before + 1
+        assert f.get("ota") is None
+        f.check()
+
+    def test_split_cost_in_accesses(self, generator):
+        # A split writes the old bucket and the new one: 1 read + 2
+        # writes beyond the plain insert.
+        f = THFile(bucket_capacity=4)
+        for k in ("aa", "ab", "ac", "ad"):
+            f.insert(k)
+        stats = f.store.disk.stats
+        r, w = stats.reads, stats.writes
+        f.insert("ae")
+        assert stats.reads - r == 1
+        assert stats.writes - w == 2
+
+    def test_headers_written_at_split(self):
+        f = THFile(bucket_capacity=2)
+        for k in ("aa", "bb", "cc", "dd", "ee"):
+            f.insert(k)
+        for address in f.store.live_addresses():
+            bucket = f.store.peek(address)
+            # Every bucket's header holds its logical path (right cut).
+            paths = {
+                path for _, ptr, path in f.trie.leaves_in_order() if ptr == address
+            }
+            assert bucket.header_path in paths

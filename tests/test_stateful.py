@@ -1,0 +1,116 @@
+"""Stateful (model-based) testing: a THFile against a plain dict.
+
+Hypothesis drives arbitrary interleavings of insert/put/delete/get/range
+operations across the full policy matrix; after every step the file must
+agree with the dictionary model, and periodically the deep structural
+check must hold.
+"""
+
+import string
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro import DuplicateKeyError, KeyNotFoundError, SplitPolicy, THFile
+
+keys_st = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+POLICIES = [
+    SplitPolicy.basic_th(),
+    SplitPolicy(merge="rotations"),
+    SplitPolicy.thcl(),
+    SplitPolicy.thcl_redistributing(),
+    SplitPolicy.thcl_ascending(1),
+]
+
+
+class FileAgainstDict(RuleBasedStateMachine):
+    @initialize(
+        policy_index=st.integers(min_value=0, max_value=len(POLICIES) - 1),
+        capacity=st.integers(min_value=2, max_value=6),
+    )
+    def setup(self, policy_index, capacity):
+        self.file = THFile(
+            bucket_capacity=capacity, policy=POLICIES[policy_index]
+        )
+        self.model = {}
+        self.steps = 0
+
+    @rule(key=keys_st, value=st.integers())
+    def insert(self, key, value):
+        self.steps += 1
+        if key in self.model:
+            try:
+                self.file.insert(key, value)
+                raise AssertionError("duplicate accepted")
+            except DuplicateKeyError:
+                pass
+        else:
+            self.file.insert(key, value)
+            self.model[key] = value
+
+    @rule(key=keys_st, value=st.integers())
+    def put(self, key, value):
+        self.steps += 1
+        self.file.put(key, value)
+        self.model[key] = value
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        self.steps += 1
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.file.delete(key) == self.model.pop(key)
+
+    @rule(key=keys_st)
+    def delete_missing(self, key):
+        if key in self.model:
+            return
+        try:
+            self.file.delete(key)
+            raise AssertionError("deleted a missing key")
+        except KeyNotFoundError:
+            pass
+
+    @rule(key=keys_st)
+    def lookup(self, key):
+        if key in self.model:
+            assert self.file.get(key) == self.model[key]
+        else:
+            assert key not in self.file
+
+    @rule(data=st.data())
+    def range_scan(self, data):
+        if not self.model:
+            return
+        ordered = sorted(self.model)
+        lo = data.draw(st.sampled_from(ordered))
+        hi = data.draw(st.sampled_from(ordered))
+        if lo > hi:
+            lo, hi = hi, lo
+        expected = [k for k in ordered if lo <= k <= hi]
+        assert [k for k, _ in self.file.range_items(lo, hi)] == expected
+
+    @invariant()
+    def sizes_agree(self):
+        if hasattr(self, "model"):
+            assert len(self.file) == len(self.model)
+
+    @invariant()
+    def deep_check_periodically(self):
+        if hasattr(self, "model") and self.steps % 7 == 0:
+            self.file.check()
+            assert dict(self.file.items()) == self.model
+
+
+TestFileAgainstDict = FileAgainstDict.TestCase
+TestFileAgainstDict.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)

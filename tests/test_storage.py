@@ -1,0 +1,292 @@
+"""Storage substrate tests: disk, buffer pool, bucket store, latency."""
+
+import pytest
+
+from repro import StorageError
+from repro.storage import (
+    Bucket,
+    BucketStore,
+    BufferPool,
+    DiskStats,
+    LatencyModel,
+    Layout,
+    SimulatedDisk,
+)
+from repro.core.errors import DuplicateKeyError, KeyNotFoundError
+
+
+class TestSimulatedDisk:
+    def test_allocation_is_free_write_is_charged(self):
+        disk = SimulatedDisk()
+        block = disk.allocate("payload")
+        assert disk.stats.accesses == 0
+        disk.write(block, "new")
+        assert disk.stats.writes == 1
+
+    def test_read_counts(self):
+        disk = SimulatedDisk()
+        block = disk.allocate("x")
+        assert disk.read(block) == "x"
+        assert disk.read(block) == "x"
+        assert disk.stats.reads == 2
+
+    def test_peek_is_unmetered(self):
+        disk = SimulatedDisk()
+        block = disk.allocate("x")
+        assert disk.peek(block) == "x"
+        assert disk.stats.accesses == 0
+
+    def test_unknown_block_errors(self):
+        disk = SimulatedDisk()
+        with pytest.raises(StorageError):
+            disk.read(99)
+        with pytest.raises(StorageError):
+            disk.write(99, "x")
+        with pytest.raises(StorageError):
+            disk.free(99)
+
+    def test_free_removes(self):
+        disk = SimulatedDisk()
+        block = disk.allocate("x")
+        disk.free(block)
+        with pytest.raises(StorageError):
+            disk.read(block)
+
+    def test_stats_snapshot_delta(self):
+        disk = SimulatedDisk()
+        block = disk.allocate("x")
+        disk.read(block)
+        snap = disk.stats.snapshot()
+        disk.read(block)
+        disk.write(block, "y")
+        delta = disk.stats.delta(snap)
+        assert delta.reads == 1 and delta.writes == 1
+        assert disk.stats.reads == 2
+
+    def test_latency_accumulates(self):
+        disk = SimulatedDisk(latency=LatencyModel.vintage_1981())
+        block = disk.allocate("x")
+        disk.read(block)
+        t1 = disk.stats.simulated_seconds
+        assert t1 > 0.08  # ~85ms seek alone
+        disk.read(block)
+        assert disk.stats.simulated_seconds == pytest.approx(2 * t1)
+
+    def test_stats_reset(self):
+        stats = DiskStats()
+        stats.reads = 5
+        stats.reset()
+        assert stats.accesses == 0
+
+
+class TestLatencyModel:
+    def test_presets_ordering(self):
+        vintage = LatencyModel.vintage_1981().access_seconds(4096)
+        modern = LatencyModel.hdd_7200rpm().access_seconds(4096)
+        assert vintage > modern > 0
+
+    def test_components(self):
+        m = LatencyModel(seek_ms=10, rpm=6000, transfer_mb_per_s=100)
+        t = m.access_seconds(1_000_000)
+        assert t == pytest.approx(0.010 + 0.005 + 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(seek_ms=-1, rpm=7200, transfer_mb_per_s=1)
+        with pytest.raises(ValueError):
+            LatencyModel(seek_ms=1, rpm=0, transfer_mb_per_s=1)
+
+
+class TestBufferPool:
+    def test_capacity_zero_never_caches(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=0)
+        block = disk.allocate("x")
+        pool.read(block)
+        pool.read(block)
+        assert disk.stats.reads == 2
+        assert pool.hits == 0
+
+    def test_hits_skip_the_disk(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=2)
+        block = disk.allocate("x")
+        pool.read(block)
+        pool.read(block)
+        assert disk.stats.reads == 1
+        assert pool.hits == 1
+        assert pool.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=2)
+        blocks = [disk.allocate(i) for i in range(3)]
+        pool.read(blocks[0])
+        pool.read(blocks[1])
+        pool.read(blocks[2])  # evicts 0
+        pool.read(blocks[0])  # miss again
+        assert disk.stats.reads == 4
+
+    def test_write_through_refreshes_cache(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=2)
+        block = disk.allocate("x")
+        pool.write(block, "y")
+        assert disk.stats.writes == 1
+        assert pool.read(block) == "y"
+        assert disk.stats.reads == 0  # cache hit after the write
+
+    def test_pin_survives_pressure(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=1)
+        pinned = disk.allocate("root")
+        pool.pin(pinned)
+        others = [disk.allocate(i) for i in range(5)]
+        for b in others:
+            pool.read(b)
+        reads = disk.stats.reads
+        pool.read(pinned)
+        assert disk.stats.reads == reads  # still cached
+
+    def test_pin_with_zero_capacity(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=0)
+        pinned = disk.allocate("root")
+        pool.pin(pinned)
+        pool.read(pinned)
+        assert pool.hits == 1
+
+    def test_unpin_allows_eviction(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=1)
+        a = disk.allocate("a")
+        pool.pin(a)
+        pool.unpin(a)
+        b = disk.allocate("b")
+        pool.read(b)
+        reads = disk.stats.reads
+        pool.read(a)
+        assert disk.stats.reads == reads + 1
+
+    def test_invalidate_keeps_pinned(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity=4)
+        a = disk.allocate("a")
+        b = disk.allocate("b")
+        pool.pin(a)
+        pool.read(b)
+        pool.invalidate()
+        reads = disk.stats.reads
+        pool.read(a)
+        assert disk.stats.reads == reads
+        pool.read(b)
+        assert disk.stats.reads == reads + 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(SimulatedDisk(), capacity=-1)
+
+
+class TestBucket:
+    def test_sorted_insertion(self):
+        b = Bucket()
+        for k in ("m", "a", "z"):
+            b.insert(k, k.upper())
+        assert b.keys == ["a", "m", "z"]
+        assert b.get("m") == "M"
+
+    def test_duplicate_rejected(self):
+        b = Bucket()
+        b.insert("a", 1)
+        with pytest.raises(DuplicateKeyError):
+            b.insert("a", 2)
+
+    def test_remove(self):
+        b = Bucket()
+        b.insert("a", 1)
+        assert b.remove("a") == 1
+        with pytest.raises(KeyNotFoundError):
+            b.remove("a")
+
+    def test_replace(self):
+        b = Bucket()
+        b.insert("a", 1)
+        b.replace("a", 2)
+        assert b.get("a") == 2
+        with pytest.raises(KeyNotFoundError):
+            b.replace("zz", 0)
+
+    def test_find_contains(self):
+        b = Bucket()
+        b.insert("b", None)
+        assert b.find("b") == 0
+        assert b.find("a") == -1
+        assert b.contains("b") and not b.contains("a")
+
+    def test_pop_range(self):
+        b = Bucket()
+        for k in "abcde":
+            b.insert(k, k)
+        taken = b.pop_range(1, 3)
+        assert [k for k, _ in taken] == ["b", "c"]
+        assert b.keys == ["a", "d", "e"]
+
+    def test_items_pairs(self):
+        b = Bucket()
+        b.insert("a", 1)
+        b.insert("b", 2)
+        assert list(b.items()) == [("a", 1), ("b", 2)]
+
+
+class TestBucketStore:
+    def test_address_sequence(self):
+        store = BucketStore()
+        assert store.allocate() == 0
+        assert store.allocate() == 1
+        assert store.max_address() == 1
+        assert store.allocated_count() == 2
+
+    def test_free_and_recycle(self):
+        store = BucketStore()
+        store.allocate()
+        store.allocate()
+        store.free(0)
+        assert store.allocated_count() == 1
+        assert store.live_addresses() == [1]
+        assert store.allocate() == 0  # recycled
+
+    def test_freed_access_fails(self):
+        store = BucketStore()
+        store.allocate()
+        store.free(0)
+        with pytest.raises(StorageError):
+            store.read(0)
+        with pytest.raises(StorageError):
+            store.read(7)
+
+    def test_metered_reads_writes(self):
+        store = BucketStore()
+        a = store.allocate()
+        bucket = store.read(a)
+        assert store.stats.reads == 1
+        store.write(a, bucket)
+        assert store.stats.writes == 1
+
+    def test_buffered_store(self):
+        store = BucketStore(buffer_capacity=4)
+        a = store.allocate()
+        store.read(a)
+        store.read(a)
+        assert store.stats.reads == 0  # allocation cached it
+
+
+class TestLayout:
+    def test_paper_constants(self):
+        layout = Layout()
+        assert layout.trie_bytes(1000) == 6000  # the 6 Kbyte buffer claim
+        assert layout.btree_branch_bytes(1) == 24
+
+    def test_custom_sizes(self):
+        layout = Layout(cell_bytes=6, key_bytes=46, pointer_bytes=4)
+        assert layout.btree_branch_bytes(10) == 500
+        assert layout.records_bytes(3) == 300

@@ -1,0 +1,92 @@
+"""Analytic-model tests: simulation vs closed-form estimates."""
+
+import math
+
+import pytest
+
+from repro import SplitPolicy, THFile
+from repro.analysis.theory import (
+    RANDOM_LOAD_FACTOR,
+    compare_with_theory,
+    expected_bucket_count,
+    expected_index_bytes,
+    expected_load_factor,
+    expected_trie_depth,
+)
+from repro.core.balance import balance
+from repro.workloads import KeyGenerator
+
+
+class TestFormulas:
+    def test_random_constant(self):
+        assert RANDOM_LOAD_FACTOR == pytest.approx(0.6931, abs=1e-4)
+
+    def test_deterministic_ordered_formula(self):
+        assert expected_load_factor("ascending", 20, d=0) == 1.0
+        assert expected_load_factor("ascending", 20, d=5) == 0.75
+        assert expected_load_factor("descending", 10, d=0) == 1.0
+
+    def test_non_deterministic_band(self):
+        assert 0.5 < expected_load_factor("ascending", 20, deterministic=False) < 0.75
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ValueError):
+            expected_load_factor("sideways", 10)
+
+    def test_bucket_count(self):
+        assert expected_bucket_count(1000, 10, 1.0) == 100
+        assert expected_bucket_count(1000, 10, 0.5) == 200
+        assert expected_bucket_count(1001, 10, 1.0) == 101
+
+    def test_depth(self):
+        assert expected_trie_depth(1024) == pytest.approx(10.0)
+        assert expected_trie_depth(1024, balanced=False) == pytest.approx(20.0)
+        assert expected_trie_depth(0) == 0.0
+
+    def test_index_bytes(self):
+        assert expected_index_bytes(101, growth_rate=1.0) == 600
+
+
+class TestSimulationAgreement:
+    def test_random_load_near_ln2(self):
+        keys = KeyGenerator(17).uniform(4000)
+        f = THFile(bucket_capacity=20)
+        for k in keys:
+            f.insert(k)
+        assert f.load_factor() == pytest.approx(RANDOM_LOAD_FACTOR, abs=0.06)
+
+    def test_ascending_deterministic_exact(self):
+        keys = KeyGenerator(18).sorted_keys(3000)
+        for d in (0, 2, 5):
+            f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_ascending(d))
+            for k in keys:
+                f.insert(k)
+            predicted = expected_load_factor("ascending", 20, d=d)
+            assert f.load_factor() == pytest.approx(predicted, abs=0.03)
+
+    def test_bucket_count_prediction(self):
+        keys = KeyGenerator(19).sorted_keys(3000)
+        f = THFile(bucket_capacity=20, policy=SplitPolicy.thcl_ascending(0))
+        for k in keys:
+            f.insert(k)
+        predicted = expected_bucket_count(3000, 20, 1.0)
+        assert abs(f.bucket_count() - predicted) <= 1
+
+    def test_balanced_depth_near_log2(self):
+        keys = KeyGenerator(20).uniform(3000)
+        f = THFile(bucket_capacity=10)
+        for k in keys:
+            f.insert(k)
+        balanced = balance(f.trie)
+        assert balanced.depth() <= 2.5 * math.log2(f.trie_size())
+
+    def test_compare_with_theory_report(self):
+        keys = KeyGenerator(21).sorted_keys(2000)
+        f = THFile(bucket_capacity=10, policy=SplitPolicy.thcl_ascending(0))
+        for k in keys:
+            f.insert(k)
+        report = compare_with_theory(f, "ascending", d=0)
+        assert report["measured_load"] == pytest.approx(
+            report["predicted_load"], abs=0.02
+        )
+        assert abs(report["measured_buckets"] - report["predicted_buckets"]) <= 1

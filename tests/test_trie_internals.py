@@ -1,0 +1,114 @@
+"""Deeper structural tests of the trie machinery.
+
+Crafted shapes (deep chains, pure right spines, wide fans) exercising
+the iterative traversals, the successor/predecessor walks at scale, and
+cell recycling under churn — the paths where recursion limits or stale
+state would hide.
+"""
+
+import pytest
+
+from repro import LOWERCASE, SplitPolicy, THFile, Trie
+from repro.core.boundaries import BoundaryModel
+from repro.core.cells import NIL, edge_to
+from repro.core.trie import ROOT_LOCATION
+
+A = LOWERCASE
+
+
+def deep_chain_trie(depth: int) -> Trie:
+    """Boundaries a, aa, aaa, ... — a pure logical-parent chain."""
+    bounds = ["a" * k for k in range(depth, 0, -1)]
+    model = BoundaryModel(A, bounds, list(range(depth + 1)))
+    return Trie.from_model(model)
+
+
+class TestDeepStructures:
+    def test_chain_of_500_traverses_iteratively(self):
+        trie = deep_chain_trie(500)
+        trie.check()
+        assert trie.depth() == 500
+        assert len(trie.boundaries()) == 500
+        leaves = trie.leaves_in_order()
+        assert [p for _, p, _ in leaves] == list(range(501))
+
+    def test_search_on_deep_chain(self):
+        trie = deep_chain_trie(300)
+        assert trie.search("a" * 300).bucket == 0
+        assert trie.search("a" * 150 + "b").bucket == 150
+        assert trie.search("b").bucket == 300
+
+    def test_successor_walk_full_sweep_on_chain(self):
+        trie = deep_chain_trie(200)
+        result = trie.search("a" * 200)
+        ptrs = [p for _, p in trie.successor_leaves(result.trail)]
+        assert ptrs == list(range(1, 201))
+
+    def test_right_spine(self):
+        # Boundaries a < b < c < ...: a pure right spine when built with
+        # pick='first'.
+        bounds = [chr(ord("a") + i) for i in range(20)]
+        model = BoundaryModel(A, bounds, list(range(21)))
+        spine = Trie.from_model(model, pick="first")
+        spine.check()
+        assert spine.depth() == 20
+        balanced = Trie.from_model(model)
+        assert balanced.depth() <= 6
+
+    def test_wide_level0_fan(self):
+        bounds = [chr(ord("a") + i) for i in range(26)]
+        model = BoundaryModel(A, bounds, list(range(27)))
+        trie = Trie.from_model(model)
+        trie.check()
+        for i, b in enumerate(bounds):
+            assert trie.search(b).bucket == i
+
+
+class TestCellRecycling:
+    def test_churn_reuses_slots(self, generator):
+        keys = generator.uniform(300)
+        f = THFile(bucket_capacity=4, policy=SplitPolicy.thcl())
+        for k in keys:
+            f.insert(k)
+        table_peak = len(f.trie.cells)
+        for k in keys[:250]:
+            f.delete(k)
+        for k in keys[:250]:
+            f.insert(k)
+        f.check()
+        # The physical table may grow, but not unboundedly: recycling
+        # keeps it within a small factor of the peak.
+        assert len(f.trie.cells) <= 2 * table_peak
+
+    def test_free_list_integrity_under_merge_storm(self, generator):
+        keys = sorted(generator.uniform(200))
+        f = THFile(bucket_capacity=4, policy=SplitPolicy(merge="rotations"))
+        for k in keys:
+            f.insert(k)
+        for k in keys[:180]:
+            f.delete(k)
+            f.check()  # every intermediate state structurally valid
+
+
+class TestLocationsAndPointers:
+    def test_root_location_roundtrip(self):
+        trie = Trie(A, root_ptr=7)
+        assert trie.get_ptr(ROOT_LOCATION) == 7
+        trie.set_ptr(ROOT_LOCATION, edge_to(0))
+        trie.cells.allocate("m", 0, 1, 2)
+        assert trie.search("a").bucket == 1
+
+    def test_nil_root(self):
+        trie = Trie(A, root_ptr=NIL)
+        assert trie.search("anything").bucket is None
+
+    def test_matched_counts_digit_progress(self):
+        trie = deep_chain_trie(5)  # boundaries aaaaa..a
+        result = trie.search("aaa")
+        # 'aaa' matches digits down the chain until it exhausts.
+        assert result.matched >= 3
+
+    def test_nodes_visited_bounded_by_depth(self, fig1_file):
+        for word in ("a", "he", "i", "was", "zz"):
+            r = fig1_file.trie.search(word)
+            assert r.nodes_visited <= fig1_file.trie.depth()

@@ -1,0 +1,42 @@
+"""The one-command validation harness."""
+
+import pytest
+
+from repro.analysis.validation import CLAIMS, validate_all
+
+
+class TestValidation:
+    def test_all_claims_pass(self):
+        lines = []
+        results = validate_all(printer=lines.append)
+        assert all(r["ok"] for r in results), [
+            r["claim"] for r in results if not r["ok"]
+        ]
+        assert len(results) == len(CLAIMS)
+        assert lines[-1].startswith(f"{len(CLAIMS)}/{len(CLAIMS)}")
+
+    def test_claim_registry_well_formed(self):
+        for claim_id, (description, checker) in CLAIMS.items():
+            assert isinstance(description, str) and description
+            assert callable(checker)
+            assert claim_id == claim_id.lower()
+
+    def test_failure_reported_not_raised(self, monkeypatch):
+        import repro.analysis.validation as v
+
+        def broken():
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(v.CLAIMS, "broken", ("always fails", broken))
+        lines = []
+        results = validate_all(printer=lines.append)
+        broken_rows = [r for r in results if r["claim"] == "broken"]
+        assert broken_rows and not broken_rows[0]["ok"]
+        assert any("FAIL" in line and "broken" in line for line in lines)
+
+    def test_cli_validate_exit_code(self, capsys):
+        from repro.cli import main
+
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 claims reproduced" in out

@@ -1,0 +1,97 @@
+"""Workload generator tests."""
+
+import pytest
+
+from repro import LOWERCASE
+from repro.workloads import MOST_USED_WORDS, KeyGenerator, synthetic_dictionary
+
+
+class TestKeyGenerator:
+    def test_uniform_count_and_uniqueness(self):
+        keys = KeyGenerator(1).uniform(500)
+        assert len(keys) == 500
+        assert len(set(keys)) == 500
+
+    def test_deterministic_given_seed(self):
+        assert KeyGenerator(7).uniform(100) == KeyGenerator(7).uniform(100)
+        assert KeyGenerator(7).uniform(100) != KeyGenerator(8).uniform(100)
+
+    def test_salt_changes_the_draw(self):
+        g = KeyGenerator(7)
+        assert g.uniform(100, salt=0) != g.uniform(100, salt=1)
+
+    def test_sorted_and_descending_agree(self):
+        g = KeyGenerator(3)
+        asc = g.sorted_keys(200)
+        desc = g.descending_keys(200)
+        assert asc == sorted(asc)
+        assert desc == list(reversed(asc))
+
+    def test_keys_valid_for_default_alphabet(self):
+        for key in KeyGenerator(2).uniform(100):
+            LOWERCASE.validate_key(key)
+
+    def test_variable_length_bounds(self):
+        keys = KeyGenerator(4).variable_length(200, min_length=3, max_length=7)
+        assert all(3 <= len(k) <= 7 for k in keys)
+        assert len(set(keys)) == 200
+
+    def test_skewed_distribution_actually_skews(self):
+        keys = KeyGenerator(5).skewed(500, concentration=2.0)
+        first = [k[0] for k in keys]
+        assert first.count("a") > first.count("m") >= first.count("z")
+
+    def test_clustered_prefixes(self):
+        keys = KeyGenerator(6).clustered(100)
+        assert all(k.startswith("cust") for k in keys)
+
+    def test_interleaved_runs_structure(self):
+        keys = KeyGenerator(7).interleaved(100, runs=4)
+        assert sorted(keys) != keys  # not globally sorted
+        # but it is a concatenation of sorted runs:
+        runs = 0
+        for a, b in zip(keys, keys[1:]):
+            if b < a:
+                runs += 1
+        assert runs <= 4
+
+    def test_custom_letters(self):
+        keys = KeyGenerator(1, letters="ab").uniform(10, length=8)
+        assert all(set(k) <= {"a", "b"} for k in keys)
+
+
+class TestEnglish:
+    def test_fig1_words(self):
+        assert len(MOST_USED_WORDS) == 31
+        assert MOST_USED_WORDS[0] == "the"
+        assert MOST_USED_WORDS[-1] == "this"
+        assert len(set(MOST_USED_WORDS)) == 31
+
+    def test_words_fit_the_example_alphabet(self):
+        for w in MOST_USED_WORDS:
+            LOWERCASE.validate_key(w)
+
+    def test_synthetic_dictionary_properties(self):
+        words = synthetic_dictionary(2000, seed=1)
+        assert len(words) == 2000
+        assert words == sorted(words)
+        assert len(set(words)) == 2000
+        for w in words[:200]:
+            LOWERCASE.validate_key(w)
+
+    def test_synthetic_dictionary_deterministic(self):
+        assert synthetic_dictionary(500, seed=3) == synthetic_dictionary(500, seed=3)
+
+    def test_prefix_sharing_beats_uniform(self):
+        # English-like words share prefixes far more than uniform keys -
+        # the property that matters for split-string length.
+        from repro.core.keys import common_prefix_length
+
+        words = synthetic_dictionary(2000, seed=2)
+        uniform = KeyGenerator(2).sorted_keys(2000)
+
+        def mean_shared(seq):
+            pairs = list(zip(seq, seq[1:]))
+            return sum(common_prefix_length(a, b) for a, b in pairs) / len(pairs)
+
+        assert mean_shared(words) > mean_shared(uniform)
