@@ -5,27 +5,54 @@ EXPERIMENTS.md). The ``report`` fixture prints the reproduced table on
 the real stdout (even under pytest capture) and archives it under
 ``benchmarks/results/`` so a plain ``pytest benchmarks/ --benchmark-only``
 run leaves the full reproduction on disk.
+
+Observability: set ``REPRO_OBS=1`` in the environment to run every
+benchmark under the :mod:`repro.obs` tracer. Each reported experiment
+then also archives a ``results/<name>.metrics.json`` snapshot (event
+counts, per-operation access histograms, buffer hit rate) next to its
+table. Tracing stays off by default so throughput numbers remain
+comparable with the seed.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.analysis import format_table
+from repro.obs import MetricsRecorder, MetricsRegistry, TRACER, metrics_json
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+@pytest.fixture(autouse=True)
+def obs_registry():
+    """A per-test metrics registry, active only under ``REPRO_OBS=1``."""
+    if not os.environ.get("REPRO_OBS"):
+        yield None
+        return
+    registry = MetricsRegistry()
+    TRACER.activate([MetricsRecorder(registry)])
+    try:
+        yield registry
+    finally:
+        TRACER.deactivate()
+
+
 @pytest.fixture
-def report(capsys):
-    """Print and archive an experiment's table."""
+def report(capsys, obs_registry):
+    """Print and archive an experiment's table (plus metrics when traced)."""
 
     def _report(name: str, rows, title: str) -> None:
         text = format_table(rows, title=title)
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        if obs_registry is not None:
+            (RESULTS_DIR / f"{name}.metrics.json").write_text(
+                metrics_json(obs_registry) + "\n"
+            )
         with capsys.disabled():
             print()
             print(text)

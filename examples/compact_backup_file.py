@@ -17,7 +17,7 @@ compact file toward ~65%.
 Run:  python examples/compact_backup_file.py
 """
 
-from repro import BPlusTree, SplitPolicy, THFile, bulk_load_compact
+from repro import SplitPolicy, THFile, bulk_load_compact
 from repro.storage.layout import Layout
 from repro.workloads import KeyGenerator, synthetic_dictionary
 

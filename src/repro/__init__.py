@@ -27,6 +27,7 @@ See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 reproduction of every figure and table of the paper.
 """
 
+from . import obs
 from .btree import BPlusTree, bulk_load_compact
 from .core import (
     ALPHANUMERIC,
@@ -76,5 +77,6 @@ __all__ = [
     "bulk_load_th",
     "SplitPolicy",
     "Trie",
+    "obs",
     "__version__",
 ]

@@ -15,7 +15,7 @@ distributions so the explanations can be checked, not just quoted:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List
+from typing import Dict
 
 from ..core.cells import edge_target, is_edge
 from ..core.trie import Trie

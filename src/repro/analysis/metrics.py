@@ -21,30 +21,58 @@ def file_metrics(file, layout: Layout = None) -> Dict[str, float]:
     :class:`~repro.core.mlth.MLTHFile` and
     :class:`~repro.btree.BPlusTree` (duck-typed: each exposes the
     quantities it has; missing ones are absent from the dict).
+
+    Every key is assigned exactly once. Where two duck-typed branches
+    could claim the same key (``buckets``, ``index_bytes``), the most
+    specific structure wins, checked first: a B+-tree's separator view
+    (leaves as ``buckets``, branch-entry bytes as ``index_bytes``)
+    takes precedence over the generic ``bucket_count``/``trie_size``
+    branches, which fill in via ``setdefault`` and therefore never
+    clobber an earlier value.
     """
     layout = layout or Layout()
     out: Dict[str, float] = {"records": len(file)}
-    if hasattr(file, "load_factor"):
-        out["load_factor"] = file.load_factor()
-    if hasattr(file, "bucket_count"):
-        out["buckets"] = file.bucket_count()
-    if hasattr(file, "trie_size"):
-        out["trie_cells"] = file.trie_size()
-        out["index_bytes"] = layout.trie_bytes(file.trie_size())
-    if hasattr(file, "growth_rate"):
-        out["growth_rate"] = file.growth_rate()
-    if hasattr(file, "nil_leaf_fraction"):
-        out["nil_fraction"] = file.nil_leaf_fraction()
-    if hasattr(file, "page_load_factor"):
-        out["page_load"] = file.page_load_factor()
-        out["levels"] = file.levels()
-        out["pages"] = file.page_count()
+    # Most specific first: the B+-tree's separator-based quantities.
     if hasattr(file, "separator_count"):
         out["separators"] = file.separator_count()
         out["index_bytes"] = file.index_bytes()
         out["height"] = file.height
         out["buckets"] = file.leaf_count()
+    # Generic branches: setdefault keeps the single-assignment rule.
+    if hasattr(file, "load_factor"):
+        out.setdefault("load_factor", file.load_factor())
+    if hasattr(file, "bucket_count"):
+        out.setdefault("buckets", file.bucket_count())
+    if hasattr(file, "trie_size"):
+        out.setdefault("trie_cells", file.trie_size())
+        out.setdefault("index_bytes", layout.trie_bytes(file.trie_size()))
+    if hasattr(file, "growth_rate"):
+        out.setdefault("growth_rate", file.growth_rate())
+    if hasattr(file, "nil_leaf_fraction"):
+        out.setdefault("nil_fraction", file.nil_leaf_fraction())
+    if hasattr(file, "page_load_factor"):
+        out.setdefault("page_load", file.page_load_factor())
+        out.setdefault("levels", file.levels())
+        out.setdefault("pages", file.page_count())
+    pools = _pools_of(file)
+    if pools:
+        hits = sum(p.hits for p in pools)
+        misses = sum(p.misses for p in pools)
+        total = hits + misses
+        out["buffer_hit_rate"] = hits / total if total else 0.0
     return out
+
+
+def _pools_of(file):
+    """Every buffer pool the file reads through (mirrors `_disks_of`)."""
+    pools = []
+    if hasattr(file, "store"):
+        pools.append(file.store.pool)
+    if hasattr(file, "page_pool"):
+        pools.append(file.page_pool)
+    if hasattr(file, "pool") and file.pool not in pools:
+        pools.append(file.pool)
+    return pools
 
 
 def _disks_of(file):

@@ -14,6 +14,7 @@ import bisect
 from typing import Iterator, List, Optional, Tuple
 
 from ..core.errors import CapacityError, DuplicateKeyError, KeyNotFoundError
+from ..obs.tracer import TRACER
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
 from ..storage.layout import Layout
@@ -64,7 +65,7 @@ class BPlusTree:
         self.split_fraction = split_fraction
         self.redistribute = redistribute
         self.layout = layout or Layout()
-        self.disk = disk if disk is not None else SimulatedDisk()
+        self.disk = disk if disk is not None else SimulatedDisk(name="btree")
         self.pool = BufferPool(self.disk, capacity=0)
         self.root_id = self.pool.allocate(LeafNode())
         if pin_root:
@@ -97,6 +98,12 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def get(self, key: str) -> object:
         """Value stored under ``key``; raises :class:`KeyNotFoundError`."""
+        if TRACER.enabled:
+            with TRACER.span("search", key=key):
+                return self._get(key)
+        return self._get(key)
+
+    def _get(self, key: str) -> object:
         leaf = self._descend(key)[-1][1]
         i = leaf.find(key)
         if i < 0:
@@ -105,6 +112,9 @@ class BPlusTree:
 
     def contains(self, key: str) -> bool:
         """True when the tree stores ``key``."""
+        if TRACER.enabled:
+            with TRACER.span("search", key=key):
+                return self._descend(key)[-1][1].find(key) >= 0
         return self._descend(key)[-1][1].find(key) >= 0
 
     def __contains__(self, key: str) -> bool:
@@ -123,6 +133,13 @@ class BPlusTree:
 
     def insert(self, key: str, value: object = None) -> None:
         """Insert a new record; duplicates are rejected."""
+        if TRACER.enabled:
+            with TRACER.span("insert", key=key):
+                self._insert(key, value)
+            return
+        self._insert(key, value)
+
+    def _insert(self, key: str, value: object = None) -> None:
         steps = self._descend(key)
         leaf_id, leaf, _ = steps[-1]
         if leaf.find(key) >= 0:
@@ -132,6 +149,8 @@ class BPlusTree:
             self.pool.write(leaf_id, leaf)
         elif self.redistribute and self._try_redistribute(steps, key, value):
             self.redistributions += 1
+            if TRACER.enabled:
+                TRACER.emit("redistribute", bucket=leaf_id)
         else:
             self._split_leaf(steps, key, value)
             self.splits += 1
@@ -139,6 +158,13 @@ class BPlusTree:
 
     def put(self, key: str, value: object = None) -> None:
         """Insert or overwrite."""
+        if TRACER.enabled:
+            with TRACER.span("insert", key=key):
+                self._put(key, value)
+            return
+        self._put(key, value)
+
+    def _put(self, key: str, value: object = None) -> None:
         steps = self._descend(key)
         leaf_id, leaf, _ = steps[-1]
         i = leaf.find(key)
@@ -146,7 +172,7 @@ class BPlusTree:
             leaf.values[i] = value
             self.pool.write(leaf_id, leaf)
             return
-        self.insert(key, value)
+        self._insert(key, value)
 
     def _split_leaf(self, steps: List[_Step], key: str, value: object) -> None:
         leaf_id, leaf, _ = steps[-1]
@@ -164,6 +190,15 @@ class BPlusTree:
         separator = leaf.keys[-1]
         self.pool.write(leaf_id, leaf)
         self.pool.write(right_id, right)
+        if TRACER.enabled:
+            TRACER.emit(
+                "split",
+                kind="leaf",
+                bucket=leaf_id,
+                new_bucket=right_id,
+                moved=len(right.keys),
+                stayed=len(leaf.keys),
+            )
         self._insert_up(steps, len(steps) - 2, separator, leaf_id, right_id)
 
     def _insert_up(
@@ -197,6 +232,8 @@ class BPlusTree:
         new_right_id = self.pool.allocate(right)
         self.pool.write(node_id, node)
         self.pool.write(new_right_id, right)
+        if TRACER.enabled:
+            TRACER.emit("page_split", page=node_id, new_page=new_right_id)
         self._insert_up(steps, index - 1, promoted, node_id, new_right_id)
 
     def _try_redistribute(self, steps: List[_Step], key: str, value: object) -> bool:
@@ -248,6 +285,12 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def delete(self, key: str) -> object:
         """Delete ``key``, borrowing/merging to keep every leaf half full."""
+        if TRACER.enabled:
+            with TRACER.span("delete", key=key):
+                return self._delete(key)
+        return self._delete(key)
+
+    def _delete(self, key: str) -> object:
         steps = self._descend(key)
         leaf_id, leaf, _ = steps[-1]
         if leaf.find(key) < 0:
@@ -282,6 +325,8 @@ class BPlusTree:
             self.pool.write(leaf_id, leaf)
             self.pool.write(parent_id, parent)
             self.borrows += 1
+            if TRACER.enabled:
+                TRACER.emit("rebalance", kind="borrow")
             return
         if right is not None and len(right) > floor:
             leaf.keys.append(right.keys.pop(0))
@@ -291,6 +336,8 @@ class BPlusTree:
             self.pool.write(leaf_id, leaf)
             self.pool.write(parent_id, parent)
             self.borrows += 1
+            if TRACER.enabled:
+                TRACER.emit("rebalance", kind="borrow")
             return
         # Merge with a sibling and drop one separator from the parent.
         if left is not None:
@@ -320,6 +367,8 @@ class BPlusTree:
         else:  # single child under the root: cannot happen in a B+-tree
             return
         self.merges += 1
+        if TRACER.enabled:
+            TRACER.emit("merge", kind="leaf")
         self.pool.write(parent_id, parent)
         self._fix_branch_underflow(steps, len(steps) - 2)
 
@@ -358,6 +407,8 @@ class BPlusTree:
             self.pool.write(node_id, node)
             self.pool.write(parent_id, parent)
             self.borrows += 1
+            if TRACER.enabled:
+                TRACER.emit("rebalance", kind="borrow")
             return
         if right is not None and len(right.keys) > floor:
             node.keys.append(parent.keys[at])
@@ -367,6 +418,8 @@ class BPlusTree:
             self.pool.write(node_id, node)
             self.pool.write(parent_id, parent)
             self.borrows += 1
+            if TRACER.enabled:
+                TRACER.emit("rebalance", kind="borrow")
             return
         if left is not None:
             left.keys.append(parent.keys[at - 1])
@@ -387,6 +440,8 @@ class BPlusTree:
         else:
             return
         self.merges += 1
+        if TRACER.enabled:
+            TRACER.emit("merge", kind="branch")
         self.pool.write(parent_id, parent)
         self._fix_branch_underflow(steps, index - 1)
 
@@ -418,6 +473,14 @@ class BPlusTree:
         self, low: Optional[str] = None, high: Optional[str] = None
     ) -> Iterator[Tuple[str, object]]:
         """Records with ``low <= key <= high``."""
+        it = self._range_items(low, high)
+        if TRACER.enabled:
+            return TRACER.wrap_iter("range", it)
+        return it
+
+    def _range_items(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> Iterator[Tuple[str, object]]:
         if low is None:
             leaf_id: Optional[int] = self._leftmost_leaf_id()
         else:

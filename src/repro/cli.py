@@ -5,6 +5,7 @@ Installed as ``trie-hashing``. Examples::
     trie-hashing list
     trie-hashing run fig10 --count 5000
     trie-hashing run sec5 --count 2000 --bucket-capacity 20
+    trie-hashing run fig10 --count 5000 --metrics out.json --trace out.jsonl
     trie-hashing demo
 
 ``demo`` builds the paper's Fig 1 example file and prints its buckets
@@ -102,6 +103,24 @@ def main(argv: List[str] = None) -> int:
         "--bucket-capacity", type=int, default=None, help="bucket capacity b"
     )
     run.add_argument("--seed", type=int, default=None, help="workload seed")
+    run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="trace the run and write a JSON metrics snapshot here",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="trace the run and write a JSONL event trace here",
+    )
+    run.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        default=None,
+        help="trace the run and write a Prometheus text snapshot here",
+    )
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -131,7 +150,39 @@ def main(argv: List[str] = None) -> int:
                 kwargs["bucket_capacities"] = (args.bucket_capacity,)
         if args.seed is not None and "seed" in accepted:
             kwargs["seed"] = args.seed
-        rows = runner(**kwargs)
+        observing = args.metrics or args.trace or args.prometheus
+        if observing:
+            from .obs import (
+                JsonlTraceWriter,
+                MetricsRegistry,
+                prometheus_text,
+                trace,
+                write_metrics_json,
+            )
+
+            registry = MetricsRegistry()
+            sinks = []
+            try:
+                if args.trace:
+                    sinks.append(JsonlTraceWriter(args.trace))
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                return 1
+            with trace(sinks=sinks, registry=registry):
+                rows = runner(**kwargs)
+            print(format_table(rows, title=args.experiment))
+            try:
+                if args.metrics:
+                    write_metrics_json(registry, args.metrics)
+                if args.prometheus:
+                    with open(args.prometheus, "w", encoding="utf-8") as fh:
+                        fh.write(prometheus_text(registry))
+            except OSError as exc:
+                print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+                return 1
+            return 0
+        else:
+            rows = runner(**kwargs)
         print(format_table(rows, title=args.experiment))
         return 0
     parser.print_help()

@@ -11,8 +11,8 @@ benches report.
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict, deque
-from typing import Deque, Dict, Hashable, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, Hashable, List, Set, Tuple
 
 __all__ = ["LockMode", "LockManager"]
 

@@ -23,9 +23,10 @@ from __future__ import annotations
 import bisect
 from typing import Iterator, List, Optional, Tuple
 
+from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
 from .alphabet import DEFAULT_ALPHABET, Alphabet
-from .cells import is_leaf, is_nil
+from .cells import is_nil
 from .errors import DuplicateKeyError, KeyNotFoundError
 from .merge import basic_delete_maintenance, guaranteed_delete_maintenance
 from .policies import SplitPolicy
@@ -134,6 +135,12 @@ class THFile:
         Costs one disk access when the key's leaf is a bucket; an
         unsuccessful search through a nil leaf costs none (Section 3.1).
         """
+        if TRACER.enabled:
+            with TRACER.span("search", key=key):
+                return self._get(key)
+        return self._get(key)
+
+    def _get(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
         result = self.trie.search(key)
         self.stats.searches += 1
@@ -143,6 +150,12 @@ class THFile:
 
     def contains(self, key: str) -> bool:
         """True when ``key`` is stored in the file."""
+        if TRACER.enabled:
+            with TRACER.span("search", key=key):
+                return self._contains(key)
+        return self._contains(key)
+
+    def _contains(self, key: str) -> bool:
         key = self.alphabet.validate_key(key)
         result = self.trie.search(key)
         self.stats.searches += 1
@@ -162,10 +175,18 @@ class THFile:
     # ------------------------------------------------------------------
     def insert(self, key: str, value: object = None) -> None:
         """Insert a new record; raises :class:`DuplicateKeyError` if present."""
+        if TRACER.enabled:
+            with TRACER.span("insert", key=key):
+                self._store_record(key, value, replace=False)
+            return
         self._store_record(key, value, replace=False)
 
     def put(self, key: str, value: object = None) -> None:
         """Insert or overwrite the record under ``key``."""
+        if TRACER.enabled:
+            with TRACER.span("insert", key=key):
+                self._store_record(key, value, replace=True)
+            return
         self._store_record(key, value, replace=True)
 
     def _store_record(self, key: str, value: object, replace: bool) -> None:
@@ -182,6 +203,8 @@ class THFile:
             self.stats.nil_allocations += 1
             self.stats.inserts += 1
             self._size += 1
+            if TRACER.enabled:
+                TRACER.emit("split", kind="nil-alloc", bucket=address)
             return
         bucket = self.store.read(result.bucket)
         position = bucket.find(key)
@@ -221,6 +244,13 @@ class THFile:
                 self.stats.leaves_repointed += outcome.leaves_repointed
                 if self.policy.collapse_equal_leaves:
                     self.stats.nodes_collapsed += collapse_equal_leaf_nodes(self.trie)
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "redistribute",
+                        bucket=result.bucket,
+                        nodes_added=outcome.nodes_added,
+                        leaves_repointed=outcome.leaves_repointed,
+                    )
                 return
 
         plan = None
@@ -271,6 +301,16 @@ class THFile:
         self.stats.splits += 1
         self.stats.nodes_added += added
         self.stats.leaves_repointed += repointed
+        if TRACER.enabled:
+            TRACER.emit(
+                "split",
+                kind="basic" if self.policy.nil_nodes else "thcl",
+                bucket=result.bucket,
+                new_bucket=new_address,
+                moved=len(plan.move),
+                stayed=len(plan.stay),
+                nodes_added=added,
+            )
 
     def _plan_on_existing_boundary(self, records):
         """Section 4.5's refinement: a split that adds no trie node.
@@ -308,6 +348,12 @@ class THFile:
         Post-delete maintenance follows the policy's ``merge`` regime:
         sibling merges (basic), guaranteed >= 50% load (THCL), or none.
         """
+        if TRACER.enabled:
+            with TRACER.span("delete", key=key):
+                return self._delete(key)
+        return self._delete(key)
+
+    def _delete(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
         result = self.trie.search(key)
         if result.bucket is None:
@@ -323,12 +369,16 @@ class THFile:
             )
             if action == "merge":
                 self.stats.merges += 1
+                if TRACER.enabled:
+                    TRACER.emit("merge", kind="siblings", bucket=result.bucket)
         elif self.policy.merge == "rotations":
             from .merge import rotation_delete_maintenance
 
             action = rotation_delete_maintenance(self, result)
             if action in ("merge", "rotation-merge"):
                 self.stats.merges += 1
+                if TRACER.enabled:
+                    TRACER.emit("merge", kind=action, bucket=result.bucket)
         elif self.policy.merge == "guaranteed":
             self._rebalance_after_delete(key)
         return value
@@ -346,8 +396,12 @@ class THFile:
             )
             if action == "merge":
                 self.stats.merges += 1
+                if TRACER.enabled:
+                    TRACER.emit("merge", kind="guaranteed", bucket=result.bucket)
             elif action == "borrow":
                 self.stats.borrows += 1
+                if TRACER.enabled:
+                    TRACER.emit("rebalance", kind="borrow", bucket=result.bucket)
             else:
                 return
 
@@ -379,6 +433,8 @@ class THFile:
         """
         from .range_query import scan  # local import to avoid a cycle
 
+        if TRACER.enabled:
+            return TRACER.wrap_iter("range", scan(self, low, high))
         return scan(self, low, high)
 
     # ------------------------------------------------------------------

@@ -15,9 +15,8 @@ inspection, rendering and tests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from .cells import is_nil
 from .trie import Trie
 
 __all__ = ["LogicalNode", "logical_structure"]

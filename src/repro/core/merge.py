@@ -23,7 +23,6 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from .cells import NIL, is_edge, is_leaf, is_nil
-from .errors import TrieCorruptionError
 from .keys import split_string
 from .thcl_split import insert_boundary
 from .trie import Location, ROOT_LOCATION, SearchResult, Trie

@@ -23,6 +23,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterator, List, Optional, Tuple
 
+from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
 from ..storage.buffer import BufferPool
 from ..storage.disk import SimulatedDisk
@@ -90,7 +91,7 @@ class MLTHFile:
         self.alphabet = alphabet
         self.split_node_pick = split_node_pick
         self.store = store if store is not None else BucketStore()
-        self.page_disk = SimulatedDisk()
+        self.page_disk = SimulatedDisk(name="pages")
         self.page_pool = BufferPool(self.page_disk, capacity=0)
         self.pin_root = pin_root
         root = TriePage(level=0, boundaries=[], children=[self.store.allocate()])
@@ -127,6 +128,12 @@ class MLTHFile:
     # ------------------------------------------------------------------
     def get(self, key: str) -> object:
         """Return the value under ``key`` (levels + 1 disk accesses)."""
+        if TRACER.enabled:
+            with TRACER.span("search", key=key):
+                return self._get(key)
+        return self._get(key)
+
+    def _get(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
         steps, _, _ = self._descend(key)
         _, page, gap = steps[-1]
@@ -138,8 +145,14 @@ class MLTHFile:
 
     def contains(self, key: str) -> bool:
         """True when ``key`` is stored."""
+        if TRACER.enabled:
+            with TRACER.span("search", key=key):
+                return self._contains(key)
+        return self._contains(key)
+
+    def _contains(self, key: str) -> bool:
         try:
-            self.get(key)
+            self._get(key)
             return True
         except KeyNotFoundError:
             return False
@@ -155,6 +168,13 @@ class MLTHFile:
     # ------------------------------------------------------------------
     def insert(self, key: str, value: object = None) -> None:
         """Insert a record; raises :class:`DuplicateKeyError` if present."""
+        if TRACER.enabled:
+            with TRACER.span("insert", key=key):
+                self._insert(key, value)
+            return
+        self._insert(key, value)
+
+    def _insert(self, key: str, value: object = None) -> None:
         key = self.alphabet.validate_key(key)
         steps, _, path = self._descend(key)
         page_id, page, gap = steps[-1]
@@ -169,6 +189,8 @@ class MLTHFile:
             bucket.insert(key, value)
             self.store.write(address, bucket)
             self.stats.nil_allocations += 1
+            if TRACER.enabled:
+                TRACER.emit("split", kind="nil-alloc", bucket=address)
         else:
             bucket = self.store.read(address)
             if bucket.contains(key):
@@ -237,6 +259,15 @@ class MLTHFile:
         self.store.write(address, bucket)
         self.store.write(new_address, new_bucket)
         self.stats.splits += 1
+        if TRACER.enabled:
+            TRACER.emit(
+                "split",
+                kind="basic" if self.policy.nil_nodes else "thcl",
+                bucket=address,
+                new_bucket=new_address,
+                moved=len(plan.move),
+                stayed=len(plan.stay),
+            )
 
     def _insert_boundary_paged(
         self, anchor: str, boundary: str, left: int, right: int, old: int
@@ -368,6 +399,15 @@ class MLTHFile:
         page.invalidate()
         self.page_pool.write(page_id, page)
         self.page_pool.write(right_id, right)
+        if TRACER.enabled:
+            TRACER.emit(
+                "page_split",
+                page=page_id,
+                new_page=right_id,
+                level=page.level,
+                left_cells=page.cell_count,
+                right_cells=right.cell_count,
+            )
         return right_id, right, separator
 
     def _gap_for(self, parent: TriePage, separator: str) -> int:
@@ -427,6 +467,12 @@ class MLTHFile:
         as in the single-level file; trie nodes are left in place (the
         paper's recommended choice), so pages never shrink.
         """
+        if TRACER.enabled:
+            with TRACER.span("delete", key=key):
+                return self._delete(key)
+        return self._delete(key)
+
+    def _delete(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
         steps, _, _ = self._descend(key)
         _, page, gap = steps[-1]
@@ -479,7 +525,6 @@ class MLTHFile:
         return None
 
     def _rebalance_after_delete(self, probe_key: str) -> None:
-        from ..storage.buckets import Bucket
         from .keys import split_string
 
         while True:
@@ -502,6 +547,8 @@ class MLTHFile:
                     self._merge_repoint(steps, successor, address)
                     self.store.free(successor)
                     self.stats.merges += 1
+                    if TRACER.enabled:
+                        TRACER.emit("merge", kind="successor", bucket=address)
                     continue
             if predecessor is not None:
                 p_bucket = self.store.read(predecessor)
@@ -515,6 +562,8 @@ class MLTHFile:
                     self._repoint_backward(steps, gap, address, predecessor)
                     self.store.free(address)
                     self.stats.merges += 1
+                    if TRACER.enabled:
+                        TRACER.emit("merge", kind="predecessor", bucket=address)
                     continue
             if successor is not None:
                 s_bucket = self.store.read(successor)
@@ -532,6 +581,8 @@ class MLTHFile:
                 self.store.write(address, bucket)
                 self.store.write(successor, s_bucket)
                 self.stats.borrows += 1
+                if TRACER.enabled:
+                    TRACER.emit("rebalance", kind="borrow", bucket=address)
                 continue
             if predecessor is not None:
                 p_bucket = self.store.read(predecessor)
@@ -549,6 +600,8 @@ class MLTHFile:
                 self.store.write(address, bucket)
                 self.store.write(predecessor, p_bucket)
                 self.stats.borrows += 1
+                if TRACER.enabled:
+                    TRACER.emit("rebalance", kind="borrow", bucket=address)
                 continue
             return
 
@@ -605,6 +658,14 @@ class MLTHFile:
         self, low: Optional[str] = None, high: Optional[str] = None
     ) -> Iterator[Tuple[str, object]]:
         """Records with ``low <= key <= high`` in key order."""
+        it = self._range_items(low, high)
+        if TRACER.enabled:
+            return TRACER.wrap_iter("range", it)
+        return it
+
+    def _range_items(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> Iterator[Tuple[str, object]]:
         if low is not None:
             low = self.alphabet.validate_key(low)
         if high is not None:

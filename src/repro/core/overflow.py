@@ -18,9 +18,9 @@ trie — only primaries have leaves. The load factor
 
 from __future__ import annotations
 
-import bisect
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
 from .alphabet import DEFAULT_ALPHABET, Alphabet
 from .cells import is_nil
@@ -61,8 +61,12 @@ class OverflowTHFile(THFile):
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
-    def get(self, key: str) -> object:
-        """One access normally; two when the key sits in the overflow."""
+    def _get(self, key: str) -> object:
+        """One access normally; two when the key sits in the overflow.
+
+        (The public :meth:`~repro.core.file.THFile.get` wraps this in a
+        ``search`` span when tracing is enabled.)
+        """
         key = self.alphabet.validate_key(key)
         result = self.trie.search(key)
         self.stats.searches += 1
@@ -77,10 +81,10 @@ class OverflowTHFile(THFile):
             return self.store.read(chain).get(key)
         raise KeyNotFoundError(key)
 
-    def contains(self, key: str) -> bool:
+    def _contains(self, key: str) -> bool:
         """True when ``key`` is stored (primary or overflow)."""
         try:
-            self.get(key)
+            self._get(key)
             return True
         except KeyNotFoundError:
             return False
@@ -114,12 +118,20 @@ class OverflowTHFile(THFile):
         elif chain is not None and len(chain) < self.capacity:
             chain.insert(key, value)
             self.store.write(chain_addr, chain)
+            if TRACER.enabled:
+                TRACER.emit(
+                    "overflow", bucket=result.bucket, chain=chain_addr
+                )
         elif chain is None:
             chain_addr = self.store.allocate()
             chain = self.store.peek(chain_addr)
             chain.insert(key, value)
             self.store.write(chain_addr, chain)
             self._overflow[result.bucket] = chain_addr
+            if TRACER.enabled:
+                TRACER.emit(
+                    "overflow", bucket=result.bucket, chain=chain_addr
+                )
         else:
             self._deferred_split(result, primary, chain, key, value)
         self.stats.inserts += 1
@@ -167,6 +179,16 @@ class OverflowTHFile(THFile):
         primary.header_path = plan.boundary
         self.stats.splits += 1
         self.stats.nodes_added += added
+        if TRACER.enabled:
+            TRACER.emit(
+                "split",
+                kind="deferred",
+                bucket=result.bucket,
+                new_bucket=new_address,
+                moved=len(plan.move),
+                stayed=len(plan.stay),
+                nodes_added=added,
+            )
 
     def _fill(self, address, bucket, records, chain_addr, chain) -> None:
         """Place records into a primary (+ overflow when they spill)."""
@@ -189,7 +211,7 @@ class OverflowTHFile(THFile):
     # ------------------------------------------------------------------
     # Deletion (records only; chain kept tidy)
     # ------------------------------------------------------------------
-    def delete(self, key: str) -> object:
+    def _delete(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
         result = self.trie.search(key)
         if result.bucket is None:
@@ -245,6 +267,12 @@ class OverflowTHFile(THFile):
 
     def range_items(self, low=None, high=None):
         """Range scan over primaries and their chains."""
+        it = self._range_items(low, high)
+        if TRACER.enabled:
+            return TRACER.wrap_iter("range", it)
+        return it
+
+    def _range_items(self, low=None, high=None):
         if low is not None:
             low = self.alphabet.validate_key(low)
         if high is not None:

@@ -34,7 +34,6 @@ from .cells import (
     edge_target,
     edge_to,
     is_edge,
-    is_leaf,
     is_nil,
 )
 from .errors import TrieCorruptionError

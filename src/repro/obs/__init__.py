@@ -1,0 +1,67 @@
+"""Observability: structured tracing and metrics for the access methods.
+
+The paper's every claim is a counted quantity — disk accesses per
+search/insert, load factor, trie growth — and this package makes those
+quantities observable *live* instead of only as counter deltas:
+
+* :mod:`repro.obs.tracer` — a process-local event bus emitting typed
+  structural events (``split``, ``merge``, ``redistribute``,
+  ``overflow``, ``page_split``, ``rebalance``, ``disk_read``,
+  ``disk_write``, ``buffer_hit``, ``buffer_miss``) plus nested
+  *operation spans* (``insert``/``search``/``delete``/``range``) that
+  attribute every device access to the operation that caused it;
+* :mod:`repro.obs.metrics` — a zero-dependency metrics registry with
+  counters, gauges and fixed-bucket histograms;
+* :mod:`repro.obs.recorder` — the bridge that folds the event stream
+  into the registry (accesses/op histograms, split fan-out, buffer hit
+  rate, simulated-latency percentiles);
+* :mod:`repro.obs.export` — JSON-lines trace writing, a
+  Prometheus-style text snapshot, and ``format_table``-compatible
+  summary rows.
+
+Tracing is **off by default** and costs one attribute check per hook
+site (``if TRACER.enabled:``). Enable it around a workload::
+
+    from repro.obs import MetricsRegistry, trace
+
+    registry = MetricsRegistry()
+    with trace(registry=registry) as tracer:
+        f = THFile(bucket_capacity=20)
+        for k in keys:
+            f.insert(k)
+    print(registry.snapshot()["derived"])
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy, span semantics
+and exporter formats.
+"""
+
+from .events import EVENT_NAMES, Event
+from .export import (
+    JsonlTraceWriter,
+    metrics_json,
+    prometheus_text,
+    summary_rows,
+    write_metrics_json,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .recorder import MetricsRecorder
+from .tracer import TRACER, Span, Tracer, trace
+
+__all__ = [
+    "EVENT_NAMES",
+    "Event",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsRecorder",
+    "JsonlTraceWriter",
+    "prometheus_text",
+    "metrics_json",
+    "write_metrics_json",
+    "summary_rows",
+]

@@ -1,0 +1,92 @@
+"""The typed event taxonomy of the tracing bus.
+
+Every event is a :class:`Event`: a sequence number, a name drawn from
+the taxonomy below, the id of the innermost active span (or ``None``
+when the access happened outside any operation), and a flat dict of
+fields. Events are cheap value objects; sinks decide what to do with
+them (write JSONL, fold into metrics, collect in a list).
+
+Structural events
+-----------------
+``split``
+    A data bucket split (fields: ``kind`` — ``"basic"``, ``"thcl"``,
+    ``"nil-alloc"`` or ``"deferred"`` —, ``bucket``, ``new_bucket``,
+    ``moved``, ``stayed``, ``nodes_added``).
+``merge``
+    Two buckets (or B-tree nodes) merged after a deletion.
+``redistribute``
+    An overflow resolved by moving records into a neighbour instead of
+    splitting.
+``overflow``
+    A record spilled into an overflow chain (deferred splitting).
+``page_split``
+    A trie page (MLTH) or branch node (B+-tree) split.
+``rebalance``
+    A post-delete borrow from a sibling (fields: ``kind``).
+
+Device events
+-------------
+``disk_read`` / ``disk_write``
+    One block access that actually reached a device (fields:
+    ``device``, ``seconds`` when a latency model is attached).
+``buffer_hit`` / ``buffer_miss``
+    A buffer-pool read served from / missing the cache.
+
+Span events
+-----------
+``span_end``
+    Emitted when an operation span closes (fields: ``op``, ``span``,
+    ``parent``, ``reads``, ``writes``, ``accesses``, ``seconds``).
+``trace_end``
+    Emitted once on deactivation with the unattributed access totals,
+    so a JSONL trace is self-contained for reconciliation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["EVENT_NAMES", "Event"]
+
+#: The closed set of event names the instrumented code emits.
+EVENT_NAMES = frozenset(
+    {
+        "split",
+        "merge",
+        "redistribute",
+        "overflow",
+        "page_split",
+        "rebalance",
+        "disk_read",
+        "disk_write",
+        "buffer_hit",
+        "buffer_miss",
+        "span_end",
+        "trace_end",
+    }
+)
+
+
+class Event:
+    """One traced occurrence: ``(seq, name, span, fields)``."""
+
+    __slots__ = ("seq", "name", "span", "fields")
+
+    def __init__(
+        self, seq: int, name: str, span: Optional[int], fields: Dict[str, object]
+    ):
+        self.seq = seq
+        self.name = name
+        self.span = span
+        self.fields = fields
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat dict form (the JSONL record)."""
+        out: Dict[str, object] = {"seq": self.seq, "event": self.name}
+        if self.span is not None:
+            out["span"] = self.span
+        out.update(self.fields)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.seq}, {self.name!r}, span={self.span}, {self.fields!r})"

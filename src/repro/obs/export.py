@@ -1,0 +1,136 @@
+"""Exporters: JSONL traces, Prometheus text, summary tables.
+
+Three consumers, three formats:
+
+* :class:`JsonlTraceWriter` — a tracer sink streaming one JSON object
+  per event, for offline analysis of *why* a run behaved as it did;
+* :func:`prometheus_text` — the registry as a Prometheus exposition
+  snapshot (``# TYPE`` headers, ``_bucket``/``_sum``/``_count``
+  series), so an external scraper can ingest a run;
+* :func:`summary_rows` / :func:`metrics_json` — the registry as
+  ``format_table``-compatible rows and as a JSON document, the forms
+  the CLI and benchmark harness write next to their result tables.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Optional, Union
+
+from .events import Event
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, _render_key
+
+__all__ = [
+    "JsonlTraceWriter",
+    "prometheus_text",
+    "metrics_json",
+    "write_metrics_json",
+    "summary_rows",
+]
+
+
+class JsonlTraceWriter:
+    """Stream events as JSON lines to a path or file-like object."""
+
+    def __init__(self, target: Union[str, io.TextIOBase]):
+        if isinstance(target, (str, bytes)):
+            self._fh = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def on_event(self, event: Event) -> None:
+        """Write one event as one line."""
+        json.dump(event.to_dict(), self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        """Flush, and close the file when this writer opened it."""
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus exposition text."""
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+
+    def type_line(name: str, kind: str) -> None:
+        if seen_types.get(name) != kind:
+            seen_types[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for inst in registry.instruments():
+        if isinstance(inst, Counter):
+            type_line(inst.name, "counter")
+            lines.append(f"{_render_key(inst.name, inst.labels)} {_num(inst.value)}")
+        elif isinstance(inst, Gauge):
+            type_line(inst.name, "gauge")
+            lines.append(f"{_render_key(inst.name, inst.labels)} {_num(inst.value)}")
+        elif isinstance(inst, Histogram):
+            type_line(inst.name, "histogram")
+            cumulative = 0
+            for bound, count in zip(inst.bounds, inst.counts):
+                cumulative += count
+                labels = inst.labels + (("le", _num(bound)),)
+                lines.append(f"{_render_key(inst.name + '_bucket', labels)} {cumulative}")
+            labels = inst.labels + (("le", "+Inf"),)
+            lines.append(f"{_render_key(inst.name + '_bucket', labels)} {inst.total}")
+            lines.append(f"{_render_key(inst.name + '_sum', inst.labels)} {_num(inst.sum)}")
+            lines.append(f"{_render_key(inst.name + '_count', inst.labels)} {inst.total}")
+    derived = registry.snapshot()["derived"]
+    for key, value in sorted(derived.items()):
+        type_line(f"repro_{key}", "gauge")
+        lines.append(f"repro_{key} {_num(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_json(registry: MetricsRegistry, indent: Optional[int] = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str) -> None:
+    """Write :func:`metrics_json` to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(metrics_json(registry))
+        fh.write("\n")
+
+
+def summary_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:
+    """The snapshot as rows for :func:`repro.analysis.format_table`.
+
+    Counters and gauges render as single values; histograms as count /
+    mean / p50 / p90 / p99 — the human-readable face of the same data
+    the JSON and Prometheus exports carry.
+    """
+    rows: List[Dict[str, object]] = []
+    for inst in registry.instruments():
+        key = _render_key(inst.name, inst.labels)
+        if isinstance(inst, (Counter, Gauge)):
+            rows.append({"metric": key, "value": inst.value})
+        else:
+            rows.append(
+                {
+                    "metric": key,
+                    "value": inst.total,
+                    "mean": inst.mean,
+                    "p50": inst.percentile(50),
+                    "p90": inst.percentile(90),
+                    "p99": inst.percentile(99),
+                }
+            )
+    snapshot_derived = registry.snapshot()["derived"]
+    for key, value in sorted(snapshot_derived.items()):
+        rows.append({"metric": key, "value": value})
+    return rows
+
+
+def _num(value: float) -> str:
+    """Prometheus-friendly number rendering (no trailing .0 for ints)."""
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,241 @@
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+Shaped after the Prometheus client model — named instruments with
+optional label sets, a registry that owns them — but implemented in a
+few hundred lines with no third-party imports, matching the repo's
+pure-stdlib rule. Histograms use *fixed* cumulative buckets chosen at
+creation, so observation is O(#buckets) and a snapshot is exact about
+what it can and cannot resolve (percentiles are interpolated within the
+bucket that crosses the requested rank).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: label set, hashable and deterministic: sorted (key, value) pairs.
+_Labels = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, object]]) -> _Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _Labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (hit rate, load factor)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _Labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust by ``amount`` (may be negative)."""
+        self.value += amount
+
+
+#: Default bucket ladders for the quantities the repro measures.
+ACCESS_BUCKETS: Sequence[float] = (0, 1, 2, 3, 4, 5, 6, 8, 12, 16, 24, 32, 64)
+FANOUT_BUCKETS: Sequence[float] = (0, 1, 2, 3, 4, 6, 8, 12, 16, 32)
+LATENCY_BUCKETS: Sequence[float] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class Histogram:
+    """Fixed cumulative-bucket histogram with percentile estimation.
+
+    ``bounds`` are the finite upper bounds; a ``+Inf`` bucket is always
+    appended, so every observation lands somewhere.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str, labels: _Labels, bounds: Sequence[float]):
+        if not bounds:
+            raise ValueError("histogram needs at least one finite bound")
+        ordered = sorted(float(b) for b in bounds)
+        if len(set(ordered)) != len(ordered):
+            raise ValueError("histogram bounds must be distinct")
+        self.name = name
+        self.labels = labels
+        self.bounds: List[float] = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)  # last = +Inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile (0 < p <= 100).
+
+        Linear interpolation within the crossing bucket; observations
+        in the ``+Inf`` bucket report the largest finite bound (the
+        histogram cannot resolve beyond it).
+        """
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.total == 0:
+            return 0.0
+        rank = math.ceil(self.total * p / 100.0)
+        seen = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            seen += count
+            if seen >= rank:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i]
+                within = (rank - (seen - count)) / count
+                return lower + (upper - lower) * within
+        return self.bounds[-1]  # pragma: no cover - unreachable
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations."""
+        return self.sum / self.total if self.total else 0.0
+
+
+class MetricsRegistry:
+    """Owns every instrument; the unit a snapshot or export covers.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call fixes the instrument type (and, for histograms, the bucket
+    bounds) and later calls with the same name + labels return the same
+    object.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, _Labels], object] = {}
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Counter:
+        """Get or create the counter ``name{labels}``."""
+        return self._get(name, labels, Counter)
+
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Gauge:
+        """Get or create the gauge ``name{labels}``."""
+        return self._get(name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Optional[Mapping[str, object]] = None,
+        bounds: Sequence[float] = ACCESS_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name{labels}``."""
+        key = (name, _label_key(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = self._instruments[key] = Histogram(name, key[1], bounds)
+        elif not isinstance(found, Histogram):
+            raise TypeError(f"{name} already registered as {type(found).__name__}")
+        return found
+
+    def _get(self, name, labels, cls):
+        key = (name, _label_key(labels))
+        found = self._instruments.get(key)
+        if found is None:
+            found = self._instruments[key] = cls(name, key[1])
+        elif not isinstance(found, cls):
+            raise TypeError(f"{name} already registered as {type(found).__name__}")
+        return found
+
+    def instruments(self) -> List[object]:
+        """Every instrument, sorted by (name, labels) for stable output."""
+        return [
+            self._instruments[key] for key in sorted(self._instruments.keys())
+        ]
+
+    def snapshot(self) -> Dict[str, object]:
+        """The registry as one JSON-ready dict.
+
+        ``counters``/``gauges`` map ``name{l="v",...}`` to values;
+        ``histograms`` map the same keys to bucket counts, totals and
+        p50/p90/p99 estimates; ``derived`` holds cross-instrument
+        ratios (currently the buffer hit rate) that readers would
+        otherwise have to recompute.
+        """
+        out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for inst in self.instruments():
+            key = _render_key(inst.name, inst.labels)
+            if isinstance(inst, Counter):
+                out["counters"][key] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][key] = inst.value
+            else:
+                buckets = {
+                    str(bound): count
+                    for bound, count in zip(inst.bounds, inst.counts)
+                }
+                buckets["+Inf"] = inst.counts[-1]
+                out["histograms"][key] = {
+                    "buckets": buckets,
+                    "count": inst.total,
+                    "sum": inst.sum,
+                    "mean": inst.mean,
+                    "p50": inst.percentile(50),
+                    "p90": inst.percentile(90),
+                    "p99": inst.percentile(99),
+                }
+        out["derived"] = self._derived()
+        return out
+
+    def _derived(self) -> Dict[str, float]:
+        derived: Dict[str, float] = {}
+        hits = misses = 0.0
+        for inst in self.instruments():
+            if isinstance(inst, Counter) and inst.name == "repro_buffer_requests_total":
+                labels = dict(inst.labels)
+                if labels.get("result") == "hit":
+                    hits += inst.value
+                elif labels.get("result") == "miss":
+                    misses += inst.value
+        if hits or misses:
+            derived["buffer_hit_rate"] = hits / (hits + misses)
+        return derived
+
+
+def _render_key(name: str, labels: _Labels) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"

@@ -1,0 +1,91 @@
+"""The bridge from the event stream to the metrics registry.
+
+A :class:`MetricsRecorder` is a tracer sink that folds every event into
+a :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* every event name → ``repro_events_total{event=...}``;
+* device accesses → ``repro_disk_accesses_total{device=...,kind=...}``
+  (these equal the :class:`~repro.storage.disk.DiskStats` deltas over
+  the traced window, per device — the reconciliation anchor);
+* buffer traffic → ``repro_buffer_requests_total{result=hit|miss}``
+  (the snapshot derives the hit rate);
+* root span ends → ``repro_span_accesses{op=...}`` and, when a latency
+  model contributed simulated time, ``repro_span_seconds{op=...}``
+  histograms. Only *root* spans are observed so a ``put`` implemented
+  via ``insert`` counts one operation, not two;
+* splits → ``repro_split_fanout`` (records moved to the new bucket)
+  and ``repro_split_nodes_added`` (trie cells added) histograms.
+"""
+
+from __future__ import annotations
+
+from .events import Event
+from .metrics import (
+    ACCESS_BUCKETS,
+    FANOUT_BUCKETS,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+
+__all__ = ["MetricsRecorder"]
+
+
+class MetricsRecorder:
+    """Tracer sink that maintains the standard instrument set."""
+
+    def __init__(self, registry: MetricsRegistry):
+        self.registry = registry
+
+    def on_event(self, event: Event) -> None:
+        """Fold one event into the registry."""
+        reg = self.registry
+        reg.counter("repro_events_total", {"event": event.name}).inc()
+        name = event.name
+        if name == "disk_read" or name == "disk_write":
+            reg.counter(
+                "repro_disk_accesses_total",
+                {
+                    "device": event.fields.get("device", "disk"),
+                    "kind": "write" if name == "disk_write" else "read",
+                },
+            ).inc()
+            seconds = event.fields.get("seconds")
+            if seconds:
+                reg.counter(
+                    "repro_disk_seconds_total",
+                    {"device": event.fields.get("device", "disk")},
+                ).inc(seconds)
+        elif name == "buffer_hit" or name == "buffer_miss":
+            reg.counter(
+                "repro_buffer_requests_total",
+                {"result": "hit" if name == "buffer_hit" else "miss"},
+            ).inc()
+        elif name == "span_end":
+            if event.fields.get("parent") is None:
+                op = {"op": event.fields.get("op", "?")}
+                reg.histogram(
+                    "repro_span_accesses", op, bounds=ACCESS_BUCKETS
+                ).observe(event.fields.get("accesses", 0))
+                seconds = event.fields.get("seconds", 0.0)
+                if seconds:
+                    reg.histogram(
+                        "repro_span_seconds", op, bounds=LATENCY_BUCKETS
+                    ).observe(seconds)
+        elif name == "split":
+            moved = event.fields.get("moved")
+            if moved is not None:
+                reg.histogram(
+                    "repro_split_fanout", bounds=FANOUT_BUCKETS
+                ).observe(moved)
+            nodes = event.fields.get("nodes_added")
+            if nodes is not None:
+                reg.histogram(
+                    "repro_split_nodes_added", bounds=FANOUT_BUCKETS
+                ).observe(nodes)
+        elif name == "trace_end":
+            reg.counter("repro_unattributed_reads_total").inc(
+                event.fields.get("unattributed_reads", 0)
+            )
+            reg.counter("repro_unattributed_writes_total").inc(
+                event.fields.get("unattributed_writes", 0)
+            )

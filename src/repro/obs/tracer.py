@@ -1,0 +1,231 @@
+"""The process-local event bus and operation spans.
+
+One module-level :data:`TRACER` serves the whole process. Instrumented
+code guards every hook site with the *attribute check*
+``if TRACER.enabled:`` — with tracing off (the default) no function is
+called and no object is allocated, so the hot paths of the access
+methods stay within noise of their uninstrumented cost.
+
+Spans
+-----
+A span brackets one logical operation (``insert``, ``search``,
+``delete``, ``range``). Spans nest: when a public operation is
+implemented in terms of another (``put`` calling ``insert``,
+``contains`` calling ``get``), the inner span becomes a child. Device
+accesses are attributed to the *innermost* active span; when a span
+closes, its totals roll up into its parent, so a root span's totals
+cover everything the operation caused. Accesses that happen outside
+any span (file construction, ad-hoc scans) accumulate in the tracer's
+``unattributed_*`` counters. The invariant the property tests pin::
+
+    sum(root span accesses) + unattributed == DiskStats delta
+
+holds exactly, per device and in total, for any workload.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .events import Event
+
+__all__ = ["Span", "Tracer", "TRACER", "trace"]
+
+
+class Span:
+    """One operation's attribution record."""
+
+    __slots__ = ("id", "op", "parent", "reads", "writes", "seconds", "fields")
+
+    def __init__(
+        self,
+        span_id: int,
+        op: str,
+        parent: Optional[int],
+        fields: Dict[str, object],
+    ):
+        self.id = span_id
+        self.op = op
+        self.parent = parent
+        self.reads = 0
+        self.writes = 0
+        self.seconds = 0.0
+        self.fields = fields
+
+    @property
+    def accesses(self) -> int:
+        """Total device accesses attributed to this span (and children)."""
+        return self.reads + self.writes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.id}, {self.op!r}, parent={self.parent}, "
+            f"r={self.reads}, w={self.writes})"
+        )
+
+
+class Tracer:
+    """The event bus: emit points, span stack, access attribution.
+
+    A tracer starts disabled. :meth:`activate` attaches sinks (objects
+    with an ``on_event(event)`` method) and turns the hooks on;
+    :meth:`deactivate` emits a final ``trace_end`` event and turns them
+    off. The :func:`trace` context manager wraps the pair.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._sinks: List[object] = []
+        self._stack: List[Span] = []
+        self._seq = 0
+        self._next_span = 0
+        self.unattributed_reads = 0
+        self.unattributed_writes = 0
+        self.unattributed_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def activate(self, sinks: Iterable[object] = ()) -> None:
+        """Attach ``sinks`` and enable the hooks (resets all state)."""
+        if self.enabled:
+            raise RuntimeError("tracer is already active")
+        self._sinks = list(sinks)
+        self._stack = []
+        self._seq = 0
+        self._next_span = 0
+        self.unattributed_reads = 0
+        self.unattributed_writes = 0
+        self.unattributed_seconds = 0.0
+        self.enabled = True
+
+    def deactivate(self) -> None:
+        """Emit ``trace_end`` and disable the hooks."""
+        if not self.enabled:
+            return
+        self.emit(
+            "trace_end",
+            unattributed_reads=self.unattributed_reads,
+            unattributed_writes=self.unattributed_writes,
+            unattributed_seconds=self.unattributed_seconds,
+        )
+        self.enabled = False
+        self._sinks = []
+        self._stack = []
+
+    def add_sink(self, sink: object) -> None:
+        """Attach one more sink to an active tracer."""
+        self._sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+    def emit(self, name: str, **fields: object) -> None:
+        """Dispatch one event to every sink (call only when enabled)."""
+        span = self._stack[-1].id if self._stack else None
+        self._seq += 1
+        event = Event(self._seq, name, span, fields)
+        for sink in self._sinks:
+            sink.on_event(event)
+
+    def record_access(self, write: bool, device: str, seconds: float) -> None:
+        """A device access: attribute it, then emit the disk event.
+
+        Called from :meth:`repro.storage.disk.SimulatedDisk._account`
+        behind the ``enabled`` check, so the disabled cost is nil.
+        """
+        if self._stack:
+            span = self._stack[-1]
+            if write:
+                span.writes += 1
+            else:
+                span.reads += 1
+            span.seconds += seconds
+        else:
+            if write:
+                self.unattributed_writes += 1
+            else:
+                self.unattributed_reads += 1
+            self.unattributed_seconds += seconds
+        if seconds:
+            self.emit(
+                "disk_write" if write else "disk_read",
+                device=device,
+                seconds=seconds,
+            )
+        else:
+            self.emit("disk_write" if write else "disk_read", device=device)
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, op: str, **fields: object) -> Iterator[Span]:
+        """Bracket one operation; yields the live :class:`Span`."""
+        self._next_span += 1
+        parent = self._stack[-1] if self._stack else None
+        span = Span(self._next_span, op, parent.id if parent else None, fields)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            popped = self._stack.pop()
+            if parent is not None:
+                # Roll child totals into the parent so root spans carry
+                # everything their operation caused.
+                parent.reads += popped.reads
+                parent.writes += popped.writes
+                parent.seconds += popped.seconds
+            self.emit(
+                "span_end",
+                op=popped.op,
+                span_id=popped.id,
+                parent=popped.parent,
+                reads=popped.reads,
+                writes=popped.writes,
+                accesses=popped.accesses,
+                seconds=popped.seconds,
+                **popped.fields,
+            )
+
+    def wrap_iter(self, op: str, iterator: Iterator, **fields: object) -> Iterator:
+        """Run an iterator inside a span (for range scans).
+
+        The span stays open for the generator's whole life, so consume
+        range iterators promptly when attributing accesses precisely.
+        """
+        with self.span(op, **fields):
+            yield from iterator
+
+
+#: The process-local tracer every instrumented component checks.
+TRACER = Tracer()
+
+
+@contextmanager
+def trace(
+    sinks: Iterable[object] = (),
+    registry: Optional[object] = None,
+) -> Iterator[Tracer]:
+    """Enable the global tracer for a ``with`` block.
+
+    ``registry`` is a convenience: when given, a
+    :class:`~repro.obs.recorder.MetricsRecorder` folding events into it
+    is attached as an extra sink. Sinks exposing ``close()`` are closed
+    on exit.
+    """
+    all_sinks = list(sinks)
+    if registry is not None:
+        from .recorder import MetricsRecorder
+
+        all_sinks.append(MetricsRecorder(registry))
+    TRACER.activate(all_sinks)
+    try:
+        yield TRACER
+    finally:
+        TRACER.deactivate()
+        for sink in all_sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()

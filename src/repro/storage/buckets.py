@@ -122,7 +122,7 @@ class BucketStore:
     def __init__(
         self, disk: Optional[SimulatedDisk] = None, buffer_capacity: int = 0
     ):
-        self.disk = disk if disk is not None else SimulatedDisk()
+        self.disk = disk if disk is not None else SimulatedDisk(name="buckets")
         self.pool = BufferPool(self.disk, buffer_capacity)
         self._blocks: List[Optional[int]] = []  # bucket address -> block id
         self._free: List[int] = []

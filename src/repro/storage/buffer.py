@@ -13,8 +13,9 @@ counts them), but they refresh the cached copy so a following read hits.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Optional, Set
+from typing import Set
 
+from ..obs.tracer import TRACER
 from .disk import SimulatedDisk
 
 __all__ = ["BufferPool"]
@@ -46,9 +47,13 @@ class BufferPool:
         """Fetch a block, through the cache."""
         if block_id in self._cache:
             self.hits += 1
+            if TRACER.enabled:
+                TRACER.emit("buffer_hit", device=self.disk.name, block=block_id)
             self._cache.move_to_end(block_id)
             return self._cache[block_id]
         self.misses += 1
+        if TRACER.enabled:
+            TRACER.emit("buffer_miss", device=self.disk.name, block=block_id)
         payload = self.disk.read(block_id)
         self._insert(block_id, payload)
         return payload

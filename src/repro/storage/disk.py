@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.errors import StorageError
+from ..obs.tracer import TRACER
 from .latency import LatencyModel
 
 __all__ = ["DiskStats", "SimulatedDisk"]
@@ -83,15 +84,22 @@ class SimulatedDisk:
     block_bytes:
         Nominal block size used by the latency model's transfer term and
         by capacity reporting.
+    name:
+        Device label carried on traced ``disk_read``/``disk_write``
+        events (e.g. ``"buckets"``, ``"pages"``, ``"btree"``).
     """
 
     def __init__(
-        self, latency: Optional[LatencyModel] = None, block_bytes: int = 4096
+        self,
+        latency: Optional[LatencyModel] = None,
+        block_bytes: int = 4096,
+        name: str = "disk",
     ):
         self._blocks: Dict[int, object] = {}
         self._next_id = 0
         self.block_bytes = block_bytes
         self.latency = latency
+        self.name = name
         self.stats = DiskStats()
 
     def __len__(self) -> int:
@@ -143,7 +151,9 @@ class SimulatedDisk:
             self.stats.writes += 1
         else:
             self.stats.reads += 1
+        seconds = 0.0
         if self.latency is not None:
-            self.stats.simulated_seconds += self.latency.access_seconds(
-                self.block_bytes
-            )
+            seconds = self.latency.access_seconds(self.block_bytes)
+            self.stats.simulated_seconds += seconds
+        if TRACER.enabled:
+            TRACER.record_access(write, self.name, seconds)

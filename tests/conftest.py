@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import LOWERCASE, SplitPolicy, THFile
+from repro import LOWERCASE, THFile
 from repro.workloads import MOST_USED_WORDS, KeyGenerator
 
 

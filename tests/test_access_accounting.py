@@ -6,8 +6,6 @@ each operation class exactly, so a refactor that silently changes the
 metering breaks loudly.
 """
 
-import pytest
-
 from repro import SplitPolicy, THFile
 from repro.analysis.metrics import access_cost
 

@@ -1,8 +1,6 @@
 """Tests for the metrics/simulator/reporting harness."""
 
-import pytest
-
-from repro import BPlusTree, MLTHFile, SplitPolicy, THFile
+from repro import BPlusTree, MLTHFile, THFile
 from repro.analysis.metrics import access_cost, average_access_cost, file_metrics
 from repro.analysis.reporting import format_table, format_value
 from repro.analysis.simulator import delete_all, insert_all, load_series

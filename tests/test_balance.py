@@ -1,6 +1,6 @@
 """Trie balancing tests (Section 2.6)."""
 
-from repro import SplitPolicy, THFile, Trie
+from repro import THFile, Trie
 from repro.core.balance import balance, depth_report
 
 

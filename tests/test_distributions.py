@@ -1,7 +1,5 @@
 """Distribution statistics: checking the paper's *explanations*."""
 
-import pytest
-
 from repro import SplitPolicy, THFile
 from repro.analysis.distributions import (
     boundary_length_histogram,

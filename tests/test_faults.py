@@ -7,7 +7,6 @@ from repro import StorageError, THFile
 from repro.core.reconstruct import reconstruct_trie
 from repro.storage.buckets import BucketStore
 from repro.storage.faults import FaultyDisk
-from repro.workloads import KeyGenerator
 
 
 def faulty_file(keys, b=6):

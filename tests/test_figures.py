@@ -1,7 +1,5 @@
 """Tests for the ASCII figure renderer."""
 
-import pytest
-
 from repro.analysis.figures import ascii_chart, fig_curves
 
 

@@ -162,7 +162,6 @@ class TestPreferExistingBoundary:
         import random
 
         from repro import Alphabet, THFile
-        from repro.core.keys import common_prefix_length
 
         rng = random.Random(7)
         keys = sorted(

@@ -1,7 +1,5 @@
 """Tests for the logical (M-ary) structure and ASCII rendering."""
 
-import pytest
-
 from repro import THFile
 from repro.core.logical import logical_structure
 from repro.core.render import render_file, render_logical, render_trie

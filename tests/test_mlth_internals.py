@@ -1,8 +1,6 @@
 """Direct tests of MLTH internals: repoint walks, boundary insertion,
 and the paged step-3.4 path."""
 
-import pytest
-
 from repro import MLTHFile, SplitPolicy
 from repro.workloads import KeyGenerator
 

@@ -1,0 +1,456 @@
+"""Unit tests for the observability subsystem (:mod:`repro.obs`)."""
+
+import io
+import json
+
+import pytest
+
+from repro import BPlusTree, MLTHFile, SplitPolicy, THFile
+from repro.analysis.metrics import file_metrics
+from repro.obs import (
+    TRACER,
+    Counter,
+    JsonlTraceWriter,
+    MetricsRegistry,
+    metrics_json,
+    prometheus_text,
+    summary_rows,
+    trace,
+)
+from repro.obs.metrics import Histogram
+from repro.storage.buckets import BucketStore
+
+
+class Collect:
+    """A sink that keeps every event (test double)."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+    def named(self, name):
+        return [e for e in self.events if e.name == name]
+
+
+@pytest.fixture(autouse=True)
+def _tracer_is_clean():
+    """Every test starts and must end with the global tracer disabled."""
+    assert not TRACER.enabled
+    yield
+    if TRACER.enabled:  # pragma: no cover - safety net
+        TRACER.deactivate()
+        raise AssertionError("test leaked an active tracer")
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x", {"a": 1})
+        c.inc()
+        assert reg.counter("x", {"a": 1}) is c
+        assert reg.counter("x", {"a": 2}) is not c
+        assert c.value == 1
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(5)
+        g.inc(-2)
+        assert g.value == 3
+
+    def test_histogram_buckets_and_mean(self):
+        h = Histogram("h", (), bounds=[1, 2, 4])
+        for v in (0, 1, 2, 3, 100):
+            h.observe(v)
+        assert h.total == 5
+        assert h.counts == [2, 1, 1, 1]  # <=1, <=2, <=4, +Inf
+        assert h.mean == pytest.approx(106 / 5)
+
+    def test_histogram_percentiles_monotonic(self):
+        h = Histogram("h", (), bounds=[1, 2, 4, 8, 16])
+        for v in range(1, 17):
+            h.observe(v)
+        p50, p90, p99 = h.percentile(50), h.percentile(90), h.percentile(99)
+        assert p50 <= p90 <= p99 <= 16
+        assert h.percentile(100) == 16
+
+    def test_histogram_inf_bucket_reports_top_bound(self):
+        h = Histogram("h", (), bounds=[1, 2])
+        h.observe(50)
+        assert h.percentile(50) == 2
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", {"k": "v"}).inc(3)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h", bounds=[1, 2]).observe(1)
+        snap = reg.snapshot()
+        assert snap["counters"] == {'c{k="v"}': 3}
+        assert snap["gauges"] == {"g": 0.5}
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 1 and hist["buckets"]["+Inf"] == 0
+
+    def test_derived_buffer_hit_rate(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_buffer_requests_total", {"result": "hit"}).inc(3)
+        reg.counter("repro_buffer_requests_total", {"result": "miss"}).inc(1)
+        assert reg.snapshot()["derived"]["buffer_hit_rate"] == 0.75
+
+
+# ----------------------------------------------------------------------
+# Tracer and spans
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_by_default(self):
+        assert not TRACER.enabled
+
+    def test_double_activate_raises(self):
+        TRACER.activate([])
+        try:
+            with pytest.raises(RuntimeError):
+                TRACER.activate([])
+        finally:
+            TRACER.deactivate()
+
+    def test_events_have_increasing_seq(self):
+        col = Collect()
+        with trace(sinks=[col]) as tr:
+            tr.emit("split")
+            tr.emit("merge")
+        seqs = [e.seq for e in col.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_nested_spans_roll_up(self):
+        col = Collect()
+        with trace(sinks=[col]) as tr:
+            with tr.span("insert"):
+                tr.record_access(False, "buckets", 0.0)
+                with tr.span("search"):
+                    tr.record_access(True, "buckets", 0.0)
+        ends = col.named("span_end")
+        inner = next(e for e in ends if e.fields["op"] == "search")
+        outer = next(e for e in ends if e.fields["op"] == "insert")
+        assert inner.fields["parent"] == outer.fields["span_id"]
+        assert inner.fields["accesses"] == 1
+        # The parent's totals include the child's.
+        assert outer.fields["reads"] == 1 and outer.fields["writes"] == 1
+
+    def test_unattributed_accesses_counted(self):
+        with trace() as tr:
+            tr.record_access(False, "buckets", 0.0)
+            tr.record_access(True, "pages", 0.0)
+            assert tr.unattributed_reads == 1
+            assert tr.unattributed_writes == 1
+
+    def test_trace_end_carries_unattributed(self):
+        col = Collect()
+        with trace(sinks=[col]) as tr:
+            tr.record_access(True, "buckets", 0.0)
+        (end,) = col.named("trace_end")
+        assert end.fields["unattributed_writes"] == 1
+
+
+# ----------------------------------------------------------------------
+# Recorder
+# ----------------------------------------------------------------------
+class TestMetricsRecorder:
+    def test_root_spans_only_in_histograms(self):
+        reg = MetricsRegistry()
+        with trace(registry=reg) as tr:
+            with tr.span("insert"):
+                with tr.span("insert"):
+                    tr.record_access(False, "buckets", 0.0)
+        hist = reg.histogram("repro_span_accesses", {"op": "insert"})
+        assert hist.total == 1  # the nested span is not double-counted
+
+    def test_put_counts_one_operation(self):
+        reg = MetricsRegistry()
+        t = BPlusTree(leaf_capacity=4)
+        with trace(registry=reg):
+            t.put("aa", 1)  # put -> insert nests two spans
+        hist = reg.histogram("repro_span_accesses", {"op": "insert"})
+        assert hist.total == 1
+
+    def test_disk_counters_per_device(self):
+        reg = MetricsRegistry()
+        with trace(registry=reg):
+            f = MLTHFile(bucket_capacity=4, page_capacity=8)
+            for k in ("aa", "ab", "ba", "bb", "ca", "cb"):
+                f.insert(k)
+            f.get("aa")
+        buckets = reg.counter(
+            "repro_disk_accesses_total", {"device": "buckets", "kind": "read"}
+        )
+        pages = reg.counter(
+            "repro_disk_accesses_total", {"device": "pages", "kind": "read"}
+        )
+        assert buckets.value == f.store.disk.stats.reads
+        assert pages.value == f.page_disk.stats.reads
+
+    def test_split_fanout_observed(self):
+        reg = MetricsRegistry()
+        with trace(registry=reg):
+            f = THFile(bucket_capacity=4)
+            for k in ("aa", "ab", "ac", "ad", "ae"):
+                f.insert(k)
+        assert f.stats.splits == 1
+        assert reg.histogram("repro_split_fanout").total == 1
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        with trace(registry=reg):
+            f = THFile(bucket_capacity=4)
+            for k in ("aa", "ab", "ac", "ad", "ae", "ba"):
+                f.insert(k)
+            f.get("aa")
+        return reg
+
+    def test_jsonl_writer_lines_parse(self):
+        buf = io.StringIO()
+        with trace(sinks=[JsonlTraceWriter(buf)]) as tr:
+            with tr.span("insert"):
+                tr.record_access(True, "buckets", 0.0)
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert [e["event"] for e in lines] == [
+            "disk_write",
+            "span_end",
+            "trace_end",
+        ]
+        assert lines[0]["span"] == lines[1]["span_id"]
+
+    def test_jsonl_writer_owns_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with trace(sinks=[JsonlTraceWriter(str(path))]) as tr:
+            tr.emit("split")
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["event"] == "split"
+
+    def test_prometheus_text_format(self):
+        text = prometheus_text(self._registry())
+        assert "# TYPE repro_events_total counter" in text
+        assert "# TYPE repro_span_accesses histogram" in text
+        assert 'repro_span_accesses_count{op="insert"}' in text
+        # cumulative bucket counts are monotone
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('repro_span_accesses_bucket{le=')
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_metrics_json_round_trips(self):
+        snap = json.loads(metrics_json(self._registry()))
+        assert any(
+            k.startswith("repro_span_accesses") for k in snap["histograms"]
+        )
+        assert "derived" in snap
+
+    def test_summary_rows_feed_format_table(self):
+        from repro.analysis import format_table
+
+        rows = summary_rows(self._registry())
+        text = format_table(rows, title="obs")
+        assert "repro_events_total" in text
+        assert "p99" in text
+
+
+# ----------------------------------------------------------------------
+# Instrumentation behaviour
+# ----------------------------------------------------------------------
+class TestInstrumentation:
+    def test_disabled_tracer_emits_nothing(self):
+        col = Collect()
+        f = THFile(bucket_capacity=4)
+        for k in ("aa", "ab", "ac", "ad", "ae"):
+            f.insert(k)
+        assert col.events == []  # never attached; nothing to receive
+
+    def test_buffer_hit_and_miss_events(self):
+        col = Collect()
+        store = BucketStore(buffer_capacity=4)
+        f = THFile(bucket_capacity=4, store=store)
+        f.insert("aa")
+        with trace(sinks=[col]):
+            f.get("aa")  # cached by the insert's write-through
+            store.pool.invalidate()
+            f.get("aa")  # now a miss
+        assert len(col.named("buffer_hit")) == 1
+        assert len(col.named("buffer_miss")) == 1
+
+    def test_structural_events_on_th_workload(self):
+        col = Collect()
+        with trace(sinks=[col]):
+            f = THFile(
+                bucket_capacity=4, policy=SplitPolicy.thcl_guaranteed_half()
+            )
+            keys = [a + b for a in "abcdefgh" for b in "abcd"]
+            for k in keys:
+                f.insert(k)
+            for k in keys[:24]:
+                f.delete(k)
+        assert len(col.named("split")) == f.stats.splits
+        assert len(col.named("merge")) == f.stats.merges
+        assert len(col.named("rebalance")) == f.stats.borrows
+
+    def test_page_split_events_on_mlth(self):
+        col = Collect()
+        with trace(sinks=[col]):
+            f = MLTHFile(bucket_capacity=2, page_capacity=4)
+            keys = [a + b for a in "abcdefghij" for b in "ab"]
+            for k in keys:
+                f.insert(k)
+        assert f.levels() >= 2
+        assert col.named("page_split")
+
+    def test_overflow_events(self):
+        from repro import OverflowTHFile
+
+        col = Collect()
+        with trace(sinks=[col]):
+            f = OverflowTHFile(bucket_capacity=4)
+            for k in ("aa", "ab", "ac", "ad", "ae", "af"):
+                f.insert(k)
+        assert col.named("overflow")
+        assert f.chain_fraction() > 0
+
+    def test_range_span_wraps_iteration(self):
+        col = Collect()
+        f = THFile(bucket_capacity=4)
+        for k in ("aa", "ab", "ba", "bb", "ca"):
+            f.insert(k)
+        with trace(sinks=[col]):
+            assert len(list(f.range_items("aa", "bb"))) == 4
+        ends = [e for e in col.named("span_end") if e.fields["op"] == "range"]
+        assert len(ends) == 1
+        assert ends[0].fields["reads"] >= 1
+
+
+# ----------------------------------------------------------------------
+# file_metrics satellite fixes
+# ----------------------------------------------------------------------
+class TestFileMetricsKeys:
+    def test_btree_keys_come_from_separator_branch(self, small_keys):
+        t = BPlusTree(leaf_capacity=8)
+        for k in small_keys:
+            t.insert(k)
+        m = file_metrics(t)
+        # The B+-tree branch owns these keys; the generic branches must
+        # not have overwritten (or pre-empted) them.
+        assert m["buckets"] == t.leaf_count()
+        assert m["index_bytes"] == t.index_bytes()
+
+    def test_th_keys_come_from_trie_branch(self, small_keys):
+        from repro.storage.layout import Layout
+
+        f = THFile(bucket_capacity=8)
+        for k in small_keys:
+            f.insert(k)
+        m = file_metrics(f)
+        assert m["buckets"] == f.bucket_count()
+        assert m["index_bytes"] == Layout().trie_bytes(f.trie_size())
+
+    def test_buffer_hit_rate_surfaced(self):
+        store = BucketStore(buffer_capacity=8)
+        f = THFile(bucket_capacity=4, store=store)
+        for k in ("aa", "ab", "ba", "bb"):
+            f.insert(k)
+        for _ in range(3):
+            f.get("aa")
+        m = file_metrics(f)
+        assert m["buffer_hit_rate"] == store.pool.hit_rate
+        assert m["buffer_hit_rate"] > 0
+
+    def test_buffer_hit_rate_zero_without_caching(self, small_keys):
+        f = THFile(bucket_capacity=8)
+        for k in small_keys[:50]:
+            f.insert(k)
+        assert file_metrics(f)["buffer_hit_rate"] == 0.0
+
+    def test_mlth_pools_counted(self):
+        f = MLTHFile(bucket_capacity=4, page_capacity=8)
+        for k in ("aa", "ab", "ba", "bb", "ca", "cb"):
+            f.insert(k)
+        f.get("aa")
+        m = file_metrics(f)
+        # The pinned root page serves reads from core: hits accrue.
+        assert 0.0 <= m["buffer_hit_rate"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCliObservability:
+    def test_run_with_metrics_and_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        metrics = tmp_path / "m.json"
+        jsonl = tmp_path / "t.jsonl"
+        prom = tmp_path / "p.prom"
+        code = main(
+            [
+                "run",
+                "sec31",
+                "--count",
+                "200",
+                "--metrics",
+                str(metrics),
+                "--trace",
+                str(jsonl),
+                "--prometheus",
+                str(prom),
+            ]
+        )
+        assert code == 0
+        assert not TRACER.enabled
+        snap = json.loads(metrics.read_text())
+        assert any(
+            k.startswith("repro_span_accesses") for k in snap["histograms"]
+        )
+        assert "buffer_hit_rate" in snap["derived"]
+        events = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert events[-1]["event"] == "trace_end"
+        assert "# TYPE" in prom.read_text()
+        # Reconciliation: root spans + unattributed == disk events.
+        spans = sum(
+            e["accesses"]
+            for e in events
+            if e["event"] == "span_end" and e["parent"] is None
+        )
+        unattributed = (
+            events[-1]["unattributed_reads"] + events[-1]["unattributed_writes"]
+        )
+        disk = sum(1 for e in events if e["event"] in ("disk_read", "disk_write"))
+        assert spans + unattributed == disk
+
+    def test_run_without_flags_untouched(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "capacity"]) == 0
+        assert not TRACER.enabled
+
+
+def test_counter_repr_smoke():
+    c = Counter("x", ())
+    c.inc(2)
+    assert c.value == 2

@@ -1,0 +1,182 @@
+"""Property tests tying observability numbers to raw ``DiskStats``.
+
+Three invariants from the issue, for mixed insert/search/delete/range
+workloads across every file kind (TH, THCL, MLTH, B+-tree):
+
+1. ``access_cost`` deltas are non-negative — counters never run
+   backwards around an operation;
+2. deltas are additive across devices — the combined figure equals the
+   sum of per-device ``DiskStats`` deltas taken independently;
+3. span-attributed access counts reconcile exactly: the sum over root
+   spans plus the tracer's unattributed remainder equals the raw
+   ``DiskStats`` delta over every device the file touches.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import BPlusTree, MLTHFile, SplitPolicy, THFile
+from repro.analysis.metrics import _disks_of, access_cost
+from repro.obs import TRACER, trace
+
+# ----------------------------------------------------------------------
+# Workload strategies
+# ----------------------------------------------------------------------
+keys_strategy = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6),
+    min_size=1,
+    max_size=40,
+    unique=True,
+)
+
+FILE_KINDS = {
+    "th": lambda: THFile(bucket_capacity=4),
+    "thcl": lambda: THFile(
+        bucket_capacity=4, policy=SplitPolicy.thcl_guaranteed_half()
+    ),
+    "mlth": lambda: MLTHFile(bucket_capacity=4, page_capacity=8),
+    "btree": lambda: BPlusTree(leaf_capacity=4),
+}
+
+
+class Collect:
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+
+@pytest.fixture(autouse=True)
+def _tracer_is_clean():
+    assert not TRACER.enabled
+    yield
+    assert not TRACER.enabled
+
+
+def run_mixed_workload(file, keys):
+    """Insert all, search all (plus misses), range, delete half."""
+    for k in keys:
+        file.insert(k)
+    for k in keys:
+        file.get(k)
+        file.contains(k + "q")  # unsuccessful probe
+    list(file.range_items(min(keys), max(keys)))
+    for k in keys[::2]:
+        file.delete(k)
+
+
+# ----------------------------------------------------------------------
+# 1. access_cost deltas are non-negative
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(FILE_KINDS))
+@given(keys=keys_strategy)
+@settings(max_examples=25, deadline=None)
+def test_access_cost_deltas_non_negative(kind, keys):
+    file = FILE_KINDS[kind]()
+    costs = []
+    for k in keys:
+        costs.append(access_cost(file, lambda k=k: file.insert(k)))
+    for k in keys:
+        costs.append(access_cost(file, lambda k=k: file.get(k)))
+    for k in keys[::2]:
+        costs.append(access_cost(file, lambda k=k: file.delete(k)))
+    for cost in costs:
+        assert cost["reads"] >= 0
+        assert cost["writes"] >= 0
+        assert cost["accesses"] == cost["reads"] + cost["writes"]
+
+
+# ----------------------------------------------------------------------
+# 2. deltas are additive across devices
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(FILE_KINDS))
+@given(keys=keys_strategy)
+@settings(max_examples=25, deadline=None)
+def test_access_cost_additive_across_devices(kind, keys):
+    file = FILE_KINDS[kind]()
+    disks = _disks_of(file)
+    assert disks  # every kind exposes at least one device
+
+    def one_op(thunk):
+        before = [d.stats.snapshot() for d in disks]
+        combined = access_cost(file, thunk)
+        per_device = [d.stats.delta(s) for d, s in zip(disks, before)]
+        assert combined["reads"] == sum(d.reads for d in per_device)
+        assert combined["writes"] == sum(d.writes for d in per_device)
+
+    for k in keys:
+        one_op(lambda k=k: file.insert(k))
+    for k in keys:
+        one_op(lambda k=k: file.get(k))
+    one_op(lambda: list(file.range_items(min(keys), max(keys))))
+    for k in keys[::2]:
+        one_op(lambda k=k: file.delete(k))
+
+
+# ----------------------------------------------------------------------
+# 3. span attribution reconciles exactly with DiskStats
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(FILE_KINDS))
+@given(keys=keys_strategy)
+@settings(max_examples=25, deadline=None)
+def test_span_attribution_reconciles_with_disk_stats(kind, keys):
+    col = Collect()
+    with trace(sinks=[col]) as tr:
+        file = FILE_KINDS[kind]()
+        # Construction itself may touch the disk (e.g. the B+-tree
+        # reads back its root); those accesses are legitimately
+        # unattributed — no operation span is open yet.
+        ctor = [(d.stats.reads, d.stats.writes) for d in _disks_of(file)]
+        run_mixed_workload(file, keys)
+        unattributed = (tr.unattributed_reads, tr.unattributed_writes)
+
+    root_ends = [
+        e
+        for e in col.events
+        if e.name == "span_end" and e.fields["parent"] is None
+    ]
+    span_reads = sum(e.fields["reads"] for e in root_ends)
+    span_writes = sum(e.fields["writes"] for e in root_ends)
+
+    disks = _disks_of(file)
+    raw_reads = sum(d.stats.reads for d in disks)
+    raw_writes = sum(d.stats.writes for d in disks)
+
+    assert span_reads + unattributed[0] == raw_reads
+    assert span_writes + unattributed[1] == raw_writes
+    # Every operation we issued went through a span: only construction
+    # is unattributed, exactly.
+    assert unattributed == (
+        sum(r for r, _ in ctor),
+        sum(w for _, w in ctor),
+    )
+
+    # Event-level cross-check: one disk_read/disk_write event per
+    # accounted access.
+    n_reads = sum(1 for e in col.events if e.name == "disk_read")
+    n_writes = sum(1 for e in col.events if e.name == "disk_write")
+    assert (n_reads, n_writes) == (raw_reads, raw_writes)
+
+
+# ----------------------------------------------------------------------
+# Tracing must not change what the file does or what DiskStats count
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", sorted(FILE_KINDS))
+@given(keys=keys_strategy)
+@settings(max_examples=10, deadline=None)
+def test_tracing_does_not_change_access_counts(kind, keys):
+    plain = FILE_KINDS[kind]()
+    run_mixed_workload(plain, keys)
+
+    with trace():
+        traced = FILE_KINDS[kind]()
+        run_mixed_workload(traced, keys)
+
+    plain_totals = [(d.stats.reads, d.stats.writes) for d in _disks_of(plain)]
+    traced_totals = [(d.stats.reads, d.stats.writes) for d in _disks_of(traced)]
+    assert plain_totals == traced_totals
+    assert sorted(plain.items()) == sorted(traced.items())

@@ -4,7 +4,6 @@ import pytest
 
 from repro import MLTHFile, SplitPolicy, THFile, Trie, LOWERCASE
 from repro.core.thcl_split import collapse_equal_leaf_nodes, insert_boundary
-from repro.workloads import MOST_USED_WORDS
 
 
 class TestFig1ExampleFile:

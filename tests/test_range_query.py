@@ -3,7 +3,7 @@
 import pytest
 
 from repro import SplitPolicy, THFile
-from repro.core.range_query import count_range, scan
+from repro.core.range_query import count_range
 
 
 def build(keys, policy=None, b=6):

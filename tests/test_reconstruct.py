@@ -1,7 +1,5 @@
 """Trie reconstruction from bucket headers (/TOR83/)."""
 
-import pytest
-
 from repro import SplitPolicy, THFile
 from repro.core.reconstruct import reconstruct_model, reconstruct_trie
 

@@ -1,7 +1,5 @@
 """Redistribution tests (Section 4.4 and Fig 9)."""
 
-import pytest
-
 from repro import SplitPolicy, THFile
 
 

@@ -1,7 +1,5 @@
 """Unit tests for Algorithm A1 — the digit-at-a-time key search."""
 
-import pytest
-
 from repro import LOWERCASE, THFile, Trie
 from repro.core.cells import edge_to
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import LOWERCASE, SplitPolicy, THFile, Trie, TrieCorruptionError
-from repro.core.cells import edge_to
 from repro.core.thcl_split import collapse_equal_leaf_nodes, insert_boundary
 
 A = LOWERCASE
@@ -37,7 +36,7 @@ class TestInsertBoundary:
         insert_boundary(trie, "f", "f", 0, 2, 0)     # 0 | f | 2 | m | 1
         assert leaves(trie) == [0, 2, 1]
         # Now cut at 'c': everything of bucket 0 above 'c' goes to 3.
-        outcome = insert_boundary(trie, "a", "c", 0, 3, 0)
+        insert_boundary(trie, "a", "c", 0, 3, 0)
         assert leaves(trie) == [0, 3, 2, 1]
         trie.check(expect_no_nil=True)
 
@@ -63,9 +62,7 @@ class TestInsertBoundary:
         insert_boundary(trie, "caa", "caa", 0, 9, 0)   # refine below cab
         # bucket 1 owns (caa..cab], (cab..ca], (ca..c], (c..inf) minus...
         # Anchor 'cad' maps under 'ca'; cut at existing boundary 'c'.
-        before = leaves(trie)
         insert_boundary(trie, "cad", "c", 1, 5, 1)
-        after = leaves(trie)
         # Gaps of bucket 1 at or below 'c' stayed 1; those above went 5.
         model = trie.to_model()
         for j, child in enumerate(model.children):
@@ -83,7 +80,7 @@ class TestInsertBoundary:
         trie = Trie(A, root_ptr=0)
         insert_boundary(trie, "f", "f", 0, 1, 0)          # 0 | f | 1
         # Move the low part of bucket 1 (keys in (f, k]) to bucket 0.
-        outcome = insert_boundary(trie, "ka", "k", 0, 1, 1)
+        insert_boundary(trie, "ka", "k", 0, 1, 1)
         assert trie.boundaries() == ["f", "k"]
         assert leaves(trie) == [0, 0, 1]
         trie.check(expect_no_nil=True)
@@ -124,7 +121,7 @@ class TestCollapse:
         insert_boundary(trie, "ca", "cab", 0, 1, 0)
         # Make every leaf bucket 1 except the far left:
         insert_boundary(trie, "caa", "ca ", 0, 1, 0)
-        freed = collapse_equal_leaf_nodes(trie)
+        collapse_equal_leaf_nodes(trie)
         trie.check(expect_no_nil=True)
         # All equal-leaf nodes are gone:
         for _, cell in trie.cells.live_items():

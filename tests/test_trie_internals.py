@@ -6,8 +6,6 @@ cell recycling under churn — the paths where recursion limits or stale
 state would hide.
 """
 
-import pytest
-
 from repro import LOWERCASE, SplitPolicy, THFile, Trie
 from repro.core.boundaries import BoundaryModel
 from repro.core.cells import NIL, edge_to

@@ -1,7 +1,5 @@
 """The one-command validation harness."""
 
-import pytest
-
 from repro.analysis.validation import CLAIMS, validate_all
 
 

@@ -1,7 +1,5 @@
 """Workload generator tests."""
 
-import pytest
-
 from repro import LOWERCASE
 from repro.workloads import MOST_USED_WORDS, KeyGenerator, synthetic_dictionary
 
