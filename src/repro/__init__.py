@@ -49,8 +49,11 @@ from .core import (
 )
 from .core.bulk import bulk_load_th
 from .core.cursor import Cursor
+from .core.errors import CrashError, RecoveryError
 from .core.mlth import MLTHFile
 from .core.overflow import OverflowTHFile
+from .storage.recovery import DurableFile
+from .storage.wal import StableStore
 
 __version__ = "1.0.0"
 
@@ -61,12 +64,16 @@ __all__ = [
     "LOWERCASE",
     "PRINTABLE",
     "CapacityError",
+    "CrashError",
     "DuplicateKeyError",
     "InvalidKeyError",
     "KeyNotFoundError",
+    "RecoveryError",
     "StorageError",
     "TrieCorruptionError",
     "TrieHashingError",
+    "DurableFile",
+    "StableStore",
     "FileStats",
     "THFile",
     "MLTHFile",

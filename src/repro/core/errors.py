@@ -41,3 +41,23 @@ class TrieCorruptionError(TrieHashingError, AssertionError):
 
 class StorageError(TrieHashingError, RuntimeError):
     """The simulated storage layer was asked for an unknown block."""
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent file.
+
+    Raised when the durable state (manifest, checkpoint chain, WAL) is
+    missing or damaged beyond what the recovery protocol can repair —
+    e.g. a checkpoint bucket section failing its checksum with no intact
+    copy elsewhere, or operations attempted on a session poisoned by a
+    mid-operation device failure.
+    """
+
+
+class CrashError(TrieHashingError):
+    """A simulated process crash (raised by the crash-point test harness).
+
+    Deliberately *not* a :class:`StorageError`: production code paths
+    that retry or absorb storage faults must never swallow a simulated
+    crash — the harness relies on it propagating to the top.
+    """

@@ -105,6 +105,9 @@ class THFile:
         self.trie = Trie(alphabet, root_ptr=self.store.allocate())
         self.stats = FileStats()
         self._size = 0
+        #: Optional :class:`~repro.storage.wal.WALWriter` recording every
+        #: structure modification (attached by a durable session).
+        self.journal = None
         # Validate the policy's positions against this capacity up front.
         self.policy.split_index(bucket_capacity)
         self.policy.bounding_index(bucket_capacity)
@@ -237,6 +240,7 @@ class THFile:
                 self.capacity,
                 self.policy,
                 self.alphabet,
+                journal=self.journal,
             )
             if outcome is not None:
                 self.stats.redistributions += 1
@@ -272,6 +276,7 @@ class THFile:
                 plan.boundary,
                 result.bucket,
                 new_address,
+                journal=self.journal,
             )
             repointed = 0
         else:
@@ -282,16 +287,22 @@ class THFile:
                 result.bucket,
                 new_address,
                 result.bucket,
+                journal=self.journal,
             )
             added, repointed = insertion
         new_bucket = self.store.peek(new_address)
         # The new bucket's right cut: the old leaf's path in the usual
         # case; after a rare-case chain the new bucket sits immediately
-        # above the split string, cut by the chain's next boundary.
+        # above the split string, cut by the chain's next boundary. Under
+        # THCL the old bucket may span several shared leaves, so its
+        # recorded header (the cut of the whole region), not the path of
+        # the one leaf the key hit, is what the upper half inherits.
         if self.policy.nil_nodes and added > 1:
             new_bucket.header_path = plan.boundary[:-1]
-        else:
+        elif self.policy.nil_nodes:
             new_bucket.header_path = result.path
+        else:
+            new_bucket.header_path = bucket.header_path
         new_bucket.extend(plan.move)
         bucket.keys[:] = [k for k, _ in plan.stay]
         bucket.values[:] = [v for _, v in plan.stay]
@@ -365,7 +376,7 @@ class THFile:
         self._size -= 1
         if self.policy.merge == "siblings":
             action = basic_delete_maintenance(
-                self.trie, self.store, result, self.capacity
+                self.trie, self.store, result, self.capacity, journal=self.journal
             )
             if action == "merge":
                 self.stats.merges += 1
@@ -392,7 +403,12 @@ class THFile:
             if len(self.store.peek(result.bucket)) >= self.capacity // 2:
                 return
             action = guaranteed_delete_maintenance(
-                self.trie, self.store, result, self.capacity, self.alphabet
+                self.trie,
+                self.store,
+                result,
+                self.capacity,
+                self.alphabet,
+                journal=self.journal,
             )
             if action == "merge":
                 self.stats.merges += 1

@@ -41,7 +41,9 @@ def _parent_location(trail: Tuple[Tuple[int, str], ...]) -> Location:
     return ROOT_LOCATION
 
 
-def basic_delete_maintenance(trie, store, result: SearchResult, capacity: int):
+def basic_delete_maintenance(
+    trie, store, result: SearchResult, capacity: int, journal=None
+):
     """Post-delete maintenance of the basic method.
 
     ``result`` is the search that located the deleted key. Merges the
@@ -95,10 +97,15 @@ def basic_delete_maintenance(trie, store, result: SearchResult, capacity: int):
             bucket,
         )
     survivor.extend(list(victim.items()))
+    # The union's right cut is the right-hand (victim) bucket's cut, so
+    # the /TOR83/ reconstruction headers stay truthful across merges.
+    survivor.header_path = victim.header_path
     trie.set_ptr(_parent_location(result.trail), survivor_addr)
     trie.cells.free(cell_index)
     store.write(survivor_addr, survivor)
     store.free(victim_addr)
+    if journal is not None:
+        journal.log_merge("siblings", survivor_addr, victim_addr)
     return "merge"
 
 
@@ -117,7 +124,7 @@ def rotation_delete_maintenance(file, result: SearchResult):
     Returns an action string or ``None``.
     """
     action = basic_delete_maintenance(
-        file.trie, file.store, result, file.capacity
+        file.trie, file.store, result, file.capacity, journal=file.journal
     )
     if action is not None:
         return action
@@ -144,10 +151,12 @@ def rotation_delete_maintenance(file, result: SearchResult):
         if survivor_first:
             survivor, victim = address, other
             bucket.extend(list(other_bucket.items()))
+            bucket.header_path = other_bucket.header_path
             file.store.write(address, bucket)
         else:
             survivor, victim = other, address
             other_bucket.extend(list(bucket.items()))
+            other_bucket.header_path = bucket.header_path
             file.store.write(other, other_bucket)
         # Point the merged gap at the survivor, then rebuild.
         for j, child in enumerate(model.children):
@@ -155,6 +164,8 @@ def rotation_delete_maintenance(file, result: SearchResult):
                 model.set_child(j, survivor)
         file.store.free(victim)
         file.trie = Trie.from_model(model)
+        if file.journal is not None:
+            file.journal.log_merge("rotation", survivor, victim)
         return True
 
     # Try the successor first: the boundary between is our leaf's path.
@@ -216,7 +227,7 @@ def _repoint_run(trie: Trie, trail, old: int, new: int, start_loc: Location):
 
 
 def guaranteed_delete_maintenance(
-    trie: Trie, store, result: SearchResult, capacity: int, alphabet
+    trie: Trie, store, result: SearchResult, capacity: int, alphabet, journal=None
 ):
     """THCL post-delete maintenance guaranteeing >= ``b // 2`` records.
 
@@ -239,6 +250,7 @@ def guaranteed_delete_maintenance(
         s_bucket = store.read(successor)
         if len(bucket) + len(s_bucket) <= capacity:
             bucket.extend(list(s_bucket.items()))
+            bucket.header_path = s_bucket.header_path
             for location, ptr in trie.successor_leaves(list(result.trail)):
                 if is_leaf(ptr) and ptr in (address, successor):
                     if ptr == successor:
@@ -247,6 +259,8 @@ def guaranteed_delete_maintenance(
                     break
             store.write(address, bucket)
             store.free(successor)
+            if journal is not None:
+                journal.log_merge("successor", address, successor)
             return "merge"
 
     # --- Merge with the predecessor: survivor is the (left) predecessor.
@@ -254,9 +268,12 @@ def guaranteed_delete_maintenance(
         p_bucket = store.read(predecessor)
         if len(bucket) + len(p_bucket) <= capacity:
             p_bucket.extend(list(bucket.items()))
+            p_bucket.header_path = bucket.header_path
             _repoint_run(trie, result.trail, address, predecessor, result.location)
             store.write(predecessor, p_bucket)
             store.free(address)
+            if journal is not None:
+                journal.log_merge("predecessor", predecessor, address)
             return "merge"
 
     # --- Borrow from the successor: move its lowest keys down.
@@ -268,13 +285,18 @@ def guaranteed_delete_maintenance(
             anchor = combined[keep - 1][0]
             bound = combined[keep][0]
             cut = split_string(anchor, bound, alphabet)
-            insert_boundary(trie, anchor, cut, address, successor, successor)
+            insert_boundary(
+                trie, anchor, cut, address, successor, successor, journal=journal
+            )
             moved = combined[len(bucket) : keep]
             for key, _ in moved:
                 s_bucket.remove(key)
             bucket.extend(moved)
+            bucket.header_path = cut  # the re-cut boundary is our right cut
             store.write(address, bucket)
             store.write(successor, s_bucket)
+            if journal is not None:
+                journal.log_borrow(cut, address, successor, len(moved))
             return "borrow"
 
     # --- Borrow from the predecessor: move its highest keys up.
@@ -286,13 +308,18 @@ def guaranteed_delete_maintenance(
             anchor = combined[keep_left - 1][0]
             bound = combined[keep_left][0]
             cut = split_string(anchor, bound, alphabet)
-            insert_boundary(trie, anchor, cut, predecessor, address, predecessor)
+            insert_boundary(
+                trie, anchor, cut, predecessor, address, predecessor, journal=journal
+            )
             moved = combined[keep_left : len(p_bucket)]
             for key, _ in moved:
                 p_bucket.remove(key)
             bucket.extend(moved)
+            p_bucket.header_path = cut  # predecessor's new right cut
             store.write(address, bucket)
             store.write(predecessor, p_bucket)
+            if journal is not None:
+                journal.log_borrow(cut, predecessor, address, len(moved))
             return "borrow"
 
     return None

@@ -100,6 +100,9 @@ class MLTHFile:
             self.page_pool.pin(self.root_id)
         self.stats = FileStats()
         self._size = 0
+        #: Optional :class:`~repro.storage.wal.WALWriter` recording every
+        #: structure modification (attached by a durable session).
+        self.journal = None
         self.policy.split_index(bucket_capacity)
         self.policy.bounding_index(bucket_capacity)
 
@@ -238,7 +241,7 @@ class MLTHFile:
             children: List[Optional[int]] = (
                 [address, new_address] + [None] * (new_digits - 1)
             )
-            page.splice(gap, chain, children)
+            page.splice(gap, chain, children, journal=self.journal)
             self.page_pool.write(page_id, page)
             self.stats.nodes_added += new_digits
             self._split_page_if_needed(steps, len(steps) - 1)
@@ -290,7 +293,7 @@ class MLTHFile:
         new_digits = len(boundary) - shared
         if new_digits >= 1:
             chain = [boundary[:l] for l in range(len(boundary), shared, -1)]
-            page.splice(gap, chain, [left] + [right] * new_digits)
+            page.splice(gap, chain, [left] + [right] * new_digits, journal=self.journal)
             self.page_pool.write(page_id, page)
             if right != old:
                 self._repoint_forward(steps, gap + new_digits, old, right)
@@ -399,6 +402,8 @@ class MLTHFile:
         page.invalidate()
         self.page_pool.write(page_id, page)
         self.page_pool.write(right_id, right)
+        if self.journal is not None:
+            self.journal.log_page_split(page_id, right_id, page.level, separator)
         if TRACER.enabled:
             TRACER.emit(
                 "page_split",
@@ -450,7 +455,9 @@ class MLTHFile:
                     else:
                         parent_id, parent = ancestry[level - 1]
                         gap = self._gap_for(parent, separator)
-                        parent.splice(gap, [separator], [page_id, right_id])
+                        parent.splice(
+                            gap, [separator], [page_id, right_id], journal=self.journal
+                        )
                         self.page_pool.write(parent_id, parent)
                     if right.cell_count > self.page_capacity:
                         worklist.append((right_id, right))
@@ -543,10 +550,13 @@ class MLTHFile:
                 s_bucket = self.store.read(successor)
                 if len(bucket) + len(s_bucket) <= self.capacity:
                     bucket.extend(list(s_bucket.items()))
+                    bucket.header_path = s_bucket.header_path
                     self.store.write(address, bucket)
                     self._merge_repoint(steps, successor, address)
                     self.store.free(successor)
                     self.stats.merges += 1
+                    if self.journal is not None:
+                        self.journal.log_merge("successor", address, successor)
                     if TRACER.enabled:
                         TRACER.emit("merge", kind="successor", bucket=address)
                     continue
@@ -554,6 +564,7 @@ class MLTHFile:
                 p_bucket = self.store.read(predecessor)
                 if len(bucket) + len(p_bucket) <= self.capacity:
                     p_bucket.extend(list(bucket.items()))
+                    p_bucket.header_path = bucket.header_path
                     self.store.write(predecessor, p_bucket)
                     page.children[gap] = predecessor
                     page.invalidate()
@@ -562,6 +573,8 @@ class MLTHFile:
                     self._repoint_backward(steps, gap, address, predecessor)
                     self.store.free(address)
                     self.stats.merges += 1
+                    if self.journal is not None:
+                        self.journal.log_merge("predecessor", predecessor, address)
                     if TRACER.enabled:
                         TRACER.emit("merge", kind="predecessor", bucket=address)
                     continue
@@ -578,9 +591,12 @@ class MLTHFile:
                 for k, _ in moved:
                     s_bucket.remove(k)
                 bucket.extend(moved)
+                bucket.header_path = cut  # the re-cut boundary, our right cut
                 self.store.write(address, bucket)
                 self.store.write(successor, s_bucket)
                 self.stats.borrows += 1
+                if self.journal is not None:
+                    self.journal.log_borrow(cut, address, successor, len(moved))
                 if TRACER.enabled:
                     TRACER.emit("rebalance", kind="borrow", bucket=address)
                 continue
@@ -597,9 +613,12 @@ class MLTHFile:
                 for k, _ in moved:
                     p_bucket.remove(k)
                 bucket.extend(moved)
+                p_bucket.header_path = cut  # predecessor's new right cut
                 self.store.write(address, bucket)
                 self.store.write(predecessor, p_bucket)
                 self.stats.borrows += 1
+                if self.journal is not None:
+                    self.journal.log_borrow(cut, predecessor, address, len(moved))
                 if TRACER.enabled:
                     TRACER.emit("rebalance", kind="borrow", bucket=address)
                 continue

@@ -85,17 +85,46 @@ class TriePage:
         return gap_index(self.boundaries, key, alphabet)
 
     def splice(
-        self, gap: int, new_boundaries: List[str], new_children: List[Optional[int]]
+        self,
+        gap: int,
+        new_boundaries: List[str],
+        new_children: List[Optional[int]],
+        journal=None,
     ) -> None:
         """Replace gap ``gap`` by a run of boundaries and children.
 
         ``new_children`` must have exactly ``len(new_boundaries) + 1``
-        entries; the old child of the gap is discarded.
+        entries; the old child of the gap is discarded. When a
+        ``journal`` (a :class:`~repro.storage.wal.WALWriter`) is given,
+        the edit is recorded as a ``page_edit`` WAL record.
         """
         assert len(new_children) == len(new_boundaries) + 1
         self.boundaries[gap:gap] = new_boundaries
         self.children[gap : gap + 1] = new_children
         self.invalidate()
+        if journal is not None:
+            journal.log_page_edit(gap, list(new_boundaries))
+
+    def to_spec(self) -> dict:
+        """A JSON-encodable description (for snapshots and checkpoints)."""
+        return {
+            "level": self.level,
+            "boundaries": list(self.boundaries),
+            "children": list(self.children),
+            "next": self.next_page,
+            "prev": self.prev_page,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "TriePage":
+        """Inverse of :meth:`to_spec`."""
+        return cls(
+            level=spec["level"],
+            boundaries=list(spec["boundaries"]),
+            children=list(spec["children"]),
+            next_page=spec["next"],
+            prev_page=spec["prev"],
+        )
 
     def split_candidates(self) -> List[int]:
         """Boundary indices eligible as the split node (condition (ii)).

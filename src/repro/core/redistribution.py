@@ -64,6 +64,7 @@ def try_redistribute(
     capacity: int,
     policy: SplitPolicy,
     alphabet: Alphabet,
+    journal=None,
 ) -> Optional[RedistributionOutcome]:
     """Attempt redistribution for an overflowing bucket.
 
@@ -106,13 +107,25 @@ def try_redistribute(
         boundary = split_string(anchor, bound, alphabet)
         if direction == "successor":
             insertion = insert_boundary(
-                trie, anchor, boundary, overflowing, neighbour, overflowing
+                trie,
+                anchor,
+                boundary,
+                overflowing,
+                neighbour,
+                overflowing,
+                journal=journal,
             )
             moving = records[cut_at:]
             staying = records[:cut_at]
         else:
             insertion = insert_boundary(
-                trie, anchor, boundary, neighbour, overflowing, overflowing
+                trie,
+                anchor,
+                boundary,
+                neighbour,
+                overflowing,
+                overflowing,
+                journal=journal,
             )
             moving = records[:cut_at]
             staying = records[cut_at:]
@@ -120,8 +133,16 @@ def try_redistribute(
         bucket = store.peek(overflowing)
         bucket.keys[:] = [k for k, _ in staying]
         bucket.values[:] = [v for _, v in staying]
+        # Keep the /TOR83/ right-cut headers truthful: the re-cut
+        # boundary is the right cut of whichever bucket sits below it.
+        if direction == "successor":
+            bucket.header_path = boundary
+        else:
+            n_bucket.header_path = boundary
         store.write(overflowing, bucket)
         store.write(neighbour, n_bucket)
+        if journal is not None:
+            journal.log_redistribute(direction, boundary, len(moving))
         return RedistributionOutcome(
             direction, len(moving), insertion.nodes_added, insertion.leaves_repointed
         )

@@ -88,6 +88,7 @@ def expand_basic(
     boundary: str,
     bucket_a: int,
     bucket_n: int,
+    journal=None,
 ) -> int:
     """Step 3 of Algorithm A2 — expand the trie after a basic-TH split.
 
@@ -115,4 +116,6 @@ def expand_basic(
         bottom_right=bucket_n,
     )
     trie.set_ptr(leaf_location, chain)
+    if journal is not None:
+        journal.log_trie_expand(boundary, bucket_a, bucket_n, len(new_digits))
     return len(new_digits)

@@ -50,6 +50,7 @@ def insert_boundary(
     left_bucket: int,
     right_bucket: int,
     old_bucket: int,
+    journal=None,
 ) -> BoundaryInsertion:
     """Install boundary ``s`` so the old bucket's region is re-cut.
 
@@ -122,6 +123,10 @@ def insert_boundary(
                 repointed += 1
             else:
                 break
+    if journal is not None:
+        journal.log_boundary_insert(
+            boundary, left_bucket, right_bucket, len(new_digits), repointed
+        )
     return BoundaryInsertion(len(new_digits), repointed)
 
 

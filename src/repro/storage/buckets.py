@@ -126,6 +126,9 @@ class BucketStore:
         self.pool = BufferPool(self.disk, buffer_capacity)
         self._blocks: List[Optional[int]] = []  # bucket address -> block id
         self._free: List[int] = []
+        #: Optional :class:`~repro.storage.wal.WALWriter`; when attached
+        #: (by a durable session) every allocate/write/free is journalled.
+        self.journal = None
 
     @property
     def stats(self):
@@ -149,6 +152,8 @@ class BucketStore:
         else:
             self._blocks.append(self.pool.allocate(bucket))
             address = len(self._blocks) - 1
+        if self.journal is not None:
+            self.journal.log_bucket_create(address)
         return address
 
     def read(self, address: int) -> Bucket:
@@ -158,12 +163,16 @@ class BucketStore:
     def write(self, address: int, bucket: Bucket) -> None:
         """Write bucket ``address`` back (metered)."""
         self.pool.write(self._block(address), bucket)
+        if self.journal is not None:
+            self.journal.log_bucket_write(address, len(bucket))
 
     def free(self, address: int) -> None:
         """Release bucket ``address`` for reuse."""
         self.pool.free(self._block(address))
         self._blocks[address] = None
         self._free.append(address)
+        if self.journal is not None:
+            self.journal.log_bucket_free(address)
 
     def live_addresses(self) -> List[int]:
         """All currently allocated bucket addresses, ascending."""

@@ -1,0 +1,173 @@
+"""Crash-point injection for the durability stack.
+
+Two complementary harnesses over :class:`~repro.storage.wal.StableStore`:
+
+* :class:`CrashingStore` — the *process model*: the Nth physical write
+  raises :class:`~repro.core.errors.CrashError` instead of completing,
+  after discarding every un-fsynced byte (optionally keeping a torn
+  prefix of the payload being appended, the partially-written last
+  block). The session that was running is dead — the
+  :class:`~repro.storage.recovery.DurableFile` poisons itself — and the
+  surviving store holds exactly what a real crash would leave, ready to
+  be recovered in place.
+
+* :class:`RecordingStableStore` — the *sweep engine*: it lets one
+  workload run to completion while capturing, before every physical
+  write, the durable image a crash at that instant would leave (plus
+  torn-append variants: half the record, and the whole record without
+  its fsync). Sweeping "crash at every Nth write" then costs one
+  workload run plus one recovery per captured point, instead of
+  re-running the workload once per point. Images are deduplicated by
+  content fingerprint.
+
+The crash points cover the interesting boundaries by construction: every
+``append`` (record partially or fully in the page cache), every
+``fsync`` (the ack barrier itself), and every ``rename``/``unlink`` of
+the checkpoint protocol.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+from ..core.errors import CrashError
+from .wal import StableStore
+
+__all__ = ["CrashPoint", "CrashingStore", "RecordingStableStore"]
+
+
+class CrashPoint:
+    """One captured crash opportunity: where, and what would survive."""
+
+    __slots__ = ("index", "kind", "name", "variant", "image")
+
+    def __init__(
+        self, index: int, kind: str, name: str, variant: str, image: Dict[str, bytes]
+    ):
+        #: Ordinal of the physical write that never completed.
+        self.index = index
+        #: The interrupted operation: ``append``/``fsync``/``rename``/``unlink``.
+        self.kind = kind
+        #: Stable-object name the interrupted operation targeted.
+        self.name = name
+        #: ``clean`` (nothing of the tail survives), ``torn-half`` (half
+        #: the appended payload survives) or ``torn-full`` (the whole
+        #: payload survives, but its fsync never happened).
+        self.variant = variant
+        #: The durable image; feed to :meth:`StableStore.from_snapshot`.
+        self.image = image
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrashPoint(#{self.index} {self.kind} {self.name!r} {self.variant})"
+        )
+
+
+class CrashingStore(StableStore):
+    """A stable store whose Nth physical write kills the process model.
+
+    Parameters
+    ----------
+    crash_at:
+        0-based ordinal (in :attr:`StableStats.write_ops`) of the
+        physical write that crashes instead of completing. ``None``
+        never crashes.
+    torn_bytes:
+        When the fatal write is an ``append``, keep this many bytes of
+        its payload (on top of the full earlier unflushed tail) — the
+        torn last block. 0 models a clean cache loss.
+
+    The crash fires once; afterwards the store behaves normally, so
+    recovery can run directly on the surviving object.
+    """
+
+    def __init__(self, crash_at: Optional[int] = None, torn_bytes: int = 0):
+        super().__init__()
+        self.crash_at = crash_at
+        self.torn_bytes = torn_bytes
+        self.crashes = 0
+
+    def _physical(self, kind: str, name: str, payload: bytes = b"") -> None:
+        if self.crash_at is None or self.stats.write_ops != self.crash_at:
+            return
+        self.crash_at = None
+        self.crashes += 1
+        torn = None
+        if kind == "append" and self.torn_bytes > 0 and payload:
+            obj = self._objects.get(name)
+            tail = len(obj.data) - obj.durable if obj is not None else 0
+            kept = min(len(payload), self.torn_bytes)
+            # Let the torn prefix into the page cache so lose_volatile
+            # can preserve it along with the earlier unflushed tail.
+            if obj is None:
+                from .wal import _StableObject
+
+                obj = self._objects[name] = _StableObject(b"", durable=0)
+            obj.data += payload[:kept]
+            torn = (name, tail + kept)
+        self.lose_volatile(torn=torn)
+        raise CrashError(
+            f"simulated crash at physical write #{self.stats.write_ops} "
+            f"({kind} {name!r})"
+        )
+
+
+class RecordingStableStore(StableStore):
+    """A stable store that captures every crash point of one run.
+
+    Before each physical write it records the durable image a crash at
+    that instant would leave; for appends it additionally records the
+    torn variants. Distinct images only — duplicates (appends between
+    fsyncs do not change the durable image) are dropped by fingerprint.
+    """
+
+    def __init__(self, torn_appends: bool = True):
+        super().__init__()
+        self.torn_appends = torn_appends
+        self.crash_points: List[CrashPoint] = []
+        self._seen: set = set()
+
+    def _physical(self, kind: str, name: str, payload: bytes = b"") -> None:
+        index = self.stats.write_ops
+        self._capture(index, kind, name, "clean", None)
+        if kind == "append" and self.torn_appends and payload:
+            obj = self._objects.get(name)
+            tail = len(obj.data) - obj.durable if obj is not None else 0
+            if len(payload) > 1:
+                self._capture(
+                    index, kind, name, "torn-half",
+                    (name, tail + len(payload) // 2, payload),
+                )
+            self._capture(
+                index, kind, name, "torn-full", (name, tail + len(payload), payload)
+            )
+
+    def _capture(
+        self,
+        index: int,
+        kind: str,
+        name: str,
+        variant: str,
+        torn: Optional[Tuple[str, int, bytes]],
+    ) -> None:
+        image: Dict[str, bytes] = {}
+        for oname, obj in self._objects.items():
+            data = bytes(obj.data)
+            keep = obj.durable
+            if torn is not None and oname == torn[0]:
+                data += torn[2]  # the payload of the interrupted append
+                keep = obj.durable + torn[1]
+            image[oname] = data[:keep]
+        if torn is not None and torn[0] not in self._objects:
+            image[torn[0]] = torn[2][: torn[1]]
+        fingerprint = tuple(
+            sorted(
+                (oname, len(data), zlib.crc32(data) & 0xFFFFFFFF)
+                for oname, data in image.items()
+            )
+        )
+        if fingerprint in self._seen:
+            return
+        self._seen.add(fingerprint)
+        self.crash_points.append(CrashPoint(index, kind, name, variant, image))

@@ -30,14 +30,20 @@ class DiskStats:
         access" notion).
     simulated_seconds:
         Total simulated I/O time when a latency model is attached.
+    faults:
+        Accesses rejected by an injected fault (see
+        :class:`~repro.storage.faults.FaultyDisk`); a faulted access is
+        counted here and *not* in ``reads``/``writes``, since it never
+        touched the payload.
     """
 
-    __slots__ = ("reads", "writes", "simulated_seconds")
+    __slots__ = ("reads", "writes", "simulated_seconds", "faults")
 
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
         self.simulated_seconds = 0.0
+        self.faults = 0
 
     @property
     def accesses(self) -> int:
@@ -50,6 +56,7 @@ class DiskStats:
         copy.reads = self.reads
         copy.writes = self.writes
         copy.simulated_seconds = self.simulated_seconds
+        copy.faults = self.faults
         return copy
 
     def delta(self, earlier: "DiskStats") -> "DiskStats":
@@ -58,6 +65,7 @@ class DiskStats:
         diff.reads = self.reads - earlier.reads
         diff.writes = self.writes - earlier.writes
         diff.simulated_seconds = self.simulated_seconds - earlier.simulated_seconds
+        diff.faults = self.faults - earlier.faults
         return diff
 
     def reset(self) -> None:
@@ -65,11 +73,12 @@ class DiskStats:
         self.reads = 0
         self.writes = 0
         self.simulated_seconds = 0.0
+        self.faults = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DiskStats(reads={self.reads}, writes={self.writes}, "
-            f"t={self.simulated_seconds:.6f}s)"
+            f"faults={self.faults}, t={self.simulated_seconds:.6f}s)"
         )
 
 

@@ -3,10 +3,18 @@
 Crash-recovery testing needs a disk that fails on cue.
 :class:`FaultyDisk` wraps the access path of :class:`SimulatedDisk` with
 a deterministic failure schedule: fail the Nth access, fail every access
-to a chosen block, or fail for a window of accesses. Failures raise
-:class:`~repro.core.errors.StorageError` *before* touching the payload,
-so the block's previous content stays intact — the model of a write
-rejected by the device.
+to a chosen block, fail only *writes* of a chosen block (the hook the
+crash-point tests use to kill a split mid-flight), or fail for a window
+of accesses. Failures raise :class:`~repro.core.errors.StorageError`
+*before* touching the payload, so the block's previous content stays
+intact — the model of a write rejected by the device.
+
+Every injected fault is counted consistently: in the device's
+:class:`~repro.storage.disk.DiskStats` (the ``faults`` counter — the
+rejected access is *not* counted as a read or write, since it never
+touched the payload), in the legacy :attr:`FaultyDisk.faults_raised`
+attribute, and — when tracing is on — as a ``disk_fault`` event on the
+:mod:`repro.obs` bus.
 
 The trie-reconstruction story (/TOR83/) is exercised end to end with
 this: load a file, start failing, catch the error, lift the fault,
@@ -18,6 +26,7 @@ from __future__ import annotations
 from typing import Optional, Set
 
 from ..core.errors import StorageError
+from ..obs.tracer import TRACER
 from .disk import SimulatedDisk
 
 __all__ = ["FaultyDisk"]
@@ -30,6 +39,7 @@ class FaultyDisk(SimulatedDisk):
         super().__init__(*args, **kwargs)
         self._fail_at: Set[int] = set()
         self._fail_blocks: Set[int] = set()
+        self._fail_write_blocks: Set[int] = set()
         self._fail_from: Optional[int] = None
         self._access_counter = 0
         self.faults_raised = 0
@@ -46,6 +56,16 @@ class FaultyDisk(SimulatedDisk):
         """Fail every access to one block until :meth:`heal`."""
         self._fail_blocks.add(block_id)
 
+    def fail_on_write_of(self, block_id: int) -> None:
+        """Fail every *write* of one block until :meth:`heal`.
+
+        Reads of the block keep working — the model of a medium going
+        read-only under a failing head, and the precise scalpel for
+        killing one bucket write inside a multi-write structure change
+        (a split or merge) while the rest of the operation proceeds.
+        """
+        self._fail_write_blocks.add(block_id)
+
     def fail_from_now_on(self) -> None:
         """Fail every subsequent access until :meth:`heal` (a crash)."""
         self._fail_from = self._access_counter
@@ -54,27 +74,38 @@ class FaultyDisk(SimulatedDisk):
         """Clear the whole failure schedule."""
         self._fail_at.clear()
         self._fail_blocks.clear()
+        self._fail_write_blocks.clear()
         self._fail_from = None
 
     # ------------------------------------------------------------------
-    def _maybe_fail(self, block_id: int) -> None:
+    def _maybe_fail(self, block_id: int, write: bool) -> None:
         self._access_counter += 1
         failing = (
             self._access_counter in self._fail_at
             or block_id in self._fail_blocks
+            or (write and block_id in self._fail_write_blocks)
             or (self._fail_from is not None and self._access_counter > self._fail_from)
         )
         if failing:
             self.faults_raised += 1
+            self.stats.faults += 1
+            if TRACER.enabled:
+                TRACER.emit(
+                    "disk_fault",
+                    device=self.name,
+                    block=block_id,
+                    write=write,
+                    access=self._access_counter,
+                )
             raise StorageError(
                 f"injected fault on access #{self._access_counter} "
                 f"(block {block_id})"
             )
 
     def read(self, block_id: int):
-        self._maybe_fail(block_id)
+        self._maybe_fail(block_id, write=False)
         return super().read(block_id)
 
     def write(self, block_id: int, payload) -> None:
-        self._maybe_fail(block_id)
+        self._maybe_fail(block_id, write=True)
         super().write(block_id, payload)

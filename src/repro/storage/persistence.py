@@ -17,6 +17,8 @@ import dataclasses
 import io
 import json
 import struct
+import zlib
+from contextlib import contextmanager
 from typing import BinaryIO, Union
 
 from ..core.errors import StorageError
@@ -43,6 +45,47 @@ _MAGIC = b"THCL1\n"
 _MAGIC_MLTH = b"MLTH1\n"
 
 
+def _seal(body: bytes) -> bytes:
+    """Append the image checksum (CRC32 of everything before it)."""
+    return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def _unseal(data: bytes, what: str) -> bytes:
+    """Verify and strip the image checksum; raise a clean StorageError."""
+    if len(data) < 4:
+        raise StorageError(f"not a {what}: image too short")
+    body, (stored,) = data[:-4], struct.unpack(">I", data[-4:])
+    if zlib.crc32(body) & 0xFFFFFFFF != stored:
+        raise StorageError(
+            f"corrupt {what}: checksum mismatch (truncated or altered image)"
+        )
+    return body
+
+
+@contextmanager
+def _parsing(what: str):
+    """Convert low-level decoding failures into a clean StorageError.
+
+    Without this, a truncated or bit-flipped image surfaces as a raw
+    ``struct.error``/``UnicodeDecodeError``/``KeyError`` traceback from
+    the codec internals; callers should only ever see StorageError.
+    """
+    try:
+        yield
+    except StorageError:
+        raise
+    except (
+        struct.error,
+        UnicodeDecodeError,
+        json.JSONDecodeError,
+        KeyError,
+        IndexError,
+        ValueError,
+        TypeError,
+    ) as exc:
+        raise StorageError(f"corrupt {what}: {exc}") from None
+
+
 def dump_bytes(file: THFile) -> bytes:
     """Serialise the whole file (trie + every bucket) to bytes."""
     out = io.BytesIO()
@@ -64,18 +107,20 @@ def dump_bytes(file: THFile) -> bytes:
         bucket_bytes = serialize_bucket(file.store.peek(address))
         out.write(struct.pack(">II", address, len(bucket_bytes)))
         out.write(bucket_bytes)
-    return out.getvalue()
+    return _seal(out.getvalue())
 
 
 def load_bytes(data: bytes) -> THFile:
     """Rebuild a :class:`THFile` from :func:`dump_bytes` output."""
-    stream = io.BytesIO(data)
+    what = "trie-hashing file image"
+    stream = io.BytesIO(_unseal(data, what))
     if stream.read(len(_MAGIC)) != _MAGIC:
         raise StorageError("not a trie-hashing file image")
-    (header_len,) = struct.unpack(">I", stream.read(4))
-    header = json.loads(stream.read(header_len).decode("utf-8"))
-    (trie_len,) = struct.unpack(">I", stream.read(4))
-    trie = deserialize_trie(stream.read(trie_len))
+    with _parsing(what):
+        (header_len,) = struct.unpack(">I", stream.read(4))
+        header = json.loads(stream.read(header_len).decode("utf-8"))
+        (trie_len,) = struct.unpack(">I", stream.read(4))
+        trie = deserialize_trie(stream.read(trie_len))
 
     policy = SplitPolicy(**header["policy"])
     file = THFile(
@@ -94,14 +139,15 @@ def load_bytes(data: bytes) -> THFile:
             store.free(address)
 
     total = 0
-    while True:
-        chunk = stream.read(8)
-        if not chunk:
-            break
-        address, length = struct.unpack(">II", chunk)
-        bucket = deserialize_bucket(stream.read(length))
-        store.write(address, bucket)
-        total += len(bucket)
+    with _parsing(what):
+        while True:
+            chunk = stream.read(8)
+            if not chunk:
+                break
+            address, length = struct.unpack(">II", chunk)
+            bucket = deserialize_bucket(stream.read(length))
+            store.write(address, bucket)
+            total += len(bucket)
     if total != header["records"]:
         raise StorageError(
             f"image promised {header['records']} records, found {total}"
@@ -119,16 +165,10 @@ def dump_mlth_bytes(file) -> bytes:
     """
     out = io.BytesIO()
     out.write(_MAGIC_MLTH)
-    pages = {}
-    for pid in file._all_page_ids():
-        page = file.page_disk.peek(pid)
-        pages[str(pid)] = {
-            "level": page.level,
-            "boundaries": page.boundaries,
-            "children": page.children,
-            "next": page.next_page,
-            "prev": page.prev_page,
-        }
+    pages = {
+        str(pid): file.page_disk.peek(pid).to_spec()
+        for pid in file._all_page_ids()
+    }
     header = {
         "capacity": file.capacity,
         "page_capacity": file.page_capacity,
@@ -149,7 +189,7 @@ def dump_mlth_bytes(file) -> bytes:
         bucket_bytes = serialize_bucket(file.store.peek(address))
         out.write(struct.pack(">II", address, len(bucket_bytes)))
         out.write(bucket_bytes)
-    return out.getvalue()
+    return _seal(out.getvalue())
 
 
 def load_mlth_bytes(data: bytes):
@@ -158,11 +198,13 @@ def load_mlth_bytes(data: bytes):
     from ..core.mlth import MLTHFile
     from ..core.pages import TriePage
 
-    stream = io.BytesIO(data)
+    what = "multilevel trie-hashing file image"
+    stream = io.BytesIO(_unseal(data, what))
     if stream.read(len(_MAGIC_MLTH)) != _MAGIC_MLTH:
         raise StorageError("not a multilevel trie-hashing file image")
-    (header_len,) = struct.unpack(">I", stream.read(4))
-    header = json.loads(stream.read(header_len).decode("utf-8"))
+    with _parsing(what):
+        (header_len,) = struct.unpack(">I", stream.read(4))
+        header = json.loads(stream.read(header_len).decode("utf-8"))
 
     file = MLTHFile(
         bucket_capacity=header["capacity"],
@@ -180,14 +222,7 @@ def load_mlth_bytes(data: bytes):
     while len(file.page_disk) <= top:
         file.page_pool.allocate(TriePage(0, [], [None]))
     for pid, spec in page_specs.items():
-        page = TriePage(
-            level=spec["level"],
-            boundaries=list(spec["boundaries"]),
-            children=list(spec["children"]),
-            next_page=spec["next"],
-            prev_page=spec["prev"],
-        )
-        file.page_pool.write(pid, page)
+        file.page_pool.write(pid, TriePage.from_spec(spec))
     if file.pin_root:
         file.page_pool.unpin(file.root_id)
     file.root_id = header["root"]
@@ -202,14 +237,15 @@ def load_mlth_bytes(data: bytes):
         if address not in live:
             store.free(address)
     total = 0
-    while True:
-        chunk = stream.read(8)
-        if not chunk:
-            break
-        address, length = struct.unpack(">II", chunk)
-        bucket = deserialize_bucket(stream.read(length))
-        store.write(address, bucket)
-        total += len(bucket)
+    with _parsing(what):
+        while True:
+            chunk = stream.read(8)
+            if not chunk:
+                break
+            address, length = struct.unpack(">II", chunk)
+            bucket = deserialize_bucket(stream.read(length))
+            store.write(address, bucket)
+            total += len(bucket)
     if total != header["records"]:
         raise StorageError("record count mismatch in MLTH image")
     file._size = total

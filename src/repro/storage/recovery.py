@@ -1,0 +1,795 @@
+"""Checkpoints and crash recovery over the write-ahead log.
+
+This module closes the durability loop opened by :mod:`repro.storage.wal`:
+
+* **Checkpoints** — a sectioned binary image of the file (header, index
+  structure, per-bucket records, every section CRC-guarded) written with
+  :meth:`~repro.storage.wal.StableStore.write_atomic` temp-file + rename
+  semantics, so a checkpoint is never half-visible. Checkpoints are
+  *incremental*: only the buckets dirtied since the previous checkpoint
+  are rewritten, and the manifest keeps a short *chain* of checkpoint
+  names whose newest-wins union reconstitutes every live bucket. Every
+  ``max_chain``-th checkpoint is full and resets the chain.
+
+* **Recovery** — :func:`DurableFile.open` on a store holding a MANIFEST
+  loads the chain newest-to-oldest, re-materialises the file, and
+  replays the committed operation records with LSN beyond the checkpoint
+  (logical REDO: the operations are deterministic, so re-executing them
+  rebuilds an equivalent structure). A torn or corrupt log tail is
+  discarded — those operations were never acknowledged. When the
+  checkpoint's *index* section (the trie image) is lost but the bucket
+  sections survive, trie-hashing files fall back to the Section-6
+  reconstruction of /TOR83/ (:func:`~repro.core.reconstruct
+  .reconstruct_trie`); multilevel files rebuild by re-inserting the
+  surviving records.
+
+* **The session front-end** — :class:`DurableFile` wraps any of the four
+  engines (``th``, ``thcl`` via its split policy, ``mlth``, ``btree``)
+  and enforces the ack protocol: apply in memory, append the operation
+  record, fsync, *then* return. An operation that returns was durable at
+  the instant it returned; one interrupted by a crash may or may not
+  survive, which is exactly the contract the crash-point tests assert.
+
+See ``docs/DURABILITY.md`` for the wire formats and the full protocol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import json
+import struct
+import zlib
+from contextlib import nullcontext
+from typing import Dict, List, Optional, Tuple
+
+from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
+from ..core.errors import (
+    DuplicateKeyError,
+    InvalidKeyError,
+    KeyNotFoundError,
+    RecoveryError,
+    StorageError,
+    TrieHashingError,
+)
+from ..core.policies import SplitPolicy
+from ..obs.tracer import TRACER
+from .serializer import deserialize_bucket, deserialize_trie, serialize_bucket, serialize_trie
+from .wal import (
+    REC_DELETE,
+    REC_INSERT,
+    REC_PUT,
+    StableStore,
+    WALWriter,
+    read_records,
+)
+
+__all__ = ["DurableFile", "RecoveryReport", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "MANIFEST"
+_CKPT_MAGIC = b"THCK1\n"
+
+
+# ----------------------------------------------------------------------
+# Sectioned checkpoint codec
+# ----------------------------------------------------------------------
+def _section(payload: bytes) -> bytes:
+    """Frame one section: length, CRC32, payload."""
+    return struct.pack(">II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def _read_section(stream: io.BytesIO) -> Tuple[Optional[bytes], bool]:
+    """Read one section; ``(payload, crc_ok)`` — payload None if truncated."""
+    frame = stream.read(8)
+    if len(frame) < 8:
+        return None, False
+    length, stored = struct.unpack(">II", frame)
+    payload = stream.read(length)
+    if len(payload) < length:
+        return None, False
+    return payload, (zlib.crc32(payload) & 0xFFFFFFFF) == stored
+
+
+def encode_checkpoint(
+    header: dict, index: bytes, buckets: List[Tuple[int, bytes]]
+) -> bytes:
+    """Build a checkpoint image: magic, header, index, bucket sections."""
+    out = io.BytesIO()
+    out.write(_CKPT_MAGIC)
+    out.write(_section(json.dumps(header, separators=(",", ":")).encode("utf-8")))
+    out.write(_section(index))
+    for address, payload in buckets:
+        out.write(struct.pack(">I", address))
+        out.write(_section(payload))
+    return out.getvalue()
+
+
+def decode_checkpoint(
+    data: bytes, name: str
+) -> Tuple[dict, Optional[bytes], Dict[int, bytes]]:
+    """Parse a checkpoint image, verifying every section CRC.
+
+    A corrupt header or bucket section raises :class:`RecoveryError`
+    (there is no second source for either). A corrupt *index* section is
+    survivable — the caller falls back to reconstruction — so it comes
+    back as ``None`` instead.
+    """
+    stream = io.BytesIO(data)
+    if stream.read(len(_CKPT_MAGIC)) != _CKPT_MAGIC:
+        raise RecoveryError(f"{name} is not a checkpoint image")
+    raw_header, header_ok = _read_section(stream)
+    if raw_header is None or not header_ok:
+        raise RecoveryError(f"corrupt checkpoint header in {name}")
+    try:
+        header = json.loads(raw_header.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RecoveryError(f"corrupt checkpoint header in {name}: {exc}") from None
+    index, index_ok = _read_section(stream)
+    buckets: Dict[int, bytes] = {}
+    while True:
+        chunk = stream.read(4)
+        if not chunk:
+            break
+        if len(chunk) < 4:
+            raise RecoveryError(f"truncated bucket directory in {name}")
+        (address,) = struct.unpack(">I", chunk)
+        payload, ok = _read_section(stream)
+        if payload is None or not ok:
+            raise RecoveryError(f"corrupt bucket {address} in checkpoint {name}")
+        buckets[address] = payload
+    return header, (index if index_ok else None), buckets
+
+
+def _apply_op(file, rec_type: int, key: str, value) -> object:
+    """Execute one operation record against an engine (live path & REDO)."""
+    if rec_type == REC_INSERT:
+        return file.insert(key, value)
+    if rec_type == REC_PUT:
+        if hasattr(file, "put"):
+            return file.put(key, value)
+        if file.contains(key):  # engines without native upsert (MLTH)
+            file.delete(key)
+        return file.insert(key, value)
+    if rec_type == REC_DELETE:
+        return file.delete(key)
+    raise StorageError(f"unknown operation record type {rec_type}")
+
+
+# ----------------------------------------------------------------------
+# Engine adapters
+# ----------------------------------------------------------------------
+class _THEngine:
+    """Adapter for :class:`~repro.core.file.THFile` (TH and THCL)."""
+
+    kind = "th"
+    uses_buckets = True
+
+    @staticmethod
+    def fresh_params(
+        capacity: int = 4,
+        policy: Optional[SplitPolicy] = None,
+        alphabet: Alphabet = DEFAULT_ALPHABET,
+    ) -> dict:
+        policy = policy if policy is not None else SplitPolicy()
+        return {
+            "capacity": capacity,
+            "policy": dataclasses.asdict(policy),
+            "alphabet": alphabet.digits,
+        }
+
+    @staticmethod
+    def create(params: dict, alphabet: Optional[Alphabet] = None):
+        from ..core.file import THFile
+
+        return THFile(
+            bucket_capacity=params["capacity"],
+            policy=SplitPolicy(**params["policy"]),
+            alphabet=alphabet if alphabet is not None else Alphabet(params["alphabet"]),
+        )
+
+    @staticmethod
+    def index_bytes(file) -> bytes:
+        return serialize_trie(file.trie)
+
+    @staticmethod
+    def attach(file, journal: Optional[WALWriter]) -> None:
+        file.journal = journal
+        file.store.journal = journal
+
+    @classmethod
+    def materialize(
+        cls, params: dict, header: dict, index: Optional[bytes], buckets, report
+    ):
+        from ..core.reconstruct import reconstruct_trie
+
+        trie = None
+        if index is not None:
+            try:
+                trie = deserialize_trie(index)
+            except StorageError:
+                trie = None
+        file = cls.create(
+            params, alphabet=trie.alphabet if trie is not None else None
+        )
+        _rebuild_bucket_space(file.store, header, buckets)
+        if trie is not None:
+            file.trie = trie
+        else:
+            file.trie = reconstruct_trie(file.store, file.alphabet)
+            report.used_fallback = "reconstruct"
+        file._size = sum(len(bucket) for bucket in buckets.values())
+        return file
+
+
+class _MLTHEngine:
+    """Adapter for :class:`~repro.core.mlth.MLTHFile`."""
+
+    kind = "mlth"
+    uses_buckets = True
+
+    @staticmethod
+    def fresh_params(
+        capacity: int = 4,
+        page_capacity: int = 16,
+        policy: Optional[SplitPolicy] = None,
+        alphabet: Alphabet = DEFAULT_ALPHABET,
+        pin_root: bool = True,
+        split_node_pick: str = "balanced",
+    ) -> dict:
+        policy = policy if policy is not None else SplitPolicy(merge="none")
+        return {
+            "capacity": capacity,
+            "page_capacity": page_capacity,
+            "policy": dataclasses.asdict(policy),
+            "alphabet": alphabet.digits,
+            "pin_root": pin_root,
+            "split_node_pick": split_node_pick,
+        }
+
+    @staticmethod
+    def create(params: dict):
+        from ..core.mlth import MLTHFile
+
+        return MLTHFile(
+            bucket_capacity=params["capacity"],
+            page_capacity=params["page_capacity"],
+            policy=SplitPolicy(**params["policy"]),
+            alphabet=Alphabet(params["alphabet"]),
+            pin_root=params["pin_root"],
+            split_node_pick=params["split_node_pick"],
+        )
+
+    @staticmethod
+    def index_bytes(file) -> bytes:
+        spec = {
+            "root": file.root_id,
+            "pages": {
+                str(pid): file.page_disk.peek(pid).to_spec()
+                for pid in file._all_page_ids()
+            },
+        }
+        return json.dumps(spec, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def attach(file, journal: Optional[WALWriter]) -> None:
+        file.journal = journal
+        file.store.journal = journal
+
+    @classmethod
+    def materialize(
+        cls, params: dict, header: dict, index: Optional[bytes], buckets, report
+    ):
+        from ..core.pages import TriePage
+
+        spec = None
+        if index is not None:
+            try:
+                spec = json.loads(index.decode("utf-8"))
+                page_specs = {int(k): v for k, v in spec["pages"].items()}
+            except (UnicodeDecodeError, json.JSONDecodeError, KeyError, ValueError):
+                spec = None
+        file = cls.create(params)
+        if spec is None:
+            # The page hierarchy is gone; the buckets still hold every
+            # record, so rebuild the file by re-inserting them.
+            report.used_fallback = "reinsert"
+            for address in sorted(buckets):
+                bucket = buckets[address]
+                for key, value in zip(bucket.keys, bucket.values):
+                    file.insert(key, value)
+            return file
+        top = max(page_specs)
+        while len(file.page_disk) <= top:
+            file.page_pool.allocate(TriePage(0, [], [None]))
+        for pid, page_spec in page_specs.items():
+            file.page_pool.write(pid, TriePage.from_spec(page_spec))
+        if file.pin_root:
+            file.page_pool.unpin(file.root_id)
+        file.root_id = spec["root"]
+        if file.pin_root:
+            file.page_pool.pin(file.root_id)
+        _rebuild_bucket_space(file.store, header, buckets)
+        file._size = sum(len(bucket) for bucket in buckets.values())
+        return file
+
+
+class _BTreeEngine:
+    """Adapter for the :class:`~repro.btree.btree.BPlusTree` baseline.
+
+    A B+-tree has no bucket store, so its checkpoints are always full:
+    the index section carries the sorted items and recovery rebuilds the
+    tree by insertion. There is no secondary source — a corrupt index
+    section is unrecoverable and raises :class:`RecoveryError`.
+    """
+
+    kind = "btree"
+    uses_buckets = False
+
+    @staticmethod
+    def fresh_params(
+        leaf_capacity: int = 4,
+        branch_capacity: Optional[int] = None,
+        split_fraction: float = 0.5,
+        redistribute: bool = False,
+        pin_root: bool = True,
+    ) -> dict:
+        return {
+            "leaf_capacity": leaf_capacity,
+            "branch_capacity": branch_capacity,
+            "split_fraction": split_fraction,
+            "redistribute": redistribute,
+            "pin_root": pin_root,
+        }
+
+    @staticmethod
+    def create(params: dict):
+        from ..btree.btree import BPlusTree
+
+        return BPlusTree(
+            leaf_capacity=params["leaf_capacity"],
+            branch_capacity=params["branch_capacity"],
+            split_fraction=params["split_fraction"],
+            redistribute=params["redistribute"],
+            pin_root=params["pin_root"],
+        )
+
+    @staticmethod
+    def index_bytes(file) -> bytes:
+        items = [[key, value] for key, value in file.items()]
+        return json.dumps(items, separators=(",", ":")).encode("utf-8")
+
+    @staticmethod
+    def attach(file, journal: Optional[WALWriter]) -> None:
+        file.journal = journal
+
+    @classmethod
+    def materialize(
+        cls, params: dict, header: dict, index: Optional[bytes], buckets, report
+    ):
+        if index is None:
+            raise RecoveryError(
+                "b+-tree checkpoint index is corrupt and a b+-tree has no "
+                "bucket headers to reconstruct from"
+            )
+        try:
+            items = json.loads(index.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RecoveryError(f"corrupt b+-tree checkpoint index: {exc}") from None
+        file = cls.create(params)
+        for key, value in items:
+            file.insert(key, value)
+        return file
+
+
+_ENGINES = {
+    _THEngine.kind: _THEngine,
+    _MLTHEngine.kind: _MLTHEngine,
+    _BTreeEngine.kind: _BTreeEngine,
+}
+
+
+def _rebuild_bucket_space(store, header: dict, buckets) -> None:
+    """Recreate a BucketStore's address space and contents (load_bytes idiom)."""
+    live = set(header["live"])
+    for _ in range(1, header["max_address"] + 1):
+        store.allocate()
+    for address in range(header["max_address"] + 1):
+        if address not in live:
+            store.free(address)
+    for address, bucket in buckets.items():
+        store.write(address, bucket)
+
+
+# ----------------------------------------------------------------------
+# Recovery report
+# ----------------------------------------------------------------------
+class RecoveryReport:
+    """What one recovery pass did (attached as ``DurableFile.last_recovery``)."""
+
+    __slots__ = (
+        "engine",
+        "checkpoints",
+        "buckets_loaded",
+        "replayed",
+        "torn_tail",
+        "used_fallback",
+        "lsn",
+    )
+
+    def __init__(self) -> None:
+        self.engine = ""
+        self.checkpoints = 0
+        self.buckets_loaded = 0
+        self.replayed = 0
+        self.torn_tail = False
+        #: ``None``, ``'reconstruct'`` (Section-6 trie rebuild) or
+        #: ``'reinsert'`` (MLTH page hierarchy rebuilt from records).
+        self.used_fallback: Optional[str] = None
+        self.lsn = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RecoveryReport(engine={self.engine!r}, chain={self.checkpoints}, "
+            f"replayed={self.replayed}, torn_tail={self.torn_tail}, "
+            f"fallback={self.used_fallback!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# The durable session
+# ----------------------------------------------------------------------
+class DurableFile:
+    """A crash-safe session over one engine and one :class:`StableStore`.
+
+    Use :meth:`open` — it creates a fresh store (no MANIFEST yet) or
+    recovers an existing one. Every mutating call follows the ack
+    protocol: apply in memory, append the operation record to the WAL,
+    fsync, then return. A call that raises a simulated-crash or device
+    error leaves the session *poisoned* (every later call raises
+    :class:`StorageError`); reopening the store runs recovery.
+    """
+
+    MANIFEST = MANIFEST_NAME
+
+    def __init__(self, *args, **kwargs):
+        raise TypeError("use DurableFile.open(stable, engine=..., ...)")
+
+    @classmethod
+    def _build(cls, stable, adapter, file, wal, manifest, checkpoint_every, max_chain):
+        self = object.__new__(cls)
+        self.stable = stable
+        self.engine = adapter
+        self.file = file
+        self.wal = wal
+        self.manifest = manifest
+        self.checkpoint_every = checkpoint_every
+        self.max_chain = max_chain
+        self._ops_since_checkpoint = 0
+        self._poisoned = False
+        self.last_recovery: Optional[RecoveryReport] = None
+        return self
+
+    # -- opening -------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        stable: StableStore,
+        engine: str = "th",
+        checkpoint_every: int = 64,
+        max_chain: int = 8,
+        **params,
+    ) -> "DurableFile":
+        """Open (recovering) or create a durable file on ``stable``.
+
+        ``params`` configure a *fresh* file (engine constructor options,
+        e.g. ``capacity=4, policy=SplitPolicy(...)``); when a MANIFEST
+        exists the stored parameters win and ``params`` must be empty or
+        match the stored engine.
+        """
+        if checkpoint_every < 1:
+            raise StorageError("checkpoint_every must be at least 1")
+        if stable.exists(cls.MANIFEST):
+            return cls._recover(stable, checkpoint_every, max_chain, engine)
+        if engine not in _ENGINES:
+            raise StorageError(f"unknown durable engine {engine!r}")
+        # No MANIFEST means no file: any objects present (a crash before
+        # the genesis manifest landed, or a deleted manifest) are orphans
+        # that must not leak records into the fresh file.
+        for stale in stable.names():
+            stable.delete(stale)
+        adapter = _ENGINES[engine]
+        file = adapter.create(adapter.fresh_params(**params))
+        wal = WALWriter(stable, "wal-0", next_lsn=1)
+        adapter.attach(file, wal)
+        manifest = {
+            "engine": adapter.kind,
+            "params": adapter.fresh_params(**params),
+            "chain": [],
+            "wal": "wal-0",
+            "lsn": 0,
+            "next_ckpt": 0,
+        }
+        self = cls._build(stable, adapter, file, wal, manifest, checkpoint_every, max_chain)
+        # The genesis checkpoint makes the empty file durable and writes
+        # the first MANIFEST; until it lands, a crash simply yields a
+        # store with no file on it.
+        self.checkpoint(full=True)
+        return self
+
+    @classmethod
+    def _recover(cls, stable, checkpoint_every, max_chain, engine_hint):
+        report = RecoveryReport()
+        span = (
+            TRACER.span("recovery") if TRACER.enabled else nullcontext()
+        )
+        with span:
+            try:
+                manifest = json.loads(stable.read(cls.MANIFEST).decode("utf-8"))
+            except StorageError:
+                raise RecoveryError("stable store has no MANIFEST")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise RecoveryError(f"corrupt MANIFEST: {exc}") from None
+            kind = manifest.get("engine")
+            adapter = _ENGINES.get(kind)
+            if adapter is None:
+                raise RecoveryError(f"MANIFEST names unknown engine {kind!r}")
+            report.engine = kind
+            report.lsn = manifest["lsn"]
+
+            # Chain walk, newest to oldest: the newest checkpoint's
+            # header is authoritative for structure and the live set;
+            # each live bucket is taken from the newest image holding it.
+            chain = list(manifest["chain"])
+            if not chain:
+                raise RecoveryError("MANIFEST has an empty checkpoint chain")
+            newest_header = None
+            newest_index = None
+            live = set()
+            raw_buckets: Dict[int, bytes] = {}
+            for name in reversed(chain):
+                try:
+                    data = stable.read(name)
+                except StorageError:
+                    raise RecoveryError(f"checkpoint {name} is missing")
+                header, index, ckpt_buckets = decode_checkpoint(data, name)
+                if newest_header is None:
+                    newest_header = header
+                    newest_index = index
+                    live = set(header["live"])
+                for address, payload in ckpt_buckets.items():
+                    if address in live and address not in raw_buckets:
+                        raw_buckets[address] = payload
+                report.checkpoints += 1
+            if adapter.uses_buckets and set(raw_buckets) != live:
+                missing = sorted(live - set(raw_buckets))
+                raise RecoveryError(
+                    f"checkpoint chain is missing live buckets {missing}"
+                )
+            buckets = {}
+            for address, payload in raw_buckets.items():
+                try:
+                    buckets[address] = deserialize_bucket(payload)
+                except StorageError as exc:
+                    raise RecoveryError(f"bucket {address}: {exc}") from None
+            report.buckets_loaded = len(buckets)
+
+            file = adapter.materialize(
+                manifest["params"], newest_header, newest_index, buckets, report
+            )
+
+            # REDO: replay committed operations past the checkpoint. The
+            # journal is attached in replay mode so the re-executed
+            # operations mark their buckets dirty (the next incremental
+            # checkpoint must include them) without re-logging records.
+            wal_name = manifest["wal"]
+            log_image = stable.read(wal_name) if stable.exists(wal_name) else b""
+            records, clean = read_records(log_image)
+            report.torn_tail = not clean
+            top_lsn = max([manifest["lsn"]] + [r.lsn for r in records])
+            wal = WALWriter(stable, wal_name, next_lsn=top_lsn + 1)
+            adapter.attach(file, wal)
+            wal.suppress_appends = True
+            try:
+                for record in records:
+                    if not record.is_op or record.lsn <= manifest["lsn"]:
+                        continue
+                    payload = record.payload
+                    try:
+                        _apply_op(
+                            file, record.type, payload["k"], payload.get("v")
+                        )
+                    except TrieHashingError as exc:
+                        raise RecoveryError(
+                            f"replay of operation LSN {record.lsn} failed: {exc}"
+                        ) from exc
+                    report.replayed += 1
+            finally:
+                wal.suppress_appends = False
+
+            self = cls._build(
+                stable, adapter, file, wal, manifest, checkpoint_every, max_chain
+            )
+            self.last_recovery = report
+            if TRACER.enabled:
+                TRACER.emit(
+                    "recovery_done",
+                    engine=report.engine,
+                    replayed=report.replayed,
+                    torn_tail=report.torn_tail,
+                    fallback=report.used_fallback,
+                )
+            # Start a clean generation: this checkpoint discards the torn
+            # tail (a fresh WAL segment replaces the old one) and, after a
+            # fallback rebuild, re-bases the chain on the rebuilt file.
+            self.checkpoint(full=True if report.used_fallback else None)
+        return self
+
+    # -- the ack protocol ---------------------------------------------
+    def _check_usable(self) -> None:
+        if self._poisoned:
+            raise StorageError(
+                "durable session poisoned by an earlier mid-operation failure; "
+                "reopen the store to recover"
+            )
+
+    def _do(self, rec_type: int, key: str, value=None):
+        self._check_usable()
+        if value is not None and not isinstance(value, str):
+            raise StorageError("durable files store str or None values only")
+        try:
+            out = _apply_op(self.file, rec_type, key, value)
+        except (InvalidKeyError, DuplicateKeyError, KeyNotFoundError):
+            raise  # rejected before any mutation: nothing to log
+        except BaseException:
+            self._poisoned = True
+            raise
+        try:
+            payload = {"k": key} if value is None else {"k": key, "v": value}
+            self.wal.append(rec_type, payload)
+            self.wal.commit()  # the fsync barrier: returning == durable
+        except BaseException:
+            self._poisoned = True
+            raise
+        self._ops_since_checkpoint += 1
+        if self._ops_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
+        return out
+
+    def insert(self, key: str, value=None) -> None:
+        """Insert a new key (acknowledged-durable on return)."""
+        self._do(REC_INSERT, key, value)
+
+    def put(self, key: str, value=None) -> None:
+        """Insert or overwrite (acknowledged-durable on return)."""
+        self._do(REC_PUT, key, value)
+
+    def delete(self, key: str):
+        """Delete a key, returning its value (acknowledged on return)."""
+        return self._do(REC_DELETE, key)
+
+    # -- reads (no logging) -------------------------------------------
+    def get(self, key: str):
+        self._check_usable()
+        return self.file.get(key)
+
+    def contains(self, key: str) -> bool:
+        self._check_usable()
+        return self.file.contains(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return len(self.file)
+
+    def items(self):
+        self._check_usable()
+        return self.file.items()
+
+    def keys(self):
+        self._check_usable()
+        return self.file.keys()
+
+    def check(self) -> None:
+        """Run the engine's structural invariant check."""
+        self.file.check()
+
+    # -- checkpointing -------------------------------------------------
+    def checkpoint(self, full: Optional[bool] = None) -> str:
+        """Write a checkpoint and truncate the WAL; returns its name.
+
+        Incremental by default (only buckets dirtied since the previous
+        checkpoint), full when ``full=True``, when the chain has grown to
+        ``max_chain`` entries, or for engines without a bucket store. The
+        checkpoint image and the MANIFEST are both written atomically; a
+        crash between the two leaves the previous generation intact.
+        """
+        self._check_usable()
+        try:
+            return self._checkpoint(full)
+        except BaseException:
+            self._poisoned = True
+            raise
+
+    def _checkpoint(self, full: Optional[bool]) -> str:
+        adapter = self.engine
+        dirty, _freed = self.wal.drain_dirty()
+        chain = list(self.manifest["chain"])
+        if full is None:
+            full = (
+                not adapter.uses_buckets
+                or not chain
+                or len(chain) >= self.max_chain
+            )
+        ckpt_id = self.manifest["next_ckpt"]
+        name = f"ckpt-{ckpt_id}"
+        if adapter.uses_buckets:
+            live = self.file.store.live_addresses()
+            included = list(live) if full else sorted(set(live) & dirty)
+            buckets = [
+                (address, serialize_bucket(self.file.store.peek(address)))
+                for address in included
+            ]
+            header = {
+                "id": ckpt_id,
+                "lsn": self.wal.last_lsn,
+                "full": bool(full),
+                "engine": adapter.kind,
+                "records": len(self.file),
+                "live": live,
+                "max_address": self.file.store.max_address(),
+                "buckets": included,
+            }
+        else:
+            buckets = []
+            header = {
+                "id": ckpt_id,
+                "lsn": self.wal.last_lsn,
+                "full": True,
+                "engine": adapter.kind,
+                "records": len(self.file),
+                "live": [],
+                "max_address": 0,
+                "buckets": [],
+            }
+        image = encode_checkpoint(header, adapter.index_bytes(self.file), buckets)
+        self.stable.write_atomic(name, image)
+
+        new_chain = [name] if full else chain + [name]
+        old_wal = self.manifest["wal"]
+        new_wal = f"wal-{ckpt_id}"
+        manifest = {
+            "engine": adapter.kind,
+            "params": self.manifest["params"],
+            "chain": new_chain,
+            "wal": new_wal,
+            "lsn": self.wal.last_lsn,
+            "next_ckpt": ckpt_id + 1,
+        }
+        self.stable.write_atomic(
+            self.MANIFEST, json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+        )
+        # The new MANIFEST is durable: everything it no longer references
+        # is garbage. A crash inside this cleanup only leaks orphans.
+        self.manifest = manifest
+        self.wal.name = new_wal
+        if old_wal != new_wal and self.stable.exists(old_wal):
+            self.stable.delete(old_wal)
+        for stale in set(chain) - set(new_chain):
+            if self.stable.exists(stale):
+                self.stable.delete(stale)
+        self._ops_since_checkpoint = 0
+        if TRACER.enabled:
+            TRACER.emit(
+                "checkpoint",
+                id=ckpt_id,
+                full=bool(full),
+                buckets=len(buckets),
+                lsn=self.wal.last_lsn,
+                chain=len(new_chain),
+            )
+        return name
+
+    def close(self) -> None:
+        """Flush a final checkpoint (a convenience, not required)."""
+        self.checkpoint()

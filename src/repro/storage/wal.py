@@ -1,0 +1,414 @@
+"""Write-ahead logging over simulated stable storage.
+
+The simulated disks of :mod:`repro.storage.disk` are *volatile*: they
+model access counts, not survival. This module adds the missing
+durability substrate in two layers:
+
+* :class:`StableStore` — a named-object non-volatile byte store with the
+  crash semantics of a POSIX filesystem: ``append`` buffers bytes that
+  become durable only at ``fsync``; ``write_atomic`` models the
+  temp-file + rename idiom (all-or-nothing replacement); a crash throws
+  away every un-fsynced byte, except possibly a *torn* prefix of the
+  unflushed tail (a partially written last block).
+
+* The WAL itself — a stream of checksummed, LSN-stamped records.
+  Operation records (``insert``/``put``/``delete``) are the REDO unit:
+  a record is appended after the in-memory apply succeeds and the
+  operation is acknowledged only once the record is fsynced. Structural
+  detail records (bucket create/write/free, trie-node edits, merges,
+  redistributions, page splits) are interleaved by the storage and core
+  layers through the same :class:`WALWriter`; recovery does not replay
+  them — re-executing the deterministic operation records rebuilds the
+  identical structure — but they make the log a faithful, inspectable
+  account of every structure modification and drive the incremental
+  checkpointer's dirty-bucket tracking.
+
+Record wire format (see ``docs/DURABILITY.md``)::
+
+    magic(2) | lsn(8) | type(1) | len(4) | payload(len) | crc32(4)
+
+The CRC covers lsn, type, length and payload. A reader stops cleanly at
+the first record whose magic, length or CRC does not check out — the
+torn tail a crash may leave behind.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.errors import StorageError
+from ..obs.tracer import TRACER
+
+__all__ = [
+    "StableStore",
+    "StableStats",
+    "WALRecord",
+    "WALWriter",
+    "read_records",
+    "OP_TYPES",
+    "REC_INSERT",
+    "REC_PUT",
+    "REC_DELETE",
+    "REC_BUCKET_CREATE",
+    "REC_BUCKET_WRITE",
+    "REC_BUCKET_FREE",
+    "REC_TRIE_EXPAND",
+    "REC_BOUNDARY_INSERT",
+    "REC_MERGE",
+    "REC_BORROW",
+    "REC_REDISTRIBUTE",
+    "REC_PAGE_EDIT",
+    "REC_PAGE_SPLIT",
+    "REC_NODE_SPLIT",
+]
+
+# ----------------------------------------------------------------------
+# Record types
+# ----------------------------------------------------------------------
+#: Operation records — the REDO unit replayed by recovery.
+REC_INSERT = 1
+REC_PUT = 2
+REC_DELETE = 3
+
+#: Structural detail records — logged for inspection and dirty tracking.
+REC_BUCKET_CREATE = 16
+REC_BUCKET_WRITE = 17
+REC_BUCKET_FREE = 18
+REC_TRIE_EXPAND = 19
+REC_BOUNDARY_INSERT = 20
+REC_MERGE = 21
+REC_BORROW = 22
+REC_REDISTRIBUTE = 23
+REC_PAGE_EDIT = 24
+REC_PAGE_SPLIT = 25
+REC_NODE_SPLIT = 26
+
+OP_TYPES = frozenset((REC_INSERT, REC_PUT, REC_DELETE))
+
+_REC_MAGIC = b"\xd7\x1e"  # two fixed marker bytes
+_HEADER = struct.Struct(">QBI")  # lsn, type, payload length
+
+
+# ----------------------------------------------------------------------
+# Stable storage
+# ----------------------------------------------------------------------
+class StableStats:
+    """Physical-write counters for one stable store."""
+
+    __slots__ = ("appends", "fsyncs", "renames", "unlinks", "bytes_appended")
+
+    def __init__(self) -> None:
+        self.appends = 0
+        self.fsyncs = 0
+        self.renames = 0
+        self.unlinks = 0
+        self.bytes_appended = 0
+
+    @property
+    def write_ops(self) -> int:
+        """Total physical write operations (the crash-point counter)."""
+        return self.appends + self.fsyncs + self.renames + self.unlinks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StableStats(appends={self.appends}, fsyncs={self.fsyncs}, "
+            f"renames={self.renames}, unlinks={self.unlinks})"
+        )
+
+
+class _StableObject:
+    """One named object: a byte run with a durable prefix."""
+
+    __slots__ = ("data", "durable")
+
+    def __init__(self, data: bytes = b"", durable: Optional[int] = None):
+        self.data = bytearray(data)
+        self.durable = len(data) if durable is None else durable
+
+
+class StableStore:
+    """Simulated non-volatile storage with filesystem crash semantics.
+
+    Objects are named byte runs. ``append`` extends an object in the
+    (volatile) page cache; ``fsync`` makes everything appended so far
+    durable; ``write_atomic`` replaces an object all-or-nothing (the
+    temp-file + rename protocol — the temp file itself is invisible to
+    readers and to crashes). :meth:`lose_volatile` applies a crash: every
+    object keeps only its durable prefix, except that the caller may ask
+    for ``tear`` extra bytes of one object's unflushed tail to survive
+    (a torn last block).
+
+    Subclasses hook :meth:`_physical` (called *before* an operation takes
+    effect) to count, record or crash on physical writes.
+    """
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, _StableObject] = {}
+        self.stats = StableStats()
+
+    # -- hook ----------------------------------------------------------
+    def _physical(self, kind: str, name: str, payload: bytes = b"") -> None:
+        """Called before each physical write op (append/fsync/rename/unlink)."""
+
+    # -- write path ----------------------------------------------------
+    def append(self, name: str, data: bytes) -> None:
+        """Append bytes to ``name`` (created empty if missing); volatile."""
+        self._physical("append", name, bytes(data))
+        self.stats.appends += 1
+        self.stats.bytes_appended += len(data)
+        obj = self._objects.get(name)
+        if obj is None:
+            obj = self._objects[name] = _StableObject(b"", durable=0)
+        obj.data += data
+
+    def fsync(self, name: str) -> None:
+        """Make every appended byte of ``name`` durable."""
+        self._physical("fsync", name)
+        self.stats.fsyncs += 1
+        obj = self._objects.get(name)
+        if obj is None:
+            raise StorageError(f"stable object {name!r} does not exist")
+        obj.durable = len(obj.data)
+
+    def write_atomic(self, name: str, data: bytes) -> None:
+        """Replace ``name`` with ``data`` all-or-nothing (temp + rename)."""
+        self._physical("rename", name, bytes(data))
+        self.stats.renames += 1
+        self._objects[name] = _StableObject(bytes(data))
+
+    def delete(self, name: str) -> None:
+        """Unlink ``name`` (durable immediately; missing names are fine)."""
+        self._physical("unlink", name)
+        self.stats.unlinks += 1
+        self._objects.pop(name, None)
+
+    # -- read path -----------------------------------------------------
+    def exists(self, name: str) -> bool:
+        """True when ``name`` exists (durable or not)."""
+        return name in self._objects
+
+    def read(self, name: str) -> bytes:
+        """Current contents of ``name`` (including unflushed appends)."""
+        obj = self._objects.get(name)
+        if obj is None:
+            raise StorageError(f"stable object {name!r} does not exist")
+        return bytes(obj.data)
+
+    def names(self) -> List[str]:
+        """All object names, sorted."""
+        return sorted(self._objects)
+
+    def size(self, name: str) -> int:
+        """Current length of ``name`` in bytes."""
+        return len(self.read(name))
+
+    # -- crash semantics ----------------------------------------------
+    def lose_volatile(self, torn: Optional[Tuple[str, int]] = None) -> None:
+        """Apply a crash: truncate every object to its durable prefix.
+
+        ``torn=(name, extra)`` lets ``extra`` bytes of one object's
+        unflushed tail survive — the partially written last block of a
+        torn write.
+        """
+        for name, obj in list(self._objects.items()):
+            keep = obj.durable
+            if torn is not None and torn[0] == name:
+                keep = min(len(obj.data), obj.durable + max(0, torn[1]))
+            del obj.data[keep:]
+            obj.durable = len(obj.data)
+
+    def snapshot_durable(self) -> Dict[str, bytes]:
+        """The durable image: what a crash right now would preserve."""
+        return {
+            name: bytes(obj.data[: obj.durable])
+            for name, obj in self._objects.items()
+        }
+
+    @classmethod
+    def from_snapshot(cls, image: Dict[str, bytes]) -> "StableStore":
+        """A fresh store holding ``image`` (all of it durable)."""
+        store = cls()
+        for name, data in image.items():
+            store._objects[name] = _StableObject(data)
+        return store
+
+
+# ----------------------------------------------------------------------
+# Record codec
+# ----------------------------------------------------------------------
+class WALRecord:
+    """One decoded log record."""
+
+    __slots__ = ("lsn", "type", "payload")
+
+    def __init__(self, lsn: int, rec_type: int, payload: dict):
+        self.lsn = lsn
+        self.type = rec_type
+        self.payload = payload
+
+    @property
+    def is_op(self) -> bool:
+        """True for operation (REDO) records."""
+        return self.type in OP_TYPES
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WALRecord(lsn={self.lsn}, type={self.type}, {self.payload!r})"
+
+
+def encode_record(lsn: int, rec_type: int, payload: dict) -> bytes:
+    """Encode one record (magic, header, payload, CRC trailer)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    header = _HEADER.pack(lsn, rec_type, len(body))
+    crc = zlib.crc32(header + body) & 0xFFFFFFFF
+    return _REC_MAGIC + header + body + struct.pack(">I", crc)
+
+
+def read_records(data: bytes) -> Tuple[List[WALRecord], bool]:
+    """Decode a log image; stop cleanly at a torn or corrupt tail.
+
+    Returns ``(records, clean)`` where ``clean`` is False when trailing
+    bytes had to be discarded (torn last record or trailing garbage).
+    """
+    records: List[WALRecord] = []
+    offset = 0
+    header_size = len(_REC_MAGIC) + _HEADER.size
+    while offset < len(data):
+        if (
+            offset + header_size > len(data)
+            or data[offset : offset + len(_REC_MAGIC)] != _REC_MAGIC
+        ):
+            return records, False
+        lsn, rec_type, length = _HEADER.unpack_from(data, offset + len(_REC_MAGIC))
+        body_at = offset + header_size
+        crc_at = body_at + length
+        if crc_at + 4 > len(data):
+            return records, False
+        expected = zlib.crc32(data[offset + len(_REC_MAGIC) : crc_at]) & 0xFFFFFFFF
+        (stored,) = struct.unpack_from(">I", data, crc_at)
+        if stored != expected:
+            return records, False
+        try:
+            payload = json.loads(data[body_at:crc_at].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return records, False
+        records.append(WALRecord(lsn, rec_type, payload))
+        offset = crc_at + 4
+    return records, True
+
+
+# ----------------------------------------------------------------------
+# Writer / journal
+# ----------------------------------------------------------------------
+class WALWriter:
+    """Appends records to one log segment on a :class:`StableStore`.
+
+    Doubles as the *journal* the storage and core layers thread their
+    structural detail records through: :class:`~repro.storage.buckets.
+    BucketStore` and the split/merge/redistribution/page modules call the
+    ``log_*`` helpers when a journal is attached. Bucket-touching records
+    feed :attr:`dirty_buckets`, which the incremental checkpointer
+    drains.
+    """
+
+    def __init__(self, store: StableStore, name: str, next_lsn: int = 1):
+        self.store = store
+        self.name = name
+        self.next_lsn = next_lsn
+        #: Bucket addresses touched since the last checkpoint drain.
+        self.dirty_buckets = set()
+        #: Addresses freed since the last checkpoint drain.
+        self.freed_buckets = set()
+        #: Recovery replay mode: the re-executed operations must update
+        #: the dirty-bucket sets (their mutations belong in the next
+        #: incremental checkpoint) without appending duplicate records.
+        self.suppress_appends = False
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recently appended record (0 when none)."""
+        return self.next_lsn - 1
+
+    def append(self, rec_type: int, payload: dict) -> int:
+        """Append one record (volatile until :meth:`commit`)."""
+        if self.suppress_appends:
+            return self.last_lsn
+        lsn = self.next_lsn
+        self.next_lsn += 1
+        encoded = encode_record(lsn, rec_type, payload)
+        self.store.append(self.name, encoded)
+        if TRACER.enabled:
+            TRACER.emit("wal_append", lsn=lsn, type=rec_type, bytes=len(encoded))
+        return lsn
+
+    def commit(self) -> None:
+        """fsync the segment: everything appended so far is now durable."""
+        self.store.fsync(self.name)
+        if TRACER.enabled:
+            TRACER.emit("wal_fsync", lsn=self.last_lsn)
+
+    # -- journal API (structural detail records) -----------------------
+    def log_bucket_create(self, address: int) -> None:
+        self.dirty_buckets.add(address)
+        self.freed_buckets.discard(address)
+        self.append(REC_BUCKET_CREATE, {"a": address})
+
+    def log_bucket_write(self, address: int, records: int) -> None:
+        self.dirty_buckets.add(address)
+        self.append(REC_BUCKET_WRITE, {"a": address, "n": records})
+
+    def log_bucket_free(self, address: int) -> None:
+        self.dirty_buckets.discard(address)
+        self.freed_buckets.add(address)
+        self.append(REC_BUCKET_FREE, {"a": address})
+
+    def log_trie_expand(self, boundary: str, old: int, new: int, added: int) -> None:
+        self.append(
+            REC_TRIE_EXPAND, {"b": boundary, "old": old, "new": new, "added": added}
+        )
+
+    def log_boundary_insert(
+        self, boundary: str, left: int, right: int, added: int, repointed: int
+    ) -> None:
+        self.append(
+            REC_BOUNDARY_INSERT,
+            {"b": boundary, "l": left, "r": right, "added": added, "rp": repointed},
+        )
+
+    def log_merge(self, kind: str, survivor: int, victim: int) -> None:
+        self.append(REC_MERGE, {"kind": kind, "s": survivor, "v": victim})
+
+    def log_borrow(self, cut: str, lower: int, upper: int, moved: int) -> None:
+        self.append(REC_BORROW, {"cut": cut, "lo": lower, "hi": upper, "n": moved})
+
+    def log_redistribute(self, direction: str, cut: str, moved: int) -> None:
+        self.append(REC_REDISTRIBUTE, {"dir": direction, "cut": cut, "n": moved})
+
+    def log_page_edit(self, gap: int, boundaries: List[str]) -> None:
+        self.append(REC_PAGE_EDIT, {"gap": gap, "b": boundaries})
+
+    def log_page_split(
+        self, page: int, new_page: int, level: int, separator: str
+    ) -> None:
+        self.append(
+            REC_PAGE_SPLIT,
+            {"page": page, "new": new_page, "level": level, "sep": separator},
+        )
+
+    def log_node_split(self, kind: str, node: int, new_node: int) -> None:
+        self.append(REC_NODE_SPLIT, {"kind": kind, "node": node, "new": new_node})
+
+    def drain_dirty(self) -> Tuple[set, set]:
+        """Hand the (dirty, freed) sets to a checkpoint and reset them."""
+        dirty, freed = self.dirty_buckets, self.freed_buckets
+        self.dirty_buckets, self.freed_buckets = set(), set()
+        return dirty, freed
+
+
+def replay_ops(records: Iterator[WALRecord]) -> Iterator[WALRecord]:
+    """Filter a record stream down to the operation (REDO) records."""
+    for record in records:
+        if record.is_op:
+            yield record

@@ -1,11 +1,40 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Hypothesis budgets are profile-driven: the ``default`` profile keeps
+local runs fast, ``ci`` pins reproducible output for the workflow jobs,
+and ``nightly`` multiplies the example and step budgets for the
+scheduled deep run. Select with ``HYPOTHESIS_PROFILE=nightly pytest``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro import LOWERCASE, THFile
 from repro.workloads import MOST_USED_WORDS, KeyGenerator
+
+settings.register_profile(
+    "default", max_examples=25, stateful_step_count=40, deadline=None
+)
+settings.register_profile(
+    "ci",
+    max_examples=40,
+    stateful_step_count=50,
+    deadline=None,
+    print_blob=True,
+    derandomize=True,
+)
+settings.register_profile(
+    "nightly",
+    max_examples=300,
+    stateful_step_count=150,
+    deadline=None,
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -5,6 +5,7 @@ import pytest
 
 from repro import StorageError, THFile
 from repro.core.reconstruct import reconstruct_trie
+from repro.obs.tracer import trace
 from repro.storage.buckets import BucketStore
 from repro.storage.faults import FaultyDisk
 
@@ -99,3 +100,116 @@ class TestFileUnderFaults:
             f.get(keys[0])
         assert disk.faults_raised == 1
         assert f.get(keys[0]) is None  # next attempt fine
+
+
+class TestFaultAccounting:
+    def test_faults_count_in_disk_stats(self):
+        disk = FaultyDisk()
+        block = disk.allocate("x")
+        disk.read(block)
+        disk.fail_on_access(1, 2)
+        for _ in range(2):
+            with pytest.raises(StorageError):
+                disk.read(block)
+        assert disk.stats.faults == 2
+        assert disk.faults_raised == disk.stats.faults
+        # The rejected accesses never touched the payload, so they are
+        # not reads: only the successful access counts.
+        assert disk.stats.reads == 1
+
+    def test_faults_survive_snapshot_delta_reset(self):
+        disk = FaultyDisk()
+        block = disk.allocate("x")
+        before = disk.stats.snapshot()
+        disk.fail_on_access(1)
+        with pytest.raises(StorageError):
+            disk.read(block)
+        delta = disk.stats.delta(before)
+        assert delta.faults == 1 and delta.reads == 0
+        assert disk.stats.snapshot().faults == 1
+        disk.stats.reset()
+        assert disk.stats.faults == 0
+
+    def test_fault_emits_obs_event(self):
+        disk = FaultyDisk(name="flaky")
+
+        class Sink:
+            events = []
+
+            def on_event(self, event):
+                self.events.append(event)
+
+        block = disk.allocate("x")
+        disk.fail_block(block)
+        sink = Sink()
+        with trace([sink]):
+            with pytest.raises(StorageError):
+                disk.write(block, "y")
+        faults = [e for e in sink.events if e.name == "disk_fault"]
+        assert len(faults) == 1
+        assert faults[0].fields["device"] == "flaky"
+        assert faults[0].fields["block"] == block
+        assert faults[0].fields["write"] is True
+
+    def test_fail_on_write_of_lets_reads_through(self):
+        disk = FaultyDisk()
+        block = disk.allocate("before")
+        disk.fail_on_write_of(block)
+        assert disk.read(block) == "before"  # reads unaffected
+        with pytest.raises(StorageError):
+            disk.write(block, "after")
+        assert disk.peek(block) == "before"
+        disk.heal()
+        disk.write(block, "after")
+        assert disk.peek(block) == "after"
+
+
+class TestDurableSessionUnderDeviceFaults:
+    def _durable_th_on_faulty_disk(self, capacity=4):
+        """A durable TH file whose bucket device is a FaultyDisk."""
+        from repro.storage.recovery import DurableFile
+        from repro.storage.wal import StableStore
+
+        stable = StableStore()
+        f = DurableFile.open(stable, engine="th", capacity=capacity)
+        old = f.file.store.disk
+        faulty = FaultyDisk(name=old.name)
+        faulty._blocks = old._blocks
+        faulty._next_id = old._next_id
+        faulty.stats = old.stats
+        f.file.store.disk = faulty
+        f.file.store.pool.disk = faulty
+        return stable, f, faulty
+
+    def test_device_fault_mid_split_poisons_session(self):
+        """Kill one bucket write inside a split: the op must not ack.
+
+        The in-memory structure is torn mid-change, so the session
+        refuses further work; reopening the stable store recovers
+        exactly the acknowledged operations.
+        """
+        from repro.storage.recovery import DurableFile
+        from repro.storage.wal import StableStore
+
+        stable, f, faulty = self._durable_th_on_faulty_disk(capacity=4)
+        acked = {}
+        doomed = None
+        for key in ["ape", "bat", "cat", "dog", "eel", "fox", "gnu", "hen"]:
+            # Arm the fault on the bucket the next split will allocate:
+            # the first write of a fresh block id.
+            if len(acked) == 4 and doomed is None:
+                doomed = key
+                faulty.fail_on_write_of(faulty._next_id)
+            try:
+                f.insert(key, key[:1])
+                acked[key] = key[:1]
+            except StorageError:
+                assert key == doomed
+                break
+        assert doomed is not None and doomed not in acked
+        assert faulty.stats.faults == 1
+        with pytest.raises(StorageError):
+            f.insert("later", "x")  # poisoned
+        g = DurableFile.open(stable, engine="th", capacity=4)
+        assert dict(g.items()) == acked
+        g.check()

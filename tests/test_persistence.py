@@ -1,6 +1,8 @@
-"""Whole-file persistence round trips."""
+"""Whole-file persistence round trips and corrupted-image handling."""
 
 import io
+import struct
+import zlib
 
 import pytest
 
@@ -127,13 +129,100 @@ class TestValidation:
 
     def test_truncation_detected(self, small_keys):
         data = dump_bytes(build(small_keys))
-        with pytest.raises(Exception):
+        with pytest.raises(StorageError):
             load_bytes(data[: len(data) // 2])
 
     def test_record_count_verified(self, small_keys):
         data = bytearray(dump_bytes(build(small_keys)))
-        # Corrupt the declared record count in the JSON header.
+        # Corrupt the declared record count in the JSON header, then
+        # reseal so the image checksum passes and the count check fires.
         at = data.find(b'"records":')
         data[at + 10 : at + 11] = b"9"
-        with pytest.raises(Exception):
+        with pytest.raises(StorageError):
+            load_bytes(_reseal(bytes(data)))
+
+
+def _reseal(data):
+    """Recompute the trailing image CRC over a tampered body.
+
+    Lets tests reach the parsing layers *behind* the checksum: without
+    this every flipped byte is caught by the outer CRC and the inner
+    decoding paths never run.
+    """
+    body = data[:-4]
+    return body + struct.pack(">I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+class TestCorruption:
+    """A damaged image must always surface as StorageError — never as a
+    raw struct/json/unicode traceback from the codec internals."""
+
+    def test_empty_image(self):
+        with pytest.raises(StorageError, match="too short"):
+            load_bytes(b"")
+
+    def test_single_byte_image(self):
+        with pytest.raises(StorageError):
+            load_bytes(b"\x00")
+
+    def test_flipped_checksum_byte(self, small_keys):
+        data = bytearray(dump_bytes(build(small_keys)))
+        data[-1] ^= 0xFF
+        with pytest.raises(StorageError, match="checksum mismatch"):
             load_bytes(bytes(data))
+
+    def test_flipped_body_byte_fails_checksum(self, small_keys):
+        data = bytearray(dump_bytes(build(small_keys)))
+        data[len(data) // 2] ^= 0x40
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            load_bytes(bytes(data))
+
+    def test_truncation_at_every_region(self, small_keys):
+        # Cut the image inside the magic, the header, the trie and the
+        # bucket area; every cut must fail cleanly.
+        data = dump_bytes(build(small_keys))
+        for cut in (3, 8, 40, len(data) // 3, len(data) - 2):
+            with pytest.raises(StorageError):
+                load_bytes(data[:cut])
+
+    def test_resealed_garbage_header_is_clean(self, small_keys):
+        # Valid checksum over a broken JSON header: the inner parser
+        # must wrap the failure, not leak json.JSONDecodeError.
+        data = bytearray(dump_bytes(build(small_keys)))
+        at = data.find(b'"capacity"')
+        data[at : at + 10] = b"\xff" * 10
+        with pytest.raises(StorageError, match="corrupt"):
+            load_bytes(_reseal(bytes(data)))
+
+    def test_resealed_truncated_bucket_area_is_clean(self, small_keys):
+        # Drop the tail of the bucket area but keep the CRC honest: the
+        # record loop hits a short read and must report StorageError.
+        data = dump_bytes(build(small_keys))
+        with pytest.raises(StorageError):
+            load_bytes(_reseal(data[: len(data) - 30] + data[-4:]))
+
+    def test_mlth_empty_and_flipped(self, small_keys):
+        from repro import MLTHFile
+        from repro.storage.persistence import dump_mlth_bytes, load_mlth_bytes
+
+        with pytest.raises(StorageError):
+            load_mlth_bytes(b"")
+        f = MLTHFile(bucket_capacity=5, page_capacity=8)
+        for k in small_keys[:60]:
+            f.insert(k)
+        data = bytearray(dump_mlth_bytes(f))
+        data[len(data) // 2] ^= 0x01
+        with pytest.raises(StorageError, match="checksum mismatch"):
+            load_mlth_bytes(bytes(data))
+
+    def test_mlth_truncation(self, small_keys):
+        from repro import MLTHFile
+        from repro.storage.persistence import dump_mlth_bytes, load_mlth_bytes
+
+        f = MLTHFile(bucket_capacity=5, page_capacity=8)
+        for k in small_keys[:60]:
+            f.insert(k)
+        data = dump_mlth_bytes(f)
+        for cut in (2, 10, len(data) // 2):
+            with pytest.raises(StorageError):
+                load_mlth_bytes(data[:cut])

@@ -1,9 +1,13 @@
-"""Stateful (model-based) testing: a THFile against a plain dict.
+"""Stateful (model-based) testing against a plain dict.
 
 Hypothesis drives arbitrary interleavings of insert/put/delete/get/range
 operations across the full policy matrix; after every step the file must
 agree with the dictionary model, and periodically the deep structural
-check must hold.
+check must hold. A second machine runs the durable engines (TH, THCL,
+MLTH) with crash/recover rules in the mix: a crash drops everything not
+yet fsynced, and recovery must restore exactly the acknowledged
+operations. Budgets come from the Hypothesis profiles in conftest.py
+(HYPOTHESIS_PROFILE=nightly for the deep run).
 """
 
 import string
@@ -19,6 +23,10 @@ from hypothesis.stateful import (
 )
 
 from repro import DuplicateKeyError, KeyNotFoundError, SplitPolicy, THFile
+from repro.core.boundaries import gap_index
+from repro.core.reconstruct import reconstruct_model
+from repro.storage.recovery import DurableFile
+from repro.storage.wal import StableStore
 
 keys_st = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
 
@@ -111,6 +119,126 @@ class FileAgainstDict(RuleBasedStateMachine):
 
 
 TestFileAgainstDict = FileAgainstDict.TestCase
-TestFileAgainstDict.settings = settings(
-    max_examples=25, stateful_step_count=40, deadline=None
-)
+TestFileAgainstDict.settings = settings()  # current profile (conftest.py)
+
+
+DURABLE_CONFIGS = [
+    ("th", dict(capacity=3, policy=SplitPolicy(merge="rotations"))),
+    ("th", dict(capacity=3, policy=SplitPolicy.thcl_redistributing())),
+    (
+        "mlth",
+        dict(capacity=3, page_capacity=6, policy=SplitPolicy.thcl(merge="guaranteed")),
+    ),
+]
+
+values_st = st.text(alphabet=string.ascii_lowercase, max_size=4)
+
+
+class DurableAgainstDict(RuleBasedStateMachine):
+    """Durable engines under crashes: the model tracks *acknowledged*
+    operations only. Every mutation is fsynced before it returns, so a
+    crash (dropping all volatile store state) followed by recovery must
+    reproduce the model exactly — no lost acks, no phantoms.
+    """
+
+    @initialize(
+        config=st.integers(min_value=0, max_value=len(DURABLE_CONFIGS) - 1),
+        checkpoint_every=st.integers(min_value=4, max_value=12),
+    )
+    def setup(self, config, checkpoint_every):
+        self.engine, params = DURABLE_CONFIGS[config]
+        self.stable = StableStore()
+        self.file = DurableFile.open(
+            self.stable,
+            engine=self.engine,
+            checkpoint_every=checkpoint_every,
+            max_chain=3,
+            **params,
+        )
+        self.model = {}
+        self.steps = 0
+
+    @rule(key=keys_st, value=values_st)
+    def insert(self, key, value):
+        self.steps += 1
+        if key in self.model:
+            try:
+                self.file.insert(key, value)
+                raise AssertionError("duplicate accepted")
+            except DuplicateKeyError:
+                pass
+        else:
+            self.file.insert(key, value)
+            self.model[key] = value
+
+    @rule(key=keys_st, value=values_st)
+    def put(self, key, value):
+        self.steps += 1
+        self.file.put(key, value)
+        self.model[key] = value
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_existing(self, data):
+        self.steps += 1
+        key = data.draw(st.sampled_from(sorted(self.model)))
+        assert self.file.delete(key) == self.model.pop(key)
+
+    @rule(key=keys_st)
+    def delete_missing(self, key):
+        if key in self.model:
+            return
+        try:
+            self.file.delete(key)
+            raise AssertionError("deleted a missing key")
+        except KeyNotFoundError:
+            pass
+
+    @rule(key=keys_st)
+    def lookup(self, key):
+        if key in self.model:
+            assert self.file.get(key) == self.model[key]
+        else:
+            assert key not in self.file
+
+    @rule()
+    def crash_and_recover(self):
+        self.steps += 1
+        self.stable.lose_volatile()  # power cut: volatile bytes gone
+        self.file = DurableFile.open(self.stable, engine=self.engine)
+        assert dict(self.file.items()) == self.model
+        self.file.check()
+        self._oracle()
+
+    @rule()
+    def clean_reopen(self):
+        self.steps += 1
+        self.file.close()
+        self.file = DurableFile.open(self.stable, engine=self.engine)
+        assert dict(self.file.items()) == self.model
+
+    def _oracle(self):
+        # Differential oracle: for TH engines the bucket headers alone
+        # must reproduce the recovered key -> bucket mapping (/TOR83/).
+        if self.engine != "th":
+            return
+        inner = self.file.file
+        model = reconstruct_model(inner.store, inner.alphabet)
+        for key in inner.keys():
+            gap = gap_index(model.boundaries, key, inner.alphabet)
+            assert model.children[gap] == inner.trie.search(key).bucket, key
+
+    @invariant()
+    def sizes_agree(self):
+        if hasattr(self, "model"):
+            assert len(self.file) == len(self.model)
+
+    @invariant()
+    def deep_check_periodically(self):
+        if hasattr(self, "model") and self.steps % 9 == 0:
+            self.file.check()
+            assert dict(self.file.items()) == self.model
+
+
+TestDurableAgainstDict = DurableAgainstDict.TestCase
+TestDurableAgainstDict.settings = settings()
