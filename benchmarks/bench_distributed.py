@@ -1,0 +1,85 @@
+"""TH* distributed layer: routed throughput and image convergence.
+
+The convergence table is the layer's reproduction artifact (a client's
+hit rate versus work done while the file scales out); the throughput
+benchmarks price the routing indirection against a plain single-node
+:class:`~repro.core.file.THFile` on the same workload.
+"""
+
+import pytest
+
+from repro import Cluster, ShardPolicy, THFile
+from repro.distributed.report import distributed_table
+from repro.workloads import KeyGenerator
+
+from conftest import once
+
+KEYS = KeyGenerator(31).uniform(3000)
+PROBES = KEYS[::5]
+
+
+@pytest.fixture(scope="module")
+def loaded_cluster():
+    cluster = Cluster(
+        shards=4, bucket_capacity=20, shard_policy=ShardPolicy(shard_capacity=256)
+    )
+    f = cluster.client(warm=True)
+    for k in KEYS:
+        f.insert(k)
+    return cluster
+
+
+@pytest.fixture(scope="module")
+def single_node():
+    f = THFile(bucket_capacity=20)
+    for k in KEYS:
+        f.insert(k)
+    return f
+
+
+def test_distributed_convergence_table(benchmark, report):
+    rows = once(benchmark, lambda: distributed_table(count=3000, windows=6))
+    report("distributed", rows, "TH* image convergence vs scale-out")
+    assert rows[-1]["hit%"] >= 90.0
+
+
+def test_search_throughput_distributed_warm(benchmark, loaded_cluster):
+    client = loaded_cluster.client(warm=True)
+    benchmark(lambda: [client.get(k) for k in PROBES])
+    assert client.ops_forwarded == 0
+
+
+def test_search_throughput_distributed_cold(benchmark, loaded_cluster):
+    def probe_cold():
+        client = loaded_cluster.client()
+        return [client.get(k) for k in PROBES]
+
+    benchmark(probe_cold)
+
+
+def test_search_throughput_single_node_baseline(benchmark, single_node):
+    benchmark(lambda: [single_node.get(k) for k in PROBES])
+
+
+def test_insert_throughput_distributed(benchmark):
+    def build():
+        cluster = Cluster(
+            shards=4,
+            bucket_capacity=20,
+            shard_policy=ShardPolicy(shard_capacity=512),
+        )
+        f = cluster.client(warm=True)
+        for k in KEYS[:1500]:
+            f.insert(k)
+        return cluster
+
+    cluster = benchmark(build)
+    assert len(cluster) == 1500
+
+
+def test_scan_throughput_distributed(benchmark, loaded_cluster):
+    client = loaded_cluster.client(warm=True)
+    s = sorted(KEYS)
+    lo, hi = s[500], s[2500]
+    out = benchmark(lambda: sum(1 for _ in client.range_items(lo, hi)))
+    assert out == 2001

@@ -11,7 +11,10 @@ methods for primary-key ordered dynamic files:
 * **MLTH** — multilevel trie hashing: the trie itself paged to disk,
   two accesses per lookup for gigabyte-scale files;
 * a **B+-tree** baseline (:mod:`repro.btree`) for every comparison the
-  paper draws.
+  paper draws;
+* **TH-star** — a distributed shard layer (:mod:`repro.distributed`)
+  where clients route with possibly-stale trie images that converge
+  through Image Adjustment Messages (arXiv:1205.0439).
 
 Quickstart::
 
@@ -50,8 +53,10 @@ from .core import (
 from .core.bulk import bulk_load_th
 from .core.cursor import Cursor
 from .core.errors import CrashError, RecoveryError
+from .core.image import TrieImage
 from .core.mlth import MLTHFile
 from .core.overflow import OverflowTHFile
+from .distributed import Cluster, DistributedFile, ShardPolicy
 from .storage.recovery import DurableFile
 from .storage.wal import StableStore
 
@@ -79,6 +84,10 @@ __all__ = [
     "MLTHFile",
     "OverflowTHFile",
     "Cursor",
+    "Cluster",
+    "DistributedFile",
+    "ShardPolicy",
+    "TrieImage",
     "BPlusTree",
     "bulk_load_compact",
     "bulk_load_th",

@@ -23,6 +23,7 @@ module                  paper section
 ``overflow``            deferred splitting via overflow chains (§6)
 ``logical``/``render``  the M-ary view (Fig 2) and ASCII rendering
 ``range_query``         range scans (order preservation, §2.2)
+``image``               TH* client trie images (arXiv:1205.0439)
 ======================  ====================================================
 """
 
@@ -37,6 +38,7 @@ from .errors import (
     TrieHashingError,
 )
 from .file import FileStats, THFile
+from .image import TrieImage
 from .policies import SplitPolicy
 from .trie import Trie
 
@@ -55,6 +57,7 @@ __all__ = [
     "TrieHashingError",
     "FileStats",
     "THFile",
+    "TrieImage",
     "SplitPolicy",
     "Trie",
 ]

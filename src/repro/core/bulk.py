@@ -16,6 +16,7 @@ with THCL shared leaves to keep the set prefix-closed.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Optional, Tuple
 
 from ..storage.buckets import BucketStore
@@ -45,7 +46,14 @@ def bulk_load_th(
     """
     if not 0.0 < fill <= 1.0:
         raise CapacityError("fill must be in (0, 1]")
-    per_bucket = max(1, round(fill * bucket_capacity))
+    # Ceiling, not round(): banker's rounding would under-fill (e.g.
+    # fill=0.5, b=5 -> 2-record buckets, a 0.4 load) and break the
+    # guaranteed-load contract that every bucket holds >= fill * b.
+    # The epsilon keeps float noise just above an integer from bumping
+    # the count to the next one.
+    per_bucket = min(
+        bucket_capacity, max(1, math.ceil(fill * bucket_capacity - 1e-9))
+    )
     policy = policy or SplitPolicy.thcl_guaranteed_half()
     if policy.nil_nodes:
         raise CapacityError("bulk loading builds THCL (shared-leaf) files")

@@ -15,11 +15,12 @@ the file's modification counter.
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .cells import is_nil
 from .errors import TrieHashingError
 from .file import THFile
+from .keys import prefix_gt
 
 __all__ = ["Cursor", "CursorInvalidError"]
 
@@ -43,14 +44,21 @@ class Cursor:
     def __init__(self, file: THFile):
         self._file = file
         self._generation = file.structure_generation
-        # The ordered list of distinct buckets, derived once per cursor.
+        # The ordered list of distinct buckets, derived once per cursor,
+        # with the logical path of each bucket's first leaf and a
+        # pointer -> ordinal map so seeks cost O(log b) instead of a
+        # linear rescan of the bucket list (or of the trie's leaves).
         self._buckets: List[int] = []
+        self._paths: List[str] = []
+        self._bucket_pos: Dict[int, int] = {}
         previous: Optional[int] = None
-        for _, ptr, _ in file.trie.leaves_in_order():
+        for _, ptr, path in file.trie.leaves_in_order():
             if is_nil(ptr) or ptr == previous:
                 continue
             previous = ptr
+            self._bucket_pos[ptr] = len(self._buckets)
             self._buckets.append(ptr)
+            self._paths.append(path)
         self._bucket_index = -1
         self._record_index = -1
         self._keys: List[str] = []
@@ -124,11 +132,14 @@ class Cursor:
         self._check_generation()
         key = self._file.alphabet.validate_key(key)
         result = self._file.trie.search(key)
-        if result.bucket is None or result.bucket not in self._buckets:
+        start = (
+            self._bucket_pos.get(result.bucket)
+            if result.bucket is not None
+            else None
+        )
+        if start is None:
             # Nil leaf: start from the next bucket in order.
             start = self._first_bucket_at_or_after(key)
-        else:
-            start = self._buckets.index(result.bucket)
         for i in range(start, len(self._buckets)):
             self._load(i)
             at = bisect.bisect_left(self._keys, key) if i == start else 0
@@ -139,18 +150,11 @@ class Cursor:
         return False
 
     def _first_bucket_at_or_after(self, key: str) -> int:
-        # Walk leaves until the one whose range can contain >= key.
-        from .keys import prefix_gt
-
-        previous = None
-        index = 0
-        for _, ptr, path in self._file.trie.leaves_in_order():
-            if is_nil(ptr) or ptr == previous:
-                continue
-            previous = ptr
+        # The first bucket whose range can contain >= key, from the
+        # first-leaf paths snapshotted at construction (no trie re-walk).
+        for index, path in enumerate(self._paths):
             if not prefix_gt(key, path, self._file.alphabet) or path == "":
                 return index
-            index += 1
         return len(self._buckets)
 
     # ------------------------------------------------------------------

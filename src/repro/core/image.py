@@ -1,0 +1,191 @@
+"""Trie images: the client-side addressing state of the TH* layer.
+
+TH* (the Scalable Distributed Data Structure built on trie hashing)
+lets every client keep a *possibly outdated* copy of the key-space
+partition — the **trie image** — and route operations with it. Servers
+never trust a client's routing: a misaddressed operation is forwarded to
+the correct shard, and the reply carries an **Image Adjustment Message**
+(IAM) with the authoritative cut points around the addressed key, which
+the client grafts into its image. Images therefore converge toward the
+true partition without any global refresh protocol.
+
+A :class:`TrieImage` is the shape-free form of that partition: a list of
+*boundaries* sorted in boundary order (see
+:mod:`repro.core.boundaries`), plus one shard id per gap — exactly a
+:class:`~repro.core.boundaries.BoundaryModel` whose children are shard
+ids instead of bucket addresses. The coordinator holds the authoritative
+instance; clients hold stale copies. Because shard splits only ever
+*add* boundaries (there is no shard merge), a client image's boundary
+set is always a subset of the authoritative one, and patching is pure
+refinement: insert the missing cuts, repoint the covered gaps.
+
+IAM entries are triples ``(low, high, shard)``: the authoritative fact
+that every key strictly above boundary ``low`` and at or below boundary
+``high`` (``None`` meaning the open ends of the key space) lives on
+``shard``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .alphabet import Alphabet
+from .boundaries import boundary_sort_key, gap_index
+from .errors import TrieCorruptionError
+
+__all__ = ["IAMEntry", "TrieImage"]
+
+#: One Image Adjustment Message entry: keys in ``(low, high]`` -> shard.
+IAMEntry = Tuple[Optional[str], Optional[str], int]
+
+
+class TrieImage:
+    """A (possibly stale) map from keys to shard ids.
+
+    Parameters
+    ----------
+    alphabet:
+        The key alphabet (boundary order depends on it).
+    boundaries:
+        Cut points, sorted in boundary order.
+    shards:
+        One shard id per gap: ``len(boundaries) + 1`` entries;
+        ``shards[j]`` owns the keys between ``boundaries[j-1]``
+        (exclusive) and ``boundaries[j]`` (inclusive).
+    """
+
+    __slots__ = ("alphabet", "boundaries", "shards", "_sort_keys")
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        boundaries: Iterable[str] = (),
+        shards: Iterable[int] = (0,),
+    ):
+        self.alphabet = alphabet
+        self.boundaries: List[str] = list(boundaries)
+        self.shards: List[int] = list(shards)
+        if len(self.shards) != len(self.boundaries) + 1:
+            raise TrieCorruptionError(
+                f"{len(self.boundaries)} boundaries need "
+                f"{len(self.boundaries) + 1} shards, got {len(self.shards)}"
+            )
+        self._sort_keys = [
+            boundary_sort_key(s, alphabet) for s in self.boundaries
+        ]
+        for a, b in zip(self._sort_keys, self._sort_keys[1:]):
+            if not a < b:
+                raise TrieCorruptionError("image boundaries not increasing")
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of regions (gaps) the image distinguishes."""
+        return len(self.shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrieImage({self.boundaries!r}, {self.shards!r})"
+
+    def copy(self) -> "TrieImage":
+        """An independent snapshot (clients fork the coordinator's)."""
+        return TrieImage(self.alphabet, self.boundaries, self.shards)
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def locate(self, key: str) -> Tuple[int, int]:
+        """The ``(gap, shard)`` this image maps ``key`` to."""
+        gap = gap_index(self.boundaries, key, self.alphabet)
+        return gap, self.shards[gap]
+
+    def shard_for_key(self, key: str) -> int:
+        """The shard id this image routes ``key`` to."""
+        return self.locate(key)[1]
+
+    def region(self, gap: int) -> Tuple[Optional[str], Optional[str]]:
+        """Gap ``gap``'s bounding boundaries ``(low, high)``.
+
+        ``None`` stands for the open ends of the key space.
+        """
+        low = self.boundaries[gap - 1] if gap > 0 else None
+        high = self.boundaries[gap] if gap < len(self.boundaries) else None
+        return low, high
+
+    def gap_above(self, boundary: str) -> int:
+        """Index of the first gap strictly above ``boundary``."""
+        return bisect.bisect_right(
+            self._sort_keys, boundary_sort_key(boundary, self.alphabet)
+        )
+
+    # ------------------------------------------------------------------
+    # Refinement
+    # ------------------------------------------------------------------
+    def split_region(self, gap: int, boundary: str, new_shard: int) -> None:
+        """Cut gap ``gap`` at ``boundary``; the upper part goes to
+        ``new_shard`` (the coordinator's scale-out primitive)."""
+        position = self._insert_boundary(boundary)
+        if position != gap:
+            raise TrieCorruptionError(
+                f"boundary {boundary!r} does not cut gap {gap}"
+            )
+        self.shards[gap + 1] = new_shard
+
+    def _insert_boundary(self, boundary: str) -> int:
+        """Insert ``boundary`` (both sub-gaps keep the old shard).
+
+        Returns the insertion index, or ``-(index + 1)`` when the
+        boundary was already present at ``index``.
+        """
+        sk = boundary_sort_key(boundary, self.alphabet)
+        position = bisect.bisect_left(self._sort_keys, sk)
+        if (
+            position < len(self._sort_keys)
+            and self._sort_keys[position] == sk
+        ):
+            return -(position + 1)
+        self.boundaries.insert(position, boundary)
+        self._sort_keys.insert(position, sk)
+        self.shards.insert(position, self.shards[position])
+        return position
+
+    def patch(self, entries: Sequence[IAMEntry]) -> int:
+        """Graft IAM ``entries`` into the image; returns boundaries learned.
+
+        Each entry ``(low, high, shard)`` refines the image: the missing
+        cut points are inserted (sub-gaps first inherit the stale shard
+        guess) and every gap covered by ``(low, high]`` is repointed at
+        ``shard``. Entries from any server are safe to apply in any
+        order — they are facts about the authoritative partition, which
+        only ever grows.
+        """
+        learned = 0
+        for low, high, shard in entries:
+            if low is not None:
+                if self._insert_boundary(low) >= 0:
+                    learned += 1
+                first = self.gap_above(low)
+            else:
+                first = 0
+            if high is not None:
+                position = self._insert_boundary(high)
+                if position >= 0:
+                    learned += 1
+                    last = position
+                else:
+                    last = -position - 1
+            else:
+                last = len(self.shards) - 1
+            for gap in range(first, last + 1):
+                self.shards[gap] = shard
+        return learned
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Verify the image invariants (sorted cuts, aligned shards)."""
+        if len(self.shards) != len(self.boundaries) + 1:
+            raise TrieCorruptionError("boundary/shard arity mismatch")
+        for a, b in zip(self._sort_keys, self._sort_keys[1:]):
+            if not a < b:
+                raise TrieCorruptionError("image boundaries not increasing")

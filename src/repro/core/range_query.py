@@ -13,6 +13,7 @@ import bisect
 from typing import Iterator, Optional, Tuple, TYPE_CHECKING
 
 from .cells import is_nil
+from .cursor import CursorInvalidError
 from .keys import prefix_gt
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,6 +30,11 @@ def scan(
     Bounds are inclusive; ``None`` means open. Buckets are read through
     the metered store, so the caller can measure the paper's range-query
     access costs directly.
+
+    The scan snapshots the file's structure generation when iteration
+    starts; a split or merge under a live scan raises
+    :class:`~repro.core.cursor.CursorInvalidError` (the cursor's
+    contract) instead of silently skipping or duplicating records.
     """
     alphabet = file.alphabet
     if low is not None:
@@ -38,6 +44,14 @@ def scan(
     if low is not None and high is not None and low > high:
         return
 
+    generation = file.structure_generation
+
+    def check_fresh() -> None:
+        if file.structure_generation != generation:
+            raise CursorInvalidError(
+                "the file split or merged buckets during this scan"
+            )
+
     previous = None
     for _, ptr, path in file.trie.leaves_in_order():
         if low is not None and prefix_gt(low, path, alphabet):
@@ -45,10 +59,12 @@ def scan(
         if is_nil(ptr) or ptr == previous:
             continue
         previous = ptr
+        check_fresh()
         bucket = file.store.read(ptr)
         keys = bucket.keys
         begin = 0 if low is None else bisect.bisect_left(keys, low)
         for i in range(begin, len(keys)):
+            check_fresh()
             if high is not None and keys[i] > high:
                 return
             yield keys[i], bucket.values[i]

@@ -1,0 +1,188 @@
+"""The client-side distributed file: THFile semantics over shards.
+
+A :class:`DistributedFile` exposes the single-node
+:class:`~repro.core.file.THFile` record API — ``insert`` / ``put`` /
+``get`` / ``contains`` / ``delete`` / ``range_items`` — but routes every
+operation through its cached :class:`~repro.core.image.TrieImage`. The
+image may be arbitrarily stale (a cold client believes the whole key
+space lives on shard 0); servers forward misaddressed operations and the
+reply's IAM refines the image, so the miss rate decays as the client
+works — the TH* convergence property, which :meth:`convergence`
+measures and reports through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..core.image import TrieImage
+from .messages import Op, Reply
+
+__all__ = ["DistributedFile"]
+
+
+class DistributedFile:
+    """A client handle on a :class:`~repro.distributed.coordinator.Cluster`.
+
+    Obtain one from :meth:`Cluster.client` — cold (blank image, the TH*
+    initial state) or warm (a snapshot of the current partition).
+    """
+
+    def __init__(self, cluster, image: Optional[TrieImage] = None, client_id: int = 0):
+        self.cluster = cluster
+        self.router = cluster.router
+        self.alphabet = cluster.alphabet
+        self.client_id = client_id
+        if image is None:
+            # The TH* initial image: one region, assumed on the first shard.
+            first = min(cluster.coordinator.servers)
+            image = TrieImage(self.alphabet, (), (first,))
+        self.image = image
+        # Lifetime and windowed convergence counters: an op "resolves
+        # without forwarding" when the image addressed the owner directly.
+        self.ops_total = 0
+        self.ops_forwarded = 0
+        self.window_total = 0
+        self.window_forwarded = 0
+        self.iam_boundaries = 0
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _absorb(self, reply: Reply) -> None:
+        self.ops_total += 1
+        self.window_total += 1
+        routed = "direct"
+        if reply.forwards:
+            self.ops_forwarded += 1
+            self.window_forwarded += 1
+            routed = "forwarded"
+        learned = self.image.patch(reply.iam)
+        self.iam_boundaries += learned
+        registry = self.cluster.registry
+        registry.counter(
+            "dist_client_ops_total", {"client": self.client_id, "routed": routed}
+        ).inc()
+        if learned:
+            registry.counter(
+                "dist_iam_boundaries_total", {"client": self.client_id}
+            ).inc(learned)
+        registry.gauge(
+            "dist_client_convergence", {"client": self.client_id}
+        ).set(self.convergence())
+
+    def _point(self, op: Op) -> object:
+        shard = self.image.shard_for_key(op.key)
+        reply = self.router.client_send(shard, op)
+        self._absorb(reply)
+        if reply.error is not None:
+            raise reply.error
+        return reply.value
+
+    # ------------------------------------------------------------------
+    # The record API (THFile-compatible)
+    # ------------------------------------------------------------------
+    def insert(self, key: str, value: object = None) -> None:
+        """Insert a new record; raises ``DuplicateKeyError`` if present."""
+        self._point(Op.insert(self.alphabet.validate_key(key), value))
+
+    def put(self, key: str, value: object = None) -> None:
+        """Insert or overwrite the record under ``key``."""
+        self._point(Op.put(self.alphabet.validate_key(key), value))
+
+    def get(self, key: str) -> object:
+        """Return the value stored under ``key``."""
+        return self._point(Op.get(self.alphabet.validate_key(key)))
+
+    def contains(self, key: str) -> bool:
+        """True when ``key`` is stored in the file."""
+        return bool(self._point(Op.contains(self.alphabet.validate_key(key))))
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def delete(self, key: str) -> object:
+        """Remove ``key``'s record and return its value."""
+        return self._point(Op.delete(self.alphabet.validate_key(key)))
+
+    def __len__(self) -> int:
+        """Record count (authoritative metadata, not a routed op)."""
+        return self.cluster.coordinator.total_records()
+
+    # ------------------------------------------------------------------
+    # Ordered access
+    # ------------------------------------------------------------------
+    def range_items(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> Iterator[Tuple[str, object]]:
+        """Records with ``low <= key <= high`` in key order.
+
+        The scan walks the authoritative regions left to right, one
+        routed leg per region; each leg is addressed with the client's
+        image (and counted toward convergence), and its IAM teaches the
+        client the region's true cuts.
+        """
+        if low is not None:
+            low = self.alphabet.validate_key(low)
+        if high is not None:
+            high = self.alphabet.validate_key(high)
+        if low is not None and high is not None and low > high:
+            return
+        after: Optional[str] = None
+        first = True
+        while True:
+            if first:
+                shard = (
+                    self.image.shard_for_key(low)
+                    if low is not None
+                    else self.image.shards[0]
+                )
+            else:
+                shard = self.image.shards[self.image.gap_above(after)]
+            reply = self.router.client_send(shard, Op.scan(low, high, after))
+            self._absorb(reply)
+            if reply.error is not None:  # pragma: no cover - defensive
+                raise reply.error
+            for record in reply.records:
+                yield record
+            if reply.done:
+                return
+            after = reply.region_high
+            first = False
+
+    def items(self) -> Iterator[Tuple[str, object]]:
+        """Iterate every record in key order."""
+        return self.range_items()
+
+    def keys(self) -> Iterator[str]:
+        """Iterate every key in order."""
+        for key, _ in self.range_items():
+            yield key
+
+    # ------------------------------------------------------------------
+    # Convergence
+    # ------------------------------------------------------------------
+    def convergence(self, window: bool = False) -> float:
+        """Fraction of ops the image addressed without a forward.
+
+        ``window=True`` restricts to the ops since the last
+        :meth:`reset_window` (how the warm-up criterion is measured).
+        """
+        total = self.window_total if window else self.ops_total
+        missed = self.window_forwarded if window else self.ops_forwarded
+        return 1.0 if total == 0 else 1.0 - missed / total
+
+    def reset_window(self) -> None:
+        """Start a fresh convergence measurement window."""
+        self.window_total = 0
+        self.window_forwarded = 0
+
+    def stats(self) -> dict:
+        """The client's routing counters as a plain dict."""
+        return {
+            "ops": self.ops_total,
+            "forwarded": self.ops_forwarded,
+            "iam_boundaries": self.iam_boundaries,
+            "convergence": round(self.convergence(), 4),
+            "image_regions": len(self.image),
+        }

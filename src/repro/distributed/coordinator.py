@@ -1,0 +1,345 @@
+"""The coordinator: authoritative partition, scale-out, and the cluster.
+
+The coordinator owns the one true :class:`~repro.core.image.TrieImage`
+— the partition of the key space into shard regions — and the shard
+registry. Everything else in the layer works off possibly-stale copies:
+clients route with their image, servers consult the coordinator to
+detect misaddressing and to build Image Adjustment Messages.
+
+Scale-out is the TH* file expansion: when a shard's load crosses the
+:class:`ShardPolicy` threshold, the coordinator cuts the shard's region
+at the split string of its two median records (Algorithm A2's step 1,
+applied at the shard level), moves the upper half of the records to a
+freshly created server, and refines the partition. Clients discover the
+new shard lazily, through IAMs.
+
+:class:`Cluster` is the assembly: it wires a coordinator, a router and
+the initial servers together, seeds an optional static pre-partition,
+and hands out client handles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
+from ..core.file import THFile
+from ..core.image import IAMEntry, TrieImage
+from ..core.keys import prefix_gt, prefix_le, split_string
+from ..core.policies import SplitPolicy
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import TRACER
+from .messages import Op
+from .router import Router
+from .server import ShardServer
+
+__all__ = ["ShardPolicy", "Coordinator", "Cluster"]
+
+
+class ShardPolicy:
+    """When a shard scales out.
+
+    A shard's *load factor* is ``records / shard_capacity``; the shard
+    splits when it crosses ``split_threshold``. The defaults keep
+    simulated shards small enough that a few thousand records exercise
+    several generations of splits.
+    """
+
+    __slots__ = ("shard_capacity", "split_threshold")
+
+    def __init__(self, shard_capacity: int = 256, split_threshold: float = 0.8):
+        if shard_capacity < 2:
+            raise ValueError("shard capacity must be at least 2")
+        if not 0.0 < split_threshold <= 1.0:
+            raise ValueError("split threshold must be in (0, 1]")
+        self.shard_capacity = shard_capacity
+        self.split_threshold = split_threshold
+
+    def load_factor(self, records: int) -> float:
+        """The shard-level load ``records / capacity``."""
+        return records / self.shard_capacity
+
+    def should_split(self, records: int) -> bool:
+        """True when a shard holding ``records`` must scale out."""
+        return records >= 2 and self.load_factor(records) > self.split_threshold
+
+
+class Coordinator:
+    """Authoritative partition state and the scale-out machinery."""
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        registry: MetricsRegistry,
+        shard_policy: ShardPolicy,
+        router: Router,
+        file_factory: Callable[[], object],
+    ):
+        self.alphabet = alphabet
+        self.registry = registry
+        self.shard_policy = shard_policy
+        self.router = router
+        self.file_factory = file_factory
+        self._next_shard = 0
+        self.servers: Dict[int, ShardServer] = {}
+        first = self._new_server()
+        self.model = TrieImage(alphabet, (), (first.shard_id,))
+        registry.gauge("dist_shards").set(1)
+
+    def _new_server(self) -> ShardServer:
+        shard_id = self._next_shard
+        self._next_shard += 1
+        server = ShardServer(shard_id, self.file_factory(), self, self.router)
+        self.servers[shard_id] = server
+        return server
+
+    # ------------------------------------------------------------------
+    # Authoritative addressing (what servers consult)
+    # ------------------------------------------------------------------
+    def owner_of(self, key: str) -> int:
+        """The shard that owns ``key`` right now."""
+        return self.model.shard_for_key(key)
+
+    def shard_of_gap(self, gap: int) -> int:
+        return self.model.shards[gap]
+
+    def region_of_gap(self, gap: int) -> Tuple[Optional[str], Optional[str]]:
+        return self.model.region(gap)
+
+    def gap_of_shard(self, shard_id: int) -> int:
+        return self.model.shards.index(shard_id)
+
+    def scan_gap(self, op: Op) -> int:
+        """The gap a scan leg's remaining range starts in."""
+        if op.after is not None:
+            return self.model.gap_above(op.after)
+        if op.low is not None:
+            return self.model.locate(op.low)[0]
+        return 0
+
+    def iam_for_key(self, key: str) -> List[IAMEntry]:
+        """The Image Adjustment entry for the region holding ``key``."""
+        gap, shard = self.model.locate(key)
+        low, high = self.model.region(gap)
+        return [(low, high, shard)]
+
+    def total_records(self) -> int:
+        """Records across all shards (authoritative metadata)."""
+        return sum(len(s) for s in self.servers.values())
+
+    # ------------------------------------------------------------------
+    # Scale-out
+    # ------------------------------------------------------------------
+    def maybe_split(self, shard_id: int) -> None:
+        """Scale ``shard_id`` out while it exceeds the load policy."""
+        while self.shard_policy.should_split(len(self.servers[shard_id])):
+            if not self.split_shard(shard_id):
+                return
+
+    def split_shard(self, shard_id: int) -> bool:
+        """Cut the shard's region at its median records' split string."""
+        server = self.servers[shard_id]
+        items = server.items()
+        if len(items) < 2:
+            return False
+        mid = len(items) // 2
+        cut = split_string(items[mid - 1][0], items[mid][0], self.alphabet)
+        new_id = self.split_gap_at(self.gap_of_shard(shard_id), cut)
+        # The new half may itself still exceed the policy (bulk arrival).
+        self.maybe_split(new_id)
+        return True
+
+    def split_gap_at(self, gap: int, cut: str) -> int:
+        """Split gap ``gap`` at boundary ``cut``; returns the new shard id.
+
+        Records above the cut move to a freshly created server; both
+        sides are rebuilt compactly. Works on empty regions too (static
+        pre-partitioning).
+        """
+        shard_id = self.model.shards[gap]
+        server = self.servers[shard_id]
+        items = server.items()
+        keep = [(k, v) for k, v in items if prefix_le(k, cut, self.alphabet)]
+        move = items[len(keep):]
+        new_server = self._new_server()
+        for key, value in move:
+            new_server.file.insert(key, value)
+        rebuilt = self.file_factory()
+        for key, value in keep:
+            rebuilt.insert(key, value)
+        server.replace_file(rebuilt)
+        self.model.split_region(gap, cut, new_server.shard_id)
+        self.registry.counter("dist_shard_splits_total").inc()
+        self.registry.gauge("dist_shards").set(len(self.servers))
+        if TRACER.enabled:
+            TRACER.emit(
+                "shard_split",
+                shard=shard_id,
+                new_shard=new_server.shard_id,
+                boundary=cut,
+                moved=len(move),
+                stayed=len(keep),
+            )
+        return new_server.shard_id
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Verify the global invariants of the distributed file.
+
+        The partition must be a well-formed image, each shard id must
+        own exactly one region, every server's records must lie inside
+        its region, and each shard's single-node file must satisfy its
+        own structural invariants.
+        """
+        self.model.check()
+        if sorted(self.model.shards) != sorted(self.servers):
+            raise AssertionError(
+                f"partition shards {sorted(self.model.shards)} != "
+                f"servers {sorted(self.servers)}"
+            )
+        for gap, shard_id in enumerate(self.model.shards):
+            low, high = self.model.region(gap)
+            server = self.servers[shard_id]
+            for key, _ in server.items():
+                if low is not None and not prefix_gt(key, low, self.alphabet):
+                    raise AssertionError(
+                        f"key {key!r} on shard {shard_id} below its region"
+                    )
+                if high is not None and not prefix_le(key, high, self.alphabet):
+                    raise AssertionError(
+                        f"key {key!r} on shard {shard_id} above its region"
+                    )
+            server.engine.check()
+
+
+class Cluster:
+    """A complete simulated TH* deployment.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard count; regions are pre-cut at evenly spaced
+        single-digit boundaries (or at ``seed_boundaries``). Scale-out
+        grows the count further as records arrive.
+    bucket_capacity / policy / alphabet:
+        Per-shard :class:`~repro.core.file.THFile` parameters.
+    shard_policy:
+        The scale-out :class:`ShardPolicy`.
+    durable:
+        Wrap every shard in a :class:`~repro.storage.recovery.DurableFile`
+        over its own in-memory stable store (values must then be ``str``
+        or ``None``).
+    registry:
+        A shared :class:`~repro.obs.metrics.MetricsRegistry`; a private
+        one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        shards: int = 1,
+        bucket_capacity: int = 8,
+        policy: Optional[SplitPolicy] = None,
+        shard_policy: Optional[ShardPolicy] = None,
+        alphabet: Alphabet = DEFAULT_ALPHABET,
+        durable: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        seed_boundaries: Optional[List[str]] = None,
+    ):
+        if shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        self.alphabet = alphabet
+        self.bucket_capacity = bucket_capacity
+        self.policy = policy
+        self.durable = durable
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.router = Router(self.registry)
+        self.coordinator = Coordinator(
+            alphabet,
+            self.registry,
+            shard_policy if shard_policy is not None else ShardPolicy(),
+            self.router,
+            self._make_file,
+        )
+        self._clients = 0
+        if seed_boundaries is None:
+            seed_boundaries = self._even_boundaries(shards)
+        for boundary in seed_boundaries:
+            gap = self.coordinator.model.gap_above(boundary)
+            self.coordinator.split_gap_at(gap, boundary)
+
+    def _even_boundaries(self, shards: int) -> List[str]:
+        """Evenly spaced single-digit cuts for a static pre-partition."""
+        digits = self.alphabet.digits[1:]  # the min digit cannot cut
+        if shards - 1 > len(digits):
+            raise ValueError(
+                f"cannot pre-cut {shards} shards from {len(digits)} digits"
+            )
+        cuts = []
+        for i in range(1, shards):
+            cuts.append(digits[(i * len(digits)) // shards])
+        return sorted(set(cuts))
+
+    def _make_file(self):
+        if self.durable:
+            from ..storage.recovery import DurableFile
+            from ..storage.wal import StableStore
+
+            return DurableFile.open(
+                StableStore(),
+                engine="th",
+                capacity=self.bucket_capacity,
+                policy=self.policy,
+                alphabet=self.alphabet,
+            )
+        return THFile(
+            bucket_capacity=self.bucket_capacity,
+            policy=self.policy,
+            alphabet=self.alphabet,
+        )
+
+    # ------------------------------------------------------------------
+    def client(self, warm: bool = False):
+        """A new client handle.
+
+        A cold client (the default) starts with a one-region image
+        pointing at shard 0 — the TH* initial image — and learns the
+        partition through IAMs. A warm client snapshots the current
+        authoritative partition.
+        """
+        from .client import DistributedFile
+
+        self._clients += 1
+        image = self.coordinator.model.copy() if warm else None
+        return DistributedFile(self, image=image, client_id=self._clients)
+
+    def shard_count(self) -> int:
+        """Number of live shards."""
+        return len(self.coordinator.servers)
+
+    def __len__(self) -> int:
+        return self.coordinator.total_records()
+
+    def check(self) -> None:
+        """Verify all global invariants (see :meth:`Coordinator.check`)."""
+        self.coordinator.check()
+
+    def load_report(self) -> List[dict]:
+        """Per-shard load rows (for tables and benchmarks)."""
+        rows = []
+        for gap, shard_id in enumerate(self.coordinator.model.shards):
+            server = self.coordinator.servers[shard_id]
+            low, high = self.coordinator.model.region(gap)
+            rows.append(
+                {
+                    "shard": shard_id,
+                    "region": f"({low or ''}..{high or ''}]",
+                    "records": len(server),
+                    "load": round(
+                        self.coordinator.shard_policy.load_factor(len(server)), 3
+                    ),
+                    "buckets": server.engine.bucket_count(),
+                }
+            )
+        return rows

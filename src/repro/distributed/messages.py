@@ -1,0 +1,154 @@
+"""The message vocabulary of the TH* shard layer.
+
+Clients and servers exchange plain value objects — an :class:`Op` going
+in, a :class:`Reply` coming back — through the
+:class:`~repro.distributed.router.Router`. Every reply may carry Image
+Adjustment Message entries (see :mod:`repro.core.image`): the
+authoritative cut points around whatever the operation touched, which
+the client grafts into its trie image. Errors travel as exception
+*instances* (the same :class:`~repro.core.errors.DuplicateKeyError` /
+:class:`~repro.core.errors.KeyNotFoundError` the single-node file
+raises) so the distributed file is behaviorally indistinguishable from
+a local :class:`~repro.core.file.THFile`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.image import IAMEntry
+
+__all__ = [
+    "GET",
+    "CONTAINS",
+    "INSERT",
+    "PUT",
+    "DELETE",
+    "SCAN",
+    "POINT_OPS",
+    "Op",
+    "Reply",
+]
+
+GET = "get"
+CONTAINS = "contains"
+INSERT = "insert"
+PUT = "put"
+DELETE = "delete"
+SCAN = "scan"
+
+#: Single-key operations (everything but a scan leg).
+POINT_OPS = frozenset({GET, CONTAINS, INSERT, PUT, DELETE})
+
+#: Operations that modify a shard (and may trigger scale-out).
+MUTATING_OPS = frozenset({INSERT, PUT, DELETE})
+
+
+class Op:
+    """One client request.
+
+    Point operations carry ``key`` (and ``value`` for insert/put). A
+    scan leg carries the inclusive key bounds ``low``/``high`` (``None``
+    = open) plus ``after``: the boundary the previous leg ended at, so
+    the leg asks for the next authoritative region strictly above it.
+    """
+
+    __slots__ = ("kind", "key", "value", "low", "high", "after")
+
+    def __init__(
+        self,
+        kind: str,
+        key: Optional[str] = None,
+        value: object = None,
+        low: Optional[str] = None,
+        high: Optional[str] = None,
+        after: Optional[str] = None,
+    ):
+        self.kind = kind
+        self.key = key
+        self.value = value
+        self.low = low
+        self.high = high
+        self.after = after
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind == SCAN:
+            return f"Op(scan, {self.low!r}..{self.high!r}, after={self.after!r})"
+        return f"Op({self.kind}, {self.key!r})"
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def get(cls, key: str) -> "Op":
+        return cls(GET, key=key)
+
+    @classmethod
+    def contains(cls, key: str) -> "Op":
+        return cls(CONTAINS, key=key)
+
+    @classmethod
+    def insert(cls, key: str, value: object = None) -> "Op":
+        return cls(INSERT, key=key, value=value)
+
+    @classmethod
+    def put(cls, key: str, value: object = None) -> "Op":
+        return cls(PUT, key=key, value=value)
+
+    @classmethod
+    def delete(cls, key: str) -> "Op":
+        return cls(DELETE, key=key)
+
+    @classmethod
+    def scan(
+        cls,
+        low: Optional[str] = None,
+        high: Optional[str] = None,
+        after: Optional[str] = None,
+    ) -> "Op":
+        return cls(SCAN, low=low, high=high, after=after)
+
+
+class Reply:
+    """One server response.
+
+    ``error`` holds the exception the operation raised on the owning
+    shard (re-raised client-side); ``forwards`` counts server-to-server
+    hops the op needed (0 = the client's image addressed correctly);
+    ``iam`` is the list of Image Adjustment entries to graft. Scan legs
+    additionally fill ``records``, ``region_high`` (the boundary the
+    served region ends at, the continuation point) and ``done``.
+    """
+
+    __slots__ = (
+        "value",
+        "error",
+        "iam",
+        "forwards",
+        "owner",
+        "records",
+        "region_high",
+        "done",
+    )
+
+    def __init__(
+        self,
+        value: object = None,
+        error: Optional[Exception] = None,
+        iam: Optional[List[IAMEntry]] = None,
+        forwards: int = 0,
+        owner: int = -1,
+        records: Optional[List[Tuple[str, object]]] = None,
+        region_high: Optional[str] = None,
+        done: bool = True,
+    ):
+        self.value = value
+        self.error = error
+        self.iam = iam if iam is not None else []
+        self.forwards = forwards
+        self.owner = owner
+        self.records = records
+        self.region_high = region_high
+        self.done = done
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "err" if self.error is not None else "ok"
+        return f"Reply({status}, owner={self.owner}, forwards={self.forwards})"

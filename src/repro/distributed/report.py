@@ -1,0 +1,93 @@
+"""The TH* convergence experiment: image quality versus work done.
+
+The table reproduces the headline claim of the TH* papers: a client
+starting from the trivial one-region image (everything on shard 0)
+converges to near-perfect addressing after a bounded number of Image
+Adjustment Messages, while the file itself scales out under load. Each
+row is one window of client operations against a growing cluster; the
+``hit%`` column is the windowed convergence (fraction of ops the stale
+image addressed without a server-side forward).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import MetricsRecorder
+from ..obs.tracer import TRACER
+from ..workloads.generators import KeyGenerator
+from .coordinator import Cluster, ShardPolicy
+
+__all__ = ["distributed_table"]
+
+
+def _active_registry() -> Optional[MetricsRegistry]:
+    """The registry of the currently traced run, if any.
+
+    Lets ``trie-hashing run distributed --metrics out.json`` capture the
+    ``dist_*`` instruments alongside the event-folded ones without the
+    experiment needing an explicit registry argument.
+    """
+    for sink in TRACER._sinks:
+        if isinstance(sink, MetricsRecorder):
+            return sink.registry
+    return None
+
+
+def distributed_table(
+    count: int = 5000,
+    bucket_capacity: int = 8,
+    seed: int = 42,
+    shards: int = 4,
+    shard_capacity: int = 256,
+    windows: int = 10,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[dict]:
+    """Windowed convergence of a cold client while the file scales out.
+
+    ``count`` keys are inserted (with a sprinkle of lookups and deletes
+    folded in, the TH* mixed regime) by a single cold client; after each
+    window the row records the windowed hit rate, the cumulative IAM
+    boundaries learned, the image size versus the authoritative
+    partition, and the shard count.
+    """
+    cluster = Cluster(
+        shards=shards,
+        bucket_capacity=bucket_capacity,
+        shard_policy=ShardPolicy(shard_capacity=shard_capacity),
+        registry=registry if registry is not None else _active_registry(),
+    )
+    generator = KeyGenerator(seed)
+    keys = generator.uniform(count)
+    client = cluster.client()  # cold: believes everything is on shard 0
+    rows: List[dict] = []
+    window = max(1, count // windows)
+    inserted: List[str] = []
+    for start in range(0, count, window):
+        client.reset_window()
+        for offset, key in enumerate(keys[start : start + window]):
+            client.insert(key, str(start + offset))
+            inserted.append(key)
+            # The mixed regime: every 8th op reads back an older key,
+            # every 64th deletes and reinserts one.
+            if offset % 8 == 7:
+                client.contains(inserted[(start + offset) // 2])
+            if offset % 64 == 63:
+                victim = inserted[(start + offset) // 3]
+                if client.contains(victim):
+                    client.delete(victim)
+                    client.put(victim, "back")
+        rows.append(
+            {
+                "ops": client.ops_total,
+                "hit%": round(100 * client.convergence(window=True), 2),
+                "lifetime_hit%": round(100 * client.convergence(), 2),
+                "iam_boundaries": client.iam_boundaries,
+                "image_regions": len(client.image),
+                "shards": cluster.shard_count(),
+                "records": len(cluster),
+            }
+        )
+    cluster.check()
+    return rows

@@ -1,0 +1,64 @@
+"""The simulated message fabric between clients and shard servers.
+
+Everything is in-process and synchronous; what the router adds is the
+*accounting* a distributed design is judged by — messages per edge kind
+(client request, reply, server-to-server forward) and per-shard-pair
+forward counts — surfaced both through a
+:class:`~repro.obs.metrics.MetricsRegistry` and, when tracing is on,
+as ``forward`` events on the :data:`~repro.obs.tracer.TRACER` bus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import TRACER
+from .messages import Op, Reply
+
+__all__ = ["Router"]
+
+
+class Router:
+    """Delivers operations to servers and counts every message."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.servers: Dict[int, object] = {}
+        self.messages = 0
+        self.forwards = 0
+
+    def register(self, server) -> None:
+        """Attach a shard server under its id."""
+        self.servers[server.shard_id] = server
+
+    def _count(self, edge: str) -> None:
+        self.messages += 1
+        self.registry.counter("dist_messages_total", {"edge": edge}).inc()
+
+    # ------------------------------------------------------------------
+    def client_send(self, shard_id: int, op: Op) -> Reply:
+        """A client request to ``shard_id`` plus its reply."""
+        server = self.servers.get(shard_id)
+        if server is None:
+            raise ValueError(f"no server for shard {shard_id}")
+        self._count("request")
+        reply = server.handle(op)
+        self._count("reply")
+        return reply
+
+    def forward(self, source: int, target: int, op: Op) -> Reply:
+        """A server-to-server forward of a misaddressed operation."""
+        server = self.servers.get(target)
+        if server is None:
+            raise ValueError(f"no server for shard {target}")
+        self._count("forward")
+        self.forwards += 1
+        self.registry.counter(
+            "dist_forwards_total", {"src": source, "dst": target}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit("forward", src=source, dst=target, op=op.kind)
+        reply = server.handle(op)
+        reply.forwards += 1
+        return reply

@@ -1,0 +1,124 @@
+"""One TH* shard server: a trie-hashing file plus forwarding logic.
+
+A server owns one contiguous region of the key space (one gap of the
+coordinator's authoritative partition) and stores exactly the records
+whose keys fall in it, in a single-node :class:`~repro.core.file.THFile`
+— or a crash-safe :class:`~repro.storage.recovery.DurableFile` wrapping
+one. Servers never trust client routing: an operation addressed to the
+wrong shard is forwarded to its owner through the router (one hop — the
+coordinator's partition is authoritative), and every reply carries the
+IAM entries for the region the operation actually landed in, so the
+addressing client's image converges.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.errors import TrieHashingError
+from ..core.keys import prefix_le
+from ..core.range_query import scan as local_scan
+from ..obs.tracer import TRACER
+from .messages import CONTAINS, DELETE, GET, INSERT, MUTATING_OPS, PUT, SCAN, Op, Reply
+
+__all__ = ["ShardServer"]
+
+
+class ShardServer:
+    """A single simulated server of the distributed file."""
+
+    def __init__(self, shard_id: int, file, coordinator, router):
+        self.shard_id = shard_id
+        self.file = file
+        self.coordinator = coordinator
+        self.router = router
+        self.registry = coordinator.registry
+        router.register(self)
+
+    # ------------------------------------------------------------------
+    # Storage access (THFile and DurableFile duck-type alike)
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The underlying THFile (unwraps a durable session)."""
+        inner = getattr(self.file, "file", None)
+        return inner if inner is not None else self.file
+
+    def __len__(self) -> int:
+        return len(self.file)
+
+    def items(self) -> List[Tuple[str, object]]:
+        """This shard's records in key order (a materialized snapshot)."""
+        return list(self.file.items())
+
+    def replace_file(self, file) -> None:
+        """Swap in a rebuilt file (the scale-out record move)."""
+        self.file = file
+
+    # ------------------------------------------------------------------
+    # Operation handling
+    # ------------------------------------------------------------------
+    def handle(self, op: Op) -> Reply:
+        """Execute ``op`` if this server owns it, else forward it."""
+        self.registry.counter(
+            "dist_server_ops_total", {"shard": self.shard_id, "op": op.kind}
+        ).inc()
+        if op.kind == SCAN:
+            return self._handle_scan(op)
+        return self._handle_point(op)
+
+    def _handle_point(self, op: Op) -> Reply:
+        owner = self.coordinator.owner_of(op.key)
+        if owner != self.shard_id:
+            return self.router.forward(self.shard_id, owner, op)
+        error: Optional[Exception] = None
+        value: object = None
+        try:
+            if op.kind == GET:
+                value = self.file.get(op.key)
+            elif op.kind == CONTAINS:
+                value = self.file.contains(op.key)
+            elif op.kind == INSERT:
+                self.file.insert(op.key, op.value)
+            elif op.kind == PUT:
+                self.file.put(op.key, op.value)
+            elif op.kind == DELETE:
+                value = self.file.delete(op.key)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown op kind {op.kind!r}")
+        except TrieHashingError as exc:
+            error = exc
+        if op.kind in MUTATING_OPS and error is None:
+            # The op may have pushed this shard over its load policy;
+            # scale out *before* building the IAM so the client learns
+            # the fresh cut immediately.
+            self.coordinator.maybe_split(self.shard_id)
+        return Reply(
+            value=value,
+            error=error,
+            iam=self.coordinator.iam_for_key(op.key),
+            owner=self.coordinator.owner_of(op.key),
+        )
+
+    def _handle_scan(self, op: Op) -> Reply:
+        gap = self.coordinator.scan_gap(op)
+        owner = self.coordinator.shard_of_gap(gap)
+        if owner != self.shard_id:
+            return self.router.forward(self.shard_id, owner, op)
+        records = list(local_scan(self.engine, op.low, op.high))
+        low_b, high_b = self.coordinator.region_of_gap(gap)
+        done = high_b is None or (
+            op.high is not None
+            and prefix_le(op.high, high_b, self.coordinator.alphabet)
+        )
+        if TRACER.enabled:
+            TRACER.emit(
+                "scan_leg", shard=self.shard_id, records=len(records)
+            )
+        return Reply(
+            records=records,
+            region_high=high_b,
+            done=done,
+            iam=[(low_b, high_b, self.shard_id)],
+            owner=self.shard_id,
+        )

@@ -24,6 +24,24 @@ Structural events
 ``rebalance``
     A post-delete borrow from a sibling (fields: ``kind``).
 
+Distributed events (:mod:`repro.distributed`)
+---------------------------------------------
+``forward``
+    A server forwarded a misaddressed operation to its owner (fields:
+    ``src``, ``dst``, ``op``).
+``shard_split``
+    A shard scaled out (fields: ``shard``, ``new_shard``, ``boundary``,
+    ``moved``, ``stayed``).
+``scan_leg``
+    One region's worth of a distributed range scan was served (fields:
+    ``shard``, ``records``).
+
+Durability events (:mod:`repro.storage.recovery`)
+-------------------------------------------------
+``recovery_done``
+    A durable session finished recovering (fields: ``engine``,
+    ``replayed``, ``torn_tail``, ``fallback``).
+
 Device events
 -------------
 ``disk_read`` / ``disk_write``
@@ -61,6 +79,10 @@ EVENT_NAMES = frozenset(
         "disk_write",
         "buffer_hit",
         "buffer_miss",
+        "forward",
+        "shard_split",
+        "scan_leg",
+        "recovery_done",
         "span_end",
         "trace_end",
     }

@@ -82,6 +82,16 @@ class MetricsRecorder:
                 reg.histogram(
                     "repro_split_nodes_added", bounds=FANOUT_BUCKETS
                 ).observe(nodes)
+        elif name == "shard_split":
+            moved = event.fields.get("moved")
+            if moved is not None:
+                reg.histogram(
+                    "repro_shard_split_moved", bounds=ACCESS_BUCKETS
+                ).observe(moved)
+        elif name == "forward":
+            reg.counter(
+                "repro_forwards_total", {"op": event.fields.get("op", "?")}
+            ).inc()
         elif name == "trace_end":
             reg.counter("repro_unattributed_reads_total").inc(
                 event.fields.get("unattributed_reads", 0)

@@ -88,3 +88,62 @@ class TestBulkLoad:
         f.check()
         for k, v in [("ab", 1), ("ab b", 2), ("ab c", 3), ("abc", 4)]:
             assert f.get(k) == v
+
+
+class TestGuaranteedFill:
+    """Regression: ``fill`` is a floor, so the bucket size must ceil.
+
+    ``round`` used banker's rounding: ``fill=0.5, b=5`` produced
+    2-record buckets (a 0.4 load), violating the guarantee that every
+    full bucket holds at least ``fill * b`` records.
+    """
+
+    def test_half_fill_odd_capacity_ceils(self, sorted_keys):
+        f = bulk_load_th(
+            ((k, None) for k in sorted_keys), bucket_capacity=5, fill=0.5
+        )
+        f.check()
+        sizes = [len(f.store.peek(a)) for a in sorted(f.store.live_addresses())]
+        # Every bucket except the remainder tail meets the floor.
+        assert all(s >= 3 for s in sizes[:-1])
+        assert max(sizes) == 3
+
+    def test_fill_floor_holds_across_fractions(self, sorted_keys):
+        import math
+
+        for b, fill in [(5, 0.5), (7, 0.3), (9, 0.6), (10, 0.55), (3, 0.34)]:
+            f = bulk_load_th(
+                ((k, None) for k in sorted_keys), bucket_capacity=b, fill=fill
+            )
+            f.check()
+            floor = math.ceil(fill * b - 1e-9)
+            sizes = [
+                len(f.store.peek(a)) for a in sorted(f.store.live_addresses())
+            ]
+            assert all(s >= floor for s in sizes[:-1]), (b, fill, sizes)
+            assert list(f.keys()) == sorted_keys
+
+    def test_full_fill_never_overflows(self, sorted_keys):
+        f = bulk_load_th(
+            ((k, None) for k in sorted_keys), bucket_capacity=4, fill=1.0
+        )
+        f.check()
+        assert all(
+            len(f.store.peek(a)) <= 4 for a in f.store.live_addresses()
+        )
+
+    def test_empty_iterable_yields_valid_empty_file(self):
+        f = bulk_load_th(iter([]), bucket_capacity=5, fill=0.5)
+        f.check()
+        assert len(f) == 0
+        assert list(f.keys()) == []
+        assert f.bucket_count() == 1
+        # And the empty file accepts updates afterwards.
+        f.insert("first")
+        assert f.get("first") is None
+
+    def test_single_record_any_fill(self):
+        f = bulk_load_th([("solo", 7)], bucket_capacity=5, fill=0.5)
+        f.check()
+        assert len(f) == 1
+        assert f.get("solo") == 7

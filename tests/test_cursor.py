@@ -186,3 +186,62 @@ class TestInvalidation:
                 break
         with pytest.raises(CursorInvalidError):
             cur.seek("m")
+
+
+class TestSeekIndexing:
+    """Regression: seek must use the constructor's pointer->index map.
+
+    The original implementation re-scanned ``self._buckets`` (O(B)) on
+    every seek and, for nil-leaf hits, re-walked every trie leaf. Both
+    paths must now run off state snapshotted at construction.
+    """
+
+    def test_seek_never_rewalks_the_trie(self, small_keys, monkeypatch):
+        f = build(small_keys)
+        cur = Cursor(f)
+
+        def boom(self):  # pragma: no cover - failure path
+            raise AssertionError("seek re-walked the trie leaves")
+
+        monkeypatch.setattr(type(f.trie), "leaves_in_order", boom)
+        s = sorted(small_keys)
+        for probe in s[::17] + [k + "a" for k in s[::29]]:
+            cur.seek(probe)
+            assert cur.key() == min(k for k in s if k >= probe)
+
+    def test_nil_leaf_seek_uses_snapshot(self, monkeypatch):
+        # Basic TH leaves nil leaves behind; a seek through one must not
+        # re-walk the trie either (the old `_first_bucket_at_or_after`).
+        import itertools
+
+        words = ["hamlet", "hold", "home", "hose", "house", "rose", "ruse"]
+        f = build(words, b=2)
+        candidates = [
+            "".join(t) for t in itertools.product("ahmorsz", repeat=2)
+        ]
+        nil_probes = [
+            c for c in candidates if f.trie.search(c).bucket is None
+        ]
+        assert nil_probes, "expected at least one nil leaf in a basic-TH file"
+        cur = Cursor(f)
+        monkeypatch.setattr(
+            type(f.trie),
+            "leaves_in_order",
+            lambda self: (_ for _ in ()).throw(AssertionError("trie re-walk")),
+        )
+        s = sorted(words)
+        for probe in nil_probes:
+            expected = [k for k in s if k >= probe]
+            if expected:
+                assert cur.seek(probe)
+                assert cur.key() == expected[0]
+            else:
+                assert not cur.seek(probe)
+
+    def test_bucket_position_map_matches_list(self, small_keys):
+        f = build(small_keys)
+        cur = Cursor(f)
+        assert [cur._bucket_pos[p] for p in cur._buckets] == list(
+            range(len(cur._buckets))
+        )
+        assert len(cur._paths) == len(cur._buckets)

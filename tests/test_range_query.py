@@ -119,3 +119,70 @@ class TestAccessCosts:
             list(f.range_items())
             return f.store.disk.stats.reads - before
         assert scan_cost(full) < scan_cost(half)
+
+
+class TestScanStaleness:
+    """Regression: a split/merge under a live scan must raise, not skip.
+
+    ``scan`` snapshots ``structure_generation`` when iteration starts and
+    raises the cursor's ``CursorInvalidError`` on the next step after any
+    structural change (the old code silently skipped or duplicated
+    records read through stale leaf pointers).
+    """
+
+    def test_split_mid_scan_raises(self, small_keys):
+        from repro.core.cursor import CursorInvalidError
+
+        f = build(small_keys)
+        it = f.range_items()
+        for _ in range(3):
+            next(it)
+        before = f.structure_generation
+        i = 0
+        extra = ["zzz" + c for c in "abcdefghijklmnop"]
+        while f.structure_generation == before and i < len(extra):
+            f.insert(extra[i])
+            i += 1
+        assert f.structure_generation > before
+        with pytest.raises(CursorInvalidError):
+            next(it)
+
+    def test_merge_mid_scan_raises(self, small_keys):
+        from repro.core.cursor import CursorInvalidError
+
+        f = build(small_keys, policy=SplitPolicy.thcl(), b=4)
+        it = f.range_items()
+        next(it)
+        before = f.structure_generation
+        for k in sorted(small_keys, reverse=True):
+            f.delete(k)
+            if f.structure_generation > before:
+                break
+        assert f.structure_generation > before
+        with pytest.raises(CursorInvalidError):
+            next(it)
+
+    def test_value_updates_keep_scan_alive(self, small_keys):
+        f = build(small_keys)
+        s = sorted(small_keys)
+        it = f.range_items()
+        next(it)
+        f.put(s[-1], "rewritten")  # no structural change
+        assert [k for k, _ in it] == s[1:]
+
+    def test_structural_change_before_first_step_raises(self, small_keys):
+        # The generation is snapshotted lazily at the first next(); a
+        # change after that first step still invalidates the iterator.
+        from repro.core.cursor import CursorInvalidError
+
+        f = build(small_keys)
+        it = f.range_items()
+        next(it)
+        before = f.structure_generation
+        i = 0
+        extra = ["zz" + c for c in "abcdefghijklmnopqrstuv"]
+        while f.structure_generation == before and i < len(extra):
+            f.insert(extra[i])
+            i += 1
+        with pytest.raises(CursorInvalidError):
+            list(it)
