@@ -56,7 +56,15 @@ from .core.errors import CrashError, RecoveryError
 from .core.image import TrieImage
 from .core.mlth import MLTHFile
 from .core.overflow import OverflowTHFile
-from .distributed import Cluster, DistributedFile, ShardPolicy
+from .distributed import (
+    Cluster,
+    DistributedError,
+    DistributedFile,
+    FaultPlan,
+    RetryPolicy,
+    ShardPolicy,
+    ShardUnavailableError,
+)
 from .storage.recovery import DurableFile
 from .storage.wal import StableStore
 
@@ -85,8 +93,12 @@ __all__ = [
     "OverflowTHFile",
     "Cursor",
     "Cluster",
+    "DistributedError",
     "DistributedFile",
+    "FaultPlan",
+    "RetryPolicy",
     "ShardPolicy",
+    "ShardUnavailableError",
     "TrieImage",
     "BPlusTree",
     "bulk_load_compact",

@@ -40,6 +40,7 @@ from .analysis import (
     sec45_redistribution,
     sec5_btree_comparison,
 )
+from .distributed.chaos import chaos_table
 from .distributed.report import distributed_table
 from .workloads import MOST_USED_WORDS
 
@@ -67,6 +68,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "ablation-buffer": (ablation_buffer, "buffer pool vs disk reads"),
     "ablation-overflow": (ablation_overflow, "deferred splitting via overflow chains"),
     "distributed": (distributed_table, "TH* client image convergence vs scale-out"),
+    "chaos": (chaos_table, "TH* differential convergence under injected faults"),
 }
 
 

@@ -15,7 +15,15 @@ reproduces that design over simulated in-process servers:
 * :mod:`~repro.distributed.coordinator` — the authoritative partition,
   shard-split scale-out, and the :class:`Cluster` assembly;
 * :mod:`~repro.distributed.client` — :class:`DistributedFile`, the
-  THFile-compatible client handle;
+  THFile-compatible client handle with retries and exactly-once
+  mutating operations;
+* :mod:`~repro.distributed.errors` — the typed error hierarchy
+  (transient :class:`RetryableError` subtypes vs. hard failures);
+* :mod:`~repro.distributed.faults` — the fault-injecting fabric:
+  :class:`FaultPlan` schedules, :class:`FaultyRouter`,
+  :class:`RetryPolicy`;
+* :mod:`~repro.distributed.chaos` — randomized fault schedules run
+  against the differential oracle;
 * :mod:`~repro.distributed.report` — the convergence experiment table.
 
 Quickstart::
@@ -31,19 +39,44 @@ Quickstart::
 See ``docs/DISTRIBUTED.md`` for the protocol and the convergence metric.
 """
 
+from .chaos import ChaosReport, run_chaos
 from .client import DistributedFile
 from .coordinator import Cluster, Coordinator, ShardPolicy
+from .errors import (
+    DistributedError,
+    MessageLostError,
+    OpTimeoutError,
+    ProtocolError,
+    RetryableError,
+    ServerDownError,
+    ShardUnavailableError,
+    UnknownShardError,
+)
+from .faults import FaultPlan, FaultyRouter, RetryPolicy
 from .messages import Op, Reply
 from .router import Router
 from .server import ShardServer
 
 __all__ = [
+    "ChaosReport",
     "Cluster",
     "Coordinator",
+    "DistributedError",
     "DistributedFile",
+    "FaultPlan",
+    "FaultyRouter",
+    "MessageLostError",
     "Op",
+    "OpTimeoutError",
+    "ProtocolError",
     "Reply",
+    "RetryPolicy",
+    "RetryableError",
     "Router",
+    "ServerDownError",
     "ShardPolicy",
     "ShardServer",
+    "ShardUnavailableError",
+    "UnknownShardError",
+    "run_chaos",
 ]

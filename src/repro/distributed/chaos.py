@@ -1,0 +1,318 @@
+"""Chaos harness: randomized fault schedules vs. the differential oracle.
+
+A chaos run drives the same mixed workload at a fault-injected cluster
+and a single-node :class:`~repro.core.file.THFile` oracle, operation by
+operation. While the :class:`~repro.distributed.faults.FaultPlan` drops,
+duplicates and delays messages and crash-restarts durable servers mid
+workload, every operation's *observed outcome* (value or exception
+type) must match the oracle exactly — the retry + dedup protocol makes
+the faults invisible. When the schedule heals, the surviving cluster
+must hold a byte-identical record set, pass every structural invariant,
+and show **zero** double-applied mutations in the router's audit trail.
+
+:func:`run_chaos` is the single-run entry (the chaos tests and the
+Hypothesis stateful suite call it with many seeds);
+:func:`chaos_table` sweeps fault rates for the CLI and the chaos
+benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.errors import DuplicateKeyError, KeyNotFoundError
+from ..core.file import THFile
+from .coordinator import Cluster, ShardPolicy
+from .faults import FaultPlan, FaultyRouter, RetryPolicy
+
+__all__ = ["ChaosReport", "run_chaos", "chaos_table"]
+
+_WORKLOAD_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+
+class ChaosReport:
+    """The outcome and audit counters of one chaos run."""
+
+    __slots__ = (
+        "ops",
+        "seed",
+        "shards",
+        "records",
+        "faults",
+        "retries",
+        "dedup_hits",
+        "crashes",
+        "recoveries",
+        "duplicate_applies",
+        "messages",
+        "forwards",
+        "clock",
+        "converged",
+    )
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.seed = 0
+        self.shards = 0
+        self.records = 0
+        self.faults = 0
+        self.retries = 0
+        self.dedup_hits = 0
+        self.crashes = 0
+        self.recoveries = 0
+        self.duplicate_applies = 0
+        self.messages = 0
+        self.forwards = 0
+        self.clock = 0.0
+        self.converged = False
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChaosReport(ops={self.ops}, faults={self.faults}, "
+            f"retries={self.retries}, dedup_hits={self.dedup_hits}, "
+            f"crashes={self.crashes}, dup_applies={self.duplicate_applies}, "
+            f"converged={self.converged})"
+        )
+
+
+def _counter_sum(registry, name: str) -> float:
+    """Sum a counter family across every label set."""
+    total = 0.0
+    for inst in registry.instruments():
+        if inst.name == name and hasattr(inst, "value") and not hasattr(inst, "set"):
+            total += inst.value
+    return total
+
+
+def _expect(observed, expected, context: str) -> None:
+    if observed != expected:
+        raise AssertionError(
+            f"chaos divergence at {context}: cluster said {observed!r}, "
+            f"oracle said {expected!r}"
+        )
+
+
+def _mutate_both(action, cluster_call, oracle_call, context: str) -> None:
+    """Run one mutation on both sides; outcomes (value/error) must match."""
+    expected_error: Optional[type] = None
+    expected_value = None
+    try:
+        expected_value = oracle_call()
+    except (DuplicateKeyError, KeyNotFoundError) as exc:
+        expected_error = type(exc)
+    try:
+        observed = cluster_call()
+    except (DuplicateKeyError, KeyNotFoundError) as exc:
+        if expected_error is not type(exc):
+            raise AssertionError(
+                f"chaos divergence at {context}: cluster raised "
+                f"{type(exc).__name__}, oracle "
+                f"{'raised ' + expected_error.__name__ if expected_error else 'succeeded'}"
+            ) from exc
+        return
+    if expected_error is not None:
+        raise AssertionError(
+            f"chaos divergence at {context}: cluster succeeded, oracle "
+            f"raised {expected_error.__name__}"
+        )
+    if action == "delete":
+        _expect(observed, expected_value, context)
+
+
+def run_chaos(
+    ops: int = 5000,
+    shards: int = 4,
+    seed: int = 0,
+    durable: bool = True,
+    drop: float = 0.01,
+    duplicate: float = 0.01,
+    delay: float = 0.01,
+    crash_cycles: int = 3,
+    shard_capacity: int = 512,
+    bucket_capacity: int = 8,
+    retry: Optional[RetryPolicy] = None,
+    scan_every: int = 0,
+) -> ChaosReport:
+    """One differential chaos run; raises ``AssertionError`` on divergence.
+
+    Builds an ``shards``-way cluster under a seeded
+    :class:`~repro.distributed.faults.FaultPlan`, drives ``ops`` mixed
+    operations (insert / lookup / delete / put / range scan) against it
+    and a single-node oracle, force-crashes a random live server
+    ``crash_cycles`` times along the way, then heals the plan, restarts
+    everything and verifies byte-identical convergence plus the
+    exactly-once audit. The default retry budget rides out every
+    injected outage, so the workload itself never observes a fault.
+
+    ``scan_every > 0`` interleaves a full range scan every that many
+    operations (scans re-read regions under retries, so they are kept
+    off the default path where ``ops`` is large).
+    """
+    plan = FaultPlan(
+        seed=seed,
+        drop=drop,
+        duplicate=duplicate,
+        delay=delay,
+        delay_seconds=(0.001, 0.05),
+        downtime=(0.05, 0.25),
+    )
+    if retry is None:
+        # Generous against the plan above: the backoff series out-waits
+        # the longest downtime several times over, so the differential
+        # never sees ShardUnavailableError (which would make "did it
+        # apply?" ambiguous and break the oracle mirroring).
+        retry = RetryPolicy(max_retries=12, base_delay=0.005, max_delay=0.5)
+    cluster = Cluster(
+        shards=shards,
+        bucket_capacity=bucket_capacity,
+        shard_policy=ShardPolicy(shard_capacity=shard_capacity),
+        durable=durable,
+        faults=plan,
+        retry=retry,
+    )
+    router = cluster.router
+    assert isinstance(router, FaultyRouter)
+    client = cluster.client()
+    oracle = THFile(bucket_capacity=bucket_capacity)
+
+    rng = random.Random(seed)
+    crash_rng = random.Random(seed ^ 0xC4A05)
+    crash_at = {
+        (i + 1) * ops // (crash_cycles + 1) for i in range(crash_cycles)
+    }
+    known: List[str] = []
+    for step in range(ops):
+        if step in crash_at:
+            live = [
+                s for s, srv in cluster.coordinator.servers.items()
+                if not srv.down
+            ]
+            if live:
+                lo, hi = plan.downtime
+                router.crash_server(
+                    crash_rng.choice(live),
+                    downtime=lo + (hi - lo) * crash_rng.random(),
+                )
+        action = rng.random()
+        key = "".join(
+            rng.choice(_WORKLOAD_ALPHABET)
+            for _ in range(rng.randint(1, 8))
+        )
+        context = f"op {step} ({key!r})"
+        if action < 0.45:
+            _mutate_both(
+                "insert",
+                lambda: client.insert(key, key.upper()),
+                lambda: oracle.insert(key, key.upper()),
+                context,
+            )
+            if oracle.contains(key):
+                known.append(key)
+        elif action < 0.60:
+            probe = rng.choice(known) if known and rng.random() < 0.7 else key
+            _expect(client.contains(probe), oracle.contains(probe), context)
+            if oracle.contains(probe):
+                _expect(client.get(probe), oracle.get(probe), context)
+        elif action < 0.75:
+            probe = rng.choice(known) if known and rng.random() < 0.8 else key
+            _mutate_both(
+                "delete",
+                lambda: client.delete(probe),
+                lambda: oracle.delete(probe),
+                context,
+            )
+        elif action < 0.90 or not scan_every:
+            _mutate_both(
+                "put",
+                lambda: client.put(key, "v2"),
+                lambda: oracle.put(key, "v2"),
+                context,
+            )
+            known.append(key)
+        if scan_every and step and step % scan_every == 0:
+            lo_key = min(key, "m")
+            _expect(
+                list(client.range_items(lo_key, None)),
+                list(oracle.range_items(lo_key, None))
+                if hasattr(oracle, "range_items")
+                else [(k, v) for k, v in oracle.items() if k >= lo_key],
+                context,
+            )
+
+    # Quiesce: stop injecting, bring every server back, and check that
+    # the cluster converged to exactly the oracle's state.
+    plan.heal()
+    router.restore_all()
+    cluster.check()
+    _expect(list(client.items()), list(oracle.items()), "final scan")
+
+    report = ChaosReport()
+    report.ops = ops
+    report.seed = seed
+    report.shards = cluster.shard_count()
+    report.records = len(oracle)
+    registry = cluster.registry
+    report.faults = router.faults_injected
+    report.retries = int(_counter_sum(registry, "dist_retries_total"))
+    report.dedup_hits = int(_counter_sum(registry, "dist_dedup_hits_total"))
+    report.crashes = int(_counter_sum(registry, "dist_server_crashes_total"))
+    report.recoveries = int(
+        _counter_sum(registry, "dist_server_recoveries_total")
+    )
+    report.duplicate_applies = router.duplicate_applies()
+    report.messages = router.messages
+    report.forwards = router.forwards
+    report.clock = router.now
+    report.converged = True
+    if report.duplicate_applies:
+        raise AssertionError(
+            f"{report.duplicate_applies} request ids applied more than once"
+        )
+    return report
+
+
+def chaos_table(
+    count: int = 2000,
+    seed: int = 0,
+    rates: tuple = (0.0, 0.01, 0.05),
+    shards: int = 4,
+) -> List[dict]:
+    """Throughput and audit counters across a sweep of fault rates.
+
+    One row per rate, applying it to drops, duplicates and delays alike
+    (``0.0`` is the fault-free baseline). The ``ops/s`` column is
+    simulated-time throughput: operations per simulated second spent in
+    delays and backoff, infinite (reported as 0) when the clock never
+    moved.
+    """
+    rows = []
+    for rate in rates:
+        report = run_chaos(
+            ops=count,
+            shards=shards,
+            seed=seed,
+            drop=rate,
+            duplicate=rate,
+            delay=rate,
+            crash_cycles=3 if rate else 0,
+        )
+        rows.append(
+            {
+                "fault_rate": rate,
+                "ops": report.ops,
+                "faults": report.faults,
+                "retries": report.retries,
+                "dedup_hits": report.dedup_hits,
+                "crashes": report.crashes,
+                "dup_applies": report.duplicate_applies,
+                "shards": report.shards,
+                "records": report.records,
+                "sim_seconds": round(report.clock, 4),
+                "converged": report.converged,
+            }
+        )
+    return rows

@@ -9,14 +9,32 @@ space lives on shard 0); servers forward misaddressed operations and the
 reply's IAM refines the image, so the miss rate decays as the client
 works — the TH* convergence property, which :meth:`convergence`
 measures and reports through :mod:`repro.obs`.
+
+Under a faulty fabric the client is also the resilience layer. Every
+delivery runs inside a retry loop governed by a
+:class:`~repro.distributed.faults.RetryPolicy`: transient failures
+(:class:`~repro.distributed.errors.RetryableError` — lost messages,
+timeouts, a crashed server) are retried with capped exponential backoff
+plus jitter, up to a bounded budget, after which the typed
+:class:`~repro.distributed.errors.ShardUnavailableError` surfaces with
+the last transport error chained. Retries are **exactly-once** for
+mutating operations: each logical mutation is stamped once with a
+per-client monotonic request id, every redelivery carries the same id,
+and the owning server's dedup window short-circuits duplicates (see
+:mod:`repro.storage.dedup`).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+import random
+from typing import Callable, Iterator, Optional, Tuple
 
 from ..core.image import TrieImage
-from .messages import Op, Reply
+from ..obs.metrics import LATENCY_BUCKETS
+from ..obs.tracer import TRACER
+from .errors import RetryableError, ShardUnavailableError
+from .faults import RetryPolicy
+from .messages import MUTATING_OPS, Op, Reply
 
 __all__ = ["DistributedFile"]
 
@@ -28,11 +46,18 @@ class DistributedFile:
     initial state) or warm (a snapshot of the current partition).
     """
 
-    def __init__(self, cluster, image: Optional[TrieImage] = None, client_id: int = 0):
+    def __init__(
+        self,
+        cluster,
+        image: Optional[TrieImage] = None,
+        client_id: int = 0,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.cluster = cluster
         self.router = cluster.router
         self.alphabet = cluster.alphabet
         self.client_id = client_id
+        self.retry = retry if retry is not None else RetryPolicy()
         if image is None:
             # The TH* initial image: one region, assumed on the first shard.
             first = min(cluster.coordinator.servers)
@@ -45,11 +70,78 @@ class DistributedFile:
         self.window_total = 0
         self.window_forwarded = 0
         self.iam_boundaries = 0
+        self.retries_total = 0
+        self._seq = 0
+        self._rng = random.Random(client_id)
 
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
+    def _fresh_rid(self) -> Tuple[int, int]:
+        """The next request id — one per *logical* mutating operation."""
+        self._seq += 1
+        return (self.client_id, self._seq)
+
+    def _send(self, op: Op, shard_for: Callable[[], int]) -> Reply:
+        """Deliver ``op``, retrying transient faults within the policy.
+
+        ``shard_for`` re-derives the target from the (possibly patched)
+        image on every attempt. Non-transient errors — routing bugs,
+        protocol violations — propagate immediately; transient ones are
+        retried until the budget is spent, then surface as
+        :class:`ShardUnavailableError` with the last failure chained.
+        """
+        policy = self.retry
+        registry = self.cluster.registry
+        start = getattr(self.router, "now", None)
+        attempt = 0
+        while True:
+            try:
+                reply = self.router.client_send(
+                    shard_for(), op, timeout=policy.timeout
+                )
+            except RetryableError as exc:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    raise ShardUnavailableError(
+                        f"{op.kind} gave up after {attempt} attempts: {exc}"
+                    ) from exc
+                reason = type(exc).__name__
+                self.retries_total += 1
+                registry.counter(
+                    "dist_retries_total", {"op": op.kind, "reason": reason}
+                ).inc()
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "op_retry",
+                        client=self.client_id,
+                        op=op.kind,
+                        attempt=attempt,
+                        reason=reason,
+                    )
+                self.router.sleep(policy.backoff(attempt, self._rng))
+                continue
+            if start is not None:
+                registry.histogram(
+                    "dist_op_seconds", bounds=LATENCY_BUCKETS
+                ).observe(self.router.now - start)
+            return reply
+
     def _absorb(self, reply: Reply) -> None:
+        registry = self.cluster.registry
+        # The IAM is authoritative whatever the outcome — a reply whose
+        # operation failed (duplicate key, missing key) still teaches
+        # the client the true region cuts.
+        learned = self.image.patch(reply.iam)
+        self.iam_boundaries += learned
+        if learned:
+            registry.counter(
+                "dist_iam_boundaries_total", {"client": self.client_id}
+            ).inc(learned)
+        if reply.error is not None:
+            # Only resolved operations count toward convergence: an
+            # errored reply measures the keyspace, not the routing.
+            return
         self.ops_total += 1
         self.window_total += 1
         routed = "direct"
@@ -57,23 +149,17 @@ class DistributedFile:
             self.ops_forwarded += 1
             self.window_forwarded += 1
             routed = "forwarded"
-        learned = self.image.patch(reply.iam)
-        self.iam_boundaries += learned
-        registry = self.cluster.registry
         registry.counter(
             "dist_client_ops_total", {"client": self.client_id, "routed": routed}
         ).inc()
-        if learned:
-            registry.counter(
-                "dist_iam_boundaries_total", {"client": self.client_id}
-            ).inc(learned)
         registry.gauge(
             "dist_client_convergence", {"client": self.client_id}
         ).set(self.convergence())
 
     def _point(self, op: Op) -> object:
-        shard = self.image.shard_for_key(op.key)
-        reply = self.router.client_send(shard, op)
+        if op.kind in MUTATING_OPS:
+            op.rid = self._fresh_rid()
+        reply = self._send(op, lambda: self.image.shard_for_key(op.key))
         self._absorb(reply)
         if reply.error is not None:
             raise reply.error
@@ -120,7 +206,9 @@ class DistributedFile:
         The scan walks the authoritative regions left to right, one
         routed leg per region; each leg is addressed with the client's
         image (and counted toward convergence), and its IAM teaches the
-        client the region's true cuts.
+        client the region's true cuts. Legs retry like point ops; a leg
+        that repeats after a lost reply re-reads its region, which is
+        safe — scans mutate nothing.
         """
         if low is not None:
             low = self.alphabet.validate_key(low)
@@ -132,14 +220,16 @@ class DistributedFile:
         first = True
         while True:
             if first:
-                shard = (
-                    self.image.shard_for_key(low)
-                    if low is not None
-                    else self.image.shards[0]
-                )
+                def shard_for() -> int:
+                    return (
+                        self.image.shard_for_key(low)
+                        if low is not None
+                        else self.image.shards[0]
+                    )
             else:
-                shard = self.image.shards[self.image.gap_above(after)]
-            reply = self.router.client_send(shard, Op.scan(low, high, after))
+                def shard_for(after=after) -> int:
+                    return self.image.shards[self.image.gap_above(after)]
+            reply = self._send(Op.scan(low, high, after), shard_for)
             self._absorb(reply)
             if reply.error is not None:  # pragma: no cover - defensive
                 raise reply.error
@@ -183,6 +273,7 @@ class DistributedFile:
             "ops": self.ops_total,
             "forwarded": self.ops_forwarded,
             "iam_boundaries": self.iam_boundaries,
+            "retries": self.retries_total,
             "convergence": round(self.convergence(), 4),
             "image_regions": len(self.image),
         }

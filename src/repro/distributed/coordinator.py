@@ -128,6 +128,27 @@ class Coordinator:
         return sum(len(s) for s in self.servers.values())
 
     # ------------------------------------------------------------------
+    # Availability bookkeeping
+    # ------------------------------------------------------------------
+    def mark_down(self, shard_id: int) -> None:
+        """Note that ``shard_id`` crashed (availability gauge only).
+
+        The partition is untouched: the region still belongs to the
+        crashed shard, and operations for it fail fast with
+        :class:`~repro.distributed.errors.ServerDownError` until the
+        server recovers — TH* has no failover, only recovery.
+        """
+        self.registry.gauge("dist_shards_down").inc(1)
+
+    def mark_up(self, shard_id: int) -> None:
+        """Note that ``shard_id`` recovered and rejoined."""
+        self.registry.gauge("dist_shards_down").inc(-1)
+
+    def down_shards(self) -> List[int]:
+        """The shard ids currently refusing deliveries."""
+        return sorted(s for s, srv in self.servers.items() if srv.down)
+
+    # ------------------------------------------------------------------
     # Scale-out
     # ------------------------------------------------------------------
     def maybe_split(self, shard_id: int) -> None:
@@ -158,6 +179,7 @@ class Coordinator:
         """
         shard_id = self.model.shards[gap]
         server = self.servers[shard_id]
+        old_dedup = server.dedup
         items = server.items()
         keep = [(k, v) for k, v in items if prefix_le(k, cut, self.alphabet)]
         move = items[len(keep):]
@@ -168,6 +190,11 @@ class Coordinator:
         for key, value in keep:
             rebuilt.insert(key, value)
         server.replace_file(rebuilt)
+        # Both halves inherit the full dedup window: a retried mutation
+        # may land on either side of the fresh cut, and surplus entries
+        # are harmless (a hit only short-circuits an op that did apply).
+        server.dedup.merge(old_dedup)
+        new_server.dedup.merge(old_dedup)
         self.model.split_region(gap, cut, new_server.shard_id)
         self.registry.counter("dist_shard_splits_total").inc()
         self.registry.gauge("dist_shards").set(len(self.servers))
@@ -234,6 +261,15 @@ class Cluster:
     registry:
         A shared :class:`~repro.obs.metrics.MetricsRegistry`; a private
         one is created when omitted.
+    faults:
+        A :class:`~repro.distributed.faults.FaultPlan`; when given the
+        cluster's fabric is a fault-injecting
+        :class:`~repro.distributed.faults.FaultyRouter` driving message
+        drops, duplicates, delays and server crashes off the plan's
+        seeded schedule.
+    retry:
+        The default :class:`~repro.distributed.faults.RetryPolicy`
+        handed to clients (each :meth:`client` call may override it).
     """
 
     def __init__(
@@ -246,6 +282,8 @@ class Cluster:
         durable: bool = False,
         registry: Optional[MetricsRegistry] = None,
         seed_boundaries: Optional[List[str]] = None,
+        faults: Optional["FaultPlan"] = None,
+        retry: Optional["RetryPolicy"] = None,
     ):
         if shards < 1:
             raise ValueError("a cluster needs at least one shard")
@@ -254,7 +292,13 @@ class Cluster:
         self.policy = policy
         self.durable = durable
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.router = Router(self.registry)
+        self.retry = retry
+        if faults is not None:
+            from .faults import FaultyRouter
+
+            self.router: Router = FaultyRouter(self.registry, faults)
+        else:
+            self.router = Router(self.registry)
         self.coordinator = Coordinator(
             alphabet,
             self.registry,
@@ -300,19 +344,25 @@ class Cluster:
         )
 
     # ------------------------------------------------------------------
-    def client(self, warm: bool = False):
+    def client(self, warm: bool = False, retry: Optional["RetryPolicy"] = None):
         """A new client handle.
 
         A cold client (the default) starts with a one-region image
         pointing at shard 0 — the TH* initial image — and learns the
         partition through IAMs. A warm client snapshots the current
-        authoritative partition.
+        authoritative partition. ``retry`` overrides the cluster's
+        default :class:`~repro.distributed.faults.RetryPolicy`.
         """
         from .client import DistributedFile
 
         self._clients += 1
         image = self.coordinator.model.copy() if warm else None
-        return DistributedFile(self, image=image, client_id=self._clients)
+        return DistributedFile(
+            self,
+            image=image,
+            client_id=self._clients,
+            retry=retry if retry is not None else self.retry,
+        )
 
     def shard_count(self) -> int:
         """Number of live shards."""

@@ -1,0 +1,77 @@
+"""The error vocabulary of the fault-tolerant TH* layer.
+
+Everything derives from :class:`DistributedError` (itself a
+:class:`~repro.core.errors.TrieHashingError`, so existing catch-all
+handlers keep working). The split that matters operationally is
+*retryable* versus not:
+
+* :class:`RetryableError` subclasses model transient fabric conditions —
+  a lost message, a reply that missed its deadline, a crashed server.
+  :class:`~repro.distributed.client.DistributedFile` absorbs them with
+  bounded exponential-backoff retries; callers normally never see them.
+* Everything else is a protocol violation (an op addressed to a shard
+  that has never existed, an unknown op kind) or the terminal
+  :class:`ShardUnavailableError` a client raises once its retry budget
+  is exhausted — the typed "I could not reach the data" answer that
+  replaces silently wrong results.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import TrieHashingError
+
+__all__ = [
+    "DistributedError",
+    "UnknownShardError",
+    "ProtocolError",
+    "RetryableError",
+    "MessageLostError",
+    "OpTimeoutError",
+    "ServerDownError",
+    "ShardUnavailableError",
+]
+
+
+class DistributedError(TrieHashingError):
+    """Base class for every error raised by the TH* shard layer."""
+
+
+class UnknownShardError(DistributedError):
+    """A message was addressed to a shard id no server has ever owned.
+
+    Shard splits only ever *add* servers, so a stale client image can
+    never produce this — seeing it means a routing bug, not staleness.
+    """
+
+
+class ProtocolError(DistributedError):
+    """A message violated the op/reply vocabulary (unknown op kind)."""
+
+
+class RetryableError(DistributedError):
+    """Base class for transient delivery failures worth retrying."""
+
+
+class MessageLostError(RetryableError):
+    """A request or reply was dropped by the (simulated) network."""
+
+
+class OpTimeoutError(RetryableError):
+    """The reply arrived after the client's per-op deadline.
+
+    The server may or may not have executed the operation — exactly the
+    ambiguity that makes idempotent retries (request ids + the server
+    dedup window) necessary.
+    """
+
+
+class ServerDownError(RetryableError):
+    """The target server is crashed; the connection was refused."""
+
+
+class ShardUnavailableError(DistributedError):
+    """A client exhausted its retry budget against one shard.
+
+    Raised instead of returning a wrong or partial answer; the original
+    transient error is chained as ``__cause__``.
+    """

@@ -1,0 +1,371 @@
+"""Fault injection for the TH* message fabric.
+
+The distributed analogue of :class:`~repro.storage.faults.FaultyDisk`:
+:class:`FaultyRouter` wraps the delivery path of
+:class:`~repro.distributed.router.Router` with a seeded deterministic
+:class:`FaultPlan` that injects, per edge kind (``request`` / ``reply``
+/ ``forward``) and per shard:
+
+* **drops** — the message never arrives; the sender sees
+  :class:`~repro.distributed.errors.MessageLostError`. A dropped
+  *reply* is the interesting case: the server **did** execute the op,
+  so a naïve retry would double-apply — the fault that forces the
+  request-id dedup protocol.
+* **duplicates** — the request is delivered twice; the second delivery
+  must be absorbed by the owner's dedup window.
+* **delays** — delivery takes simulated time on the router's logical
+  clock; a round trip that exceeds the client's per-op ``timeout``
+  surfaces as :class:`~repro.distributed.errors.OpTimeoutError` (with
+  the same already-executed ambiguity as a lost reply).
+* **crashes** — the target server crashes (losing its volatile state;
+  a durable shard recovers from WAL + checkpoints on restart) and
+  refuses connections with
+  :class:`~repro.distributed.errors.ServerDownError` until its
+  scheduled restart time on the simulated clock.
+
+Time is simulated: the clock only advances through injected delays and
+through clients sleeping out their retry backoff
+(:meth:`FaultyRouter.sleep`), which is also what brings crashed servers
+back — a client backing off long enough rides out any finite downtime.
+
+Every injected fault is counted in ``dist_faults_total{kind,edge}`` and
+(tracing on) emitted as a ``net_fault`` event, so a chaos run can be
+reconciled fault by fault.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import TRACER
+from .errors import MessageLostError, OpTimeoutError
+from .messages import Op, Reply
+from .router import Router
+
+__all__ = ["FaultPlan", "FaultDecision", "FaultyRouter", "RetryPolicy"]
+
+#: The edge kinds a plan can schedule faults on.
+EDGES = ("request", "reply", "forward")
+
+
+class FaultDecision:
+    """What the plan decided for one delivery."""
+
+    __slots__ = ("drop", "duplicate", "delay")
+
+    def __init__(self, drop: bool = False, duplicate: bool = False, delay: float = 0.0):
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay = delay
+
+
+class RetryPolicy:
+    """Client-side resilience knobs: deadline, budget, backoff shape.
+
+    ``backoff(attempt, rng)`` is capped exponential
+    (``base_delay * 2**(attempt-1)``, at most ``max_delay``) with
+    multiplicative jitter: the full delay scaled by a uniform draw from
+    ``[1 - jitter, 1]``, so retries de-synchronise without ever backing
+    off *longer* than the cap.
+    """
+
+    __slots__ = ("max_retries", "base_delay", "max_delay", "timeout", "jitter")
+
+    def __init__(
+        self,
+        max_retries: int = 10,
+        base_delay: float = 0.005,
+        max_delay: float = 0.5,
+        timeout: float = 0.25,
+        jitter: float = 0.5,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if base_delay <= 0 or max_delay < base_delay:
+            raise ValueError("need 0 < base_delay <= max_delay")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.max_retries = max_retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.timeout = timeout
+        self.jitter = jitter
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """The sleep before retry number ``attempt`` (1-based)."""
+        delay = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        return delay * (1.0 - self.jitter * rng.random())
+
+
+class FaultPlan:
+    """A seeded deterministic fault schedule.
+
+    ``drop`` / ``duplicate`` / ``delay`` / ``crash`` are global
+    per-delivery probabilities; ``edges`` and ``shards`` optionally
+    override any rate for one edge kind or one shard id (shard override
+    wins over edge override wins over global). All decisions come from
+    one private :class:`random.Random`, so the same plan against the
+    same workload injects the same faults.
+
+    Scripted one-shot faults (for targeted tests) are queued with
+    :meth:`force` and consumed before any random draw. :meth:`heal`
+    stops all injection — decisions become "no fault" without consuming
+    randomness — which is how a chaos run lets the cluster converge.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: Tuple[float, float] = (0.001, 0.05),
+        crash: float = 0.0,
+        downtime: Tuple[float, float] = (0.05, 0.25),
+        edges: Optional[Dict[str, Dict[str, float]]] = None,
+        shards: Optional[Dict[int, Dict[str, float]]] = None,
+    ):
+        for name, rate in (("drop", drop), ("duplicate", duplicate),
+                           ("delay", delay), ("crash", crash)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1]")
+        if edges is not None and set(edges) - set(EDGES):
+            raise ValueError(f"edge overrides must be among {EDGES}")
+        self.rng = random.Random(seed)
+        self.rates = {"drop": drop, "duplicate": duplicate,
+                      "delay": delay, "crash": crash}
+        self.delay_seconds = delay_seconds
+        self.downtime = downtime
+        self.edges = edges if edges is not None else {}
+        self.shards = shards if shards is not None else {}
+        self.active = True
+        self._forced: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    def rate(self, kind: str, edge: str, shard: int) -> float:
+        """The effective rate for fault ``kind`` on ``edge`` to ``shard``."""
+        by_shard = self.shards.get(shard)
+        if by_shard is not None and kind in by_shard:
+            return by_shard[kind]
+        by_edge = self.edges.get(edge)
+        if by_edge is not None and kind in by_edge:
+            return by_edge[kind]
+        return self.rates[kind]
+
+    def force(self, edge: str, kind: str, count: int = 1) -> None:
+        """Queue ``count`` scripted faults on ``edge`` (consumed first).
+
+        ``kind`` is ``"drop"``, ``"duplicate"`` or ``"delay"``.
+        """
+        if edge not in EDGES:
+            raise ValueError(f"edge must be one of {EDGES}")
+        if kind not in ("drop", "duplicate", "delay"):
+            raise ValueError("forced kind must be drop, duplicate or delay")
+        self._forced.setdefault(edge, []).extend([kind] * count)
+
+    def heal(self) -> None:
+        """Stop injecting: every later decision is 'no fault'."""
+        self.active = False
+        self._forced.clear()
+
+    def resume(self) -> None:
+        """Resume injection after :meth:`heal`."""
+        self.active = True
+
+    # ------------------------------------------------------------------
+    def decide(self, edge: str, shard: int) -> FaultDecision:
+        """The (deterministic) fate of one delivery on ``edge``."""
+        if not self.active:
+            return FaultDecision()
+        queue = self._forced.get(edge)
+        if queue:
+            kind = queue.pop(0)
+            if kind == "drop":
+                return FaultDecision(drop=True)
+            if kind == "duplicate":
+                return FaultDecision(duplicate=True)
+            return FaultDecision(delay=self.delay_seconds[1])
+        decision = FaultDecision()
+        if self.rng.random() < self.rate("drop", edge, shard):
+            decision.drop = True
+            return decision  # a dropped message can be nothing else
+        if self.rng.random() < self.rate("duplicate", edge, shard):
+            decision.duplicate = True
+        if self.rng.random() < self.rate("delay", edge, shard):
+            lo, hi = self.delay_seconds
+            decision.delay = lo + (hi - lo) * self.rng.random()
+        return decision
+
+    def decide_crash(self, shard: int) -> Optional[float]:
+        """Crash ``shard`` now? Returns a downtime, or ``None``."""
+        if not self.active:
+            return None
+        if self.rng.random() < self.rate("crash", "request", shard):
+            lo, hi = self.downtime
+            return lo + (hi - lo) * self.rng.random()
+        return None
+
+
+class FaultyRouter(Router):
+    """A :class:`Router` whose deliveries run under a :class:`FaultPlan`."""
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        plan: Optional[FaultPlan] = None,
+    ):
+        super().__init__(registry)
+        self.plan = plan if plan is not None else FaultPlan()
+        #: The simulated clock (seconds); advances only through injected
+        #: delays and client backoff sleeps.
+        self.now = 0.0
+        self.faults_injected = 0
+        self.crash_cycles = 0
+        self._restart_at: Dict[int, float] = {}
+        #: Audit trail: request id -> number of times it *applied*.
+        #: Exactly-once holds iff every count is 1 (the chaos harness
+        #: asserts this).
+        self.apply_counts: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Clock and lifecycle
+    # ------------------------------------------------------------------
+    def sleep(self, seconds: float) -> None:
+        """Advance the simulated clock (client retry backoff)."""
+        self.now += seconds
+        self._tick()
+
+    def _tick(self) -> None:
+        """Restart every crashed server whose downtime has elapsed."""
+        due = [s for s, at in self._restart_at.items() if at <= self.now]
+        for shard_id in due:
+            del self._restart_at[shard_id]
+            self.servers[shard_id].restart()
+
+    def crash_server(self, shard_id: int, downtime: Optional[float] = None) -> None:
+        """Crash ``shard_id``; auto-restart after ``downtime`` sim-seconds.
+
+        With ``downtime=None`` the server stays down until someone calls
+        its :meth:`~repro.distributed.server.ShardServer.restart`.
+        """
+        server = self.servers.get(shard_id)
+        if server is None:
+            raise KeyError(f"no server for shard {shard_id}")
+        if server.down:
+            return
+        server.crash()
+        self.crash_cycles += 1
+        if downtime is not None:
+            self._restart_at[shard_id] = self.now + downtime
+
+    def restore_all(self) -> None:
+        """Restart every crashed server immediately (end of a chaos run)."""
+        self._restart_at.clear()
+        for server in self.servers.values():
+            if server.down:
+                server.restart()
+
+    def note_apply(self, rid: Optional[Tuple[int, int]]) -> None:
+        if rid is not None:
+            self.apply_counts[rid] = self.apply_counts.get(rid, 0) + 1
+
+    def duplicate_applies(self) -> int:
+        """Request ids that applied more than once (must stay 0)."""
+        return sum(1 for count in self.apply_counts.values() if count > 1)
+
+    # ------------------------------------------------------------------
+    # Fault bookkeeping
+    # ------------------------------------------------------------------
+    def _fault(self, kind: str, edge: str, shard: int) -> None:
+        self.faults_injected += 1
+        self.registry.counter(
+            "dist_faults_total", {"kind": kind, "edge": edge}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit("net_fault", kind=kind, edge=edge, shard=shard)
+
+    def _lookup(self, shard_id: int, edge: str = "request"):
+        from .errors import ServerDownError
+
+        try:
+            return super()._lookup(shard_id, edge)
+        except ServerDownError:
+            self._fault("server_down", edge, shard_id)
+            raise
+
+    def _maybe_crash(self, shard_id: int) -> None:
+        downtime = self.plan.decide_crash(shard_id)
+        if downtime is not None:
+            self._fault("crash", "request", shard_id)
+            self.crash_server(shard_id, downtime=downtime)
+
+    # ------------------------------------------------------------------
+    # Delivery under faults
+    # ------------------------------------------------------------------
+    def client_send(
+        self, shard_id: int, op: Op, timeout: Optional[float] = None
+    ) -> Reply:
+        self._tick()
+        self._maybe_crash(shard_id)
+        server = self._lookup(shard_id, "request")
+        decision = self.plan.decide("request", shard_id)
+        if decision.drop:
+            self._fault("drop", "request", shard_id)
+            raise MessageLostError(f"request to shard {shard_id} lost")
+        delay = decision.delay
+        if decision.delay:
+            self._fault("delay", "request", shard_id)
+            self.now += decision.delay
+        self._count("request")
+        reply = server.handle(op)
+        if decision.duplicate:
+            # The fabric delivered the request twice; the second
+            # execution must be absorbed by the owner's dedup window.
+            self._fault("duplicate", "request", shard_id)
+            self._count("request")
+            reply = server.handle(op)
+        back = self.plan.decide("reply", shard_id)
+        if back.drop:
+            # The op executed; the client just never hears about it.
+            self._fault("drop", "reply", shard_id)
+            raise MessageLostError(f"reply from shard {shard_id} lost")
+        if back.delay:
+            self._fault("delay", "reply", shard_id)
+            self.now += back.delay
+            delay += back.delay
+        if timeout is not None and delay > timeout:
+            # The reply exists but arrived after the client gave up.
+            self._fault("timeout", "reply", shard_id)
+            raise OpTimeoutError(
+                f"shard {shard_id} answered in {delay:.4f}s > {timeout:.4f}s"
+            )
+        self._count("reply")
+        return reply
+
+    def forward(self, source: int, target: int, op: Op) -> Reply:
+        self._tick()
+        server = self._lookup(target, "forward")
+        decision = self.plan.decide("forward", target)
+        if decision.drop:
+            self._fault("drop", "forward", target)
+            raise MessageLostError(f"forward {source}->{target} lost")
+        if decision.delay:
+            self._fault("delay", "forward", target)
+            self.now += decision.delay
+        self._count("forward")
+        self.forwards += 1
+        self.registry.counter(
+            "dist_forwards_total", {"src": source, "dst": target}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit("forward", src=source, dst=target, op=op.kind)
+        reply = server.handle(op)
+        if decision.duplicate:
+            self._fault("duplicate", "forward", target)
+            self._count("forward")
+            reply = server.handle(op)
+        self._count("reply")
+        reply.forwards += 1
+        return reply

@@ -26,6 +26,7 @@ __all__ = [
     "DELETE",
     "SCAN",
     "POINT_OPS",
+    "MUTATING_OPS",
     "Op",
     "Reply",
 ]
@@ -51,9 +52,15 @@ class Op:
     scan leg carries the inclusive key bounds ``low``/``high`` (``None``
     = open) plus ``after``: the boundary the previous leg ended at, so
     the leg asks for the next authoritative region strictly above it.
+
+    Mutating operations additionally carry ``rid``, the per-client
+    monotonic request id ``(client_id, seq)`` that makes retries
+    idempotent: the id is assigned once per *logical* operation, so
+    every redelivery (client retry or a duplicated message) carries the
+    same id and the owning server's dedup window can short-circuit it.
     """
 
-    __slots__ = ("kind", "key", "value", "low", "high", "after")
+    __slots__ = ("kind", "key", "value", "low", "high", "after", "rid")
 
     def __init__(
         self,
@@ -63,6 +70,7 @@ class Op:
         low: Optional[str] = None,
         high: Optional[str] = None,
         after: Optional[str] = None,
+        rid: Optional[Tuple[int, int]] = None,
     ):
         self.kind = kind
         self.key = key
@@ -70,6 +78,7 @@ class Op:
         self.low = low
         self.high = high
         self.after = after
+        self.rid = rid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.kind == SCAN:
@@ -116,6 +125,9 @@ class Reply:
     ``iam`` is the list of Image Adjustment entries to graft. Scan legs
     additionally fill ``records``, ``region_high`` (the boundary the
     served region ends at, the continuation point) and ``done``.
+    ``dedup`` marks a reply served from the owner's dedup window — the
+    operation had already applied on an earlier delivery and the stored
+    result was replayed instead of re-executing.
     """
 
     __slots__ = (
@@ -127,6 +139,7 @@ class Reply:
         "records",
         "region_high",
         "done",
+        "dedup",
     )
 
     def __init__(
@@ -139,6 +152,7 @@ class Reply:
         records: Optional[List[Tuple[str, object]]] = None,
         region_high: Optional[str] = None,
         done: bool = True,
+        dedup: bool = False,
     ):
         self.value = value
         self.error = error
@@ -148,6 +162,7 @@ class Reply:
         self.records = records
         self.region_high = region_high
         self.done = done
+        self.dedup = dedup
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "err" if self.error is not None else "ok"

@@ -6,14 +6,26 @@ Everything is in-process and synchronous; what the router adds is the
 forward counts — surfaced both through a
 :class:`~repro.obs.metrics.MetricsRegistry` and, when tracing is on,
 as ``forward`` events on the :data:`~repro.obs.tracer.TRACER` bus.
+
+Edge counts reflect messages **actually delivered**: a request is
+counted once it reaches a live server, a reply only once the handler
+returned one (a raising handler produced no reply, so none is counted),
+and a forwarded op counts both the relayed reply from the owner back to
+the forwarding server and the forwarding server's reply to the client.
+
+This base router is a perfect fabric — no losses, no delays, no
+failures beyond an explicitly crashed server (which refuses connections
+with :class:`~repro.distributed.errors.ServerDownError`). The
+fault-injecting variant lives in :mod:`repro.distributed.faults`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
+from .errors import ServerDownError, UnknownShardError
 from .messages import Op, Reply
 
 __all__ = ["Router"]
@@ -36,12 +48,34 @@ class Router:
         self.messages += 1
         self.registry.counter("dist_messages_total", {"edge": edge}).inc()
 
-    # ------------------------------------------------------------------
-    def client_send(self, shard_id: int, op: Op) -> Reply:
-        """A client request to ``shard_id`` plus its reply."""
+    def _lookup(self, shard_id: int, edge: str = "request"):
+        """The live server for ``shard_id``; typed errors otherwise."""
         server = self.servers.get(shard_id)
         if server is None:
-            raise ValueError(f"no server for shard {shard_id}")
+            raise UnknownShardError(f"no server has ever owned shard {shard_id}")
+        if getattr(server, "down", False):
+            raise ServerDownError(f"shard {shard_id} is down ({edge} refused)")
+        return server
+
+    # ------------------------------------------------------------------
+    # Fault-tolerance hooks (no-ops on the perfect fabric)
+    # ------------------------------------------------------------------
+    def sleep(self, seconds: float) -> None:
+        """A client backing off between retries (advances no clock here)."""
+
+    def note_apply(self, rid: Optional[Tuple[int, int]]) -> None:
+        """A mutating op with request id ``rid`` actually applied."""
+
+    # ------------------------------------------------------------------
+    def client_send(
+        self, shard_id: int, op: Op, timeout: Optional[float] = None
+    ) -> Reply:
+        """A client request to ``shard_id`` plus its reply.
+
+        ``timeout`` is the client's per-op deadline; the perfect fabric
+        has no delays, so it is accepted and ignored here.
+        """
+        server = self._lookup(shard_id, "request")
         self._count("request")
         reply = server.handle(op)
         self._count("reply")
@@ -49,9 +83,7 @@ class Router:
 
     def forward(self, source: int, target: int, op: Op) -> Reply:
         """A server-to-server forward of a misaddressed operation."""
-        server = self.servers.get(target)
-        if server is None:
-            raise ValueError(f"no server for shard {target}")
+        server = self._lookup(target, "forward")
         self._count("forward")
         self.forwards += 1
         self.registry.counter(
@@ -60,5 +92,8 @@ class Router:
         if TRACER.enabled:
             TRACER.emit("forward", src=source, dst=target, op=op.kind)
         reply = server.handle(op)
+        # The owner's reply relayed back to the forwarding server is a
+        # delivered message too.
+        self._count("reply")
         reply.forwards += 1
         return reply

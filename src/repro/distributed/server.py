@@ -9,6 +9,24 @@ wrong shard is forwarded to its owner through the router (one hop — the
 coordinator's partition is authoritative), and every reply carries the
 IAM entries for the region the operation actually landed in, so the
 addressing client's image converges.
+
+Fault tolerance adds two responsibilities:
+
+* **Lifecycle** — :meth:`ShardServer.crash` marks the server down (the
+  router then refuses deliveries with
+  :class:`~repro.distributed.errors.ServerDownError`) and, for a
+  durable shard, loses the stable store's volatile state exactly like a
+  process kill. :meth:`ShardServer.restart` runs the full WAL +
+  checkpoint recovery path and rejoins the cluster. A non-durable shard
+  keeps its in-memory file across the outage — that models a process
+  pause or network partition, not data loss.
+
+* **Exactly-once retries** — a mutating op stamped with a request id is
+  checked against the shard's dedup window before executing; a hit
+  short-circuits to the recorded result (the op already applied on an
+  earlier delivery whose reply was lost). For durable shards the window
+  lives inside the :class:`~repro.storage.recovery.DurableFile` so it
+  rides the WAL and checkpoints across crashes.
 """
 
 from __future__ import annotations
@@ -19,7 +37,21 @@ from ..core.errors import TrieHashingError
 from ..core.keys import prefix_le
 from ..core.range_query import scan as local_scan
 from ..obs.tracer import TRACER
-from .messages import CONTAINS, DELETE, GET, INSERT, MUTATING_OPS, PUT, SCAN, Op, Reply
+from ..storage.dedup import DedupWindow
+from ..storage.recovery import DurableFile
+from .errors import ProtocolError
+from .messages import (
+    CONTAINS,
+    DELETE,
+    GET,
+    INSERT,
+    MUTATING_OPS,
+    POINT_OPS,
+    PUT,
+    SCAN,
+    Op,
+    Reply,
+)
 
 __all__ = ["ShardServer"]
 
@@ -33,6 +65,8 @@ class ShardServer:
         self.coordinator = coordinator
         self.router = router
         self.registry = coordinator.registry
+        self.down = False
+        self._local_dedup: Optional[DedupWindow] = None
         router.register(self)
 
     # ------------------------------------------------------------------
@@ -44,6 +78,20 @@ class ShardServer:
         inner = getattr(self.file, "file", None)
         return inner if inner is not None else self.file
 
+    @property
+    def dedup(self) -> DedupWindow:
+        """This shard's request-dedup window.
+
+        A durable file owns its window (it must survive crashes with the
+        data it guards); a plain in-memory shard keeps a local one.
+        """
+        window = getattr(self.file, "dedup", None)
+        if window is not None:
+            return window
+        if self._local_dedup is None:
+            self._local_dedup = DedupWindow()
+        return self._local_dedup
+
     def __len__(self) -> int:
         return len(self.file)
 
@@ -54,6 +102,45 @@ class ShardServer:
     def replace_file(self, file) -> None:
         """Swap in a rebuilt file (the scale-out record move)."""
         self.file = file
+        self._local_dedup = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Kill this server: refuse deliveries, lose volatile state."""
+        if self.down:
+            return
+        self.down = True
+        stable = getattr(self.file, "stable", None)
+        if stable is not None:
+            stable.lose_volatile()
+        self.coordinator.mark_down(self.shard_id)
+        self.registry.counter(
+            "dist_server_crashes_total", {"shard": self.shard_id}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "server_crash", shard=self.shard_id, durable=stable is not None
+            )
+
+    def restart(self) -> None:
+        """Recover (durable shards replay WAL + checkpoints) and rejoin."""
+        if not self.down:
+            return
+        stable = getattr(self.file, "stable", None)
+        replayed = 0
+        if stable is not None:
+            self.file = DurableFile.open(stable)
+            if self.file.last_recovery is not None:
+                replayed = self.file.last_recovery.replayed
+        self.down = False
+        self.coordinator.mark_up(self.shard_id)
+        self.registry.counter(
+            "dist_server_recoveries_total", {"shard": self.shard_id}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit("server_recover", shard=self.shard_id, replayed=replayed)
 
     # ------------------------------------------------------------------
     # Operation handling
@@ -68,9 +155,27 @@ class ShardServer:
         return self._handle_point(op)
 
     def _handle_point(self, op: Op) -> Reply:
+        if op.kind not in POINT_OPS:
+            # A malformed request is a protocol bug, not a storage error:
+            # raise (typed) instead of smuggling it into Reply.error.
+            raise ProtocolError(f"unknown point op kind {op.kind!r}")
         owner = self.coordinator.owner_of(op.key)
         if owner != self.shard_id:
             return self.router.forward(self.shard_id, owner, op)
+        if op.kind in MUTATING_OPS and op.rid is not None:
+            hit, stored = self.dedup.lookup(op.rid)
+            if hit:
+                # The op already applied on a delivery whose reply was
+                # lost; replay the recorded result instead of re-executing.
+                self.registry.counter(
+                    "dist_dedup_hits_total", {"shard": self.shard_id}
+                ).inc()
+                return Reply(
+                    value=stored,
+                    iam=self.coordinator.iam_for_key(op.key),
+                    owner=self.shard_id,
+                    dedup=True,
+                )
         error: Optional[Exception] = None
         value: object = None
         try:
@@ -78,17 +183,12 @@ class ShardServer:
                 value = self.file.get(op.key)
             elif op.kind == CONTAINS:
                 value = self.file.contains(op.key)
-            elif op.kind == INSERT:
-                self.file.insert(op.key, op.value)
-            elif op.kind == PUT:
-                self.file.put(op.key, op.value)
-            elif op.kind == DELETE:
-                value = self.file.delete(op.key)
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown op kind {op.kind!r}")
+            else:
+                value = self._apply_mutation(op)
         except TrieHashingError as exc:
             error = exc
         if op.kind in MUTATING_OPS and error is None:
+            self.router.note_apply(op.rid)
             # The op may have pushed this shard over its load policy;
             # scale out *before* building the IAM so the client learns
             # the fresh cut immediately.
@@ -99,6 +199,29 @@ class ShardServer:
             iam=self.coordinator.iam_for_key(op.key),
             owner=self.coordinator.owner_of(op.key),
         )
+
+    def _apply_mutation(self, op: Op):
+        """Execute a mutating op and record its request id as applied.
+
+        Durable files take the id themselves — it must reach the dedup
+        window only *after* the WAL fsync, and it travels inside the
+        logged record so recovery rebuilds the window. In-memory shards
+        record into the server's local window directly.
+        """
+        if isinstance(self.file, DurableFile):
+            if op.kind == INSERT:
+                return self.file.insert(op.key, op.value, rid=op.rid)
+            if op.kind == PUT:
+                return self.file.put(op.key, op.value, rid=op.rid)
+            return self.file.delete(op.key, rid=op.rid)
+        if op.kind == INSERT:
+            result = self.file.insert(op.key, op.value)
+        elif op.kind == PUT:
+            result = self.file.put(op.key, op.value)
+        else:
+            result = self.file.delete(op.key)
+        self.dedup.record(op.rid, result)
+        return result
 
     def _handle_scan(self, op: Op) -> Reply:
         gap = self.coordinator.scan_gap(op)

@@ -36,11 +36,33 @@ Distributed events (:mod:`repro.distributed`)
     One region's worth of a distributed range scan was served (fields:
     ``shard``, ``records``).
 
-Durability events (:mod:`repro.storage.recovery`)
--------------------------------------------------
+Fault-tolerance events (:mod:`repro.distributed.faults`)
+--------------------------------------------------------
+``net_fault``
+    The fault-injecting fabric fired one scheduled fault (fields:
+    ``kind`` — ``"drop"``, ``"duplicate"``, ``"delay"``, ``"timeout"``,
+    ``"crash"`` or ``"server_down"`` —, ``edge``, ``shard``).
+``server_crash``
+    A shard server went down, losing volatile state when durable
+    (fields: ``shard``, ``durable``).
+``server_recover``
+    A crashed server finished recovery and rejoined the cluster
+    (fields: ``shard``, ``replayed`` — WAL records replayed).
+``op_retry``
+    A client re-sent an operation after a transient fault (fields:
+    ``client``, ``op``, ``attempt``, ``reason`` — the retryable error
+    class name).
+
+Durability events (:mod:`repro.storage`)
+----------------------------------------
 ``recovery_done``
     A durable session finished recovering (fields: ``engine``,
     ``replayed``, ``torn_tail``, ``fallback``).
+``checkpoint``
+    A checkpoint landed (fields: ``id``, ``full``, ``buckets``,
+    ``lsn``, ``chain``).
+``wal_append`` / ``wal_fsync``
+    One record appended to / one commit barrier on the write-ahead log.
 
 Device events
 -------------
@@ -49,6 +71,8 @@ Device events
     ``device``, ``seconds`` when a latency model is attached).
 ``buffer_hit`` / ``buffer_miss``
     A buffer-pool read served from / missing the cache.
+``disk_fault``
+    The fault-injecting disk fired one scheduled device fault.
 
 Span events
 -----------
@@ -82,7 +106,15 @@ EVENT_NAMES = frozenset(
         "forward",
         "shard_split",
         "scan_leg",
+        "net_fault",
+        "server_crash",
+        "server_recover",
+        "op_retry",
         "recovery_done",
+        "checkpoint",
+        "wal_append",
+        "wal_fsync",
+        "disk_fault",
         "span_end",
         "trace_end",
     }

@@ -92,6 +92,25 @@ class MetricsRecorder:
             reg.counter(
                 "repro_forwards_total", {"op": event.fields.get("op", "?")}
             ).inc()
+        elif name == "net_fault":
+            reg.counter(
+                "repro_net_faults_total",
+                {
+                    "kind": event.fields.get("kind", "?"),
+                    "edge": event.fields.get("edge", "?"),
+                },
+            ).inc()
+        elif name == "op_retry":
+            reg.counter(
+                "repro_op_retries_total",
+                {"reason": event.fields.get("reason", "?")},
+            ).inc()
+        elif name == "server_recover":
+            replayed = event.fields.get("replayed")
+            if replayed is not None:
+                reg.histogram(
+                    "repro_recovery_replayed", bounds=ACCESS_BUCKETS
+                ).observe(replayed)
         elif name == "trace_end":
             reg.counter("repro_unattributed_reads_total").inc(
                 event.fields.get("unattributed_reads", 0)

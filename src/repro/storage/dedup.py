@@ -1,0 +1,92 @@
+"""The server-side request-dedup window (exactly-once retries).
+
+A retried mutating operation whose first reply was lost must not apply
+twice. The TH* client stamps every mutating op with a per-client
+monotonic request id ``(client_id, seq)``; the server that *applies* the
+op records the id and its result here, and a later delivery of the same
+id short-circuits to the recorded result instead of re-executing.
+
+The window is bounded (FIFO eviction) because retries are prompt: a
+request id only needs to survive the retry horizon of one logical
+operation, not forever. For durable shards the window rides the
+existing crash-safety machinery — request ids travel inside the WAL
+operation records and the current window is embedded in every
+checkpoint header — so a server crash between applying an op and the
+client's retry cannot forget that the op already happened (see
+:mod:`repro.storage.recovery`).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["DedupWindow", "DEFAULT_WINDOW"]
+
+#: One request id: (client id, per-client monotonic sequence number).
+RequestId = Tuple[int, int]
+
+#: Default window size — generous against the retry horizon (a retried
+#: op is re-delivered within a handful of messages, not thousands).
+DEFAULT_WINDOW = 1024
+
+_MISSING = object()
+
+
+class DedupWindow:
+    """A bounded map from request id to the applied op's result."""
+
+    __slots__ = ("limit", "_entries")
+
+    def __init__(self, limit: int = DEFAULT_WINDOW):
+        if limit < 1:
+            raise ValueError("dedup window must hold at least one entry")
+        self.limit = limit
+        self._entries: "OrderedDict[RequestId, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, rid: RequestId) -> bool:
+        return rid in self._entries
+
+    def lookup(self, rid: RequestId) -> Tuple[bool, object]:
+        """``(hit, result)`` for ``rid`` (results may be ``None``)."""
+        value = self._entries.get(rid, _MISSING)
+        if value is _MISSING:
+            return False, None
+        return True, value
+
+    def record(self, rid: Optional[RequestId], result: object) -> None:
+        """Remember that ``rid`` applied with ``result`` (None rid: no-op)."""
+        if rid is None:
+            return
+        self._entries[rid] = result
+        self._entries.move_to_end(rid)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+
+    def merge(self, other: "DedupWindow") -> None:
+        """Absorb every entry of ``other`` (shard-split handover).
+
+        Extra entries are harmless — a dedup hit only ever short-circuits
+        an op that *did* already apply — so the split handover copies the
+        whole window rather than filtering by moved region.
+        """
+        for rid, result in other._entries.items():
+            self.record(rid, result)
+
+    # -- checkpoint codec ----------------------------------------------
+    def to_spec(self) -> List[list]:
+        """JSON-ready form: ``[[client, seq, result], ...]`` oldest first."""
+        return [[c, s, v] for (c, s), v in self._entries.items()]
+
+    @classmethod
+    def from_spec(
+        cls, spec: Iterable[list], limit: int = DEFAULT_WINDOW
+    ) -> "DedupWindow":
+        """Rebuild a window from :meth:`to_spec` output."""
+        window = cls(limit)
+        for client, seq, result in spec:
+            window.record((int(client), int(seq)), result)
+        return window

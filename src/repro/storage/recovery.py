@@ -54,6 +54,7 @@ from ..core.errors import (
 )
 from ..core.policies import SplitPolicy
 from ..obs.tracer import TRACER
+from .dedup import DedupWindow
 from .serializer import deserialize_bucket, deserialize_trie, serialize_bucket, serialize_trie
 from .wal import (
     REC_DELETE,
@@ -467,6 +468,10 @@ class DurableFile:
         self._ops_since_checkpoint = 0
         self._poisoned = False
         self.last_recovery: Optional[RecoveryReport] = None
+        #: Request-dedup window (exactly-once distributed retries). Ids
+        #: travel inside WAL op records and checkpoint headers, so the
+        #: window survives crashes together with the data it guards.
+        self.dedup = DedupWindow()
         return self
 
     # -- opening -------------------------------------------------------
@@ -588,6 +593,11 @@ class DurableFile:
             top_lsn = max([manifest["lsn"]] + [r.lsn for r in records])
             wal = WALWriter(stable, wal_name, next_lsn=top_lsn + 1)
             adapter.attach(file, wal)
+            # The dedup window recovers alongside the data it guards:
+            # the checkpointed window is the base, and every replayed
+            # record re-records its request id with the re-executed
+            # result — so a retry arriving after the crash still hits.
+            dedup = DedupWindow.from_spec(newest_header.get("dedup", []))
             wal.suppress_appends = True
             try:
                 for record in records:
@@ -595,13 +605,16 @@ class DurableFile:
                         continue
                     payload = record.payload
                     try:
-                        _apply_op(
+                        out = _apply_op(
                             file, record.type, payload["k"], payload.get("v")
                         )
                     except TrieHashingError as exc:
                         raise RecoveryError(
                             f"replay of operation LSN {record.lsn} failed: {exc}"
                         ) from exc
+                    rid = payload.get("rid")
+                    if rid is not None:
+                        dedup.record((rid[0], rid[1]), out)
                     report.replayed += 1
             finally:
                 wal.suppress_appends = False
@@ -609,6 +622,7 @@ class DurableFile:
             self = cls._build(
                 stable, adapter, file, wal, manifest, checkpoint_every, max_chain
             )
+            self.dedup = dedup
             self.last_recovery = report
             if TRACER.enabled:
                 TRACER.emit(
@@ -632,7 +646,7 @@ class DurableFile:
                 "reopen the store to recover"
             )
 
-    def _do(self, rec_type: int, key: str, value=None):
+    def _do(self, rec_type: int, key: str, value=None, rid=None):
         self._check_usable()
         if value is not None and not isinstance(value, str):
             raise StorageError("durable files store str or None values only")
@@ -645,27 +659,33 @@ class DurableFile:
             raise
         try:
             payload = {"k": key} if value is None else {"k": key, "v": value}
+            if rid is not None:
+                payload["rid"] = [rid[0], rid[1]]
             self.wal.append(rec_type, payload)
             self.wal.commit()  # the fsync barrier: returning == durable
         except BaseException:
             self._poisoned = True
             raise
+        # Only past the fsync barrier may the id enter the window: a
+        # recorded id promises the op is durable, and recovery keeps the
+        # promise by replaying the id from the logged record.
+        self.dedup.record(rid, out)
         self._ops_since_checkpoint += 1
         if self._ops_since_checkpoint >= self.checkpoint_every:
             self.checkpoint()
         return out
 
-    def insert(self, key: str, value=None) -> None:
+    def insert(self, key: str, value=None, rid=None) -> None:
         """Insert a new key (acknowledged-durable on return)."""
-        self._do(REC_INSERT, key, value)
+        self._do(REC_INSERT, key, value, rid=rid)
 
-    def put(self, key: str, value=None) -> None:
+    def put(self, key: str, value=None, rid=None) -> None:
         """Insert or overwrite (acknowledged-durable on return)."""
-        self._do(REC_PUT, key, value)
+        self._do(REC_PUT, key, value, rid=rid)
 
-    def delete(self, key: str):
+    def delete(self, key: str, rid=None):
         """Delete a key, returning its value (acknowledged on return)."""
-        return self._do(REC_DELETE, key)
+        return self._do(REC_DELETE, key, rid=rid)
 
     # -- reads (no logging) -------------------------------------------
     def get(self, key: str):
@@ -739,6 +759,7 @@ class DurableFile:
                 "live": live,
                 "max_address": self.file.store.max_address(),
                 "buckets": included,
+                "dedup": self.dedup.to_spec(),
             }
         else:
             buckets = []
@@ -751,6 +772,7 @@ class DurableFile:
                 "live": [],
                 "max_address": 0,
                 "buckets": [],
+                "dedup": self.dedup.to_spec(),
             }
         image = encode_checkpoint(header, adapter.index_bytes(self.file), buckets)
         self.stable.write_atomic(name, image)

@@ -590,3 +590,61 @@ def test_reopen_must_not_pass_conflicting_engine():
     g = DurableFile.open(store, engine="btree")  # stored engine wins
     assert g.engine.kind == "th"
     assert "alpha" in g
+
+
+# ----------------------------------------------------------------------
+# Request-id durability (the distributed exactly-once contract)
+# ----------------------------------------------------------------------
+def test_rids_survive_wal_replay():
+    stable = StableStore()
+    f = DurableFile.open(stable, engine="th", capacity=4, checkpoint_every=1000)
+    f.insert("apple", "A", rid=(1, 1))
+    f.put("bird", "B", rid=(1, 2))
+    assert f.delete("apple", rid=(1, 3)) == "A"
+    stable.lose_volatile()  # crash: everything above lives only in the WAL
+
+    recovered = DurableFile.open(stable)
+    assert recovered.last_recovery.replayed == 3
+    assert recovered.dedup.lookup((1, 1)) == (True, None)
+    assert recovered.dedup.lookup((1, 2)) == (True, None)
+    # Replay re-executes the delete, so the recorded result is rebuilt.
+    assert recovered.dedup.lookup((1, 3)) == (True, "A")
+    assert recovered.dedup.lookup((1, 4)) == (False, None)
+
+
+def test_rids_survive_via_checkpoint_header():
+    stable = StableStore()
+    f = DurableFile.open(stable, engine="th", capacity=4, checkpoint_every=1000)
+    f.insert("apple", "A", rid=(7, 1))
+    f.checkpoint()  # embeds the window; truncates the WAL
+    stable.lose_volatile()
+
+    recovered = DurableFile.open(stable)
+    assert recovered.last_recovery.replayed == 0  # nothing left to replay
+    assert recovered.dedup.lookup((7, 1)) == (True, None)
+    assert recovered.get("apple") == "A"
+
+
+def test_rids_without_stamp_are_not_tracked():
+    stable = StableStore()
+    f = DurableFile.open(stable, engine="th", capacity=4)
+    f.insert("apple", "A")  # rid-less (single-node usage)
+    assert len(f.dedup) == 0
+    stable.lose_volatile()
+    recovered = DurableFile.open(stable)
+    assert len(recovered.dedup) == 0
+    assert recovered.get("apple") == "A"
+
+
+def test_rid_payloads_do_not_disturb_old_records():
+    # Mixed stamped and unstamped records replay side by side.
+    stable = StableStore()
+    f = DurableFile.open(stable, engine="th", capacity=4, checkpoint_every=1000)
+    f.insert("plain", "P")
+    f.insert("stamped", "S", rid=(2, 5))
+    stable.lose_volatile()
+    recovered = DurableFile.open(stable)
+    assert recovered.get("plain") == "P"
+    assert recovered.get("stamped") == "S"
+    assert (2, 5) in recovered.dedup
+    recovered.check()

@@ -357,3 +357,135 @@ class TestScaleOut:
         with pytest.raises(TrieHashingError):
             f.delete("missing")
         assert f.get("alpha") == "1"
+
+
+# ======================================================================
+# Typed errors, message accounting, and IAM robustness (fault-PR fixes)
+# ======================================================================
+class TestTypedRoutingErrors:
+    def test_unknown_shard_raises_typed_error(self):
+        from repro.distributed import Op, UnknownShardError
+
+        cluster = Cluster(shards=1)
+        with pytest.raises(UnknownShardError):
+            cluster.router.client_send(99, Op.get("a"))
+        with pytest.raises(UnknownShardError):
+            cluster.router.forward(0, 99, Op.get("a"))
+        # Part of the TrieHashingError hierarchy, not a bare ValueError.
+        assert issubclass(UnknownShardError, TrieHashingError)
+        assert not issubclass(UnknownShardError, ValueError)
+
+    def test_unknown_op_kind_raises_protocol_error(self):
+        from repro.distributed import Op, ProtocolError
+
+        registry = MetricsRegistry()
+        cluster = Cluster(shards=1, registry=registry)
+        with pytest.raises(ProtocolError):
+            cluster.router.client_send(0, Op("frobnicate", key="a"))
+        # The raising handler produced no reply, so none was counted.
+        request = registry.counter("dist_messages_total", {"edge": "request"})
+        reply = registry.counter("dist_messages_total", {"edge": "reply"})
+        assert request.value == 1
+        assert reply.value == 0
+
+
+class TestMessageAccounting:
+    def test_forwarded_op_counts_relayed_reply(self):
+        # Regression: the owner's reply relayed back through the
+        # forwarding server is a delivered message. The old router
+        # counted 3 messages for a forwarded op; the true count is 4
+        # (request, forward, relayed reply, client-bound reply).
+        registry = MetricsRegistry()
+        cluster = Cluster(shards=2, registry=registry)
+        f = cluster.client()  # cold image: everything routed to shard 0
+        owner = cluster.coordinator.owner_of("zzz")
+        assert owner != 0  # the op below must need a forward
+        f.insert("zzz", "Z")
+
+        def edge(name):
+            return registry.counter(
+                "dist_messages_total", {"edge": name}
+            ).value
+
+        assert edge("request") == 1
+        assert edge("forward") == 1
+        assert edge("reply") == 2
+        assert cluster.router.messages == 4
+
+    def test_direct_op_counts_two_messages(self):
+        registry = MetricsRegistry()
+        cluster = Cluster(shards=2, registry=registry)
+        f = cluster.client(warm=True)
+        f.insert("apple", "A")
+        assert cluster.router.messages == 2
+        assert cluster.router.forwards == 0
+
+
+class TestAbsorbAccounting:
+    def test_error_reply_does_not_count_toward_convergence(self):
+        from repro.distributed import Reply
+
+        cluster = Cluster(shards=2)
+        f = cluster.client()
+        reply = Reply(
+            error=KeyNotFoundError("nope"),
+            iam=[("g", "t", 1)],
+            forwards=1,
+        )
+        f._absorb(reply)
+        # The failed op is not a resolved routing sample...
+        assert f.ops_total == 0
+        assert f.window_total == 0
+        assert f.ops_forwarded == 0
+        # ...but its IAM still teaches the authoritative cuts.
+        assert f.iam_boundaries == 2
+        assert f.image.shard_for_key("m") == 1
+
+    def test_end_to_end_failed_ops_excluded(self):
+        cluster = Cluster(shards=1)
+        f = cluster.client()
+        f.insert("apple", "A")
+        with pytest.raises(DuplicateKeyError):
+            f.insert("apple", "B")
+        with pytest.raises(KeyNotFoundError):
+            f.get("missing")
+        assert f.ops_total == 1  # only the successful insert resolved
+        assert f.convergence() == 1.0
+
+
+class TestIAMRobustness:
+    def test_duplicate_entries_in_one_batch_are_safe(self):
+        image = TrieImage(DEFAULT_ALPHABET, (), (0,))
+        entry = ("g", "t", 5)
+        assert image.patch([entry, entry, entry]) == 2
+        assert image.boundaries == ["g", "t"]
+        assert image.patch([entry, entry]) == 0
+        assert image.boundaries == ["g", "t"]
+        assert image.shard_for_key("m") == 5
+
+    def test_redelivered_stale_iam_never_regresses_boundaries(self):
+        # A duplicated (redelivered) coarse IAM arriving after finer
+        # cuts may repoint sub-gaps at a stale shard — another forward
+        # fixes that — but it must never remove learned boundaries.
+        image = TrieImage(DEFAULT_ALPHABET, (), (0,))
+        image.patch([("g", "m", 1), ("m", "t", 2)])
+        fine = list(image.boundaries)
+        assert image.patch([("g", "t", 1)]) == 0  # stale, coarser view
+        assert image.boundaries == fine
+        image.check()
+        # Replaying the fine entries again restores exact pointers.
+        image.patch([("g", "m", 1), ("m", "t", 2)])
+        assert image.shard_for_key("k") == 1
+        assert image.shard_for_key("p") == 2
+
+    def test_reordered_iams_converge_to_same_image(self):
+        entries = [(None, "g", 1), ("g", "m", 2), ("m", "t", 3), ("t", None, 4)]
+        forward_order = TrieImage(DEFAULT_ALPHABET, (), (0,))
+        shuffled = TrieImage(DEFAULT_ALPHABET, (), (0,))
+        forward_order.patch(entries)
+        order = list(entries)
+        random.Random(9).shuffle(order)
+        for entry in order:
+            shuffled.patch([entry])  # one IAM per reply, odd order
+        assert forward_order.boundaries == shuffled.boundaries
+        assert forward_order.shards == shuffled.shards
