@@ -12,7 +12,6 @@ modern parameters.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from ..storage.layout import Layout
 
@@ -75,9 +74,9 @@ def bilevel_file_bytes(
     return bilevel_buckets(page_bytes, page_load, layout) * bucket_bytes
 
 
-def capacity_table() -> List[Dict[str, object]]:
+def capacity_table() -> list[dict[str, object]]:
     """Section 3.1's published figures against this arithmetic."""
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     rows.append(
         {
             "claim": "6 KB trie buffer ~ 1000-bucket file",

@@ -15,7 +15,6 @@ distributions so the explanations can be checked, not just quoted:
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict
 
 from ..core.cells import edge_target, is_edge
 from ..core.trie import Trie
@@ -28,7 +27,7 @@ __all__ = [
 ]
 
 
-def bucket_load_histogram(file) -> Dict[int, int]:
+def bucket_load_histogram(file) -> dict[int, int]:
     """``records per bucket -> bucket count`` for a TH/MLTH file."""
     counts: Counter = Counter()
     for address in file.store.live_addresses():
@@ -36,7 +35,7 @@ def bucket_load_histogram(file) -> Dict[int, int]:
     return dict(sorted(counts.items()))
 
 
-def boundary_length_histogram(trie: Trie) -> Dict[int, int]:
+def boundary_length_histogram(trie: Trie) -> dict[int, int]:
     """``boundary length (digits) -> count`` over the trie's cut points.
 
     Each boundary was once a split string (or a prefix the chain had to
@@ -49,7 +48,7 @@ def boundary_length_histogram(trie: Trie) -> Dict[int, int]:
     return dict(sorted(counts.items()))
 
 
-def leaf_depth_histogram(trie: Trie) -> Dict[int, int]:
+def leaf_depth_histogram(trie: Trie) -> dict[int, int]:
     """``depth (nodes on the path) -> leaf count``."""
     counts: Counter = Counter()
     stack = [(trie.root, 0)]
@@ -64,7 +63,7 @@ def leaf_depth_histogram(trie: Trie) -> Dict[int, int]:
     return dict(sorted(counts.items()))
 
 
-def summarize(histogram: Dict[int, int]) -> Dict[str, float]:
+def summarize(histogram: dict[int, int]) -> dict[str, float]:
     """Mean / min / max / total of an integer histogram."""
     if not histogram:
         return {"mean": 0.0, "min": 0, "max": 0, "total": 0}

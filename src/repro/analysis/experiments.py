@@ -10,10 +10,12 @@ paper's (5 000 keys, ``b`` in 10..50) but scale down for fast tests.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 from ..btree import BPlusTree
 from ..core.balance import depth_report
+from ..core.errors import InvalidKeyError, KeyNotFoundError
 from ..core.file import THFile
 from ..core.merge import mergeable_couples
 from ..core.mlth import MLTHFile
@@ -44,7 +46,7 @@ __all__ = [
     "ablation_buffer",
 ]
 
-Row = Dict[str, object]
+Row = dict[str, object]
 
 
 def _round(value: float, digits: int = 3) -> float:
@@ -59,7 +61,7 @@ def fig10_ascending(
     bucket_capacities: Sequence[int] = (10, 20, 50),
     d_values: Sequence[int] = (0, 1, 2, 3, 4, 6, 8),
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """Load factor ``a%``, trie size ``M`` and file size ``N`` versus
     ``d = b - m`` for sorted (ascending) insertions of random keys.
 
@@ -68,7 +70,7 @@ def fig10_ascending(
     at full load is well above the minimum-``M`` point's.
     """
     keys = KeyGenerator(seed).sorted_keys(count)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for b in bucket_capacities:
         for d in d_values:
             if d >= b:
@@ -101,7 +103,7 @@ def fig11_descending(
     bucket_capacities: Sequence[int] = (10, 20, 50),
     d_values: Sequence[int] = (0, 1, 2, 3, 4, 6, 8),
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """Same sweep for descending insertions: ``m = 1`` and the bounding
     key at position ``m + 1 + d`` (the paper's ``d = m'' - m - 1``).
 
@@ -109,7 +111,7 @@ def fig11_descending(
     ``d`` then flattens, with ``a`` staying over 90%.
     """
     keys = KeyGenerator(seed).descending_keys(count)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for b in bucket_capacities:
         for d in d_values:
             if d + 2 > b + 1:
@@ -137,12 +139,12 @@ def sec31_random(
     bucket_capacities: Sequence[int] = (10, 20, 50),
     seed: int = 42,
     layout: Optional[Layout] = None,
-) -> List[Row]:
+) -> list[Row]:
     """Basic TH under random insertions: ``a_r`` ≈ 70%, negligible nil
     leaves, trie of ~N six-byte cells versus B-tree branch bytes."""
     layout = layout or Layout()
     keys = KeyGenerator(seed).uniform(count)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for b in bucket_capacities:
         f = insert_all(THFile(b), keys)
         t = BPlusTree(leaf_capacity=b, layout=layout)
@@ -171,7 +173,7 @@ def sec32_unexpected(
     bucket_capacities: Sequence[int] = (10, 20, 50),
     fractions: Sequence[float] = (0.5, 0.4),
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """Basic TH receiving sorted keys with the split key tuned for random
     insertions: ``a_a`` within 60-73%, ``a_d`` within 40-55% at
     ``m = 0.5b``; lowering ``m`` toward ``0.4b`` trades ``a_a`` for
@@ -180,7 +182,7 @@ def sec32_unexpected(
     ascending = generator.sorted_keys(count)
     descending = list(reversed(ascending))
     shuffled = generator.uniform(count)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for b in bucket_capacities:
         for fraction in fractions:
             policy = SplitPolicy(split_fraction=fraction)
@@ -207,7 +209,7 @@ def sec32_expected(
     count: int = 5000,
     bucket_capacities: Sequence[int] = (10, 20, 50),
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """Basic TH with the split key shifted for the expected order:
     ``m = b`` for ascending and ``m = 1`` for descending. Nil nodes
     (ascending) and split randomness (descending) cap the load at
@@ -215,7 +217,7 @@ def sec32_expected(
     generator = KeyGenerator(seed)
     ascending = generator.sorted_keys(count)
     descending = list(reversed(ascending))
-    rows: List[Row] = []
+    rows: list[Row] = []
     for b in bucket_capacities:
         f_a = insert_all(THFile(b, SplitPolicy(split_position=-1)), ascending)
         f_d = insert_all(THFile(b, SplitPolicy(split_position=1)), descending)
@@ -236,7 +238,7 @@ def sec32_expected(
 # ----------------------------------------------------------------------
 def sec45_guarantees(
     count: int = 3000, bucket_capacity: int = 20, seed: int = 42
-) -> List[Row]:
+) -> list[Row]:
     """THCL's deterministic guarantees: 100% for the expected ordered
     load, exactly ~50% for unexpected ordered insertions in *either*
     direction, ~70% random, and a 50% floor under heavy deletions."""
@@ -245,7 +247,7 @@ def sec45_guarantees(
     descending = list(reversed(ascending))
     shuffled = generator.uniform(count)
     b = bucket_capacity
-    rows: List[Row] = []
+    rows: list[Row] = []
 
     f = insert_all(THFile(b, SplitPolicy.thcl_ascending(0)), ascending)
     rows.append({"case": "expected ascending, d=0", "a%": _round(100 * f.load_factor(), 1)})
@@ -279,7 +281,7 @@ def sec45_guarantees(
 
 def sec45_redistribution(
     count: int = 3000, bucket_capacity: int = 20, seed: int = 42
-) -> List[Row]:
+) -> list[Row]:
     """Redistribution raises the random load toward the ~87% peak and
     pushes unexpected ordered loads toward 100% (Section 4.5), at the
     cost of extra accesses per split."""
@@ -287,7 +289,7 @@ def sec45_redistribution(
     ascending = generator.sorted_keys(count)
     shuffled = generator.uniform(count)
     b = bucket_capacity
-    rows: List[Row] = []
+    rows: list[Row] = []
     for label, keys in (("random", shuffled), ("unexpected ascending", ascending)):
         for policy_label, policy in (
             ("plain THCL", SplitPolicy.thcl_guaranteed_half()),
@@ -316,7 +318,7 @@ def growth_rate_table(
     bucket_capacities: Sequence[int] = (10, 20, 50),
     seed: int = 42,
     layout: Optional[Layout] = None,
-) -> List[Row]:
+) -> list[Row]:
     """The growth rate ``s = M/N`` and bytes per split for full-load and
     near-minimal-``M`` configurations, against the B-tree's key+pointer
     bytes per split (20-50 bytes typical)."""
@@ -324,7 +326,7 @@ def growth_rate_table(
     generator = KeyGenerator(seed)
     ascending = generator.sorted_keys(count)
     descending = list(reversed(ascending))
-    rows: List[Row] = []
+    rows: list[Row] = []
     for b in bucket_capacities:
         cases = [
             ("ascending, full load (d=0)", THFile(b, SplitPolicy.thcl_ascending(0)), ascending),
@@ -368,7 +370,7 @@ def sec5_btree_comparison(
     bucket_capacity: int = 20,
     seed: int = 42,
     layout: Optional[Layout] = None,
-) -> List[Row]:
+) -> list[Row]:
     """TH/THCL versus a B+-tree on the paper's criteria: load factor,
     disk accesses per search and per insert, and index size — for random
     and for ordered insertions."""
@@ -378,7 +380,7 @@ def sec5_btree_comparison(
     ascending = sorted(shuffled)
     b = bucket_capacity
     probe = generator.uniform(200, salt=9)
-    rows: List[Row] = []
+    rows: list[Row] = []
 
     def measure(name: str, build, keys) -> None:
         f = build()
@@ -410,7 +412,7 @@ def sec5_btree_comparison(
         measure("TH (basic)", lambda: THFile(b), keys)
         measure(
             "THCL (m=b, shared leaves)" if keys is ascending else "THCL",
-            lambda: THFile(
+            lambda keys=keys: THFile(
                 b,
                 SplitPolicy.thcl_ascending(0)
                 if keys is ascending
@@ -420,7 +422,7 @@ def sec5_btree_comparison(
         )
         measure(
             "B+-tree (0.5)" if keys is shuffled else "B+-tree (compact 1.0)",
-            lambda: BPlusTree(
+            lambda keys=keys: BPlusTree(
                 leaf_capacity=b,
                 split_fraction=1.0 if keys is ascending else 0.5,
                 layout=layout,
@@ -431,7 +433,7 @@ def sec5_btree_comparison(
     return rows
 
 
-def _disks(file) -> List[SimulatedDisk]:
+def _disks(file) -> list[SimulatedDisk]:
     disks = []
     if hasattr(file, "store"):
         disks.append(file.store.disk)
@@ -445,7 +447,7 @@ def _disks(file) -> List[SimulatedDisk]:
 def _safe_get(file, key: str):
     try:
         return file.get(key)
-    except Exception:
+    except (KeyNotFoundError, InvalidKeyError):
         return None
 
 
@@ -457,11 +459,11 @@ def mlth_access_table(
     bucket_capacity: int = 10,
     page_capacity: int = 32,
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """MLTH: levels, page loads and per-search accesses as the file
     grows — two page levels (and thus two disk accesses with the root in
     core) covering large files."""
-    rows: List[Row] = []
+    rows: list[Row] = []
     for count in counts:
         keys = KeyGenerator(seed).uniform(count)
         f = MLTHFile(
@@ -493,7 +495,7 @@ def mlth_access_table(
 # ----------------------------------------------------------------------
 def deletions_table(
     count: int = 2000, bucket_capacity: int = 10, seed: int = 42
-) -> List[Row]:
+) -> list[Row]:
     """Deletion behaviour: the basic method's limited sibling merging
     (with the 4-vs-8-couples rotation analysis) against THCL's
     guaranteed floor."""
@@ -502,7 +504,7 @@ def deletions_table(
     victims = list(keys)
     random.Random(seed).shuffle(victims)
     cut = int(count * 0.75)
-    rows: List[Row] = []
+    rows: list[Row] = []
 
     basic = insert_all(THFile(bucket_capacity), keys)
     siblings, rotations = mergeable_couples(basic.trie)
@@ -570,7 +572,7 @@ def concurrency_table(
     client_counts: Sequence[int] = (1, 4, 16),
     bucket_capacity: int = 10,
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """TH vs B-tree under concurrent clients (/VID87/'s claim).
 
     The same mixed workload (50% searches, 50% inserts) is replayed
@@ -590,8 +592,8 @@ def concurrency_table(
     fresh = [k for k in generator.uniform(operations, salt=3) if k not in set(present)]
     searches = present[: operations - len(fresh)]
 
-    def schedules(method: str) -> List[List[tuple]]:
-        out: List[List[tuple]] = []
+    def schedules(method: str) -> list[list[tuple]]:
+        out: list[list[tuple]] = []
         if method == "TH":
             f = THFile(bucket_capacity)
             for k in present:
@@ -612,7 +614,7 @@ def concurrency_table(
                     out.append(btree_operation_schedule(t, "search", searches[i]))
         return out
 
-    rows: List[Row] = []
+    rows: list[Row] = []
     for method in ("TH", "B+-tree"):
         ops = schedules(method)
         for clients in client_counts:
@@ -636,14 +638,14 @@ def concurrency_table(
 # ----------------------------------------------------------------------
 def ablation_nil_nodes(
     count: int = 3000, bucket_capacity: int = 20, seed: int = 42
-) -> List[Row]:
+) -> list[Row]:
     """Nil nodes (basic) vs shared leaves (THCL) at the same split key:
     the paper's surprising Section 4.5 note that the basic method's trie
     is smaller at the middle split key, while THCL wins under shifted
     split keys."""
     generator = KeyGenerator(seed)
     ascending = generator.sorted_keys(count)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for label, basic_policy, thcl_policy in (
         (
             "m = middle",
@@ -678,7 +680,7 @@ def ablation_nil_nodes(
 
 def ablation_balance(
     count: int = 3000, bucket_capacity: int = 10, seed: int = 42
-) -> List[Row]:
+) -> list[Row]:
     """Trie balancing: depth before/after the canonical rebuild, for
     random, ascending and skewed key sources (Section 2.6: only the
     in-core search time changes)."""
@@ -688,7 +690,7 @@ def ablation_balance(
         "ascending": generator.sorted_keys(count),
         "skewed": generator.skewed(count),
     }
-    rows: List[Row] = []
+    rows: list[Row] = []
     for label, keys in sources.items():
         f = insert_all(THFile(bucket_capacity), keys)
         report = depth_report(f.trie)
@@ -708,7 +710,7 @@ def multikey_grid_table(
     bucket_capacity: int = 8,
     concentrations: Sequence[float] = (0.0, 1.5, 3.0),
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """Multikey TH vs the grid-file directory model (Section 6).
 
     Two-attribute points at increasing skew: the grid directory (cross
@@ -719,7 +721,7 @@ def multikey_grid_table(
     from ..multikey import GridDirectoryModel, MultikeyTHFile
 
     generator = KeyGenerator(seed)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for concentration in concentrations:
         if concentration <= 0:
             a = generator.uniform(count, length=4, salt=1)
@@ -751,7 +753,7 @@ def multikey_grid_table(
 
 def ablation_overflow(
     count: int = 3000, bucket_capacity: int = 10, seed: int = 42
-) -> List[Row]:
+) -> list[Row]:
     """Deferred splitting (overflow chains) vs plain TH.
 
     The Section 6 'overflow' idea: spill into a private overflow bucket
@@ -761,7 +763,7 @@ def ablation_overflow(
     from ..core.overflow import OverflowTHFile
 
     keys = KeyGenerator(seed).uniform(count)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for label, f in (
         ("plain TH", THFile(bucket_capacity, SplitPolicy(merge="none"))),
         ("overflow chaining", OverflowTHFile(bucket_capacity)),
@@ -791,12 +793,12 @@ def ablation_buffer(
     bucket_capacity: int = 10,
     buffer_sizes: Sequence[int] = (0, 8, 64),
     seed: int = 42,
-) -> List[Row]:
+) -> list[Row]:
     """Bucket buffer-pool size versus disk reads for a probe workload —
     quantifying how far caching moves the one-access baseline."""
     keys = KeyGenerator(seed).uniform(count)
     probes = KeyGenerator(seed + 1).uniform(500, salt=3)
-    rows: List[Row] = []
+    rows: list[Row] = []
     for size in buffer_sizes:
         store = BucketStore(buffer_capacity=size)
         f = insert_all(THFile(bucket_capacity, store=store), keys)

@@ -9,13 +9,13 @@ are visible at a glance in the benchmark output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 __all__ = ["ascii_chart", "fig_curves"]
 
 
 def ascii_chart(
-    series: Dict[str, List[Tuple[float, float]]],
+    series: dict[str, list[tuple[float, float]]],
     width: int = 60,
     height: int = 16,
     title: str = "",
@@ -37,13 +37,13 @@ def ascii_chart(
 
     grid = [[" "] * width for _ in range(height)]
     markers = "*o+x#@"
-    for (name, pts), marker in zip(series.items(), markers):
+    for (_name, pts), marker in zip(series.items(), markers):
         for x, y in pts:
             col = round((x - x_lo) / x_span * (width - 1))
             row = height - 1 - round((y - y_lo) / y_span * (height - 1))
             grid[row][col] = marker
 
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
     lines.append(f"{y_hi:>10.1f} ┤" + "".join(grid[0]))
@@ -61,7 +61,7 @@ def ascii_chart(
     return "\n".join(lines)
 
 
-def fig_curves(rows: Sequence[Dict[str, object]], bucket_capacity: int) -> str:
+def fig_curves(rows: Sequence[dict[str, object]], bucket_capacity: int) -> str:
     """Render one bucket size's Fig 10/11 sweep: a% and M versus d.
 
     ``rows`` are the dictionaries produced by

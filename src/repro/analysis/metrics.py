@@ -7,14 +7,14 @@ access costs measured as counter deltas around an operation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from collections.abc import Callable
 
 from ..storage.layout import Layout
 
 __all__ = ["file_metrics", "access_cost", "average_access_cost"]
 
 
-def file_metrics(file, layout: Layout = None) -> Dict[str, float]:
+def file_metrics(file, layout: Layout = None) -> dict[str, float]:
     """A snapshot of the paper's file-level quantities.
 
     Works for :class:`~repro.core.file.THFile`,
@@ -31,7 +31,7 @@ def file_metrics(file, layout: Layout = None) -> Dict[str, float]:
     clobber an earlier value.
     """
     layout = layout or Layout()
-    out: Dict[str, float] = {"records": len(file)}
+    out: dict[str, float] = {"records": len(file)}
     # Most specific first: the B+-tree's separator-based quantities.
     if hasattr(file, "separator_count"):
         out["separators"] = file.separator_count()
@@ -86,7 +86,7 @@ def _disks_of(file):
     return disks
 
 
-def access_cost(file, operation: Callable[[], object]) -> Dict[str, int]:
+def access_cost(file, operation: Callable[[], object]) -> dict[str, int]:
     """Disk accesses one operation performs, as counter deltas.
 
     Returns ``{'reads': r, 'writes': w, 'accesses': r + w}`` summed over
@@ -104,7 +104,7 @@ def access_cost(file, operation: Callable[[], object]) -> Dict[str, int]:
     return {"reads": reads, "writes": writes, "accesses": reads + writes}
 
 
-def average_access_cost(file, operations) -> Dict[str, float]:
+def average_access_cost(file, operations) -> dict[str, float]:
     """Mean access cost over a sequence of thunks."""
     totals = {"reads": 0, "writes": 0, "accesses": 0}
     count = 0

@@ -8,7 +8,8 @@ section in readable form.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 __all__ = ["format_table", "format_value"]
 
@@ -25,7 +26,7 @@ def format_value(value: object) -> str:
 
 
 def format_table(
-    rows: List[Dict[str, object]],
+    rows: list[dict[str, object]],
     columns: Optional[Sequence[str]] = None,
     title: Optional[str] = None,
 ) -> str:

@@ -7,7 +7,7 @@ curves and of the oscillation discussion in Section 4.5.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
 
 from .metrics import file_metrics
 
@@ -30,13 +30,13 @@ def delete_all(file, keys: Iterable[str]):
 
 def load_series(
     file, keys: Iterable[str], every: int = 100
-) -> List[Dict[str, float]]:
+) -> list[dict[str, float]]:
     """Insert keys, sampling :func:`file_metrics` every ``every`` inserts.
 
     The returned rows carry an ``inserted`` count; the final state is
     always sampled.
     """
-    rows: List[Dict[str, float]] = []
+    rows: list[dict[str, float]] = []
     inserted = 0
     for key in keys:
         file.insert(key)

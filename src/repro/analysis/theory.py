@@ -21,7 +21,6 @@ suite checks the simulation lands within honest tolerances of them.
 from __future__ import annotations
 
 import math
-from typing import Dict
 
 from ..storage.layout import Layout
 
@@ -85,7 +84,7 @@ def expected_index_bytes(
     return round(layout.cell_bytes * growth_rate * (buckets - 1))
 
 
-def compare_with_theory(file, order: str, d: int = 0) -> Dict[str, float]:
+def compare_with_theory(file, order: str, d: int = 0) -> dict[str, float]:
     """Measured vs predicted for one loaded file (used by tests/benches)."""
     predicted_load = expected_load_factor(
         order,

@@ -10,7 +10,7 @@ benchmark harness but large enough for the statistical bands to hold.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from ..btree import BPlusTree
 from ..core.file import THFile
@@ -159,7 +159,7 @@ def _check_concurrency() -> bool:
 
 
 #: Claim id -> (description, checker).
-CLAIMS: Dict[str, tuple] = {
+CLAIMS: dict[str, tuple] = {
     "compact-ascending": ("THCL d=0 ascending loads to 100%", _check_compact_ascending),
     "compact-descending": ("THCL d=0 descending loads to 100%", _check_compact_descending),
     "guaranteed-half": ("unexpected ordered loads hold >= 50%", _check_guaranteed_half),
@@ -177,14 +177,16 @@ CLAIMS: Dict[str, tuple] = {
 
 def validate_all(
     printer: Callable[[str], None] = print,
-) -> List[Dict[str, object]]:
+) -> list[dict[str, object]]:
     """Run every claim check; print and return the results."""
     results = []
     failures = 0
     for claim_id, (description, checker) in CLAIMS.items():
         try:
             ok = bool(checker())
-        except Exception as error:  # a crash is a failure with a reason
+        # The claim harness must survive *any* checker crash and report
+        # it as a failed claim rather than abort the whole validation.
+        except Exception as error:  # repro-lint: disable=TH002 -- harness boundary: a crashing claim is a failure with a reason, not an abort
             ok = False
             description = f"{description} (error: {error})"
         failures += 0 if ok else 1

@@ -11,7 +11,8 @@ paper credits B-trees with (Section 3.3).
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 from ..core.errors import CapacityError, DuplicateKeyError, KeyNotFoundError
 from ..obs.tracer import TRACER
@@ -23,7 +24,7 @@ from .node import BranchNode, LeafNode
 __all__ = ["BPlusTree"]
 
 #: A descent step: (node id, node, child index taken).
-_Step = Tuple[int, object, int]
+_Step = tuple[int, object, int]
 
 
 class BPlusTree:
@@ -85,8 +86,8 @@ class BPlusTree:
     # ------------------------------------------------------------------
     # Descent
     # ------------------------------------------------------------------
-    def _descend(self, key: str) -> List[_Step]:
-        steps: List[_Step] = []
+    def _descend(self, key: str) -> list[_Step]:
+        steps: list[_Step] = []
         node_id = self.root_id
         while True:
             node = self.pool.read(node_id)
@@ -178,7 +179,7 @@ class BPlusTree:
             return
         self._insert(key, value)
 
-    def _split_leaf(self, steps: List[_Step], key: str, value: object) -> None:
+    def _split_leaf(self, steps: list[_Step], key: str, value: object) -> None:
         leaf_id, leaf, _ = steps[-1]
         leaf.insert(key, value)
         keep = self._leaf_split_position(len(leaf))
@@ -209,7 +210,7 @@ class BPlusTree:
 
     def _insert_up(
         self,
-        steps: List[_Step],
+        steps: list[_Step],
         index: int,
         separator: str,
         left_id: int,
@@ -244,7 +245,7 @@ class BPlusTree:
             TRACER.emit("page_split", page=node_id, new_page=new_right_id)
         self._insert_up(steps, index - 1, promoted, node_id, new_right_id)
 
-    def _try_redistribute(self, steps: List[_Step], key: str, value: object) -> bool:
+    def _try_redistribute(self, steps: list[_Step], key: str, value: object) -> bool:
         """Push overflow into a sibling leaf instead of splitting."""
         if len(steps) < 2:
             return False
@@ -310,7 +311,7 @@ class BPlusTree:
             self._fix_leaf_underflow(steps)
         return value
 
-    def _fix_leaf_underflow(self, steps: List[_Step]) -> None:
+    def _fix_leaf_underflow(self, steps: list[_Step]) -> None:
         leaf_id, leaf, _ = steps[-1]
         parent_id, parent, at = steps[-2]
         floor = self.leaf_capacity // 2
@@ -383,7 +384,7 @@ class BPlusTree:
         self.pool.write(parent_id, parent)
         self._fix_branch_underflow(steps, len(steps) - 2)
 
-    def _fix_branch_underflow(self, steps: List[_Step], index: int) -> None:
+    def _fix_branch_underflow(self, steps: list[_Step], index: int) -> None:
         node_id, node, _ = steps[index]
         if index == 0:
             if len(node.keys) == 0:
@@ -467,7 +468,7 @@ class BPlusTree:
                 return node_id
             node_id = node.children[0]
 
-    def items(self) -> Iterator[Tuple[str, object]]:
+    def items(self) -> Iterator[tuple[str, object]]:
         """All records in key order via the leaf chain."""
         leaf_id: Optional[int] = self._leftmost_leaf_id()
         while leaf_id is not None:
@@ -482,7 +483,7 @@ class BPlusTree:
 
     def range_items(
         self, low: Optional[str] = None, high: Optional[str] = None
-    ) -> Iterator[Tuple[str, object]]:
+    ) -> Iterator[tuple[str, object]]:
         """Records with ``low <= key <= high``."""
         it = self._range_items(low, high)
         if TRACER.enabled:
@@ -491,7 +492,7 @@ class BPlusTree:
 
     def _range_items(
         self, low: Optional[str] = None, high: Optional[str] = None
-    ) -> Iterator[Tuple[str, object]]:
+    ) -> Iterator[tuple[str, object]]:
         if low is None:
             leaf_id: Optional[int] = self._leftmost_leaf_id()
         else:

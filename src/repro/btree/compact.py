@@ -17,7 +17,8 @@ Two routes are provided:
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from collections.abc import Iterable
+from typing import Optional
 
 from ..core.errors import CapacityError
 from .btree import BPlusTree
@@ -27,7 +28,7 @@ __all__ = ["bulk_load_compact"]
 
 
 def bulk_load_compact(
-    records: Iterable[Tuple[str, object]],
+    records: Iterable[tuple[str, object]],
     leaf_capacity: int = 20,
     branch_capacity: Optional[int] = None,
     fill: float = 1.0,

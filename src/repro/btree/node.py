@@ -9,7 +9,7 @@ the trie-hashing files' buckets.
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Tuple
+from typing import Optional
 
 __all__ = ["LeafNode", "BranchNode"]
 
@@ -20,8 +20,8 @@ class LeafNode:
     __slots__ = ("keys", "values", "next_leaf", "prev_leaf")
 
     def __init__(self) -> None:
-        self.keys: List[str] = []
-        self.values: List[object] = []
+        self.keys: list[str] = []
+        self.values: list[object] = []
         self.next_leaf: Optional[int] = None
         self.prev_leaf: Optional[int] = None
 
@@ -47,7 +47,7 @@ class LeafNode:
         del self.keys[i]
         return self.values.pop(i)
 
-    def split_at(self, position: int) -> "LeafNode":
+    def split_at(self, position: int) -> LeafNode:
         """Move records from ``position`` on into a fresh right leaf."""
         right = LeafNode()
         right.keys = self.keys[position:]
@@ -56,7 +56,7 @@ class LeafNode:
         del self.values[position:]
         return right
 
-    def items(self) -> List[Tuple[str, object]]:
+    def items(self) -> list[tuple[str, object]]:
         """The records in key order."""
         return list(zip(self.keys, self.values))
 
@@ -71,8 +71,8 @@ class BranchNode:
     __slots__ = ("keys", "children")
 
     def __init__(self) -> None:
-        self.keys: List[str] = []
-        self.children: List[int] = []
+        self.keys: list[str] = []
+        self.children: list[int] = []
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -86,7 +86,7 @@ class BranchNode:
         self.keys.insert(at, key)
         self.children.insert(at + 1, right_child)
 
-    def split_at(self, position: int) -> Tuple[str, "BranchNode"]:
+    def split_at(self, position: int) -> tuple[str, BranchNode]:
         """Split around separator ``position``; it moves up, right returned."""
         promoted = self.keys[position]
         right = BranchNode()

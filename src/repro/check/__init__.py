@@ -1,0 +1,59 @@
+"""Unified invariant auditing (``repro.check``).
+
+Every structure in the reproduction grew its own ``check()`` method —
+trie, TH/THCL file, MLTH hierarchy, client trie image, overflow file,
+boundary model, B+-tree, durable session — each raising an ad-hoc mix
+of :class:`AssertionError` and typed corruption errors. This package
+puts them behind one front door:
+
+* :func:`audit` — run the registered audit for any object and get a
+  machine-readable :class:`AuditReport` (violations carry a
+  :class:`Severity` and a stable code) instead of a raised exception.
+* :class:`AuditLevel` — how hard to look: ``BASIC`` (cheap shape
+  checks), ``FULL`` (the structure's complete invariant sweep),
+  ``PARANOID`` (full sweep plus redundant cross-verification).
+* Paranoid mode — with ``REPRO_PARANOID=1`` in the environment (or
+  :func:`set_paranoid`), :func:`maybe_audit` runs a paranoid audit at
+  the call site and raises :class:`ParanoidAuditError` on any finding.
+  The chaos harness and the stateful test machines call it after every
+  mutating operation, so a corrupting bug is caught at the op that
+  introduced it, not at the end-of-run convergence check.
+
+Register audits for new structures with :func:`register_audit`; see
+``docs/STATIC_ANALYSIS.md`` for the severity contract.
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    AuditLevel,
+    AuditReport,
+    ParanoidAuditError,
+    Severity,
+    Violation,
+    audit,
+    find_audit,
+    maybe_audit,
+    paranoid_enabled,
+    register_audit,
+    registered_audits,
+    set_paranoid,
+)
+from .audits import audit_manifest
+from . import audits  # noqa: F401  -- importing registers the audits
+
+__all__ = [
+    "AuditLevel",
+    "AuditReport",
+    "ParanoidAuditError",
+    "Severity",
+    "Violation",
+    "audit",
+    "audit_manifest",
+    "find_audit",
+    "maybe_audit",
+    "paranoid_enabled",
+    "register_audit",
+    "registered_audits",
+    "set_paranoid",
+]

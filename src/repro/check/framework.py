@@ -1,0 +1,235 @@
+"""Registry, severity model and paranoid switch for ``repro.check``.
+
+The registry maps *dotted class paths* to audit functions, so
+registering an audit never imports the structure it audits (no import
+cycles, no import cost until an object of that type actually shows up).
+Lookup walks the object's MRO and uses the most specific registered
+entry — an :class:`~repro.core.overflow.OverflowTHFile` finds its own
+audit before the plain ``THFile`` one.
+
+Severity contract:
+
+* ``CRITICAL`` — structural corruption; continuing risks silent data
+  loss (a trie cell reachable twice, a record outside its region).
+* ``ERROR`` — an invariant is broken but contained (an over-capacity
+  bucket, a stale counter); results may be wrong, data is recoverable.
+* ``WARNING`` — legal but suspicious state worth surfacing (a poisoned
+  durable session, a skipped check because a server is down).
+
+:class:`AuditReport.ok` is true when nothing at ``ERROR`` or above was
+found; warnings never fail an audit on their own.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from enum import IntEnum
+from collections.abc import Callable, Iterable
+from typing import Optional
+
+from ..core.errors import TrieHashingError
+
+__all__ = [
+    "AuditLevel",
+    "AuditReport",
+    "ParanoidAuditError",
+    "Severity",
+    "Violation",
+    "audit",
+    "find_audit",
+    "maybe_audit",
+    "paranoid_enabled",
+    "register_audit",
+    "registered_audits",
+    "set_paranoid",
+]
+
+
+class Severity(IntEnum):
+    """How bad one violation is (see the module docstring contract)."""
+
+    WARNING = 1
+    ERROR = 2
+    CRITICAL = 3
+
+
+class AuditLevel(IntEnum):
+    """How hard an audit looks.
+
+    ``BASIC`` must stay O(1)-ish (counters, shapes); ``FULL`` may sweep
+    the whole structure once; ``PARANOID`` may redundantly re-derive
+    state to cross-check it.
+    """
+
+    BASIC = 1
+    FULL = 2
+    PARANOID = 3
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One audit finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    target: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.name,
+            "message": self.message,
+            "target": self.target,
+        }
+
+    def render(self) -> str:
+        return f"[{self.severity.name}] {self.code} {self.target}: {self.message}"
+
+
+@dataclass
+class AuditReport:
+    """The machine-readable outcome of one :func:`audit` call."""
+
+    target: str
+    level: AuditLevel
+    violations: list[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing at ERROR severity or above was found."""
+        return all(v.severity < Severity.ERROR for v in self.violations)
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        if not self.violations:
+            return None
+        return max(v.severity for v in self.violations)
+
+    def as_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "level": self.level.name,
+            "ok": self.ok,
+            "checks_run": self.checks_run,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+    def render(self) -> str:
+        head = (
+            f"audit {self.target} level={self.level.name} "
+            f"checks={self.checks_run}: "
+        )
+        if not self.violations:
+            return head + "clean"
+        return head + "\n" + "\n".join(v.render() for v in self.violations)
+
+
+class ParanoidAuditError(TrieHashingError):
+    """A paranoid-mode audit found violations at a mutation site."""
+
+    def __init__(self, report: AuditReport, context: str = ""):
+        self.report = report
+        self.context = context
+        where = f" after {context}" if context else ""
+        super().__init__(f"paranoid audit failed{where}:\n{report.render()}")
+
+
+#: An audit: ``(obj, level) -> iterable of Violation``. ``checks_run``
+#: bookkeeping is handled by the framework via the generator protocol —
+#: audits just yield findings (and may yield nothing).
+AuditFn = Callable[[object, AuditLevel], Iterable[Violation]]
+
+_REGISTRY: dict[str, AuditFn] = {}
+
+
+def register_audit(class_path: str) -> Callable[[AuditFn], AuditFn]:
+    """Register an audit for the class at dotted ``class_path``.
+
+    The path is matched against ``f"{cls.__module__}.{cls.__qualname__}"``
+    of every class in an audited object's MRO, most specific first.
+    """
+
+    def decorate(fn: AuditFn) -> AuditFn:
+        if class_path in _REGISTRY:
+            raise ValueError(f"duplicate audit for {class_path}")
+        _REGISTRY[class_path] = fn
+        return fn
+
+    return decorate
+
+
+def registered_audits() -> list[str]:
+    """Dotted class paths with a registered audit, sorted."""
+    return sorted(_REGISTRY)
+
+
+def find_audit(cls: type) -> Optional[AuditFn]:
+    """The most specific registered audit for ``cls`` (MRO order)."""
+    for base in cls.__mro__:
+        path = f"{base.__module__}.{base.__qualname__}"
+        fn = _REGISTRY.get(path)
+        if fn is not None:
+            return fn
+    return None
+
+
+def audit(obj: object, level: AuditLevel = AuditLevel.FULL) -> AuditReport:
+    """Run the registered audit for ``obj`` and report what it found.
+
+    Raises :class:`TypeError` when no audit is registered for the
+    object's type (use :func:`find_audit` to probe first).
+    """
+    fn = find_audit(type(obj))
+    if fn is None:
+        raise TypeError(
+            f"no audit registered for {type(obj).__module__}."
+            f"{type(obj).__qualname__} (see repro.check.registered_audits())"
+        )
+    report = AuditReport(
+        target=type(obj).__qualname__, level=AuditLevel(level)
+    )
+    report.violations = list(fn(obj, AuditLevel(level)))
+    report.checks_run = 1
+    return report
+
+
+# ----------------------------------------------------------------------
+# Paranoid mode
+# ----------------------------------------------------------------------
+_TRUTHY = ("1", "true", "yes", "on")
+
+#: Tri-state programmatic override: None defers to the environment.
+_paranoid_override: Optional[bool] = None
+
+
+def set_paranoid(enabled: Optional[bool]) -> None:
+    """Force paranoid mode on/off; ``None`` defers to ``REPRO_PARANOID``."""
+    global _paranoid_override
+    _paranoid_override = enabled
+
+
+def paranoid_enabled() -> bool:
+    """Is paranoid auditing active (override first, then the env var)?"""
+    if _paranoid_override is not None:
+        return _paranoid_override
+    return os.environ.get("REPRO_PARANOID", "").strip().lower() in _TRUTHY
+
+
+def maybe_audit(obj: object, context: str = "") -> None:
+    """Paranoid hook for mutation sites: audit ``obj`` when enabled.
+
+    No-op unless paranoid mode is on; objects with no registered audit
+    are skipped (harnesses can call this on anything they touch).
+    Raises :class:`ParanoidAuditError` when the audit is not ok.
+    """
+    if not paranoid_enabled():
+        return
+    fn = find_audit(type(obj))
+    if fn is None:
+        return
+    report = audit(obj, AuditLevel.PARANOID)
+    if not report.ok:
+        raise ParanoidAuditError(report, context=context)

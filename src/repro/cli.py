@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from collections.abc import Callable
 
 from . import THFile, __version__
 from .analysis import (
@@ -48,7 +48,7 @@ __all__ = ["main"]
 
 #: Experiment id -> (runner, description). Runners accept count/b kwargs
 #: where meaningful; see ``repro.analysis.experiments`` for semantics.
-EXPERIMENTS: Dict[str, tuple] = {
+EXPERIMENTS: dict[str, tuple] = {
     "fig10": (fig10_ascending, "THCL ascending sweep: a%, M, N vs d = b - m"),
     "fig11": (fig11_descending, "THCL descending sweep: a%, M, N vs bounding d"),
     "sec31": (sec31_random, "random insertions: a_r, nil leaves, index bytes"),
@@ -87,7 +87,7 @@ def _demo() -> None:
     print(" ", " | ".join(f.trie.boundaries()))
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: list[str] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="trie-hashing",
@@ -100,8 +100,20 @@ def main(argv: List[str] = None) -> int:
     sub.add_parser(
         "validate", help="re-check every reproduced claim (PASS/FAIL)"
     )
+    lint = sub.add_parser(
+        "lint", help="run the project linter (python -m repro.lint)"
+    )
+    lint.add_argument("paths", nargs="*", default=["src"])
+    lint.add_argument("--json", action="store_true", dest="lint_json")
+    lint.add_argument("--select", default=None, dest="lint_select")
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument(
+        "--paranoid",
+        action="store_true",
+        help="audit every registered structure after each mutating op "
+        "(same switch as REPRO_PARANOID=1)",
+    )
     run.add_argument("--count", type=int, default=None, help="number of keys")
     run.add_argument(
         "--bucket-capacity", type=int, default=None, help="bucket capacity b"
@@ -139,7 +151,20 @@ def main(argv: List[str] = None) -> int:
 
         results = validate_all()
         return 0 if all(r["ok"] for r in results) else 1
+    if args.command == "lint":
+        from .lint.__main__ import main as lint_main
+
+        lint_argv = list(args.paths)
+        if args.lint_json:
+            lint_argv.append("--json")
+        if args.lint_select:
+            lint_argv.extend(["--select", args.lint_select])
+        return lint_main(lint_argv)
     if args.command == "run":
+        if args.paranoid:
+            from .check import set_paranoid
+
+            set_paranoid(True)
         runner: Callable = EXPERIMENTS[args.experiment][0]
         kwargs = {}
         import inspect

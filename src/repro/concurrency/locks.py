@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from typing import Deque, Dict, Hashable, List, Set, Tuple
+from collections.abc import Hashable
 
 __all__ = ["LockMode", "LockManager"]
 
@@ -24,7 +24,7 @@ class LockMode(enum.Enum):
     EXCLUSIVE = "X"
 
 
-def _compatible(held: Set[Tuple[int, LockMode]], owner: int, mode: LockMode) -> bool:
+def _compatible(held: set[tuple[int, LockMode]], owner: int, mode: LockMode) -> bool:
     """Can ``owner`` acquire ``mode`` given the current holders?"""
     for held_owner, held_mode in held:
         if held_owner == owner:
@@ -39,9 +39,9 @@ class LockManager:
 
     def __init__(self) -> None:
         #: resource -> set of (owner, mode) currently holding it.
-        self._held: Dict[Hashable, Set[Tuple[int, LockMode]]] = {}
+        self._held: dict[Hashable, set[tuple[int, LockMode]]] = {}
         #: resource -> FIFO of (owner, mode) waiting.
-        self._queues: Dict[Hashable, Deque[Tuple[int, LockMode]]] = {}
+        self._queues: dict[Hashable, deque[tuple[int, LockMode]]] = {}
         self.conflicts = 0
         self.grants = 0
 
@@ -86,7 +86,7 @@ class LockManager:
             held.difference_update({(owner, m) for m in LockMode})
         self._promote()
 
-    def release_all(self, owner: int) -> List[Hashable]:
+    def release_all(self, owner: int) -> list[Hashable]:
         """Drop every lock ``owner`` holds; return resources released."""
         released = []
         for resource, held in self._held.items():

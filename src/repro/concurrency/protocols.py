@@ -23,7 +23,7 @@ the schedule the corresponding protocol would follow:
 
 from __future__ import annotations
 
-from typing import Hashable, List, Tuple
+from collections.abc import Hashable
 
 from ..btree.btree import BPlusTree
 from ..btree.node import LeafNode
@@ -32,10 +32,10 @@ from .locks import LockMode
 
 __all__ = ["th_operation_schedule", "btree_operation_schedule"]
 
-Step = Tuple
+Step = tuple
 
 
-def th_operation_schedule(file: THFile, op: str, key: str) -> List[Step]:
+def th_operation_schedule(file: THFile, op: str, key: str) -> list[Step]:
     """Execute ``op`` on the TH file, returning the VID87 schedule."""
     key = file.alphabet.validate_key(key)
     result = file.trie.search(key)
@@ -53,7 +53,7 @@ def th_operation_schedule(file: THFile, op: str, key: str) -> List[Step]:
         before = file.bucket_count()
         splits_before = file.stats.splits
         file.insert(key)
-        steps: List[Step] = [("lock", bucket, LockMode.EXCLUSIVE), ("io",)]
+        steps: list[Step] = [("lock", bucket, LockMode.EXCLUSIVE), ("io",)]
         if file.stats.splits > splits_before or file.bucket_count() > before:
             # A split: the only extra lock is the allocation counter N;
             # the new cell is appended, blocking nobody (/VID87/).
@@ -71,14 +71,14 @@ def th_operation_schedule(file: THFile, op: str, key: str) -> List[Step]:
     raise ValueError(f"unknown operation {op!r}")
 
 
-def btree_operation_schedule(tree: BPlusTree, op: str, key: str) -> List[Step]:
+def btree_operation_schedule(tree: BPlusTree, op: str, key: str) -> list[Step]:
     """Execute ``op`` on the B+-tree, returning the coupling schedule."""
     steps_down = tree._descend(key)
     path = [("node", node_id) for node_id, _, _ in steps_down]
     nodes = [node for _, node, _ in steps_down]
 
     if op == "search":
-        schedule: List[Step] = []
+        schedule: list[Step] = []
         for i, resource in enumerate(path):
             schedule.append(("lock", resource, LockMode.SHARED))
             schedule.append(("io",))
@@ -88,7 +88,7 @@ def btree_operation_schedule(tree: BPlusTree, op: str, key: str) -> List[Step]:
 
     if op == "insert":
         schedule = []
-        held: List[Hashable] = []
+        held: list[Hashable] = []
         for i, resource in enumerate(path):
             schedule.append(("lock", resource, LockMode.EXCLUSIVE))
             schedule.append(("io",))

@@ -13,7 +13,8 @@ watchdog still guards the loop.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Sequence
+from collections.abc import Sequence
+from typing import NamedTuple
 
 from .locks import LockManager
 
@@ -53,7 +54,7 @@ class ConcurrencyReport(NamedTuple):
 class _Client:
     __slots__ = ("cid", "operations", "op_index", "step_index", "waiting")
 
-    def __init__(self, cid: int, operations: List[List[tuple]]):
+    def __init__(self, cid: int, operations: list[list[tuple]]):
         self.cid = cid
         self.operations = operations
         self.op_index = 0
@@ -66,7 +67,7 @@ class _Client:
 
 
 def simulate_clients(
-    schedules: Sequence[List[tuple]], clients: int
+    schedules: Sequence[list[tuple]], clients: int
 ) -> ConcurrencyReport:
     """Interleave the operation ``schedules`` over ``clients`` workers.
 

@@ -16,7 +16,7 @@ file silently.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from .errors import InvalidKeyError
 

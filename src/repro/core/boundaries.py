@@ -32,7 +32,8 @@ verifies it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
+from typing import Optional
 
 from .alphabet import Alphabet
 from .errors import TrieCorruptionError
@@ -50,7 +51,7 @@ __all__ = [
 _PAD = 1 << 30
 
 
-def boundary_sort_key(boundary: str, alphabet: Alphabet) -> Tuple[int, ...]:
+def boundary_sort_key(boundary: str, alphabet: Alphabet) -> tuple[int, ...]:
     """A sort key realising the boundary total order.
 
     Boundaries compare as if right-padded with the largest digit, so a
@@ -109,8 +110,8 @@ class BoundaryModel:
         children: Iterable[Optional[int]] = (0,),
     ):
         self.alphabet = alphabet
-        self.boundaries: List[str] = list(boundaries)
-        self.children: List[Optional[int]] = list(children)
+        self.boundaries: list[str] = list(boundaries)
+        self.children: list[Optional[int]] = list(children)
         if len(self.children) != len(self.boundaries) + 1:
             raise TrieCorruptionError(
                 f"{len(self.boundaries)} boundaries need "
@@ -141,7 +142,7 @@ class BoundaryModel:
                 parts.append(f"|{self.boundaries[j]}|")
         return "BoundaryModel(" + " ".join(parts) + ")"
 
-    def locate(self, key: str) -> Tuple[int, Optional[int]]:
+    def locate(self, key: str) -> tuple[int, Optional[int]]:
         """Return ``(gap index, child)`` for ``key``."""
         j = gap_index(self.boundaries, key, self.alphabet)
         return j, self.children[j]
@@ -176,15 +177,15 @@ class BoundaryModel:
             self._sort_keys, boundary_sort_key(s, self.alphabet)
         )
 
-    def buckets_in_order(self) -> List[int]:
+    def buckets_in_order(self) -> list[int]:
         """Distinct bucket addresses left to right (nil gaps skipped)."""
-        seen: List[int] = []
+        seen: list[int] = []
         for child in self.children:
             if child is not None and (not seen or seen[-1] != child):
                 seen.append(child)
         return seen
 
-    def gaps_of_bucket(self, bucket: int) -> List[int]:
+    def gaps_of_bucket(self, bucket: int) -> list[int]:
         """All gap indices whose child is ``bucket`` (contiguous in THCL)."""
         return [j for j, c in enumerate(self.children) if c == bucket]
 
@@ -250,7 +251,7 @@ class BoundaryModel:
     # ------------------------------------------------------------------
     # Span utilities (used by trie construction and by MLTH pages)
     # ------------------------------------------------------------------
-    def root_candidates(self, lo: int = 0, hi: Optional[int] = None) -> List[int]:
+    def root_candidates(self, lo: int = 0, hi: Optional[int] = None) -> list[int]:
         """Boundary indices in ``[lo, hi)`` that may root that span's subtrie.
 
         A boundary can root a (sub)trie exactly when its logical parent —

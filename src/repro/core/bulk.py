@@ -17,7 +17,8 @@ with THCL shared leaves to keep the set prefix-closed.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional, Tuple
+from collections.abc import Iterable
+from typing import Optional
 
 from ..storage.buckets import BucketStore
 from .alphabet import DEFAULT_ALPHABET, Alphabet
@@ -32,7 +33,7 @@ __all__ = ["bulk_load_th"]
 
 
 def bulk_load_th(
-    records: Iterable[Tuple[str, object]],
+    records: Iterable[tuple[str, object]],
     bucket_capacity: int = 20,
     fill: float = 1.0,
     policy: Optional[SplitPolicy] = None,
@@ -82,7 +83,7 @@ def bulk_load_th(
 
     # Assemble the boundary model: the cuts plus prefix-closure fills.
     model = BoundaryModel(alphabet, [], [0])
-    for j, (boundary, left) in enumerate(cuts):
+    for boundary, left in cuts:
         model.insert_boundary(boundary, left, left + 1)
     for boundary, _ in cuts:
         for l in range(1, len(boundary)):
@@ -94,7 +95,7 @@ def bulk_load_th(
     file._size = count
 
     # Record the right cuts in the bucket headers (reconstruction).
-    for j, (boundary, left) in enumerate(cuts):
+    for boundary, left in cuts:
         file.store.peek(left).header_path = boundary
     file.stats.splits = len(cuts)
     file.stats.nodes_added = file.trie.node_count

@@ -23,7 +23,7 @@ All tree logic lives in :mod:`repro.core.trie`.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from collections.abc import Iterator
 
 from .errors import TrieCorruptionError
 
@@ -123,8 +123,8 @@ class CellTable:
     __slots__ = ("_cells", "_free")
 
     def __init__(self) -> None:
-        self._cells: List[Cell] = []
-        self._free: List[int] = []
+        self._cells: list[Cell] = []
+        self._free: list[int] = []
 
     def __len__(self) -> int:
         """Physical table length (including freed slots)."""
@@ -156,7 +156,7 @@ class CellTable:
         self._cells[index] = None
         self._free.append(index)
 
-    def live_items(self) -> Iterator[Tuple[int, Cell]]:
+    def live_items(self) -> Iterator[tuple[int, Cell]]:
         """Iterate ``(index, cell)`` over live cells, table order."""
         for index, cell in enumerate(self._cells):
             if cell is not None:

@@ -15,7 +15,7 @@ the file's modification counter.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from .cells import is_nil
 from .errors import TrieHashingError
@@ -48,9 +48,9 @@ class Cursor:
         # with the logical path of each bucket's first leaf and a
         # pointer -> ordinal map so seeks cost O(log b) instead of a
         # linear rescan of the bucket list (or of the trie's leaves).
-        self._buckets: List[int] = []
-        self._paths: List[str] = []
-        self._bucket_pos: Dict[int, int] = {}
+        self._buckets: list[int] = []
+        self._paths: list[str] = []
+        self._bucket_pos: dict[int, int] = {}
         previous: Optional[int] = None
         for _, ptr, path in file.trie.leaves_in_order():
             if is_nil(ptr) or ptr == previous:
@@ -61,8 +61,8 @@ class Cursor:
             self._paths.append(path)
         self._bucket_index = -1
         self._record_index = -1
-        self._keys: List[str] = []
-        self._values: List[object] = []
+        self._keys: list[str] = []
+        self._values: list[object] = []
 
     # ------------------------------------------------------------------
     def _check_generation(self) -> None:
@@ -94,7 +94,7 @@ class Cursor:
             raise CursorInvalidError("cursor is not positioned on a record")
         return self._values[self._record_index]
 
-    def item(self) -> Tuple[str, object]:
+    def item(self) -> tuple[str, object]:
         """The current ``(key, value)`` pair."""
         return self.key(), self.value()
 

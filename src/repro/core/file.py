@@ -21,7 +21,8 @@ Typical use::
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
@@ -227,7 +228,7 @@ class THFile:
 
     def _split(self, result: SearchResult, bucket, key: str, value: object) -> None:
         """Handle an overflow: redistribute if allowed, else split (A2)."""
-        records: List[Tuple[str, object]] = list(bucket.items())
+        records: list[tuple[str, object]] = list(bucket.items())
         at = bisect.bisect_left(bucket.keys, key)
         records.insert(at, (key, value))
 
@@ -424,7 +425,7 @@ class THFile:
     # ------------------------------------------------------------------
     # Ordered iteration
     # ------------------------------------------------------------------
-    def items(self) -> Iterator[Tuple[str, object]]:
+    def items(self) -> Iterator[tuple[str, object]]:
         """Iterate every record in key order (reads each bucket once)."""
         previous = None
         for _, ptr, _path in self.trie.leaves_in_order():
@@ -440,7 +441,7 @@ class THFile:
 
     def range_items(
         self, low: Optional[str] = None, high: Optional[str] = None
-    ) -> Iterator[Tuple[str, object]]:
+    ) -> Iterator[tuple[str, object]]:
         """Iterate records with ``low <= key <= high`` in key order.
 
         ``None`` bounds are open. This is the range-query support that

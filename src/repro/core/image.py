@@ -28,7 +28,8 @@ that every key strictly above boundary ``low`` and at or below boundary
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
+from typing import Optional
 
 from .alphabet import Alphabet
 from .boundaries import boundary_sort_key, gap_index
@@ -37,7 +38,7 @@ from .errors import TrieCorruptionError
 __all__ = ["IAMEntry", "TrieImage"]
 
 #: One Image Adjustment Message entry: keys in ``(low, high]`` -> shard.
-IAMEntry = Tuple[Optional[str], Optional[str], int]
+IAMEntry = tuple[Optional[str], Optional[str], int]
 
 
 class TrieImage:
@@ -64,8 +65,8 @@ class TrieImage:
         shards: Iterable[int] = (0,),
     ):
         self.alphabet = alphabet
-        self.boundaries: List[str] = list(boundaries)
-        self.shards: List[int] = list(shards)
+        self.boundaries: list[str] = list(boundaries)
+        self.shards: list[int] = list(shards)
         if len(self.shards) != len(self.boundaries) + 1:
             raise TrieCorruptionError(
                 f"{len(self.boundaries)} boundaries need "
@@ -86,14 +87,14 @@ class TrieImage:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TrieImage({self.boundaries!r}, {self.shards!r})"
 
-    def copy(self) -> "TrieImage":
+    def copy(self) -> TrieImage:
         """An independent snapshot (clients fork the coordinator's)."""
         return TrieImage(self.alphabet, self.boundaries, self.shards)
 
     # ------------------------------------------------------------------
     # Addressing
     # ------------------------------------------------------------------
-    def locate(self, key: str) -> Tuple[int, int]:
+    def locate(self, key: str) -> tuple[int, int]:
         """The ``(gap, shard)`` this image maps ``key`` to."""
         gap = gap_index(self.boundaries, key, self.alphabet)
         return gap, self.shards[gap]
@@ -102,7 +103,7 @@ class TrieImage:
         """The shard id this image routes ``key`` to."""
         return self.locate(key)[1]
 
-    def region(self, gap: int) -> Tuple[Optional[str], Optional[str]]:
+    def region(self, gap: int) -> tuple[Optional[str], Optional[str]]:
         """Gap ``gap``'s bounding boundaries ``(low, high)``.
 
         ``None`` stands for the open ends of the key space.

@@ -15,7 +15,8 @@ inspection, rendering and tests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections.abc import Iterator
+from typing import Optional
 
 from .trie import Trie
 
@@ -36,7 +37,7 @@ class LogicalNode:
 
     def __init__(self, path: str):
         self.path = path
-        self.children: List["LogicalNode"] = []
+        self.children: list[LogicalNode] = []
         self.bucket: Optional[int] = None
 
     @property
@@ -49,7 +50,7 @@ class LogicalNode:
         """The digit number ``i`` (level in the logical structure)."""
         return len(self.path) - 1
 
-    def walk(self):
+    def walk(self) -> Iterator[LogicalNode]:
         """Yield every node of the subtree, preorder."""
         yield self
         for child in self.children:
@@ -62,16 +63,16 @@ class LogicalNode:
 class LogicalStructure:
     """The full M-ary view of one trie."""
 
-    def __init__(self, roots: List[LogicalNode], rightmost: Optional[int]):
+    def __init__(self, roots: list[LogicalNode], rightmost: Optional[int]):
         #: Level-0 digits in order.
         self.roots = roots
         #: The bucket right of every boundary (the paper draws it as the
         #: rightmost leaf of the structure).
         self.rightmost_bucket = rightmost
 
-    def levels(self) -> Dict[int, List[str]]:
+    def levels(self) -> dict[int, list[str]]:
         """Digits per level, left to right — Fig 2's rows."""
-        out: Dict[int, List[str]] = {}
+        out: dict[int, list[str]] = {}
         for root in self.roots:
             for node in root.walk():
                 out.setdefault(node.level, []).append(node.digit)
@@ -81,9 +82,9 @@ class LogicalStructure:
         """Total logical nodes (equals the binary trie's cell count)."""
         return sum(1 for root in self.roots for _ in root.walk())
 
-    def buckets_in_order(self) -> List[Optional[int]]:
+    def buckets_in_order(self) -> list[Optional[int]]:
         """Leaf buckets left to right, nil leaves as ``None``."""
-        out: List[Optional[int]] = []
+        out: list[Optional[int]] = []
 
         def visit(node: LogicalNode) -> None:
             # A node's own bucket is its leftmost leaf (keys <= path),
@@ -103,8 +104,8 @@ class LogicalStructure:
 def logical_structure(trie: Trie) -> LogicalStructure:
     """Build Fig 2's M-ary view from a trie."""
     model = trie.to_model()
-    nodes: Dict[str, LogicalNode] = {}
-    roots: List[LogicalNode] = []
+    nodes: dict[str, LogicalNode] = {}
+    roots: list[LogicalNode] = []
     # Boundaries arrive in inorder (extensions before their prefixes);
     # iterate and attach each to its logical parent.
     for j, boundary in enumerate(model.boundaries):

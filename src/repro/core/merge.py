@@ -20,12 +20,18 @@ the paper's 4-of-10 vs 8-of-10 rotation discussion (Section 3.3).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
+from .alphabet import Alphabet
 from .cells import NIL, is_edge, is_leaf, is_nil
 from .keys import split_string
 from .thcl_split import insert_boundary
 from .trie import Location, ROOT_LOCATION, SearchResult, Trie
+
+if TYPE_CHECKING:  # import cycles: storage <-> core at runtime
+    from ..storage.buckets import BucketStore
+    from ..storage.wal import WALWriter
+    from .file import THFile
 
 __all__ = [
     "basic_delete_maintenance",
@@ -34,7 +40,7 @@ __all__ = [
 ]
 
 
-def _parent_location(trail: Tuple[Tuple[int, str], ...]) -> Location:
+def _parent_location(trail: tuple[tuple[int, str], ...]) -> Location:
     """Location of the slot holding the last cell of ``trail``."""
     if len(trail) >= 2:
         return Location(*trail[-2])
@@ -42,8 +48,12 @@ def _parent_location(trail: Tuple[Tuple[int, str], ...]) -> Location:
 
 
 def basic_delete_maintenance(
-    trie, store, result: SearchResult, capacity: int, journal=None
-):
+    trie: Trie,
+    store: BucketStore,
+    result: SearchResult,
+    capacity: int,
+    journal: Optional[WALWriter] = None,
+) -> Optional[str]:
     """Post-delete maintenance of the basic method.
 
     ``result`` is the search that located the deleted key. Merges the
@@ -109,7 +119,7 @@ def basic_delete_maintenance(
     return "merge"
 
 
-def rotation_delete_maintenance(file, result: SearchResult):
+def rotation_delete_maintenance(file: THFile, result: SearchResult) -> Optional[str]:
     """Basic-method merging extended with valid rotations (Section 3.3).
 
     Two successive leaves that are not siblings can still merge when
@@ -175,7 +185,7 @@ def rotation_delete_maintenance(file, result: SearchResult):
                 return "rotation-merge"
         break
     # Then the predecessor: the boundary is *its* path (its right cut).
-    for location, ptr in trie.predecessor_leaves(list(result.trail)):
+    for _location, ptr in trie.predecessor_leaves(list(result.trail)):
         if is_leaf(ptr) and ptr != address:
             index = [p for _, p, _ in trie.leaves_in_order()].index(address)
             if index > 0:
@@ -227,8 +237,13 @@ def _repoint_run(trie: Trie, trail, old: int, new: int, start_loc: Location):
 
 
 def guaranteed_delete_maintenance(
-    trie: Trie, store, result: SearchResult, capacity: int, alphabet, journal=None
-):
+    trie: Trie,
+    store: BucketStore,
+    result: SearchResult,
+    capacity: int,
+    alphabet: Alphabet,
+    journal: Optional[WALWriter] = None,
+) -> Optional[str]:
     """THCL post-delete maintenance guaranteeing >= ``b // 2`` records.
 
     Merges the underfull bucket with a neighbour when their contents fit
@@ -325,7 +340,7 @@ def guaranteed_delete_maintenance(
     return None
 
 
-def mergeable_couples(trie: Trie) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+def mergeable_couples(trie: Trie) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
     """Which successive bucket couples could merge (Section 3.3 analysis).
 
     Returns ``(as_siblings, with_rotations)``:
@@ -341,8 +356,8 @@ def mergeable_couples(trie: Trie) -> Tuple[List[Tuple[int, int]], List[Tuple[int
     couples, with the couples around buckets (9,4) and (2,3) impossible
     even with rotations — exactly the figures of Section 3.3.
     """
-    as_siblings: List[Tuple[int, int]] = []
-    with_rotations: List[Tuple[int, int]] = []
+    as_siblings: list[tuple[int, int]] = []
+    with_rotations: list[tuple[int, int]] = []
     events = list(trie.inorder())
     boundaries = [e[2] for e in events if e[0] == "node"]
     prefixes = set()

@@ -21,7 +21,8 @@ regime the paper itself analyses for MLTH.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
@@ -39,7 +40,7 @@ from .pages import TriePage
 __all__ = ["MLTHFile"]
 
 #: A descent step: (page id, page object, gap index taken).
-_Step = Tuple[int, TriePage, int]
+_Step = tuple[int, TriePage, int]
 
 
 class MLTHFile:
@@ -109,11 +110,11 @@ class MLTHFile:
     # ------------------------------------------------------------------
     # Descent (multi-page Algorithm A1)
     # ------------------------------------------------------------------
-    def _descend(self, key: str, pad: str = "min") -> Tuple[List[_Step], int, str]:
+    def _descend(self, key: str, pad: str = "min") -> tuple[list[_Step], int, str]:
         """Walk root page -> file page, returning the step list, j and C."""
         page_id = self.root_id
         matched, path = 0, ""
-        steps: List[_Step] = []
+        steps: list[_Step] = []
         while True:
             page = self.page_pool.read(page_id)
             result = page.subtrie(self.alphabet).search(
@@ -208,7 +209,7 @@ class MLTHFile:
 
     def _split_bucket(
         self,
-        steps: List[_Step],
+        steps: list[_Step],
         path: str,
         address: int,
         bucket,
@@ -238,7 +239,7 @@ class MLTHFile:
                     "basic-method split string already fully on the path"
                 )
             chain = [boundary[:l] for l in range(len(boundary), shared, -1)]
-            children: List[Optional[int]] = (
+            children: list[Optional[int]] = (
                 [address, new_address] + [None] * (new_digits - 1)
             )
             page.splice(gap, chain, children, journal=self.journal)
@@ -315,7 +316,7 @@ class MLTHFile:
         return 0
 
     def _repoint_forward(
-        self, steps: List[_Step], from_gap: int, old: int, new: int
+        self, steps: list[_Step], from_gap: int, old: int, new: int
     ) -> None:
         """Step 3.5 across pages: repoint trailing ``old`` children.
 
@@ -347,7 +348,7 @@ class MLTHFile:
             gap = 0
 
     def _repoint_backward(
-        self, steps: List[_Step], from_gap: int, old: int, new: int
+        self, steps: list[_Step], from_gap: int, old: int, new: int
     ) -> None:
         """Mirror of :meth:`_repoint_forward`: repoint leading children."""
         page_id, page, _ = steps[-1]
@@ -376,7 +377,7 @@ class MLTHFile:
     # ------------------------------------------------------------------
     # Page splitting (the two phases of Section 2.5)
     # ------------------------------------------------------------------
-    def _split_one(self, page_id: int, page: TriePage) -> Tuple[int, TriePage, str]:
+    def _split_one(self, page_id: int, page: TriePage) -> tuple[int, TriePage, str]:
         """Phase 1+2 for one page: choose the split node, divide the span.
 
         Returns ``(right page id, right page, separator boundary)``; the
@@ -421,14 +422,14 @@ class MLTHFile:
         keys = [boundary_sort_key(s, self.alphabet) for s in parent.boundaries]
         return bisect.bisect_left(keys, key)
 
-    def _split_page_if_needed(self, steps: List[_Step], index: int) -> None:
+    def _split_page_if_needed(self, steps: list[_Step], index: int) -> None:
         """Split overfull pages bottom-up along the descent path.
 
         A split's halves can themselves stay overfull when the span's
         valid split nodes sit near an end (long logical-parent chains),
         so each level runs a worklist until every produced page fits.
         """
-        ancestry: List[Tuple[int, TriePage]] = [
+        ancestry: list[tuple[int, TriePage]] = [
             (pid, pg) for pid, pg, _ in steps[: index + 1]
         ]
         level = len(ancestry) - 1
@@ -495,7 +496,7 @@ class MLTHFile:
             self._rebalance_after_delete(key)
         return value
 
-    def _positions_forward(self, steps: List[_Step]):
+    def _positions_forward(self, steps: list[_Step]):
         """Yield (page_id, page, gap) after the descent's position."""
         page_id, page, gap = steps[-1]
         gap += 1
@@ -509,7 +510,7 @@ class MLTHFile:
             page = self.page_pool.read(page_id)
             gap = 0
 
-    def _positions_backward(self, steps: List[_Step]):
+    def _positions_backward(self, steps: list[_Step]):
         """Yield (page_id, page, gap) before the descent's position."""
         page_id, page, gap = steps[-1]
         gap -= 1
@@ -523,7 +524,7 @@ class MLTHFile:
             page = self.page_pool.read(page_id)
             gap = len(page.children) - 1
 
-    def _neighbor(self, steps: List[_Step], address: int, forward: bool):
+    def _neighbor(self, steps: list[_Step], address: int, forward: bool):
         walker = self._positions_forward if forward else self._positions_backward
         for _, page, gap in walker(steps):
             child = page.children[gap]
@@ -624,7 +625,7 @@ class MLTHFile:
                 continue
             return
 
-    def _merge_repoint(self, steps: List[_Step], old: int, new: int) -> None:
+    def _merge_repoint(self, steps: list[_Step], old: int, new: int) -> None:
         """Repoint the contiguous run of ``old`` children onto ``new``.
 
         Used by merge-with-successor: walk forward past ``new``'s own
@@ -644,7 +645,7 @@ class MLTHFile:
     # ------------------------------------------------------------------
     # Ordered iteration
     # ------------------------------------------------------------------
-    def _file_pages(self) -> Iterator[Tuple[int, TriePage]]:
+    def _file_pages(self) -> Iterator[tuple[int, TriePage]]:
         """File-level pages left to right (via the leaf chain)."""
         page_id = self.root_id
         page = self.page_pool.read(page_id)
@@ -658,7 +659,7 @@ class MLTHFile:
             page_id = page.next_page
             page = self.page_pool.read(page_id)
 
-    def items(self) -> Iterator[Tuple[str, object]]:
+    def items(self) -> Iterator[tuple[str, object]]:
         """All records in key order."""
         previous = None
         for _, page in self._file_pages():
@@ -675,7 +676,7 @@ class MLTHFile:
 
     def range_items(
         self, low: Optional[str] = None, high: Optional[str] = None
-    ) -> Iterator[Tuple[str, object]]:
+    ) -> Iterator[tuple[str, object]]:
         """Records with ``low <= key <= high`` in key order."""
         it = self._range_items(low, high)
         if TRACER.enabled:
@@ -684,7 +685,7 @@ class MLTHFile:
 
     def _range_items(
         self, low: Optional[str] = None, high: Optional[str] = None
-    ) -> Iterator[Tuple[str, object]]:
+    ) -> Iterator[tuple[str, object]]:
         if low is not None:
             low = self.alphabet.validate_key(low)
         if high is not None:
@@ -742,7 +743,7 @@ class MLTHFile:
         buckets = self.bucket_count()
         return self._size / (self.capacity * buckets) if buckets else 0.0
 
-    def search_cost(self, key: str) -> Tuple[int, int]:
+    def search_cost(self, key: str) -> tuple[int, int]:
         """(page reads, bucket reads) hitting the disk for one search."""
         pages_before = self.page_disk.stats.reads
         buckets_before = self.store.stats.reads
@@ -755,8 +756,8 @@ class MLTHFile:
             self.store.stats.reads - buckets_before,
         )
 
-    def _all_page_ids(self) -> List[int]:
-        ids: List[int] = []
+    def _all_page_ids(self) -> list[int]:
+        ids: list[int] = []
         stack = [self.root_id]
         while stack:
             pid = stack.pop()
@@ -771,8 +772,8 @@ class MLTHFile:
     # ------------------------------------------------------------------
     def flat_model(self) -> BoundaryModel:
         """The file's global boundary model, flattened from the pages."""
-        boundaries: List[str] = []
-        children: List[Optional[int]] = []
+        boundaries: list[str] = []
+        children: list[Optional[int]] = []
 
         def visit(pid: int) -> None:
             page = self.page_disk.peek(pid)

@@ -18,7 +18,8 @@ trie — only primaries have leaves. The load factor
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
@@ -56,7 +57,7 @@ class OverflowTHFile(THFile):
             )
         super().__init__(bucket_capacity, policy, alphabet, store)
         #: primary address -> overflow address.
-        self._overflow: Dict[int, int] = {}
+        self._overflow: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Lookup
@@ -139,7 +140,7 @@ class OverflowTHFile(THFile):
 
     def _deferred_split(self, result, primary, chain, key, value) -> None:
         """Split over primary + overflow + the new record (2b+1 records)."""
-        records: List[Tuple[str, object]] = sorted(
+        records: list[tuple[str, object]] = sorted(
             list(primary.items()) + list(chain.items()) + [(key, value)]
         )
         total = len(records)
@@ -250,7 +251,7 @@ class OverflowTHFile(THFile):
     # ------------------------------------------------------------------
     # Iteration and metrics
     # ------------------------------------------------------------------
-    def items(self) -> Iterator[Tuple[str, object]]:
+    def items(self) -> Iterator[tuple[str, object]]:
         previous = None
         for _, ptr, _path in self.trie.leaves_in_order():
             if is_nil(ptr) or ptr == previous:
@@ -265,7 +266,9 @@ class OverflowTHFile(THFile):
                 merged = sorted(list(primary.items()) + list(chain.items()))
                 yield from merged
 
-    def range_items(self, low=None, high=None):
+    def range_items(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> Iterator[tuple[str, object]]:
         """Range scan over primaries and their chains."""
         it = self._range_items(low, high)
         if TRACER.enabled:

@@ -16,11 +16,15 @@ across page hops.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, Optional
 
 from .alphabet import Alphabet
 from .boundaries import BoundaryModel, gap_index
+from .errors import TrieCorruptionError
 from .trie import Trie
+
+if TYPE_CHECKING:  # runtime cycle: storage imports core
+    from ..storage.wal import WALWriter
 
 __all__ = ["TriePage"]
 
@@ -49,8 +53,8 @@ class TriePage:
     def __init__(
         self,
         level: int,
-        boundaries: List[str],
-        children: List[Optional[int]],
+        boundaries: list[str],
+        children: list[Optional[int]],
         next_page: Optional[int] = None,
         prev_page: Optional[int] = None,
     ):
@@ -87,9 +91,9 @@ class TriePage:
     def splice(
         self,
         gap: int,
-        new_boundaries: List[str],
-        new_children: List[Optional[int]],
-        journal=None,
+        new_boundaries: list[str],
+        new_children: list[Optional[int]],
+        journal: Optional[WALWriter] = None,
     ) -> None:
         """Replace gap ``gap`` by a run of boundaries and children.
 
@@ -98,7 +102,11 @@ class TriePage:
         ``journal`` (a :class:`~repro.storage.wal.WALWriter`) is given,
         the edit is recorded as a ``page_edit`` WAL record.
         """
-        assert len(new_children) == len(new_boundaries) + 1
+        if len(new_children) != len(new_boundaries) + 1:
+            raise TrieCorruptionError(
+                f"splice needs len(children) == len(boundaries) + 1, got "
+                f"{len(new_children)} and {len(new_boundaries)}"
+            )
         self.boundaries[gap:gap] = new_boundaries
         self.children[gap : gap + 1] = new_children
         self.invalidate()
@@ -116,7 +124,7 @@ class TriePage:
         }
 
     @classmethod
-    def from_spec(cls, spec: dict) -> "TriePage":
+    def from_spec(cls, spec: dict) -> TriePage:
         """Inverse of :meth:`to_spec`."""
         return cls(
             level=spec["level"],
@@ -126,7 +134,7 @@ class TriePage:
             prev_page=spec["prev"],
         )
 
-    def split_candidates(self) -> List[int]:
+    def split_candidates(self) -> list[int]:
         """Boundary indices eligible as the split node (condition (ii)).
 
         A node may move up only when its logical parent — the boundary

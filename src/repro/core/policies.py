@@ -138,7 +138,7 @@ class SplitPolicy:
             return b + 1
         return min(b + 1, m + self.bounding_offset)
 
-    def with_(self, **changes) -> "SplitPolicy":
+    def with_(self, **changes) -> SplitPolicy:
         """A copy of this policy with the given fields replaced."""
         return replace(self, **changes)
 
@@ -146,7 +146,7 @@ class SplitPolicy:
     # The paper's named configurations
     # ------------------------------------------------------------------
     @classmethod
-    def basic_th(cls, split_position: Optional[int] = None) -> "SplitPolicy":
+    def basic_th(cls, split_position: Optional[int] = None) -> SplitPolicy:
         """Basic trie hashing of /LIT81/ (nil nodes, random split tail)."""
         return cls(split_position=split_position)
 
@@ -156,7 +156,7 @@ class SplitPolicy:
         split_position: Optional[int] = None,
         bounding_offset: Optional[int] = 1,
         merge: str = "guaranteed",
-    ) -> "SplitPolicy":
+    ) -> SplitPolicy:
         """General THCL: shared leaves, deterministic splits by default."""
         return cls(
             split_position=split_position,
@@ -166,7 +166,7 @@ class SplitPolicy:
         )
 
     @classmethod
-    def thcl_ascending(cls, d: int = 0) -> "SplitPolicy":
+    def thcl_ascending(cls, d: int = 0) -> SplitPolicy:
         """Figure 10 point: expected ascending insertions, ``m = b - d``.
 
         ``d = 0`` builds the most compact file (a = 100%); small positive
@@ -182,7 +182,7 @@ class SplitPolicy:
         )
 
     @classmethod
-    def thcl_descending(cls, d: int = 0) -> "SplitPolicy":
+    def thcl_descending(cls, d: int = 0) -> SplitPolicy:
         """Figure 11 point: expected descending insertions.
 
         The split key is the lowest key (``m = 1``); the bounding key sits
@@ -199,13 +199,13 @@ class SplitPolicy:
         )
 
     @classmethod
-    def thcl_guaranteed_half(cls) -> "SplitPolicy":
+    def thcl_guaranteed_half(cls) -> SplitPolicy:
         """Unexpected ordered insertions: exactly 50% load whatever the
         key order (middle split key, deterministic split; Section 4.5)."""
         return cls(bounding_offset=1, nil_nodes=False, merge="guaranteed")
 
     @classmethod
-    def thcl_redistributing(cls, target: str = "even") -> "SplitPolicy":
+    def thcl_redistributing(cls, target: str = "even") -> SplitPolicy:
         """THCL with B-tree-style redistribution before splitting."""
         return cls(
             bounding_offset=1,

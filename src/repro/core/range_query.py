@@ -10,7 +10,8 @@ cost a single access (Section 4.1).
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, Optional, Tuple, TYPE_CHECKING
+from collections.abc import Iterator
+from typing import Optional, TYPE_CHECKING
 
 from .cells import is_nil
 from .cursor import CursorInvalidError
@@ -23,8 +24,8 @@ __all__ = ["scan", "count_range"]
 
 
 def scan(
-    file: "THFile", low: Optional[str] = None, high: Optional[str] = None
-) -> Iterator[Tuple[str, object]]:
+    file: THFile, low: Optional[str] = None, high: Optional[str] = None
+) -> Iterator[tuple[str, object]]:
     """Yield records with ``low <= key <= high`` in key order.
 
     Bounds are inclusive; ``None`` means open. Buckets are read through
@@ -71,7 +72,7 @@ def scan(
 
 
 def count_range(
-    file: "THFile", low: Optional[str] = None, high: Optional[str] = None
+    file: THFile, low: Optional[str] = None, high: Optional[str] = None
 ) -> int:
     """Number of records in the (inclusive) key range."""
     return sum(1 for _ in scan(file, low, high))

@@ -17,23 +17,26 @@ boundary set prefix-closed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
 from .alphabet import Alphabet
 from .boundaries import BoundaryModel, boundary_sort_key
 from .trie import Trie
 
+if TYPE_CHECKING:  # runtime cycle: storage imports core
+    from ..storage.buckets import BucketStore
+
 __all__ = ["reconstruct_model", "reconstruct_trie"]
 
 
-def reconstruct_model(store, alphabet: Alphabet) -> BoundaryModel:
+def reconstruct_model(store: BucketStore, alphabet: Alphabet) -> BoundaryModel:
     """Rebuild the canonical boundary model from bucket headers.
 
     ``store`` is the file's :class:`~repro.storage.buckets.BucketStore`;
     every live bucket is read once (the reconstruction's disk cost is one
     sweep of the file, as /TOR83/ assumes).
     """
-    headed: List[Tuple[Tuple[int, ...], str, int]] = []
+    headed: list[tuple[tuple[int, ...], str, int]] = []
     for address in store.live_addresses():
         bucket = store.read(address)
         path = bucket.header_path
@@ -41,10 +44,10 @@ def reconstruct_model(store, alphabet: Alphabet) -> BoundaryModel:
     headed.sort()  # "" sorts last: its sort key is the bare pad sentinel
 
     cut_keys = [entry[0] for entry in headed]
-    boundaries: List[str] = []
-    children: List[Optional[int]] = []
+    boundaries: list[str] = []
+    children: list[Optional[int]] = []
     seen = {path for _, path, _ in headed}
-    complete: List[str] = []
+    complete: list[str] = []
     for _, path, _ in headed:
         if path:
             complete.append(path)
@@ -74,6 +77,8 @@ def reconstruct_model(store, alphabet: Alphabet) -> BoundaryModel:
     return BoundaryModel(alphabet, boundaries, children)
 
 
-def reconstruct_trie(store, alphabet: Alphabet, pick: str = "balanced") -> Trie:
+def reconstruct_trie(
+    store: BucketStore, alphabet: Alphabet, pick: str = "balanced"
+) -> Trie:
     """Rebuild a (canonically balanced) trie from bucket headers."""
     return Trie.from_model(reconstruct_model(store, alphabet), pick=pick)

@@ -17,7 +17,7 @@ such nodes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, Optional
 
 from .alphabet import Alphabet
 from .keys import split_string
@@ -26,9 +26,13 @@ from .policies import SplitPolicy
 from .thcl_split import insert_boundary
 from .trie import SearchResult, Trie
 
+if TYPE_CHECKING:  # runtime cycle: storage imports core
+    from ..storage.buckets import BucketStore
+    from ..storage.wal import WALWriter
+
 __all__ = ["RedistributionOutcome", "try_redistribute"]
 
-Record = Tuple[str, object]
+Record = tuple[str, object]
 
 
 class RedistributionOutcome:
@@ -58,13 +62,13 @@ def _moved_count(room: int, spill: int, neighbour_load: int, target: str) -> int
 
 def try_redistribute(
     trie: Trie,
-    store,
+    store: BucketStore,
     result: SearchResult,
-    records: List[Record],
+    records: list[Record],
     capacity: int,
     policy: SplitPolicy,
     alphabet: Alphabet,
-    journal=None,
+    journal: Optional[WALWriter] = None,
 ) -> Optional[RedistributionOutcome]:
     """Attempt redistribution for an overflowing bucket.
 

@@ -8,11 +8,14 @@ the M-ary digit levels of Fig 2.
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING
 
 from .cells import edge_target, is_edge, is_nil
 from .logical import logical_structure
 from .trie import Trie
+
+if TYPE_CHECKING:  # avoid a module cycle with .file
+    from .file import THFile
 
 __all__ = ["render_trie", "render_logical", "render_file"]
 
@@ -24,7 +27,7 @@ def render_trie(trie: Trie) -> str:
     ``(d,i)``. Reading top to bottom gives descending key order, like
     the figures in the paper read left to right.
     """
-    lines: List[str] = []
+    lines: list[str] = []
 
     def visit(ptr: int, depth: int) -> None:
         pad = "    " * depth
@@ -53,7 +56,7 @@ def render_logical(trie: Trie) -> str:
     return "\n".join(lines)
 
 
-def render_file(file) -> str:
+def render_file(file: THFile) -> str:
     """Buckets and trie of a :class:`~repro.core.file.THFile`, together."""
     parts = [
         f"records={len(file)} buckets={file.bucket_count()} "

@@ -12,7 +12,7 @@ leaves (step 3.3 of A2), THCL's never does (see
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Tuple
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 from .alphabet import Alphabet
 from .cells import NIL
@@ -20,9 +20,12 @@ from .errors import TrieCorruptionError
 from .keys import common_prefix_length, prefix_gt, split_string
 from .trie import Location, Trie
 
+if TYPE_CHECKING:  # runtime cycle: storage imports core
+    from ..storage.wal import WALWriter
+
 __all__ = ["SplitPlan", "plan_split", "expand_basic"]
 
-Record = Tuple[str, object]
+Record = tuple[str, object]
 
 
 class SplitPlan(NamedTuple):
@@ -31,15 +34,15 @@ class SplitPlan(NamedTuple):
     #: The split string ``(c')_i`` — the new boundary cut into key space.
     boundary: str
     #: Records that stay in the overflowing bucket (keys <= boundary).
-    stay: List[Record]
+    stay: list[Record]
     #: Records that move to the target bucket (keys > boundary).
-    move: List[Record]
+    move: list[Record]
     #: The split key ``c'`` (stays; anchors the trie expansion).
     split_key: str
 
 
 def plan_split(
-    records: List[Record],
+    records: list[Record],
     split_index: int,
     bounding_index: int,
     alphabet: Alphabet,
@@ -69,8 +72,8 @@ def plan_split(
     split_key = records[split_index - 1][0]
     bounding_key = records[bounding_index - 1][0]
     boundary = split_string(split_key, bounding_key, alphabet)
-    stay: List[Record] = []
-    move: List[Record] = []
+    stay: list[Record] = []
+    move: list[Record] = []
     for record in records:
         if prefix_gt(record[0], boundary, alphabet):
             move.append(record)
@@ -88,7 +91,7 @@ def expand_basic(
     boundary: str,
     bucket_a: int,
     bucket_n: int,
-    journal=None,
+    journal: Optional[WALWriter] = None,
 ) -> int:
     """Step 3 of Algorithm A2 — expand the trie after a basic-TH split.
 

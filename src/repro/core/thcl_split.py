@@ -24,12 +24,15 @@ The primitive follows the paper's modified step 3 exactly:
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Tuple
+from typing import TYPE_CHECKING, NamedTuple, Optional
 
 from .cells import edge_target, is_edge, is_leaf
 from .errors import TrieCorruptionError
 from .keys import common_prefix_length
 from .trie import Location, Trie
+
+if TYPE_CHECKING:  # runtime cycle: storage imports core
+    from ..storage.wal import WALWriter
 
 __all__ = ["BoundaryInsertion", "insert_boundary", "collapse_equal_leaf_nodes"]
 
@@ -50,7 +53,7 @@ def insert_boundary(
     left_bucket: int,
     right_bucket: int,
     old_bucket: int,
-    journal=None,
+    journal: Optional[WALWriter] = None,
 ) -> BoundaryInsertion:
     """Install boundary ``s`` so the old bucket's region is re-cut.
 
@@ -141,7 +144,7 @@ def collapse_equal_leaf_nodes(trie: Trie) -> int:
     """
     freed = 0
     # Iterative post-order: simplify children before testing a node.
-    stack: List[Tuple[Location, bool]] = [(Location(None, "R"), False)]
+    stack: list[tuple[Location, bool]] = [(Location(None, "R"), False)]
     while stack:
         location, expanded = stack.pop()
         ptr = trie.get_ptr(location)

@@ -24,7 +24,8 @@ The class exposes exactly the primitives the paper's algorithms need:
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
+from typing import NamedTuple, Optional
 
 from .alphabet import Alphabet
 from .boundaries import BoundaryModel, boundary_sort_key
@@ -68,7 +69,7 @@ class SearchResult(NamedTuple):
     #: Where the leaf pointer lives (for in-place replacement by splits).
     location: Location
     #: Descent steps ``(cell, side)`` from the root down to the leaf.
-    trail: Tuple[Tuple[int, str], ...]
+    trail: tuple[tuple[int, str], ...]
     #: Number of internal nodes visited (in-memory search cost metric).
     nodes_visited: int
     #: Final value of the digit cursor ``j`` (for resuming the search in
@@ -150,7 +151,7 @@ class Trie:
                 return k[j] if j < len(k) else max_digit
         n = self.root
         location = ROOT_LOCATION
-        trail: List[Tuple[int, str]] = []
+        trail: list[tuple[int, str]] = []
         path = start_path
         j = start_matched
         visited = 0
@@ -203,7 +204,7 @@ class Trie:
         bottom_left: int,
         right_fill: int,
         bottom_right: int,
-    ) -> Tuple[int, List[int]]:
+    ) -> tuple[int, list[int]]:
         """Create the left-descending chain grafted in by a split.
 
         ``digits`` are the new digits of the split string, occupying digit
@@ -218,7 +219,7 @@ class Trie:
             raise TrieCorruptionError("cannot build an empty chain")
         position = first_position + len(digits) - 1
         child_ptr = None
-        indices: List[int] = []
+        indices: list[int] = []
         for d in reversed(digits):
             if child_ptr is None:
                 index = self.cells.allocate(d, position, bottom_left, bottom_right)
@@ -252,7 +253,7 @@ class Trie:
     # ------------------------------------------------------------------
     # Ordered traversal
     # ------------------------------------------------------------------
-    def inorder(self) -> Iterator[Tuple[str, object, object, object]]:
+    def inorder(self) -> Iterator[tuple[str, object, object, object]]:
         """Iterate the trie in order.
 
         Yields ``('leaf', location, ptr, logical_path)`` for leaves and
@@ -261,7 +262,7 @@ class Trie:
         The boundary of a node is its logical path through its left edge,
         which is the canonical cut point it represents.
         """
-        stack: List[Tuple[int, str, str]] = []  # (cell index, boundary, ctx)
+        stack: list[tuple[int, str, str]] = []  # (cell index, boundary, ctx)
         ptr = self.root
         location = ROOT_LOCATION
         path = ""
@@ -283,7 +284,7 @@ class Trie:
             location = Location(index, "R")
             ptr = self.cells[index].rp
 
-    def leaves_in_order(self) -> List[Tuple[Location, int, str]]:
+    def leaves_in_order(self) -> list[tuple[Location, int, str]]:
         """All leaves left to right as ``(location, ptr, logical_path)``."""
         return [
             (location, ptr, path)
@@ -291,20 +292,20 @@ class Trie:
             if kind == "leaf"
         ]
 
-    def boundaries(self) -> List[str]:
+    def boundaries(self) -> list[str]:
         """All boundaries (internal-node cut points) in increasing order."""
         return [event[2] for event in self.inorder() if event[0] == "node"]
 
     def successor_leaves(
-        self, trail: Sequence[Tuple[int, str]]
-    ) -> Iterator[Tuple[Location, int]]:
+        self, trail: Sequence[tuple[int, str]]
+    ) -> Iterator[tuple[Location, int]]:
         """Leaves strictly after the leaf reached by ``trail``, in order.
 
         Yields ``(location, ptr)`` pairs. The caller may overwrite the
         yielded leaf pointer between steps (THCL step 3.5 does); structural
         mutation of the trie during iteration is not supported.
         """
-        t: List[Tuple[int, str]] = list(trail)
+        t: list[tuple[int, str]] = list(trail)
         while True:
             while t and t[-1][1] == "R":
                 t.pop()
@@ -321,10 +322,10 @@ class Trie:
             yield Location(leaf_cell, side), self.cells[leaf_cell].child(side)
 
     def predecessor_leaves(
-        self, trail: Sequence[Tuple[int, str]]
-    ) -> Iterator[Tuple[Location, int]]:
+        self, trail: Sequence[tuple[int, str]]
+    ) -> Iterator[tuple[Location, int]]:
         """Mirror of :meth:`successor_leaves`: leaves before the trail's leaf."""
-        t: List[Tuple[int, str]] = list(trail)
+        t: list[tuple[int, str]] = list(trail)
         while True:
             while t and t[-1][1] == "L":
                 t.pop()
@@ -360,8 +361,8 @@ class Trie:
     # ------------------------------------------------------------------
     def to_model(self) -> BoundaryModel:
         """Export the equivalent :class:`BoundaryModel` (shape erased)."""
-        boundaries: List[str] = []
-        children: List[Optional[int]] = []
+        boundaries: list[str] = []
+        children: list[Optional[int]] = []
         for event in self.inorder():
             if event[0] == "leaf":
                 ptr = event[2]
@@ -371,7 +372,7 @@ class Trie:
         return BoundaryModel(self.alphabet, boundaries, children)
 
     @classmethod
-    def from_model(cls, model: BoundaryModel, pick: str = "balanced") -> "Trie":
+    def from_model(cls, model: BoundaryModel, pick: str = "balanced") -> Trie:
         """Build a valid trie realising ``model``.
 
         The construction recursively roots each boundary span at a
@@ -391,7 +392,7 @@ class Trie:
 
         # Iterative build: tasks are (lo, hi, slot) meaning "realise the
         # span boundaries[lo:hi] (with children[lo:hi+1]) into slot".
-        tasks: List[Tuple[int, int, Location]] = [
+        tasks: list[tuple[int, int, Location]] = [
             (0, len(boundaries), ROOT_LOCATION)
         ]
         while tasks:
@@ -407,7 +408,7 @@ class Trie:
             tasks.append((k + 1, hi, Location(index, "R")))
         return trie
 
-    def rebalanced(self, pick: str = "balanced") -> "Trie":
+    def rebalanced(self, pick: str = "balanced") -> Trie:
         """Return an equivalent trie rebuilt in canonical balanced form.
 
         Implements the trie balancing of Section 2.6: disk behaviour, load
@@ -428,9 +429,9 @@ class Trie:
         (logical parents exist); and, when ``expect_no_nil`` (THCL), that
         no leaf is nil and equal-bucket leaves are contiguous.
         """
-        seen: List[int] = []
-        boundaries: List[str] = []
-        leaf_ptrs: List[int] = []
+        seen: list[int] = []
+        boundaries: list[str] = []
+        leaf_ptrs: list[int] = []
         for event in self.inorder():  # raises on path gaps
             if event[0] == "node":
                 seen.append(event[1])

@@ -19,8 +19,9 @@ benchmark.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Optional
 
+from ..check import maybe_audit
 from ..core.errors import DuplicateKeyError, KeyNotFoundError
 from ..core.file import THFile
 from .coordinator import Cluster, ShardPolicy
@@ -175,7 +176,8 @@ def run_chaos(
         retry=retry,
     )
     router = cluster.router
-    assert isinstance(router, FaultyRouter)
+    if not isinstance(router, FaultyRouter):
+        raise AssertionError("chaos needs the fault-injecting router")
     client = cluster.client()
     oracle = THFile(bucket_capacity=bucket_capacity)
 
@@ -184,7 +186,7 @@ def run_chaos(
     crash_at = {
         (i + 1) * ops // (crash_cycles + 1) for i in range(crash_cycles)
     }
-    known: List[str] = []
+    known: list[str] = []
     for step in range(ops):
         if step in crash_at:
             live = [
@@ -203,16 +205,18 @@ def run_chaos(
             for _ in range(rng.randint(1, 8))
         )
         context = f"op {step} ({key!r})"
+        mutated = True
         if action < 0.45:
             _mutate_both(
                 "insert",
-                lambda: client.insert(key, key.upper()),
-                lambda: oracle.insert(key, key.upper()),
+                lambda key=key: client.insert(key, key.upper()),
+                lambda key=key: oracle.insert(key, key.upper()),
                 context,
             )
             if oracle.contains(key):
                 known.append(key)
         elif action < 0.60:
+            mutated = False
             probe = rng.choice(known) if known and rng.random() < 0.7 else key
             _expect(client.contains(probe), oracle.contains(probe), context)
             if oracle.contains(probe):
@@ -221,18 +225,26 @@ def run_chaos(
             probe = rng.choice(known) if known and rng.random() < 0.8 else key
             _mutate_both(
                 "delete",
-                lambda: client.delete(probe),
-                lambda: oracle.delete(probe),
+                lambda probe=probe: client.delete(probe),
+                lambda probe=probe: oracle.delete(probe),
                 context,
             )
         elif action < 0.90 or not scan_every:
             _mutate_both(
                 "put",
-                lambda: client.put(key, "v2"),
-                lambda: oracle.put(key, "v2"),
+                lambda key=key: client.put(key, "v2"),
+                lambda key=key: oracle.put(key, "v2"),
                 context,
             )
             known.append(key)
+        else:
+            mutated = False
+        if mutated:
+            # Paranoid mode (REPRO_PARANOID=1): re-audit both sides after
+            # every mutation so a corrupting op is caught where it
+            # happened, not at the end-of-run convergence check.
+            maybe_audit(oracle, context)
+            maybe_audit(cluster, context)
         if scan_every and step and step % scan_every == 0:
             lo_key = min(key, "m")
             _expect(
@@ -280,7 +292,7 @@ def chaos_table(
     seed: int = 0,
     rates: tuple = (0.0, 0.01, 0.05),
     shards: int = 4,
-) -> List[dict]:
+) -> list[dict]:
     """Throughput and audit counters across a sweep of fault rates.
 
     One row per rate, applying it to drops, duplicates and delays alike

@@ -27,7 +27,8 @@ and the owning server's dedup window short-circuits duplicates (see
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, Optional, Tuple
+from collections.abc import Callable, Iterator
+from typing import Optional
 
 from ..core.image import TrieImage
 from ..obs.metrics import LATENCY_BUCKETS
@@ -77,7 +78,7 @@ class DistributedFile:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    def _fresh_rid(self) -> Tuple[int, int]:
+    def _fresh_rid(self) -> tuple[int, int]:
         """The next request id — one per *logical* mutating operation."""
         self._seq += 1
         return (self.client_id, self._seq)
@@ -200,7 +201,7 @@ class DistributedFile:
     # ------------------------------------------------------------------
     def range_items(
         self, low: Optional[str] = None, high: Optional[str] = None
-    ) -> Iterator[Tuple[str, object]]:
+    ) -> Iterator[tuple[str, object]]:
         """Records with ``low <= key <= high`` in key order.
 
         The scan walks the authoritative regions left to right, one
@@ -233,14 +234,13 @@ class DistributedFile:
             self._absorb(reply)
             if reply.error is not None:  # pragma: no cover - defensive
                 raise reply.error
-            for record in reply.records:
-                yield record
+            yield from reply.records
             if reply.done:
                 return
             after = reply.region_high
             first = False
 
-    def items(self) -> Iterator[Tuple[str, object]]:
+    def items(self) -> Iterator[tuple[str, object]]:
         """Iterate every record in key order."""
         return self.range_items()
 

@@ -20,7 +20,8 @@ and hands out client handles.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import Optional
 
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
 from ..core.file import THFile
@@ -29,6 +30,7 @@ from ..core.keys import prefix_gt, prefix_le, split_string
 from ..core.policies import SplitPolicy
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
+from .errors import ConfigurationError
 from .messages import Op
 from .router import Router
 from .server import ShardServer
@@ -49,9 +51,9 @@ class ShardPolicy:
 
     def __init__(self, shard_capacity: int = 256, split_threshold: float = 0.8):
         if shard_capacity < 2:
-            raise ValueError("shard capacity must be at least 2")
+            raise ConfigurationError("shard capacity must be at least 2")
         if not 0.0 < split_threshold <= 1.0:
-            raise ValueError("split threshold must be in (0, 1]")
+            raise ConfigurationError("split threshold must be in (0, 1]")
         self.shard_capacity = shard_capacity
         self.split_threshold = split_threshold
 
@@ -81,7 +83,7 @@ class Coordinator:
         self.router = router
         self.file_factory = file_factory
         self._next_shard = 0
-        self.servers: Dict[int, ShardServer] = {}
+        self.servers: dict[int, ShardServer] = {}
         first = self._new_server()
         self.model = TrieImage(alphabet, (), (first.shard_id,))
         registry.gauge("dist_shards").set(1)
@@ -103,7 +105,7 @@ class Coordinator:
     def shard_of_gap(self, gap: int) -> int:
         return self.model.shards[gap]
 
-    def region_of_gap(self, gap: int) -> Tuple[Optional[str], Optional[str]]:
+    def region_of_gap(self, gap: int) -> tuple[Optional[str], Optional[str]]:
         return self.model.region(gap)
 
     def gap_of_shard(self, shard_id: int) -> int:
@@ -117,7 +119,7 @@ class Coordinator:
             return self.model.locate(op.low)[0]
         return 0
 
-    def iam_for_key(self, key: str) -> List[IAMEntry]:
+    def iam_for_key(self, key: str) -> list[IAMEntry]:
         """The Image Adjustment entry for the region holding ``key``."""
         gap, shard = self.model.locate(key)
         low, high = self.model.region(gap)
@@ -144,7 +146,7 @@ class Coordinator:
         """Note that ``shard_id`` recovered and rejoined."""
         self.registry.gauge("dist_shards_down").inc(-1)
 
-    def down_shards(self) -> List[int]:
+    def down_shards(self) -> list[int]:
         """The shard ids currently refusing deliveries."""
         return sorted(s for s, srv in self.servers.items() if srv.down)
 
@@ -281,12 +283,12 @@ class Cluster:
         alphabet: Alphabet = DEFAULT_ALPHABET,
         durable: bool = False,
         registry: Optional[MetricsRegistry] = None,
-        seed_boundaries: Optional[List[str]] = None,
-        faults: Optional["FaultPlan"] = None,
-        retry: Optional["RetryPolicy"] = None,
+        seed_boundaries: Optional[list[str]] = None,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         if shards < 1:
-            raise ValueError("a cluster needs at least one shard")
+            raise ConfigurationError("a cluster needs at least one shard")
         self.alphabet = alphabet
         self.bucket_capacity = bucket_capacity
         self.policy = policy
@@ -313,11 +315,11 @@ class Cluster:
             gap = self.coordinator.model.gap_above(boundary)
             self.coordinator.split_gap_at(gap, boundary)
 
-    def _even_boundaries(self, shards: int) -> List[str]:
+    def _even_boundaries(self, shards: int) -> list[str]:
         """Evenly spaced single-digit cuts for a static pre-partition."""
         digits = self.alphabet.digits[1:]  # the min digit cannot cut
         if shards - 1 > len(digits):
-            raise ValueError(
+            raise ConfigurationError(
                 f"cannot pre-cut {shards} shards from {len(digits)} digits"
             )
         cuts = []
@@ -344,7 +346,7 @@ class Cluster:
         )
 
     # ------------------------------------------------------------------
-    def client(self, warm: bool = False, retry: Optional["RetryPolicy"] = None):
+    def client(self, warm: bool = False, retry: Optional[RetryPolicy] = None):
         """A new client handle.
 
         A cold client (the default) starts with a one-region image
@@ -375,7 +377,7 @@ class Cluster:
         """Verify all global invariants (see :meth:`Coordinator.check`)."""
         self.coordinator.check()
 
-    def load_report(self) -> List[dict]:
+    def load_report(self) -> list[dict]:
         """Per-shard load rows (for tables and benchmarks)."""
         rows = []
         for gap, shard_id in enumerate(self.coordinator.model.shards):

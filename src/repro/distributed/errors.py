@@ -22,6 +22,7 @@ from ..core.errors import TrieHashingError
 
 __all__ = [
     "DistributedError",
+    "ConfigurationError",
     "UnknownShardError",
     "ProtocolError",
     "RetryableError",
@@ -34,6 +35,15 @@ __all__ = [
 
 class DistributedError(TrieHashingError):
     """Base class for every error raised by the TH* shard layer."""
+
+
+class ConfigurationError(DistributedError, ValueError):
+    """A shard-layer component was built with invalid parameters.
+
+    Subclasses :class:`ValueError` so construction-time validation keeps
+    its conventional type for callers, while staying inside the typed
+    hierarchy the ``TH003`` lint rule enforces.
+    """
 
 
 class UnknownShardError(DistributedError):

@@ -36,11 +36,16 @@ reconciled fault by fault.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
-from .errors import MessageLostError, OpTimeoutError
+from .errors import (
+    ConfigurationError,
+    MessageLostError,
+    OpTimeoutError,
+    UnknownShardError,
+)
 from .messages import Op, Reply
 from .router import Router
 
@@ -82,11 +87,11 @@ class RetryPolicy:
         jitter: float = 0.5,
     ):
         if max_retries < 0:
-            raise ValueError("max_retries must be non-negative")
+            raise ConfigurationError("max_retries must be non-negative")
         if base_delay <= 0 or max_delay < base_delay:
-            raise ValueError("need 0 < base_delay <= max_delay")
+            raise ConfigurationError("need 0 < base_delay <= max_delay")
         if not 0.0 <= jitter < 1.0:
-            raise ValueError("jitter must be in [0, 1)")
+            raise ConfigurationError("jitter must be in [0, 1)")
         self.max_retries = max_retries
         self.base_delay = base_delay
         self.max_delay = max_delay
@@ -121,18 +126,18 @@ class FaultPlan:
         drop: float = 0.0,
         duplicate: float = 0.0,
         delay: float = 0.0,
-        delay_seconds: Tuple[float, float] = (0.001, 0.05),
+        delay_seconds: tuple[float, float] = (0.001, 0.05),
         crash: float = 0.0,
-        downtime: Tuple[float, float] = (0.05, 0.25),
-        edges: Optional[Dict[str, Dict[str, float]]] = None,
-        shards: Optional[Dict[int, Dict[str, float]]] = None,
+        downtime: tuple[float, float] = (0.05, 0.25),
+        edges: Optional[dict[str, dict[str, float]]] = None,
+        shards: Optional[dict[int, dict[str, float]]] = None,
     ):
         for name, rate in (("drop", drop), ("duplicate", duplicate),
                            ("delay", delay), ("crash", crash)):
             if not 0.0 <= rate <= 1.0:
-                raise ValueError(f"{name} rate must be in [0, 1]")
+                raise ConfigurationError(f"{name} rate must be in [0, 1]")
         if edges is not None and set(edges) - set(EDGES):
-            raise ValueError(f"edge overrides must be among {EDGES}")
+            raise ConfigurationError(f"edge overrides must be among {EDGES}")
         self.rng = random.Random(seed)
         self.rates = {"drop": drop, "duplicate": duplicate,
                       "delay": delay, "crash": crash}
@@ -141,7 +146,7 @@ class FaultPlan:
         self.edges = edges if edges is not None else {}
         self.shards = shards if shards is not None else {}
         self.active = True
-        self._forced: Dict[str, List[str]] = {}
+        self._forced: dict[str, list[str]] = {}
 
     # ------------------------------------------------------------------
     def rate(self, kind: str, edge: str, shard: int) -> float:
@@ -160,9 +165,9 @@ class FaultPlan:
         ``kind`` is ``"drop"``, ``"duplicate"`` or ``"delay"``.
         """
         if edge not in EDGES:
-            raise ValueError(f"edge must be one of {EDGES}")
+            raise ConfigurationError(f"edge must be one of {EDGES}")
         if kind not in ("drop", "duplicate", "delay"):
-            raise ValueError("forced kind must be drop, duplicate or delay")
+            raise ConfigurationError("forced kind must be drop, duplicate or delay")
         self._forced.setdefault(edge, []).extend([kind] * count)
 
     def heal(self) -> None:
@@ -223,11 +228,11 @@ class FaultyRouter(Router):
         self.now = 0.0
         self.faults_injected = 0
         self.crash_cycles = 0
-        self._restart_at: Dict[int, float] = {}
+        self._restart_at: dict[int, float] = {}
         #: Audit trail: request id -> number of times it *applied*.
         #: Exactly-once holds iff every count is 1 (the chaos harness
         #: asserts this).
-        self.apply_counts: Dict[Tuple[int, int], int] = {}
+        self.apply_counts: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Clock and lifecycle
@@ -252,7 +257,7 @@ class FaultyRouter(Router):
         """
         server = self.servers.get(shard_id)
         if server is None:
-            raise KeyError(f"no server for shard {shard_id}")
+            raise UnknownShardError(f"no server for shard {shard_id}")
         if server.down:
             return
         server.crash()
@@ -267,7 +272,7 @@ class FaultyRouter(Router):
             if server.down:
                 server.restart()
 
-    def note_apply(self, rid: Optional[Tuple[int, int]]) -> None:
+    def note_apply(self, rid: Optional[tuple[int, int]]) -> None:
         if rid is not None:
             self.apply_counts[rid] = self.apply_counts.get(rid, 0) + 1
 

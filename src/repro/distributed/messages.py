@@ -14,7 +14,7 @@ a local :class:`~repro.core.file.THFile`.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..core.image import IAMEntry
 
@@ -70,7 +70,7 @@ class Op:
         low: Optional[str] = None,
         high: Optional[str] = None,
         after: Optional[str] = None,
-        rid: Optional[Tuple[int, int]] = None,
+        rid: Optional[tuple[int, int]] = None,
     ):
         self.kind = kind
         self.key = key
@@ -87,23 +87,23 @@ class Op:
 
     # -- constructors --------------------------------------------------
     @classmethod
-    def get(cls, key: str) -> "Op":
+    def get(cls, key: str) -> Op:
         return cls(GET, key=key)
 
     @classmethod
-    def contains(cls, key: str) -> "Op":
+    def contains(cls, key: str) -> Op:
         return cls(CONTAINS, key=key)
 
     @classmethod
-    def insert(cls, key: str, value: object = None) -> "Op":
+    def insert(cls, key: str, value: object = None) -> Op:
         return cls(INSERT, key=key, value=value)
 
     @classmethod
-    def put(cls, key: str, value: object = None) -> "Op":
+    def put(cls, key: str, value: object = None) -> Op:
         return cls(PUT, key=key, value=value)
 
     @classmethod
-    def delete(cls, key: str) -> "Op":
+    def delete(cls, key: str) -> Op:
         return cls(DELETE, key=key)
 
     @classmethod
@@ -112,7 +112,7 @@ class Op:
         low: Optional[str] = None,
         high: Optional[str] = None,
         after: Optional[str] = None,
-    ) -> "Op":
+    ) -> Op:
         return cls(SCAN, low=low, high=high, after=after)
 
 
@@ -146,10 +146,10 @@ class Reply:
         self,
         value: object = None,
         error: Optional[Exception] = None,
-        iam: Optional[List[IAMEntry]] = None,
+        iam: Optional[list[IAMEntry]] = None,
         forwards: int = 0,
         owner: int = -1,
-        records: Optional[List[Tuple[str, object]]] = None,
+        records: Optional[list[tuple[str, object]]] = None,
         region_high: Optional[str] = None,
         done: bool = True,
         dedup: bool = False,

@@ -11,7 +11,7 @@ image addressed without a server-side forward).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.recorder import MetricsRecorder
@@ -43,7 +43,7 @@ def distributed_table(
     shard_capacity: int = 256,
     windows: int = 10,
     registry: Optional[MetricsRegistry] = None,
-) -> List[dict]:
+) -> list[dict]:
     """Windowed convergence of a cold client while the file scales out.
 
     ``count`` keys are inserted (with a sprinkle of lookups and deletes
@@ -61,9 +61,9 @@ def distributed_table(
     generator = KeyGenerator(seed)
     keys = generator.uniform(count)
     client = cluster.client()  # cold: believes everything is on shard 0
-    rows: List[dict] = []
+    rows: list[dict] = []
     window = max(1, count // windows)
-    inserted: List[str] = []
+    inserted: list[str] = []
     for start in range(0, count, window):
         client.reset_window()
         for offset, key in enumerate(keys[start : start + window]):

@@ -21,7 +21,7 @@ fault-injecting variant lives in :mod:`repro.distributed.faults`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
@@ -36,7 +36,7 @@ class Router:
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
         self.registry = registry if registry is not None else MetricsRegistry()
-        self.servers: Dict[int, object] = {}
+        self.servers: dict[int, object] = {}
         self.messages = 0
         self.forwards = 0
 
@@ -63,7 +63,7 @@ class Router:
     def sleep(self, seconds: float) -> None:
         """A client backing off between retries (advances no clock here)."""
 
-    def note_apply(self, rid: Optional[Tuple[int, int]]) -> None:
+    def note_apply(self, rid: Optional[tuple[int, int]]) -> None:
         """A mutating op with request id ``rid`` actually applied."""
 
     # ------------------------------------------------------------------

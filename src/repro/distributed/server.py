@@ -31,7 +31,7 @@ Fault tolerance adds two responsibilities:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional
 
 from ..core.errors import TrieHashingError
 from ..core.keys import prefix_le
@@ -95,7 +95,7 @@ class ShardServer:
     def __len__(self) -> int:
         return len(self.file)
 
-    def items(self) -> List[Tuple[str, object]]:
+    def items(self) -> list[tuple[str, object]]:
         """This shard's records in key order (a materialized snapshot)."""
         return list(self.file.items())
 

@@ -1,0 +1,56 @@
+"""Project-specific static analysis (``python -m repro.lint``).
+
+The reproduction's correctness arguments rest on coding conventions that
+generic linters cannot see: deterministic randomness (a wall-clock read
+in ``core`` silently breaks FaultPlan replay), typed errors in the
+distributed layer, buffer-pool discipline around the simulated disk, and
+so on. :mod:`repro.lint` turns those conventions into machine-checked
+rules over the stdlib :mod:`ast`, with one stable code per rule
+(``TH001``...), inline suppressions that must carry a justification, and
+table or JSON output for CI.
+
+Usage::
+
+    python -m repro.lint src                # table output, exit 1 on findings
+    python -m repro.lint src --json         # machine-readable report
+    python -m repro.lint src --select TH001,TH005
+    python -m repro.lint --list             # print the ruleset
+
+Suppression syntax (the justification after ``--`` is mandatory)::
+
+    frobnicate()  # repro-lint: disable=TH001 -- replay-safe: seeded upstream
+
+A suppression comment on its own line applies to the next code line.
+Unused or justification-free suppressions are themselves findings
+(``LINT001``/``LINT002``), so the allowlist can never silently rot.
+
+See ``docs/STATIC_ANALYSIS.md`` for the full rule catalogue and the
+process for adding a rule.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    LintContext,
+    LintReport,
+    LintViolation,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+    rule,
+)
+from . import rules  # noqa: F401  -- importing registers the ruleset
+
+__all__ = [
+    "LintContext",
+    "LintReport",
+    "LintViolation",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "rule",
+]

@@ -1,0 +1,59 @@
+"""CLI for the project linter: ``python -m repro.lint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from typing import Optional
+
+from .engine import all_rules, lint_paths
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Project-specific static analysis for the reproduction",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit a JSON report"
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default=None,
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the ruleset and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for registered in all_rules():
+            scope = (
+                ", ".join(registered.scope) if registered.scope else "src/**"
+            )
+            print(f"{registered.code}  {registered.name:28s} [{scope}]")
+            print(f"       {registered.description}")
+        return 0
+
+    select = args.select.split(",") if args.select else None
+    report = lint_paths(args.paths, select=select)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render_table())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import bisect
 from collections import Counter
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 __all__ = ["GridDirectoryModel"]
 
@@ -32,19 +32,19 @@ class GridDirectoryModel:
         self.dimensions = dimensions
         self.capacity = bucket_capacity
         #: Sorted split lines per dimension.
-        self.lines: List[List[str]] = [[] for _ in range(dimensions)]
-        self._points: List[Tuple[str, ...]] = []
+        self.lines: list[list[str]] = [[] for _ in range(dimensions)]
+        self._points: list[tuple[str, ...]] = []
         self._next_dim = 0
         self.splits = 0
 
     # ------------------------------------------------------------------
-    def _cell_of(self, point: Sequence[str]) -> Tuple[int, ...]:
+    def _cell_of(self, point: Sequence[str]) -> tuple[int, ...]:
         return tuple(
             bisect.bisect_right(self.lines[d], point[d])
             for d in range(self.dimensions)
         )
 
-    def _occupancy(self) -> Dict[Tuple[int, ...], int]:
+    def _occupancy(self) -> dict[tuple[int, ...], int]:
         counts: Counter = Counter(self._cell_of(p) for p in self._points)
         return counts
 
@@ -66,7 +66,7 @@ class GridDirectoryModel:
             if guard > 64:  # duplicate-heavy corner: give up splitting
                 break
 
-    def _split_cell(self, cell: Tuple[int, ...]) -> None:
+    def _split_cell(self, cell: tuple[int, ...]) -> None:
         members = [p for p in self._points if self._cell_of(p) == cell]
         # Round-robin dimension choice, skipping dimensions whose cell
         # interval cannot be split (all members share the coordinate).
@@ -94,7 +94,7 @@ class GridDirectoryModel:
             size *= len(lines) + 1
         return size
 
-    def scale_sizes(self) -> List[int]:
+    def scale_sizes(self) -> list[int]:
         """Number of intervals per dimension."""
         return [len(lines) + 1 for lines in self.lines]
 

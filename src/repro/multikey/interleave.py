@@ -13,7 +13,7 @@ key between the composite keys of the box's min and max corners.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
 from ..core.errors import InvalidKeyError
@@ -38,7 +38,7 @@ class Interleaver:
         self.widths = tuple(widths)
         self.alphabet = alphabet
         # Precompute, for each composite position, (attribute, digit).
-        self._layout: List[Tuple[int, int]] = []
+        self._layout: list[tuple[int, int]] = []
         for round_no in range(max(self.widths)):
             for dim, width in enumerate(self.widths):
                 if round_no < width:
@@ -55,7 +55,7 @@ class Interleaver:
         return len(self._layout)
 
     # ------------------------------------------------------------------
-    def _pad(self, values: Sequence[str]) -> List[str]:
+    def _pad(self, values: Sequence[str]) -> list[str]:
         if len(values) != len(self.widths):
             raise InvalidKeyError(
                 f"expected {len(self.widths)} attributes, got {len(values)}"
@@ -81,7 +81,7 @@ class Interleaver:
             raise InvalidKeyError("composite key is all padding")
         return canon
 
-    def decompose(self, key: str) -> Tuple[str, ...]:
+    def decompose(self, key: str) -> tuple[str, ...]:
         """Recover the attribute tuple from a composite key."""
         if len(key) > self.composite_width:
             raise InvalidKeyError("composite key longer than the layout")

@@ -11,9 +11,11 @@ selectivity so benches can quantify the curve's overhead.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from collections.abc import Iterator, Sequence
+from typing import Optional
 
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
+from ..core.errors import TrieCorruptionError
 from ..core.file import THFile
 from ..core.policies import SplitPolicy
 from .interleave import Interleaver
@@ -68,7 +70,7 @@ class MultikeyTHFile:
     def __len__(self) -> int:
         return len(self.file)
 
-    def items(self) -> Iterator[Tuple[Tuple[str, ...], object]]:
+    def items(self) -> Iterator[tuple[tuple[str, ...], object]]:
         """Every record in z order, decomposed."""
         for key, payload in self.file.items():
             yield self.interleaver.decompose(key), payload
@@ -80,7 +82,7 @@ class MultikeyTHFile:
         self,
         lows: Sequence[Optional[str]],
         highs: Sequence[Optional[str]],
-    ) -> Iterator[Tuple[Tuple[str, ...], object]]:
+    ) -> Iterator[tuple[tuple[str, ...], object]]:
         """Records whose every attribute lies in ``[low_i, high_i]``.
 
         ``None`` bounds are open. Runs one composite-key range scan
@@ -95,7 +97,7 @@ class MultikeyTHFile:
         self,
         lows: Sequence[Optional[str]],
         highs: Sequence[Optional[str]],
-    ) -> Tuple[int, int]:
+    ) -> tuple[int, int]:
         """(matching records, scanned candidates) for one rectangle."""
         matches = scanned = 0
         for _, matched in self._rectangle_scan(lows, highs):
@@ -149,4 +151,8 @@ class MultikeyTHFile:
         self.file.check()
         for key, _ in self.file.items():
             values = self.interleaver.decompose(key)
-            assert self.interleaver.compose(values) == key, key
+            if self.interleaver.compose(values) != key:
+                raise TrieCorruptionError(
+                    f"interleaved key {key!r} does not round-trip through "
+                    f"decompose/compose"
+                )

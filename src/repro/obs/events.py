@@ -86,7 +86,7 @@ Span events
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 __all__ = ["EVENT_NAMES", "Event"]
 
@@ -127,16 +127,16 @@ class Event:
     __slots__ = ("seq", "name", "span", "fields")
 
     def __init__(
-        self, seq: int, name: str, span: Optional[int], fields: Dict[str, object]
+        self, seq: int, name: str, span: Optional[int], fields: dict[str, object]
     ):
         self.seq = seq
         self.name = name
         self.span = span
         self.fields = fields
 
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self) -> dict[str, object]:
         """Flat dict form (the JSONL record)."""
-        out: Dict[str, object] = {"seq": self.seq, "event": self.name}
+        out: dict[str, object] = {"seq": self.seq, "event": self.name}
         if self.span is not None:
             out["span"] = self.span
         out.update(self.fields)

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Dict, List, Optional, Union
+from typing import Optional, Union
 
 from .events import Event
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, _render_key
@@ -55,8 +55,8 @@ class JsonlTraceWriter:
 
 def prometheus_text(registry: MetricsRegistry) -> str:
     """The registry as Prometheus exposition text."""
-    lines: List[str] = []
-    seen_types: Dict[str, str] = {}
+    lines: list[str] = []
+    seen_types: dict[str, str] = {}
 
     def type_line(name: str, kind: str) -> None:
         if seen_types.get(name) != kind:
@@ -100,14 +100,14 @@ def write_metrics_json(registry: MetricsRegistry, path: str) -> None:
         fh.write("\n")
 
 
-def summary_rows(registry: MetricsRegistry) -> List[Dict[str, object]]:
+def summary_rows(registry: MetricsRegistry) -> list[dict[str, object]]:
     """The snapshot as rows for :func:`repro.analysis.format_table`.
 
     Counters and gauges render as single values; histograms as count /
     mean / p50 / p90 / p99 — the human-readable face of the same data
     the JSON and Prometheus exports carry.
     """
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for inst in registry.instruments():
         key = _render_key(inst.name, inst.labels)
         if isinstance(inst, (Counter, Gauge)):

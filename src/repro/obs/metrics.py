@@ -13,12 +13,13 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Optional
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 #: label set, hashable and deterministic: sorted (key, value) pairs.
-_Labels = Tuple[Tuple[str, str], ...]
+_Labels = tuple[tuple[str, str], ...]
 
 
 def _label_key(labels: Optional[Mapping[str, object]]) -> _Labels:
@@ -88,8 +89,8 @@ class Histogram:
             raise ValueError("histogram bounds must be distinct")
         self.name = name
         self.labels = labels
-        self.bounds: List[float] = ordered
-        self.counts: List[int] = [0] * (len(ordered) + 1)  # last = +Inf
+        self.bounds: list[float] = ordered
+        self.counts: list[int] = [0] * (len(ordered) + 1)  # last = +Inf
         self.total = 0
         self.sum = 0.0
 
@@ -141,7 +142,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._instruments: Dict[Tuple[str, _Labels], object] = {}
+        self._instruments: dict[tuple[str, _Labels], object] = {}
 
     def counter(
         self, name: str, labels: Optional[Mapping[str, object]] = None
@@ -179,13 +180,13 @@ class MetricsRegistry:
             raise TypeError(f"{name} already registered as {type(found).__name__}")
         return found
 
-    def instruments(self) -> List[object]:
+    def instruments(self) -> list[object]:
         """Every instrument, sorted by (name, labels) for stable output."""
         return [
             self._instruments[key] for key in sorted(self._instruments.keys())
         ]
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self) -> dict[str, object]:
         """The registry as one JSON-ready dict.
 
         ``counters``/``gauges`` map ``name{l="v",...}`` to values;
@@ -194,7 +195,7 @@ class MetricsRegistry:
         ratios (currently the buffer hit rate) that readers would
         otherwise have to recompute.
         """
-        out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
+        out: dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
         for inst in self.instruments():
             key = _render_key(inst.name, inst.labels)
             if isinstance(inst, Counter):
@@ -219,8 +220,8 @@ class MetricsRegistry:
         out["derived"] = self._derived()
         return out
 
-    def _derived(self) -> Dict[str, float]:
-        derived: Dict[str, float] = {}
+    def _derived(self) -> dict[str, float]:
+        derived: dict[str, float] = {}
         hits = misses = 0.0
         for inst in self.instruments():
             if isinstance(inst, Counter) and inst.name == "repro_buffer_requests_total":

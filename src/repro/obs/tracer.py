@@ -26,7 +26,8 @@ holds exactly, per device and in total, for any workload.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterable, Iterator, List, Optional
+from collections.abc import Iterable, Iterator
+from typing import Optional
 
 from .events import Event
 
@@ -43,7 +44,7 @@ class Span:
         span_id: int,
         op: str,
         parent: Optional[int],
-        fields: Dict[str, object],
+        fields: dict[str, object],
     ):
         self.id = span_id
         self.op = op
@@ -76,8 +77,8 @@ class Tracer:
 
     def __init__(self) -> None:
         self.enabled = False
-        self._sinks: List[object] = []
-        self._stack: List[Span] = []
+        self._sinks: list[object] = []
+        self._stack: list[Span] = []
         self._seq = 0
         self._next_span = 0
         self.unattributed_reads = 0

@@ -16,11 +16,12 @@ counts.
 from __future__ import annotations
 
 import bisect
-from typing import Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 from ..core.errors import DuplicateKeyError, KeyNotFoundError, StorageError
 from .buffer import BufferPool
-from .disk import SimulatedDisk
+from .disk import DiskStats, SimulatedDisk
 
 __all__ = ["Bucket", "BucketStore"]
 
@@ -37,8 +38,8 @@ class Bucket:
     __slots__ = ("keys", "values", "header_path")
 
     def __init__(self) -> None:
-        self.keys: List[str] = []
-        self.values: List[object] = []
+        self.keys: list[str] = []
+        self.values: list[object] = []
         #: Logical path recorded at the last split that touched the bucket
         #: (the /TOR83/ reconstruction header).
         self.header_path: str = ""
@@ -90,19 +91,19 @@ class Bucket:
         del self.keys[i]
         return self.values.pop(i)
 
-    def pop_range(self, lo: int, hi: int) -> List[Tuple[str, object]]:
+    def pop_range(self, lo: int, hi: int) -> list[tuple[str, object]]:
         """Remove and return records with indices ``[lo, hi)``."""
         taken = list(zip(self.keys[lo:hi], self.values[lo:hi]))
         del self.keys[lo:hi]
         del self.values[lo:hi]
         return taken
 
-    def extend(self, records: List[Tuple[str, object]]) -> None:
+    def extend(self, records: list[tuple[str, object]]) -> None:
         """Bulk-insert records (caller guarantees disjoint key ranges)."""
         for key, value in records:
             self.insert(key, value)
 
-    def items(self) -> Iterator[Tuple[str, object]]:
+    def items(self) -> Iterator[tuple[str, object]]:
         """Iterate the records in key order."""
         return iter(zip(self.keys, self.values))
 
@@ -124,14 +125,14 @@ class BucketStore:
     ):
         self.disk = disk if disk is not None else SimulatedDisk(name="buckets")
         self.pool = BufferPool(self.disk, buffer_capacity)
-        self._blocks: List[Optional[int]] = []  # bucket address -> block id
-        self._free: List[int] = []
+        self._blocks: list[Optional[int]] = []  # bucket address -> block id
+        self._free: list[int] = []
         #: Optional :class:`~repro.storage.wal.WALWriter`; when attached
         #: (by a durable session) every allocate/write/free is journalled.
         self.journal = None
 
     @property
-    def stats(self):
+    def stats(self) -> DiskStats:
         """The device's :class:`~repro.storage.disk.DiskStats`."""
         return self.disk.stats
 
@@ -174,7 +175,7 @@ class BucketStore:
         if self.journal is not None:
             self.journal.log_bucket_free(address)
 
-    def live_addresses(self) -> List[int]:
+    def live_addresses(self) -> list[int]:
         """All currently allocated bucket addresses, ascending."""
         return [a for a, blk in enumerate(self._blocks) if blk is not None]
 

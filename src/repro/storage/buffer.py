@@ -13,7 +13,6 @@ counts them), but they refresh the cached copy so a following read hits.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Set
 
 from ..obs.tracer import TRACER
 from .disk import SimulatedDisk
@@ -38,8 +37,8 @@ class BufferPool:
             raise ValueError("buffer capacity cannot be negative")
         self.disk = disk
         self.capacity = capacity
-        self._cache: "OrderedDict[int, object]" = OrderedDict()
-        self._pinned: Set[int] = set()
+        self._cache: OrderedDict[int, object] = OrderedDict()
+        self._pinned: set[int] = set()
         self.hits = 0
         self.misses = 0
 

@@ -29,7 +29,7 @@ the checkpoint protocol.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Optional
 
 from ..core.errors import CrashError
 from .wal import StableStore
@@ -43,7 +43,7 @@ class CrashPoint:
     __slots__ = ("index", "kind", "name", "variant", "image")
 
     def __init__(
-        self, index: int, kind: str, name: str, variant: str, image: Dict[str, bytes]
+        self, index: int, kind: str, name: str, variant: str, image: dict[str, bytes]
     ):
         #: Ordinal of the physical write that never completed.
         self.index = index
@@ -125,7 +125,7 @@ class RecordingStableStore(StableStore):
     def __init__(self, torn_appends: bool = True):
         super().__init__()
         self.torn_appends = torn_appends
-        self.crash_points: List[CrashPoint] = []
+        self.crash_points: list[CrashPoint] = []
         self._seen: set = set()
 
     def _physical(self, kind: str, name: str, payload: bytes = b"") -> None:
@@ -149,9 +149,9 @@ class RecordingStableStore(StableStore):
         kind: str,
         name: str,
         variant: str,
-        torn: Optional[Tuple[str, int, bytes]],
+        torn: Optional[tuple[str, int, bytes]],
     ) -> None:
-        image: Dict[str, bytes] = {}
+        image: dict[str, bytes] = {}
         for oname, obj in self._objects.items():
             data = bytes(obj.data)
             keep = obj.durable

@@ -19,12 +19,13 @@ client's retry cannot forget that the op already happened (see
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, List, Optional, Tuple
+from collections.abc import Iterable
+from typing import Optional
 
 __all__ = ["DedupWindow", "DEFAULT_WINDOW"]
 
 #: One request id: (client id, per-client monotonic sequence number).
-RequestId = Tuple[int, int]
+RequestId = tuple[int, int]
 
 #: Default window size — generous against the retry horizon (a retried
 #: op is re-delivered within a handful of messages, not thousands).
@@ -42,7 +43,7 @@ class DedupWindow:
         if limit < 1:
             raise ValueError("dedup window must hold at least one entry")
         self.limit = limit
-        self._entries: "OrderedDict[RequestId, object]" = OrderedDict()
+        self._entries: OrderedDict[RequestId, object] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -50,7 +51,7 @@ class DedupWindow:
     def __contains__(self, rid: RequestId) -> bool:
         return rid in self._entries
 
-    def lookup(self, rid: RequestId) -> Tuple[bool, object]:
+    def lookup(self, rid: RequestId) -> tuple[bool, object]:
         """``(hit, result)`` for ``rid`` (results may be ``None``)."""
         value = self._entries.get(rid, _MISSING)
         if value is _MISSING:
@@ -66,7 +67,7 @@ class DedupWindow:
         while len(self._entries) > self.limit:
             self._entries.popitem(last=False)
 
-    def merge(self, other: "DedupWindow") -> None:
+    def merge(self, other: DedupWindow) -> None:
         """Absorb every entry of ``other`` (shard-split handover).
 
         Extra entries are harmless — a dedup hit only ever short-circuits
@@ -77,14 +78,14 @@ class DedupWindow:
             self.record(rid, result)
 
     # -- checkpoint codec ----------------------------------------------
-    def to_spec(self) -> List[list]:
+    def to_spec(self) -> list[list]:
         """JSON-ready form: ``[[client, seq, result], ...]`` oldest first."""
         return [[c, s, v] for (c, s), v in self._entries.items()]
 
     @classmethod
     def from_spec(
         cls, spec: Iterable[list], limit: int = DEFAULT_WINDOW
-    ) -> "DedupWindow":
+    ) -> DedupWindow:
         """Rebuild a window from :meth:`to_spec` output."""
         window = cls(limit)
         for client, seq, result in spec:

@@ -10,7 +10,7 @@ when a latency model is attached, advances the simulated clock.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..core.errors import StorageError
 from ..obs.tracer import TRACER
@@ -50,7 +50,7 @@ class DiskStats:
         """Total device accesses (reads + writes)."""
         return self.reads + self.writes
 
-    def snapshot(self) -> "DiskStats":
+    def snapshot(self) -> DiskStats:
         """A copy of the current counters (for windowed measurements)."""
         copy = DiskStats()
         copy.reads = self.reads
@@ -59,7 +59,7 @@ class DiskStats:
         copy.faults = self.faults
         return copy
 
-    def delta(self, earlier: "DiskStats") -> "DiskStats":
+    def delta(self, earlier: DiskStats) -> DiskStats:
         """Counters accumulated since ``earlier`` (a prior snapshot)."""
         diff = DiskStats()
         diff.reads = self.reads - earlier.reads
@@ -104,7 +104,7 @@ class SimulatedDisk:
         block_bytes: int = 4096,
         name: str = "disk",
     ):
-        self._blocks: Dict[int, object] = {}
+        self._blocks: dict[int, object] = {}
         self._next_id = 0
         self.block_bytes = block_bytes
         self.latency = latency

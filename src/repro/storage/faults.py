@@ -23,7 +23,7 @@ rebuild the trie from the bucket headers, carry on.
 
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Optional
 
 from ..core.errors import StorageError
 from ..obs.tracer import TRACER
@@ -37,9 +37,9 @@ class FaultyDisk(SimulatedDisk):
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
-        self._fail_at: Set[int] = set()
-        self._fail_blocks: Set[int] = set()
-        self._fail_write_blocks: Set[int] = set()
+        self._fail_at: set[int] = set()
+        self._fail_blocks: set[int] = set()
+        self._fail_write_blocks: set[int] = set()
         self._fail_from: Optional[int] = None
         self._access_counter = 0
         self.faults_raised = 0
@@ -102,10 +102,10 @@ class FaultyDisk(SimulatedDisk):
                 f"(block {block_id})"
             )
 
-    def read(self, block_id: int):
+    def read(self, block_id: int) -> object:
         self._maybe_fail(block_id, write=False)
         return super().read(block_id)
 
-    def write(self, block_id: int, payload) -> None:
+    def write(self, block_id: int, payload: object) -> None:
         self._maybe_fail(block_id, write=True)
         super().write(block_id, payload)

@@ -38,12 +38,12 @@ class LatencyModel:
         self.transfer_mb_per_s = transfer_mb_per_s
 
     @classmethod
-    def vintage_1981(cls) -> "LatencyModel":
+    def vintage_1981(cls) -> LatencyModel:
         """A drive contemporary with the paper (IBM PC-era winchester)."""
         return cls(seek_ms=85.0, rpm=3600.0, transfer_mb_per_s=0.625)
 
     @classmethod
-    def hdd_7200rpm(cls) -> "LatencyModel":
+    def hdd_7200rpm(cls) -> LatencyModel:
         """A commodity 7200 rpm hard drive."""
         return cls(seek_ms=8.5, rpm=7200.0, transfer_mb_per_s=160.0)
 

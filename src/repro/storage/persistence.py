@@ -19,7 +19,10 @@ import json
 import struct
 import zlib
 from contextlib import contextmanager
-from typing import BinaryIO, Union
+from typing import TYPE_CHECKING, BinaryIO, Union
+
+if TYPE_CHECKING:  # runtime cycle: core.mlth pulls in storage
+    from ..core.mlth import MLTHFile
 
 from ..core.errors import StorageError
 from ..core.file import THFile
@@ -97,7 +100,7 @@ def dump_bytes(file: THFile) -> bytes:
         "max_address": file.store.max_address(),
         "live": file.store.live_addresses(),
     }
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
     out.write(struct.pack(">I", len(header_bytes)))
     out.write(header_bytes)
     trie_bytes = serialize_trie(file.trie)
@@ -132,7 +135,7 @@ def load_bytes(data: bytes) -> THFile:
     # the holes, so recycled addresses line up with the trie's leaves.
     store: BucketStore = file.store
     live = set(header["live"])
-    for address in range(1, header["max_address"] + 1):
+    for _address in range(1, header["max_address"] + 1):
         store.allocate()
     for address in range(header["max_address"] + 1):
         if address not in live:
@@ -156,7 +159,7 @@ def load_bytes(data: bytes) -> THFile:
     return file
 
 
-def dump_mlth_bytes(file) -> bytes:
+def dump_mlth_bytes(file: MLTHFile) -> bytes:
     """Serialise a :class:`~repro.core.mlth.MLTHFile` (pages + buckets).
 
     Pages are JSON-encodable (boundary strings, child ids, levels and
@@ -182,7 +185,7 @@ def dump_mlth_bytes(file) -> bytes:
         "max_address": file.store.max_address(),
         "live": file.store.live_addresses(),
     }
-    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
     out.write(struct.pack(">I", len(header_bytes)))
     out.write(header_bytes)
     for address in file.store.live_addresses():
@@ -192,7 +195,7 @@ def dump_mlth_bytes(file) -> bytes:
     return _seal(out.getvalue())
 
 
-def load_mlth_bytes(data: bytes):
+def load_mlth_bytes(data: bytes) -> MLTHFile:
     """Rebuild an :class:`~repro.core.mlth.MLTHFile` from its image."""
     from ..core.alphabet import Alphabet
     from ..core.mlth import MLTHFile
@@ -231,7 +234,7 @@ def load_mlth_bytes(data: bytes):
 
     store = file.store
     live = set(header["live"])
-    for address in range(1, header["max_address"] + 1):
+    for _address in range(1, header["max_address"] + 1):
         store.allocate()
     for address in range(header["max_address"] + 1):
         if address not in live:

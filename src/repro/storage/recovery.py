@@ -41,7 +41,8 @@ import json
 import struct
 import zlib
 from contextlib import nullcontext
-from typing import Dict, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
 from ..core.errors import (
@@ -54,7 +55,7 @@ from ..core.errors import (
 )
 from ..core.policies import SplitPolicy
 from ..obs.tracer import TRACER
-from .dedup import DedupWindow
+from .dedup import DedupWindow, RequestId
 from .serializer import deserialize_bucket, deserialize_trie, serialize_bucket, serialize_trie
 from .wal import (
     REC_DELETE,
@@ -79,7 +80,7 @@ def _section(payload: bytes) -> bytes:
     return struct.pack(">II", len(payload), zlib.crc32(payload) & 0xFFFFFFFF) + payload
 
 
-def _read_section(stream: io.BytesIO) -> Tuple[Optional[bytes], bool]:
+def _read_section(stream: io.BytesIO) -> tuple[Optional[bytes], bool]:
     """Read one section; ``(payload, crc_ok)`` — payload None if truncated."""
     frame = stream.read(8)
     if len(frame) < 8:
@@ -92,12 +93,12 @@ def _read_section(stream: io.BytesIO) -> Tuple[Optional[bytes], bool]:
 
 
 def encode_checkpoint(
-    header: dict, index: bytes, buckets: List[Tuple[int, bytes]]
+    header: dict, index: bytes, buckets: list[tuple[int, bytes]]
 ) -> bytes:
     """Build a checkpoint image: magic, header, index, bucket sections."""
     out = io.BytesIO()
     out.write(_CKPT_MAGIC)
-    out.write(_section(json.dumps(header, separators=(",", ":")).encode("utf-8")))
+    out.write(_section(json.dumps(header, separators=(",", ":")).encode()))
     out.write(_section(index))
     for address, payload in buckets:
         out.write(struct.pack(">I", address))
@@ -107,7 +108,7 @@ def encode_checkpoint(
 
 def decode_checkpoint(
     data: bytes, name: str
-) -> Tuple[dict, Optional[bytes], Dict[int, bytes]]:
+) -> tuple[dict, Optional[bytes], dict[int, bytes]]:
     """Parse a checkpoint image, verifying every section CRC.
 
     A corrupt header or bucket section raises :class:`RecoveryError`
@@ -126,7 +127,7 @@ def decode_checkpoint(
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise RecoveryError(f"corrupt checkpoint header in {name}: {exc}") from None
     index, index_ok = _read_section(stream)
-    buckets: Dict[int, bytes] = {}
+    buckets: dict[int, bytes] = {}
     while True:
         chunk = stream.read(4)
         if not chunk:
@@ -269,7 +270,7 @@ class _MLTHEngine:
                 for pid in file._all_page_ids()
             },
         }
-        return json.dumps(spec, separators=(",", ":")).encode("utf-8")
+        return json.dumps(spec, separators=(",", ":")).encode()
 
     @staticmethod
     def attach(file, journal: Optional[WALWriter]) -> None:
@@ -357,7 +358,7 @@ class _BTreeEngine:
     @staticmethod
     def index_bytes(file) -> bytes:
         items = [[key, value] for key, value in file.items()]
-        return json.dumps(items, separators=(",", ":")).encode("utf-8")
+        return json.dumps(items, separators=(",", ":")).encode()
 
     @staticmethod
     def attach(file, journal: Optional[WALWriter]) -> None:
@@ -483,7 +484,7 @@ class DurableFile:
         checkpoint_every: int = 64,
         max_chain: int = 8,
         **params,
-    ) -> "DurableFile":
+    ) -> DurableFile:
         """Open (recovering) or create a durable file on ``stable``.
 
         ``params`` configure a *fresh* file (engine constructor options,
@@ -530,8 +531,8 @@ class DurableFile:
         with span:
             try:
                 manifest = json.loads(stable.read(cls.MANIFEST).decode("utf-8"))
-            except StorageError:
-                raise RecoveryError("stable store has no MANIFEST")
+            except StorageError as exc:
+                raise RecoveryError("stable store has no MANIFEST") from exc
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise RecoveryError(f"corrupt MANIFEST: {exc}") from None
             kind = manifest.get("engine")
@@ -550,12 +551,14 @@ class DurableFile:
             newest_header = None
             newest_index = None
             live = set()
-            raw_buckets: Dict[int, bytes] = {}
+            raw_buckets: dict[int, bytes] = {}
             for name in reversed(chain):
                 try:
                     data = stable.read(name)
-                except StorageError:
-                    raise RecoveryError(f"checkpoint {name} is missing")
+                except StorageError as exc:
+                    raise RecoveryError(
+                        f"checkpoint {name} is missing"
+                    ) from exc
                 header, index, ckpt_buckets = decode_checkpoint(data, name)
                 if newest_header is None:
                     newest_header = header
@@ -654,7 +657,7 @@ class DurableFile:
             out = _apply_op(self.file, rec_type, key, value)
         except (InvalidKeyError, DuplicateKeyError, KeyNotFoundError):
             raise  # rejected before any mutation: nothing to log
-        except BaseException:
+        except BaseException:  # repro-lint: disable=TH002 -- fault boundary: any mid-mutation failure (CrashError, device fault) must poison the session before re-raising
             self._poisoned = True
             raise
         try:
@@ -663,7 +666,7 @@ class DurableFile:
                 payload["rid"] = [rid[0], rid[1]]
             self.wal.append(rec_type, payload)
             self.wal.commit()  # the fsync barrier: returning == durable
-        except BaseException:
+        except BaseException:  # repro-lint: disable=TH002 -- fault boundary: a failure before the fsync ack leaves WAL state unknown; poison, then re-raise
             self._poisoned = True
             raise
         # Only past the fsync barrier may the id enter the window: a
@@ -675,20 +678,30 @@ class DurableFile:
             self.checkpoint()
         return out
 
-    def insert(self, key: str, value=None, rid=None) -> None:
+    def insert(
+        self,
+        key: str,
+        value: Optional[str] = None,
+        rid: Optional[RequestId] = None,
+    ) -> None:
         """Insert a new key (acknowledged-durable on return)."""
         self._do(REC_INSERT, key, value, rid=rid)
 
-    def put(self, key: str, value=None, rid=None) -> None:
+    def put(
+        self,
+        key: str,
+        value: Optional[str] = None,
+        rid: Optional[RequestId] = None,
+    ) -> None:
         """Insert or overwrite (acknowledged-durable on return)."""
         self._do(REC_PUT, key, value, rid=rid)
 
-    def delete(self, key: str, rid=None):
+    def delete(self, key: str, rid: Optional[RequestId] = None) -> object:
         """Delete a key, returning its value (acknowledged on return)."""
         return self._do(REC_DELETE, key, rid=rid)
 
     # -- reads (no logging) -------------------------------------------
-    def get(self, key: str):
+    def get(self, key: str) -> object:
         self._check_usable()
         return self.file.get(key)
 
@@ -702,11 +715,11 @@ class DurableFile:
     def __len__(self) -> int:
         return len(self.file)
 
-    def items(self):
+    def items(self) -> Iterator[tuple[str, object]]:
         self._check_usable()
         return self.file.items()
 
-    def keys(self):
+    def keys(self) -> Iterator[str]:
         self._check_usable()
         return self.file.keys()
 
@@ -727,7 +740,7 @@ class DurableFile:
         self._check_usable()
         try:
             return self._checkpoint(full)
-        except BaseException:
+        except BaseException:  # repro-lint: disable=TH002 -- fault boundary: a torn checkpoint must poison the session; recovery rebuilds from the previous generation
             self._poisoned = True
             raise
 
@@ -789,7 +802,7 @@ class DurableFile:
             "next_ckpt": ckpt_id + 1,
         }
         self.stable.write_atomic(
-            self.MANIFEST, json.dumps(manifest, separators=(",", ":")).encode("utf-8")
+            self.MANIFEST, json.dumps(manifest, separators=(",", ":")).encode()
         )
         # The new MANIFEST is durable: everything it no longer references
         # is garbage. A crash inside this cleanup only leaks orphans.

@@ -20,7 +20,6 @@ comparable to the paper's own two-byte pointers.
 from __future__ import annotations
 
 import struct
-from typing import List, Tuple
 
 from ..core.alphabet import Alphabet
 from ..core.cells import NIL, edge_target, edge_to, is_edge, is_nil
@@ -112,16 +111,16 @@ def serialize_bucket(bucket: Bucket) -> bytes:
     offered for string payloads, which all examples use).
     """
     out = bytearray()
-    header = bucket.header_path.encode("utf-8")
+    header = bucket.header_path.encode()
     out += struct.pack(">HH", len(header), len(bucket.keys))
     out += header
     for key, value in bucket.items():
-        kb = key.encode("utf-8")
+        kb = key.encode()
         if value is None:
             vb = b""
             has_value = 0
         elif isinstance(value, str):
-            vb = value.encode("utf-8")
+            vb = value.encode()
             has_value = 1
         else:
             raise StorageError("binary bucket format stores str/None values only")
@@ -138,7 +137,7 @@ def deserialize_bucket(data: bytes) -> Bucket:
     bucket = Bucket()
     bucket.header_path = data[offset : offset + header_len].decode("utf-8")
     offset += header_len
-    records: List[Tuple[str, object]] = []
+    records: list[tuple[str, object]] = []
     for _ in range(count):
         klen, has_value, vlen = struct.unpack_from(">HBH", data, offset)
         offset += 5

@@ -37,7 +37,8 @@ from __future__ import annotations
 import json
 import struct
 import zlib
-from typing import Dict, Iterator, List, Optional, Tuple
+from collections.abc import Iterator
+from typing import Optional
 
 from ..core.errors import StorageError
 from ..obs.tracer import TRACER
@@ -146,7 +147,7 @@ class StableStore:
     """
 
     def __init__(self) -> None:
-        self._objects: Dict[str, _StableObject] = {}
+        self._objects: dict[str, _StableObject] = {}
         self.stats = StableStats()
 
     # -- hook ----------------------------------------------------------
@@ -197,7 +198,7 @@ class StableStore:
             raise StorageError(f"stable object {name!r} does not exist")
         return bytes(obj.data)
 
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         """All object names, sorted."""
         return sorted(self._objects)
 
@@ -206,7 +207,7 @@ class StableStore:
         return len(self.read(name))
 
     # -- crash semantics ----------------------------------------------
-    def lose_volatile(self, torn: Optional[Tuple[str, int]] = None) -> None:
+    def lose_volatile(self, torn: Optional[tuple[str, int]] = None) -> None:
         """Apply a crash: truncate every object to its durable prefix.
 
         ``torn=(name, extra)`` lets ``extra`` bytes of one object's
@@ -220,7 +221,7 @@ class StableStore:
             del obj.data[keep:]
             obj.durable = len(obj.data)
 
-    def snapshot_durable(self) -> Dict[str, bytes]:
+    def snapshot_durable(self) -> dict[str, bytes]:
         """The durable image: what a crash right now would preserve."""
         return {
             name: bytes(obj.data[: obj.durable])
@@ -228,7 +229,7 @@ class StableStore:
         }
 
     @classmethod
-    def from_snapshot(cls, image: Dict[str, bytes]) -> "StableStore":
+    def from_snapshot(cls, image: dict[str, bytes]) -> StableStore:
         """A fresh store holding ``image`` (all of it durable)."""
         store = cls()
         for name, data in image.items():
@@ -260,19 +261,19 @@ class WALRecord:
 
 def encode_record(lsn: int, rec_type: int, payload: dict) -> bytes:
     """Encode one record (magic, header, payload, CRC trailer)."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    body = json.dumps(payload, separators=(",", ":")).encode()
     header = _HEADER.pack(lsn, rec_type, len(body))
     crc = zlib.crc32(header + body) & 0xFFFFFFFF
     return _REC_MAGIC + header + body + struct.pack(">I", crc)
 
 
-def read_records(data: bytes) -> Tuple[List[WALRecord], bool]:
+def read_records(data: bytes) -> tuple[list[WALRecord], bool]:
     """Decode a log image; stop cleanly at a torn or corrupt tail.
 
     Returns ``(records, clean)`` where ``clean`` is False when trailing
     bytes had to be discarded (torn last record or trailing garbage).
     """
-    records: List[WALRecord] = []
+    records: list[WALRecord] = []
     offset = 0
     header_size = len(_REC_MAGIC) + _HEADER.size
     while offset < len(data):
@@ -386,7 +387,7 @@ class WALWriter:
     def log_redistribute(self, direction: str, cut: str, moved: int) -> None:
         self.append(REC_REDISTRIBUTE, {"dir": direction, "cut": cut, "n": moved})
 
-    def log_page_edit(self, gap: int, boundaries: List[str]) -> None:
+    def log_page_edit(self, gap: int, boundaries: list[str]) -> None:
         self.append(REC_PAGE_EDIT, {"gap": gap, "b": boundaries})
 
     def log_page_split(
@@ -400,7 +401,7 @@ class WALWriter:
     def log_node_split(self, kind: str, node: int, new_node: int) -> None:
         self.append(REC_NODE_SPLIT, {"kind": kind, "node": node, "new": new_node})
 
-    def drain_dirty(self) -> Tuple[set, set]:
+    def drain_dirty(self) -> tuple[set, set]:
         """Hand the (dirty, freed) sets to a checkpoint and reset them."""
         dirty, freed = self.dirty_buckets, self.freed_buckets
         self.dirty_buckets, self.freed_buckets = set(), set()

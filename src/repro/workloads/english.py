@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
-from typing import Dict, List
 
 __all__ = ["MOST_USED_WORDS", "synthetic_dictionary"]
 
@@ -58,9 +57,9 @@ write year young your
 """.split()
 
 
-def _bigram_model() -> Dict[str, List[str]]:
+def _bigram_model() -> dict[str, list[str]]:
     """Letter-transition table including word start ('^') and end ('$')."""
-    model: Dict[str, List[str]] = defaultdict(list)
+    model: dict[str, list[str]] = defaultdict(list)
     for word in _TRAINING_WORDS + MOST_USED_WORDS:
         previous = "^"
         for ch in word:
@@ -72,7 +71,7 @@ def _bigram_model() -> Dict[str, List[str]]:
 
 def synthetic_dictionary(
     count: int = 20000, seed: int = 1981, min_length: int = 2, max_length: int = 12
-) -> List[str]:
+) -> list[str]:
     """A deterministic English-like word list, sorted and duplicate-free.
 
     Substitutes for the UNIX ``/usr/dict/words`` corpus (see DESIGN.md):

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import random
 import string
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import Optional
 
 __all__ = ["KeyGenerator"]
 
@@ -37,7 +38,7 @@ class KeyGenerator:
         return random.Random(f"{self._seed}/{salt}")
 
     # ------------------------------------------------------------------
-    def uniform(self, count: int, length: int = 6, salt: int = 0) -> List[str]:
+    def uniform(self, count: int, length: int = 6, salt: int = 0) -> list[str]:
         """``count`` unique fixed-length keys, uniform over the alphabet,
         in random order."""
         rng = self._rng(salt)
@@ -48,11 +49,11 @@ class KeyGenerator:
         rng.shuffle(out)
         return out
 
-    def sorted_keys(self, count: int, length: int = 6, salt: int = 0) -> List[str]:
+    def sorted_keys(self, count: int, length: int = 6, salt: int = 0) -> list[str]:
         """The paper's Figs 10-11 protocol: drawn at random, then sorted."""
         return sorted(self.uniform(count, length, salt))
 
-    def descending_keys(self, count: int, length: int = 6, salt: int = 0) -> List[str]:
+    def descending_keys(self, count: int, length: int = 6, salt: int = 0) -> list[str]:
         """Same keys, descending order."""
         return sorted(self.uniform(count, length, salt), reverse=True)
 
@@ -62,7 +63,7 @@ class KeyGenerator:
         min_length: int = 3,
         max_length: int = 10,
         salt: int = 0,
-    ) -> List[str]:
+    ) -> list[str]:
         """Unique keys of mixed lengths (exercises the space padding)."""
         rng = self._rng(salt)
         keys = set()
@@ -75,7 +76,7 @@ class KeyGenerator:
 
     def skewed(
         self, count: int, length: int = 6, concentration: float = 2.0, salt: int = 0
-    ) -> List[str]:
+    ) -> list[str]:
         """Keys with a Zipf-like skew on every digit position.
 
         Higher ``concentration`` pushes more probability mass onto the
@@ -99,7 +100,7 @@ class KeyGenerator:
         prefixes: Optional[Sequence[str]] = None,
         suffix_length: int = 4,
         salt: int = 0,
-    ) -> List[str]:
+    ) -> list[str]:
         """Keys sharing long common prefixes (long split strings).
 
         Models the batch-of-related-records pattern — e.g. composite
@@ -120,17 +121,17 @@ class KeyGenerator:
         rng.shuffle(out)
         return out
 
-    def interleaved(self, count: int, runs: int = 10, length: int = 6, salt: int = 0) -> List[str]:
+    def interleaved(self, count: int, runs: int = 10, length: int = 6, salt: int = 0) -> list[str]:
         """Alternating sorted runs: the mixed ordered/random regime.
 
         Splits the key set into ``runs`` sorted runs and interleaves
         them — neither fully random nor fully ordered insertions.
         """
         keys = sorted(self.uniform(count, length, salt))
-        buckets: List[List[str]] = [[] for _ in range(runs)]
+        buckets: list[list[str]] = [[] for _ in range(runs)]
         for i, key in enumerate(keys):
             buckets[i % runs].append(key)
-        out: List[str] = []
+        out: list[str] = []
         for chunk in buckets:
             out.extend(chunk)
         return out

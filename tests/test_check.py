@@ -1,0 +1,238 @@
+"""Tests for ``repro.check``: the audit registry, severity tiers,
+corruption detection, the MANIFEST audit, and paranoid mode."""
+
+import pytest
+
+from repro import SplitPolicy, THFile, Trie
+from repro.btree import BPlusTree
+from repro.check import (
+    AuditLevel,
+    AuditReport,
+    ParanoidAuditError,
+    Severity,
+    Violation,
+    audit,
+    audit_manifest,
+    find_audit,
+    maybe_audit,
+    paranoid_enabled,
+    register_audit,
+    registered_audits,
+    set_paranoid,
+)
+from repro.core.mlth import MLTHFile
+from repro.core.overflow import OverflowTHFile
+from repro.storage.dedup import DedupWindow
+from repro.storage.recovery import DurableFile
+from repro.storage.wal import StableStore
+from repro.workloads import KeyGenerator
+
+
+@pytest.fixture(autouse=True)
+def _reset_paranoid():
+    yield
+    set_paranoid(None)
+
+
+def filled_file(n=200, seed=3, **kwargs):
+    f = THFile(bucket_capacity=kwargs.pop("bucket_capacity", 4), **kwargs)
+    for k in KeyGenerator(seed).uniform(n):
+        f.insert(k, k[::-1])
+    return f
+
+
+# ----------------------------------------------------------------------
+# Framework mechanics
+# ----------------------------------------------------------------------
+def test_severity_ordering_drives_ok():
+    warn = Violation("X", Severity.WARNING, "meh", "T")
+    err = Violation("X", Severity.ERROR, "bad", "T")
+    assert AuditReport("T", AuditLevel.FULL, [warn]).ok
+    assert not AuditReport("T", AuditLevel.FULL, [warn, err]).ok
+    assert AuditReport("T", AuditLevel.FULL, [warn, err]).worst is Severity.ERROR
+    assert AuditReport("T", AuditLevel.FULL, []).worst is None
+
+
+def test_report_is_machine_readable():
+    report = audit(filled_file(), AuditLevel.FULL)
+    payload = report.as_dict()
+    assert payload["ok"] is True
+    assert payload["level"] == "FULL"
+    assert payload["target"] == "THFile"
+    assert payload["violations"] == []
+    assert "clean" in report.render()
+
+
+def test_audit_unregistered_type_raises():
+    with pytest.raises(TypeError, match="no audit registered"):
+        audit(object())
+
+
+def test_find_audit_walks_the_mro():
+    # OverflowTHFile subclasses THFile; it must find its own audit, and
+    # an anonymous THFile subclass must fall back to the THFile audit.
+    assert find_audit(OverflowTHFile) is not find_audit(THFile)
+
+    class Sub(THFile):
+        pass
+
+    assert find_audit(Sub) is find_audit(THFile)
+
+
+def test_register_audit_rejects_duplicates():
+    path = registered_audits()[0]
+    with pytest.raises(ValueError, match="duplicate audit"):
+        register_audit(path)(lambda obj, level: [])
+
+
+def test_registry_covers_the_catalogue():
+    expected = {
+        "repro.core.trie.Trie",
+        "repro.core.file.THFile",
+        "repro.core.overflow.OverflowTHFile",
+        "repro.core.mlth.MLTHFile",
+        "repro.core.image.TrieImage",
+        "repro.core.boundaries.BoundaryModel",
+        "repro.multikey.mkfile.MultikeyTHFile",
+        "repro.btree.btree.BPlusTree",
+        "repro.storage.dedup.DedupWindow",
+        "repro.storage.recovery.DurableFile",
+        "repro.distributed.coordinator.Coordinator",
+        "repro.distributed.coordinator.Cluster",
+    }
+    assert expected <= set(registered_audits())
+
+
+# ----------------------------------------------------------------------
+# Structure audits: healthy and corrupted
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("level", list(AuditLevel))
+def test_healthy_file_audits_clean(level):
+    assert audit(filled_file(), level).ok
+
+
+def test_corrupted_counter_fails_full_audit():
+    f = filled_file()
+    f._size += 3
+    report = audit(f, AuditLevel.FULL)
+    assert not report.ok
+    assert report.worst is Severity.CRITICAL
+
+
+def test_corrupted_header_fails_paranoid_reconstruction():
+    f = filled_file(bucket_capacity=4, policy=SplitPolicy.basic_th())
+    assert audit(f, AuditLevel.PARANOID).ok
+    address = sorted(f.store.live_addresses())[-1]
+    f.store.peek(address).header_path = "zzz"  # lie to the oracle
+    report = audit(f, AuditLevel.PARANOID)
+    assert not report.ok
+    assert any(v.code == "AUD-FILE-RECONSTRUCT" for v in report.violations)
+
+
+def test_trie_audit():
+    f = filled_file(50)
+    assert audit(f.trie, AuditLevel.FULL).ok
+    assert isinstance(f.trie, Trie)
+
+
+def test_mlth_and_btree_audits():
+    m = MLTHFile(bucket_capacity=4, page_capacity=8)
+    for k in KeyGenerator(1).uniform(300):
+        m.insert(k)
+    assert audit(m, AuditLevel.PARANOID).ok
+
+    t = BPlusTree(leaf_capacity=8)
+    for k in KeyGenerator(2).uniform(200):
+        t.insert(k)
+    assert audit(t, AuditLevel.FULL).ok
+
+
+def test_dedup_window_audit_catches_overfull():
+    w = DedupWindow(limit=4)
+    for i in range(4):
+        w.record((7, i), "ok")
+    assert audit(w, AuditLevel.PARANOID).ok
+    w._entries[(7, 99)] = "smuggled"  # bypass the bound
+    report = audit(w, AuditLevel.BASIC)
+    assert any(v.code == "AUD-DEDUP-OVERFULL" for v in report.violations)
+
+
+# ----------------------------------------------------------------------
+# MANIFEST audit
+# ----------------------------------------------------------------------
+def good_manifest():
+    return {
+        "engine": "th",
+        "params": {},
+        "chain": ["CKPT-0"],
+        "wal": "WAL",
+        "lsn": 12,
+        "next_ckpt": 1,
+    }
+
+
+def test_manifest_audit_accepts_real_session():
+    stable = StableStore()
+    d = DurableFile.open(stable, engine="th", capacity=4)
+    for k in KeyGenerator(4).uniform(60):
+        d.insert(k, k)
+    assert audit_manifest(d.manifest) == []
+    assert audit(d, AuditLevel.PARANOID).ok
+
+
+def test_manifest_audit_flags_schema_breaks():
+    assert audit_manifest("not a dict")[0].code == "AUD-MANIFEST-TYPE"
+    missing = good_manifest()
+    del missing["wal"]
+    assert [v.code for v in audit_manifest(missing)] == ["AUD-MANIFEST-KEY"]
+    wrong = good_manifest()
+    wrong["lsn"] = "twelve"
+    assert [v.code for v in audit_manifest(wrong)] == ["AUD-MANIFEST-TYPE"]
+    negative = good_manifest()
+    negative["lsn"] = -1
+    assert [v.code for v in audit_manifest(negative)] == ["AUD-MANIFEST-LSN"]
+    stale = good_manifest()
+    stale["next_ckpt"] = 0
+    assert [v.code for v in audit_manifest(stale)] == ["AUD-MANIFEST-CHAIN"]
+
+
+# ----------------------------------------------------------------------
+# Paranoid mode
+# ----------------------------------------------------------------------
+def test_paranoid_env_var(monkeypatch):
+    set_paranoid(None)
+    monkeypatch.delenv("REPRO_PARANOID", raising=False)
+    assert not paranoid_enabled()
+    monkeypatch.setenv("REPRO_PARANOID", "1")
+    assert paranoid_enabled()
+    monkeypatch.setenv("REPRO_PARANOID", "off")
+    assert not paranoid_enabled()
+    # The programmatic override wins over the environment.
+    set_paranoid(True)
+    assert paranoid_enabled()
+    monkeypatch.setenv("REPRO_PARANOID", "1")
+    set_paranoid(False)
+    assert not paranoid_enabled()
+
+
+def test_maybe_audit_noop_when_disabled():
+    set_paranoid(False)
+    f = filled_file(40)
+    f._size += 5  # corrupt — but paranoia is off
+    maybe_audit(f, "corrupted on purpose")
+
+
+def test_maybe_audit_skips_unregistered_types():
+    set_paranoid(True)
+    maybe_audit(object(), "no audit for this")
+
+
+def test_maybe_audit_raises_at_the_faulty_op():
+    set_paranoid(True)
+    f = filled_file(40)
+    maybe_audit(f, "healthy")
+    f._size += 5
+    with pytest.raises(ParanoidAuditError) as info:
+        maybe_audit(f, "after corruption")
+    assert info.value.context == "after corruption"
+    assert not info.value.report.ok

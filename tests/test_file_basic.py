@@ -97,7 +97,7 @@ class TestConstruction:
 
     def test_policy_positions_validated_up_front(self):
         # A split position beyond b fails at construction, not mid-split.
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             THFile(bucket_capacity=4, policy=SplitPolicy(split_position=9))
 
     def test_starts_with_one_bucket(self):

@@ -3,7 +3,7 @@ and the grid-directory comparison)."""
 
 import pytest
 
-from repro import InvalidKeyError, LOWERCASE
+from repro import LOWERCASE, DuplicateKeyError, InvalidKeyError
 from repro.multikey import GridDirectoryModel, Interleaver, MultikeyTHFile
 from repro.workloads import KeyGenerator
 
@@ -91,7 +91,7 @@ class TestMultikeyFile:
 
     def test_duplicate_and_delete(self):
         f, pts = self.build(50)
-        with pytest.raises(Exception):
+        with pytest.raises(DuplicateKeyError):
             f.insert(pts[0])
         assert f.delete(pts[0]) == 0
         assert not f.contains(pts[0])

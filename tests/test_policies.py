@@ -124,5 +124,5 @@ class TestFactories:
 
     def test_policies_are_frozen(self):
         p = SplitPolicy()
-        with pytest.raises(Exception):
+        with pytest.raises(AttributeError):  # dataclasses.FrozenInstanceError
             p.split_position = 3

@@ -176,7 +176,7 @@ class TestLockManagerProperties:
             if release:
                 manager.release_all(owner)
             # Invariant: an X holder is alone on its resource.
-            for res, held in manager._held.items():
+            for _res, held in manager._held.items():
                 owners = {o for o, _ in held}
                 exclusive = {o for o, m in held if m is LockMode.EXCLUSIVE}
                 if exclusive:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import LOWERCASE, THFile, Trie
+from repro import LOWERCASE, StorageError, THFile, Trie
 from repro.core.cells import NIL, edge_to
 from repro.storage.buckets import Bucket
 from repro.storage.serializer import (
@@ -82,7 +82,7 @@ class TestBucketSerialization:
     def test_non_string_values_rejected(self):
         b = Bucket()
         b.insert("a", 42)
-        with pytest.raises(Exception):
+        with pytest.raises(StorageError):
             serialize_bucket(b)
 
     def test_none_vs_empty_string_distinguished(self):

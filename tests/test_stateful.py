@@ -23,6 +23,7 @@ from hypothesis.stateful import (
 )
 
 from repro import DuplicateKeyError, KeyNotFoundError, SplitPolicy, THFile
+from repro.check import maybe_audit
 from repro.core.boundaries import gap_index
 from repro.core.reconstruct import reconstruct_model
 from repro.storage.recovery import DurableFile
@@ -63,12 +64,14 @@ class FileAgainstDict(RuleBasedStateMachine):
         else:
             self.file.insert(key, value)
             self.model[key] = value
+        maybe_audit(self.file, f"insert {key!r}")
 
     @rule(key=keys_st, value=st.integers())
     def put(self, key, value):
         self.steps += 1
         self.file.put(key, value)
         self.model[key] = value
+        maybe_audit(self.file, f"put {key!r}")
 
     @precondition(lambda self: self.model)
     @rule(data=st.data())
@@ -76,6 +79,7 @@ class FileAgainstDict(RuleBasedStateMachine):
         self.steps += 1
         key = data.draw(st.sampled_from(sorted(self.model)))
         assert self.file.delete(key) == self.model.pop(key)
+        maybe_audit(self.file, f"delete {key!r}")
 
     @rule(key=keys_st)
     def delete_missing(self, key):
@@ -170,12 +174,14 @@ class DurableAgainstDict(RuleBasedStateMachine):
         else:
             self.file.insert(key, value)
             self.model[key] = value
+        maybe_audit(self.file, f"durable insert {key!r}")
 
     @rule(key=keys_st, value=values_st)
     def put(self, key, value):
         self.steps += 1
         self.file.put(key, value)
         self.model[key] = value
+        maybe_audit(self.file, f"durable put {key!r}")
 
     @precondition(lambda self: self.model)
     @rule(data=st.data())
@@ -183,6 +189,7 @@ class DurableAgainstDict(RuleBasedStateMachine):
         self.steps += 1
         key = data.draw(st.sampled_from(sorted(self.model)))
         assert self.file.delete(key) == self.model.pop(key)
+        maybe_audit(self.file, f"durable delete {key!r}")
 
     @rule(key=keys_st)
     def delete_missing(self, key):
@@ -209,6 +216,7 @@ class DurableAgainstDict(RuleBasedStateMachine):
         assert dict(self.file.items()) == self.model
         self.file.check()
         self._oracle()
+        maybe_audit(self.file, "crash recovery")
 
     @rule()
     def clean_reopen(self):

@@ -164,7 +164,7 @@ class TestTHCLFileSplits:
     def test_deterministic_split_moves_exact_count(self):
         # Bounding offset 1: exactly b+1-m records move, always.
         f = THFile(bucket_capacity=6, policy=SplitPolicy.thcl(split_position=4))
-        keys = ["k%02d" % i for i in range(30)]
+        keys = [f"k{i:02d}" for i in range(30)]
         import random
 
         random.Random(0).shuffle(keys)
