@@ -1,14 +1,14 @@
 """CI chaos benchmark: throughput and latency under injected faults.
 
-Runs the differential chaos workload (:func:`repro.distributed.chaos
-.run_chaos`) at a sweep of fault rates — 0% (baseline), 1% and 5% drops
-/ duplicates / delays plus crash-restart cycles — and writes
-``BENCH_chaos.json``: wall-clock throughput, simulated-latency
-percentiles from the ``dist_op_seconds`` histogram, and the audit
-counters (faults injected, retries, dedup hits, double-applies, which
-must be zero). Every run also re-proves byte-identical convergence
-against the single-node oracle, so the benchmark doubles as an
-end-to-end correctness gate.
+Thin wrapper over the harness package (:mod:`repro.bench`): runs the
+``chaos`` (differential sweep) and ``throughput`` (raw distributed
+path) suites through :func:`repro.bench.reproduce`, which writes a
+per-run artifact directory and refreshes ``BENCH_chaos.json`` in
+``--out-dir``. Every differential point re-proves byte-identical
+convergence against the single-node oracle, so the benchmark doubles
+as an end-to-end correctness gate. Equivalent to::
+
+    trie-hashing reproduce --suite chaos --suite throughput
 
 Usage::
 
@@ -19,139 +19,40 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
-import random
 import sys
-import time
 from pathlib import Path
 
-from repro import __version__
-from repro.distributed import Cluster, FaultPlan, RetryPolicy, ShardPolicy
-from repro.distributed.chaos import run_chaos
-
-FAULT_RATES = (0.0, 0.01, 0.05)
-
-
-def _latency_stats(registry) -> dict:
-    for inst in registry.instruments():
-        if inst.name == "dist_op_seconds" and hasattr(inst, "percentile"):
-            return {
-                "sim_latency_p50_s": round(inst.percentile(50), 6),
-                "sim_latency_p99_s": round(inst.percentile(99), 6),
-                "sim_latency_mean_s": round(inst.mean, 6),
-                "ops_measured": inst.total,
-            }
-    return {}
-
-
-def chaos_rate_run(count: int, rate: float, seed: int = 0) -> dict:
-    """One fault-rate point: differential run + throughput numbers."""
-    start = time.perf_counter()
-    report = run_chaos(
-        ops=count,
-        shards=4,
-        seed=seed,
-        durable=True,
-        drop=rate,
-        duplicate=rate,
-        delay=rate,
-        crash_cycles=3 if rate else 0,
-        shard_capacity=max(128, count // 8),
-    )
-    wall = time.perf_counter() - start
-    row = {
-        "fault_rate": rate,
-        "ops": report.ops,
-        "wall_ops_per_s": round(report.ops / wall),
-        "sim_seconds": round(report.clock, 4),
-        "faults_injected": report.faults,
-        "retries": report.retries,
-        "dedup_hits": report.dedup_hits,
-        "crashes": report.crashes,
-        "recoveries": report.recoveries,
-        "duplicate_applies": report.duplicate_applies,
-        "messages": report.messages,
-        "forwards": report.forwards,
-        "shards_final": report.shards,
-        "records_final": report.records,
-        "converged": report.converged,
-    }
-    return row
-
-
-def raw_throughput(count: int, rate: float, seed: int = 0) -> dict:
-    """Pure insert/get throughput under faults (no oracle mirroring).
-
-    The differential run spends most of its time in the oracle and the
-    comparisons; this pass measures the distributed path alone, with
-    per-op simulated latency percentiles from ``dist_op_seconds``.
-    """
-    plan = FaultPlan(seed=seed, drop=rate, duplicate=rate, delay=rate)
-    cluster = Cluster(
-        shards=4,
-        durable=True,
-        shard_policy=ShardPolicy(shard_capacity=max(128, count // 8)),
-        faults=plan,
-        retry=RetryPolicy(max_retries=12),
-    )
-    client = cluster.client()
-    rng = random.Random(seed)
-    alphabet = "abcdefghijklmnopqrstuvwxyz"
-    keys = []
-    seen = set()
-    while len(keys) < count:
-        key = "".join(rng.choice(alphabet) for _ in range(rng.randint(2, 8)))
-        if key not in seen:
-            seen.add(key)
-            keys.append(key)
-    start = time.perf_counter()
-    for key in keys:
-        client.insert(key, key.upper())
-    insert_s = time.perf_counter() - start
-    start = time.perf_counter()
-    for key in keys[::3]:
-        client.get(key)
-    get_s = time.perf_counter() - start
-    plan.heal()
-    cluster.check()
-    out = {
-        "fault_rate": rate,
-        "insert_ops_per_s": round(count / insert_s),
-        "get_ops_per_s": round(len(keys[::3]) / get_s),
-        "retries": client.retries_total,
-    }
-    out.update(_latency_stats(cluster.registry))
-    return out
+from repro.bench import reproduce
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out-dir", type=Path, default=Path("."))
-    parser.add_argument("--count", type=int, default=2000)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="override both suites' op counts (default: quick profile)",
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--profile", choices=("quick", "full"), default="quick")
     args = parser.parse_args(argv)
-    args.out_dir.mkdir(parents=True, exist_ok=True)
 
+    counts = None
+    if args.count is not None:
+        counts = {"chaos": args.count, "throughput": args.count}
+    outcome = reproduce(
+        profile=args.profile,
+        out_root=args.out_dir / "runs",
+        bench_dir=args.out_dir,
+        suites=["chaos", "throughput"],
+        counts=counts,
+        seed=args.seed,
+    )
     results = {
-        "differential": [
-            chaos_rate_run(args.count, rate, args.seed)
-            for rate in FAULT_RATES
-        ],
-        "throughput": [
-            raw_throughput(args.count, rate, args.seed)
-            for rate in FAULT_RATES
-        ],
+        **outcome["results"]["chaos"],
+        **outcome["results"]["throughput"],
     }
-    document = {
-        "benchmark": "chaos",
-        "version": __version__,
-        "python": platform.python_version(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "results": results,
-    }
-    path = args.out_dir / "BENCH_chaos.json"
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {path}")
     print(json.dumps(results, indent=2, sort_keys=True))
     if any(r["duplicate_applies"] for r in results["differential"]):
         print("FATAL: duplicate applies detected", file=sys.stderr)

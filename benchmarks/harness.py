@@ -1,0 +1,49 @@
+"""Command-line face of the perf-trajectory harness.
+
+Everything lives in the importable package :mod:`repro.bench`; this
+script (and the equivalent ``trie-hashing reproduce``) is the thin CLI
+over :func:`repro.bench.reproduce`:
+
+    PYTHONPATH=src python benchmarks/harness.py --profile quick
+    PYTHONPATH=src python benchmarks/harness.py --suite chaos --seed 3
+
+Each invocation writes a fresh run directory under
+``benchmarks/results/runs/<stamp>-<profile>/`` — ``manifest.json``
+(full config), ``metrics.jsonl`` (one line per suite as it completes),
+``summary.json`` — and refreshes the committed ``BENCH_*.json``
+trajectory files that ``scripts/bench_gate.py`` diffs in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import PROFILES, reproduce
+from repro.bench.suites import SUITES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="quick")
+    parser.add_argument(
+        "--suite", action="append", dest="suites", choices=sorted(SUITES)
+    )
+    parser.add_argument("--out-root", default="benchmarks/results/runs")
+    parser.add_argument(
+        "--bench-dir", default=".", help="where BENCH_*.json go ('-' to skip)"
+    )
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+    reproduce(
+        profile=args.profile,
+        out_root=args.out_root,
+        bench_dir=None if args.bench_dir == "-" else args.bench_dir,
+        suites=args.suites,
+        seed=args.seed,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

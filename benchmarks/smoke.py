@@ -1,11 +1,13 @@
 """CI benchmark smoke run: small, fast, machine-readable snapshots.
 
-Runs a trimmed version of the core and distributed workloads and writes
-``BENCH_core.json`` / ``BENCH_distributed.json`` — one JSON document per
-subsystem with throughput figures and the structural/convergence
-metrics that should stay stable run over run. The CI job uploads both
-as artifacts so regressions show up as a diffable number, without the
-noise-sensitivity of full pytest-benchmark timings.
+Thin wrapper over the harness package (:mod:`repro.bench`): runs the
+``core`` and ``distributed`` suites through
+:func:`repro.bench.reproduce`, which writes a per-run artifact
+directory (``manifest.json`` / ``metrics.jsonl`` / ``summary.json``)
+and refreshes ``BENCH_core.json`` / ``BENCH_distributed.json`` in
+``--out-dir``. Equivalent to::
+
+    trie-hashing reproduce --suite core --suite distributed
 
 Usage::
 
@@ -16,136 +18,36 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
-import time
 from pathlib import Path
 
-from repro import Cluster, ShardPolicy, THFile, __version__, bulk_load_th
-from repro.core.cursor import Cursor
-from repro.obs import MetricsRecorder, MetricsRegistry, TRACER
-from repro.workloads import KeyGenerator
-
-
-def _timed(fn):
-    start = time.perf_counter()
-    out = fn()
-    return out, time.perf_counter() - start
-
-
-def core_smoke(count: int) -> dict:
-    """Single-node TH: insert/search/scan/cursor/bulk-load rates."""
-    keys = KeyGenerator(7).uniform(count)
-    ordered = sorted(keys)
-
-    f, insert_s = _timed(lambda: _build(keys))
-    probes = keys[::3]
-    _, get_s = _timed(lambda: [f.get(k) for k in probes])
-    lo, hi = ordered[count // 10], ordered[(9 * count) // 10]
-    scanned, scan_s = _timed(lambda: sum(1 for _ in f.range_items(lo, hi)))
-
-    def cursor_walk():
-        cur = Cursor(f)
-        cur.seek(lo)
-        n = 0
-        while cur.valid and cur.key() <= hi:
-            n += 1
-            cur.next()
-        return n
-
-    walked, cursor_s = _timed(cursor_walk)
-    bulk, bulk_s = _timed(
-        lambda: bulk_load_th(((k, None) for k in ordered), bucket_capacity=20)
-    )
-    return {
-        "keys": count,
-        "insert_ops_per_s": round(count / insert_s),
-        "get_ops_per_s": round(len(probes) / get_s),
-        "scan_records_per_s": round(scanned / scan_s),
-        "cursor_records_per_s": round(walked / cursor_s),
-        "bulk_load_ops_per_s": round(count / bulk_s),
-        "load_factor": round(f.load_factor(), 4),
-        "bulk_load_factor": round(bulk.load_factor(), 4),
-        "trie_cells": f.trie_size(),
-        "buckets": f.bucket_count(),
-        "scan_records": scanned,
-        "cursor_records": walked,
-    }
-
-
-def _build(keys):
-    f = THFile(bucket_capacity=20)
-    for k in keys:
-        f.insert(k)
-    return f
-
-
-def distributed_smoke(count: int) -> dict:
-    """TH* layer: routed throughput, scale-out, and image convergence."""
-    registry = MetricsRegistry()
-    TRACER.activate([MetricsRecorder(registry)])
-    try:
-        cluster = Cluster(
-            shards=4,
-            bucket_capacity=20,
-            shard_policy=ShardPolicy(shard_capacity=max(64, count // 12)),
-            registry=registry,
-        )
-        writer = cluster.client(warm=True)
-        keys = KeyGenerator(13).uniform(count)
-        _, insert_s = _timed(lambda: [writer.insert(k) for k in keys])
-
-        cold = cluster.client()
-        warmup = keys[: max(50, count // 10)]
-        for k in warmup:
-            cold.contains(k)
-        cold.reset_window()
-        _, get_s = _timed(lambda: [cold.get(k) for k in keys[::3]])
-        scanned, scan_s = _timed(lambda: sum(1 for _ in cold.items()))
-        cluster.check()
-        snapshot = registry.snapshot()
-        return {
-            "keys": count,
-            "insert_ops_per_s": round(count / insert_s),
-            "routed_get_ops_per_s": round(len(keys[::3]) / get_s),
-            "scan_records_per_s": round(scanned / scan_s),
-            "shards": cluster.shard_count(),
-            "writer_convergence": round(writer.convergence(), 4),
-            "cold_client_window_convergence": round(
-                cold.convergence(window=True), 4
-            ),
-            "cold_client_iam_boundaries": cold.iam_boundaries,
-            "forwards_total": sum(
-                v
-                for k, v in snapshot["counters"].items()
-                if k.startswith("dist_forwards_total")
-            ),
-            "shard_splits": snapshot["counters"].get(
-                "dist_shard_splits_total", 0
-            ),
-        }
-    finally:
-        TRACER.deactivate()
+from repro.bench import reproduce
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out-dir", type=Path, default=Path("."))
-    parser.add_argument("--count", type=int, default=4000)
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="override both suites' key counts (default: quick profile)",
+    )
+    parser.add_argument("--profile", choices=("quick", "full"), default="quick")
     args = parser.parse_args(argv)
-    args.out_dir.mkdir(parents=True, exist_ok=True)
 
-    meta = {
-        "version": __version__,
-        "python": platform.python_version(),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-    }
-    for name, runner in (("core", core_smoke), ("distributed", distributed_smoke)):
-        result = {"benchmark": name, **meta, "results": runner(args.count)}
-        path = args.out_dir / f"BENCH_{name}.json"
-        path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-        print(f"wrote {path}")
-        print(json.dumps(result["results"], indent=2, sort_keys=True))
+    counts = None
+    if args.count is not None:
+        counts = {"core": args.count, "distributed": args.count}
+    outcome = reproduce(
+        profile=args.profile,
+        out_root=args.out_dir / "runs",
+        bench_dir=args.out_dir,
+        suites=["core", "distributed"],
+        counts=counts,
+    )
+    for name in ("core", "distributed"):
+        print(json.dumps(outcome["results"][name], indent=2, sort_keys=True))
     return 0
 
 

@@ -1,0 +1,287 @@
+"""The four standard benchmark suites of the perf trajectory.
+
+Each suite is a function ``(count, seed) -> dict`` driving a seeded
+workload and returning one flat-ish JSON-ready document. The documents
+mix two kinds of numbers, and the distinction is load-bearing for the
+CI gate (``scripts/bench_gate.py``):
+
+* **structural** metrics — record counts, load factors, trie sizes,
+  shard counts, convergence ratios, retry/dedup/fault counters,
+  simulated clocks and simulated-latency percentiles. These are exact
+  functions of ``(count, seed)`` (seeded ``random.Random``, simulated
+  fabric time) and must reproduce bit-identically on any machine;
+* **wall-clock rates** — every key ending in ``_per_s``. These measure
+  the host and are only ratio-compared, within a generous tolerance.
+
+The suites are the same workloads the pre-harness ``benchmarks/smoke.py``
+and ``benchmarks/bench_chaos.py`` ran (same default seeds 7 / 13 / 0),
+so the first committed trajectory is continuous with historical CI
+artifact numbers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from ..core.bulk import bulk_load_th
+from ..core.cursor import Cursor
+from ..core.file import THFile
+from ..distributed.chaos import run_chaos
+from ..distributed.coordinator import Cluster, ShardPolicy
+from ..distributed.faults import FaultPlan, RetryPolicy
+from ..obs.metrics import MetricsRegistry
+from ..obs.recorder import MetricsRecorder
+from ..obs.tracer import TRACER
+from ..workloads import KeyGenerator
+
+__all__ = [
+    "SUITES",
+    "FAULT_RATES",
+    "core_suite",
+    "distributed_suite",
+    "chaos_suite",
+    "throughput_suite",
+]
+
+#: Fault-rate sweep shared by the chaos and throughput suites.
+FAULT_RATES = (0.0, 0.01, 0.05)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# core: single-node TH
+# ----------------------------------------------------------------------
+def core_suite(count: int = 4000, seed: int = 7) -> dict:
+    """Single-node TH: insert/search/scan/cursor/bulk-load rates."""
+    keys = KeyGenerator(seed).uniform(count)
+    ordered = sorted(keys)
+
+    def build():
+        f = THFile(bucket_capacity=20)
+        for k in keys:
+            f.insert(k)
+        return f
+
+    f, insert_s = _timed(build)
+    probes = keys[::3]
+    _, get_s = _timed(lambda: [f.get(k) for k in probes])
+    lo, hi = ordered[count // 10], ordered[(9 * count) // 10]
+    scanned, scan_s = _timed(lambda: sum(1 for _ in f.range_items(lo, hi)))
+
+    def cursor_walk():
+        cur = Cursor(f)
+        cur.seek(lo)
+        n = 0
+        while cur.valid and cur.key() <= hi:
+            n += 1
+            cur.next()
+        return n
+
+    walked, cursor_s = _timed(cursor_walk)
+    bulk, bulk_s = _timed(
+        lambda: bulk_load_th(((k, None) for k in ordered), bucket_capacity=20)
+    )
+    return {
+        "keys": count,
+        "insert_ops_per_s": round(count / insert_s),
+        "get_ops_per_s": round(len(probes) / get_s),
+        "scan_records_per_s": round(scanned / scan_s),
+        "cursor_records_per_s": round(walked / cursor_s),
+        "bulk_load_ops_per_s": round(count / bulk_s),
+        "load_factor": round(f.load_factor(), 4),
+        "bulk_load_factor": round(bulk.load_factor(), 4),
+        "trie_cells": f.trie_size(),
+        "buckets": f.bucket_count(),
+        "scan_records": scanned,
+        "cursor_records": walked,
+    }
+
+
+# ----------------------------------------------------------------------
+# distributed: the TH* shard layer
+# ----------------------------------------------------------------------
+def distributed_suite(count: int = 4000, seed: int = 13) -> dict:
+    """TH* layer: routed throughput, scale-out, and image convergence."""
+    registry = MetricsRegistry()
+    already_tracing = TRACER.enabled
+    if not already_tracing:
+        TRACER.activate([MetricsRecorder(registry)])
+    try:
+        cluster = Cluster(
+            shards=4,
+            bucket_capacity=20,
+            shard_policy=ShardPolicy(shard_capacity=max(64, count // 12)),
+            registry=registry,
+        )
+        writer = cluster.client(warm=True)
+        keys = KeyGenerator(seed).uniform(count)
+        _, insert_s = _timed(lambda: [writer.insert(k) for k in keys])
+
+        cold = cluster.client()
+        warmup = keys[: max(50, count // 10)]
+        for k in warmup:
+            cold.contains(k)
+        cold.reset_window()
+        _, get_s = _timed(lambda: [cold.get(k) for k in keys[::3]])
+        scanned, scan_s = _timed(lambda: sum(1 for _ in cold.items()))
+        cluster.check()
+        snapshot = registry.snapshot()
+        return {
+            "keys": count,
+            "insert_ops_per_s": round(count / insert_s),
+            "routed_get_ops_per_s": round(len(keys[::3]) / get_s),
+            "scan_records_per_s": round(scanned / scan_s),
+            "shards": cluster.shard_count(),
+            "writer_convergence": round(writer.convergence(), 4),
+            "cold_client_window_convergence": round(
+                cold.convergence(window=True), 4
+            ),
+            "cold_client_iam_boundaries": cold.iam_boundaries,
+            "forwards_total": sum(
+                v
+                for k, v in snapshot["counters"].items()
+                if k.startswith("dist_forwards_total")
+            ),
+            "shard_splits": snapshot["counters"].get(
+                "dist_shard_splits_total", 0
+            ),
+        }
+    finally:
+        if not already_tracing:
+            TRACER.deactivate()
+
+
+# ----------------------------------------------------------------------
+# chaos: differential convergence under faults
+# ----------------------------------------------------------------------
+def chaos_rate_run(count: int, rate: float, seed: int = 0) -> dict:
+    """One fault-rate point: differential run + throughput numbers."""
+    start = time.perf_counter()
+    report = run_chaos(
+        ops=count,
+        shards=4,
+        seed=seed,
+        durable=True,
+        drop=rate,
+        duplicate=rate,
+        delay=rate,
+        crash_cycles=3 if rate else 0,
+        shard_capacity=max(128, count // 8),
+    )
+    wall = time.perf_counter() - start
+    return {
+        "fault_rate": rate,
+        "ops": report.ops,
+        "wall_ops_per_s": round(report.ops / wall),
+        "sim_seconds": round(report.clock, 4),
+        "faults_injected": report.faults,
+        "retries": report.retries,
+        "dedup_hits": report.dedup_hits,
+        "crashes": report.crashes,
+        "recoveries": report.recoveries,
+        "duplicate_applies": report.duplicate_applies,
+        "messages": report.messages,
+        "forwards": report.forwards,
+        "shards_final": report.shards,
+        "records_final": report.records,
+        "converged": report.converged,
+    }
+
+
+def chaos_suite(count: int = 2000, seed: int = 0) -> dict:
+    """Differential chaos sweep across :data:`FAULT_RATES`.
+
+    Every rate re-proves byte-identical convergence against the
+    single-node oracle, so the suite doubles as an end-to-end
+    correctness gate (``duplicate_applies`` must be zero everywhere).
+    """
+    return {
+        "differential": [
+            chaos_rate_run(count, rate, seed) for rate in FAULT_RATES
+        ]
+    }
+
+
+# ----------------------------------------------------------------------
+# throughput: the distributed path alone (no oracle mirroring)
+# ----------------------------------------------------------------------
+def _latency_stats(registry) -> dict:
+    for inst in registry.instruments():
+        if inst.name == "dist_op_seconds" and hasattr(inst, "percentile"):
+            return {
+                "sim_latency_p50_s": round(inst.percentile(50), 6),
+                "sim_latency_p95_s": round(inst.percentile(95), 6),
+                "sim_latency_p99_s": round(inst.percentile(99), 6),
+                "sim_latency_mean_s": round(inst.mean, 6),
+                "ops_measured": inst.total,
+            }
+    return {}
+
+
+def throughput_rate_run(count: int, rate: float, seed: int = 0) -> dict:
+    """Pure insert/get throughput under faults (no oracle mirroring).
+
+    The differential run spends most of its time in the oracle and the
+    comparisons; this pass measures the distributed path alone, with
+    per-op simulated latency percentiles from ``dist_op_seconds``.
+    """
+    plan = FaultPlan(seed=seed, drop=rate, duplicate=rate, delay=rate)
+    cluster = Cluster(
+        shards=4,
+        durable=True,
+        shard_policy=ShardPolicy(shard_capacity=max(128, count // 8)),
+        faults=plan,
+        retry=RetryPolicy(max_retries=12),
+    )
+    client = cluster.client()
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    keys: list[str] = []
+    seen = set()
+    while len(keys) < count:
+        key = "".join(rng.choice(alphabet) for _ in range(rng.randint(2, 8)))
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+    start = time.perf_counter()
+    for key in keys:
+        client.insert(key, key.upper())
+    insert_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for key in keys[::3]:
+        client.get(key)
+    get_s = time.perf_counter() - start
+    plan.heal()
+    cluster.check()
+    out = {
+        "fault_rate": rate,
+        "insert_ops_per_s": round(count / insert_s),
+        "get_ops_per_s": round(len(keys[::3]) / get_s),
+        "retries": client.retries_total,
+    }
+    out.update(_latency_stats(cluster.registry))
+    return out
+
+
+def throughput_suite(count: int = 2000, seed: int = 0) -> dict:
+    """Raw distributed throughput sweep across :data:`FAULT_RATES`."""
+    return {
+        "throughput": [
+            throughput_rate_run(count, rate, seed) for rate in FAULT_RATES
+        ]
+    }
+
+
+#: Suite name -> (runner, default seed, one-line description).
+SUITES: dict[str, tuple] = {
+    "core": (core_suite, 7, "single-node TH rates and structure"),
+    "distributed": (distributed_suite, 13, "TH* routing and convergence"),
+    "chaos": (chaos_suite, 0, "differential convergence under faults"),
+    "throughput": (throughput_suite, 0, "distributed path throughput"),
+}

@@ -232,4 +232,10 @@ def maybe_audit(obj: object, context: str = "") -> None:
         return
     report = audit(obj, AuditLevel.PARANOID)
     if not report.ok:
+        # Black-box the failure site: dump the flight recorder's recent
+        # events (with the report attached) before the error surfaces —
+        # a no-op unless a forensics directory is configured.
+        from ..obs.flight import FLIGHT
+
+        FLIGHT.dump("paranoid-audit", extra=report.as_dict())
         raise ParanoidAuditError(report, context=context)

@@ -6,10 +6,17 @@ Installed as ``trie-hashing``. Examples::
     trie-hashing run fig10 --count 5000
     trie-hashing run sec5 --count 2000 --bucket-capacity 20
     trie-hashing run fig10 --count 5000 --metrics out.json --trace out.jsonl
+    trie-hashing trace list --trace chaos.jsonl
+    trie-hashing trace report c1-42 --trace chaos.jsonl
+    trie-hashing reproduce --quick
     trie-hashing demo
 
 ``demo`` builds the paper's Fig 1 example file and prints its buckets
-and trie, which doubles as a smoke test of an installation.
+and trie, which doubles as a smoke test of an installation. ``trace``
+reconstructs causal span trees from a JSONL trace or a flight-recorder
+dump (see :mod:`repro.obs.causal`); ``reproduce`` runs the benchmark
+harness into a per-run artifact directory and refreshes the committed
+``BENCH_*.json`` trajectory (see :mod:`repro.bench`).
 """
 
 from __future__ import annotations
@@ -87,6 +94,46 @@ def _demo() -> None:
     print(" ", " | ".join(f.trie.boundaries()))
 
 
+def _trace_command(args) -> int:
+    """The ``trace list`` / ``trace report`` subcommands."""
+    from .obs.causal import (
+        CausalError,
+        build_traces,
+        find_rid,
+        hop_rows,
+        load_events,
+        render_tree,
+        trace_summary_rows,
+    )
+
+    if args.trace_command not in ("list", "report"):
+        print("usage: trie-hashing trace {list,report} --trace PATH",
+              file=sys.stderr)
+        return 1
+    try:
+        records = load_events(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 1
+    traces = build_traces(records)
+    if args.trace_command == "list":
+        rows = trace_summary_rows(traces)
+        if not rows:
+            print("no completed spans in trace")
+            return 0
+        print(format_table(rows, title=f"traces in {args.trace_file}"))
+        return 0
+    try:
+        root = find_rid(traces, args.rid)
+    except CausalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render_tree(root, max_depth=args.max_depth))
+    print()
+    print(format_table(hop_rows(root), title=f"per-hop latency for {args.rid}"))
+    return 0
+
+
 def main(argv: list[str] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -106,6 +153,76 @@ def main(argv: list[str] = None) -> int:
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument("--json", action="store_true", dest="lint_json")
     lint.add_argument("--select", default=None, dest="lint_select")
+    tr = sub.add_parser(
+        "trace",
+        help="reconstruct causal trees from a trace or flight dump",
+    )
+    tr_sub = tr.add_subparsers(dest="trace_command")
+    tr_list = tr_sub.add_parser(
+        "list", help="one summary row per causal trace in the file"
+    )
+    tr_list.add_argument(
+        "--trace",
+        metavar="PATH",
+        required=True,
+        dest="trace_file",
+        help="JSONL trace or flight-recorder dump to read",
+    )
+    tr_report = tr_sub.add_parser(
+        "report",
+        help="render one rid's causal tree and per-hop latency table",
+    )
+    tr_report.add_argument(
+        "rid", help='request id, e.g. "c1-42" (see trace list)'
+    )
+    tr_report.add_argument(
+        "--trace",
+        metavar="PATH",
+        required=True,
+        dest="trace_file",
+        help="JSONL trace or flight-recorder dump to read",
+    )
+    tr_report.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="truncate the rendered tree below this depth",
+    )
+    rep = sub.add_parser(
+        "reproduce",
+        help="run the benchmark harness and refresh BENCH_*.json",
+    )
+    rep.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorthand for --profile quick (the CI / baseline size)",
+    )
+    rep.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        default=None,
+        help="workload sizes per suite (default: quick)",
+    )
+    rep.add_argument(
+        "--suite",
+        action="append",
+        dest="suites",
+        choices=("core", "distributed", "chaos", "throughput"),
+        help="run only this suite (repeatable; default: all)",
+    )
+    rep.add_argument(
+        "--out-root",
+        default="benchmarks/results/runs",
+        help="where per-run artifact directories accumulate",
+    )
+    rep.add_argument(
+        "--bench-dir",
+        default=".",
+        help="where BENCH_*.json are refreshed ('-' to skip)",
+    )
+    rep.add_argument(
+        "--seed", type=int, default=None, help="override every suite's seed"
+    )
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument(
@@ -151,6 +268,26 @@ def main(argv: list[str] = None) -> int:
 
         results = validate_all()
         return 0 if all(r["ok"] for r in results) else 1
+    if args.command == "trace":
+        return _trace_command(args)
+    if args.command == "reproduce":
+        from .bench import reproduce
+
+        # --quick is the spelled-out alias CI uses; quick is also the
+        # default because the committed baselines are quick-profile.
+        profile = args.profile if args.profile is not None else "quick"
+        try:
+            reproduce(
+                profile=profile,
+                out_root=args.out_root,
+                bench_dir=None if args.bench_dir == "-" else args.bench_dir,
+                suites=args.suites,
+                seed=args.seed,
+            )
+        except OSError as exc:
+            print(f"error: cannot write artifacts: {exc}", file=sys.stderr)
+            return 1
+        return 0
     if args.command == "lint":
         from .lint.__main__ import main as lint_main
 

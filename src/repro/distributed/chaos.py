@@ -24,6 +24,9 @@ from typing import Optional
 from ..check import maybe_audit
 from ..core.errors import DuplicateKeyError, KeyNotFoundError
 from ..core.file import THFile
+from ..obs.export import JsonlTraceWriter
+from ..obs.flight import FLIGHT
+from ..obs.tracer import TRACER
 from .coordinator import Cluster, ShardPolicy
 from .faults import FaultPlan, FaultyRouter, RetryPolicy
 
@@ -137,6 +140,7 @@ def run_chaos(
     bucket_capacity: int = 8,
     retry: Optional[RetryPolicy] = None,
     scan_every: int = 0,
+    trace_path: Optional[str] = None,
 ) -> ChaosReport:
     """One differential chaos run; raises ``AssertionError`` on divergence.
 
@@ -152,7 +156,56 @@ def run_chaos(
     ``scan_every > 0`` interleaves a full range scan every that many
     operations (scans re-read regions under retries, so they are kept
     off the default path where ``ops`` is large).
+
+    ``trace_path`` writes the run's full JSONL trace there (activating
+    the global tracer for the duration, unless it is already active) —
+    the file ``trie-hashing trace report`` reconstructs causal trees
+    from. On divergence the flight recorder dumps its ring before the
+    ``AssertionError`` surfaces (see :mod:`repro.obs.flight`).
     """
+    writer: Optional[JsonlTraceWriter] = None
+    if trace_path is not None and not TRACER.enabled:
+        writer = JsonlTraceWriter(trace_path)
+        TRACER.activate([writer])
+    try:
+        return _run_chaos(
+            ops=ops,
+            shards=shards,
+            seed=seed,
+            durable=durable,
+            drop=drop,
+            duplicate=duplicate,
+            delay=delay,
+            crash_cycles=crash_cycles,
+            shard_capacity=shard_capacity,
+            bucket_capacity=bucket_capacity,
+            retry=retry,
+            scan_every=scan_every,
+        )
+    except AssertionError:
+        # The differential oracle diverged: capture the last window of
+        # events for offline forensics before the failure surfaces.
+        FLIGHT.dump("chaos-divergence")
+        raise
+    finally:
+        if writer is not None:
+            TRACER.deactivate()
+
+
+def _run_chaos(
+    ops: int,
+    shards: int,
+    seed: int,
+    durable: bool,
+    drop: float,
+    duplicate: float,
+    delay: float,
+    crash_cycles: int,
+    shard_capacity: int,
+    bucket_capacity: int,
+    retry: Optional[RetryPolicy],
+    scan_every: int,
+) -> ChaosReport:
     plan = FaultPlan(
         seed=seed,
         drop=drop,

@@ -35,7 +35,7 @@ from ..obs.metrics import LATENCY_BUCKETS
 from ..obs.tracer import TRACER
 from .errors import RetryableError, ShardUnavailableError
 from .faults import RetryPolicy
-from .messages import MUTATING_OPS, Op, Reply
+from .messages import MUTATING_OPS, Op, Reply, rid_str
 
 __all__ = ["DistributedFile"]
 
@@ -86,17 +86,42 @@ class DistributedFile:
     def _send(self, op: Op, shard_for: Callable[[], int]) -> Reply:
         """Deliver ``op``, retrying transient faults within the policy.
 
+        With tracing on, the whole delivery — every retry included —
+        runs inside one ``client_<kind>`` span that roots the op's
+        causal tree; each attempt stamps the span's context onto the op
+        so every server-side span (including redeliveries the fabric
+        duplicates) parents back under this root.
+
         ``shard_for`` re-derives the target from the (possibly patched)
         image on every attempt. Non-transient errors — routing bugs,
         protocol violations — propagate immediately; transient ones are
         retried until the budget is spent, then surface as
         :class:`ShardUnavailableError` with the last failure chained.
         """
+        if not TRACER.enabled:
+            return self._send_inner(op, shard_for)
+        fields: dict[str, object] = {"client": self.client_id}
+        if op.key is not None:
+            fields["key"] = op.key
+        rid = rid_str(op.rid)
+        if rid is not None:
+            fields["rid"] = rid
+        with TRACER.span("client_" + op.kind, **fields):
+            return self._send_inner(op, shard_for)
+
+    def _send_inner(self, op: Op, shard_for: Callable[[], int]) -> Reply:
         policy = self.retry
         registry = self.cluster.registry
         start = getattr(self.router, "now", None)
         attempt = 0
         while True:
+            if TRACER.enabled:
+                # Stamp per attempt, not per op: a forward overwrites
+                # the context with the forwarding server's span, and the
+                # next retry must parent under the client root again.
+                ctx = TRACER.current_context()
+                if ctx is not None:
+                    op.ctx = ctx.to_wire()
             try:
                 reply = self.router.client_send(
                     shard_for(), op, timeout=policy.timeout

@@ -21,6 +21,7 @@ and hands out client handles.
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import nullcontext
 from typing import Optional
 
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
@@ -178,7 +179,20 @@ class Coordinator:
         Records above the cut move to a freshly created server; both
         sides are rebuilt compactly. Works on empty regions too (static
         pre-partitioning).
+
+        With tracing on, the whole move runs in a ``shard_split`` span:
+        triggered by a mutation it nests under that op's shard span, so
+        the causal tree shows which client op paid for the scale-out.
         """
+        span = (
+            TRACER.span("shard_split", shard=self.model.shards[gap], cut=cut)
+            if TRACER.enabled
+            else nullcontext()
+        )
+        with span:
+            return self._split_gap_at(gap, cut)
+
+    def _split_gap_at(self, gap: int, cut: str) -> int:
         shard_id = self.model.shards[gap]
         server = self.servers[shard_id]
         old_dedup = server.dedup

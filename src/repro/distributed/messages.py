@@ -29,6 +29,7 @@ __all__ = [
     "MUTATING_OPS",
     "Op",
     "Reply",
+    "rid_str",
 ]
 
 GET = "get"
@@ -58,9 +59,16 @@ class Op:
     idempotent: the id is assigned once per *logical* operation, so
     every redelivery (client retry or a duplicated message) carries the
     same id and the owning server's dedup window can short-circuit it.
+
+    ``ctx`` is the compact trace context ``(trace_id, span_id)`` of the
+    sender's active span (see :class:`repro.obs.tracer.TraceContext`):
+    the receiving hop opens its own span *under* that coordinate, which
+    is what stitches client, router and shard spans into one causal
+    tree. It is ``None`` whenever tracing is off and never affects
+    execution — purely observational freight.
     """
 
-    __slots__ = ("kind", "key", "value", "low", "high", "after", "rid")
+    __slots__ = ("kind", "key", "value", "low", "high", "after", "rid", "ctx")
 
     def __init__(
         self,
@@ -71,6 +79,7 @@ class Op:
         high: Optional[str] = None,
         after: Optional[str] = None,
         rid: Optional[tuple[int, int]] = None,
+        ctx: Optional[tuple[int, int]] = None,
     ):
         self.kind = kind
         self.key = key
@@ -79,6 +88,7 @@ class Op:
         self.high = high
         self.after = after
         self.rid = rid
+        self.ctx = ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.kind == SCAN:
@@ -127,7 +137,10 @@ class Reply:
     served region ends at, the continuation point) and ``done``.
     ``dedup`` marks a reply served from the owner's dedup window — the
     operation had already applied on an earlier delivery and the stored
-    result was replayed instead of re-executing.
+    result was replayed instead of re-executing. ``ctx`` is the trace
+    context of the span that actually *executed* the operation (the
+    owning shard after any forwards), mirroring ``Op.ctx`` on the way
+    back so either end of the wire can name its causal peer.
     """
 
     __slots__ = (
@@ -140,6 +153,7 @@ class Reply:
         "region_high",
         "done",
         "dedup",
+        "ctx",
     )
 
     def __init__(
@@ -153,6 +167,7 @@ class Reply:
         region_high: Optional[str] = None,
         done: bool = True,
         dedup: bool = False,
+        ctx: Optional[tuple[int, int]] = None,
     ):
         self.value = value
         self.error = error
@@ -163,7 +178,20 @@ class Reply:
         self.region_high = region_high
         self.done = done
         self.dedup = dedup
+        self.ctx = ctx
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "err" if self.error is not None else "ok"
         return f"Reply({status}, owner={self.owner}, forwards={self.forwards})"
+
+
+def rid_str(rid: Optional[tuple[int, int]]) -> Optional[str]:
+    """A request id in its compact human form, ``"c<client>-<seq>"``.
+
+    This is the spelling span fields, trace annotations and the
+    ``trie-hashing trace report <rid>`` CLI all share, so a rid read off
+    a causal tree pastes straight back into the report command.
+    """
+    if rid is None:
+        return None
+    return f"c{rid[0]}-{rid[1]}"

@@ -31,12 +31,14 @@ Fault tolerance adds two responsibilities:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Optional
 
 from ..core.errors import TrieHashingError
 from ..core.keys import prefix_le
 from ..core.range_query import scan as local_scan
-from ..obs.tracer import TRACER
+from ..obs.flight import FLIGHT
+from ..obs.tracer import TRACER, TraceContext
 from ..storage.dedup import DedupWindow
 from ..storage.recovery import DurableFile
 from .errors import ProtocolError
@@ -51,6 +53,7 @@ from .messages import (
     SCAN,
     Op,
     Reply,
+    rid_str,
 )
 
 __all__ = ["ShardServer"]
@@ -123,6 +126,9 @@ class ShardServer:
             TRACER.emit(
                 "server_crash", shard=self.shard_id, durable=stable is not None
             )
+        # Black-box dump: the last window of events leading up to the
+        # crash (a no-op unless a forensics directory is configured).
+        FLIGHT.dump(f"server-crash-shard-{self.shard_id}")
 
     def restart(self) -> None:
         """Recover (durable shards replay WAL + checkpoints) and rejoin."""
@@ -131,7 +137,17 @@ class ShardServer:
         stable = getattr(self.file, "stable", None)
         replayed = 0
         if stable is not None:
-            self.file = DurableFile.open(stable)
+            # The WAL + checkpoint replay runs inside a server_restart
+            # span, so the storage layer's recovery span (and its WAL
+            # traffic) lands in the causal record of *this* shard's
+            # outage rather than floating unattributed.
+            span = (
+                TRACER.span("server_restart", shard=self.shard_id)
+                if TRACER.enabled
+                else nullcontext()
+            )
+            with span:
+                self.file = DurableFile.open(stable)
             if self.file.last_recovery is not None:
                 replayed = self.file.last_recovery.replayed
         self.down = False
@@ -146,13 +162,54 @@ class ShardServer:
     # Operation handling
     # ------------------------------------------------------------------
     def handle(self, op: Op) -> Reply:
-        """Execute ``op`` if this server owns it, else forward it."""
+        """Execute ``op`` if this server owns it, else forward it.
+
+        With tracing on, the whole delivery runs inside a
+        ``shard_<kind>`` span parented under the context the op carried
+        in (the client's — or, on a forward, the previous server's —
+        span), and the reply is stamped with the context of the span
+        that actually executed the operation. Every redelivery of a
+        duplicated or retried op opens its own span, so the causal tree
+        shows each delivery separately while the rid ties them together.
+        """
         self.registry.counter(
             "dist_server_ops_total", {"shard": self.shard_id, "op": op.kind}
         ).inc()
+        if not TRACER.enabled:
+            return self._dispatch(op)
+        fields: dict[str, object] = {"shard": self.shard_id}
+        rid = rid_str(op.rid)
+        if rid is not None:
+            fields["rid"] = rid
+        with TRACER.span(
+            "shard_" + op.kind, ctx=TraceContext.from_wire(op.ctx), **fields
+        ):
+            reply = self._dispatch(op)
+            if reply.ctx is None:
+                # First stamp wins: on a forward chain the inner
+                # (owning) server already named itself as executor.
+                current = TRACER.current_context()
+                if current is not None:
+                    reply.ctx = current.to_wire()
+            return reply
+
+    def _dispatch(self, op: Op) -> Reply:
         if op.kind == SCAN:
             return self._handle_scan(op)
         return self._handle_point(op)
+
+    def _forward(self, owner: int, op: Op) -> Reply:
+        """Send a misaddressed op to its owner, carrying *our* context.
+
+        Re-stamping ``op.ctx`` parents the owning server's span under
+        this forwarding hop, which is how a forward chain shows up as a
+        chain in the causal tree instead of two siblings.
+        """
+        if TRACER.enabled:
+            current = TRACER.current_context()
+            if current is not None:
+                op.ctx = current.to_wire()
+        return self.router.forward(self.shard_id, owner, op)
 
     def _handle_point(self, op: Op) -> Reply:
         if op.kind not in POINT_OPS:
@@ -161,7 +218,7 @@ class ShardServer:
             raise ProtocolError(f"unknown point op kind {op.kind!r}")
         owner = self.coordinator.owner_of(op.key)
         if owner != self.shard_id:
-            return self.router.forward(self.shard_id, owner, op)
+            return self._forward(owner, op)
         if op.kind in MUTATING_OPS and op.rid is not None:
             hit, stored = self.dedup.lookup(op.rid)
             if hit:
@@ -170,6 +227,10 @@ class ShardServer:
                 self.registry.counter(
                     "dist_dedup_hits_total", {"shard": self.shard_id}
                 ).inc()
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "dedup_hit", shard=self.shard_id, rid=rid_str(op.rid)
+                    )
                 return Reply(
                     value=stored,
                     iam=self.coordinator.iam_for_key(op.key),
@@ -227,7 +288,7 @@ class ShardServer:
         gap = self.coordinator.scan_gap(op)
         owner = self.coordinator.shard_of_gap(gap)
         if owner != self.shard_id:
-            return self.router.forward(self.shard_id, owner, op)
+            return self._forward(owner, op)
         records = list(local_scan(self.engine, op.low, op.high))
         low_b, high_b = self.coordinator.region_of_gap(gap)
         done = high_b is None or (

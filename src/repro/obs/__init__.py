@@ -17,7 +17,13 @@ quantities observable *live* instead of only as counter deltas:
   rate, simulated-latency percentiles);
 * :mod:`repro.obs.export` — JSON-lines trace writing, a
   Prometheus-style text snapshot, and ``format_table``-compatible
-  summary rows.
+  summary rows;
+* :mod:`repro.obs.flight` — a bounded ring buffer of recent events
+  (the :data:`FLIGHT` recorder) dumped to forensics files on crashes,
+  chaos divergence, and paranoid-audit failures;
+* :mod:`repro.obs.causal` — reconstruction of causal span trees (one
+  per ``trace_id``) from a JSONL trace or flight dump, with rendering
+  and per-hop latency breakdowns for ``trie-hashing trace report``.
 
 Tracing is **off by default** and costs one attribute check per hook
 site (``if TRACER.enabled:``). Enable it around a workload::
@@ -35,6 +41,18 @@ See ``docs/OBSERVABILITY.md`` for the event taxonomy, span semantics
 and exporter formats.
 """
 
+from .causal import (
+    CausalError,
+    SpanNode,
+    Trace,
+    build_traces,
+    find_rid,
+    hop_rows,
+    load_events,
+    render_tree,
+    rid_index,
+    trace_summary_rows,
+)
 from .events import EVENT_NAMES, Event
 from .export import (
     JsonlTraceWriter,
@@ -43,14 +61,16 @@ from .export import (
     summary_rows,
     write_metrics_json,
 )
+from .flight import FLIGHT, FlightRecorder
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import MetricsRecorder
-from .tracer import TRACER, Span, Tracer, trace
+from .tracer import TRACER, Span, TraceContext, Tracer, trace
 
 __all__ = [
     "EVENT_NAMES",
     "Event",
     "Span",
+    "TraceContext",
     "Tracer",
     "TRACER",
     "trace",
@@ -64,4 +84,16 @@ __all__ = [
     "metrics_json",
     "write_metrics_json",
     "summary_rows",
+    "FlightRecorder",
+    "FLIGHT",
+    "CausalError",
+    "SpanNode",
+    "Trace",
+    "load_events",
+    "build_traces",
+    "rid_index",
+    "find_rid",
+    "render_tree",
+    "hop_rows",
+    "trace_summary_rows",
 ]

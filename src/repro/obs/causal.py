@@ -1,0 +1,414 @@
+"""Causal-tree reconstruction: from a trace on disk back to *why*.
+
+A JSONL trace (or a flight-recorder dump) is a flat event stream. This
+module folds it back into the causal structure the tracer recorded:
+
+* every ``span_end`` record carries ``trace``/``span_id``/``parent`` —
+  the tree skeleton;
+* every other event carries ``span``, the innermost span active when it
+  fired — the annotations (faults, retries, dedup hits, WAL traffic)
+  hanging off the skeleton.
+
+:func:`build_traces` groups spans into :class:`Trace` objects (one per
+``trace_id`` — in the distributed layer, one per logical client
+operation). :func:`rid_index` locates the unique rooted tree of any
+request id and *verifies* its shape: exactly one root, every span of
+that rid reachable from it — the invariant the fault-propagation tests
+pin. :func:`render_tree` and :func:`hop_rows` are the human faces used
+by ``trie-hashing trace report``: an ASCII causal tree with annotations
+interleaved in emission order, and a per-hop latency breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Union
+
+__all__ = [
+    "CausalError",
+    "SpanNode",
+    "Trace",
+    "load_events",
+    "build_traces",
+    "rid_index",
+    "find_rid",
+    "render_tree",
+    "hop_rows",
+    "trace_summary_rows",
+]
+
+#: ``span_end`` bookkeeping keys; everything else is a user field.
+_SPAN_KEYS = frozenset(
+    {
+        "seq",
+        "event",
+        "span",
+        "op",
+        "span_id",
+        "parent",
+        "trace",
+        "start_seq",
+        "reads",
+        "writes",
+        "accesses",
+        "seconds",
+        "elapsed",
+    }
+)
+
+#: Event names that annotate a causal tree as *trouble* (for summaries).
+_FAULT_EVENTS = frozenset({"net_fault", "op_retry", "dedup_hit", "disk_fault"})
+
+
+class CausalError(Exception):
+    """A trace could not be reconstructed into well-formed causal trees."""
+
+
+class SpanNode:
+    """One reconstructed span: identity, totals, annotations, children."""
+
+    __slots__ = (
+        "span_id",
+        "trace_id",
+        "parent",
+        "op",
+        "reads",
+        "writes",
+        "accesses",
+        "seconds",
+        "elapsed",
+        "start_seq",
+        "end_seq",
+        "fields",
+        "events",
+        "children",
+    )
+
+    def __init__(self, record: dict):
+        self.span_id = int(record["span_id"])
+        self.trace_id = int(record.get("trace", 0))
+        parent = record.get("parent")
+        self.parent = None if parent is None else int(parent)
+        self.op = str(record.get("op", "?"))
+        self.reads = int(record.get("reads", 0))
+        self.writes = int(record.get("writes", 0))
+        self.accesses = int(record.get("accesses", 0))
+        self.seconds = float(record.get("seconds", 0.0))
+        self.elapsed = float(record.get("elapsed", 0.0))
+        self.start_seq = int(record.get("start_seq", 0))
+        self.end_seq = int(record.get("seq", 0))
+        self.fields = {
+            k: v for k, v in record.items() if k not in _SPAN_KEYS
+        }
+        self.events: list[dict] = []
+        self.children: list[SpanNode] = []
+
+    @property
+    def rid(self) -> Optional[str]:
+        """The request id this span is labeled with, if any."""
+        rid = self.fields.get("rid")
+        return None if rid is None else str(rid)
+
+    def walk(self) -> list["SpanNode"]:
+        """This span and every descendant, depth-first, emission order."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.walk())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpanNode({self.span_id}, {self.op!r}, trace={self.trace_id}, "
+            f"parent={self.parent}, children={len(self.children)})"
+        )
+
+
+class Trace:
+    """Every span and annotation sharing one ``trace_id``."""
+
+    __slots__ = ("trace_id", "roots", "spans")
+
+    def __init__(self, trace_id: int):
+        self.trace_id = trace_id
+        self.roots: list[SpanNode] = []
+        self.spans: dict[int, SpanNode] = {}
+
+    @property
+    def root(self) -> SpanNode:
+        """The single root (raises :class:`CausalError` when ambiguous)."""
+        if len(self.roots) != 1:
+            raise CausalError(
+                f"trace {self.trace_id} has {len(self.roots)} roots, not 1"
+            )
+        return self.roots[0]
+
+    def fault_events(self) -> list[dict]:
+        """Every fault/retry/dedup annotation anywhere in the trace."""
+        out = []
+        for span in self.spans.values():
+            out.extend(
+                e for e in span.events if e.get("event") in _FAULT_EVENTS
+            )
+        return sorted(out, key=lambda e: e.get("seq", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.trace_id}, spans={len(self.spans)})"
+
+
+# ----------------------------------------------------------------------
+# Loading and building
+# ----------------------------------------------------------------------
+def load_events(path: str) -> list[dict]:
+    """Read events from a JSONL trace *or* a flight-recorder dump.
+
+    A flight dump is one JSON document with an ``events`` list; a trace
+    is one JSON object per line. The two are distinguished by shape, so
+    every consumer (the CLI, the tests) can take either.
+    """
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            document = json.loads(text)
+        except ValueError:
+            document = None
+        if isinstance(document, dict) and isinstance(
+            document.get("events"), list
+        ):
+            return list(document["events"])
+    records = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def build_traces(records: list[dict]) -> dict[int, Trace]:
+    """Fold a flat event stream into :class:`Trace` trees by trace id.
+
+    Events whose span never closed (or that fired outside any span) are
+    dropped — they cannot be causally placed. Spans whose declared
+    parent is missing from the stream become extra roots of their trace
+    (a truncated ring buffer can legitimately lose ancestors).
+    """
+    spans: dict[int, SpanNode] = {}
+    annotations: list[dict] = []
+    for record in records:
+        name = record.get("event")
+        if name == "span_end":
+            node = SpanNode(record)
+            spans[node.span_id] = node
+        elif name != "trace_end" and record.get("span") is not None:
+            annotations.append(record)
+
+    for record in annotations:
+        owner = spans.get(int(record["span"]))
+        if owner is not None:
+            owner.events.append(record)
+    for node in spans.values():
+        node.events.sort(key=lambda e: e.get("seq", 0))
+
+    traces: dict[int, Trace] = {}
+    for node in spans.values():
+        trace = traces.setdefault(node.trace_id, Trace(node.trace_id))
+        trace.spans[node.span_id] = node
+    for trace in traces.values():
+        for node in trace.spans.values():
+            parent = (
+                trace.spans.get(node.parent)
+                if node.parent is not None
+                else None
+            )
+            if parent is None:
+                trace.roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in trace.spans.values():
+            node.children.sort(key=lambda s: (s.start_seq, s.span_id))
+        trace.roots.sort(key=lambda s: (s.start_seq, s.span_id))
+    return traces
+
+
+# ----------------------------------------------------------------------
+# Request-id lookup and verification
+# ----------------------------------------------------------------------
+def rid_index(traces: dict[int, Trace]) -> dict[str, SpanNode]:
+    """Map every request id to the root of its (unique) causal tree.
+
+    Verifies, for each rid, the invariant the fault tests rely on:
+    all spans labeled with the rid live in one trace, exactly one of
+    them is that trace's root, and every other one is its descendant.
+    Raises :class:`CausalError` when any rid violates this.
+    """
+    by_rid: dict[str, list[tuple[Trace, SpanNode]]] = {}
+    for trace in traces.values():
+        for node in trace.spans.values():
+            if node.rid is not None:
+                by_rid.setdefault(node.rid, []).append((trace, node))
+
+    index: dict[str, SpanNode] = {}
+    for rid, members in sorted(by_rid.items()):
+        owner_traces = {trace.trace_id for trace, _ in members}
+        if len(owner_traces) != 1:
+            raise CausalError(
+                f"rid {rid} spans {len(owner_traces)} traces: "
+                f"{sorted(owner_traces)}"
+            )
+        trace = members[0][0]
+        roots = [node for _, node in members if node.parent is None]
+        if len(roots) != 1:
+            raise CausalError(
+                f"rid {rid} has {len(roots)} rooted spans (want exactly 1)"
+            )
+        root = roots[0]
+        reachable = {span.span_id for span in root.walk()}
+        strays = [
+            node.span_id
+            for _, node in members
+            if node.span_id not in reachable
+        ]
+        if strays:
+            raise CausalError(
+                f"rid {rid}: spans {strays} not reachable from root "
+                f"{root.span_id}"
+            )
+        index[rid] = root
+    return index
+
+
+def find_rid(traces: dict[int, Trace], rid: str) -> SpanNode:
+    """The verified causal root for ``rid`` (raises when absent)."""
+    index = rid_index(traces)
+    root = index.get(rid)
+    if root is None:
+        known = ", ".join(sorted(index)[:8]) or "none"
+        raise CausalError(f"no trace for rid {rid} (known rids: {known})")
+    return root
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.3f}ms"
+
+
+def _describe(span: SpanNode) -> str:
+    parts = [span.op]
+    for key in sorted(span.fields):
+        parts.append(f"{key}={span.fields[key]}")
+    timing = f"[{_ms(span.elapsed)}"
+    if span.accesses:
+        timing += f", {span.accesses} acc"
+    if span.seconds:
+        timing += f", {_ms(span.seconds)} sim"
+    timing += "]"
+    parts.append(timing)
+    return " ".join(parts)
+
+
+def _describe_event(event: dict) -> str:
+    name = event.get("event", "?")
+    fields = ", ".join(
+        f"{k}={v}"
+        for k, v in sorted(event.items())
+        if k not in ("seq", "event", "span")
+    )
+    return f"· {name}" + (f" ({fields})" if fields else "")
+
+
+def render_tree(root: SpanNode, max_depth: Optional[int] = None) -> str:
+    """ASCII causal tree: spans and annotations in emission order."""
+    lines = [_describe(root)]
+
+    def entries(span: SpanNode) -> list[tuple[int, str, object]]:
+        merged: list[tuple[int, str, object]] = []
+        for event in span.events:
+            merged.append((int(event.get("seq", 0)), "event", event))
+        for child in span.children:
+            merged.append((child.start_seq, "span", child))
+        merged.sort(key=lambda item: item[0])
+        return merged
+
+    def walk(span: SpanNode, prefix: str, depth: int) -> None:
+        rows = entries(span)
+        for i, (_, kind, payload) in enumerate(rows):
+            last = i == len(rows) - 1
+            branch = "└─ " if last else "├─ "
+            cont = "   " if last else "│  "
+            if kind == "event":
+                lines.append(prefix + branch + _describe_event(payload))
+                continue
+            child = payload
+            if max_depth is not None and depth >= max_depth:
+                below = len(child.walk())
+                lines.append(
+                    prefix + branch + f"… {below} span(s) below {child.op}"
+                )
+                continue
+            lines.append(prefix + branch + _describe(child))
+            walk(child, prefix + cont, depth + 1)
+
+    walk(root, "", 1)
+    return "\n".join(lines)
+
+
+def hop_rows(root: SpanNode) -> list[dict[str, object]]:
+    """Per-hop latency breakdown rows (for ``format_table``).
+
+    ``self_ms`` is the span's wall time minus its direct children's —
+    the cost of the hop itself, net of the work it delegated.
+    """
+    rows: list[dict[str, object]] = []
+
+    def walk(span: SpanNode, depth: int) -> None:
+        child_elapsed = sum(c.elapsed for c in span.children)
+        where = span.fields.get("shard", span.fields.get("client", ""))
+        rows.append(
+            {
+                "hop": ("  " * depth) + span.op,
+                "at": where,
+                "elapsed_ms": round(span.elapsed * 1000.0, 3),
+                "self_ms": round(
+                    max(0.0, span.elapsed - child_elapsed) * 1000.0, 3
+                ),
+                "reads": span.reads,
+                "writes": span.writes,
+                "sim_ms": round(span.seconds * 1000.0, 3),
+                "events": len(span.events),
+            }
+        )
+        for child in span.children:
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return rows
+
+
+def trace_summary_rows(
+    traces: dict[int, Trace],
+) -> list[dict[str, Union[int, str, float]]]:
+    """One row per trace (for ``trie-hashing trace list``)."""
+    rows: list[dict[str, Union[int, str, float]]] = []
+    for trace_id in sorted(traces):
+        trace = traces[trace_id]
+        roots = trace.roots
+        first = roots[0] if roots else None
+        rids = sorted(
+            {span.rid for span in trace.spans.values() if span.rid is not None}
+        )
+        rows.append(
+            {
+                "trace": trace_id,
+                "root": first.op if first is not None else "?",
+                "rid": " ".join(rids) if rids else "-",
+                "spans": len(trace.spans),
+                "faults": len(trace.fault_events()),
+                "elapsed_ms": round(
+                    sum(r.elapsed for r in roots) * 1000.0, 3
+                ),
+            }
+        )
+    return rows

@@ -52,6 +52,11 @@ Fault-tolerance events (:mod:`repro.distributed.faults`)
     A client re-sent an operation after a transient fault (fields:
     ``client``, ``op``, ``attempt``, ``reason`` — the retryable error
     class name).
+``dedup_hit``
+    An owning server short-circuited a redelivered mutation to its
+    recorded result instead of re-executing it (fields: ``shard``,
+    ``rid``) — the annotated evidence of the exactly-once protocol in
+    a causal trace.
 
 Durability events (:mod:`repro.storage`)
 ----------------------------------------
@@ -77,8 +82,11 @@ Device events
 Span events
 -----------
 ``span_end``
-    Emitted when an operation span closes (fields: ``op``, ``span``,
-    ``parent``, ``reads``, ``writes``, ``accesses``, ``seconds``).
+    Emitted when an operation span closes (fields: ``op``, ``span_id``,
+    ``parent``, ``trace``, ``start_seq``, ``reads``, ``writes``,
+    ``accesses``, ``seconds`` — simulated device time — and ``elapsed``
+    — wall-clock seconds). ``trace``/``span_id``/``parent`` are what
+    :mod:`repro.obs.causal` reconstructs causal trees from.
 ``trace_end``
     Emitted once on deactivation with the unattributed access totals,
     so a JSONL trace is self-contained for reconciliation.
@@ -110,6 +118,7 @@ EVENT_NAMES = frozenset(
         "server_crash",
         "server_recover",
         "op_retry",
+        "dedup_hit",
         "recovery_done",
         "checkpoint",
         "wal_append",

@@ -40,14 +40,32 @@ class JsonlTraceWriter:
         else:
             self._fh = target
             self._owns = False
+        self._closed = False
 
     def on_event(self, event: Event) -> None:
         """Write one event as one line."""
+        if self._closed:
+            return
         json.dump(event.to_dict(), self._fh, separators=(",", ":"))
         self._fh.write("\n")
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (the file is complete)."""
+        return self._closed
+
     def close(self) -> None:
-        """Flush, and close the file when this writer opened it."""
+        """Flush, and close the file when this writer opened it.
+
+        Idempotent: ``Tracer.deactivate()`` closes every sink the moment
+        tracing stops, and the :func:`~repro.obs.tracer.trace` helper
+        may close again on exit — the second call is a no-op, so trace
+        files are complete right after deactivation (crash-path tests
+        rely on this) without double-close errors.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._fh.flush()
         if self._owns:
             self._fh.close()
@@ -81,6 +99,11 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             lines.append(f"{_render_key(inst.name + '_bucket', labels)} {inst.total}")
             lines.append(f"{_render_key(inst.name + '_sum', inst.labels)} {_num(inst.sum)}")
             lines.append(f"{_render_key(inst.name + '_count', inst.labels)} {inst.total}")
+            for p in (50, 95, 99):
+                labels = inst.labels + (("quantile", _num(p / 100.0)),)
+                lines.append(
+                    f"{_render_key(inst.name, labels)} {_num(inst.percentile(p))}"
+                )
     derived = registry.snapshot()["derived"]
     for key, value in sorted(derived.items()):
         type_line(f"repro_{key}", "gauge")
@@ -104,8 +127,8 @@ def summary_rows(registry: MetricsRegistry) -> list[dict[str, object]]:
     """The snapshot as rows for :func:`repro.analysis.format_table`.
 
     Counters and gauges render as single values; histograms as count /
-    mean / p50 / p90 / p99 — the human-readable face of the same data
-    the JSON and Prometheus exports carry.
+    mean / p50 / p90 / p95 / p99 — the human-readable face of the same
+    data the JSON and Prometheus exports carry.
     """
     rows: list[dict[str, object]] = []
     for inst in registry.instruments():
@@ -120,6 +143,7 @@ def summary_rows(registry: MetricsRegistry) -> list[dict[str, object]]:
                     "mean": inst.mean,
                     "p50": inst.percentile(50),
                     "p90": inst.percentile(90),
+                    "p95": inst.percentile(95),
                     "p99": inst.percentile(99),
                 }
             )

@@ -1,0 +1,136 @@
+"""The crash flight recorder: a bounded ring of recent events.
+
+Production systems keep a *black box*: when something dies, the last
+window of activity is dumped for offline forensics. This module is that
+box for the repro. One process-wide :data:`FLIGHT` recorder is attached
+as a sink whenever the tracer activates, so it always holds the most
+recent ``capacity`` events (spans, faults, retries, WAL traffic — the
+full taxonomy of :mod:`repro.obs.events`).
+
+Three failure sites dump it:
+
+* :meth:`repro.distributed.server.ShardServer.crash` — a shard went
+  down, possibly losing volatile state;
+* :func:`repro.distributed.chaos.run_chaos` — the differential oracle
+  diverged (an ``AssertionError`` is about to surface);
+* :func:`repro.check.framework.maybe_audit` — a paranoid-mode audit
+  found a violated invariant at a mutation site.
+
+Dumping is **off by default**: :meth:`FlightRecorder.dump` is a no-op
+(returns ``None``) until a directory is configured, either with
+:meth:`FlightRecorder.configure` or through the ``REPRO_FLIGHT_DIR``
+environment variable. That keeps chaos tests from spraying files while
+letting any run opt into forensics with one env var.
+
+A dump is a single JSON document — ``reason``, ``timestamp``, optional
+``extra`` payload, and the buffered ``events`` — that
+:func:`repro.obs.causal.load_events` reads interchangeably with a JSONL
+trace, so ``trie-hashing trace report`` renders causal trees straight
+out of a forensics file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from typing import Optional
+
+from .events import Event
+
+__all__ = ["FlightRecorder", "FLIGHT", "DEFAULT_CAPACITY"]
+
+#: Events the ring retains; old entries fall off the front.
+DEFAULT_CAPACITY = 4096
+
+#: Environment variable naming the dump directory (empty = disabled).
+ENV_DIR = "REPRO_FLIGHT_DIR"
+
+
+class FlightRecorder:
+    """A tracer sink keeping the last ``capacity`` events for forensics."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._dir: Optional[str] = None
+        self._counter = 0
+        #: Paths of every dump written this process, oldest first.
+        self.dumps: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Sink protocol
+    # ------------------------------------------------------------------
+    def on_event(self, event: Event) -> None:
+        """Buffer one event (constant-time ring append)."""
+        self._events.append(event.to_dict())
+
+    # ------------------------------------------------------------------
+    # Configuration and inspection
+    # ------------------------------------------------------------------
+    def configure(self, directory: Optional[str]) -> None:
+        """Set (or clear, with ``None``) the dump directory.
+
+        An explicit directory wins over ``REPRO_FLIGHT_DIR``.
+        """
+        self._dir = directory
+
+    @property
+    def directory(self) -> Optional[str]:
+        """Where dumps go: explicit configure first, then the env var."""
+        if self._dir:
+            return self._dir
+        env = os.environ.get(ENV_DIR, "").strip()
+        return env or None
+
+    def snapshot(self) -> list[dict]:
+        """The buffered events, oldest first (a copy)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop every buffered event (tests isolate through this)."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+    def dump(self, reason: str, extra: Optional[dict] = None) -> Optional[str]:
+        """Write the ring to a timestamped forensics file.
+
+        Returns the path written, or ``None`` when no directory is
+        configured (the call is then free). The filename carries a UTC
+        timestamp, a monotonic counter (so same-second dumps never
+        collide) and the sanitized reason.
+        """
+        directory = self.directory
+        if not directory:
+            return None
+        os.makedirs(directory, exist_ok=True)
+        self._counter += 1
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in reason)
+        path = os.path.join(
+            directory, f"flight-{stamp}-{self._counter:04d}-{safe}.json"
+        )
+        document: dict = {
+            "kind": "flight_dump",
+            "reason": reason,
+            "timestamp": stamp,
+            "capacity": self.capacity,
+            "events": list(self._events),
+        }
+        if extra is not None:
+            document["extra"] = extra
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True, default=repr)
+            fh.write("\n")
+        self.dumps.append(path)
+        return path
+
+
+#: The process-wide flight recorder the tracer feeds while active.
+FLIGHT = FlightRecorder()

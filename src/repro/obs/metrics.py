@@ -191,7 +191,7 @@ class MetricsRegistry:
 
         ``counters``/``gauges`` map ``name{l="v",...}`` to values;
         ``histograms`` map the same keys to bucket counts, totals and
-        p50/p90/p99 estimates; ``derived`` holds cross-instrument
+        p50/p90/p95/p99 estimates; ``derived`` holds cross-instrument
         ratios (currently the buffer hit rate) that readers would
         otherwise have to recompute.
         """
@@ -215,6 +215,7 @@ class MetricsRegistry:
                     "mean": inst.mean,
                     "p50": inst.percentile(50),
                     "p90": inst.percentile(90),
+                    "p95": inst.percentile(95),
                     "p99": inst.percentile(99),
                 }
         out["derived"] = self._derived()

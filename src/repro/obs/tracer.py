@@ -21,23 +21,73 @@ any span (file construction, ad-hoc scans) accumulate in the tracer's
     sum(root span accesses) + unattributed == DiskStats delta
 
 holds exactly, per device and in total, for any workload.
+
+Trace context
+-------------
+Spans carry causal identity: a ``trace_id`` naming the causal tree the
+span belongs to and a ``span_id``/``parent`` pair giving its place in
+it. A span opened while another span is active joins the ambient trace;
+a span opened with an explicit :class:`TraceContext` — the compact
+``(trace_id, span_id)`` pair the distributed layer carries on every
+``Op``/``Reply`` — parents under the *remote* span instead, which is
+how one client operation reconstructs as a single rooted tree spanning
+client, router and shard hops (see :mod:`repro.obs.causal`).
 """
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from collections.abc import Iterable, Iterator
 from typing import Optional
 
 from .events import Event
 
-__all__ = ["Span", "Tracer", "TRACER", "trace"]
+__all__ = ["Span", "TraceContext", "Tracer", "TRACER", "trace"]
+
+#: Wire form of a trace context: ``(trace_id, span_id)``.
+WireContext = tuple[int, int]
+
+
+class TraceContext:
+    """The compact causal coordinate a message carries: trace + span."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int):
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def to_wire(self) -> WireContext:
+        """The tuple form stamped onto ``Op``/``Reply`` messages."""
+        return (self.trace_id, self.span_id)
+
+    @classmethod
+    def from_wire(cls, wire: Optional[WireContext]) -> Optional["TraceContext"]:
+        """Rebuild a context from its wire tuple (``None`` passes through)."""
+        if wire is None:
+            return None
+        return cls(wire[0], wire[1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceContext(trace={self.trace_id}, span={self.span_id})"
 
 
 class Span:
     """One operation's attribution record."""
 
-    __slots__ = ("id", "op", "parent", "reads", "writes", "seconds", "fields")
+    __slots__ = (
+        "id",
+        "trace",
+        "op",
+        "parent",
+        "reads",
+        "writes",
+        "seconds",
+        "fields",
+        "start_seq",
+        "t0",
+    )
 
     def __init__(
         self,
@@ -45,14 +95,18 @@ class Span:
         op: str,
         parent: Optional[int],
         fields: dict[str, object],
+        trace: int = 0,
     ):
         self.id = span_id
+        self.trace = trace
         self.op = op
         self.parent = parent
         self.reads = 0
         self.writes = 0
         self.seconds = 0.0
         self.fields = fields
+        self.start_seq = 0
+        self.t0 = 0.0
 
     @property
     def accesses(self) -> int:
@@ -61,8 +115,8 @@ class Span:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Span({self.id}, {self.op!r}, parent={self.parent}, "
-            f"r={self.reads}, w={self.writes})"
+            f"Span({self.id}, {self.op!r}, trace={self.trace}, "
+            f"parent={self.parent}, r={self.reads}, w={self.writes})"
         )
 
 
@@ -81,6 +135,7 @@ class Tracer:
         self._stack: list[Span] = []
         self._seq = 0
         self._next_span = 0
+        self._next_trace = 0
         self.unattributed_reads = 0
         self.unattributed_writes = 0
         self.unattributed_seconds = 0.0
@@ -89,20 +144,38 @@ class Tracer:
     # Lifecycle
     # ------------------------------------------------------------------
     def activate(self, sinks: Iterable[object] = ()) -> None:
-        """Attach ``sinks`` and enable the hooks (resets all state)."""
+        """Attach ``sinks`` and enable the hooks (resets all state).
+
+        The process-wide :data:`~repro.obs.flight.FLIGHT` recorder is
+        always attached as a final sink, so the last window of events is
+        available for a forensics dump whatever sinks the caller chose.
+        """
         if self.enabled:
             raise RuntimeError("tracer is already active")
+        from .flight import FLIGHT
+
         self._sinks = list(sinks)
+        if FLIGHT not in self._sinks:
+            self._sinks.append(FLIGHT)
         self._stack = []
         self._seq = 0
         self._next_span = 0
+        self._next_trace = 0
         self.unattributed_reads = 0
         self.unattributed_writes = 0
         self.unattributed_seconds = 0.0
         self.enabled = True
 
     def deactivate(self) -> None:
-        """Emit ``trace_end`` and disable the hooks."""
+        """Emit ``trace_end``, disable the hooks, and close the sinks.
+
+        Every sink exposing ``close()`` is closed here — deterministically,
+        in attach order — so a JSONL trace file is complete (flushed,
+        ``trace_end`` included) the moment ``deactivate()`` returns, even
+        on crash-path tests that never reach a ``with trace(...)`` exit.
+        Sink ``close()`` must be idempotent (the :func:`trace` helper may
+        close a second time).
+        """
         if not self.enabled:
             return
         self.emit(
@@ -112,8 +185,13 @@ class Tracer:
             unattributed_seconds=self.unattributed_seconds,
         )
         self.enabled = False
+        sinks = self._sinks
         self._sinks = []
         self._stack = []
+        for sink in sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
 
     def add_sink(self, sink: object) -> None:
         """Attach one more sink to an active tracer."""
@@ -161,32 +239,69 @@ class Tracer:
     # ------------------------------------------------------------------
     # Spans
     # ------------------------------------------------------------------
+    def current_context(self) -> Optional[TraceContext]:
+        """The innermost active span's causal coordinate (or ``None``).
+
+        This is what a client stamps onto an outgoing ``Op`` and a
+        server onto its ``Reply`` — the propagation primitive of the
+        distributed tracing layer.
+        """
+        if not self._stack:
+            return None
+        top = self._stack[-1]
+        return TraceContext(top.trace, top.id)
+
     @contextmanager
-    def span(self, op: str, **fields: object) -> Iterator[Span]:
-        """Bracket one operation; yields the live :class:`Span`."""
+    def span(
+        self, op: str, ctx: Optional[TraceContext] = None, **fields: object
+    ) -> Iterator[Span]:
+        """Bracket one operation; yields the live :class:`Span`.
+
+        ``ctx`` names a *remote* causal parent (a context carried in
+        from another hop): the span joins that trace under that parent.
+        Without it, the span nests under the ambient stack top, or
+        starts a fresh trace when the stack is empty. Access roll-up
+        always follows the ambient stack — the in-process caller pays
+        for the work it caused regardless of causal labeling.
+        """
         self._next_span += 1
-        parent = self._stack[-1] if self._stack else None
-        span = Span(self._next_span, op, parent.id if parent else None, fields)
+        ambient = self._stack[-1] if self._stack else None
+        if ctx is not None:
+            parent_id: Optional[int] = ctx.span_id
+            trace_id = ctx.trace_id
+        elif ambient is not None:
+            parent_id = ambient.id
+            trace_id = ambient.trace
+        else:
+            self._next_trace += 1
+            parent_id = None
+            trace_id = self._next_trace
+        span = Span(self._next_span, op, parent_id, fields, trace=trace_id)
+        span.start_seq = self._seq + 1
+        span.t0 = time.perf_counter()
         self._stack.append(span)
         try:
             yield span
         finally:
             popped = self._stack.pop()
-            if parent is not None:
+            if ambient is not None:
                 # Roll child totals into the parent so root spans carry
                 # everything their operation caused.
-                parent.reads += popped.reads
-                parent.writes += popped.writes
-                parent.seconds += popped.seconds
+                ambient.reads += popped.reads
+                ambient.writes += popped.writes
+                ambient.seconds += popped.seconds
             self.emit(
                 "span_end",
                 op=popped.op,
                 span_id=popped.id,
                 parent=popped.parent,
+                trace=popped.trace,
+                start_seq=popped.start_seq,
                 reads=popped.reads,
                 writes=popped.writes,
                 accesses=popped.accesses,
                 seconds=popped.seconds,
+                elapsed=time.perf_counter() - popped.t0,
                 **popped.fields,
             )
 

@@ -45,7 +45,10 @@ class KeyGenerator:
         keys = set()
         while len(keys) < count:
             keys.add("".join(rng.choice(self.letters) for _ in range(length)))
-        out = list(keys)
+        # Sort before shuffling: bare list(set) order depends on
+        # PYTHONHASHSEED, which would make the "random order" differ per
+        # process and break cross-run benchmark comparability.
+        out = sorted(keys)
         rng.shuffle(out)
         return out
 
@@ -70,7 +73,7 @@ class KeyGenerator:
         while len(keys) < count:
             n = rng.randint(min_length, max_length)
             keys.add("".join(rng.choice(self.letters) for _ in range(n)))
-        out = list(keys)
+        out = sorted(keys)
         rng.shuffle(out)
         return out
 
@@ -90,7 +93,7 @@ class KeyGenerator:
             keys.add(
                 "".join(rng.choices(self.letters, weights=weights, k=length))
             )
-        out = list(keys)
+        out = sorted(keys)
         rng.shuffle(out)
         return out
 
@@ -117,7 +120,7 @@ class KeyGenerator:
                 prefix
                 + "".join(rng.choice(self.letters) for _ in range(suffix_length))
             )
-        out = list(keys)
+        out = sorted(keys)
         rng.shuffle(out)
         return out
 

@@ -1,0 +1,178 @@
+"""The reproduce harness and the CI bench gate.
+
+Covers the artifact contract of :mod:`repro.bench` — every run leaves
+``manifest.json`` / ``metrics.jsonl`` / ``summary.json`` and refreshes
+the ``BENCH_*.json`` trajectory — and the gate semantics of
+``scripts/bench_gate.py``: structural metrics compare exactly, wall
+rates by ratio, mismatched configs refuse to compare, and an injected
+regression exits nonzero.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.bench import PROFILES, SUITES, reproduce
+from repro.cli import main as cli_main
+
+REPO = Path(__file__).resolve().parent.parent
+GATE = REPO / "scripts" / "bench_gate.py"
+
+#: Tiny counts so the whole suite runs in seconds.
+TINY = {"core": 300, "distributed": 300, "chaos": 120, "throughput": 200}
+
+
+def _reproduce(tmp_path, **kwargs):
+    return reproduce(
+        profile="quick",
+        out_root=tmp_path / "runs",
+        bench_dir=tmp_path / "bench",
+        counts=TINY,
+        echo=False,
+        **kwargs,
+    )
+
+
+def _gate(baseline, fresh, *extra):
+    return subprocess.run(
+        [sys.executable, str(GATE), "--baseline-dir", str(baseline),
+         "--fresh-dir", str(fresh), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+class TestReproduce:
+    def test_run_dir_artifacts(self, tmp_path):
+        outcome = _reproduce(tmp_path)
+        run_dir = Path(outcome["run_dir"])
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["profile"] == "quick"
+        assert manifest["counts"] == TINY
+        assert set(manifest["seeds"]) == set(SUITES)
+        lines = [
+            json.loads(line)
+            for line in (run_dir / "metrics.jsonl").read_text().splitlines()
+        ]
+        assert [l["suite"] for l in lines] == list(SUITES)
+        assert all("wall_s" in l and "results" in l for l in lines)
+        summary = json.loads((run_dir / "summary.json").read_text())
+        assert set(summary["results"]) == set(SUITES)
+
+    def test_bench_files_regenerated_with_config(self, tmp_path):
+        outcome = _reproduce(tmp_path)
+        names = {Path(p).name for p in outcome["bench_files"]}
+        assert names == {
+            "BENCH_core.json", "BENCH_distributed.json", "BENCH_chaos.json"
+        }
+        chaos = json.loads((tmp_path / "bench" / "BENCH_chaos.json").read_text())
+        assert set(chaos["config"]) == {"chaos", "throughput"}
+        assert chaos["config"]["chaos"]["count"] == TINY["chaos"]
+        assert {"differential", "throughput"} <= set(chaos["results"])
+
+    def test_suite_subset_writes_partial_trajectory(self, tmp_path):
+        outcome = _reproduce(tmp_path, suites=["core"])
+        names = {Path(p).name for p in outcome["bench_files"]}
+        assert names == {"BENCH_core.json"}
+
+    def test_unknown_profile_and_suite_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            reproduce(profile="nope", out_root=tmp_path)
+        with pytest.raises(ValueError):
+            reproduce(suites=["nope"], out_root=tmp_path)
+
+    def test_profiles_cover_all_suites(self):
+        for sizes in PROFILES.values():
+            assert set(sizes) == set(SUITES)
+
+    def test_cli_reproduce_quick(self, tmp_path, capsys):
+        code = cli_main([
+            "reproduce", "--quick", "--suite", "core",
+            "--out-root", str(tmp_path / "runs"),
+            "--bench-dir", str(tmp_path / "bench"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run dir:" in out and "BENCH_core.json" in out
+        # CLI default counts are the quick profile's, not the tiny ones.
+        doc = json.loads((tmp_path / "bench" / "BENCH_core.json").read_text())
+        assert doc["config"]["core"]["count"] == PROFILES["quick"]["core"]
+
+
+class TestBenchGate:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        baseline = tmp_path_factory.mktemp("baseline")
+        fresh = tmp_path_factory.mktemp("fresh")
+        _reproduce(baseline)
+        _reproduce(fresh)
+        return baseline / "bench", fresh / "bench"
+
+    def test_identical_configs_pass(self, runs):
+        baseline, fresh = runs
+        result = _gate(baseline, fresh)
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert result.stdout.count("OK") == 3
+
+    def test_injected_structural_regression_fails(self, runs, tmp_path):
+        baseline, fresh = runs
+        broken = tmp_path / "broken"
+        broken.mkdir()
+        for path in fresh.glob("BENCH_*.json"):
+            (broken / path.name).write_text(path.read_text())
+        doc = json.loads((broken / "BENCH_core.json").read_text())
+        doc["results"]["buckets"] += 1
+        (broken / "BENCH_core.json").write_text(json.dumps(doc))
+        result = _gate(baseline, broken)
+        assert result.returncode == 1
+        assert "results.buckets" in result.stdout
+
+    def test_injected_perf_regression_fails_and_skip_perf_ignores(
+        self, runs, tmp_path
+    ):
+        baseline, fresh = runs
+        slow = tmp_path / "slow"
+        slow.mkdir()
+        for path in fresh.glob("BENCH_*.json"):
+            (slow / path.name).write_text(path.read_text())
+        doc = json.loads((slow / "BENCH_core.json").read_text())
+        doc["results"]["insert_ops_per_s"] = 1
+        (slow / "BENCH_core.json").write_text(json.dumps(doc))
+        assert _gate(baseline, slow).returncode == 1
+        assert _gate(baseline, slow, "--skip-perf").returncode == 0
+
+    def test_mismatched_config_refuses_to_compare(self, runs, tmp_path):
+        baseline, fresh = runs
+        other = tmp_path / "other"
+        other.mkdir()
+        for path in fresh.glob("BENCH_*.json"):
+            (other / path.name).write_text(path.read_text())
+        doc = json.loads((other / "BENCH_core.json").read_text())
+        doc["config"]["core"]["count"] += 1
+        (other / "BENCH_core.json").write_text(json.dumps(doc))
+        result = _gate(baseline, other)
+        assert result.returncode == 1
+        assert "not comparable" in result.stdout
+
+    def test_missing_fresh_file_fails(self, runs, tmp_path):
+        baseline, _ = runs
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        result = _gate(baseline, empty)
+        assert result.returncode == 1
+        assert "produced no" in result.stdout
+
+
+class TestCommittedTrajectory:
+    def test_committed_bench_files_exist_and_are_quick_profile(self):
+        # The repo root must carry the baseline trajectory (ISSUE 6
+        # satellite: "trajectory is currently empty").
+        for name in ("BENCH_core.json", "BENCH_distributed.json",
+                     "BENCH_chaos.json"):
+            doc = json.loads((REPO / name).read_text())
+            assert doc["results"], name
+            for config in doc["config"].values():
+                assert config["profile"] == "quick"

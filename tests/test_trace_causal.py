@@ -1,0 +1,342 @@
+"""Causal tracing: propagation under faults, flight recorder, report CLI.
+
+The tentpole invariant (ISSUE 6): a chaos run at a 5% fault rate must
+reconstruct, from its JSONL trace alone, into exactly one well-formed
+rooted causal span tree per request id — client at the root, every
+server-side delivery (including redeliveries the fabric duplicated and
+forwards across shards) a descendant, and the faults/retries/dedup hits
+attached as annotated child events. The flight recorder's dumps must
+round-trip through the same reconstruction and the report CLI.
+"""
+
+import json
+import string
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.distributed.chaos import run_chaos
+from repro.distributed.coordinator import Cluster, ShardPolicy
+from repro.distributed.faults import FaultPlan, RetryPolicy
+from repro.obs import (
+    FLIGHT,
+    TRACER,
+    CausalError,
+    JsonlTraceWriter,
+    MetricsRegistry,
+    TraceContext,
+    build_traces,
+    find_rid,
+    hop_rows,
+    load_events,
+    prometheus_text,
+    render_tree,
+    rid_index,
+    summary_rows,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    # Tests here drive the global tracer directly; never leak state.
+    yield
+    if TRACER.enabled:
+        TRACER.deactivate()
+    FLIGHT.clear()
+    FLIGHT.configure(None)
+
+
+def _events(path):
+    return load_events(str(path))
+
+
+def _key(i):
+    # Letter-only keys: the core alphabet rejects digits.
+    return "key" + string.ascii_lowercase[i // 26] + string.ascii_lowercase[i % 26]
+
+
+class TestTraceContext:
+    def test_wire_round_trip(self):
+        ctx = TraceContext(3, 17)
+        assert TraceContext.from_wire(ctx.to_wire()).span_id == 17
+        assert TraceContext.from_wire(None) is None
+
+    def test_explicit_ctx_parents_under_remote_span(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        TRACER.activate([JsonlTraceWriter(str(path))])
+        with TRACER.span("client_op") as outer:
+            ctx = TRACER.current_context()
+            assert ctx.span_id == outer.id
+        with TRACER.span("server_op", ctx=ctx):
+            pass
+        TRACER.deactivate()
+        traces = build_traces(_events(path))
+        assert len(traces) == 1
+        (trace,) = traces.values()
+        root = trace.root
+        assert root.op == "client_op"
+        assert [c.op for c in root.children] == ["server_op"]
+
+    def test_spans_without_ambient_get_fresh_traces(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        TRACER.activate([JsonlTraceWriter(str(path))])
+        with TRACER.span("a"):
+            pass
+        with TRACER.span("b"):
+            pass
+        TRACER.deactivate()
+        traces = build_traces(_events(path))
+        assert sorted(t.root.op for t in traces.values()) == ["a", "b"]
+
+
+class TestChaosCausalTrees:
+    # One run shared by the assertions below: 5% of everything, crashes
+    # included — the acceptance-criteria configuration.
+    @pytest.fixture(scope="class")
+    def chaos_trace(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("chaos") / "trace.jsonl"
+        report = run_chaos(
+            ops=800,
+            seed=5,
+            drop=0.05,
+            duplicate=0.05,
+            delay=0.05,
+            trace_path=str(path),
+        )
+        assert report.converged
+        return path
+
+    def test_every_rid_reconstructs_to_one_rooted_tree(self, chaos_trace):
+        traces = build_traces(_events(chaos_trace))
+        index = rid_index(traces)  # raises CausalError on any violation
+        assert len(index) > 100
+        for rid, root in index.items():
+            assert root.parent is None
+            assert root.op.startswith("client_")
+            # Every span of the rid is reachable from the root and in
+            # the same trace (rid_index verified it; spot-check shape).
+            members = [s for s in root.walk() if s.rid == rid]
+            assert members[0] is root
+            for span in members[1:]:
+                assert span.op.startswith("shard_")
+
+    def test_faults_and_retries_annotate_the_trees(self, chaos_trace):
+        traces = build_traces(_events(chaos_trace))
+        index = rid_index(traces)
+
+        def events_in(root, name):
+            return [
+                e
+                for s in root.walk()
+                for e in s.events
+                if e.get("event") == name
+            ]
+
+        with_fault = [r for r in index.values() if events_in(r, "net_fault")]
+        with_retry = [r for r in index.values() if events_in(r, "op_retry")]
+        with_dedup = [r for r in index.values() if events_in(r, "dedup_hit")]
+        assert with_fault and with_retry and with_dedup
+        # A dedup hit is always evidence inside a server-side span.
+        for root in with_dedup:
+            for span in root.walk():
+                for event in span.events:
+                    if event.get("event") == "dedup_hit":
+                        assert span.op.startswith("shard_")
+                        assert event["rid"] == span.rid
+
+    def test_duplicated_delivery_yields_sibling_server_spans(self):
+        # Force heavy duplication with no drops: duplicated deliveries
+        # must appear as extra spans under the same client root, never
+        # as a second root.
+        cluster = Cluster(
+            shards=3,
+            durable=True,
+            shard_policy=ShardPolicy(shard_capacity=64),
+            faults=FaultPlan(seed=9, duplicate=0.5),
+            retry=RetryPolicy(max_retries=8),
+        )
+        client = cluster.client()
+        events = []
+
+        class Collect:
+            def on_event(self, event):
+                events.append(event.to_dict())
+
+        TRACER.activate([Collect()])
+        for i in range(60):
+            client.insert(_key(i), str(i))
+        TRACER.deactivate()
+        index = rid_index(build_traces(events))
+        assert len(index) == 60
+        multi = [
+            root
+            for root in index.values()
+            if sum(s.op.startswith("shard_") for s in root.walk()) > 1
+        ]
+        assert multi, "50% duplication produced no redelivered op"
+
+    def test_forward_chain_renders_as_nested_spans(self):
+        # A cold client misaddresses: the owning shard's span must nest
+        # under the forwarding shard's span (a chain, not siblings).
+        cluster = Cluster(shards=4, shard_policy=ShardPolicy(shard_capacity=64))
+        warm = cluster.client(warm=True)
+        for i in range(40):
+            warm.insert(_key(i), str(i))
+        cold = cluster.client()
+        events = []
+
+        class Collect:
+            def on_event(self, event):
+                events.append(event.to_dict())
+
+        TRACER.activate([Collect()])
+        cold.get(_key(37))
+        TRACER.deactivate()
+        traces = build_traces(events)
+        roots = [t.root for t in traces.values() if t.root.op == "client_get"]
+        assert len(roots) == 1
+        root = roots[0]
+        shard_ops = [s for s in root.walk() if s.op == "shard_get"]
+        assert len(shard_ops) >= 2  # forwarding hop + owner
+        # Chain shape: each shard span has the previous as parent.
+        assert shard_ops[0].parent == root.span_id
+        assert shard_ops[1].parent == shard_ops[0].span_id
+        text = render_tree(root)
+        assert "forward" in text and "shard_get" in text
+
+    def test_rid_index_rejects_two_roots(self):
+        records = [
+            {"seq": 1, "event": "span_end", "op": "client_insert",
+             "span_id": 1, "parent": None, "trace": 1, "start_seq": 1,
+             "rid": "c1-1"},
+            {"seq": 2, "event": "span_end", "op": "client_insert",
+             "span_id": 2, "parent": None, "trace": 1, "start_seq": 2,
+             "rid": "c1-1"},
+        ]
+        with pytest.raises(CausalError):
+            rid_index(build_traces(records))
+
+    def test_hop_rows_cover_every_span(self, chaos_trace):
+        traces = build_traces(_events(chaos_trace))
+        index = rid_index(traces)
+        rid, root = sorted(index.items())[0]
+        rows = hop_rows(root)
+        assert len(rows) == len(root.walk())
+        assert rows[0]["hop"] == root.op
+
+
+class TestFlightRecorder:
+    def test_ring_is_bounded_and_dump_round_trips(self, tmp_path):
+        FLIGHT.configure(str(tmp_path))
+        TRACER.activate([])
+        for i in range(10):
+            with TRACER.span("op", i=i):
+                pass
+        path = FLIGHT.dump("unit-test", extra={"note": 1})
+        TRACER.deactivate()
+        assert path is not None
+        document = json.loads(open(path).read())
+        assert document["kind"] == "flight_dump"
+        assert document["reason"] == "unit-test"
+        assert document["extra"] == {"note": 1}
+        # The dump reconstructs exactly like a JSONL trace.
+        traces = build_traces(load_events(path))
+        assert len(traces) == 10
+
+    def test_dump_is_noop_unconfigured(self):
+        TRACER.activate([])
+        with TRACER.span("op"):
+            pass
+        assert FLIGHT.dump("nobody-home") is None
+        TRACER.deactivate()
+
+    def test_server_crash_dumps_flight(self, tmp_path):
+        FLIGHT.configure(str(tmp_path))
+        cluster = Cluster(shards=2, durable=True)
+        client = cluster.client(warm=True)
+        TRACER.activate([])
+        client.insert("abc", "one")
+        server = cluster.coordinator.servers[0]
+        server.crash()
+        TRACER.deactivate()
+        server.restart()
+        dumps = list(tmp_path.glob("flight-*-server-crash-shard-0.json"))
+        assert len(dumps) == 1
+        events = load_events(str(dumps[0]))
+        assert any(e.get("event") == "server_crash" for e in events)
+
+    def test_report_cli_reads_flight_dump(self, tmp_path, capsys):
+        FLIGHT.configure(str(tmp_path))
+        cluster = Cluster(shards=2, shard_policy=ShardPolicy(shard_capacity=64))
+        client = cluster.client(warm=True)
+        TRACER.activate([])
+        client.insert("hello", "x")
+        path = FLIGHT.dump("cli-round-trip")
+        TRACER.deactivate()
+        rid = f"c{client.client_id}-1"
+        assert cli_main(["trace", "list", "--trace", path]) == 0
+        assert rid in capsys.readouterr().out
+        assert cli_main(["trace", "report", rid, "--trace", path]) == 0
+        out = capsys.readouterr().out
+        assert "client_insert" in out and "per-hop latency" in out
+
+    def test_report_cli_unknown_rid_fails(self, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        TRACER.activate([JsonlTraceWriter(str(path))])
+        with TRACER.span("lonely"):
+            pass
+        TRACER.deactivate()
+        assert cli_main(["trace", "report", "c9-9", "--trace", str(path)]) == 1
+        assert "no trace for rid" in capsys.readouterr().err
+
+
+class TestDeterministicClose:
+    def test_deactivate_closes_jsonl_writer(self, tmp_path):
+        # Regression (ISSUE 6 satellite): the trace file must be
+        # complete the moment deactivate() returns — crash-path tests
+        # read it without ever exiting a `with trace(...)` block.
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(str(path))
+        TRACER.activate([writer])
+        with TRACER.span("op"):
+            pass
+        TRACER.deactivate()
+        assert writer.closed
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[-1]["event"] == "trace_end"
+        writer.close()  # idempotent: second close is a no-op
+        assert writer.closed
+
+    def test_trace_context_manager_still_closes_once(self, tmp_path):
+        from repro.obs import trace
+
+        path = tmp_path / "t.jsonl"
+        writer = JsonlTraceWriter(str(path))
+        with trace(sinks=[writer]):
+            with TRACER.span("op"):
+                pass
+        assert writer.closed
+
+
+class TestQuantileExports:
+    def _registry(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_latency", bounds=(1, 2, 4, 8))
+        for value in (1, 1, 2, 3, 5, 7, 7, 7):
+            hist.observe(value)
+        return registry
+
+    def test_prometheus_text_has_quantile_lines(self):
+        text = prometheus_text(self._registry())
+        assert 'repro_latency{quantile="0.5"}' in text
+        assert 'repro_latency{quantile="0.95"}' in text
+        assert 'repro_latency{quantile="0.99"}' in text
+
+    def test_summary_rows_and_snapshot_carry_p95(self):
+        registry = self._registry()
+        (row,) = [
+            r for r in summary_rows(registry) if r["metric"] == "repro_latency"
+        ]
+        assert row["p50"] <= row["p95"] <= row["p99"]
+        snap = registry.snapshot()["histograms"]["repro_latency"]
+        assert snap["p95"] == row["p95"]
