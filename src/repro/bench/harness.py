@@ -14,7 +14,8 @@ One :func:`reproduce` call runs a *profile* of the standard suites
   - ``summary.json`` — every suite's results in one document;
 
 * the refreshed **trajectory files** ``BENCH_core.json`` /
-  ``BENCH_distributed.json`` / ``BENCH_chaos.json`` in ``bench_dir``
+  ``BENCH_distributed.json`` / ``BENCH_chaos.json`` /
+  ``BENCH_compact.json`` in ``bench_dir``
   (the repo root, when run from there) — the documents committed to git
   that ``scripts/bench_gate.py`` diffs a fresh run against in CI. Each
   carries a ``config`` block naming the profile/count/seed it was
@@ -41,8 +42,20 @@ __all__ = ["PROFILES", "reproduce", "write_bench_files"]
 #: Per-suite workload sizes by profile. ``quick`` is what CI runs and
 #: what the committed ``BENCH_*.json`` baselines are generated at.
 PROFILES: dict[str, dict[str, int]] = {
-    "quick": {"core": 2000, "distributed": 1500, "chaos": 600, "throughput": 2000},
-    "full": {"core": 4000, "distributed": 4000, "chaos": 2000, "throughput": 5000},
+    "quick": {
+        "core": 2000,
+        "distributed": 1500,
+        "chaos": 600,
+        "throughput": 2000,
+        "compact": 6000,
+    },
+    "full": {
+        "core": 4000,
+        "distributed": 4000,
+        "chaos": 2000,
+        "throughput": 5000,
+        "compact": 12000,
+    },
 }
 
 #: Which suites feed which committed trajectory file.
@@ -50,6 +63,7 @@ BENCH_FILES: dict[str, tuple[str, ...]] = {
     "BENCH_core.json": ("core",),
     "BENCH_distributed.json": ("distributed",),
     "BENCH_chaos.json": ("chaos", "throughput"),
+    "BENCH_compact.json": ("compact",),
 }
 
 
@@ -113,6 +127,7 @@ def reproduce(
     suites: Optional[list[str]] = None,
     counts: Optional[dict[str, int]] = None,
     seed: Optional[int] = None,
+    trie_backend: str = "cells",
     echo: bool = True,
 ) -> dict:
     """Run a benchmark profile into a fresh artifact directory.
@@ -135,6 +150,12 @@ def reproduce(
         Override every suite's default seed (default: each suite keeps
         its own historical seed, which is what the committed baselines
         use).
+    trie_backend:
+        Trie representation the suites build their files with
+        (``"cells"`` or ``"compact"``). Recorded in every suite's
+        ``config`` block, so a fresh run on one backend can never be
+        gated against a baseline committed on the other. The
+        ``compact`` suite itself always measures both.
     echo:
         Print progress and artifact paths as the run advances.
 
@@ -182,13 +203,18 @@ def reproduce(
             if echo:
                 print(f"  {name} (count={sizes[name]}, seed={seeds[name]}) ...")
             start = time.perf_counter()
-            result = runner(count=sizes[name], seed=seeds[name])
+            result = runner(
+                count=sizes[name],
+                seed=seeds[name],
+                trie_backend=trie_backend,
+            )
             wall = time.perf_counter() - start
             results[name] = result
             configs[name] = {
                 "profile": profile,
                 "count": sizes[name],
                 "seed": seeds[name],
+                "trie_backend": trie_backend,
             }
             json.dump(
                 {

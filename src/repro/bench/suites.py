@@ -42,6 +42,7 @@ __all__ = [
     "distributed_suite",
     "chaos_suite",
     "throughput_suite",
+    "compact_suite",
 ]
 
 #: Fault-rate sweep shared by the chaos and throughput suites.
@@ -57,13 +58,15 @@ def _timed(fn):
 # ----------------------------------------------------------------------
 # core: single-node TH
 # ----------------------------------------------------------------------
-def core_suite(count: int = 4000, seed: int = 7) -> dict:
+def core_suite(
+    count: int = 4000, seed: int = 7, trie_backend: str = "cells"
+) -> dict:
     """Single-node TH: insert/search/scan/cursor/bulk-load rates."""
     keys = KeyGenerator(seed).uniform(count)
     ordered = sorted(keys)
 
     def build():
-        f = THFile(bucket_capacity=20)
+        f = THFile(bucket_capacity=20, trie_backend=trie_backend)
         for k in keys:
             f.insert(k)
         return f
@@ -85,7 +88,11 @@ def core_suite(count: int = 4000, seed: int = 7) -> dict:
 
     walked, cursor_s = _timed(cursor_walk)
     bulk, bulk_s = _timed(
-        lambda: bulk_load_th(((k, None) for k in ordered), bucket_capacity=20)
+        lambda: bulk_load_th(
+            ((k, None) for k in ordered),
+            bucket_capacity=20,
+            trie_backend=trie_backend,
+        )
     )
     return {
         "keys": count,
@@ -106,7 +113,9 @@ def core_suite(count: int = 4000, seed: int = 7) -> dict:
 # ----------------------------------------------------------------------
 # distributed: the TH* shard layer
 # ----------------------------------------------------------------------
-def distributed_suite(count: int = 4000, seed: int = 13) -> dict:
+def distributed_suite(
+    count: int = 4000, seed: int = 13, trie_backend: str = "cells"
+) -> dict:
     """TH* layer: routed throughput, scale-out, and image convergence."""
     registry = MetricsRegistry()
     already_tracing = TRACER.enabled
@@ -118,6 +127,7 @@ def distributed_suite(count: int = 4000, seed: int = 13) -> dict:
             bucket_capacity=20,
             shard_policy=ShardPolicy(shard_capacity=max(64, count // 12)),
             registry=registry,
+            trie_backend=trie_backend,
         )
         writer = cluster.client(warm=True)
         keys = KeyGenerator(seed).uniform(count)
@@ -160,7 +170,9 @@ def distributed_suite(count: int = 4000, seed: int = 13) -> dict:
 # ----------------------------------------------------------------------
 # chaos: differential convergence under faults
 # ----------------------------------------------------------------------
-def chaos_rate_run(count: int, rate: float, seed: int = 0) -> dict:
+def chaos_rate_run(
+    count: int, rate: float, seed: int = 0, trie_backend: str = "cells"
+) -> dict:
     """One fault-rate point: differential run + throughput numbers."""
     start = time.perf_counter()
     report = run_chaos(
@@ -173,6 +185,7 @@ def chaos_rate_run(count: int, rate: float, seed: int = 0) -> dict:
         delay=rate,
         crash_cycles=3 if rate else 0,
         shard_capacity=max(128, count // 8),
+        trie_backend=trie_backend,
     )
     wall = time.perf_counter() - start
     return {
@@ -194,7 +207,9 @@ def chaos_rate_run(count: int, rate: float, seed: int = 0) -> dict:
     }
 
 
-def chaos_suite(count: int = 2000, seed: int = 0) -> dict:
+def chaos_suite(
+    count: int = 2000, seed: int = 0, trie_backend: str = "cells"
+) -> dict:
     """Differential chaos sweep across :data:`FAULT_RATES`.
 
     Every rate re-proves byte-identical convergence against the
@@ -203,7 +218,8 @@ def chaos_suite(count: int = 2000, seed: int = 0) -> dict:
     """
     return {
         "differential": [
-            chaos_rate_run(count, rate, seed) for rate in FAULT_RATES
+            chaos_rate_run(count, rate, seed, trie_backend=trie_backend)
+            for rate in FAULT_RATES
         ]
     }
 
@@ -224,7 +240,9 @@ def _latency_stats(registry) -> dict:
     return {}
 
 
-def throughput_rate_run(count: int, rate: float, seed: int = 0) -> dict:
+def throughput_rate_run(
+    count: int, rate: float, seed: int = 0, trie_backend: str = "cells"
+) -> dict:
     """Pure insert/get throughput under faults (no oracle mirroring).
 
     The differential run spends most of its time in the oracle and the
@@ -238,6 +256,7 @@ def throughput_rate_run(count: int, rate: float, seed: int = 0) -> dict:
         shard_policy=ShardPolicy(shard_capacity=max(128, count // 8)),
         faults=plan,
         retry=RetryPolicy(max_retries=12),
+        trie_backend=trie_backend,
     )
     client = cluster.client()
     rng = random.Random(seed)
@@ -269,12 +288,115 @@ def throughput_rate_run(count: int, rate: float, seed: int = 0) -> dict:
     return out
 
 
-def throughput_suite(count: int = 2000, seed: int = 0) -> dict:
+def throughput_suite(
+    count: int = 2000, seed: int = 0, trie_backend: str = "cells"
+) -> dict:
     """Raw distributed throughput sweep across :data:`FAULT_RATES`."""
     return {
         "throughput": [
-            throughput_rate_run(count, rate, seed) for rate in FAULT_RATES
+            throughput_rate_run(count, rate, seed, trie_backend=trie_backend)
+            for rate in FAULT_RATES
         ]
+    }
+
+
+# ----------------------------------------------------------------------
+# compact: cells vs compact backends, per-key vs batched
+# ----------------------------------------------------------------------
+def compact_suite(
+    count: int = 6000, seed: int = 7, trie_backend: str = "cells"
+) -> dict:
+    """The hot-path suite: both trie backends, per-key and batched.
+
+    The workload is composite clustered keys (four long shared prefixes
+    plus a short random suffix), where the descent dominates per-op cost
+    — the regime the flat column layout exists for. Both backends build
+    the same file (``backends_identical`` asserts byte-identical
+    serialisation); rates are measured per backend, then batched
+    ``get_many`` / ``put_many`` on the compact file.
+
+    The ``*_speedup_x`` keys are wall-clock ratios against the cells
+    per-key baseline (machine-dependent, ratio-gated like ``_per_s``).
+    Batched put is measured as upserts into the built file — the regime
+    where sorting once and visiting each bucket once pays off; a build
+    from scratch is split-dominated, so it is kept only as the
+    structural ``batch_built_records`` check. ``trie_backend`` is
+    accepted for harness uniformity but ignored: this suite always
+    measures both backends.
+    """
+    del trie_backend  # always comparative; see docstring
+    prefixes = ["customerorderlineitem" + c for c in "abcd"]
+    keys = KeyGenerator(seed).clustered(
+        count, prefixes=prefixes, suffix_length=6
+    )
+    chunk = 1500
+
+    def best(fn, reps: int = 3):
+        # Best-of-N, like timeit: the minimum is the least noisy
+        # estimate of the true cost on a shared machine, and every
+        # timed body here is idempotent (rebuild or upsert), so
+        # repetition is safe.
+        out, best_s = None, float("inf")
+        for _ in range(reps):
+            out, elapsed = _timed(fn)
+            best_s = min(best_s, elapsed)
+        return out, best_s
+
+    def build(backend: str) -> THFile:
+        f = THFile(bucket_capacity=50, trie_backend=backend)
+        for k in keys:
+            f.insert(k)
+        return f
+
+    cells, cells_insert_s = best(lambda: build("cells"))
+    compact, compact_insert_s = best(lambda: build("compact"))
+    probes = keys
+    _, cells_get_s = best(lambda: [cells.get(k) for k in probes])
+    _, compact_get_s = best(lambda: [compact.get(k) for k in probes])
+
+    def batched_get() -> int:
+        found = 0
+        for i in range(0, len(probes), chunk):
+            found += len(compact.get_many(probes[i : i + chunk]))
+        return found
+
+    found, batch_get_s = best(batched_get)
+
+    _, cells_put_s = best(lambda: [cells.put(k, "v") for k in keys])
+
+    def batched_put() -> None:
+        for i in range(0, count, chunk):
+            compact.put_many([(k, "v") for k in keys[i : i + chunk]])
+
+    _, batch_put_s = best(batched_put)
+
+    batch_built = THFile(bucket_capacity=50, trie_backend="compact")
+    for i in range(0, count, chunk):
+        batch_built.put_many([(k, None) for k in keys[i : i + chunk]])
+
+    from ..storage.serializer import serialize_trie
+
+    return {
+        "keys": count,
+        "cells_insert_ops_per_s": round(count / cells_insert_s),
+        "compact_insert_ops_per_s": round(count / compact_insert_s),
+        "cells_get_ops_per_s": round(len(probes) / cells_get_s),
+        "compact_get_ops_per_s": round(len(probes) / compact_get_s),
+        "batch_get_ops_per_s": round(len(probes) / batch_get_s),
+        "cells_put_ops_per_s": round(count / cells_put_s),
+        "batch_put_ops_per_s": round(count / batch_put_s),
+        "insert_speedup_x": round(cells_insert_s / compact_insert_s, 2),
+        "get_speedup_x": round(cells_get_s / compact_get_s, 2),
+        "batch_get_speedup_x": round(cells_get_s / batch_get_s, 2),
+        "batch_put_speedup_x": round(cells_put_s / batch_put_s, 2),
+        "found": found,
+        "records": len(compact),
+        "buckets": compact.bucket_count(),
+        "trie_cells": compact.trie_size(),
+        "load_factor": round(compact.load_factor(), 4),
+        "backends_identical": serialize_trie(cells.trie)
+        == serialize_trie(compact.trie),
+        "batch_built_records": len(batch_built),
     }
 
 
@@ -284,4 +406,5 @@ SUITES: dict[str, tuple] = {
     "distributed": (distributed_suite, 13, "TH* routing and convergence"),
     "chaos": (chaos_suite, 0, "differential convergence under faults"),
     "throughput": (throughput_suite, 0, "distributed path throughput"),
+    "compact": (compact_suite, 7, "cells vs compact backends, per-key vs batched"),
 }

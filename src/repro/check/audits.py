@@ -59,6 +59,33 @@ def audit_trie(obj, level: AuditLevel) -> Iterator[Violation]:
         yield from _emit(_checked(obj.check, "AUD-TRIE-STRUCT", "Trie"))
 
 
+@register_audit("repro.core.compact.CompactTrie")
+def audit_compact_trie(obj, level: AuditLevel) -> Iterator[Violation]:
+    # Most-specific wins in the registry, so this audit *replaces* the
+    # plain Trie audit for compact-backed files — rerun it, then add
+    # the column-layout invariants the flat representation introduces.
+    yield from audit_trie(obj, level)
+    if level >= AuditLevel.FULL:
+        yield from _emit(
+            _checked(obj.check_columns, "AUD-COMPACT-COLUMNS", "CompactTrie")
+        )
+    if level >= AuditLevel.PARANOID:
+        # Redundant cross-check: the raw column walk must agree with the
+        # reference Algorithm A1 descent at every boundary of the
+        # realised model (the points where a drifted column would bite).
+        model = obj.to_model()
+        for probe in [""] + list(model.boundaries):
+            if obj.lookup(probe) != obj.search(probe).ptr:
+                yield Violation(
+                    "AUD-COMPACT-LOOKUP",
+                    Severity.CRITICAL,
+                    f"column walk maps {probe!r} to {obj.lookup(probe)} "
+                    f"but the A1 descent says {obj.search(probe).ptr}",
+                    "CompactTrie",
+                )
+                break
+
+
 @register_audit("repro.core.boundaries.BoundaryModel")
 def audit_boundary_model(obj, level: AuditLevel) -> Iterator[Violation]:
     if len(obj.children) != len(obj.boundaries) + 1:

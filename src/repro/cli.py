@@ -207,8 +207,15 @@ def main(argv: list[str] = None) -> int:
         "--suite",
         action="append",
         dest="suites",
-        choices=("core", "distributed", "chaos", "throughput"),
+        choices=("core", "distributed", "chaos", "throughput", "compact"),
         help="run only this suite (repeatable; default: all)",
+    )
+    rep.add_argument(
+        "--trie-backend",
+        choices=("cells", "compact"),
+        default="cells",
+        help="trie representation the suites build with (recorded in "
+        "every BENCH config block; the compact suite measures both)",
     )
     rep.add_argument(
         "--out-root",
@@ -283,6 +290,7 @@ def main(argv: list[str] = None) -> int:
                 bench_dir=None if args.bench_dir == "-" else args.bench_dir,
                 suites=args.suites,
                 seed=args.seed,
+                trie_backend=args.trie_backend,
             )
         except OSError as exc:
             print(f"error: cannot write artifacts: {exc}", file=sys.stderr)

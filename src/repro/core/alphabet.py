@@ -127,11 +127,15 @@ class Alphabet:
         canon = key.rstrip(self._min)
         if not canon:
             raise InvalidKeyError("key is empty (or all padding digits)")
-        for ch in canon:
-            if ch not in self._index:
-                raise InvalidKeyError(
-                    f"key {key!r} contains digit {ch!r} outside the alphabet"
-                )
+        # ``str.strip`` removes alphabet digits from both ends at C speed;
+        # an out-of-alphabet digit is never removable, so a non-empty
+        # remainder pinpoints an invalid key (the loop just names it).
+        if canon.strip(self._digits):
+            for ch in canon:
+                if ch not in self._index:
+                    raise InvalidKeyError(
+                        f"key {key!r} contains digit {ch!r} outside the alphabet"
+                    )
         return canon
 
     def digit_at(self, key: str, position: int) -> str:

@@ -147,6 +147,33 @@ class BoundaryModel:
         j = gap_index(self.boundaries, key, self.alphabet)
         return j, self.children[j]
 
+    def locate_sorted(self, keys: Sequence[str]) -> list[int]:
+        """Gap indices for *ascending canonical* keys in one merged pass.
+
+        The batched point-op APIs sort their keys once and then walk the
+        boundary list and the key list together, so a whole batch costs
+        one linear merge instead of a binary search per key. Correctness
+        rests on two facts: a key's digit-rank tuple ``K`` (without the
+        pad sentinel) satisfies ``prefix_le(key, s)`` iff
+        ``K < boundary_sort_key(s)`` — the sentinel breaks every tie the
+        right way — so the gap of ``key`` is the count of boundary sort
+        keys strictly below ``K``; and native string order on canonical
+        keys agrees with rank-tuple order (the alphabet's ``ord``
+        contract), so ascending keys yield non-decreasing gaps and the
+        merge pointer never moves backwards.
+        """
+        out: list[int] = []
+        j = 0
+        sort_keys = self._sort_keys
+        n = len(sort_keys)
+        rank = self.alphabet.index
+        for key in keys:
+            k = tuple(map(rank, key))
+            while j < n and sort_keys[j] < k:
+                j += 1
+            out.append(j)
+        return out
+
     def lookup(self, key: str) -> Optional[int]:
         """The bucket address a key is mapped to (``None`` on a nil leaf)."""
         return self.locate(key)[1]

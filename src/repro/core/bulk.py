@@ -27,7 +27,6 @@ from .errors import CapacityError
 from .file import THFile
 from .keys import split_string
 from .policies import SplitPolicy
-from .trie import Trie
 
 __all__ = ["bulk_load_th"]
 
@@ -38,12 +37,15 @@ def bulk_load_th(
     fill: float = 1.0,
     policy: Optional[SplitPolicy] = None,
     alphabet: Alphabet = DEFAULT_ALPHABET,
+    trie_backend: str = "cells",
 ) -> THFile:
     """Build a THCL file bottom-up from sorted, unique records.
 
     ``fill`` sets the per-bucket record count (1.0 = the compact file).
     The returned file carries a THCL policy (``thcl_guaranteed_half`` by
-    default) so subsequent updates behave sensibly.
+    default) so subsequent updates behave sensibly. ``trie_backend``
+    picks the in-memory trie representation exactly as on
+    :class:`~repro.core.file.THFile`.
     """
     if not 0.0 < fill <= 1.0:
         raise CapacityError("fill must be in (0, 1]")
@@ -59,7 +61,13 @@ def bulk_load_th(
     if policy.nil_nodes:
         raise CapacityError("bulk loading builds THCL (shared-leaf) files")
 
-    file = THFile(bucket_capacity, policy, alphabet, store=BucketStore())
+    file = THFile(
+        bucket_capacity,
+        policy,
+        alphabet,
+        store=BucketStore(),
+        trie_backend=trie_backend,
+    )
     bucket = file.store.peek(0)
     address = 0
     count = 0
@@ -91,7 +99,7 @@ def bulk_load_th(
             if not model.has_boundary(prefix):
                 child = model.children[model.gap_for_boundary(prefix)]
                 model.insert_boundary(prefix, child, child)
-    file.trie = Trie.from_model(model)
+    file.trie = type(file.trie).from_model(model)
     file._size = count
 
     # Record the right cuts in the bucket headers (reconstruction).

@@ -27,7 +27,9 @@ from typing import Optional
 from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
 from .alphabet import DEFAULT_ALPHABET, Alphabet
-from .cells import is_nil
+from .boundaries import BoundaryModel
+from .cells import NIL, is_nil
+from .compact import CompactTrie
 from .errors import DuplicateKeyError, KeyNotFoundError
 from .merge import basic_delete_maintenance, guaranteed_delete_maintenance
 from .policies import SplitPolicy
@@ -88,6 +90,12 @@ class THFile:
     store:
         A :class:`~repro.storage.buckets.BucketStore`; a private store
         over a fresh simulated disk is created when omitted.
+    trie_backend:
+        ``"cells"`` (the standard one-object-per-node table) or
+        ``"compact"`` (the flat column layout of
+        :mod:`repro.core.compact`). Both backends are structurally
+        byte-identical under the same operation sequence; compact is
+        several times faster on the per-key descent.
     """
 
     def __init__(
@@ -96,16 +104,27 @@ class THFile:
         policy: Optional[SplitPolicy] = None,
         alphabet: Alphabet = DEFAULT_ALPHABET,
         store: Optional[BucketStore] = None,
+        trie_backend: str = "cells",
     ):
         if bucket_capacity < 2:
             raise ValueError("bucket capacity b must be at least 2")
+        if trie_backend not in ("cells", "compact"):
+            raise ValueError(
+                f"unknown trie backend {trie_backend!r} "
+                "(choose 'cells' or 'compact')"
+            )
         self.capacity = bucket_capacity
         self.policy = policy if policy is not None else SplitPolicy.basic_th()
         self.alphabet = alphabet
         self.store = store if store is not None else BucketStore()
-        self.trie = Trie(alphabet, root_ptr=self.store.allocate())
+        self.trie_backend = trie_backend
+        trie_class = CompactTrie if trie_backend == "compact" else Trie
+        self.trie = trie_class(alphabet, root_ptr=self.store.allocate())
         self.stats = FileStats()
         self._size = 0
+        #: ``(structure_generation, BoundaryModel)`` snapshot reused by
+        #: the batched APIs between structural changes.
+        self._model_cache: Optional[tuple[int, BoundaryModel]] = None
         #: Optional :class:`~repro.storage.wal.WALWriter` recording every
         #: structure modification (attached by a durable session).
         self.journal = None
@@ -146,11 +165,11 @@ class THFile:
 
     def _get(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
-        result = self.trie.search(key)
+        ptr = self.trie.lookup(key)
         self.stats.searches += 1
-        if result.bucket is None:
+        if ptr == NIL:
             raise KeyNotFoundError(key)
-        return self.store.read(result.bucket).get(key)
+        return self.store.read(ptr).get(key)
 
     def contains(self, key: str) -> bool:
         """True when ``key`` is stored in the file."""
@@ -161,11 +180,11 @@ class THFile:
 
     def _contains(self, key: str) -> bool:
         key = self.alphabet.validate_key(key)
-        result = self.trie.search(key)
+        ptr = self.trie.lookup(key)
         self.stats.searches += 1
-        if result.bucket is None:
+        if ptr == NIL:
             return False
-        return self.store.read(result.bucket).contains(key)
+        return self.store.read(ptr).contains(key)
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
@@ -195,9 +214,12 @@ class THFile:
 
     def _store_record(self, key: str, value: object, replace: bool) -> None:
         key = self.alphabet.validate_key(key)
-        result = self.trie.search(key)
-        if result.bucket is None:
+        # Fast descent first; the slower full search (path + trail +
+        # location) reruns only on the rare structural paths below.
+        ptr = self.trie.lookup(key)
+        if ptr == NIL:
             # A nil leaf: allocate the bucket now (basic method, §2.3).
+            result = self.trie.search(key)
             address = self.store.allocate()
             self.trie.set_ptr(result.location, address)
             bucket = self.store.peek(address)
@@ -210,19 +232,19 @@ class THFile:
             if TRACER.enabled:
                 TRACER.emit("split", kind="nil-alloc", bucket=address)
             return
-        bucket = self.store.read(result.bucket)
+        bucket = self.store.read(ptr)
         position = bucket.find(key)
         if position >= 0:
             if not replace:
                 raise DuplicateKeyError(key)
             bucket.values[position] = value
-            self.store.write(result.bucket, bucket)
+            self.store.write(ptr, bucket)
             return
         if len(bucket) < self.capacity:
             bucket.insert(key, value)
-            self.store.write(result.bucket, bucket)
+            self.store.write(ptr, bucket)
         else:
-            self._split(result, bucket, key, value)
+            self._split(self.trie.search(key), bucket, key, value)
         self.stats.inserts += 1
         self._size += 1
 
@@ -453,6 +475,183 @@ class THFile:
         if TRACER.enabled:
             return TRACER.wrap_iter("range", scan(self, low, high))
         return scan(self, low, high)
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+    def _snapshot_model(self) -> BoundaryModel:
+        """The current boundary model, cached across structural quiet.
+
+        ``structure_generation`` only moves when buckets split, merge or
+        move, so a snapshot taken at generation ``g`` stays valid for
+        every batch until the generation changes — repeated batches pay
+        for one model export, not one per call.
+        """
+        generation = self.structure_generation
+        cached = self._model_cache
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        model = self.trie.to_model()
+        self._model_cache = (generation, model)
+        return model
+
+    def get_many(self, keys: Iterable[str]) -> dict[str, object]:
+        """Batched point lookups: ``{key: value}`` for the keys present.
+
+        Keys are validated, deduplicated and sorted once; the sorted run
+        is located with a single merged pass over the boundary model
+        (:meth:`BoundaryModel.locate_sorted`) and each bucket is read at
+        most once per batch. Absent keys are omitted from the result
+        (the batched analogue of a ``contains``-guarded ``get`` loop).
+        """
+        unique = sorted({self.alphabet.validate_key(k) for k in keys})
+        out: dict[str, object] = {}
+        if not unique:
+            return out
+        model = self._snapshot_model()
+        gaps = model.locate_sorted(unique)
+        children = model.children
+        read = self.store.read
+        buckets_visited = 0
+        i = 0
+        n = len(unique)
+        while i < n:
+            address = children[gaps[i]]
+            j = i + 1
+            while j < n and children[gaps[j]] == address:
+                j += 1
+            self.stats.searches += j - i
+            if address is not None:
+                bucket = read(address)
+                buckets_visited += 1
+                bucket_keys = bucket.keys
+                bucket_values = bucket.values
+                size = len(bucket_keys)
+                for key in unique[i:j]:
+                    at = bisect.bisect_left(bucket_keys, key)
+                    if at < size and bucket_keys[at] == key:
+                        out[key] = bucket_values[at]
+            i = j
+        if TRACER.enabled:
+            TRACER.emit(
+                "batch", op="get_many", keys=n, buckets=buckets_visited
+            )
+        return out
+
+    def put_many(self, items: Iterable[tuple[str, object]]) -> None:
+        """Batched upsert of ``(key, value)`` pairs.
+
+        Later occurrences of a duplicate key win (the same final state a
+        per-key ``put`` loop reaches). Pairs are sorted once and grouped
+        by target bucket from a model snapshot; a group that fits in its
+        bucket is merged with a single write. Groups that overflow (or
+        hit a nil leaf) fall back to the per-key path, which splits as
+        needed.
+
+        The one snapshot survives those structural changes when
+        redistribution is off: a split or nil allocation only remaps
+        keys of the bucket being worked on, and the sorted grouping puts
+        all of those keys in the *current* group — later groups keep
+        both their bucket address and their membership. Redistribution
+        can move records (and the cut boundary) between neighbouring
+        buckets, so those policies drop to the always-correct per-key
+        path for the remainder as soon as the structure moves.
+        """
+        validate = self.alphabet.validate_key
+        last_wins: dict[str, object] = {}
+        for key, value in items:
+            last_wins[validate(key)] = value
+        pending = sorted(last_wins.items())
+        total = len(pending)
+        buckets_visited = 0
+        generation = self.structure_generation
+        model = self._snapshot_model()
+        gaps = model.locate_sorted([key for key, _ in pending])
+        children = model.children
+        stale_safe = self.policy.redistribution == "none"
+        i = 0
+        n = len(pending)
+        while i < n:
+            if not stale_safe and self.structure_generation != generation:
+                for key, value in pending[i:]:
+                    self._store_record(key, value, replace=True)
+                break
+            address = children[gaps[i]]
+            j = i + 1
+            while j < n and children[gaps[j]] == address:
+                j += 1
+            if address is None:
+                for key, value in pending[i:j]:
+                    self._store_record(key, value, replace=True)
+            else:
+                buckets_visited += 1
+                self._put_group(address, pending[i:j])
+            i = j
+        if TRACER.enabled:
+            TRACER.emit(
+                "batch", op="put_many", keys=total, buckets=buckets_visited
+            )
+
+    def _put_group(self, address, group):
+        """Apply one bucket's worth of sorted upserts with one write."""
+        bucket = self.store.read(address)
+        bucket_keys = bucket.keys
+        fresh = []
+        for key, value in group:
+            at = bisect.bisect_left(bucket_keys, key)
+            if at < len(bucket_keys) and bucket_keys[at] == key:
+                bucket.values[at] = value
+            else:
+                fresh.append((key, value))
+        if len(bucket) + len(fresh) <= self.capacity:
+            for key, value in fresh:
+                bucket.insert(key, value)
+            self.store.write(address, bucket)
+            self.stats.inserts += len(fresh)
+            self._size += len(fresh)
+        else:
+            # Persist the in-place replacements, then let the per-key
+            # path split its way through the new records.
+            self.store.write(address, bucket)
+            for key, value in fresh:
+                self._store_record(key, value, replace=True)
+
+    def bulk_range_items(
+        self, low: Optional[str] = None, high: Optional[str] = None
+    ) -> list[tuple[str, object]]:
+        """Materialised range scan reading each bucket exactly once.
+
+        The batched sibling of :meth:`range_items`: same inclusive
+        ``low <= key <= high`` semantics and ordering, but the gap span
+        is computed from a model snapshot up front and the records come
+        back as one list — no cursor, no staleness window.
+        """
+        if low is not None:
+            low = self.alphabet.validate_key(low)
+        if high is not None:
+            high = self.alphabet.validate_key(high)
+        model = self._snapshot_model()
+        children = model.children
+        first = 0 if low is None else model.locate(low)[0]
+        last = len(children) - 1 if high is None else model.locate(high)[0]
+        out: list[tuple[str, object]] = []
+        previous = None
+        for gap in range(first, last + 1):
+            address = children[gap]
+            if address is None or address == previous:
+                continue
+            previous = address
+            bucket = self.store.read(address)
+            keys = bucket.keys
+            lo = 0 if low is None else bisect.bisect_left(keys, low)
+            hi = len(keys) if high is None else bisect.bisect_right(keys, high)
+            out.extend(zip(keys[lo:hi], bucket.values[lo:hi]))
+        if TRACER.enabled:
+            TRACER.emit(
+                "batch", op="bulk_range", keys=len(out),
+                buckets=last - first + 1,
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Metrics

@@ -48,11 +48,17 @@ def compare_prefix(key: str, bound: str, alphabet: Alphabet) -> int:
     search: a key is mapped to the left of a trie node with boundary
     ``bound`` exactly when the result is <= 0.
     """
-    p = prefix(key, len(bound) - 1, alphabet)
-    if p < bound:
-        return -1
-    if p > bound:
-        return 1
+    # Native string order agrees with digit order (the alphabet's ``ord``
+    # contract), so the padded-prefix comparison reduces to two C-level
+    # string tests instead of building the prefix:
+    #   key > bound: the prefix equals ``bound`` exactly when ``key``
+    #     extends it, else it is above;
+    #   key < bound: the prefix pads out equal exactly when ``bound`` is
+    #     ``key`` plus trailing minimum digits, else it is below.
+    if key > bound:
+        return 0 if key.startswith(bound) else 1
+    if key < bound:
+        return 0 if bound.rstrip(alphabet.min_digit) == key else -1
     return 0
 
 

@@ -21,7 +21,7 @@ regime the paper itself analyses for MLTH.
 from __future__ import annotations
 
 import bisect
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from typing import Optional
 
 from ..obs.tracer import TRACER
@@ -178,7 +178,17 @@ class MLTHFile:
             return
         self._insert(key, value)
 
-    def _insert(self, key: str, value: object = None) -> None:
+    def put(self, key: str, value: object = None) -> None:
+        """Insert or overwrite the record under ``key``."""
+        if TRACER.enabled:
+            with TRACER.span("insert", key=key):
+                self._insert(key, value, replace=True)
+            return
+        self._insert(key, value, replace=True)
+
+    def _insert(
+        self, key: str, value: object = None, replace: bool = False
+    ) -> None:
         key = self.alphabet.validate_key(key)
         steps, _, path = self._descend(key)
         page_id, page, gap = steps[-1]
@@ -197,8 +207,13 @@ class MLTHFile:
                 TRACER.emit("split", kind="nil-alloc", bucket=address)
         else:
             bucket = self.store.read(address)
-            if bucket.contains(key):
-                raise DuplicateKeyError(key)
+            position = bucket.find(key)
+            if position >= 0:
+                if not replace:
+                    raise DuplicateKeyError(key)
+                bucket.values[position] = value
+                self.store.write(address, bucket)
+                return
             if len(bucket) < self.capacity:
                 bucket.insert(key, value)
                 self.store.write(address, bucket)
@@ -708,6 +723,75 @@ class MLTHFile:
                     if high is not None and bucket.keys[i] > high:
                         return
                     yield bucket.keys[i], bucket.values[i]
+
+    # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+    def get_many(self, keys: Iterable[str]) -> dict[str, object]:
+        """Batched point lookups: ``{key: value}`` for the keys present.
+
+        Same contract as :meth:`repro.core.file.THFile.get_many`: keys
+        are validated, deduplicated and sorted once, located with one
+        merged pass over the flattened boundary model, and each bucket
+        is read at most once per batch (the page hierarchy is walked
+        once for the whole batch instead of once per key).
+        """
+        unique = sorted({self.alphabet.validate_key(k) for k in keys})
+        out: dict[str, object] = {}
+        if not unique:
+            return out
+        model = self.flat_model()
+        gaps = model.locate_sorted(unique)
+        children = model.children
+        read = self.store.read
+        buckets_visited = 0
+        i = 0
+        n = len(unique)
+        while i < n:
+            address = children[gaps[i]]
+            j = i + 1
+            while j < n and children[gaps[j]] == address:
+                j += 1
+            self.stats.searches += j - i
+            if address is not None:
+                bucket = read(address)
+                buckets_visited += 1
+                bucket_keys = bucket.keys
+                bucket_values = bucket.values
+                size = len(bucket_keys)
+                for key in unique[i:j]:
+                    at = bisect.bisect_left(bucket_keys, key)
+                    if at < size and bucket_keys[at] == key:
+                        out[key] = bucket_values[at]
+            i = j
+        if TRACER.enabled:
+            TRACER.emit(
+                "batch", op="get_many", keys=n, buckets=buckets_visited
+            )
+        return out
+
+    def put_many(self, items: Iterable[tuple[str, object]]) -> None:
+        """Batched upsert of ``(key, value)`` pairs, later duplicates win.
+
+        Pairs are validated, deduplicated and applied in sorted order —
+        page splits move boundaries between pages, so each pair descends
+        the (current) hierarchy itself; the batch still amortises the
+        sort and keeps locality across the page pool.
+        """
+        validate = self.alphabet.validate_key
+        last_wins: dict[str, object] = {}
+        for key, value in items:
+            last_wins[validate(key)] = value
+        reads_before = self.store.stats.reads
+        for key, value in sorted(last_wins.items()):
+            self._insert(key, value, replace=True)
+        if TRACER.enabled:
+            TRACER.emit(
+                "batch",
+                op="put_many",
+                keys=len(last_wins),
+                buckets=self.store.stats.reads - reads_before,
+            )
 
     # ------------------------------------------------------------------
     # Metrics

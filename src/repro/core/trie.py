@@ -185,6 +185,16 @@ class Trie:
         bucket = None if is_nil(n) else n
         return SearchResult(n, bucket, path, location, tuple(trail), visited, j)
 
+    def lookup(self, key: str) -> int:
+        """Map ``key`` to its raw leaf pointer (descent only).
+
+        The read paths of :class:`repro.core.file.THFile` only need the
+        leaf, not the logical path / trail Algorithm A1 also maintains.
+        Backends may override this with a cheaper loop (the compact
+        backend does); the default simply projects :meth:`search`.
+        """
+        return self.search(key).ptr
+
     @staticmethod
     def _extend_path(path: str, d: str, i: int) -> str:
         """``C <- (C)_{i-1} · d`` with a gap check (valid tries never gap)."""
@@ -413,9 +423,10 @@ class Trie:
 
         Implements the trie balancing of Section 2.6: disk behaviour, load
         factor and trie size are unchanged; only the in-memory node search
-        gets shorter.
+        gets shorter. The rebuilt trie keeps the receiver's backend
+        (``type(self)``), so compact tries rebalance into compact tries.
         """
-        return Trie.from_model(self.to_model(), pick=pick)
+        return type(self).from_model(self.to_model(), pick=pick)
 
     # ------------------------------------------------------------------
     # Validation

@@ -141,6 +141,7 @@ def run_chaos(
     retry: Optional[RetryPolicy] = None,
     scan_every: int = 0,
     trace_path: Optional[str] = None,
+    trie_backend: str = "cells",
 ) -> ChaosReport:
     """One differential chaos run; raises ``AssertionError`` on divergence.
 
@@ -162,6 +163,10 @@ def run_chaos(
     the file ``trie-hashing trace report`` reconstructs causal trees
     from. On divergence the flight recorder dumps its ring before the
     ``AssertionError`` surfaces (see :mod:`repro.obs.flight`).
+
+    ``trie_backend`` selects the shard files' trie representation; the
+    oracle always stays on the standard cells, so a compact-backed run
+    is *also* a cells-vs-compact differential under faults.
     """
     writer: Optional[JsonlTraceWriter] = None
     if trace_path is not None and not TRACER.enabled:
@@ -181,6 +186,7 @@ def run_chaos(
             bucket_capacity=bucket_capacity,
             retry=retry,
             scan_every=scan_every,
+            trie_backend=trie_backend,
         )
     except AssertionError:
         # The differential oracle diverged: capture the last window of
@@ -205,6 +211,7 @@ def _run_chaos(
     bucket_capacity: int,
     retry: Optional[RetryPolicy],
     scan_every: int,
+    trie_backend: str,
 ) -> ChaosReport:
     plan = FaultPlan(
         seed=seed,
@@ -227,6 +234,7 @@ def _run_chaos(
         durable=durable,
         faults=plan,
         retry=retry,
+        trie_backend=trie_backend,
     )
     router = cluster.router
     if not isinstance(router, FaultyRouter):

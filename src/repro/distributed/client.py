@@ -222,6 +222,88 @@ class DistributedFile:
         return self.cluster.coordinator.total_records()
 
     # ------------------------------------------------------------------
+    # Batched operations
+    # ------------------------------------------------------------------
+    def _batch_rounds(self, pending: list, send_round) -> None:
+        """Drive a batch to completion through leftover re-batching.
+
+        Each round groups ``pending`` by the *image's* shard for the
+        first element's key and sends one leg per shard; whatever a
+        shard does not own comes back as leftovers alongside IAM entries
+        for every region the leg touched, so the next round addresses
+        the true owners. With an authoritative coordinator one extra
+        round always suffices; the progress guard catches a wedged image
+        (a round that shrinks nothing) and is defensive only.
+        """
+        rounds = 0
+        while pending:
+            rounds += 1
+            groups: dict[int, list] = {}
+            for entry in pending:
+                key = entry[0] if isinstance(entry, tuple) else entry
+                groups.setdefault(self.image.shard_for_key(key), []).append(entry)
+            before = len(pending)
+            pending = []
+            for shard, batch in sorted(groups.items()):
+                pending.extend(send_round(batch))
+            if pending and len(pending) >= before and rounds > len(self.image) + 2:
+                raise ShardUnavailableError(
+                    f"batch made no routing progress after {rounds} rounds "
+                    f"({len(pending)} keys unplaced)"
+                )
+
+    def get_many(self, keys) -> dict[str, object]:
+        """Batched :meth:`get`: one routed leg per shard touched.
+
+        Returns ``{key: value}`` for the keys that exist; absent keys
+        are simply omitted (no :class:`KeyNotFoundError`), matching
+        :meth:`THFile.get_many <repro.core.file.THFile.get_many>`.
+        """
+        out: dict[str, object] = {}
+        pending = sorted({self.alphabet.validate_key(k) for k in keys})
+
+        def send_round(batch: list) -> list:
+            op = Op.get_many(batch)
+            reply = self._send(
+                op, lambda: self.image.shard_for_key(batch[0])
+            )
+            self._absorb(reply)
+            if reply.error is not None:  # pragma: no cover - defensive
+                raise reply.error
+            out.update(reply.value)
+            return reply.records or []
+
+        self._batch_rounds(pending, send_round)
+        return out
+
+    def put_many(self, items) -> None:
+        """Batched :meth:`put`: per-shard legs, one request id per leg.
+
+        Duplicate keys collapse last-wins before routing (the
+        :meth:`THFile.put_many <repro.core.file.THFile.put_many>`
+        contract). Every leg is stamped with its own fresh request id,
+        so a retried leg short-circuits on the owner's dedup window
+        while re-batched leftovers travel under new ids.
+        """
+        last_wins: dict[str, object] = {}
+        for key, value in items:
+            last_wins[self.alphabet.validate_key(key)] = value
+        pending = sorted(last_wins.items())
+
+        def send_round(batch: list) -> list:
+            op = Op.put_many(batch)
+            op.rid = self._fresh_rid()
+            reply = self._send(
+                op, lambda: self.image.shard_for_key(batch[0][0])
+            )
+            self._absorb(reply)
+            if reply.error is not None:  # pragma: no cover - defensive
+                raise reply.error
+            return reply.records or []
+
+        self._batch_rounds(pending, send_round)
+
+    # ------------------------------------------------------------------
     # Ordered access
     # ------------------------------------------------------------------
     def range_items(

@@ -266,8 +266,10 @@ class Cluster:
         Initial shard count; regions are pre-cut at evenly spaced
         single-digit boundaries (or at ``seed_boundaries``). Scale-out
         grows the count further as records arrive.
-    bucket_capacity / policy / alphabet:
-        Per-shard :class:`~repro.core.file.THFile` parameters.
+    bucket_capacity / policy / alphabet / trie_backend:
+        Per-shard :class:`~repro.core.file.THFile` parameters
+        (``trie_backend="compact"`` runs every shard on the flat
+        column representation of :mod:`repro.core.compact`).
     shard_policy:
         The scale-out :class:`ShardPolicy`.
     durable:
@@ -300,6 +302,7 @@ class Cluster:
         seed_boundaries: Optional[list[str]] = None,
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
+        trie_backend: str = "cells",
     ):
         if shards < 1:
             raise ConfigurationError("a cluster needs at least one shard")
@@ -307,6 +310,7 @@ class Cluster:
         self.bucket_capacity = bucket_capacity
         self.policy = policy
         self.durable = durable
+        self.trie_backend = trie_backend
         self.registry = registry if registry is not None else MetricsRegistry()
         self.retry = retry
         if faults is not None:
@@ -352,11 +356,13 @@ class Cluster:
                 capacity=self.bucket_capacity,
                 policy=self.policy,
                 alphabet=self.alphabet,
+                trie_backend=self.trie_backend,
             )
         return THFile(
             bucket_capacity=self.bucket_capacity,
             policy=self.policy,
             alphabet=self.alphabet,
+            trie_backend=self.trie_backend,
         )
 
     # ------------------------------------------------------------------

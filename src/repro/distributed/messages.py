@@ -25,8 +25,11 @@ __all__ = [
     "PUT",
     "DELETE",
     "SCAN",
+    "GET_MANY",
+    "PUT_MANY",
     "POINT_OPS",
     "MUTATING_OPS",
+    "BATCH_OPS",
     "Op",
     "Reply",
     "rid_str",
@@ -38,12 +41,21 @@ INSERT = "insert"
 PUT = "put"
 DELETE = "delete"
 SCAN = "scan"
+GET_MANY = "get_many"
+PUT_MANY = "put_many"
 
 #: Single-key operations (everything but a scan leg).
 POINT_OPS = frozenset({GET, CONTAINS, INSERT, PUT, DELETE})
 
 #: Operations that modify a shard (and may trigger scale-out).
-MUTATING_OPS = frozenset({INSERT, PUT, DELETE})
+MUTATING_OPS = frozenset({INSERT, PUT, DELETE, PUT_MANY})
+
+#: Multi-key operations. A batch leg carries its whole sub-batch in
+#: ``value``; the receiving shard serves the keys it owns and returns
+#: the rest in ``Reply.records`` for the client to re-batch (batches
+#: are never forwarded — the leftovers plus IAM teach the client the
+#: true owners in one round trip).
+BATCH_OPS = frozenset({GET_MANY, PUT_MANY})
 
 
 class Op:
@@ -124,6 +136,16 @@ class Op:
         after: Optional[str] = None,
     ) -> Op:
         return cls(SCAN, low=low, high=high, after=after)
+
+    @classmethod
+    def get_many(cls, keys: list[str]) -> Op:
+        """A batched-read leg: ``keys`` (sorted) travel in ``value``."""
+        return cls(GET_MANY, key=keys[0] if keys else None, value=keys)
+
+    @classmethod
+    def put_many(cls, items: list[tuple[str, object]]) -> Op:
+        """A batched-upsert leg: the pairs (sorted by key) in ``value``."""
+        return cls(PUT_MANY, key=items[0][0] if items else None, value=items)
 
 
 class Reply:

@@ -43,9 +43,11 @@ from ..storage.dedup import DedupWindow
 from ..storage.recovery import DurableFile
 from .errors import ProtocolError
 from .messages import (
+    BATCH_OPS,
     CONTAINS,
     DELETE,
     GET,
+    GET_MANY,
     INSERT,
     MUTATING_OPS,
     POINT_OPS,
@@ -196,6 +198,8 @@ class ShardServer:
     def _dispatch(self, op: Op) -> Reply:
         if op.kind == SCAN:
             return self._handle_scan(op)
+        if op.kind in BATCH_OPS:
+            return self._handle_batch(op)
         return self._handle_point(op)
 
     def _forward(self, owner: int, op: Op) -> Reply:
@@ -283,6 +287,111 @@ class ShardServer:
             result = self.file.delete(op.key)
         self.dedup.record(op.rid, result)
         return result
+
+    def _batch_iam(self, keys) -> list:
+        """IAM entries for every distinct region the batch touches.
+
+        A batch leg teaches the client all the cuts it tripped over in
+        one reply (a point op teaches exactly one), which is why the
+        leftover re-batching loop converges in a single extra round.
+        """
+        entries = []
+        seen: set[int] = set()
+        model = self.coordinator.model
+        for key in keys:
+            gap, shard = model.locate(key)
+            if gap not in seen:
+                seen.add(gap)
+                low, high = model.region(gap)
+                entries.append((low, high, shard))
+        return entries
+
+    def _handle_batch(self, op: Op) -> Reply:
+        """Serve the owned slice of a batch; hand the rest back.
+
+        Batches are never forwarded: the shard serves exactly the keys
+        the authoritative partition assigns to it and returns the
+        *leftovers* in ``Reply.records`` together with IAM entries for
+        every region the batch touched, so the client re-batches the
+        remainder straight to the true owners. A retried ``put_many``
+        leg short-circuits on the shard's dedup window exactly like a
+        point mutation — shard splits copy the window to both halves,
+        so the guarantee survives keys migrating between deliveries.
+        """
+        if op.kind == GET_MANY:
+            keys = op.value
+            owned = [k for k in keys if self.coordinator.owner_of(k) == self.shard_id]
+            leftover = [k for k in keys if self.coordinator.owner_of(k) != self.shard_id]
+            found = self.file.get_many(owned) if owned else {}
+            if TRACER.enabled:
+                TRACER.emit(
+                    "batch_leg",
+                    shard=self.shard_id,
+                    op=op.kind,
+                    served=len(owned),
+                    leftover=len(leftover),
+                )
+            return Reply(
+                value=found,
+                records=leftover,
+                iam=self._batch_iam(keys),
+                owner=self.shard_id,
+            )
+        items = op.value
+        owned = [
+            (k, v) for k, v in items if self.coordinator.owner_of(k) == self.shard_id
+        ]
+        leftover = [
+            (k, v) for k, v in items if self.coordinator.owner_of(k) != self.shard_id
+        ]
+        if op.rid is not None:
+            hit, _stored = self.dedup.lookup(op.rid)
+            if hit:
+                # The owned slice already applied on an earlier delivery
+                # (possibly on the shard this window was inherited from);
+                # only the currently-unowned remainder goes back out.
+                self.registry.counter(
+                    "dist_dedup_hits_total", {"shard": self.shard_id}
+                ).inc()
+                if TRACER.enabled:
+                    TRACER.emit(
+                        "dedup_hit", shard=self.shard_id, rid=rid_str(op.rid)
+                    )
+                return Reply(
+                    records=leftover,
+                    iam=self._batch_iam([k for k, _ in items]),
+                    owner=self.shard_id,
+                    dedup=True,
+                )
+        error: Optional[Exception] = None
+        if owned:
+            try:
+                if isinstance(self.file, DurableFile):
+                    # The durable session records the id itself, after
+                    # the batch's group fsync.
+                    self.file.put_many(owned, rid=op.rid)
+                else:
+                    self.file.put_many(owned)
+                    self.dedup.record(op.rid, None)
+            except TrieHashingError as exc:
+                error = exc
+            if error is None:
+                self.router.note_apply(op.rid)
+                self.coordinator.maybe_split(self.shard_id)
+        if TRACER.enabled:
+            TRACER.emit(
+                "batch_leg",
+                shard=self.shard_id,
+                op=op.kind,
+                served=len(owned),
+                leftover=len(leftover),
+            )
+        return Reply(
+            error=error,
+            records=leftover,
+            iam=self._batch_iam([k for k, _ in items]),
+            owner=self.shard_id,
+        )
 
     def _handle_scan(self, op: Op) -> Reply:
         gap = self.coordinator.scan_gap(op)

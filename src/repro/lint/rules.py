@@ -244,7 +244,10 @@ def check_buffer_discipline(context: LintContext) -> Iterator[LintViolation]:
     """Access counts are the paper's currency: a read that bypasses the
     BufferPool skews every hit-rate and access-ratio claim. Outside
     ``repro/storage``, disk payloads flow through the pool (or the
-    non-accounting ``peek`` for invariant checks)."""
+    non-accounting ``peek`` for invariant checks). The full mutation
+    surface is covered — ``allocate``/``free`` included — so a flat
+    backend like ``CompactTrie`` cannot shuffle payloads on or off the
+    ``SimulatedDisk`` behind the pool's accounting."""
     if context.module_path.startswith("repro/storage/"):
         return
     for node in ast.walk(context.tree):
@@ -253,7 +256,7 @@ def check_buffer_discipline(context: LintContext) -> Iterator[LintViolation]:
         func = node.func
         if not isinstance(func, ast.Attribute):
             continue
-        if func.attr not in ("read", "write"):
+        if func.attr not in ("read", "write", "allocate", "free"):
             continue
         receiver = _terminal_name(func.value)
         if "disk" in receiver.lower():

@@ -14,7 +14,11 @@ a :class:`~repro.obs.metrics.MetricsRegistry`:
   histograms. Only *root* spans are observed so a ``put`` implemented
   via ``insert`` counts one operation, not two;
 * splits → ``repro_split_fanout`` (records moved to the new bucket)
-  and ``repro_split_nodes_added`` (trie cells added) histograms.
+  and ``repro_split_nodes_added`` (trie cells added) histograms;
+* batched operations → ``compact_batch_ops_total{op=...}`` /
+  ``compact_batch_keys_total{op=...}`` counters and the
+  ``compact_batch_buckets`` bucket-visit histogram (how many buckets
+  one batch touched — the amortisation the batch paths exist for).
 """
 
 from __future__ import annotations
@@ -82,6 +86,17 @@ class MetricsRecorder:
                 reg.histogram(
                     "repro_split_nodes_added", bounds=FANOUT_BUCKETS
                 ).observe(nodes)
+        elif name == "batch":
+            op = {"op": event.fields.get("op", "?")}
+            reg.counter("compact_batch_ops_total", op).inc()
+            reg.counter("compact_batch_keys_total", op).inc(
+                event.fields.get("keys", 0)
+            )
+            buckets = event.fields.get("buckets")
+            if buckets is not None:
+                reg.histogram(
+                    "compact_batch_buckets", op, bounds=ACCESS_BUCKETS
+                ).observe(buckets)
         elif name == "shard_split":
             moved = event.fields.get("moved")
             if moved is not None:

@@ -100,6 +100,16 @@ class Bucket:
 
     def extend(self, records: list[tuple[str, object]]) -> None:
         """Bulk-insert records (caller guarantees disjoint key ranges)."""
+        keys = self.keys
+        if records and (not keys or keys[-1] < records[0][0]):
+            new_keys = [k for k, _ in records]
+            if all(a < b for a, b in zip(new_keys, new_keys[1:])):
+                # Strictly ascending records that sit past the current
+                # tail (the split path's "move" half always does): no
+                # duplicate is possible, so append in two C-level bulks.
+                keys.extend(new_keys)
+                self.values.extend(v for _, v in records)
+                return
         for key, value in records:
             self.insert(key, value)
 

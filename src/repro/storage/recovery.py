@@ -41,7 +41,7 @@ import json
 import struct
 import zlib
 from contextlib import nullcontext
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from typing import Optional
 
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
@@ -171,12 +171,14 @@ class _THEngine:
         capacity: int = 4,
         policy: Optional[SplitPolicy] = None,
         alphabet: Alphabet = DEFAULT_ALPHABET,
+        trie_backend: str = "cells",
     ) -> dict:
         policy = policy if policy is not None else SplitPolicy()
         return {
             "capacity": capacity,
             "policy": dataclasses.asdict(policy),
             "alphabet": alphabet.digits,
+            "trie_backend": trie_backend,
         }
 
     @staticmethod
@@ -187,6 +189,9 @@ class _THEngine:
             bucket_capacity=params["capacity"],
             policy=SplitPolicy(**params["policy"]),
             alphabet=alphabet if alphabet is not None else Alphabet(params["alphabet"]),
+            # .get(): manifests written before the compact backend
+            # existed carry no entry and mean the standard cells.
+            trie_backend=params.get("trie_backend", "cells"),
         )
 
     @staticmethod
@@ -202,7 +207,7 @@ class _THEngine:
     def materialize(
         cls, params: dict, header: dict, index: Optional[bytes], buckets, report
     ):
-        from ..core.reconstruct import reconstruct_trie
+        from ..core.reconstruct import reconstruct_model
 
         trie = None
         if index is not None:
@@ -213,11 +218,17 @@ class _THEngine:
         file = cls.create(
             params, alphabet=trie.alphabet if trie is not None else None
         )
+        # Checkpoints serialise the standard cell layout regardless of
+        # backend; a compact-configured file re-adopts the deserialised
+        # trie column-for-column (cell indices and free order preserved).
+        backend = type(file.trie)
         _rebuild_bucket_space(file.store, header, buckets)
         if trie is not None:
-            file.trie = trie
+            file.trie = trie if type(trie) is backend else backend.from_trie(trie)
         else:
-            file.trie = reconstruct_trie(file.store, file.alphabet)
+            file.trie = backend.from_model(
+                reconstruct_model(file.store, file.alphabet)
+            )
             report.used_fallback = "reconstruct"
         file._size = sum(len(bucket) for bucket in buckets.values())
         return file
@@ -722,6 +733,77 @@ class DurableFile:
     def keys(self) -> Iterator[str]:
         self._check_usable()
         return self.file.keys()
+
+    # -- batched operations -------------------------------------------
+    def get_many(self, keys: Iterable[str]) -> dict[str, object]:
+        """Batched read (no logging); absent keys are simply omitted."""
+        self._check_usable()
+        batched = getattr(self.file, "get_many", None)
+        if batched is not None:
+            return batched(keys)
+        out: dict[str, object] = {}
+        for key in keys:  # engines without a native batch path (btree)
+            if self.file.contains(key):
+                out[key] = self.file.get(key)
+        return out
+
+    def put_many(
+        self,
+        items: Iterable[tuple[str, Optional[str]]],
+        rid: Optional[RequestId] = None,
+    ) -> None:
+        """Batched durable upsert: one fsync acknowledges the whole batch.
+
+        The batch is applied through the engine's native ``put_many``
+        (sorted key order, last duplicate wins), one operation record per
+        surviving pair is appended, and the WAL is committed *once* — the
+        group fsync is what batching amortises over per-key :meth:`put`
+        calls. The records land in the same sorted order the live path
+        applied, so a recovery replay rebuilds the acknowledged structure
+        exactly. One request id covers the whole batch: a replayed batch
+        re-records it per record, converging on the same ``None`` reply.
+        """
+        self._check_usable()
+        pending: list[tuple[str, Optional[str]]] = []
+        for key, value in items:
+            if value is not None and not isinstance(value, str):
+                raise StorageError("durable files store str or None values only")
+            pending.append((key, value))
+        batched = getattr(self.file, "put_many", None)
+        if batched is not None:
+            # Canonicalise up front: an invalid key is rejected before
+            # any mutation, exactly like the per-key ack protocol.
+            validate = self.file.alphabet.validate_key
+            last_wins: dict[str, Optional[str]] = {}
+            for key, value in pending:
+                last_wins[validate(key)] = value
+            pending = sorted(last_wins.items())
+        if not pending:
+            self.dedup.record(rid, None)
+            return
+        try:
+            if batched is not None:
+                batched(pending)
+            else:
+                for key, value in pending:
+                    _apply_op(self.file, REC_PUT, key, value)
+        except BaseException:  # repro-lint: disable=TH002 -- fault boundary: a partially applied batch (crash, device fault, per-key reject mid-loop) must poison the session before re-raising
+            self._poisoned = True
+            raise
+        try:
+            for key, value in pending:
+                payload = {"k": key} if value is None else {"k": key, "v": value}
+                if rid is not None:
+                    payload["rid"] = [rid[0], rid[1]]
+                self.wal.append(REC_PUT, payload)
+            self.wal.commit()  # one fsync barrier for the whole batch
+        except BaseException:  # repro-lint: disable=TH002 -- fault boundary: a failure before the group fsync leaves WAL state unknown; poison, then re-raise
+            self._poisoned = True
+            raise
+        self.dedup.record(rid, None)
+        self._ops_since_checkpoint += len(pending)
+        if self._ops_since_checkpoint >= self.checkpoint_every:
+            self.checkpoint()
 
     def check(self) -> None:
         """Run the engine's structural invariant check."""

@@ -22,7 +22,13 @@ REPO = Path(__file__).resolve().parent.parent
 GATE = REPO / "scripts" / "bench_gate.py"
 
 #: Tiny counts so the whole suite runs in seconds.
-TINY = {"core": 300, "distributed": 300, "chaos": 120, "throughput": 200}
+TINY = {
+    "core": 300,
+    "distributed": 300,
+    "chaos": 120,
+    "throughput": 200,
+    "compact": 400,
+}
 
 
 def _reproduce(tmp_path, **kwargs):
@@ -66,12 +72,18 @@ class TestReproduce:
         outcome = _reproduce(tmp_path)
         names = {Path(p).name for p in outcome["bench_files"]}
         assert names == {
-            "BENCH_core.json", "BENCH_distributed.json", "BENCH_chaos.json"
+            "BENCH_core.json", "BENCH_distributed.json", "BENCH_chaos.json",
+            "BENCH_compact.json",
         }
         chaos = json.loads((tmp_path / "bench" / "BENCH_chaos.json").read_text())
         assert set(chaos["config"]) == {"chaos", "throughput"}
         assert chaos["config"]["chaos"]["count"] == TINY["chaos"]
+        assert chaos["config"]["chaos"]["trie_backend"] == "cells"
         assert {"differential", "throughput"} <= set(chaos["results"])
+        compact = json.loads(
+            (tmp_path / "bench" / "BENCH_compact.json").read_text()
+        )
+        assert compact["results"]["backends_identical"] is True
 
     def test_suite_subset_writes_partial_trajectory(self, tmp_path):
         outcome = _reproduce(tmp_path, suites=["core"])
@@ -115,7 +127,7 @@ class TestBenchGate:
         baseline, fresh = runs
         result = _gate(baseline, fresh)
         assert result.returncode == 0, result.stdout + result.stderr
-        assert result.stdout.count("OK") == 3
+        assert result.stdout.count("OK") == 4
 
     def test_injected_structural_regression_fails(self, runs, tmp_path):
         baseline, fresh = runs
@@ -157,6 +169,42 @@ class TestBenchGate:
         assert result.returncode == 1
         assert "not comparable" in result.stdout
 
+    def test_mismatched_trie_backend_refuses_to_compare(self, runs, tmp_path):
+        # A compact-backed fresh run must never be gated against a
+        # cells-backed committed baseline: the backends share results
+        # structurally but not wall rates, so the config block carries
+        # the backend and any drift voids the comparison.
+        baseline, fresh = runs
+        other = tmp_path / "backend"
+        other.mkdir()
+        for path in fresh.glob("BENCH_*.json"):
+            (other / path.name).write_text(path.read_text())
+        doc = json.loads((other / "BENCH_core.json").read_text())
+        assert doc["config"]["core"]["trie_backend"] == "cells"
+        doc["config"]["core"]["trie_backend"] = "compact"
+        (other / "BENCH_core.json").write_text(json.dumps(doc))
+        result = _gate(baseline, other)
+        assert result.returncode == 1
+        assert "not comparable" in result.stdout
+
+    def test_speedup_keys_are_ratio_gated_not_exact(self, runs, tmp_path):
+        # *_speedup_x is machine-dependent like *_per_s: a faster fresh
+        # ratio passes, a collapsed one fails the perf floor.
+        baseline, fresh = runs
+        fast = tmp_path / "fast"
+        fast.mkdir()
+        for path in fresh.glob("BENCH_*.json"):
+            (fast / path.name).write_text(path.read_text())
+        doc = json.loads((fast / "BENCH_compact.json").read_text())
+        doc["results"]["get_speedup_x"] *= 10
+        (fast / "BENCH_compact.json").write_text(json.dumps(doc))
+        assert _gate(baseline, fast).returncode == 0
+        doc["results"]["get_speedup_x"] = 0.01
+        (fast / "BENCH_compact.json").write_text(json.dumps(doc))
+        result = _gate(baseline, fast)
+        assert result.returncode == 1
+        assert "get_speedup_x" in result.stdout
+
     def test_missing_fresh_file_fails(self, runs, tmp_path):
         baseline, _ = runs
         empty = tmp_path / "empty"
@@ -171,8 +219,20 @@ class TestCommittedTrajectory:
         # The repo root must carry the baseline trajectory (ISSUE 6
         # satellite: "trajectory is currently empty").
         for name in ("BENCH_core.json", "BENCH_distributed.json",
-                     "BENCH_chaos.json"):
+                     "BENCH_chaos.json", "BENCH_compact.json"):
             doc = json.loads((REPO / name).read_text())
             assert doc["results"], name
             for config in doc["config"].values():
                 assert config["profile"] == "quick"
+                assert config["trie_backend"] == "cells"
+
+    def test_committed_compact_speedups_meet_targets(self):
+        # The tentpole's acceptance bar: the committed trajectory shows
+        # >=3x point ops and >=5x batched ops over the cells baseline.
+        doc = json.loads((REPO / "BENCH_compact.json").read_text())
+        results = doc["results"]
+        assert results["insert_speedup_x"] >= 3.0
+        assert results["get_speedup_x"] >= 3.0
+        assert results["batch_get_speedup_x"] >= 5.0
+        assert results["batch_put_speedup_x"] >= 5.0
+        assert results["backends_identical"] is True

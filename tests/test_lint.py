@@ -113,6 +113,20 @@ def test_th004_exempts_storage_layer():
     ) == []
 
 
+def test_th004_covers_allocate_and_free():
+    # A flat backend (CompactTrie) holding a disk reference could shuffle
+    # payloads on/off the SimulatedDisk without a read or write — the
+    # whole mutation surface is in scope.
+    snippet = (
+        "def stash(disk, payload):\n"
+        "    address = disk.allocate(payload)\n"
+        "    disk.free(address)\n"
+    )
+    assert codes(
+        lint_source(snippet, module_path=CORE, select=["TH004"])
+    ) == ["TH004", "TH004"]
+
+
 def test_th003_exempts_assertion_error():
     snippet = "def diverged():\n    raise AssertionError('differential')\n"
     assert lint_source(snippet, module_path=DISTRIBUTED, select=["TH003"]) == []
