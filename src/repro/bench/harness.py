@@ -48,6 +48,7 @@ PROFILES: dict[str, dict[str, int]] = {
         "chaos": 600,
         "throughput": 2000,
         "compact": 6000,
+        "serving": 1200,
     },
     "full": {
         "core": 4000,
@@ -55,6 +56,7 @@ PROFILES: dict[str, dict[str, int]] = {
         "chaos": 2000,
         "throughput": 5000,
         "compact": 12000,
+        "serving": 4000,
     },
 }
 
@@ -64,6 +66,7 @@ BENCH_FILES: dict[str, tuple[str, ...]] = {
     "BENCH_distributed.json": ("distributed",),
     "BENCH_chaos.json": ("chaos", "throughput"),
     "BENCH_compact.json": ("compact",),
+    "BENCH_serving.json": ("serving",),
 }
 
 

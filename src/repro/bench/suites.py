@@ -43,6 +43,7 @@ __all__ = [
     "chaos_suite",
     "throughput_suite",
     "compact_suite",
+    "serving_suite",
 ]
 
 #: Fault-rate sweep shared by the chaos and throughput suites.
@@ -400,6 +401,108 @@ def compact_suite(
     }
 
 
+# ----------------------------------------------------------------------
+# serving: concurrent clients over a real asyncio UDS server
+# ----------------------------------------------------------------------
+def _wall_percentile(sorted_lats: list, q: float) -> float:
+    index = min(len(sorted_lats) - 1, int(round(q / 100 * (len(sorted_lats) - 1))))
+    return sorted_lats[index]
+
+
+def serving_suite(
+    count: int = 1200, seed: int = 0, trie_backend: str = "cells"
+) -> dict:
+    """Concurrent clients against a live UDS :class:`ServingServer`.
+
+    Four synchronous sessions on four threads drive a striped insert
+    phase and a one-in-three read-back phase against one server; every
+    op is a real framed roundtrip through the codec, the dispatcher's
+    micro-batching and the group-fsync barrier. Latencies are
+    wall-clock (``*_ms_wall`` keys, ratio-gated downward like
+    ``_per_s`` keys are gated upward); the key set and final record
+    count are exact functions of ``(count, seed)``.
+    """
+    import threading
+
+    from ..serving import ServingFixture
+
+    clients = 4
+    cluster = Cluster(
+        shards=4,
+        durable=True,
+        shard_policy=ShardPolicy(shard_capacity=max(128, count // 8)),
+        trie_backend=trie_backend,
+    )
+    rng = random.Random(seed)
+    alphabet = "abcdefghijklmnopqrstuvwxyz"
+    keys: list[str] = []
+    seen = set()
+    while len(keys) < count:
+        key = "".join(rng.choice(alphabet) for _ in range(rng.randint(2, 8)))
+        if key not in seen:
+            seen.add(key)
+            keys.append(key)
+
+    latencies: list[float] = []
+    lock = threading.Lock()
+
+    def warm(session) -> None:
+        # Read-only warm-up: first roundtrips pay thread/socket/bytecode
+        # cold starts that would otherwise skew the measured percentiles.
+        for _ in range(50):
+            session.file.contains("warmup")
+
+    def worker(session, part: list) -> None:
+        lats = []
+        for key in part:
+            t0 = time.perf_counter()
+            session.file.insert(key, key.upper())
+            lats.append(time.perf_counter() - t0)
+        for key in part[::3]:
+            t0 = time.perf_counter()
+            session.file.get(key)
+            lats.append(time.perf_counter() - t0)
+        with lock:
+            latencies.extend(lats)
+
+    with ServingFixture(cluster) as fixture:
+        sessions = [fixture.open_session() for _ in range(clients)]
+        warmers = [
+            threading.Thread(target=warm, args=(session,))
+            for session in sessions
+        ]
+        for thread in warmers:
+            thread.start()
+        for thread in warmers:
+            thread.join()
+        threads = [
+            threading.Thread(
+                target=worker, args=(session, keys[i::clients])
+            )
+            for i, session in enumerate(sessions)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - start
+        stats = sessions[0].transport.control({"cmd": "stats"})
+
+    latencies.sort()
+    ops = len(latencies)
+    return {
+        "clients": clients,
+        "ops": ops,
+        "records_final": stats["records"],
+        "duplicate_applies": stats["duplicate_applies"],
+        "serving_ops_per_s": round(ops / wall_s),
+        "p50_ms_wall": round(_wall_percentile(latencies, 50) * 1000, 4),
+        "p95_ms_wall": round(_wall_percentile(latencies, 95) * 1000, 4),
+        "p99_ms_wall": round(_wall_percentile(latencies, 99) * 1000, 4),
+    }
+
+
 #: Suite name -> (runner, default seed, one-line description).
 SUITES: dict[str, tuple] = {
     "core": (core_suite, 7, "single-node TH rates and structure"),
@@ -407,4 +510,5 @@ SUITES: dict[str, tuple] = {
     "chaos": (chaos_suite, 0, "differential convergence under faults"),
     "throughput": (throughput_suite, 0, "distributed path throughput"),
     "compact": (compact_suite, 7, "cells vs compact backends, per-key vs batched"),
+    "serving": (serving_suite, 0, "concurrent clients over a real UDS server"),
 }

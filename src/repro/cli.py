@@ -134,6 +134,87 @@ def _trace_command(args) -> int:
     return 0
 
 
+def _serve_command(args) -> int:
+    import asyncio
+
+    from .distributed import Cluster, ShardPolicy
+    from .serving import ServingServer
+
+    cluster = Cluster(
+        shards=args.shards,
+        bucket_capacity=args.bucket_capacity,
+        shard_policy=ShardPolicy(shard_capacity=args.shard_capacity),
+        durable=not args.volatile,
+        trie_backend=args.trie_backend,
+    )
+    server = ServingServer(cluster)
+
+    async def _serve() -> None:
+        if args.uds:
+            where = await server.start_unix(args.uds)
+            print(f"serving on unix:{where}", flush=True)
+        else:
+            host, port = await server.start_tcp(args.host, args.port)
+            print(f"serving on {host}:{port}", flush=True)
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _client_command(args) -> int:
+    import json
+
+    from .core.errors import TrieHashingError
+    from .serving import connect
+
+    if args.op in ("get", "delete") and args.key is None:
+        print(f"error: {args.op} needs a KEY", file=sys.stderr)
+        return 2
+    if args.op in ("insert", "put") and (
+        args.key is None or args.value is None
+    ):
+        print(f"error: {args.op} needs KEY and VALUE", file=sys.stderr)
+        return 2
+    try:
+        with connect(path=args.uds, host=args.host, port=args.port) as session:
+            file = session.file
+            if args.op == "get":
+                print(file.get(args.key))
+            elif args.op == "insert":
+                file.insert(args.key, args.value)
+                print("ok")
+            elif args.op == "put":
+                file.put(args.key, args.value)
+                print("ok")
+            elif args.op == "delete":
+                print(file.delete(args.key))
+            elif args.op == "len":
+                print(len(file))
+            elif args.op == "scan":
+                for key, value in file.items():
+                    print(f"{key}\t{value}")
+            elif args.op == "stats":
+                print(
+                    json.dumps(
+                        session.transport.control({"cmd": "stats"}), indent=2
+                    )
+                )
+    except (TrieHashingError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: list[str] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -207,7 +288,10 @@ def main(argv: list[str] = None) -> int:
         "--suite",
         action="append",
         dest="suites",
-        choices=("core", "distributed", "chaos", "throughput", "compact"),
+        choices=(
+            "core", "distributed", "chaos", "throughput", "compact",
+            "serving",
+        ),
         help="run only this suite (repeatable; default: all)",
     )
     rep.add_argument(
@@ -230,6 +314,52 @@ def main(argv: list[str] = None) -> int:
     rep.add_argument(
         "--seed", type=int, default=None, help="override every suite's seed"
     )
+    srv = sub.add_parser(
+        "serve",
+        help="serve a cluster over TCP or a Unix-domain socket",
+    )
+    srv.add_argument(
+        "--uds", metavar="PATH", default=None,
+        help="listen on a Unix-domain socket at PATH",
+    )
+    srv.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (default: localhost)"
+    )
+    srv.add_argument(
+        "--port", type=int, default=0,
+        help="TCP bind port (default: an ephemeral port, printed at start)",
+    )
+    srv.add_argument(
+        "--shards", type=int, default=4, help="initial shard servers"
+    )
+    srv.add_argument(
+        "--bucket-capacity", type=int, default=8, help="bucket capacity b"
+    )
+    srv.add_argument(
+        "--shard-capacity", type=int, default=512,
+        help="records per shard before the coordinator splits it",
+    )
+    srv.add_argument(
+        "--volatile", action="store_true",
+        help="serve non-durable shards (no WAL; testing only)",
+    )
+    srv.add_argument(
+        "--trie-backend", choices=("cells", "compact"), default="cells",
+        help="trie representation of the shard files",
+    )
+    cli = sub.add_parser(
+        "client",
+        help="run one operation against a serving endpoint",
+    )
+    cli.add_argument("--uds", metavar="PATH", default=None)
+    cli.add_argument("--host", default=None)
+    cli.add_argument("--port", type=int, default=None)
+    cli.add_argument(
+        "op",
+        choices=("get", "insert", "put", "delete", "len", "scan", "stats"),
+    )
+    cli.add_argument("key", nargs="?", default=None)
+    cli.add_argument("value", nargs="?", default=None)
     run = sub.add_parser("run", help="run one experiment and print its table")
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument(
@@ -296,6 +426,10 @@ def main(argv: list[str] = None) -> int:
             print(f"error: cannot write artifacts: {exc}", file=sys.stderr)
             return 1
         return 0
+    if args.command == "serve":
+        return _serve_command(args)
+    if args.command == "client":
+        return _client_command(args)
     if args.command == "lint":
         from .lint.__main__ import main as lint_main
 

@@ -50,6 +50,7 @@ class FileStats:
         "searches",
         "splits",
         "nil_allocations",
+        "nil_reversions",
         "redistributions",
         "merges",
         "borrows",
@@ -64,6 +65,7 @@ class FileStats:
         self.searches = 0
         self.splits = 0
         self.nil_allocations = 0
+        self.nil_reversions = 0
         self.redistributions = 0
         self.merges = 0
         self.borrows = 0
@@ -143,6 +145,7 @@ class THFile:
         return (
             s.splits
             + s.nil_allocations
+            + s.nil_reversions
             + s.redistributions
             + s.merges
             + s.borrows
@@ -405,6 +408,13 @@ class THFile:
                 self.stats.merges += 1
                 if TRACER.enabled:
                     TRACER.emit("merge", kind="siblings", bucket=result.bucket)
+            elif action == "nil":
+                # The emptied bucket was freed and its leaf reverted to
+                # nil — a structural change: cursors and cached models
+                # must observe it through structure_generation.
+                self.stats.nil_reversions += 1
+                if TRACER.enabled:
+                    TRACER.emit("merge", kind="nil", bucket=result.bucket)
         elif self.policy.merge == "rotations":
             from .merge import rotation_delete_maintenance
 
@@ -413,6 +423,10 @@ class THFile:
                 self.stats.merges += 1
                 if TRACER.enabled:
                     TRACER.emit("merge", kind=action, bucket=result.bucket)
+            elif action == "nil":
+                self.stats.nil_reversions += 1
+                if TRACER.enabled:
+                    TRACER.emit("merge", kind="nil", bucket=result.bucket)
         elif self.policy.merge == "guaranteed":
             self._rebalance_after_delete(key)
         return value

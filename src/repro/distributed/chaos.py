@@ -28,6 +28,7 @@ from ..obs.export import JsonlTraceWriter
 from ..obs.flight import FLIGHT
 from ..obs.tracer import TRACER
 from .coordinator import Cluster, ShardPolicy
+from .errors import ConfigurationError
 from .faults import FaultPlan, FaultyRouter, RetryPolicy
 
 __all__ = ["ChaosReport", "run_chaos", "chaos_table"]
@@ -142,6 +143,7 @@ def run_chaos(
     scan_every: int = 0,
     trace_path: Optional[str] = None,
     trie_backend: str = "cells",
+    transport: str = "sim",
 ) -> ChaosReport:
     """One differential chaos run; raises ``AssertionError`` on divergence.
 
@@ -167,7 +169,26 @@ def run_chaos(
     ``trie_backend`` selects the shard files' trie representation; the
     oracle always stays on the standard cells, so a compact-backed run
     is *also* a cells-vs-compact differential under faults.
+
+    ``transport="uds"`` runs the *same* schedule over a live asyncio
+    server on a Unix-domain socket: the cluster sits behind a
+    :class:`~repro.serving.server.ServingServer` and the plan is
+    replayed client-side by a
+    :class:`~repro.serving.faults.FaultyRemoteTransport`, so every op,
+    fault and crash traverses real frames and the codec. Tracing is not
+    supported there (server-side events would interleave from another
+    thread).
     """
+    if transport not in ("sim", "uds"):
+        raise ConfigurationError(
+            f"transport must be 'sim' or 'uds', not {transport!r}"
+        )
+    if transport == "uds" and trace_path is not None:
+        raise ConfigurationError(
+            "trace_path is not supported over the uds transport: the "
+            "server loop runs on another thread and its events would "
+            "interleave with the client's"
+        )
     writer: Optional[JsonlTraceWriter] = None
     if trace_path is not None and not TRACER.enabled:
         writer = JsonlTraceWriter(trace_path)
@@ -187,6 +208,7 @@ def run_chaos(
             retry=retry,
             scan_every=scan_every,
             trie_backend=trie_backend,
+            transport=transport,
         )
     except AssertionError:
         # The differential oracle diverged: capture the last window of
@@ -212,6 +234,7 @@ def _run_chaos(
     retry: Optional[RetryPolicy],
     scan_every: int,
     trie_backend: str,
+    transport: str,
 ) -> ChaosReport:
     plan = FaultPlan(
         seed=seed,
@@ -227,20 +250,70 @@ def _run_chaos(
         # never sees ShardUnavailableError (which would make "did it
         # apply?" ambiguous and break the oracle mirroring).
         retry = RetryPolicy(max_retries=12, base_delay=0.005, max_delay=0.5)
-    cluster = Cluster(
-        shards=shards,
-        bucket_capacity=bucket_capacity,
-        shard_policy=ShardPolicy(shard_capacity=shard_capacity),
-        durable=durable,
-        faults=plan,
-        retry=retry,
-        trie_backend=trie_backend,
-    )
-    router = cluster.router
-    if not isinstance(router, FaultyRouter):
-        raise AssertionError("chaos needs the fault-injecting router")
-    client = cluster.client()
+    fixture = None
+    if transport == "uds":
+        # A real asyncio server on a Unix socket: the cluster keeps the
+        # plain in-process router (the server executes ops locally) and
+        # the plan is replayed client-side over live frames. Sharing
+        # the cluster's registry puts client retry counters and server
+        # dedup/crash counters in the one place the report reads.
+        from ..serving import ServingFixture
+
+        cluster = Cluster(
+            shards=shards,
+            bucket_capacity=bucket_capacity,
+            shard_policy=ShardPolicy(shard_capacity=shard_capacity),
+            durable=durable,
+            retry=retry,
+            trie_backend=trie_backend,
+        )
+        fixture = ServingFixture(cluster)
+        client, fabric = fixture.open_file(
+            plan=plan, retry=retry, registry=cluster.registry
+        )
+    else:
+        cluster = Cluster(
+            shards=shards,
+            bucket_capacity=bucket_capacity,
+            shard_policy=ShardPolicy(shard_capacity=shard_capacity),
+            durable=durable,
+            faults=plan,
+            retry=retry,
+            trie_backend=trie_backend,
+        )
+        fabric = cluster.router
+        if not isinstance(fabric, FaultyRouter):
+            raise AssertionError("chaos needs the fault-injecting router")
+        client = cluster.client()
     oracle = THFile(bucket_capacity=bucket_capacity)
+    try:
+        return _drive_chaos(
+            plan=plan,
+            cluster=cluster,
+            fabric=fabric,
+            client=client,
+            oracle=oracle,
+            ops=ops,
+            seed=seed,
+            crash_cycles=crash_cycles,
+            scan_every=scan_every,
+        )
+    finally:
+        if fixture is not None:
+            fixture.close()
+
+
+def _drive_chaos(
+    plan: FaultPlan,
+    cluster: Cluster,
+    fabric,
+    client,
+    oracle: THFile,
+    ops: int,
+    seed: int,
+    crash_cycles: int,
+    scan_every: int,
+) -> ChaosReport:
 
     rng = random.Random(seed)
     crash_rng = random.Random(seed ^ 0xC4A05)
@@ -256,7 +329,7 @@ def _run_chaos(
             ]
             if live:
                 lo, hi = plan.downtime
-                router.crash_server(
+                fabric.crash_server(
                     crash_rng.choice(live),
                     downtime=lo + (hi - lo) * crash_rng.random(),
                 )
@@ -319,7 +392,7 @@ def _run_chaos(
     # Quiesce: stop injecting, bring every server back, and check that
     # the cluster converged to exactly the oracle's state.
     plan.heal()
-    router.restore_all()
+    fabric.restore_all()
     cluster.check()
     _expect(list(client.items()), list(oracle.items()), "final scan")
 
@@ -329,17 +402,19 @@ def _run_chaos(
     report.shards = cluster.shard_count()
     report.records = len(oracle)
     registry = cluster.registry
-    report.faults = router.faults_injected
+    report.faults = fabric.faults_injected
     report.retries = int(_counter_sum(registry, "dist_retries_total"))
     report.dedup_hits = int(_counter_sum(registry, "dist_dedup_hits_total"))
     report.crashes = int(_counter_sum(registry, "dist_server_crashes_total"))
     report.recoveries = int(
         _counter_sum(registry, "dist_server_recoveries_total")
     )
-    report.duplicate_applies = router.duplicate_applies()
-    report.messages = router.messages
-    report.forwards = router.forwards
-    report.clock = router.now
+    report.duplicate_applies = fabric.duplicate_applies()
+    report.messages = fabric.messages
+    # Forwards happen server-side either way; over the wire the client
+    # transport never sees them, so read the cluster's own router.
+    report.forwards = getattr(fabric, "forwards", cluster.router.forwards)
+    report.clock = fabric.now
     report.converged = True
     if report.duplicate_applies:
         raise AssertionError(

@@ -45,6 +45,17 @@ class DistributedFile:
 
     Obtain one from :meth:`Cluster.client` — cold (blank image, the TH*
     initial state) or warm (a snapshot of the current partition).
+
+    The client is written against the
+    :class:`~repro.distributed.transport.Transport` seam: everything it
+    needs from ``cluster`` is a transport (``cluster.router``), the
+    alphabet, a metrics registry, and coordinator *metadata* (the first
+    shard id for a cold image, the record total for ``len``). It never
+    reaches into server objects, so the same class serves records over
+    the in-process fabric and over a real socket — see
+    :func:`repro.serving.connect`, which hands it a
+    :class:`~repro.serving.client.RemoteTransport` bound to a live
+    ``trie-hashing serve`` process instead.
     """
 
     def __init__(
@@ -224,7 +235,9 @@ class DistributedFile:
     # ------------------------------------------------------------------
     # Batched operations
     # ------------------------------------------------------------------
-    def _batch_rounds(self, pending: list, send_round) -> None:
+    def _batch_rounds(
+        self, pending: list, send_round, resume_on_error: bool = False
+    ) -> None:
         """Drive a batch to completion through leftover re-batching.
 
         Each round groups ``pending`` by the *image's* shard for the
@@ -234,8 +247,22 @@ class DistributedFile:
         the true owners. With an authoritative coordinator one extra
         round always suffices; the progress guard catches a wedged image
         (a round that shrinks nothing) and is defensive only.
+
+        ``resume_on_error`` is for idempotent (read) batches: a leg that
+        exhausts its retry budget parks its keys back in ``pending`` so
+        the other legs still make progress, instead of abandoning the
+        whole batch. Mutating batches must stay fail-fast — re-sending
+        an exhausted leg would travel under a fresh request id, and
+        "maybe applied, retry anyway" is exactly what the exactly-once
+        protocol exists to rule out.
+
+        When the guard does fire, the error carries a bounded sample of
+        the unplaced keys and chains the last leg failure (if any) as
+        ``__cause__``, so a wedged image is diagnosable from the
+        exception alone.
         """
         rounds = 0
+        last_error: Optional[ShardUnavailableError] = None
         while pending:
             rounds += 1
             groups: dict[int, list] = {}
@@ -245,12 +272,22 @@ class DistributedFile:
             before = len(pending)
             pending = []
             for shard, batch in sorted(groups.items()):
-                pending.extend(send_round(batch))
+                try:
+                    pending.extend(send_round(batch))
+                except ShardUnavailableError as exc:
+                    if not resume_on_error:
+                        raise
+                    last_error = exc
+                    pending.extend(batch)
             if pending and len(pending) >= before and rounds > len(self.image) + 2:
+                sample = sorted(
+                    entry[0] if isinstance(entry, tuple) else entry
+                    for entry in pending[:8]
+                )
                 raise ShardUnavailableError(
                     f"batch made no routing progress after {rounds} rounds "
-                    f"({len(pending)} keys unplaced)"
-                )
+                    f"({len(pending)} keys unplaced; sample: {sample!r})"
+                ) from last_error
 
     def get_many(self, keys) -> dict[str, object]:
         """Batched :meth:`get`: one routed leg per shard touched.
@@ -258,6 +295,11 @@ class DistributedFile:
         Returns ``{key: value}`` for the keys that exist; absent keys
         are simply omitted (no :class:`KeyNotFoundError`), matching
         :meth:`THFile.get_many <repro.core.file.THFile.get_many>`.
+
+        Reads are idempotent, so an unreachable shard only parks its
+        own leg: the other legs complete, and the batch surfaces
+        :class:`ShardUnavailableError` (with the leg failure chained)
+        only once no round can make progress.
         """
         out: dict[str, object] = {}
         pending = sorted({self.alphabet.validate_key(k) for k in keys})
@@ -273,7 +315,7 @@ class DistributedFile:
             out.update(reply.value)
             return reply.records or []
 
-        self._batch_rounds(pending, send_round)
+        self._batch_rounds(pending, send_round, resume_on_error=True)
         return out
 
     def put_many(self, items) -> None:
@@ -339,7 +381,10 @@ class DistributedFile:
                     return self.image.shards[self.image.gap_above(after)]
             reply = self._send(Op.scan(low, high, after), shard_for)
             self._absorb(reply)
-            if reply.error is not None:  # pragma: no cover - defensive
+            if reply.error is not None:
+                # An errored leg measured the keyspace, not the routing:
+                # _absorb already excluded it from convergence; surface
+                # it exactly as the shard raised it.
                 raise reply.error
             yield from reply.records
             if reply.done:

@@ -14,9 +14,13 @@ The distributed analogue of :class:`~repro.storage.faults.FaultyDisk`:
 * **duplicates** — the request is delivered twice; the second delivery
   must be absorbed by the owner's dedup window.
 * **delays** — delivery takes simulated time on the router's logical
-  clock; a round trip that exceeds the client's per-op ``timeout``
-  surfaces as :class:`~repro.distributed.errors.OpTimeoutError` (with
-  the same already-executed ambiguity as a lost reply).
+  clock; a round trip whose total elapsed time (request, forward and
+  reply delays alike) exceeds the client's per-op ``timeout`` surfaces
+  as :class:`~repro.distributed.errors.OpTimeoutError` (with the same
+  already-executed ambiguity as a lost reply). The deadline is measured
+  against the clock across the *whole* delivery, so a slow forward leg
+  counts — the client's ``RetryPolicy.timeout`` is enforced, not
+  merely carried.
 * **crashes** — the target server crashes (losing its volatile state;
   a durable shard recovers from WAL + checkpoints on restart) and
   refuses connections with
@@ -40,6 +44,7 @@ from typing import Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
+from .codec import decode_op, encode_op, roundtrip_reply
 from .errors import (
     ConfigurationError,
     MessageLostError,
@@ -229,10 +234,6 @@ class FaultyRouter(Router):
         self.faults_injected = 0
         self.crash_cycles = 0
         self._restart_at: dict[int, float] = {}
-        #: Audit trail: request id -> number of times it *applied*.
-        #: Exactly-once holds iff every count is 1 (the chaos harness
-        #: asserts this).
-        self.apply_counts: dict[tuple[int, int], int] = {}
 
     # ------------------------------------------------------------------
     # Clock and lifecycle
@@ -271,14 +272,6 @@ class FaultyRouter(Router):
         for server in self.servers.values():
             if server.down:
                 server.restart()
-
-    def note_apply(self, rid: Optional[tuple[int, int]]) -> None:
-        if rid is not None:
-            self.apply_counts[rid] = self.apply_counts.get(rid, 0) + 1
-
-    def duplicate_applies(self) -> int:
-        """Request ids that applied more than once (must stay 0)."""
-        return sum(1 for count in self.apply_counts.values() if count > 1)
 
     # ------------------------------------------------------------------
     # Fault bookkeeping
@@ -319,18 +312,26 @@ class FaultyRouter(Router):
         if decision.drop:
             self._fault("drop", "request", shard_id)
             raise MessageLostError(f"request to shard {shard_id} lost")
-        delay = decision.delay
+        # The per-op deadline is measured on the clock across the whole
+        # delivery: request delay, any forward-leg delays the handler
+        # incurs (they advance ``self.now`` inside ``handle``), and the
+        # reply delay all count against ``timeout``.
+        sent_at = self.now
         if decision.delay:
             self._fault("delay", "request", shard_id)
             self.now += decision.delay
         self._count("request")
-        reply = server.handle(op)
+        # One encode per logical send: a duplicated delivery hands the
+        # server a second decode of the *same bytes*, exactly what a
+        # network duplicate looks like.
+        wire = encode_op(op)
+        reply = server.handle(decode_op(wire))
         if decision.duplicate:
             # The fabric delivered the request twice; the second
             # execution must be absorbed by the owner's dedup window.
             self._fault("duplicate", "request", shard_id)
             self._count("request")
-            reply = server.handle(op)
+            reply = server.handle(decode_op(wire))
         back = self.plan.decide("reply", shard_id)
         if back.drop:
             # The op executed; the client just never hears about it.
@@ -339,15 +340,15 @@ class FaultyRouter(Router):
         if back.delay:
             self._fault("delay", "reply", shard_id)
             self.now += back.delay
-            delay += back.delay
-        if timeout is not None and delay > timeout:
+        elapsed = self.now - sent_at
+        if timeout is not None and elapsed > timeout:
             # The reply exists but arrived after the client gave up.
             self._fault("timeout", "reply", shard_id)
             raise OpTimeoutError(
-                f"shard {shard_id} answered in {delay:.4f}s > {timeout:.4f}s"
+                f"shard {shard_id} answered in {elapsed:.4f}s > {timeout:.4f}s"
             )
         self._count("reply")
-        return reply
+        return roundtrip_reply(reply)
 
     def forward(self, source: int, target: int, op: Op) -> Reply:
         self._tick()
@@ -366,11 +367,13 @@ class FaultyRouter(Router):
         ).inc()
         if TRACER.enabled:
             TRACER.emit("forward", src=source, dst=target, op=op.kind)
-        reply = server.handle(op)
+        wire = encode_op(op)
+        reply = server.handle(decode_op(wire))
         if decision.duplicate:
             self._fault("duplicate", "forward", target)
             self._count("forward")
-            reply = server.handle(op)
+            reply = server.handle(decode_op(wire))
         self._count("reply")
+        reply = roundtrip_reply(reply)
         reply.forwards += 1
         return reply

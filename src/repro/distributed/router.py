@@ -1,11 +1,22 @@
-"""The simulated message fabric between clients and shard servers.
+"""The in-process implementation of the message fabric.
 
-Everything is in-process and synchronous; what the router adds is the
-*accounting* a distributed design is judged by — messages per edge kind
-(client request, reply, server-to-server forward) and per-shard-pair
-forward counts — surfaced both through a
+:class:`InProcessTransport` (kept importable under its historical name
+``Router``) is the synchronous, same-process implementation of the
+:class:`~repro.distributed.transport.Transport` seam. What it adds over
+a function call is the *accounting* a distributed design is judged by —
+messages per edge kind (client request, reply, server-to-server
+forward) and per-shard-pair forward counts — surfaced both through a
 :class:`~repro.obs.metrics.MetricsRegistry` and, when tracing is on,
 as ``forward`` events on the :data:`~repro.obs.tracer.TRACER` bus.
+
+Although no socket is involved, every delivery still crosses the wire
+codec of :mod:`repro.distributed.codec`: the op is encoded and decoded
+on its way in, the reply on its way out. That makes the in-process
+fabric **byte-equivalent** to the real asyncio transport of
+:mod:`repro.serving` — a message is a value, never a shared reference,
+so a client mutating a ``get`` result (or a value it already sent)
+cannot silently corrupt the shard's stored record, and anything that
+is not wire-encodable fails identically in simulation and production.
 
 Edge counts reflect messages **actually delivered**: a request is
 counted once it reaches a live server, a reply only once the handler
@@ -13,7 +24,7 @@ returned one (a raising handler produced no reply, so none is counted),
 and a forwarded op counts both the relayed reply from the owner back to
 the forwarding server and the forwarding server's reply to the client.
 
-This base router is a perfect fabric — no losses, no delays, no
+This base transport is a perfect fabric — no losses, no delays, no
 failures beyond an explicitly crashed server (which refuses connections
 with :class:`~repro.distributed.errors.ServerDownError`). The
 fault-injecting variant lives in :mod:`repro.distributed.faults`.
@@ -25,13 +36,14 @@ from typing import Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
+from .codec import roundtrip_op, roundtrip_reply
 from .errors import ServerDownError, UnknownShardError
 from .messages import Op, Reply
 
-__all__ = ["Router"]
+__all__ = ["Router", "InProcessTransport"]
 
 
-class Router:
+class InProcessTransport:
     """Delivers operations to servers and counts every message."""
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -39,6 +51,10 @@ class Router:
         self.servers: dict[int, object] = {}
         self.messages = 0
         self.forwards = 0
+        #: Audit trail: request id -> number of times it *applied*.
+        #: Exactly-once holds iff every count is 1 (the chaos harness
+        #: and the serving differential both assert this).
+        self.apply_counts: dict[tuple[int, int], int] = {}
 
     def register(self, server) -> None:
         """Attach a shard server under its id."""
@@ -58,13 +74,19 @@ class Router:
         return server
 
     # ------------------------------------------------------------------
-    # Fault-tolerance hooks (no-ops on the perfect fabric)
+    # Fault-tolerance hooks (the clock never moves on the perfect fabric)
     # ------------------------------------------------------------------
     def sleep(self, seconds: float) -> None:
         """A client backing off between retries (advances no clock here)."""
 
     def note_apply(self, rid: Optional[tuple[int, int]]) -> None:
         """A mutating op with request id ``rid`` actually applied."""
+        if rid is not None:
+            self.apply_counts[rid] = self.apply_counts.get(rid, 0) + 1
+
+    def duplicate_applies(self) -> int:
+        """Request ids that applied more than once (must stay 0)."""
+        return sum(1 for count in self.apply_counts.values() if count > 1)
 
     # ------------------------------------------------------------------
     def client_send(
@@ -73,13 +95,15 @@ class Router:
         """A client request to ``shard_id`` plus its reply.
 
         ``timeout`` is the client's per-op deadline; the perfect fabric
-        has no delays, so it is accepted and ignored here.
+        has no delays, so it can never be exceeded here.
         """
         server = self._lookup(shard_id, "request")
         self._count("request")
-        reply = server.handle(op)
+        # The wire boundary: the server sees a decoded copy of the op,
+        # the client a decoded copy of the reply. No references cross.
+        reply = server.handle(roundtrip_op(op))
         self._count("reply")
-        return reply
+        return roundtrip_reply(reply)
 
     def forward(self, source: int, target: int, op: Op) -> Reply:
         """A server-to-server forward of a misaddressed operation."""
@@ -91,9 +115,15 @@ class Router:
         ).inc()
         if TRACER.enabled:
             TRACER.emit("forward", src=source, dst=target, op=op.kind)
-        reply = server.handle(op)
+        reply = server.handle(roundtrip_op(op))
         # The owner's reply relayed back to the forwarding server is a
-        # delivered message too.
+        # delivered message too — and crosses the codec like one.
         self._count("reply")
+        reply = roundtrip_reply(reply)
         reply.forwards += 1
         return reply
+
+
+#: The historical name; existing code and tests use the two
+#: interchangeably (``Cluster.router`` *is* an ``InProcessTransport``).
+Router = InProcessTransport

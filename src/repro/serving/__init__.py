@@ -1,0 +1,43 @@
+"""The asyncio serving tier: real sockets in front of the shard layer.
+
+:mod:`repro.serving` turns the in-process distributed fabric into a
+network service without changing a line of the protocol logic above
+it: :class:`ServingServer` fronts an ordinary
+:class:`~repro.distributed.coordinator.Cluster` over TCP or a
+Unix-domain socket, and :class:`RemoteTransport` is a synchronous
+:class:`~repro.distributed.transport.Transport` facade, so the same
+:class:`~repro.distributed.client.DistributedFile` — image routing,
+IAM patching, retries, request-id dedup — runs unmodified over a real
+wire. :class:`FaultyRemoteTransport` replays
+:class:`~repro.distributed.faults.FaultPlan` schedules over that wire,
+so the chaos differential holds against live sockets too.
+
+See ``docs/SERVING.md`` for the frame format and protocol contract.
+"""
+
+from .client import (
+    AsyncClient,
+    LoopRunner,
+    RemoteCluster,
+    RemoteSession,
+    RemoteTransport,
+    connect,
+)
+from .faults import FaultyRemoteTransport
+from .frames import DEFAULT_MAX_FRAME, read_frame
+from .server import ServingServer
+from .testing import ServingFixture
+
+__all__ = [
+    "AsyncClient",
+    "LoopRunner",
+    "RemoteCluster",
+    "RemoteSession",
+    "RemoteTransport",
+    "connect",
+    "FaultyRemoteTransport",
+    "DEFAULT_MAX_FRAME",
+    "read_frame",
+    "ServingServer",
+    "ServingFixture",
+]

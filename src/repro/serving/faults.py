@@ -1,0 +1,195 @@
+"""Fault injection on the client side of a real wire.
+
+:class:`FaultyRemoteTransport` reimplements the delivery semantics of
+:class:`~repro.distributed.faults.FaultyRouter` over a live
+:class:`~repro.serving.server.ServingServer` connection, so the chaos
+differential (:func:`repro.distributed.chaos.run_chaos`) can run
+against real sockets with the *same* :class:`~repro.distributed.faults
+.FaultPlan` determinism:
+
+* a **dropped request** is simply never sent — the server never
+  executes it, exactly like the simulated fabric;
+* a **dropped reply** completes the real roundtrip (the op executed!)
+  and then discards the answer, raising
+  :class:`~repro.distributed.errors.MessageLostError` — the ambiguity
+  dedup must absorb;
+* a **duplicate** performs two real roundtrips with the same encoded
+  op (the server's dedup window sees a true network duplicate);
+* a **delay** advances the transport's *simulated* clock, and the
+  per-op deadline is enforced against that clock, so timeout behaviour
+  is bit-deterministic even though the socket underneath is real.
+
+Crash faults ride the control plane: the plan's crash decision becomes
+a ``crash`` control command, with downtimes tracked on the simulated
+clock and ``restart`` issued when they lapse — mirroring
+:meth:`FaultyRouter.crash_server` over the wire.
+
+Injection lives client-side because that is where a real deployment's
+faults are *observable*: the server cannot distinguish "request never
+sent" from "request lost en route", and the retry loop under test runs
+in the client.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..distributed.errors import (
+    MessageLostError,
+    OpTimeoutError,
+    ServerDownError,
+)
+from ..distributed.faults import FaultPlan
+from ..distributed.messages import Op, Reply
+from ..obs.metrics import MetricsRegistry
+from .client import DEFAULT_WALL_TIMEOUT, AsyncClient, LoopRunner
+
+__all__ = ["FaultyRemoteTransport"]
+
+
+class FaultyRemoteTransport:
+    """A :class:`RemoteTransport` twin whose deliveries obey a plan."""
+
+    def __init__(
+        self,
+        runner: LoopRunner,
+        conn: AsyncClient,
+        plan: Optional[FaultPlan] = None,
+        registry: Optional[MetricsRegistry] = None,
+        wall_timeout: float = DEFAULT_WALL_TIMEOUT,
+    ):
+        self.runner = runner
+        self.conn = conn
+        self.plan = plan if plan is not None else FaultPlan()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.wall_timeout = wall_timeout
+        #: The simulated clock — delays and backoff sleeps advance it;
+        #: the socket's real latency does not (determinism).
+        self.now = 0.0
+        self.messages = 0
+        self.faults_injected = 0
+        self.crash_cycles = 0
+        self._down: set[int] = set()
+        self._restart_at: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Clock and lifecycle (mirrors FaultyRouter)
+    # ------------------------------------------------------------------
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+        self._tick()
+
+    def _tick(self) -> None:
+        due = [s for s, at in self._restart_at.items() if at <= self.now]
+        for shard_id in due:
+            del self._restart_at[shard_id]
+            self.control({"cmd": "restart", "shard": shard_id})
+            self._down.discard(shard_id)
+
+    def crash_server(
+        self, shard_id: int, downtime: Optional[float] = None
+    ) -> None:
+        if shard_id in self._down:
+            return
+        self.control({"cmd": "crash", "shard": shard_id})
+        self._down.add(shard_id)
+        self.crash_cycles += 1
+        if downtime is not None:
+            self._restart_at[shard_id] = self.now + downtime
+
+    def restore_all(self) -> None:
+        self._restart_at.clear()
+        self._down.clear()
+        self.control({"cmd": "restore_all"})
+
+    def note_apply(self, rid) -> None:
+        """The apply audit lives server-side over a real wire."""
+
+    def duplicate_applies(self) -> int:
+        return self.control({"cmd": "duplicate_applies"})
+
+    def control(self, command: dict):
+        return self.runner.call(self.conn.control(command), self.wall_timeout)
+
+    # ------------------------------------------------------------------
+    # Fault bookkeeping (same counter names as the simulated fabric)
+    # ------------------------------------------------------------------
+    def _fault(self, kind: str, edge: str, shard: int) -> None:
+        self.faults_injected += 1
+        self.registry.counter(
+            "dist_faults_total", {"kind": kind, "edge": edge}
+        ).inc()
+
+    def _maybe_crash(self, shard_id: int) -> None:
+        downtime = self.plan.decide_crash(shard_id)
+        if downtime is not None and shard_id not in self._down:
+            self._fault("crash", "request", shard_id)
+            self.crash_server(shard_id, downtime=downtime)
+
+    def _roundtrip(self, shard_id: int, op: Op) -> Reply:
+        # The wall deadline here is a hung-server backstop, not the
+        # per-op deadline — that is enforced on the simulated clock.
+        return self.runner.call(
+            self.conn.request(shard_id, op, self.wall_timeout),
+            self.wall_timeout * 2,
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery under faults
+    # ------------------------------------------------------------------
+    def client_send(
+        self, shard_id: int, op: Op, timeout: Optional[float] = None
+    ) -> Reply:
+        self._tick()
+        self._maybe_crash(shard_id)
+        if shard_id in self._down:
+            # Mirror the simulated fabric: a known-down shard refuses
+            # the request before any delivery dice are rolled, so the
+            # plan's RNG stream stays aligned with FaultyRouter's.
+            self._fault("server_down", "request", shard_id)
+            raise ServerDownError(f"shard {shard_id} is down (request refused)")
+        decision = self.plan.decide("request", shard_id)
+        if decision.drop:
+            self._fault("drop", "request", shard_id)
+            raise MessageLostError(f"request to shard {shard_id} lost")
+        sent_at = self.now
+        if decision.delay:
+            self._fault("delay", "request", shard_id)
+            self.now += decision.delay
+        try:
+            reply = self._roundtrip(shard_id, op)
+            self.messages += 1
+            if decision.duplicate:
+                # Two real deliveries of the same op; the owner's dedup
+                # window must absorb the second.
+                self._fault("duplicate", "request", shard_id)
+                reply = self._roundtrip(shard_id, op)
+                self.messages += 1
+        except OpTimeoutError:
+            raise
+        except MessageLostError:
+            raise
+        except ServerDownError:
+            # The server refused before handling (e.g. it crashed under
+            # an op already queued ahead of ours) — same accounting as
+            # the short-circuit above.
+            self._fault("server_down", "request", shard_id)
+            raise
+        except ConnectionError as exc:
+            raise MessageLostError(f"connection failed: {exc}") from None
+        back = self.plan.decide("reply", shard_id)
+        if back.drop:
+            # The op executed; the client just never hears about it.
+            self._fault("drop", "reply", shard_id)
+            raise MessageLostError(f"reply from shard {shard_id} lost")
+        if back.delay:
+            self._fault("delay", "reply", shard_id)
+            self.now += back.delay
+        elapsed = self.now - sent_at
+        if timeout is not None and elapsed > timeout:
+            self._fault("timeout", "reply", shard_id)
+            raise OpTimeoutError(
+                f"shard {shard_id} answered in {elapsed:.4f}s > {timeout:.4f}s"
+            )
+        self.messages += 1
+        return reply

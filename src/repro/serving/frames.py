@@ -1,0 +1,44 @@
+"""Async length-prefixed frame I/O shared by the server and the client.
+
+A frame on the stream is ``u32 length | frame body``, where the body is
+what :func:`~repro.distributed.codec.pack_frame` produced (version,
+kind, correlation id, payload) and ``length`` counts the body alone.
+Reading is the only shared concern — writing is ``writer.write(frame)``
+since :func:`~repro.distributed.codec.pack_frame` already emits the
+length prefix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+from ..distributed.codec import unpack_frame
+from ..distributed.errors import ProtocolError
+
+__all__ = ["DEFAULT_MAX_FRAME", "read_frame"]
+
+_U32 = struct.Struct(">I")
+
+#: A frame larger than this is wire damage, not a workload: the biggest
+#: legitimate payloads are batched ``put_many`` legs, far below 8 MiB.
+DEFAULT_MAX_FRAME = 8 * 1024 * 1024
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = DEFAULT_MAX_FRAME
+) -> tuple[int, int, bytes]:
+    """Read one frame; returns ``(kind, corr_id, payload)``.
+
+    Raises :class:`~asyncio.IncompleteReadError` on EOF mid-frame and
+    :class:`~repro.distributed.errors.ProtocolError` on an oversized
+    length prefix or an incompatible wire version.
+    """
+    head = await reader.readexactly(4)
+    (length,) = _U32.unpack(head)
+    if length > max_frame:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame}-byte cap"
+        )
+    body = await reader.readexactly(length)
+    return unpack_frame(body)

@@ -40,7 +40,7 @@ import io
 import json
 import struct
 import zlib
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from collections.abc import Iterable, Iterator
 from typing import Optional
 
@@ -479,6 +479,8 @@ class DurableFile:
         self.max_chain = max_chain
         self._ops_since_checkpoint = 0
         self._poisoned = False
+        self._group_depth = 0
+        self._group_appended = False
         self.last_recovery: Optional[RecoveryReport] = None
         #: Request-dedup window (exactly-once distributed retries). Ids
         #: travel inside WAL op records and checkpoint headers, so the
@@ -660,6 +662,13 @@ class DurableFile:
                 "reopen the store to recover"
             )
 
+    def _commit_barrier(self) -> None:
+        """The fsync barrier — deferred inside a :meth:`group_commit`."""
+        if self._group_depth:
+            self._group_appended = True
+        else:
+            self.wal.commit()  # the fsync barrier: returning == durable
+
     def _do(self, rec_type: int, key: str, value=None, rid=None):
         self._check_usable()
         if value is not None and not isinstance(value, str):
@@ -676,18 +685,66 @@ class DurableFile:
             if rid is not None:
                 payload["rid"] = [rid[0], rid[1]]
             self.wal.append(rec_type, payload)
-            self.wal.commit()  # the fsync barrier: returning == durable
+            self._commit_barrier()
         except BaseException:  # repro-lint: disable=TH002 -- fault boundary: a failure before the fsync ack leaves WAL state unknown; poison, then re-raise
             self._poisoned = True
             raise
         # Only past the fsync barrier may the id enter the window: a
         # recorded id promises the op is durable, and recovery keeps the
-        # promise by replaying the id from the logged record.
+        # promise by replaying the id from the logged record. Inside a
+        # group the record is made early — the caller promised to hold
+        # every acknowledgement until the group barrier, and an early
+        # entry is *required* so a duplicate delivery landing in the
+        # same group dedup-hits instead of double-applying.
         self.dedup.record(rid, out)
         self._ops_since_checkpoint += 1
-        if self._ops_since_checkpoint >= self.checkpoint_every:
+        if self._ops_since_checkpoint >= self.checkpoint_every and not self._group_depth:
             self.checkpoint()
         return out
+
+    @contextmanager
+    def group_commit(self) -> Iterator[None]:
+        """Batch the fsync barrier across several mutating calls.
+
+        Inside the block every :meth:`insert` / :meth:`put` /
+        :meth:`delete` / :meth:`put_many` appends its operation records
+        but defers the fsync; leaving the block commits the WAL **once**
+        for the whole group (and runs any checkpoint the op counter
+        triggered meanwhile). This is the server-side write batching of
+        the serving tier: one group fsync acknowledges a micro-batch of
+        requests.
+
+        The caller owns the ack protocol: no operation in the group may
+        be acknowledged to a client before the block exits — the apply
+        is in memory and logged, but not yet durable. (The serving
+        dispatcher withholds every reply until the group barrier.)
+
+        Groups nest; only the outermost exit commits. The barrier also
+        runs when the block exits by exception — operations that
+        completed before the failure were applied and logged, so
+        flushing them keeps the acknowledged state and the log
+        consistent.
+        """
+        self._check_usable()
+        self._group_depth += 1
+        try:
+            yield self
+        finally:
+            self._group_depth -= 1
+            if self._group_depth == 0:
+                flush = self._group_appended
+                self._group_appended = False
+                if flush:
+                    try:
+                        self.wal.commit()
+                    except BaseException:  # repro-lint: disable=TH002 -- fault boundary: a failed group fsync leaves WAL state unknown; poison, then re-raise
+                        self._poisoned = True
+                        raise
+                if (
+                    self._ops_since_checkpoint >= self.checkpoint_every
+                    and not self._poisoned
+                ):
+                    self.checkpoint()
 
     def insert(
         self,
@@ -796,13 +853,13 @@ class DurableFile:
                 if rid is not None:
                     payload["rid"] = [rid[0], rid[1]]
                 self.wal.append(REC_PUT, payload)
-            self.wal.commit()  # one fsync barrier for the whole batch
+            self._commit_barrier()  # one fsync barrier for the whole batch
         except BaseException:  # repro-lint: disable=TH002 -- fault boundary: a failure before the group fsync leaves WAL state unknown; poison, then re-raise
             self._poisoned = True
             raise
         self.dedup.record(rid, None)
         self._ops_since_checkpoint += len(pending)
-        if self._ops_since_checkpoint >= self.checkpoint_every:
+        if self._ops_since_checkpoint >= self.checkpoint_every and not self._group_depth:
             self.checkpoint()
 
     def check(self) -> None:

@@ -446,3 +446,83 @@ class ChaosAgainstDict(RuleBasedStateMachine):
 
 TestChaosStateful = ChaosAgainstDict.TestCase
 TestChaosStateful.settings = settings(deadline=None)
+
+
+# ======================================================================
+# Deadlines over the faulty fabric (the RetryPolicy.timeout fixes)
+# ======================================================================
+class TestDeadlines:
+    def test_forward_leg_delay_counts_against_the_deadline(self):
+        # The op reaches shard 0 promptly; the *forward* hop to the
+        # owner is what stalls. The per-op deadline covers the whole
+        # delivery, so the client times out and retries — previously
+        # only the first hop was measured and the op hung "forever".
+        plan = FaultPlan(delay_seconds=(2.0, 2.0))
+        retry = RetryPolicy(timeout=0.5)
+        cluster = _faulty_cluster(plan, retry=retry, shards=2, durable=True)
+        cluster.client(warm=True).insert("zebra", "Z")
+        f = cluster.client()  # cold: routes to shard 0, owner forwards
+        plan.force("forward", "delay")
+        assert f.get("zebra") == "Z"
+        assert f.retries_total == 1
+        counter = cluster.registry.counter(
+            "dist_retries_total", {"op": "get", "reason": "OpTimeoutError"}
+        )
+        assert counter.value == 1
+        assert cluster.router.duplicate_applies() == 0
+
+    def test_timeout_retry_rederives_shard_from_patched_image(self):
+        # Attempt 1 forwards to the owner, applies, and times out on
+        # the slow reply. Between attempts the image learns the true
+        # cut (patched during the backoff); the retry must re-derive
+        # the shard and go *direct* — one forward total, and the
+        # duplicate delivery dies in the owner's dedup window.
+        plan = FaultPlan(delay_seconds=(2.0, 2.0))
+        retry = RetryPolicy(timeout=0.5)
+        cluster = _faulty_cluster(plan, retry=retry, shards=2, durable=True)
+        f = cluster.client()
+        router = cluster.router
+        original_sleep = router.sleep
+
+        def learning_sleep(seconds):
+            f.image.patch(cluster.coordinator.iam_for_key("zebra"))
+            original_sleep(seconds)
+
+        router.sleep = learning_sleep
+        plan.force("reply", "delay")
+        f.insert("zebra", "Z")
+        assert router.forwards == 1  # attempt 2 went direct
+        assert _counter_sum(cluster.registry, "dist_dedup_hits_total") == 1
+        counter = cluster.registry.counter(
+            "dist_retries_total", {"op": "insert", "reason": "OpTimeoutError"}
+        )
+        assert counter.value == 1
+        assert router.duplicate_applies() == 0
+        assert f.get("zebra") == "Z"
+
+
+# ======================================================================
+# Batch routing under a wedged image
+# ======================================================================
+class TestBatchWedge:
+    def test_no_progress_error_samples_keys_and_chains_cause(self):
+        # A permanently down shard parks its leg's keys every round;
+        # once no round shrinks the batch, the guard must surface a
+        # diagnosable error: which keys never placed, and why the last
+        # leg failed.
+        retry = RetryPolicy(max_retries=1, base_delay=0.001, max_delay=0.002)
+        cluster = _faulty_cluster(FaultPlan(), retry=retry, shards=2)
+        f = cluster.client(warm=True)
+        keys = ["apple", "bird", "yak", "zebra"]
+        for key in keys:
+            f.insert(key, key.upper())
+        cluster.router.crash_server(1)  # owner of the upper region; no restart
+        with pytest.raises(ShardUnavailableError) as info:
+            f.get_many(keys)
+        message = str(info.value)
+        assert "no routing progress" in message
+        assert "unplaced" in message
+        assert "'yak'" in message and "'zebra'" in message
+        assert "'apple'" not in message  # placed legs are not in the sample
+        assert isinstance(info.value.__cause__, ShardUnavailableError)
+        assert isinstance(info.value.__cause__.__cause__, ServerDownError)

@@ -489,3 +489,91 @@ class TestIAMRobustness:
             shuffled.patch([entry])  # one IAM per reply, odd order
         assert forward_order.boundaries == shuffled.boundaries
         assert forward_order.shards == shuffled.shards
+
+
+# ======================================================================
+# The wire boundary (codec at the in-process fabric)
+# ======================================================================
+class TestWireBoundary:
+    def test_inserted_value_cannot_be_mutated_through_the_caller(self):
+        # The fabric serializes every op: the server stores a decoded
+        # copy, so mutating the caller's object after the insert must
+        # not reach the shard (the aliasing bug the codec eliminates).
+        cluster = Cluster(shards=1)
+        f = cluster.client()
+        value = ["shared", {"nested": 1}]
+        f.insert("alias", value)
+        value.append("mutated-after-send")
+        value[1]["nested"] = 999
+        assert f.get("alias") == ["shared", {"nested": 1}]
+
+    def test_read_value_cannot_be_mutated_back_into_the_store(self):
+        cluster = Cluster(shards=1)
+        f = cluster.client()
+        f.insert("alias", {"count": 0})
+        got = f.get("alias")
+        got["count"] = 41
+        got["extra"] = "nope"
+        assert f.get("alias") == {"count": 0}
+
+    def test_scan_records_do_not_alias_the_store(self):
+        cluster = Cluster(shards=1)
+        f = cluster.client()
+        f.insert("alias", [1, 2, 3])
+        for _, value in f.range_items():
+            value.append(4)
+        assert f.get("alias") == [1, 2, 3]
+
+
+# ======================================================================
+# Scan error paths and mid-scan scale-out
+# ======================================================================
+class TestScanEdgeCases:
+    def test_errored_scan_leg_is_reraised_client_side(self):
+        from repro.core.errors import StorageError
+
+        cluster = Cluster(shards=2)
+        f = cluster.client(warm=True)
+        for key in ["apple", "bird", "cat", "xeno", "yak", "zebra"]:
+            f.insert(key, key.upper())
+        poisoned = cluster.coordinator.servers[1]
+        original = poisoned.handle
+
+        def failing(op):
+            reply = original(op)
+            if op.kind == "scan":
+                reply.records = []
+                reply.error = StorageError("leg exploded")
+            return reply
+
+        poisoned.handle = failing
+        scan = f.range_items()
+        lower = [next(scan) for _ in range(3)]  # shard 0's leg is fine
+        assert [k for k, _ in lower] == ["apple", "bird", "cat"]
+        with pytest.raises(StorageError, match="leg exploded"):
+            next(scan)
+
+    def test_mid_scan_split_completes_and_teaches_the_image(self):
+        # A scan leg per region: split the upper shard after the scan
+        # started. The continuation leg is addressed with the stale
+        # image, forwarded by the old owner, and its IAM teaches the
+        # client the new cut — the full ordered result stays exact.
+        cluster = Cluster(
+            shards=2, shard_policy=ShardPolicy(shard_capacity=10_000)
+        )
+        loader = cluster.client(warm=True)
+        keys = sorted(set(KeyGenerator(seed=17).uniform(80, length=4)))
+        for key in keys:
+            loader.insert(key, key.upper())
+        f = cluster.client(warm=True)
+        scan = f.range_items()
+        first = next(scan)  # pulls shard 0's whole leg
+        assert cluster.coordinator.split_shard(1)
+        rest = list(scan)
+        got = [first] + rest
+        assert [k for k, _ in got] == keys
+        assert [v for _, v in got] == [k.upper() for k in keys]
+        # The continuation forwarded exactly once and taught the cut.
+        new_shard = max(cluster.coordinator.servers)
+        assert new_shard in f.image.shards
+        assert f.ops_forwarded >= 1

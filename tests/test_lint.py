@@ -18,6 +18,7 @@ CORE = "repro/core/_fixture.py"
 DISTRIBUTED = "repro/distributed/_fixture.py"
 ANALYSIS = "repro/analysis/_fixture.py"
 CLI_LAYER = "repro/_fixture.py"  # in scope for repro/ rules, out of core/
+SERVING = "repro/serving/_fixture.py"
 
 
 def codes(violations):
@@ -74,6 +75,12 @@ RULE_FIXTURES = {
         "def insert(key, value):\n    return None\n",
         "def insert(key: str, value: str) -> None:\n    return None\n",
     ),
+    "TH009": (
+        SERVING,
+        "import time\n\nasync def flush(conn):\n    time.sleep(0.1)\n",
+        "import asyncio\n\nasync def flush(conn):\n"
+        "    await asyncio.sleep(0.1)\n",
+    ),
 }
 
 
@@ -110,6 +117,43 @@ def test_th004_exempts_storage_layer():
     snippet = RULE_FIXTURES["TH004"][1]
     assert lint_source(
         snippet, module_path="repro/storage/_fixture.py", select=["TH004"]
+    ) == []
+
+
+def test_th009_allows_blocking_calls_outside_coroutines():
+    # RemoteTransport.sleep is a sync method on the caller's thread —
+    # exactly the place blocking work belongs.
+    snippet = "import time\n\ndef sleep(seconds):\n    time.sleep(seconds)\n"
+    assert lint_source(snippet, module_path=SERVING, select=["TH009"]) == []
+    # A sync helper nested inside a coroutine runs when *called*, which
+    # need not be on the loop; only the coroutine body itself is flagged.
+    nested = (
+        "import time\n\nasync def outer():\n"
+        "    def emergency():\n        time.sleep(1)\n"
+        "    return emergency\n"
+    )
+    assert lint_source(nested, module_path=SERVING, select=["TH009"]) == []
+
+
+def test_th009_catches_the_blocking_surface():
+    bodies = {
+        "open": "async def f():\n    return open('x')\n",
+        "fsync": "import os\n\nasync def f(fd):\n    os.fsync(fd)\n",
+        "socket": (
+            "import socket\n\nasync def f():\n"
+            "    return socket.socket()\n"
+        ),
+        "subprocess": (
+            "import subprocess\n\nasync def f():\n"
+            "    subprocess.run(['true'])\n"
+        ),
+    }
+    for name, snippet in bodies.items():
+        found = lint_source(snippet, module_path=SERVING, select=["TH009"])
+        assert codes(found) == ["TH009"], f"{name} did not trip"
+    # Out of scope: the distributed layer has no event loop to stall.
+    assert lint_source(
+        bodies["open"], module_path=DISTRIBUTED, select=["TH009"]
     ) == []
 
 

@@ -1,0 +1,533 @@
+"""The asyncio serving tier: codec, frames, server, clients, chaos.
+
+Four layers of coverage, innermost first:
+
+* the wire codec — every encodable value roundtrips to an equal value
+  of the same type, exceptions come back as fresh typed instances, and
+  malformed payloads raise :class:`ProtocolError` rather than
+  misdecoding;
+* the frame envelope — version gating and the length cap;
+* a live server over a Unix-domain socket — point ops, scans, batches,
+  IAM convergence, typed errors, pipelining, group fsync amortisation,
+  deadlines with dedup, backpressure, crash controls and TCP;
+* the acceptance bridge — the chaos differential schedule replayed
+  over a real socket converges exactly like the simulated fabric.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro import (
+    Cluster,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    ShardPolicy,
+)
+from repro.distributed import (
+    MessageLostError,
+    OpTimeoutError,
+    RetryPolicy,
+    ServerDownError,
+    UnknownShardError,
+    run_chaos,
+)
+from repro.distributed.codec import (
+    ERROR_CODES,
+    FRAME_REQUEST,
+    WIRE_VERSION,
+    decode_op,
+    decode_reply,
+    decode_value,
+    encode_op,
+    encode_reply,
+    encode_value,
+    pack_frame,
+    unpack_frame,
+)
+from repro.distributed.errors import ConfigurationError, ProtocolError
+from repro.distributed.messages import Op, Reply
+from repro.serving import ServingFixture, connect, read_frame
+from repro.serving.client import DEFAULT_WALL_TIMEOUT, LoopRunner
+from repro.serving.server import ServingServer
+
+_U32 = struct.Struct(">I")
+
+
+def _counter_sum(registry, name):
+    return sum(
+        inst.value
+        for inst in registry.instruments()
+        if inst.name == name and not hasattr(inst, "set") and hasattr(inst, "value")
+    )
+
+
+def _keys(count):
+    """Alphabet-legal distinct keys spread across the key space."""
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    return [
+        letters[i % 26] + letters[(i * 7) % 26] + letters[(i * 3) % 26]
+        for i in range(count)
+    ]
+
+
+# ======================================================================
+# The value codec
+# ======================================================================
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**62,
+            2**100,          # the big-int escape
+            -(2**100),
+            1.5,
+            -0.0,
+            "",
+            "héllo ünïcode ✓",
+            b"",
+            b"\x00\xff\x7f",
+            [1, [2, [3, "x"]]],
+            (1, (2, None)),
+            {"k": (1, 2), "nested": {"a": [True]}},
+            {1, 2, 3},
+            frozenset(),
+            [("iam", "entry", 3), ("rid",), {"mixed": b"\x01"}],
+        ],
+    )
+    def test_roundtrip_is_equal_and_type_exact(self, value):
+        back = decode_value(encode_value(value))
+        assert back == value
+        assert type(back) in (type(value), set)  # frozenset lands as set
+
+    def test_tuples_and_lists_stay_distinct(self):
+        # IAM entries, rids and scan records are pattern-matched as
+        # tuples on the far side — a list coming back would be a bug.
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert isinstance(decode_value(encode_value((1, 2))), tuple)
+        assert isinstance(decode_value(encode_value([1, 2])), list)
+
+    @pytest.mark.parametrize("klass", sorted(ERROR_CODES.values(), key=repr))
+    def test_every_registered_exception_roundtrips_typed(self, klass):
+        back = decode_value(encode_value(klass("boom")))
+        assert type(back) is klass
+        assert "boom" in str(back)
+
+    def test_unregistered_subclass_degrades_to_nearest_ancestor(self):
+        class Exotic(KeyNotFoundError):
+            pass
+
+        back = decode_value(encode_value(Exotic("gone")))
+        assert type(back) is KeyNotFoundError
+        assert "gone" in str(back)
+
+    def test_error_code_registry_is_injective(self):
+        # Codes are wire contract: append-only, no aliases.
+        assert len(set(ERROR_CODES)) == len(ERROR_CODES)
+        assert len(set(ERROR_CODES.values())) == len(ERROR_CODES)
+
+    def test_unencodable_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_value(object())
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_value(encode_value(1) + b"\x00")
+
+    def test_truncated_payload_rejected(self):
+        data = encode_value("hello world")
+        with pytest.raises(ProtocolError):
+            decode_value(data[:-3])
+
+    def test_decoded_values_never_alias_the_input(self):
+        value = {"deep": [1, {"x": 2}]}
+        back = decode_value(encode_value(value))
+        back["deep"][1]["x"] = 999
+        assert value["deep"][1]["x"] == 2
+
+
+# ======================================================================
+# The message codec
+# ======================================================================
+class TestMessageCodec:
+    def test_op_roundtrips_every_slot(self):
+        op = Op.insert("key", {"v": [1, 2]})
+        op.rid = (7, 42)
+        op.ctx = (123, 456)
+        back = decode_op(encode_op(op))
+        assert (back.kind, back.key, back.value) == ("insert", "key", {"v": [1, 2]})
+        assert back.rid == (7, 42)
+        assert back.ctx == (123, 456)
+
+    def test_scan_op_roundtrips_bounds(self):
+        back = decode_op(encode_op(Op.scan("aa", "zz", after="mm")))
+        assert (back.low, back.high, back.after) == ("aa", "zz", "mm")
+
+    def test_reply_roundtrips_error_and_iam(self):
+        reply = Reply(
+            value=None,
+            error=DuplicateKeyError("key exists"),
+            iam=[("g", "t", 5)],
+            forwards=2,
+            owner=5,
+            records=[("aa", 1), ("ab", 2)],
+            region_high="t",
+            done=False,
+            dedup=True,
+        )
+        back = decode_reply(encode_reply(reply))
+        assert type(back.error) is DuplicateKeyError
+        assert back.iam == [("g", "t", 5)]
+        assert isinstance(back.iam[0], tuple)
+        assert back.records == [("aa", 1), ("ab", 2)]
+        assert (back.forwards, back.owner, back.region_high) == (2, 5, "t")
+        assert (back.done, back.dedup) == (False, True)
+
+    def test_malformed_payloads_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_op(encode_value((1, 2, 3)))
+        with pytest.raises(ProtocolError):
+            decode_reply(encode_value("not a reply"))
+
+
+# ======================================================================
+# The frame envelope
+# ======================================================================
+class TestFrames:
+    def test_pack_unpack_roundtrip(self):
+        frame = pack_frame(FRAME_REQUEST, 77, b"payload")
+        (length,) = _U32.unpack(frame[:4])
+        assert length == len(frame) - 4
+        assert unpack_frame(frame[4:]) == (FRAME_REQUEST, 77, b"payload")
+
+    def test_foreign_wire_version_rejected(self):
+        body = bytearray(pack_frame(FRAME_REQUEST, 0, b"x")[4:])
+        body[0] = WIRE_VERSION + 1
+        with pytest.raises(ProtocolError, match="wire version"):
+            unpack_frame(bytes(body))
+
+    def test_short_body_rejected(self):
+        with pytest.raises(ProtocolError):
+            unpack_frame(b"\x01\x01")
+
+    def test_read_frame_enforces_the_length_cap(self):
+        async def oversized():
+            reader = asyncio.StreamReader()
+            reader.feed_data(_U32.pack(10**9))
+            with pytest.raises(ProtocolError, match="exceeds"):
+                await read_frame(reader, max_frame=1024)
+
+        asyncio.new_event_loop().run_until_complete(oversized())
+
+
+# ======================================================================
+# A live server over a Unix-domain socket
+# ======================================================================
+class TestServingEndToEnd:
+    def test_point_ops_and_len(self):
+        with ServingFixture(Cluster(shards=2)) as fx:
+            with fx.open_session() as session:
+                f = session.file
+                f.insert("apple", "A")
+                f.put("bird", {"weight": 12})
+                assert f.get("apple") == "A"
+                assert f.get("bird") == {"weight": 12}
+                assert f.contains("apple")
+                assert not f.contains("missing")
+                assert len(f) == 2
+                assert f.delete("apple") == "A"
+                assert len(f) == 1
+
+    def test_typed_errors_cross_the_wire(self):
+        with ServingFixture(Cluster(shards=2)) as fx:
+            with fx.open_session() as session:
+                f = session.file
+                f.insert("apple", "A")
+                with pytest.raises(DuplicateKeyError):
+                    f.insert("apple", "B")
+                with pytest.raises(KeyNotFoundError):
+                    f.get("missing")
+                assert f.get("apple") == "A"
+
+    def test_scans_and_batches(self):
+        keys = sorted(set(_keys(50)))
+        with ServingFixture(Cluster(shards=3)) as fx:
+            with fx.open_session() as session:
+                f = session.file
+                f.put_many((k, k.upper()) for k in keys)
+                assert [k for k, _ in f.items()] == keys
+                low, high = keys[5], keys[-5]
+                expected = [k for k in keys if low <= k <= high]
+                assert [k for k, _ in f.range_items(low, high)] == expected
+                got = f.get_many(keys[:10] + ["nosuchkey"])
+                assert got == {k: k.upper() for k in keys[:10]}
+
+    def test_cold_client_converges_via_iams(self):
+        keys = sorted(set(_keys(40)))
+        with ServingFixture(Cluster(shards=4)) as fx:
+            with fx.open_session() as loader:
+                for key in keys:
+                    loader.file.insert(key, key.upper())
+            with fx.open_session() as session:
+                f = session.file
+                for key in keys:
+                    assert f.get(key) == key.upper()
+                assert f.ops_forwarded > 0  # the cold start paid forwards
+                assert len(f.image) == 4    # ...and learned the partition
+                f.reset_window()
+                for key in keys:
+                    assert f.get(key) == key.upper()
+                assert f.convergence(window=True) == 1.0
+
+    def test_distinct_sessions_get_distinct_client_ids(self):
+        with ServingFixture(Cluster(shards=1)) as fx:
+            a = fx.open_session()
+            b = fx.open_session()
+            assert a.file.client_id != b.file.client_id
+            a.file.insert("apple", "A")
+            b.file.insert("bird", "B")
+            assert fx.server.router.duplicate_applies() == 0
+
+    def test_unknown_shard_refused_with_typed_error(self):
+        with ServingFixture(Cluster(shards=1)) as fx:
+            runner, conn = fx.open_conn()
+            with pytest.raises(UnknownShardError):
+                runner.call(conn.request(99, Op.get("a"), 5.0), 10.0)
+
+    def test_crash_and_restart_controls(self):
+        with ServingFixture(Cluster(shards=1, durable=True)) as fx:
+            runner, conn = fx.open_conn()
+            with fx.open_session() as session:
+                session.file.insert("apple", "A")
+                runner.call(conn.control({"cmd": "crash", "shard": 0}), 10.0)
+                with pytest.raises(ServerDownError):
+                    runner.call(conn.request(0, Op.get("apple"), 5.0), 10.0)
+                runner.call(conn.control({"cmd": "restart", "shard": 0}), 10.0)
+                assert session.file.get("apple") == "A"
+
+    def test_scale_out_behind_the_wire(self):
+        keys = sorted(set(_keys(60)))
+        cluster = Cluster(
+            shards=1, durable=True, shard_policy=ShardPolicy(shard_capacity=16)
+        )
+        with ServingFixture(cluster) as fx:
+            with fx.open_session() as session:
+                f = session.file
+                for key in keys:
+                    f.insert(key, key.upper())
+                stats = session.transport.control({"cmd": "stats"})
+                assert stats["shards"] > 1
+                assert stats["records"] == len(keys)
+                assert stats["duplicate_applies"] == 0
+                assert [k for k, _ in f.items()] == keys
+        cluster.check()
+
+    def test_tcp_roundtrip(self):
+        cluster = Cluster(shards=2)
+        runner = LoopRunner()
+        server = ServingServer(cluster)
+        try:
+            host, port = runner.call(server.start_tcp(), DEFAULT_WALL_TIMEOUT)
+            with connect(host=host, port=port) as session:
+                session.file.insert("apple", "A")
+                assert session.file.get("apple") == "A"
+                assert len(session.file) == 1
+        finally:
+            runner.call(server.stop(), DEFAULT_WALL_TIMEOUT)
+            runner.stop()
+
+
+# ======================================================================
+# Pipelining and group fsync
+# ======================================================================
+class TestPipelining:
+    def test_gathered_burst_matches_replies_to_requests(self):
+        keys = sorted(set(_keys(30)))
+        with ServingFixture(Cluster(shards=3)) as fx:
+            with fx.open_session() as loader:
+                for key in keys:
+                    loader.file.insert(key, key.upper())
+            runner, conn = fx.open_conn()
+
+            async def burst():
+                return await asyncio.gather(
+                    *[conn.request(0, Op.get(k), 10.0) for k in keys]
+                )
+
+            replies = runner.call(burst(), 30.0)
+            # Correlation ids matched every reply to its request even
+            # though all were in flight at once (and some forwarded).
+            assert [r.value for r in replies] == [k.upper() for k in keys]
+            assert all(r.error is None for r in replies)
+
+    def test_pipelined_mutations_amortise_the_fsync_barrier(self):
+        keys = sorted(set(_keys(40)))
+        cluster = Cluster(shards=2, durable=True)
+        servers = cluster.coordinator.servers
+
+        def fsyncs():
+            return sum(s.file.stable.stats.fsyncs for s in servers.values())
+
+        with ServingFixture(cluster) as fx:
+            runner, conn = fx.open_conn()
+            before = fsyncs()
+            grouped_before = fx.server.grouped_batches
+            # Park the dispatcher so the whole burst queues up and
+            # drains as few micro-batches, then fire it pipelined.
+            runner.call(conn.control({"cmd": "stall", "seconds": 0.2}), 10.0)
+
+            async def burst():
+                ops = []
+                for i, key in enumerate(keys):
+                    op = Op.insert(key, key.upper())
+                    op.rid = (999, i + 1)
+                    ops.append(conn.request(0, op, 10.0))
+                return await asyncio.gather(*ops)
+
+            replies = runner.call(burst(), 30.0)
+            assert all(r.error is None for r in replies)
+            # Every insert is WAL-durable, but the fsync barrier was
+            # paid per micro-batch per file — far fewer than one per op.
+            delta = fsyncs() - before
+            assert delta >= 1
+            assert delta < len(keys)
+            assert fx.server.grouped_batches > grouped_before
+            with fx.open_session() as session:
+                assert [k for k, _ in session.file.items()] == keys
+            assert fx.server.router.duplicate_applies() == 0
+
+
+# ======================================================================
+# Deadlines over a real wire
+# ======================================================================
+class TestDeadlines:
+    def test_stalled_server_times_out_then_retries_into_dedup(self):
+        # The op deadline is a real asyncio timeout: the dispatcher is
+        # parked past it, the client times out and retries, and the
+        # duplicate delivery dies in the owner's dedup window once the
+        # server wakes — the wire version of the ambiguous-ack story.
+        cluster = Cluster(shards=1, durable=True)
+        retry = RetryPolicy(
+            timeout=0.15, max_retries=8, base_delay=0.05, max_delay=0.1
+        )
+        with ServingFixture(cluster) as fx:
+            with fx.open_session(retry=retry) as session:
+                session.transport.control({"cmd": "stall", "seconds": 0.6})
+                session.file.insert("apple", "A")
+                assert session.file.retries_total >= 1
+                assert session.file.get("apple") == "A"
+        assert _counter_sum(cluster.registry, "dist_dedup_hits_total") >= 1
+        assert cluster.router.duplicate_applies() == 0
+
+    def test_late_reply_is_dropped_on_the_floor(self):
+        with ServingFixture(Cluster(shards=1)) as fx:
+            with fx.open_session() as loader:
+                loader.file.insert("apple", "A")
+            runner, conn = fx.open_conn()
+            runner.call(conn.control({"cmd": "stall", "seconds": 0.3}), 10.0)
+            with pytest.raises(OpTimeoutError):
+                runner.call(conn.request(0, Op.get("apple"), 0.05), 10.0)
+            # The connection survives: the stale answer's correlation id
+            # no longer has a waiter, and fresh requests are unaffected.
+            reply = runner.call(conn.request(0, Op.get("apple"), 10.0), 20.0)
+            assert reply.value == "A"
+
+
+# ======================================================================
+# Backpressure and wire damage
+# ======================================================================
+class TestTransportEdges:
+    def test_tiny_queue_survives_a_pipelined_burst(self):
+        # max_queue=2: the readers block on the bounded queue and the
+        # kernel socket buffer absorbs the rest. Nothing is dropped;
+        # the burst completes exactly.
+        keys = sorted(set(_keys(80)))
+        with ServingFixture(Cluster(shards=2), max_queue=2, batch_max=2) as fx:
+            with fx.open_session() as loader:
+                loader.file.put_many((k, k.upper()) for k in keys)
+            runner, conn = fx.open_conn()
+
+            async def burst():
+                return await asyncio.gather(
+                    *[conn.request(0, Op.get(k), 20.0) for k in keys]
+                )
+
+            replies = runner.call(burst(), 60.0)
+            assert [r.value for r in replies] == [k.upper() for k in keys]
+
+    def test_foreign_version_frame_hangs_up_the_connection(self):
+        with ServingFixture(Cluster(shards=1)) as fx:
+            runner, conn = fx.open_conn()
+            poison = bytearray(pack_frame(FRAME_REQUEST, 0, b""))
+            poison[4] = WIRE_VERSION + 1  # bytes 0-3 are the length
+
+            async def send_poison():
+                conn._writer.write(bytes(poison))
+                await conn._writer.drain()
+
+            runner.call(send_poison(), 10.0)
+            # The stream can no longer be framed; the server hangs up
+            # and every in-flight op surfaces as a lost message.
+            with pytest.raises(MessageLostError):
+                runner.call(conn.request(0, Op.get("a"), 5.0), 10.0)
+
+
+# ======================================================================
+# The chaos schedule over a real socket
+# ======================================================================
+class TestServingChaos:
+    def test_chaos_converges_over_uds(self):
+        report = run_chaos(
+            ops=400,
+            shards=2,
+            seed=9,
+            durable=True,
+            drop=0.02,
+            duplicate=0.02,
+            delay=0.02,
+            crash_cycles=2,
+            shard_capacity=64,
+            scan_every=80,
+            transport="uds",
+        )
+        assert report.converged
+        assert report.duplicate_applies == 0
+        assert report.faults > 0
+        assert report.retries > 0
+        assert report.crashes >= 2
+        assert report.recoveries >= 2
+
+    def test_transport_argument_is_validated(self):
+        with pytest.raises(ConfigurationError):
+            run_chaos(ops=10, transport="carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            run_chaos(ops=10, transport="uds", trace_path="/tmp/x.jsonl")
+
+
+# ======================================================================
+# Group commit in isolation
+# ======================================================================
+class TestGroupCommit:
+    def test_group_pays_one_fsync_and_nests(self):
+        from repro.storage.recovery import DurableFile
+        from repro.storage.wal import StableStore
+
+        f = DurableFile.open(StableStore(), engine="th", capacity=8)
+        base = f.stable.stats.fsyncs
+        with f.group_commit():
+            with f.group_commit():
+                f.insert("aa", "1")
+                f.insert("ab", "2")
+            # The inner exit is not the barrier — only the outermost is.
+            assert f.stable.stats.fsyncs == base
+            f.insert("ac", "3")
+        assert f.stable.stats.fsyncs == base + 1
+        f.insert("ad", "4")  # outside any group: per-op durability
+        assert f.stable.stats.fsyncs == base + 2
+        assert f.get("aa") == "1"
