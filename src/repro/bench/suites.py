@@ -208,6 +208,89 @@ def chaos_rate_run(
     }
 
 
+def replication_chaos_run(count: int, seed: int = 0) -> dict:
+    """Failover chaos point: forced primary kills + a live migration.
+
+    Every structural number (kills, failovers, the sim-clock MTTR) is an
+    exact function of ``(count, seed)``; only ``wall_ops_per_s`` is
+    host-dependent (and ratio-gated). The run itself is a correctness
+    gate too: it raises unless the differential converged byte-identical
+    through three promotions and a cutover with zero double-applies.
+    """
+    start = time.perf_counter()
+    report = run_chaos(
+        ops=count,
+        shards=4,
+        seed=seed,
+        durable=True,
+        drop=0.01,
+        duplicate=0.01,
+        delay=0.01,
+        crash_cycles=0,
+        kill_cycles=3,
+        migrate_cycles=1,
+        replication="semisync",
+        shard_capacity=max(128, count // 8),
+    )
+    wall = time.perf_counter() - start
+    return {
+        "ops": report.ops,
+        "kills": report.kills,
+        "failovers": report.failovers,
+        "migrations": report.migrations,
+        "failover_mttr_sim_s": round(report.failover_mttr, 4),
+        "duplicate_applies": report.duplicate_applies,
+        "faults_injected": report.faults,
+        "shards_final": report.shards,
+        "records_final": report.records,
+        "converged": report.converged,
+        "wall_ops_per_s": round(report.ops / wall),
+    }
+
+
+def migration_load_run(count: int, seed: int = 0) -> dict:
+    """Client throughput sustained *while* a region is being moved.
+
+    Loads a replicated two-shard cluster, then interleaves a batch of
+    client puts with each snapshot chunk of a live migration until the
+    cutover barrier lands. ``migrate_ops_per_s`` is the wall rate of
+    those puts (ratio-gated); batching ~20 puts per chunk keeps the
+    measured window large enough for the 60% gate even at tiny counts.
+    The op and record counts are structural.
+    """
+    cluster = Cluster(
+        shards=2,
+        bucket_capacity=16,
+        shard_policy=ShardPolicy(shard_capacity=max(4096, count * 2)),
+        durable=True,
+        replication="semisync",
+    )
+    client = cluster.client(warm=True)
+    keys = KeyGenerator(seed).uniform(count)
+    for k in keys:
+        client.put(k, k.upper())
+    coordinator = cluster.coordinator
+    source = min(coordinator.servers)
+    start = time.perf_counter()
+    coordinator.start_migration(source, chunk_size=max(8, count // 50))
+    ops_during_move = 0
+    while source in coordinator.migrations:
+        for _ in range(20):
+            client.put(keys[ops_during_move % len(keys)], "v2")
+            ops_during_move += 1
+        if not coordinator.step_migration(source):
+            coordinator.finish_migration(source)
+    wall = time.perf_counter() - start
+    cluster.check()
+    return {
+        "records": count,
+        "ops_during_move": ops_during_move,
+        "migrate_ops_per_s": round(ops_during_move / wall),
+        "migrations_done": coordinator.migrations_done,
+        "shards_final": cluster.shard_count(),
+    }
+
+
 def chaos_suite(
     count: int = 2000, seed: int = 0, trie_backend: str = "cells"
 ) -> dict:
@@ -216,12 +299,17 @@ def chaos_suite(
     Every rate re-proves byte-identical convergence against the
     single-node oracle, so the suite doubles as an end-to-end
     correctness gate (``duplicate_applies`` must be zero everywhere).
+    The ``replication`` and ``migration`` blocks extend the gate to the
+    availability machinery: automatic failover under permanent kills,
+    and client throughput while a region moves.
     """
     return {
         "differential": [
             chaos_rate_run(count, rate, seed, trie_backend=trie_backend)
             for rate in FAULT_RATES
-        ]
+        ],
+        "replication": replication_chaos_run(count, seed),
+        "migration": migration_load_run(max(400, count // 2), seed),
     }
 
 

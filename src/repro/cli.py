@@ -136,6 +136,8 @@ def _trace_command(args) -> int:
 
 def _serve_command(args) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from .distributed import Cluster, ShardPolicy
     from .serving import ServingServer
@@ -146,8 +148,12 @@ def _serve_command(args) -> int:
         shard_policy=ShardPolicy(shard_capacity=args.shard_capacity),
         durable=not args.volatile,
         trie_backend=args.trie_backend,
+        replication=args.replicas,
     )
-    server = ServingServer(cluster)
+    server = ServingServer(
+        cluster,
+        health_interval=0.1 if args.replicas else 0.0,
+    )
 
     async def _serve() -> None:
         if args.uds:
@@ -156,10 +162,23 @@ def _serve_command(args) -> int:
         else:
             host, port = await server.start_tcp(args.host, args.port)
             print(f"serving on {host}:{port}", flush=True)
+        # SIGINT/SIGTERM trigger a *graceful* shutdown: stop accepting,
+        # drain in-flight batches behind their group fsync, take a
+        # final WAL commit on every live durable shard, then exit. No
+        # acked write is lost to a deploy or a ctrl-C.
+        stopping = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stopping.set)
         try:
-            await asyncio.Event().wait()
-        finally:
+            await stopping.wait()
+            print("draining: refusing new connections", flush=True)
+            drained = await server.shutdown()
+            print(f"shutdown complete ({drained} batches drained)", flush=True)
+        except asyncio.CancelledError:
             await server.stop()
+            raise
 
     try:
         asyncio.run(_serve())
@@ -342,6 +361,11 @@ def main(argv: list[str] = None) -> int:
     srv.add_argument(
         "--volatile", action="store_true",
         help="serve non-durable shards (no WAL; testing only)",
+    )
+    srv.add_argument(
+        "--replicas", choices=("semisync", "async"), default=None,
+        help="replicate every shard to a backup (WAL shipping) and run "
+        "wall-clock failover detection",
     )
     srv.add_argument(
         "--trie-backend", choices=("cells", "compact"), default="cells",

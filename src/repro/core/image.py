@@ -131,6 +131,17 @@ class TrieImage:
             )
         self.shards[gap + 1] = new_shard
 
+    def reassign(self, gap: int, shard: int) -> None:
+        """Repoint gap ``gap`` at ``shard``, keeping the cut points.
+
+        The ownership-transfer primitive of failover (a promoted backup
+        takes over its dead primary's region) and migration cutover (a
+        region moves wholesale to a freshly built server). Stale images
+        converge through the ordinary IAM ``patch`` path — the entries
+        a server emits for the gap simply carry the new shard id.
+        """
+        self.shards[gap] = shard
+
     def _insert_boundary(self, boundary: str) -> int:
         """Insert ``boundary`` (both sub-gaps keep the old shard).
 

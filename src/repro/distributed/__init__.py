@@ -22,6 +22,10 @@ reproduces that design over simulated in-process servers:
 * :mod:`~repro.distributed.faults` — the fault-injecting fabric:
   :class:`FaultPlan` schedules, :class:`FaultyRouter`,
   :class:`RetryPolicy`;
+* :mod:`~repro.distributed.replication` — primary/backup WAL shipping,
+  the failure detector behind automatic failover, and live shard
+  migration (:class:`ReplicationPolicy`, :class:`Replicator`,
+  :class:`Migration`);
 * :mod:`~repro.distributed.chaos` — randomized fault schedules run
   against the differential oracle;
 * :mod:`~repro.distributed.report` — the convergence experiment table.
@@ -44,9 +48,12 @@ from .client import DistributedFile
 from .coordinator import Cluster, Coordinator, ShardPolicy
 from .errors import (
     DistributedError,
+    FailoverError,
     MessageLostError,
     OpTimeoutError,
     ProtocolError,
+    ReplicaStaleError,
+    ReplicationError,
     RetryableError,
     ServerDownError,
     ShardUnavailableError,
@@ -54,6 +61,12 @@ from .errors import (
 )
 from .faults import FaultPlan, FaultyRouter, RetryPolicy
 from .messages import Op, Reply
+from .replication import (
+    FailureDetector,
+    Migration,
+    ReplicationPolicy,
+    Replicator,
+)
 from .router import Router
 from .server import ShardServer
 
@@ -63,13 +76,20 @@ __all__ = [
     "Coordinator",
     "DistributedError",
     "DistributedFile",
+    "FailoverError",
+    "FailureDetector",
     "FaultPlan",
     "FaultyRouter",
     "MessageLostError",
+    "Migration",
     "Op",
     "OpTimeoutError",
     "ProtocolError",
     "Reply",
+    "ReplicaStaleError",
+    "ReplicationError",
+    "ReplicationPolicy",
+    "Replicator",
     "RetryPolicy",
     "RetryableError",
     "Router",

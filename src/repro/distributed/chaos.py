@@ -30,6 +30,7 @@ from ..obs.tracer import TRACER
 from .coordinator import Cluster, ShardPolicy
 from .errors import ConfigurationError
 from .faults import FaultPlan, FaultyRouter, RetryPolicy
+from .replication import ReplicationPolicy
 
 __all__ = ["ChaosReport", "run_chaos", "chaos_table"]
 
@@ -54,6 +55,10 @@ class ChaosReport:
         "forwards",
         "clock",
         "converged",
+        "kills",
+        "failovers",
+        "migrations",
+        "failover_mttr",
     )
 
     def __init__(self) -> None:
@@ -71,6 +76,12 @@ class ChaosReport:
         self.forwards = 0
         self.clock = 0.0
         self.converged = False
+        #: Forced permanent primary kills (each must end in a failover).
+        self.kills = 0
+        self.failovers = 0
+        self.migrations = 0
+        #: Mean sim-seconds from a forced kill to its backup's promotion.
+        self.failover_mttr = 0.0
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -144,6 +155,9 @@ def run_chaos(
     trace_path: Optional[str] = None,
     trie_backend: str = "cells",
     transport: str = "sim",
+    replication: Optional[object] = None,
+    kill_cycles: int = 0,
+    migrate_cycles: int = 0,
 ) -> ChaosReport:
     """One differential chaos run; raises ``AssertionError`` on divergence.
 
@@ -178,10 +192,33 @@ def run_chaos(
     fault and crash traverses real frames and the codec. Tracing is not
     supported there (server-side events would interleave from another
     thread).
+
+    ``replication`` (a mode string or a
+    :class:`~repro.distributed.replication.ReplicationPolicy`) runs
+    every primary with a WAL-shipped backup. ``kill_cycles`` then adds
+    *permanent* primary kills, evenly spaced through the workload: the
+    dead primary is never restarted — the failure detector must promote
+    its backup, and the differential plus the exactly-once audit must
+    hold straight through the promotion. ``migrate_cycles`` starts that
+    many live shard migrations under load (snapshot chunks interleaved
+    with workload ops, WAL catch-up at the cutover barrier); they too
+    must be invisible to the oracle.
     """
     if transport not in ("sim", "uds"):
         raise ConfigurationError(
             f"transport must be 'sim' or 'uds', not {transport!r}"
+        )
+    if isinstance(replication, str):
+        # Promotion must out-wait any transient crash-restart cycle the
+        # plan schedules (downtimes cap at 0.25 sim-seconds), so routine
+        # outages recover in place and only true kills depose a primary.
+        replication = ReplicationPolicy(
+            mode=replication, heartbeat_interval=0.02, failover_after=0.3
+        )
+    if kill_cycles and replication is None:
+        raise ConfigurationError(
+            "kill_cycles needs replication: a killed primary is never "
+            "restarted, so only a promoted backup can keep its region alive"
         )
     if transport == "uds" and trace_path is not None:
         raise ConfigurationError(
@@ -209,6 +246,9 @@ def run_chaos(
             scan_every=scan_every,
             trie_backend=trie_backend,
             transport=transport,
+            replication=replication,
+            kill_cycles=kill_cycles,
+            migrate_cycles=migrate_cycles,
         )
     except AssertionError:
         # The differential oracle diverged: capture the last window of
@@ -235,6 +275,9 @@ def _run_chaos(
     scan_every: int,
     trie_backend: str,
     transport: str,
+    replication: Optional[ReplicationPolicy],
+    kill_cycles: int,
+    migrate_cycles: int,
 ) -> ChaosReport:
     plan = FaultPlan(
         seed=seed,
@@ -266,11 +309,15 @@ def _run_chaos(
             durable=durable,
             retry=retry,
             trie_backend=trie_backend,
+            replication=replication,
         )
         fixture = ServingFixture(cluster)
         client, fabric = fixture.open_file(
             plan=plan, retry=retry, registry=cluster.registry
         )
+        # The failure detector lives server-side; the client's simulated
+        # clock drives it through ``tick`` controls (see faults module).
+        fabric.replicated = replication is not None
     else:
         cluster = Cluster(
             shards=shards,
@@ -280,6 +327,7 @@ def _run_chaos(
             faults=plan,
             retry=retry,
             trie_backend=trie_backend,
+            replication=replication,
         )
         fabric = cluster.router
         if not isinstance(fabric, FaultyRouter):
@@ -297,10 +345,51 @@ def _run_chaos(
             seed=seed,
             crash_cycles=crash_cycles,
             scan_every=scan_every,
+            kill_cycles=kill_cycles,
+            migrate_cycles=migrate_cycles,
         )
     finally:
         if fixture is not None:
             fixture.close()
+
+
+def _kill_candidates(coordinator) -> list[int]:
+    """Primaries that can be killed *and* recovered by promotion.
+
+    A viable victim is up, not the source of an in-flight migration
+    (killing it would strand the move), and has a live, in-sync backup
+    — the failure detector refuses to promote a degraded or down
+    backup, so killing such a primary would lose the region for good.
+    """
+    out = []
+    for sid, srv in coordinator.servers.items():
+        if srv.down or sid in coordinator.migrations:
+            continue
+        backup = coordinator.replicas.get(sid)
+        rep = srv.replicator
+        if backup is None or backup.down or rep is None or rep.degraded:
+            continue
+        out.append(sid)
+    return sorted(out)
+
+
+def _advance_migrations(coordinator) -> int:
+    """One chunk of progress on every in-flight migration.
+
+    Finishes (cuts over) a move whose snapshot is fully copied, unless
+    its source is transiently down — the barrier would abort it, so the
+    finish waits for the restart instead. Returns completed cutovers.
+    """
+    finished = 0
+    for src in list(coordinator.migrations):
+        if coordinator.step_migration(src):
+            continue
+        source = coordinator.servers.get(src)
+        if source is None or source.down:
+            continue
+        if coordinator.finish_migration(src) is not None:
+            finished += 1
+    return finished
 
 
 def _drive_chaos(
@@ -313,13 +402,32 @@ def _drive_chaos(
     seed: int,
     crash_cycles: int,
     scan_every: int,
+    kill_cycles: int = 0,
+    migrate_cycles: int = 0,
 ) -> ChaosReport:
 
     rng = random.Random(seed)
     crash_rng = random.Random(seed ^ 0xC4A05)
+    kill_rng = random.Random(seed ^ 0x51AB5)
+    coordinator = cluster.coordinator
     crash_at = {
         (i + 1) * ops // (crash_cycles + 1) for i in range(crash_cycles)
     }
+    # Kills sit at odd half-points so they interleave with the transient
+    # crash schedule instead of landing on the same steps; migrations
+    # start early enough that every one can finish under load.
+    kill_at = (
+        {(2 * i + 1) * ops // (2 * kill_cycles) for i in range(kill_cycles)}
+        if kill_cycles
+        else set()
+    )
+    migrate_at = (
+        {(i + 1) * ops // (migrate_cycles + 2) for i in range(migrate_cycles)}
+        if migrate_cycles
+        else set()
+    )
+    kills: list[tuple[int, float]] = []
+    migrations_finished = 0
     known: list[str] = []
     for step in range(ops):
         if step in crash_at:
@@ -333,6 +441,23 @@ def _drive_chaos(
                     crash_rng.choice(live),
                     downtime=lo + (hi - lo) * crash_rng.random(),
                 )
+        if step in kill_at:
+            viable = _kill_candidates(coordinator)
+            if viable:
+                victim = kill_rng.choice(viable)
+                fabric.crash_server(victim, downtime=None)
+                kills.append((victim, fabric.now))
+        if step in migrate_at:
+            movable = sorted(
+                s for s, srv in coordinator.servers.items()
+                if not srv.down and s not in coordinator.migrations
+            )
+            if movable:
+                coordinator.start_migration(
+                    kill_rng.choice(movable), chunk_size=48
+                )
+        if coordinator.migrations:
+            migrations_finished += _advance_migrations(coordinator)
         action = rng.random()
         key = "".join(
             rng.choice(_WORKLOAD_ALPHABET)
@@ -389,6 +514,31 @@ def _drive_chaos(
                 context,
             )
 
+    # Drain in-flight migrations: keep stepping (and riding out any
+    # transient source outage on the clock) until every move cut over.
+    for _ in range(400):
+        if not coordinator.migrations:
+            break
+        migrations_finished += _advance_migrations(coordinator)
+        if coordinator.migrations:
+            fabric.sleep(0.02)
+
+    # Every forced kill must end in a promotion, not a restart: nudge
+    # the clock until the failure detector has deposed each dead
+    # primary (its id leaves ``coordinator.servers`` at failover).
+    for _ in range(400):
+        if not any(
+            sid in coordinator.servers and coordinator.servers[sid].down
+            for sid, _at in kills
+        ):
+            break
+        fabric.sleep(0.02)
+    if kills and len(coordinator.failover_log) < len(kills):
+        raise AssertionError(
+            f"only {len(coordinator.failover_log)} of {len(kills)} killed "
+            f"primaries were failed over"
+        )
+
     # Quiesce: stop injecting, bring every server back, and check that
     # the cluster converged to exactly the oracle's state.
     plan.heal()
@@ -411,6 +561,16 @@ def _drive_chaos(
     )
     report.duplicate_applies = fabric.duplicate_applies()
     report.messages = fabric.messages
+    report.kills = len(kills)
+    report.failovers = len(coordinator.failover_log)
+    report.migrations = migrations_finished
+    lag = [
+        entry["at"] - killed_at
+        for entry in coordinator.failover_log
+        for sid, killed_at in kills
+        if entry["shard"] == sid
+    ]
+    report.failover_mttr = round(sum(lag) / len(lag), 6) if lag else 0.0
     # Forwards happen server-side either way; over the wire the client
     # transport never sees them, so read the cluster's own router.
     report.forwards = getattr(fabric, "forwards", cluster.router.forwards)

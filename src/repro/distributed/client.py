@@ -33,7 +33,12 @@ from typing import Optional
 from ..core.image import TrieImage
 from ..obs.metrics import LATENCY_BUCKETS
 from ..obs.tracer import TRACER
-from .errors import RetryableError, ShardUnavailableError
+from .errors import (
+    ConfigurationError,
+    ReplicaStaleError,
+    RetryableError,
+    ShardUnavailableError,
+)
 from .faults import RetryPolicy
 from .messages import MUTATING_OPS, Op, Reply, rid_str
 
@@ -64,12 +69,22 @@ class DistributedFile:
         image: Optional[TrieImage] = None,
         client_id: int = 0,
         retry: Optional[RetryPolicy] = None,
+        read_preference: str = "primary",
     ):
+        if read_preference not in ("primary", "replica"):
+            raise ConfigurationError(
+                "read_preference must be 'primary' or 'replica', "
+                f"got {read_preference!r}"
+            )
         self.cluster = cluster
         self.router = cluster.router
         self.alphabet = cluster.alphabet
         self.client_id = client_id
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Scan-leg routing: ``"replica"`` tries the region owner's
+        #: backup first and falls back to the primary on staleness.
+        self.read_preference = read_preference
+        self.replica_fallbacks = 0
         if image is None:
             # The TH* initial image: one region, assumed on the first shard.
             first = min(cluster.coordinator.servers)
@@ -379,7 +394,11 @@ class DistributedFile:
             else:
                 def shard_for(after=after) -> int:
                     return self.image.shards[self.image.gap_above(after)]
-            reply = self._send(Op.scan(low, high, after), shard_for)
+            op = Op.scan(low, high, after)
+            if self.read_preference == "replica":
+                reply = self._scan_leg_replica(op, shard_for)
+            else:
+                reply = self._send(op, shard_for)
             self._absorb(reply)
             if reply.error is not None:
                 # An errored leg measured the keyspace, not the routing:
@@ -391,6 +410,34 @@ class DistributedFile:
                 return
             after = reply.region_high
             first = False
+
+    def _replica_for(self, shard_id: int) -> Optional[int]:
+        """The live backup shadowing ``shard_id`` (None when unknown)."""
+        resolve = getattr(self.cluster.coordinator, "replica_of", None)
+        if resolve is None:
+            return None
+        return resolve(shard_id)
+
+    def _scan_leg_replica(self, op: Op, shard_for: Callable[[], int]) -> Reply:
+        """One scan leg with replica preference.
+
+        Resolves the (image-guessed) region owner's backup and sends
+        the leg there. A replica that cannot serve — stale beyond its
+        bound, shadowing a different owner, crashed — falls back to the
+        primary path for this leg only; the preference stands for the
+        next leg.
+        """
+        replica = self._replica_for(shard_for())
+        if replica is None:
+            return self._send(op, shard_for)
+        try:
+            return self._send(op, lambda: replica)
+        except (ReplicaStaleError, ShardUnavailableError):
+            self.replica_fallbacks += 1
+            self.cluster.registry.counter(
+                "dist_replica_fallbacks_total"
+            ).inc()
+            return self._send(op, shard_for)
 
     def items(self) -> Iterator[tuple[str, object]]:
         """Iterate every record in key order."""

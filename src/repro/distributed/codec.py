@@ -101,6 +101,9 @@ ERROR_CODES: dict[int, type] = {
     15: dist_errors.OpTimeoutError,
     16: dist_errors.ServerDownError,
     17: dist_errors.ShardUnavailableError,
+    18: dist_errors.ReplicationError,
+    19: dist_errors.ReplicaStaleError,
+    20: dist_errors.FailoverError,
 }
 _CODE_OF = {cls: code for code, cls in ERROR_CODES.items()}
 

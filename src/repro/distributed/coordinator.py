@@ -29,10 +29,19 @@ from ..core.file import THFile
 from ..core.image import IAMEntry, TrieImage
 from ..core.keys import prefix_gt, prefix_le, split_string
 from ..core.policies import SplitPolicy
+from ..obs.flight import FLIGHT
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
-from .errors import ConfigurationError
+from ..storage.recovery import DurableFile
+from .errors import ConfigurationError, FailoverError
 from .messages import Op
+from .replication import (
+    FailureDetector,
+    Migration,
+    ReplicaState,
+    ReplicationPolicy,
+    Replicator,
+)
 from .router import Router
 from .server import ShardServer
 
@@ -77,17 +86,34 @@ class Coordinator:
         shard_policy: ShardPolicy,
         router: Router,
         file_factory: Callable[[], object],
+        replication: Optional[ReplicationPolicy] = None,
     ):
         self.alphabet = alphabet
         self.registry = registry
         self.shard_policy = shard_policy
         self.router = router
         self.file_factory = file_factory
+        self.replication = replication
         self._next_shard = 0
         self.servers: dict[int, ShardServer] = {}
+        #: Primary shard id -> its backup server.
+        self.replicas: dict[int, ShardServer] = {}
+        #: Every id ever rebound to a promoted backup (the dead ids a
+        #: remote client must stop treating as down).
+        self.promoted_ids: set[int] = set()
+        #: One entry per completed failover (MTTR accounting).
+        self.failover_log: list[dict] = []
+        #: Source shard id -> in-flight :class:`Migration`.
+        self.migrations: dict[int, Migration] = {}
+        self.migrations_done = 0
+        self.detector = (
+            FailureDetector(replication) if replication is not None else None
+        )
         first = self._new_server()
         self.model = TrieImage(alphabet, (), (first.shard_id,))
         registry.gauge("dist_shards").set(1)
+        if replication is not None:
+            self.ensure_backup(first)
 
     def _new_server(self) -> ShardServer:
         shard_id = self._next_shard
@@ -95,6 +121,12 @@ class Coordinator:
         server = ShardServer(shard_id, self.file_factory(), self, self.router)
         self.servers[shard_id] = server
         return server
+
+    def spawn_detached_server(self) -> ShardServer:
+        """A fresh server outside the partition (a migration target)."""
+        shard_id = self._next_shard
+        self._next_shard += 1
+        return ShardServer(shard_id, self.file_factory(), self, self.router)
 
     # ------------------------------------------------------------------
     # Authoritative addressing (what servers consult)
@@ -133,29 +165,253 @@ class Coordinator:
     # ------------------------------------------------------------------
     # Availability bookkeeping
     # ------------------------------------------------------------------
+    def _is_backup(self, shard_id: int) -> bool:
+        return any(b.shard_id == shard_id for b in self.replicas.values())
+
     def mark_down(self, shard_id: int) -> None:
-        """Note that ``shard_id`` crashed (availability gauge only).
+        """Note that ``shard_id`` crashed (availability gauges only).
 
         The partition is untouched: the region still belongs to the
         crashed shard, and operations for it fail fast with
         :class:`~repro.distributed.errors.ServerDownError` until the
-        server recovers — TH* has no failover, only recovery.
+        server recovers — or, with replication on, until the failure
+        detector deposes it and promotes its backup. Ids belonging to
+        neither the partition nor a tracked backup (retired migration
+        sources, already-deposed primaries) are ignored.
         """
-        self.registry.gauge("dist_shards_down").inc(1)
+        if shard_id in self.servers:
+            self.registry.gauge("dist_shards_down").inc(1)
+        elif self._is_backup(shard_id):
+            self.registry.gauge("dist_replicas_down").inc(1)
 
     def mark_up(self, shard_id: int) -> None:
         """Note that ``shard_id`` recovered and rejoined."""
-        self.registry.gauge("dist_shards_down").inc(-1)
+        if shard_id in self.servers:
+            self.registry.gauge("dist_shards_down").inc(-1)
+        elif self._is_backup(shard_id):
+            self.registry.gauge("dist_replicas_down").inc(-1)
 
     def down_shards(self) -> list[int]:
         """The shard ids currently refusing deliveries."""
         return sorted(s for s, srv in self.servers.items() if srv.down)
 
     # ------------------------------------------------------------------
+    # Replication: backups, failover, migration
+    # ------------------------------------------------------------------
+    def replica_of(self, shard_id: int) -> Optional[int]:
+        """The live backup id shadowing primary ``shard_id`` (or None)."""
+        backup = self.replicas.get(shard_id)
+        if backup is None or backup.down:
+            return None
+        return backup.shard_id
+
+    def ensure_backup(self, primary: ShardServer) -> None:
+        """Give ``primary`` an in-sync backup (create or reseed)."""
+        if self.replication is None or primary.role != "primary":
+            return
+        if primary.shard_id not in self.replicas:
+            self._new_backup(primary)
+        else:
+            self._seed_backup(primary)
+
+    def _new_backup(self, primary: ShardServer) -> ShardServer:
+        backup_id = self._next_shard
+        self._next_shard += 1
+        backup = ShardServer(
+            backup_id, self.file_factory(), self, self.router, role="backup"
+        )
+        backup.replica_of = primary.shard_id
+        self.replicas[primary.shard_id] = backup
+        primary.replicator = Replicator(primary, backup, self.replication)
+        primary.wire_replication()
+        self._seed_backup(primary)
+        self.registry.gauge("dist_replicas").set(len(self.replicas))
+        return backup
+
+    def _seed_backup(self, primary: ShardServer) -> None:
+        """Direct-copy the primary onto its backup and fence the stream.
+
+        The in-process equivalent of a full resync, used where both
+        ends are already in the coordinator's hands (initial creation,
+        split rebuilds, post-promotion respawns). A crashed backup is
+        left alone — it will request a resync over the wire when it
+        comes back and sees an unknown epoch.
+        """
+        backup = self.replicas[primary.shard_id]
+        rep = primary.replicator
+        rep.seed_direct()
+        if backup.down:
+            rep.degraded = True
+            return
+        items = primary.items()
+        rebuilt = self.file_factory()
+        if items:
+            rebuilt.put_many(items)
+        backup.replace_file(rebuilt)
+        backup.dedup.merge(primary.dedup)
+        if isinstance(rebuilt, DurableFile) and len(backup.dedup):
+            # The window arrived out-of-band; checkpoint it so a backup
+            # crash cannot forget pre-copy request ids.
+            rebuilt.checkpoint(full=True)
+        wal = getattr(primary.file, "wal", None)
+        backup.replica_state = ReplicaState(
+            epoch=rep.epoch,
+            applied_seq=0,
+            last_lsn=wal.last_lsn if wal is not None else 0,
+        )
+
+    def tick(self, now: float) -> list[int]:
+        """Run one health-probe sweep on the caller's clock.
+
+        Wired to the fabric clock in simulation
+        (``FaultyRouter._tick``), to the ``tick`` control frame over a
+        wire transport, and to a wall-clock asyncio loop in the serving
+        tier. Returns the shard ids deposed by this sweep.
+        """
+        if self.detector is None:
+            return []
+        return self.detector.poll(self, now)
+
+    def failover(self, shard_id: int, now: Optional[float] = None) -> bool:
+        """Depose the down primary ``shard_id``; promote its backup.
+
+        Refuses (returns False) unless the primary is actually down and
+        its backup is up and was never degraded — a degraded backup may
+        be missing acked writes, and losing those silently would be
+        worse than staying unavailable. The deposed server's ids are
+        rebound to the promoted backup on the router, so stale clients
+        still reach data and converge through ordinary IAM patching;
+        the dead object itself becomes unreachable and is never
+        restarted.
+        """
+        dead = self.servers.get(shard_id)
+        backup = self.replicas.get(shard_id)
+        if dead is None or not dead.down:
+            return False
+        if backup is None or backup.down:
+            return False
+        rep = dead.replicator
+        if rep is not None and rep.degraded:
+            return False
+        span = (
+            TRACER.span("failover", shard=shard_id, backup=backup.shard_id)
+            if TRACER.enabled
+            else nullcontext()
+        )
+        with span:
+            migration = self.migrations.pop(shard_id, None)
+            if migration is not None:
+                migration.abort()
+            self.replicas.pop(shard_id)
+            self.servers.pop(shard_id)
+            gap = self.gap_of_shard(shard_id)
+            self.model.reassign(gap, backup.shard_id)
+            backup.promote()
+            self.servers[backup.shard_id] = backup
+            rebound = self.router.rebind(dead, backup)
+            self.promoted_ids.update(rebound)
+            self.failover_log.append(
+                {
+                    "shard": shard_id,
+                    "promoted": backup.shard_id,
+                    "at": now,
+                }
+            )
+            self.registry.counter("dist_failovers_total").inc()
+            self.registry.gauge("dist_shards_down").inc(-1)
+            self.registry.gauge("dist_replicas").set(len(self.replicas))
+            if TRACER.enabled:
+                TRACER.emit(
+                    "failover",
+                    shard=shard_id,
+                    promoted=backup.shard_id,
+                    rebound=rebound,
+                )
+                TRACER.emit(
+                    "promote", shard=backup.shard_id, records=len(backup)
+                )
+            # Black-box dump: the event window leading into the
+            # promotion (a no-op unless forensics are configured).
+            FLIGHT.dump(f"promote-shard-{backup.shard_id}")
+            if self.replication is not None:
+                self.ensure_backup(backup)
+        return True
+
+    def start_migration(self, shard_id: int, chunk_size: int = 64) -> Migration:
+        """Begin moving ``shard_id``'s region to a fresh server."""
+        if shard_id not in self.servers:
+            raise FailoverError(f"shard {shard_id} is not in the partition")
+        if shard_id in self.migrations:
+            raise FailoverError(f"shard {shard_id} is already migrating")
+        if self.servers[shard_id].down:
+            raise FailoverError(f"cannot migrate down shard {shard_id}")
+        migration = Migration(self, shard_id, chunk_size=chunk_size)
+        self.migrations[shard_id] = migration
+        return migration
+
+    def step_migration(self, shard_id: int) -> bool:
+        """Copy one chunk; True while the migration wants more steps."""
+        migration = self.migrations.get(shard_id)
+        if migration is None:
+            return False
+        return migration.step()
+
+    def finish_migration(self, shard_id: int) -> Optional[int]:
+        """Run the cutover barrier; returns the new owner id (or None)."""
+        migration = self.migrations.get(shard_id)
+        if migration is None:
+            return None
+        result = migration.finish()
+        if result is None:
+            self.migrations.pop(shard_id, None)
+        return result
+
+    def cutover_migration(self, migration: Migration, replayed: int) -> None:
+        """Commit a finished migration into the partition (barrier tail)."""
+        source = migration.source
+        target = migration.target
+        gap = self.gap_of_shard(migration.source_id)
+        self.model.reassign(gap, target.shard_id)
+        self.servers.pop(migration.source_id)
+        self.servers[target.shard_id] = target
+        self.migrations.pop(migration.source_id, None)
+        self.migrations_done += 1
+        # Retire the source as a forwarding stub: it stays registered
+        # (stale clients still reach it and get forwarded + IAM'd) but
+        # owns nothing and keeps no data.
+        source.replicator = None
+        retired_backup = self.replicas.pop(migration.source_id, None)
+        if retired_backup is not None:
+            retired_backup.replica_state = None
+        source.replace_file(self.file_factory())
+        if isinstance(target.file, DurableFile):
+            # The merged dedup window arrived out-of-band of the
+            # target's WAL; a full checkpoint persists it so a crash on
+            # the new owner cannot forget pre-cutover request ids.
+            target.file.checkpoint(full=True)
+        self.registry.counter("dist_migrations_total").inc()
+        self.registry.gauge("dist_replicas").set(len(self.replicas))
+        if TRACER.enabled:
+            TRACER.emit(
+                "migration_cutover",
+                shard=migration.source_id,
+                target=target.shard_id,
+                records=len(target),
+                replayed=replayed,
+            )
+        if self.replication is not None:
+            self.ensure_backup(target)
+        self.maybe_split(target.shard_id)
+
+    # ------------------------------------------------------------------
     # Scale-out
     # ------------------------------------------------------------------
     def maybe_split(self, shard_id: int) -> None:
         """Scale ``shard_id`` out while it exceeds the load policy."""
+        if shard_id in self.migrations:
+            # The region is mid-move; recutting it would invalidate the
+            # migration snapshot. The target splits after cutover.
+            return
         while self.shard_policy.should_split(len(self.servers[shard_id])):
             if not self.split_shard(shard_id):
                 return
@@ -212,6 +468,11 @@ class Coordinator:
         server.dedup.merge(old_dedup)
         new_server.dedup.merge(old_dedup)
         self.model.split_region(gap, cut, new_server.shard_id)
+        # Both halves changed contents wholesale; their backups restart
+        # from fresh direct copies (and fresh shipping epochs).
+        if self.replication is not None:
+            self.ensure_backup(server)
+            self.ensure_backup(new_server)
         self.registry.counter("dist_shard_splits_total").inc()
         self.registry.gauge("dist_shards").set(len(self.servers))
         if TRACER.enabled:
@@ -255,6 +516,23 @@ class Coordinator:
                         f"key {key!r} on shard {shard_id} above its region"
                     )
             server.engine.check()
+        # Replicated pairs that claim to be in sync must actually be:
+        # a semisync backup whose stream is fully confirmed holds the
+        # byte-identical record set. Skipped while either end is down,
+        # degraded, or has unconfirmed ships in flight (async lag).
+        for primary_id, backup in self.replicas.items():
+            primary = self.servers.get(primary_id)
+            if primary is None or primary.down or backup.down:
+                continue
+            rep = primary.replicator
+            if rep is None or rep.degraded or rep.confirmed != rep.seq:
+                continue
+            if backup.items() != primary.items():
+                raise AssertionError(
+                    f"backup {backup.shard_id} diverged from "
+                    f"primary {primary_id}"
+                )
+            backup.engine.check()
 
 
 class Cluster:
@@ -303,6 +581,7 @@ class Cluster:
         faults: Optional[FaultPlan] = None,
         retry: Optional[RetryPolicy] = None,
         trie_backend: str = "cells",
+        replication: Optional[object] = None,
     ):
         if shards < 1:
             raise ConfigurationError("a cluster needs at least one shard")
@@ -313,6 +592,15 @@ class Cluster:
         self.trie_backend = trie_backend
         self.registry = registry if registry is not None else MetricsRegistry()
         self.retry = retry
+        if isinstance(replication, str):
+            replication = ReplicationPolicy(mode=replication)
+        if replication is not None and not isinstance(
+            replication, ReplicationPolicy
+        ):
+            raise ConfigurationError(
+                "replication must be a ReplicationPolicy, "
+                "'semisync'/'async', or None"
+            )
         if faults is not None:
             from .faults import FaultyRouter
 
@@ -325,7 +613,12 @@ class Cluster:
             shard_policy if shard_policy is not None else ShardPolicy(),
             self.router,
             self._make_file,
+            replication=replication,
         )
+        if replication is not None:
+            # Failure detection rides the fabric clock: every tick of a
+            # clock-bearing transport runs one health-probe sweep.
+            self.router.on_tick = self.coordinator.tick
         self._clients = 0
         if seed_boundaries is None:
             seed_boundaries = self._even_boundaries(shards)
@@ -366,7 +659,12 @@ class Cluster:
         )
 
     # ------------------------------------------------------------------
-    def client(self, warm: bool = False, retry: Optional[RetryPolicy] = None):
+    def client(
+        self,
+        warm: bool = False,
+        retry: Optional[RetryPolicy] = None,
+        read_preference: str = "primary",
+    ):
         """A new client handle.
 
         A cold client (the default) starts with a one-region image
@@ -374,6 +672,8 @@ class Cluster:
         partition through IAMs. A warm client snapshots the current
         authoritative partition. ``retry`` overrides the cluster's
         default :class:`~repro.distributed.faults.RetryPolicy`.
+        ``read_preference="replica"`` routes scan legs to backups when
+        one is in sync (falling back to the primary per leg).
         """
         from .client import DistributedFile
 
@@ -384,6 +684,7 @@ class Cluster:
             image=image,
             client_id=self._clients,
             retry=retry if retry is not None else self.retry,
+            read_preference=read_preference,
         )
 
     def shard_count(self) -> int:

@@ -30,6 +30,9 @@ __all__ = [
     "OpTimeoutError",
     "ServerDownError",
     "ShardUnavailableError",
+    "ReplicationError",
+    "ReplicaStaleError",
+    "FailoverError",
 ]
 
 
@@ -85,3 +88,22 @@ class ShardUnavailableError(DistributedError):
     Raised instead of returning a wrong or partial answer; the original
     transient error is chained as ``__cause__``.
     """
+
+
+class ReplicationError(DistributedError):
+    """Base class for primary/backup replication failures."""
+
+
+class ReplicaStaleError(ReplicationError):
+    """A read replica refused a scan it cannot serve within bounds.
+
+    Raised when the backup has an unresolved replication gap beyond its
+    policy's staleness bound, or when the addressed range is not owned
+    by its primary. Deliberately *not* retryable: retrying against the
+    same replica cannot help — the client falls back to the primary
+    immediately instead.
+    """
+
+
+class FailoverError(ReplicationError):
+    """A failover or migration step could not be performed safely."""

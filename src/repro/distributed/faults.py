@@ -57,7 +57,7 @@ from .router import Router
 __all__ = ["FaultPlan", "FaultDecision", "FaultyRouter", "RetryPolicy"]
 
 #: The edge kinds a plan can schedule faults on.
-EDGES = ("request", "reply", "forward")
+EDGES = ("request", "reply", "forward", "replicate")
 
 
 class FaultDecision:
@@ -244,11 +244,18 @@ class FaultyRouter(Router):
         self._tick()
 
     def _tick(self) -> None:
-        """Restart every crashed server whose downtime has elapsed."""
+        """Restart due servers, then run the failure-detection hook."""
         due = [s for s, at in self._restart_at.items() if at <= self.now]
         for shard_id in due:
             del self._restart_at[shard_id]
-            self.servers[shard_id].restart()
+            server = self.servers.get(shard_id)
+            # The id may have been rebound to a promoted server in the
+            # meantime — a live server must not be bounced by the dead
+            # one's leftover restart schedule.
+            if server is not None and server.down:
+                server.restart()
+        if self.on_tick is not None:
+            self.on_tick(self.now)
 
     def crash_server(self, shard_id: int, downtime: Optional[float] = None) -> None:
         """Crash ``shard_id``; auto-restart after ``downtime`` sim-seconds.
@@ -377,3 +384,35 @@ class FaultyRouter(Router):
         reply = roundtrip_reply(reply)
         reply.forwards += 1
         return reply
+
+    def replicate(self, source: int, target: int, op: Op) -> Reply:
+        """A shipping leg under faults (no tick: runs mid-delivery).
+
+        A dropped ship surfaces as :class:`MessageLostError` for the
+        primary's retry/repair ladder; a duplicated ship delivers the
+        same bytes twice and the backup's sequence numbers absorb the
+        replay — the replication-protocol mirror of the client-edge
+        dedup guarantee.
+        """
+        server = self._lookup(target, "replicate")
+        decision = self.plan.decide("replicate", target)
+        if decision.drop:
+            self._fault("drop", "replicate", target)
+            raise MessageLostError(f"ship {source}->{target} lost")
+        if decision.delay:
+            self._fault("delay", "replicate", target)
+            self.now += decision.delay
+        self._count("replicate")
+        self.registry.counter(
+            "dist_replicate_total", {"src": source, "dst": target}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit("replicate", src=source, dst=target, op=op.kind)
+        wire = encode_op(op)
+        reply = server.handle(decode_op(wire))
+        if decision.duplicate:
+            self._fault("duplicate", "replicate", target)
+            self._count("replicate")
+            reply = server.handle(decode_op(wire))
+        self._count("reply")
+        return roundtrip_reply(reply)

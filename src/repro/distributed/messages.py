@@ -27,9 +27,12 @@ __all__ = [
     "SCAN",
     "GET_MANY",
     "PUT_MANY",
+    "REPLICATE",
+    "RESYNC",
     "POINT_OPS",
     "MUTATING_OPS",
     "BATCH_OPS",
+    "REPLICA_OPS",
     "Op",
     "Reply",
     "rid_str",
@@ -43,6 +46,8 @@ DELETE = "delete"
 SCAN = "scan"
 GET_MANY = "get_many"
 PUT_MANY = "put_many"
+REPLICATE = "replicate"
+RESYNC = "resync"
 
 #: Single-key operations (everything but a scan leg).
 POINT_OPS = frozenset({GET, CONTAINS, INSERT, PUT, DELETE})
@@ -56,6 +61,13 @@ MUTATING_OPS = frozenset({INSERT, PUT, DELETE, PUT_MANY})
 #: are never forwarded — the leftovers plus IAM teach the client the
 #: true owners in one round trip).
 BATCH_OPS = frozenset({GET_MANY, PUT_MANY})
+
+#: Primary-to-backup shipping legs (see
+#: :mod:`repro.distributed.replication`). A ``REPLICATE`` op carries a
+#: committed WAL batch (or a catch-up slice of one segment) in
+#: ``value``; a ``RESYNC`` op carries a full snapshot — items, dedup
+#: window and the primary's WAL position. Only backups accept them.
+REPLICA_OPS = frozenset({REPLICATE, RESYNC})
 
 
 class Op:
@@ -146,6 +158,16 @@ class Op:
     def put_many(cls, items: list[tuple[str, object]]) -> Op:
         """A batched-upsert leg: the pairs (sorted by key) in ``value``."""
         return cls(PUT_MANY, key=items[0][0] if items else None, value=items)
+
+    @classmethod
+    def replicate(cls, payload: dict) -> Op:
+        """A shipped WAL batch (``epoch``/``seq``/``recs`` payload)."""
+        return cls(REPLICATE, value=payload)
+
+    @classmethod
+    def resync(cls, payload: dict) -> Op:
+        """A full snapshot transfer (items + dedup window + LSN)."""
+        return cls(RESYNC, value=payload)
 
 
 class Reply:

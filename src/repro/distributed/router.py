@@ -55,10 +55,31 @@ class InProcessTransport:
         #: Exactly-once holds iff every count is 1 (the chaos harness
         #: and the serving differential both assert this).
         self.apply_counts: dict[tuple[int, int], int] = {}
+        #: Failure-detection hook: called with the fabric clock on every
+        #: tick of a clock-bearing transport (``Cluster`` wires it to
+        #: ``Coordinator.tick`` when replication is on). The perfect
+        #: fabric has no clock, so it fires only from subclasses.
+        self.on_tick = None
 
     def register(self, server) -> None:
         """Attach a shard server under its id."""
         self.servers[server.shard_id] = server
+
+    def rebind(self, dead, promoted) -> list[int]:
+        """Repoint every id mapped to ``dead`` at ``promoted``.
+
+        The routing half of failover: stale clients keep addressing the
+        deposed primary's id, and the promoted server answers for it —
+        its reply IAM then repoints their images at the new id. Every
+        alias is remapped (a server that was itself promoted earlier may
+        answer for several ids), and the dead object becomes
+        unreachable, so no ``restart`` path can ever resurrect it.
+        Returns the rebound ids.
+        """
+        rebound = [sid for sid, srv in self.servers.items() if srv is dead]
+        for sid in rebound:
+            self.servers[sid] = promoted
+        return rebound
 
     def _count(self, edge: str) -> None:
         self.messages += 1
@@ -122,6 +143,19 @@ class InProcessTransport:
         reply = roundtrip_reply(reply)
         reply.forwards += 1
         return reply
+
+    def replicate(self, source: int, target: int, op: Op) -> Reply:
+        """A primary-to-backup shipping leg (never forwarded)."""
+        server = self._lookup(target, "replicate")
+        self._count("replicate")
+        self.registry.counter(
+            "dist_replicate_total", {"src": source, "dst": target}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit("replicate", src=source, dst=target, op=op.kind)
+        reply = server.handle(roundtrip_op(op))
+        self._count("reply")
+        return roundtrip_reply(reply)
 
 
 #: The historical name; existing code and tests use the two

@@ -41,7 +41,8 @@ from ..obs.flight import FLIGHT
 from ..obs.tracer import TRACER, TraceContext
 from ..storage.dedup import DedupWindow
 from ..storage.recovery import DurableFile
-from .errors import ProtocolError
+from ..storage.wal import REC_DELETE, REC_INSERT, REC_PUT
+from .errors import ProtocolError, ReplicaStaleError
 from .messages import (
     BATCH_OPS,
     CONTAINS,
@@ -52,11 +53,14 @@ from .messages import (
     MUTATING_OPS,
     POINT_OPS,
     PUT,
+    REPLICATE,
+    RESYNC,
     SCAN,
     Op,
     Reply,
     rid_str,
 )
+from .replication import ReplicaState, apply_records, wire_records
 
 __all__ = ["ShardServer"]
 
@@ -64,7 +68,7 @@ __all__ = ["ShardServer"]
 class ShardServer:
     """A single simulated server of the distributed file."""
 
-    def __init__(self, shard_id: int, file, coordinator, router):
+    def __init__(self, shard_id: int, file, coordinator, router, role: str = "primary"):
         self.shard_id = shard_id
         self.file = file
         self.coordinator = coordinator
@@ -72,6 +76,18 @@ class ShardServer:
         self.registry = coordinator.registry
         self.down = False
         self._local_dedup: Optional[DedupWindow] = None
+        #: ``"primary"`` serves clients; ``"backup"`` only accepts the
+        #: shipping legs (and read-replica scans) until promoted.
+        self.role = role
+        #: Primary side of a replicated pair (None when unreplicated).
+        self.replicator = None
+        #: Backup side: position in the primary's shipping stream.
+        self.replica_state: Optional[ReplicaState] = None
+        #: Backup side: the primary shard id this server shadows.
+        self.replica_of: Optional[int] = None
+        #: Commit-time subscribers beyond replication (migration
+        #: catch-up buffers); each receives shipped-form record batches.
+        self.taps: list = []
         router.register(self)
 
     # ------------------------------------------------------------------
@@ -108,6 +124,49 @@ class ShardServer:
         """Swap in a rebuilt file (the scale-out record move)."""
         self.file = file
         self._local_dedup = None
+        self.wire_replication()
+
+    # ------------------------------------------------------------------
+    # Replication feed
+    # ------------------------------------------------------------------
+    def wire_replication(self) -> None:
+        """(Re-)attach the WAL commit tap when anyone is listening.
+
+        Durable files rotate their WAL at checkpoints in place (the
+        writer object survives), but restarts and split rebuilds mint a
+        *new* writer — this must run after every file swap. A no-op
+        when nothing subscribes, so unreplicated clusters pay nothing.
+        """
+        if self.replicator is None and not self.taps:
+            return
+        wal = getattr(self.file, "wal", None)
+        if wal is not None and self._on_wal_commit not in wal.taps:
+            wal.taps.append(self._on_wal_commit)
+
+    def _on_wal_commit(self, wal_records) -> None:
+        self._publish(wire_records(wal_records))
+
+    def _publish(self, recs: list) -> None:
+        """Fan one committed record batch out to every subscriber.
+
+        Durable shards feed this from the WAL tap (the batch is exactly
+        what one fsync made durable); in-memory shards feed it directly
+        after a successful apply. Migration buffers see the batch before
+        the replicator ships it, so a cutover barrier never misses a
+        record the backup already has.
+        """
+        if not recs:
+            return
+        for tap in list(self.taps):
+            tap(recs)
+        if self.replicator is not None:
+            self.replicator.ship(recs)
+
+    def promote(self) -> None:
+        """Backup becomes primary — the failover cutover point."""
+        self.role = "primary"
+        self.replica_state = None
+        self.replica_of = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -152,6 +211,11 @@ class ShardServer:
                 self.file = DurableFile.open(stable)
             if self.file.last_recovery is not None:
                 replayed = self.file.last_recovery.replayed
+            self.wire_replication()
+        if self.role == "backup":
+            # The shipping position is volatile by design: coming back
+            # with unknown (epoch, seq) forces the primary to resync us.
+            self.replica_state = None
         self.down = False
         self.coordinator.mark_up(self.shard_id)
         self.registry.counter(
@@ -196,6 +260,16 @@ class ShardServer:
             return reply
 
     def _dispatch(self, op: Op) -> Reply:
+        if op.kind == REPLICATE:
+            return self._handle_replicate(op)
+        if op.kind == RESYNC:
+            return self._handle_resync(op)
+        if self.role == "backup":
+            if op.kind == SCAN:
+                return self._handle_replica_scan(op)
+            raise ProtocolError(
+                f"backup shard {self.shard_id} cannot serve {op.kind!r}"
+            )
         if op.kind == SCAN:
             return self._handle_scan(op)
         if op.kind in BATCH_OPS:
@@ -281,11 +355,19 @@ class ShardServer:
             return self.file.delete(op.key, rid=op.rid)
         if op.kind == INSERT:
             result = self.file.insert(op.key, op.value)
+            rec_type = REC_INSERT
         elif op.kind == PUT:
             result = self.file.put(op.key, op.value)
+            rec_type = REC_PUT
         else:
             result = self.file.delete(op.key)
+            rec_type = REC_DELETE
         self.dedup.record(op.rid, result)
+        # In-memory shards have no WAL tap; feed replication directly.
+        self._publish(
+            [[0, rec_type, op.key, op.value if op.kind != DELETE else None,
+              list(op.rid) if op.rid is not None else None]]
+        )
         return result
 
     def _batch_iam(self, keys) -> list:
@@ -373,6 +455,10 @@ class ShardServer:
                 else:
                     self.file.put_many(owned)
                     self.dedup.record(op.rid, None)
+                    rid = list(op.rid) if op.rid is not None else None
+                    self._publish(
+                        [[0, REC_PUT, k, v, rid] for k, v in owned]
+                    )
             except TrieHashingError as exc:
                 error = exc
             if error is None:
@@ -414,4 +500,160 @@ class ShardServer:
             done=done,
             iam=[(low_b, high_b, self.shard_id)],
             owner=self.shard_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Replication (backup side)
+    # ------------------------------------------------------------------
+    def _replica_status(self) -> dict:
+        state = self.replica_state
+        if state is None:
+            return {"resync": True, "epoch": -1, "applied": -1, "lsn": -1}
+        return {
+            "resync": False,
+            "epoch": state.epoch,
+            "applied": state.applied_seq,
+            "lsn": state.last_lsn,
+        }
+
+    def _resync_request(self) -> Reply:
+        """Tell the primary this backup needs repair, with its position."""
+        state = self.replica_state
+        status = self._replica_status()
+        status["resync"] = True
+        if state is not None:
+            state.lag = max(state.lag, 1)
+        return Reply(value=status, owner=self.shard_id)
+
+    def _apply_shipped(self, recs: list) -> bool:
+        """Replay one shipped batch; False when the copy has diverged."""
+        try:
+            apply_records(self.file, self.dedup, recs)
+        except TrieHashingError:
+            return False
+        state = self.replica_state
+        if state is not None:
+            lsns = [rec[0] for rec in recs if rec[0]]
+            if lsns:
+                state.last_lsn = max(state.last_lsn, max(lsns))
+        return True
+
+    def _handle_replicate(self, op: Op) -> Reply:
+        if self.role != "backup":
+            raise ProtocolError(
+                f"shard {self.shard_id} is not a backup (replicate refused)"
+            )
+        payload = op.value if isinstance(op.value, dict) else {}
+        epoch = int(payload.get("epoch", -1))
+        seq = int(payload.get("seq", -1))
+        recs = payload.get("recs") or []
+        state = self.replica_state
+        if state is None or state.epoch != epoch:
+            return self._resync_request()
+        if payload.get("catchup"):
+            # A segment catch-up slice: apply only what we don't have.
+            recs = [rec for rec in recs if not rec[0] or rec[0] > state.last_lsn]
+            if not self._apply_shipped(recs):
+                return self._resync_request()
+            state.applied_seq = seq
+            state.lag = 0
+            return Reply(value=self._replica_status(), owner=self.shard_id)
+        if seq <= state.applied_seq:
+            # A fabric duplicate or sender retry of a batch we already
+            # hold — the sequence number absorbs it.
+            self.registry.counter(
+                "dist_replicate_dups_total", {"shard": self.shard_id}
+            ).inc()
+            return Reply(value=self._replica_status(), owner=self.shard_id)
+        if seq > state.applied_seq + 1:
+            # A gap: at least one ship was lost before this one.
+            state.lag = seq - state.applied_seq
+            return self._resync_request()
+        if not self._apply_shipped(recs):
+            return self._resync_request()
+        state.applied_seq = seq
+        state.lag = 0
+        return Reply(value=self._replica_status(), owner=self.shard_id)
+
+    def _handle_resync(self, op: Op) -> Reply:
+        """Rebuild this backup from a full snapshot transfer."""
+        if self.role != "backup":
+            raise ProtocolError(
+                f"shard {self.shard_id} is not a backup (resync refused)"
+            )
+        payload = op.value if isinstance(op.value, dict) else {}
+        items = [(k, v) for k, v in payload.get("items") or []]
+        rebuilt = self.coordinator.file_factory()
+        if items:
+            rebuilt.put_many(items)
+        self.replace_file(rebuilt)
+        window = DedupWindow.from_spec(payload.get("dedup") or [])
+        self.dedup.merge(window)
+        if isinstance(rebuilt, DurableFile):
+            # The merged window arrived out-of-band (not through logged
+            # records), so force it into a checkpoint header now — a
+            # backup crash must not forget pre-snapshot request ids.
+            rebuilt.checkpoint(full=True)
+        self.replica_state = ReplicaState(
+            epoch=int(payload.get("epoch", 0)),
+            applied_seq=int(payload.get("seq", 0)),
+            last_lsn=int(payload.get("lsn", 0)),
+        )
+        self.registry.counter(
+            "dist_replica_rebuilds_total", {"shard": self.shard_id}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "replica_rebuild", shard=self.shard_id, records=len(items)
+            )
+        return Reply(value=self._replica_status(), owner=self.shard_id)
+
+    def _handle_replica_scan(self, op: Op) -> Reply:
+        """Serve a scan leg from this backup, within staleness bounds.
+
+        Refuses with :class:`ReplicaStaleError` — deliberately
+        non-retryable, the client falls straight back to the primary —
+        whenever the copy is not provably fresh enough: no shipping
+        state, a known lag beyond the bound, or a leg whose range the
+        shadowed primary does not own (only the primary path forwards).
+        """
+        policy = getattr(self.coordinator, "replication", None)
+        state = self.replica_state
+        if state is None or policy is None or self.replica_of is None:
+            raise ReplicaStaleError(
+                f"replica {self.shard_id} has no shipping state"
+            )
+        if state.lag > policy.staleness_bound:
+            raise ReplicaStaleError(
+                f"replica {self.shard_id} lags {state.lag} batches "
+                f"(bound {policy.staleness_bound})"
+            )
+        gap = self.coordinator.scan_gap(op)
+        owner = self.coordinator.shard_of_gap(gap)
+        if owner != self.replica_of:
+            raise ReplicaStaleError(
+                f"replica {self.shard_id} shadows shard {self.replica_of}, "
+                f"not range owner {owner}"
+            )
+        records = list(local_scan(self.engine, op.low, op.high))
+        low_b, high_b = self.coordinator.region_of_gap(gap)
+        done = high_b is None or (
+            op.high is not None
+            and prefix_le(op.high, high_b, self.coordinator.alphabet)
+        )
+        self.registry.counter(
+            "dist_replica_reads_total", {"shard": self.shard_id}
+        ).inc()
+        if TRACER.enabled:
+            TRACER.emit(
+                "replica_scan_leg", shard=self.shard_id, records=len(records)
+            )
+        # The IAM names the *primary*: replica routing is a client-side
+        # choice, the authoritative partition never points at backups.
+        return Reply(
+            records=records,
+            region_high=high_b,
+            done=done,
+            iam=[(low_b, high_b, self.replica_of)],
+            owner=self.replica_of,
         )

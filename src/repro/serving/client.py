@@ -299,6 +299,16 @@ class _RemoteCoordinator:
     def total_records(self) -> int:
         return self._transport.control({"cmd": "total_records"})
 
+    def replica_of(self, shard_id: int) -> Optional[int]:
+        """The live read replica for ``shard_id`` (None when unreplicated).
+
+        Asked per scan leg and never cached: a stale answer would route
+        a scan at a promoted (now primary) or retired server.
+        """
+        return self._transport.control(
+            {"cmd": "replica_of", "shard": shard_id}
+        )
+
 
 class RemoteCluster:
     """Quacks like a :class:`Cluster` for :class:`DistributedFile`."""

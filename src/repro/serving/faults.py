@@ -69,6 +69,11 @@ class FaultyRemoteTransport:
         self.messages = 0
         self.faults_injected = 0
         self.crash_cycles = 0
+        #: True when the served cluster replicates: clock ticks are then
+        #: forwarded to the server's failure detector through ``tick``
+        #: controls while anything is down, and ids taken over by a
+        #: promoted backup stop being treated as crashed client-side.
+        self.replicated = False
         self._down: set[int] = set()
         self._restart_at: dict[int, float] = {}
 
@@ -85,6 +90,14 @@ class FaultyRemoteTransport:
             del self._restart_at[shard_id]
             self.control({"cmd": "restart", "shard": shard_id})
             self._down.discard(shard_id)
+        if self.replicated and self._down:
+            # Something is down and will not restart by itself: run the
+            # server-side failure detector on our simulated clock. Ids a
+            # promoted backup answers for are no longer down to us.
+            status = self.control({"cmd": "tick", "now": self.now})
+            for shard_id in status.get("promoted", ()):
+                self._down.discard(shard_id)
+                self._restart_at.pop(shard_id, None)
 
     def crash_server(
         self, shard_id: int, downtime: Optional[float] = None

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import struct
+import time
 from contextlib import ExitStack
 from typing import Optional
 
@@ -105,18 +106,29 @@ class ServingServer:
         max_queue: int = 256,
         batch_max: int = 64,
         max_frame: int = DEFAULT_MAX_FRAME,
+        health_interval: float = 0.0,
     ):
         self.cluster = cluster
         self.router = cluster.router
         self.max_queue = max_queue
         self.batch_max = batch_max
         self.max_frame = max_frame
+        #: Wall-clock failure-detection period. When positive, a health
+        #: task polls ``coordinator.tick(monotonic())`` at this rate, so
+        #: a replicated deployment promotes backups on real time even
+        #: with no simulated clock in sight. ``0`` disables the task
+        #: (the chaos harness drives ticks through the control plane
+        #: instead, keeping detection deterministic).
+        self.health_interval = health_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._queue: Optional[asyncio.Queue] = None
         self._dispatcher: Optional[asyncio.Task] = None
+        self._health: Optional[asyncio.Task] = None
         self._conns: set = set()
         self._next_client = _CLIENT_ID_BASE
         self._stall = 0.0
+        self._busy = False
+        self._draining = False
         #: Dispatcher-side counters (exposed by the ``stats`` control).
         self.batches = 0
         self.grouped_batches = 0
@@ -141,6 +153,16 @@ class ServingServer:
         # rather than in __init__ (which may run on another thread).
         self._queue = asyncio.Queue(self.max_queue)
         self._dispatcher = asyncio.ensure_future(self._dispatch_loop())
+        if self.health_interval > 0:
+            self._health = asyncio.ensure_future(self._health_loop())
+
+    async def _health_loop(self) -> None:
+        """Drive the failure detector off wall time (see ``health_interval``)."""
+        while True:
+            await asyncio.sleep(self.health_interval)
+            # Runs between dispatcher batches on the same loop, so a
+            # promotion can never interleave with an open commit group.
+            self.cluster.coordinator.tick(time.monotonic())
 
     async def stop(self) -> None:
         """Stop accepting, cancel the dispatcher, drop all connections."""
@@ -148,15 +170,58 @@ class ServingServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        if self._dispatcher is not None:
-            self._dispatcher.cancel()
-            try:
-                await self._dispatcher
-            except asyncio.CancelledError:
-                pass
-            self._dispatcher = None
+        for task in (self._dispatcher, self._health):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+        self._dispatcher = None
+        self._health = None
         for conn in list(self._conns):
             self._drop(conn)
+
+    async def shutdown(self, drain_timeout: float = 10.0) -> int:
+        """Graceful stop: refuse new connections, drain, fsync, close.
+
+        The sequence the ack protocol demands: first the listener
+        closes (no new connections; ops already queued or still
+        arriving on live connections keep flowing), then the dispatcher
+        drains until the queue is empty and no batch is mid-flight (or
+        ``drain_timeout`` wall-seconds pass — a client that never stops
+        writing must not hold shutdown hostage forever), then every
+        live durable shard takes a final WAL commit so any record
+        appended outside a closed group is fsynced, and only then do
+        connections drop. No acked write can be lost: every ack was
+        preceded by its group fsync, and the final commit is a
+        belt-and-braces barrier for anything later. Returns the number
+        of batches dispatched during the drain.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        drained_from = self.batches
+        deadline = time.monotonic() + drain_timeout
+        while self._queue is not None and (
+            not self._queue.empty() or self._busy
+        ):
+            if time.monotonic() >= deadline:
+                break
+            await asyncio.sleep(0.005)
+        for server in self.cluster.coordinator.servers.values():
+            wal = getattr(server.file, "wal", None)
+            if (
+                wal is not None
+                and not server.down
+                and wal.store.exists(wal.name)  # never-written shard: no segment yet
+            ):
+                wal.commit()
+        drained = self.batches - drained_from
+        await self.stop()
+        return drained
 
     def _drop(self, conn: _Conn) -> None:
         conn.alive = False
@@ -196,6 +261,11 @@ class ServingServer:
     async def _dispatch_loop(self) -> None:
         while True:
             item = await self._queue.get()
+            # _busy spans from dequeue to reply flush: the graceful
+            # drain uses it to tell "queue empty" from "batch still in
+            # flight" (set without an await in between, so it can never
+            # miss the item just taken).
+            self._busy = True
             batch = [item]
             while len(batch) < self.batch_max:
                 try:
@@ -209,6 +279,8 @@ class ServingServer:
             except Exception:  # repro-lint: disable=TH002 -- a dispatcher death would hang every pending client silently; dropping the connections surfaces it as MessageLostError instead
                 for conn in list(self._conns):
                     self._drop(conn)
+            finally:
+                self._busy = False
 
     async def _process(self, batch: list) -> None:
         self.batches += 1
@@ -336,18 +408,70 @@ class ServingServer:
                 "client_id": self._next_client,
             }
         if cmd == "crash":
-            coordinator.servers[command["shard"]].crash()
+            # Looked up through the router so failover aliases resolve:
+            # after a promotion the dead id addresses the promoted
+            # server, exactly as over the in-process fabric.
+            server = self.router.servers.get(command["shard"])
+            if server is None or server.down:
+                return False
+            server.crash()
             return True
         if cmd == "restart":
-            coordinator.servers[command["shard"]].restart()
+            server = self.router.servers.get(command["shard"])
+            # A rebound id must never bounce the live promoted server
+            # answering for it (mirrors FaultyRouter's restart guard).
+            if server is None or not server.down:
+                return False
+            server.restart()
             return True
         if cmd == "restore_all":
             restored = 0
-            for server in coordinator.servers.values():
+            backups = getattr(coordinator, "replicas", {})
+            for server in [
+                *coordinator.servers.values(),
+                *backups.values(),
+            ]:
                 if server.down:
                     server.restart()
                     restored += 1
             return restored
+        if cmd == "tick":
+            # The chaos client's simulated clock, handed to the failure
+            # detector; the reply tells the client which dead ids a
+            # promoted server now answers for.
+            coordinator.tick(float(command.get("now", 0.0)))
+            return {
+                "promoted": sorted(coordinator.promoted_ids),
+                "down": sorted(
+                    sid
+                    for sid, server in coordinator.servers.items()
+                    if server.down
+                ),
+            }
+        if cmd == "replica_of":
+            return coordinator.replica_of(command["shard"])
+        if cmd == "failover_log":
+            return [dict(entry) for entry in coordinator.failover_log]
+        if cmd == "migrate_start":
+            coordinator.start_migration(
+                command["shard"], chunk_size=int(command.get("chunk", 64))
+            )
+            return True
+        if cmd == "migrate_step":
+            return coordinator.step_migration(command["shard"])
+        if cmd == "migrate_finish":
+            return coordinator.finish_migration(command["shard"])
+        if cmd == "replication":
+            return {
+                "replicas": sorted(
+                    backup.shard_id
+                    for backup in getattr(coordinator, "replicas", {}).values()
+                ),
+                "promoted": sorted(coordinator.promoted_ids),
+                "failovers": len(coordinator.failover_log),
+                "migrations_done": coordinator.migrations_done,
+                "migrating": sorted(coordinator.migrations),
+            }
         if cmd == "total_records":
             return coordinator.total_records()
         if cmd == "duplicate_applies":

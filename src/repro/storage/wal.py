@@ -49,6 +49,7 @@ __all__ = [
     "WALRecord",
     "WALWriter",
     "read_records",
+    "stream_ops",
     "OP_TYPES",
     "REC_INSERT",
     "REC_PUT",
@@ -300,6 +301,26 @@ def read_records(data: bytes) -> tuple[list[WALRecord], bool]:
     return records, True
 
 
+def stream_ops(
+    store: StableStore, name: str, after_lsn: int = 0
+) -> Iterator[WALRecord]:
+    """Operation records in segment ``name`` with ``lsn > after_lsn``.
+
+    The catch-up primitive of replication: a backup that fell behind but
+    still overlaps the primary's current segment (its last applied LSN is
+    at or past the segment's truncation point) is repaired by streaming
+    the records it missed, in LSN order. Reads the segment image as-is
+    and stops at a torn tail, so callers should invoke it at a commit
+    boundary.
+    """
+    if not store.exists(name):
+        return
+    records, _clean = read_records(store.read(name))
+    for record in records:
+        if record.is_op and record.lsn > after_lsn:
+            yield record
+
+
 # ----------------------------------------------------------------------
 # Writer / journal
 # ----------------------------------------------------------------------
@@ -326,6 +347,13 @@ class WALWriter:
         #: the dirty-bucket sets (their mutations belong in the next
         #: incremental checkpoint) without appending duplicate records.
         self.suppress_appends = False
+        #: Commit-time subscribers: each callable receives the list of
+        #: operation records made durable by one :meth:`commit` — the
+        #: shipping unit of primary/backup replication. Replay modes
+        #: (``suppress_appends``) never reach the taps, so recovery does
+        #: not re-ship.
+        self.taps: list = []
+        self._pending_ops: list = []
 
     @property
     def last_lsn(self) -> int:
@@ -340,6 +368,8 @@ class WALWriter:
         self.next_lsn += 1
         encoded = encode_record(lsn, rec_type, payload)
         self.store.append(self.name, encoded)
+        if self.taps and rec_type in OP_TYPES:
+            self._pending_ops.append(WALRecord(lsn, rec_type, payload))
         if TRACER.enabled:
             TRACER.emit("wal_append", lsn=lsn, type=rec_type, bytes=len(encoded))
         return lsn
@@ -349,6 +379,10 @@ class WALWriter:
         self.store.fsync(self.name)
         if TRACER.enabled:
             TRACER.emit("wal_fsync", lsn=self.last_lsn)
+        if self._pending_ops:
+            batch, self._pending_ops = self._pending_ops, []
+            for tap in list(self.taps):
+                tap(batch)
 
     # -- journal API (structural detail records) -----------------------
     def log_bucket_create(self, address: int) -> None:

@@ -531,3 +531,77 @@ class TestGroupCommit:
         f.insert("ad", "4")  # outside any group: per-op durability
         assert f.stable.stats.fsyncs == base + 2
         assert f.get("aa") == "1"
+
+
+# ======================================================================
+# Graceful shutdown: drain, final fsync, no acked write lost
+# ======================================================================
+class TestGracefulShutdown:
+    def test_acked_writes_survive_shutdown_and_crash(self):
+        cluster = Cluster(shards=2, durable=True)
+        fx = ServingFixture(cluster)
+        try:
+            with fx.open_session() as session:
+                for i in range(40):
+                    session.file.insert(f"k{chr(97 + i % 26)}{chr(97 + i // 26)}", "v")
+            drained = fx.runner.call(fx.server.shutdown(), 30.0)
+            assert drained >= 0
+            # Every ack preceded its fsync: a crash right after the
+            # graceful stop must lose nothing.
+            for server in cluster.coordinator.servers.values():
+                server.crash()
+                server.restart()
+            f = cluster.client(warm=True)
+            for i in range(40):
+                assert f.contains(f"k{chr(97 + i % 26)}{chr(97 + i // 26)}")
+        finally:
+            fx.close()  # stop() after shutdown() is a no-op
+
+    def test_shutdown_refuses_new_connections(self):
+        cluster = Cluster(shards=1)
+        fx = ServingFixture(cluster)
+        try:
+            fx.runner.call(fx.server.shutdown(), 30.0)
+            with pytest.raises((ConnectionError, OSError)):
+                fx.open_conn()
+        finally:
+            fx.close()
+
+    def test_sigterm_drains_and_exits_cleanly(self, tmp_path):
+        import os
+        import pathlib
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        root = pathlib.Path(__file__).resolve().parents[1]
+        sock = tmp_path / "drain.sock"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(root / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--uds", str(sock), "--shards", "2", "--replicas", "semisync",
+            ],
+            cwd=root,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 15.0
+            while not sock.exists():
+                assert proc.poll() is None, "server died before listening"
+                assert time.monotonic() < deadline, "socket never appeared"
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=15.0)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0, out
+        assert "draining" in out
+        assert "shutdown complete" in out
