@@ -14,6 +14,7 @@ import bisect
 from collections.abc import Iterator
 from typing import Optional
 
+from ..check.hook import maybe_audit
 from ..core.errors import CapacityError, DuplicateKeyError, KeyNotFoundError
 from ..obs.tracer import TRACER
 from ..storage.buffer import BufferPool
@@ -141,8 +142,9 @@ class BPlusTree:
         if TRACER.enabled:
             with TRACER.span("insert", key=key):
                 self._insert(key, value)
-            return
-        self._insert(key, value)
+        else:
+            self._insert(key, value)
+        maybe_audit(self, f"BPlusTree.insert({key!r})")
 
     def _insert(self, key: str, value: object = None) -> None:
         steps = self._descend(key)
@@ -166,8 +168,9 @@ class BPlusTree:
         if TRACER.enabled:
             with TRACER.span("insert", key=key):
                 self._put(key, value)
-            return
-        self._put(key, value)
+        else:
+            self._put(key, value)
+        maybe_audit(self, f"BPlusTree.put({key!r})")
 
     def _put(self, key: str, value: object = None) -> None:
         steps = self._descend(key)
@@ -296,8 +299,11 @@ class BPlusTree:
         """Delete ``key``, borrowing/merging to keep every leaf half full."""
         if TRACER.enabled:
             with TRACER.span("delete", key=key):
-                return self._delete(key)
-        return self._delete(key)
+                value = self._delete(key)
+        else:
+            value = self._delete(key)
+        maybe_audit(self, f"BPlusTree.delete({key!r})")
+        return value
 
     def _delete(self, key: str) -> object:
         steps = self._descend(key)

@@ -22,7 +22,6 @@ found; warnings never fail an audit on their own.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from enum import IntEnum
 from collections.abc import Callable, Iterable
@@ -128,9 +127,20 @@ class AuditReport:
 
 
 class ParanoidAuditError(TrieHashingError):
-    """A paranoid-mode audit found violations at a mutation site."""
+    """A paranoid-mode audit found violations at a mutation site.
 
-    def __init__(self, report: AuditReport, context: str = ""):
+    Registered in the wire codec's ``ERROR_CODES``: an instance decoded
+    off the wire is rebuilt from its rendered message alone, so the
+    constructor accepts a plain string in place of a report (``report``
+    and ``context`` are then empty).
+    """
+
+    def __init__(self, report, context: str = ""):
+        if isinstance(report, str):
+            self.report = None
+            self.context = context
+            super().__init__(report)
+            return
         self.report = report
         self.context = context
         where = f" after {context}" if context else ""
@@ -199,43 +209,8 @@ def audit(obj: object, level: AuditLevel = AuditLevel.FULL) -> AuditReport:
 # ----------------------------------------------------------------------
 # Paranoid mode
 # ----------------------------------------------------------------------
-_TRUTHY = ("1", "true", "yes", "on")
-
-#: Tri-state programmatic override: None defers to the environment.
-_paranoid_override: Optional[bool] = None
-
-
-def set_paranoid(enabled: Optional[bool]) -> None:
-    """Force paranoid mode on/off; ``None`` defers to ``REPRO_PARANOID``."""
-    global _paranoid_override
-    _paranoid_override = enabled
-
-
-def paranoid_enabled() -> bool:
-    """Is paranoid auditing active (override first, then the env var)?"""
-    if _paranoid_override is not None:
-        return _paranoid_override
-    return os.environ.get("REPRO_PARANOID", "").strip().lower() in _TRUTHY
-
-
-def maybe_audit(obj: object, context: str = "") -> None:
-    """Paranoid hook for mutation sites: audit ``obj`` when enabled.
-
-    No-op unless paranoid mode is on; objects with no registered audit
-    are skipped (harnesses can call this on anything they touch).
-    Raises :class:`ParanoidAuditError` when the audit is not ok.
-    """
-    if not paranoid_enabled():
-        return
-    fn = find_audit(type(obj))
-    if fn is None:
-        return
-    report = audit(obj, AuditLevel.PARANOID)
-    if not report.ok:
-        # Black-box the failure site: dump the flight recorder's recent
-        # events (with the report attached) before the error surfaces —
-        # a no-op unless a forensics directory is configured.
-        from ..obs.flight import FLIGHT
-
-        FLIGHT.dump("paranoid-audit", extra=report.as_dict())
-        raise ParanoidAuditError(report, context=context)
+# The switch and the mutation hook live in the import-leaf
+# :mod:`repro.check.hook` so that structure modules (``repro.core.file``
+# and friends, which this module sits *above* in the import graph) can
+# import them at module level; re-exported here for compatibility.
+from .hook import maybe_audit, paranoid_enabled, set_paranoid  # noqa: E402

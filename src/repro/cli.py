@@ -253,6 +253,12 @@ def main(argv: list[str] = None) -> int:
     lint.add_argument("paths", nargs="*", default=["src"])
     lint.add_argument("--json", action="store_true", dest="lint_json")
     lint.add_argument("--select", default=None, dest="lint_select")
+    lint.add_argument("--flow", action="store_true", dest="lint_flow")
+    lint.add_argument(
+        "--graph", choices=["dot"], default=None, dest="lint_graph"
+    )
+    lint.add_argument("--sarif", default=None, dest="lint_sarif")
+    lint.add_argument("--baseline", default=None, dest="lint_baseline")
     tr = sub.add_parser(
         "trace",
         help="reconstruct causal trees from a trace or flight dump",
@@ -462,6 +468,14 @@ def main(argv: list[str] = None) -> int:
             lint_argv.append("--json")
         if args.lint_select:
             lint_argv.extend(["--select", args.lint_select])
+        if args.lint_flow:
+            lint_argv.append("--flow")
+        if args.lint_graph:
+            lint_argv.extend(["--graph", args.lint_graph])
+        if args.lint_sarif:
+            lint_argv.extend(["--sarif", args.lint_sarif])
+        if args.lint_baseline:
+            lint_argv.extend(["--baseline", args.lint_baseline])
         return lint_main(lint_argv)
     if args.command == "run":
         if args.paranoid:

@@ -24,6 +24,7 @@ import bisect
 from collections.abc import Iterator
 from typing import Optional
 
+from ..check.hook import maybe_audit
 from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
 from .alphabet import DEFAULT_ALPHABET, Alphabet
@@ -204,16 +205,18 @@ class THFile:
         if TRACER.enabled:
             with TRACER.span("insert", key=key):
                 self._store_record(key, value, replace=False)
-            return
-        self._store_record(key, value, replace=False)
+        else:
+            self._store_record(key, value, replace=False)
+        maybe_audit(self, f"THFile.insert({key!r})")
 
     def put(self, key: str, value: object = None) -> None:
         """Insert or overwrite the record under ``key``."""
         if TRACER.enabled:
             with TRACER.span("insert", key=key):
                 self._store_record(key, value, replace=True)
-            return
-        self._store_record(key, value, replace=True)
+        else:
+            self._store_record(key, value, replace=True)
+        maybe_audit(self, f"THFile.put({key!r})")
 
     def _store_record(self, key: str, value: object, replace: bool) -> None:
         key = self.alphabet.validate_key(key)
@@ -387,8 +390,11 @@ class THFile:
         """
         if TRACER.enabled:
             with TRACER.span("delete", key=key):
-                return self._delete(key)
-        return self._delete(key)
+                value = self._delete(key)
+        else:
+            value = self._delete(key)
+        maybe_audit(self, f"THFile.delete({key!r})")
+        return value
 
     def _delete(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
@@ -605,6 +611,7 @@ class THFile:
             TRACER.emit(
                 "batch", op="put_many", keys=total, buckets=buckets_visited
             )
+        maybe_audit(self, f"THFile.put_many({total} keys)")
 
     def _put_group(self, address, group):
         """Apply one bucket's worth of sorted upserts with one write."""

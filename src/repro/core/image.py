@@ -31,6 +31,7 @@ import bisect
 from collections.abc import Iterable, Sequence
 from typing import Optional
 
+from ..check.hook import maybe_audit
 from .alphabet import Alphabet
 from .boundaries import boundary_sort_key, gap_index
 from .errors import TrieCorruptionError
@@ -189,6 +190,7 @@ class TrieImage:
                 last = len(self.shards) - 1
             for gap in range(first, last + 1):
                 self.shards[gap] = shard
+        maybe_audit(self, f"TrieImage.patch({len(entries)} entries)")
         return learned
 
     # ------------------------------------------------------------------

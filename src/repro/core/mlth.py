@@ -24,6 +24,7 @@ import bisect
 from collections.abc import Iterable, Iterator
 from typing import Optional
 
+from ..check.hook import maybe_audit
 from ..obs.tracer import TRACER
 from ..storage.buckets import BucketStore
 from ..storage.buffer import BufferPool
@@ -175,16 +176,18 @@ class MLTHFile:
         if TRACER.enabled:
             with TRACER.span("insert", key=key):
                 self._insert(key, value)
-            return
-        self._insert(key, value)
+        else:
+            self._insert(key, value)
+        maybe_audit(self, f"MLTHFile.insert({key!r})")
 
     def put(self, key: str, value: object = None) -> None:
         """Insert or overwrite the record under ``key``."""
         if TRACER.enabled:
             with TRACER.span("insert", key=key):
                 self._insert(key, value, replace=True)
-            return
-        self._insert(key, value, replace=True)
+        else:
+            self._insert(key, value, replace=True)
+        maybe_audit(self, f"MLTHFile.put({key!r})")
 
     def _insert(
         self, key: str, value: object = None, replace: bool = False
@@ -492,8 +495,11 @@ class MLTHFile:
         """
         if TRACER.enabled:
             with TRACER.span("delete", key=key):
-                return self._delete(key)
-        return self._delete(key)
+                value = self._delete(key)
+        else:
+            value = self._delete(key)
+        maybe_audit(self, f"MLTHFile.delete({key!r})")
+        return value
 
     def _delete(self, key: str) -> object:
         key = self.alphabet.validate_key(key)
@@ -792,6 +798,7 @@ class MLTHFile:
                 keys=len(last_wins),
                 buckets=self.store.stats.reads - reads_before,
             )
+        maybe_audit(self, f"MLTHFile.put_many({len(last_wins)} keys)")
 
     # ------------------------------------------------------------------
     # Metrics

@@ -27,7 +27,7 @@ and the owning server's dedup window short-circuits duplicates (see
 from __future__ import annotations
 
 import random
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from typing import Optional
 
 from ..core.image import TrieImage
@@ -304,7 +304,7 @@ class DistributedFile:
                     f"({len(pending)} keys unplaced; sample: {sample!r})"
                 ) from last_error
 
-    def get_many(self, keys) -> dict[str, object]:
+    def get_many(self, keys: Iterable[str]) -> dict[str, object]:
         """Batched :meth:`get`: one routed leg per shard touched.
 
         Returns ``{key: value}`` for the keys that exist; absent keys
@@ -333,7 +333,7 @@ class DistributedFile:
         self._batch_rounds(pending, send_round, resume_on_error=True)
         return out
 
-    def put_many(self, items) -> None:
+    def put_many(self, items: Iterable[tuple[str, object]]) -> None:
         """Batched :meth:`put`: per-shard legs, one request id per leg.
 
         Duplicate keys collapse last-wins before routing (the

@@ -42,7 +42,9 @@ import io
 import struct
 from typing import Optional
 
+from ..check.framework import ParanoidAuditError
 from ..core import errors as core_errors
+from ..core.cursor import CursorInvalidError
 from . import errors as dist_errors
 from .errors import ProtocolError
 from .messages import Op, Reply
@@ -104,6 +106,14 @@ ERROR_CODES: dict[int, type] = {
     18: dist_errors.ReplicationError,
     19: dist_errors.ReplicaStaleError,
     20: dist_errors.FailoverError,
+    # 21-23 registered by the TH011 exhaustiveness audit: each of these
+    # is raisable from code reachable off the dispatch surface (a stale
+    # scan cursor, an injected crash fault surfacing mid-op, a paranoid
+    # audit tripping under a serving shard) and must survive the wire
+    # with its type intact instead of degrading to the catch-all.
+    21: CursorInvalidError,
+    22: core_errors.CrashError,
+    23: ParanoidAuditError,
 }
 _CODE_OF = {cls: code for code, cls in ERROR_CODES.items()}
 

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from contextlib import nullcontext
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # import cycle: client builds on the coordinator
+    from .client import DistributedFile
 
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
 from ..core.file import THFile
@@ -664,7 +667,7 @@ class Cluster:
         warm: bool = False,
         retry: Optional[RetryPolicy] = None,
         read_preference: str = "primary",
-    ):
+    ) -> DistributedFile:
         """A new client handle.
 
         A cold client (the default) starts with a one-region image

@@ -49,11 +49,13 @@ otherwise.
 
 from __future__ import annotations
 
-from typing import Optional
+from collections.abc import Iterable
+from typing import Any, Optional
 
 from ..obs.tracer import TRACER
+from ..storage.dedup import DedupWindow
 from ..storage.recovery import DurableFile
-from ..storage.wal import REC_DELETE, REC_INSERT, REC_PUT, stream_ops
+from ..storage.wal import REC_DELETE, REC_INSERT, REC_PUT, WALRecord, stream_ops
 from .errors import (
     ConfigurationError,
     MessageLostError,
@@ -173,7 +175,7 @@ class ReplicaState:
         )
 
 
-def wire_records(wal_records) -> list[list]:
+def wire_records(wal_records: Iterable[WALRecord]) -> list[list]:
     """WAL op records in shipping form ``[lsn, type, key, value, rid]``."""
     return [
         [
@@ -187,7 +189,7 @@ def wire_records(wal_records) -> list[list]:
     ]
 
 
-def apply_records(file, dedup, recs) -> None:
+def apply_records(file: Any, dedup: DedupWindow, recs: Iterable[list]) -> None:
     """Replay shipped op records into ``file`` the way recovery would.
 
     Durable files take the request id themselves — it travels inside
@@ -270,7 +272,7 @@ class Replicator:
         self.resyncs = 0
 
     # -- wiring --------------------------------------------------------
-    def attach_wal(self, wal) -> None:
+    def attach_wal(self, wal: Any) -> None:
         """Subscribe to ``wal``'s commit taps (idempotent)."""
         if wal is not None and self._on_commit not in wal.taps:
             wal.taps.append(self._on_commit)
@@ -466,7 +468,7 @@ class FailureDetector:
         self.last_poll: Optional[float] = None
         self.probes = 0
 
-    def poll(self, coordinator, now: float) -> list[int]:
+    def poll(self, coordinator: Any, now: float) -> list[int]:
         """Probe once per heartbeat; returns the shard ids deposed."""
         if (
             self.last_poll is not None

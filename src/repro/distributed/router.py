@@ -32,7 +32,7 @@ fault-injecting variant lives in :mod:`repro.distributed.faults`.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import TRACER
@@ -61,11 +61,11 @@ class InProcessTransport:
         #: fabric has no clock, so it fires only from subclasses.
         self.on_tick = None
 
-    def register(self, server) -> None:
+    def register(self, server: Any) -> None:
         """Attach a shard server under its id."""
         self.servers[server.shard_id] = server
 
-    def rebind(self, dead, promoted) -> list[int]:
+    def rebind(self, dead: Any, promoted: Any) -> list[int]:
         """Repoint every id mapped to ``dead`` at ``promoted``.
 
         The routing half of failover: stale clients keep addressing the

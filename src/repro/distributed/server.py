@@ -32,7 +32,7 @@ Fault tolerance adds two responsibilities:
 from __future__ import annotations
 
 from contextlib import nullcontext
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.errors import TrieHashingError
 from ..core.keys import prefix_le
@@ -94,7 +94,7 @@ class ShardServer:
     # Storage access (THFile and DurableFile duck-type alike)
     # ------------------------------------------------------------------
     @property
-    def engine(self):
+    def engine(self) -> Any:
         """The underlying THFile (unwraps a durable session)."""
         inner = getattr(self.file, "file", None)
         return inner if inner is not None else self.file
@@ -120,7 +120,7 @@ class ShardServer:
         """This shard's records in key order (a materialized snapshot)."""
         return list(self.file.items())
 
-    def replace_file(self, file) -> None:
+    def replace_file(self, file: Any) -> None:
         """Swap in a rebuilt file (the scale-out record move)."""
         self.file = file
         self._local_dedup = None

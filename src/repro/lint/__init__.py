@@ -9,9 +9,20 @@ rules over the stdlib :mod:`ast`, with one stable code per rule
 (``TH001``...), inline suppressions that must carry a justification, and
 table or JSON output for CI.
 
+Two passes share one report. The per-file pass (``TH001``–``TH008``)
+runs rules over each parsed file in isolation. The whole-program pass
+(:mod:`repro.lint.flow`, ``TH010``–``TH014``) parses the tree once into
+cached module summaries, links an import graph and a conservatively
+resolved call graph, and checks the invariants that span modules:
+event-loop purity through helper chains, wire-protocol exhaustiveness,
+commit ordering, fabric-clock discipline and paranoid-audit coverage.
+
 Usage::
 
-    python -m repro.lint src                # table output, exit 1 on findings
+    python -m repro.lint src                # per-file pass only
+    python -m repro.lint src --flow         # per-file + whole-program pass
+    python -m repro.lint src --flow --sarif out.sarif
+    python -m repro.lint src --graph dot    # call graph as Graphviz DOT
     python -m repro.lint src --json         # machine-readable report
     python -m repro.lint src --select TH001,TH005
     python -m repro.lint --list             # print the ruleset
@@ -31,6 +42,7 @@ process for adding a rule.
 from __future__ import annotations
 
 from .engine import (
+    FLOW_CODES,
     LintContext,
     LintReport,
     LintViolation,
@@ -44,6 +56,7 @@ from .engine import (
 from . import rules  # noqa: F401  -- importing registers the ruleset
 
 __all__ = [
+    "FLOW_CODES",
     "LintContext",
     "LintReport",
     "LintViolation",

@@ -7,7 +7,7 @@ import sys
 from collections.abc import Sequence
 from typing import Optional
 
-from .engine import all_rules, lint_paths
+from .engine import FLOW_CODES, LintReport, all_rules, lint_paths
 
 __all__ = ["main"]
 
@@ -35,19 +35,117 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="print the ruleset and exit"
     )
+    parser.add_argument(
+        "--flow",
+        action="store_true",
+        help="additionally run the whole-program pass (TH010-TH014)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="FORMAT",
+        choices=["dot"],
+        default=None,
+        help="print the resolved call graph (dot) and exit",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="additionally write the report as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="flow baseline file (default: lint-baseline.json if present)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=None,
+        help="flow summary cache (default: .repro-lint-cache.json)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the flow summary cache",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print flow cache/SCC statistics to stderr",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
+        from .flow.rules import all_flow_rules
+
         for registered in all_rules():
             scope = (
                 ", ".join(registered.scope) if registered.scope else "src/**"
             )
             print(f"{registered.code}  {registered.name:28s} [{scope}]")
             print(f"       {registered.description}")
+        for flow in all_flow_rules():
+            print(f"{flow.code}  {flow.name:28s} [whole-program]")
+            print(f"       {flow.description}")
         return 0
 
-    select = args.select.split(",") if args.select else None
+    select = (
+        {code.strip() for code in args.select.split(",")}
+        if args.select
+        else None
+    )
+
+    if args.graph is not None:
+        from .flow import run_flow, to_dot
+        from .flow.engine import DEFAULT_CACHE
+
+        result = run_flow(
+            args.paths,
+            cache=None if args.no_cache else (args.cache or DEFAULT_CACHE),
+            baseline=args.baseline,
+        )
+        sys.stdout.write(to_dot(result.program))
+        return 0
+
     report = lint_paths(args.paths, select=select)
+    if args.flow:
+        from .flow import run_flow
+        from .flow.engine import DEFAULT_CACHE
+
+        flow_select = (
+            {code for code in select if code in FLOW_CODES or
+             code.startswith("LINT")}
+            if select is not None
+            else None
+        )
+        result = run_flow(
+            args.paths,
+            cache=None if args.no_cache else (args.cache or DEFAULT_CACHE),
+            baseline=args.baseline,
+            select=flow_select,
+        )
+        merged = report.violations + result.report.violations
+        merged.sort(key=lambda v: (v.path, v.line, v.code))
+        report = LintReport(
+            files_checked=report.files_checked, violations=merged
+        )
+        if args.stats:
+            stats = result.stats.as_dict()
+            print(
+                f"flow: {stats['files']} files, "
+                f"{len(stats['reparsed'])} reparsed, "
+                f"{stats['cached']} cached, "
+                f"{stats['dirty_sccs']}/{stats['total_sccs']} SCCs dirty",
+                file=sys.stderr,
+            )
+
+    if args.sarif:
+        from .flow.sarif import write_sarif
+
+        write_sarif(report, args.sarif)
+
     if args.json:
         print(report.to_json())
     else:

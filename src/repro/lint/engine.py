@@ -30,6 +30,7 @@ from collections.abc import Callable, Iterable, Iterator
 from typing import Optional
 
 __all__ = [
+    "FLOW_CODES",
     "LintContext",
     "LintReport",
     "LintViolation",
@@ -44,6 +45,15 @@ __all__ = [
 #: Codes emitted by the engine itself (suppression hygiene).
 META_NO_JUSTIFICATION = "LINT001"
 META_UNUSED_SUPPRESSION = "LINT002"
+
+#: Codes owned by the whole-program pass (:mod:`repro.lint.flow`).
+#: The per-file pass leaves their suppressions alone — it cannot judge
+#: staleness for findings it does not compute — and the flow engine
+#: applies them (``TH009`` is the retired per-file rule, kept as an
+#: alias for its flow successor ``TH010``).
+FLOW_CODES = frozenset(
+    {"TH009", "TH010", "TH011", "TH012", "TH013", "TH014"}
+)
 
 _DISABLE_RE = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
@@ -278,7 +288,11 @@ def lint_file(
                     line=suppression.comment_line,
                 )
             )
-        unused = [c for c in suppression.codes if c not in suppression.used]
+        unused = [
+            c
+            for c in suppression.codes
+            if c not in suppression.used and c not in FLOW_CODES
+        ]
         if unused and (select is None or set(unused) & select):
             surviving.append(
                 LintViolation(

@@ -1,0 +1,38 @@
+"""Whole-program flow analysis for the project linter.
+
+Where :mod:`repro.lint.engine` runs per-file AST rules, this package
+parses the whole tree once into cacheable module summaries
+(:mod:`.graph`), links them into an import graph and a conservatively
+resolved call graph, and runs the interprocedural ruleset
+(:mod:`.rules`, ``TH010``–``TH014``) on top: event-loop purity through
+call chains, wire-protocol exhaustiveness, commit-path ordering, fabric
+clock discipline and paranoid-audit coverage. :mod:`.engine` drives a
+run — incremental cache, inline suppressions, the reviewed baseline —
+and :mod:`.sarif` exports the merged report for code scanning.
+"""
+
+from .engine import (
+    DEFAULT_BASELINE,
+    DEFAULT_CACHE,
+    FlowResult,
+    FlowStats,
+    run_flow,
+)
+from .graph import Program, build_program, summarize_source, to_dot
+from .rules import all_flow_rules
+from .sarif import to_sarif, write_sarif
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "DEFAULT_CACHE",
+    "FlowResult",
+    "FlowStats",
+    "Program",
+    "all_flow_rules",
+    "build_program",
+    "run_flow",
+    "summarize_source",
+    "to_dot",
+    "to_sarif",
+    "write_sarif",
+]

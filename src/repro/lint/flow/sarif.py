@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 export for GitHub code-scanning annotations.
+
+One run object, one driver (``repro-lint``), one result per surviving
+violation. Rule metadata comes from both registries — the per-file
+rules and the flow rules share the report, so a merged run uploads as a
+single artifact. Paths are emitted as given (repo-relative when the
+linter is invoked from the repo root, which is how CI runs it).
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..engine import LintReport, all_rules
+from .rules import all_flow_rules
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Engine meta codes (suppression/baseline hygiene) lack a registry
+#: entry; give them static descriptions so SARIF stays self-contained.
+_META_RULES = {
+    "LINT000": "file does not parse",
+    "LINT001": "suppression or baseline entry lacks a justification",
+    "LINT002": "stale suppression or baseline entry",
+}
+
+
+def to_sarif(report: LintReport) -> dict:
+    """Render ``report`` as a SARIF ``log`` dict."""
+    rules = []
+    for registered in all_rules():
+        rules.append(
+            {
+                "id": registered.code,
+                "name": registered.name,
+                "shortDescription": {"text": registered.description},
+            }
+        )
+    for flow in all_flow_rules():
+        rules.append(
+            {
+                "id": flow.code,
+                "name": flow.name,
+                "shortDescription": {"text": flow.description},
+            }
+        )
+    for code, text in _META_RULES.items():
+        rules.append(
+            {"id": code, "name": code, "shortDescription": {"text": text}}
+        )
+    results = []
+    for violation in report.violations:
+        results.append(
+            {
+                "ruleId": violation.code,
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path.replace("\\", "/")
+                            },
+                            "region": {
+                                "startLine": max(1, violation.line),
+                                "startColumn": violation.column + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/trie-hashing/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(report: LintReport, path: str) -> None:
+    """Serialise the SARIF log for ``report`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(report), handle, indent=2)
+        handle.write("\n")

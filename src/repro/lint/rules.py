@@ -1,10 +1,16 @@
-"""The project ruleset (``TH001``...``TH009``).
+"""The per-file project ruleset (``TH001``...``TH008``).
 
 Each rule encodes one convention the reproduction's correctness
 arguments depend on; the module docstring of :mod:`repro.lint` and
 ``docs/STATIC_ANALYSIS.md`` explain the why behind each. Rules are pure
 functions over a parsed file — no I/O, no imports of the code under
 analysis — registered via :func:`repro.lint.engine.rule`.
+
+``TH009`` (blocking calls inside serving coroutines) used to live here
+as a direct-call check; it is retired in favor of the interprocedural
+``TH010`` in :mod:`repro.lint.flow.rules`, which catches the same calls
+through any sync helper chain. Existing ``disable=TH009`` suppressions
+keep working — the flow engine treats the code as an alias for TH010.
 """
 
 from __future__ import annotations
@@ -420,84 +426,6 @@ def check_public_annotations(context: LintContext) -> Iterator[LintViolation]:
                         f"{', '.join(missing)}",
                     )
                 )
-
-    visitor = _Visitor()
-    visitor.visit(context.tree)
-    yield from visitor.found
-
-
-#: Calls that block the event loop when made from a coroutine. Names
-#: are matched on the terminal identifier (``time.sleep`` → ``sleep``
-#: via the module check, ``os.fsync`` → ``fsync``), so aliasing the
-#: module does not evade the rule.
-_BLOCKING_TIME_ATTRS = {"sleep"}
-_BLOCKING_OS_ATTRS = {"fsync", "fdatasync"}
-_BLOCKING_MODULES = {"socket", "subprocess"}
-
-
-@rule(
-    "TH009",
-    "blocking-call-in-coroutine",
-    "no blocking calls inside repro.serving coroutines",
-    scope=("repro/serving/",),
-)
-def check_blocking_in_coroutine(context: LintContext) -> Iterator[LintViolation]:
-    """The serving tier is one event loop per process: a single
-    ``time.sleep`` or synchronous ``open``/``socket`` call inside a
-    coroutine stalls *every* connection the loop is multiplexing (the
-    dispatcher, every reader, every in-flight reply). Blocking work in
-    this package belongs on the synchronous facade side
-    (:class:`~repro.serving.client.RemoteTransport` methods run on the
-    caller's thread), never under ``async def``."""
-
-    class _Visitor(ast.NodeVisitor):
-        def __init__(self) -> None:
-            self.found: list[LintViolation] = []
-            self._async_depth = 0
-
-        def visit_AsyncFunctionDef(self, node) -> None:
-            self._async_depth += 1
-            self.generic_visit(node)
-            self._async_depth -= 1
-
-        def visit_FunctionDef(self, node) -> None:
-            # A nested sync def is its own (non-loop) execution context.
-            saved, self._async_depth = self._async_depth, 0
-            self.generic_visit(node)
-            self._async_depth = saved
-
-        def visit_Call(self, node: ast.Call) -> None:
-            if self._async_depth:
-                self._audit(node)
-            self.generic_visit(node)
-
-        def _audit(self, node: ast.Call) -> None:
-            func = node.func
-            if isinstance(func, ast.Name) and func.id == "open":
-                self._flag(node, "builtin open() blocks the event loop")
-                return
-            if not isinstance(func, ast.Attribute):
-                return
-            owner = _terminal_name(func.value)
-            if owner == "time" and func.attr in _BLOCKING_TIME_ATTRS:
-                self._flag(
-                    node,
-                    f"time.{func.attr}() blocks the event loop "
-                    "(use `await asyncio.sleep(...)`)",
-                )
-            elif owner == "os" and func.attr in _BLOCKING_OS_ATTRS:
-                self._flag(
-                    node, f"os.{func.attr}() blocks the event loop"
-                )
-            elif owner in _BLOCKING_MODULES:
-                self._flag(
-                    node,
-                    f"synchronous {owner}.{func.attr}() blocks the event "
-                    "loop (use asyncio streams / subprocesses)",
-                )
-
-        def _flag(self, node: ast.Call, message: str) -> None:
-            self.found.append(context.violation("TH009", node, message))
 
     visitor = _Visitor()
     visitor.visit(context.tree)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Sequence
 from typing import Optional
 
+from ..check.hook import maybe_audit
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
 from ..core.errors import TrieCorruptionError
 from ..core.file import THFile
@@ -50,10 +51,12 @@ class MultikeyTHFile:
     def insert(self, values: Sequence[str], payload: object = None) -> None:
         """Insert a record under the attribute tuple."""
         self.file.insert(self.interleaver.compose(values), payload)
+        maybe_audit(self, "MultikeyTHFile.insert")
 
     def put(self, values: Sequence[str], payload: object = None) -> None:
         """Insert or overwrite."""
         self.file.put(self.interleaver.compose(values), payload)
+        maybe_audit(self, "MultikeyTHFile.put")
 
     def get(self, values: Sequence[str]) -> object:
         """Payload stored under the exact attribute tuple."""
@@ -65,7 +68,9 @@ class MultikeyTHFile:
 
     def delete(self, values: Sequence[str]) -> object:
         """Delete the record under the tuple."""
-        return self.file.delete(self.interleaver.compose(values))
+        payload = self.file.delete(self.interleaver.compose(values))
+        maybe_audit(self, "MultikeyTHFile.delete")
+        return payload
 
     def __len__(self) -> int:
         return len(self.file)

@@ -28,7 +28,7 @@ import concurrent.futures
 import struct
 import threading
 import time
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.alphabet import Alphabet
 from ..distributed.client import DistributedFile
@@ -182,7 +182,7 @@ class AsyncClient:
 
     async def control(
         self, command: dict, timeout: Optional[float] = DEFAULT_WALL_TIMEOUT
-    ):
+    ) -> Any:
         """Run one control command; its decoded result value."""
         kind, body = await self._roundtrip(
             FRAME_CONTROL, encode_value(command), timeout
@@ -211,7 +211,7 @@ class LoopRunner:
         asyncio.set_event_loop(self.loop)
         self.loop.run_forever()
 
-    def call(self, coro, timeout: Optional[float] = None):
+    def call(self, coro: Any, timeout: Optional[float] = None) -> Any:
         """Run ``coro`` on the loop thread; block for its result."""
         future = asyncio.run_coroutine_threadsafe(coro, self.loop)
         try:
@@ -260,13 +260,13 @@ class RemoteTransport:
     def sleep(self, seconds: float) -> None:
         time.sleep(seconds)
 
-    def note_apply(self, rid) -> None:
+    def note_apply(self, rid: object) -> None:
         """The apply audit lives server-side over a real wire."""
 
     def duplicate_applies(self) -> int:
         return self.control({"cmd": "duplicate_applies"})
 
-    def control(self, command: dict):
+    def control(self, command: dict) -> Any:
         return self.runner.call(
             self.conn.control(command), self.wall_timeout
         )

@@ -32,7 +32,7 @@ in the client.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Optional
 
 from ..distributed.errors import (
     MessageLostError,
@@ -115,13 +115,13 @@ class FaultyRemoteTransport:
         self._down.clear()
         self.control({"cmd": "restore_all"})
 
-    def note_apply(self, rid) -> None:
+    def note_apply(self, rid: object) -> None:
         """The apply audit lives server-side over a real wire."""
 
     def duplicate_applies(self) -> int:
         return self.control({"cmd": "duplicate_applies"})
 
-    def control(self, command: dict):
+    def control(self, command: dict) -> Any:
         return self.runner.call(self.conn.control(command), self.wall_timeout)
 
     # ------------------------------------------------------------------

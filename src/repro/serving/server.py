@@ -142,7 +142,7 @@ class ServingServer:
         self._server = await asyncio.start_unix_server(self._on_conn, path=path)
         return path
 
-    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0):
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
         """Listen on TCP; returns the bound ``(host, port)``."""
         self._start_dispatcher()
         self._server = await asyncio.start_server(self._on_conn, host, port)

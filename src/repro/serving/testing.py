@@ -110,7 +110,7 @@ class ServingFixture:
         retry: Optional[RetryPolicy] = None,
         registry: Optional[MetricsRegistry] = None,
         wall_timeout: float = DEFAULT_WALL_TIMEOUT,
-    ):
+    ) -> tuple:
         """A ``(DistributedFile, transport)`` pair over this server.
 
         With a ``plan`` the transport is a

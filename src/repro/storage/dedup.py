@@ -22,6 +22,8 @@ from collections import OrderedDict
 from collections.abc import Iterable
 from typing import Optional
 
+from ..check.hook import maybe_audit
+
 __all__ = ["DedupWindow", "DEFAULT_WINDOW"]
 
 #: One request id: (client id, per-client monotonic sequence number).
@@ -66,6 +68,7 @@ class DedupWindow:
         self._entries.move_to_end(rid)
         while len(self._entries) > self.limit:
             self._entries.popitem(last=False)
+        maybe_audit(self, "DedupWindow.record")
 
     def merge(self, other: DedupWindow) -> None:
         """Absorb every entry of ``other`` (shard-split handover).
@@ -76,6 +79,7 @@ class DedupWindow:
         """
         for rid, result in other._entries.items():
             self.record(rid, result)
+        maybe_audit(self, "DedupWindow.merge")
 
     # -- checkpoint codec ----------------------------------------------
     def to_spec(self) -> list[list]:

@@ -44,6 +44,7 @@ from contextlib import contextmanager, nullcontext
 from collections.abc import Iterable, Iterator
 from typing import Optional
 
+from ..check.hook import maybe_audit
 from ..core.alphabet import DEFAULT_ALPHABET, Alphabet
 from ..core.errors import (
     DuplicateKeyError,
@@ -700,6 +701,7 @@ class DurableFile:
         self._ops_since_checkpoint += 1
         if self._ops_since_checkpoint >= self.checkpoint_every and not self._group_depth:
             self.checkpoint()
+        maybe_audit(self, f"DurableFile op {rec_type} ({key!r})")
         return out
 
     @contextmanager
@@ -861,6 +863,7 @@ class DurableFile:
         self._ops_since_checkpoint += len(pending)
         if self._ops_since_checkpoint >= self.checkpoint_every and not self._group_depth:
             self.checkpoint()
+        maybe_audit(self, f"DurableFile.put_many({len(pending)} keys)")
 
     def check(self) -> None:
         """Run the engine's structural invariant check."""

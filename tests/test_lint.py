@@ -75,12 +75,6 @@ RULE_FIXTURES = {
         "def insert(key, value):\n    return None\n",
         "def insert(key: str, value: str) -> None:\n    return None\n",
     ),
-    "TH009": (
-        SERVING,
-        "import time\n\nasync def flush(conn):\n    time.sleep(0.1)\n",
-        "import asyncio\n\nasync def flush(conn):\n"
-        "    await asyncio.sleep(0.1)\n",
-    ),
 }
 
 
@@ -120,41 +114,17 @@ def test_th004_exempts_storage_layer():
     ) == []
 
 
-def test_th009_allows_blocking_calls_outside_coroutines():
-    # RemoteTransport.sleep is a sync method on the caller's thread —
-    # exactly the place blocking work belongs.
-    snippet = "import time\n\ndef sleep(seconds):\n    time.sleep(seconds)\n"
-    assert lint_source(snippet, module_path=SERVING, select=["TH009"]) == []
-    # A sync helper nested inside a coroutine runs when *called*, which
-    # need not be on the loop; only the coroutine body itself is flagged.
-    nested = (
-        "import time\n\nasync def outer():\n"
-        "    def emergency():\n        time.sleep(1)\n"
-        "    return emergency\n"
+def test_th009_is_retired_from_the_per_file_pass():
+    # TH009 moved to the whole-program pass as TH010 (a coroutine's
+    # *helpers* can block too); the per-file engine no longer runs it,
+    # but a lingering suppression for it must not trip LINT002 —
+    # the flow pass owns flow-code suppressions.
+    assert "TH009" not in {r.code for r in all_rules()}
+    lingering = (
+        "import time\n\nasync def flush(conn):\n"
+        "    time.sleep(0.1)  # repro-lint: disable=TH009 -- facade\n"
     )
-    assert lint_source(nested, module_path=SERVING, select=["TH009"]) == []
-
-
-def test_th009_catches_the_blocking_surface():
-    bodies = {
-        "open": "async def f():\n    return open('x')\n",
-        "fsync": "import os\n\nasync def f(fd):\n    os.fsync(fd)\n",
-        "socket": (
-            "import socket\n\nasync def f():\n"
-            "    return socket.socket()\n"
-        ),
-        "subprocess": (
-            "import subprocess\n\nasync def f():\n"
-            "    subprocess.run(['true'])\n"
-        ),
-    }
-    for name, snippet in bodies.items():
-        found = lint_source(snippet, module_path=SERVING, select=["TH009"])
-        assert codes(found) == ["TH009"], f"{name} did not trip"
-    # Out of scope: the distributed layer has no event loop to stall.
-    assert lint_source(
-        bodies["open"], module_path=DISTRIBUTED, select=["TH009"]
-    ) == []
+    assert lint_source(lingering, module_path=SERVING) == []
 
 
 def test_th004_covers_allocate_and_free():

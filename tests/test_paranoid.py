@@ -63,3 +63,36 @@ def test_paranoid_audit_stops_at_the_corrupting_op(paranoid):
     f._size -= 2  # simulate a lost-update bug
     with pytest.raises(ParanoidAuditError):
         maybe_audit(f, "after the buggy op")
+
+
+def test_mutators_route_through_the_hook_themselves(paranoid):
+    # TH014 regression: the mutating methods call maybe_audit directly —
+    # no harness cooperation needed. A corruption introduced behind the
+    # structure's back surfaces at the *next* mutation, whoever makes it.
+    from repro import THFile
+
+    f = THFile(bucket_capacity=4)
+    f.insert("abc")
+    f._size += 3  # phantom records
+    with pytest.raises(ParanoidAuditError):
+        f.put("abd")
+
+
+def test_self_auditing_mutators_run_clean(paranoid):
+    # Each audited structure's own mutation path audits (and passes) —
+    # including PARANOID-level reconstruction oracles re-running the very
+    # mutators that triggered them (the hook's reentrancy guard).
+    from repro import BPlusTree, MLTHFile, THFile
+    from repro.workloads import KeyGenerator
+
+    keys = list(KeyGenerator(3).uniform(40))
+    for make in (
+        lambda: THFile(bucket_capacity=4),
+        lambda: MLTHFile(bucket_capacity=4, page_capacity=8),
+        lambda: BPlusTree(leaf_capacity=4, branch_capacity=4),
+    ):
+        f = make()
+        for k in keys:
+            f.put(k, "v")
+        for k in keys[::3]:
+            f.delete(k)

@@ -132,6 +132,33 @@ class TestValueCodec:
         assert len(set(ERROR_CODES)) == len(ERROR_CODES)
         assert len(set(ERROR_CODES.values())) == len(ERROR_CODES)
 
+    def test_flow_lint_found_exceptions_are_registered(self):
+        # TH011 (wire exhaustiveness) proved these escape the dispatch
+        # surface: a scan cursor invalidated by a split, an injected
+        # crash point, a paranoid audit tripping at a mutation site.
+        # Before registration each one degraded to the code-1 catch-all
+        # and came back as a bare TrieHashingError.
+        from repro.check import ParanoidAuditError
+        from repro.core.cursor import CursorInvalidError
+        from repro.core.errors import CrashError
+
+        assert ERROR_CODES[21] is CursorInvalidError
+        assert ERROR_CODES[22] is CrashError
+        assert ERROR_CODES[23] is ParanoidAuditError
+        for klass in (CursorInvalidError, CrashError, ParanoidAuditError):
+            back = decode_value(encode_value(klass("sliced")))
+            assert type(back) is klass
+            assert "sliced" in str(back)
+
+    def test_paranoid_audit_error_accepts_a_plain_message(self):
+        # The wire decoder rebuilds exceptions as klass(message); the
+        # report-carrying constructor must tolerate that shape.
+        from repro.check import ParanoidAuditError
+
+        err = ParanoidAuditError("replayed off the wire")
+        assert err.report is None
+        assert "replayed off the wire" in str(err)
+
     def test_unencodable_type_rejected(self):
         with pytest.raises(ProtocolError):
             encode_value(object())
